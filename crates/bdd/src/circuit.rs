@@ -1,0 +1,369 @@
+//! Building BDDs for every node of a Boolean network.
+//!
+//! The BDD *variables* of a network are its combinational sources: primary
+//! inputs first, then latch outputs (a latch output is a free variable of the
+//! combinational block it feeds — the sequential partitioning in
+//! `domino-sgraph` decides what probability it carries). The variable index
+//! of the `i`-th source is `i`; see [`source_nodes`].
+
+use std::collections::HashMap;
+
+use domino_netlist::{Network, NodeId, NodeKind};
+
+use crate::manager::{Bdd, BddError, BddManager};
+use crate::ordering;
+
+/// The combinational source nodes of `net` in variable-index order: primary
+/// inputs in declaration order, then latches in declaration order.
+pub fn source_nodes(net: &Network) -> Vec<NodeId> {
+    net.inputs()
+        .iter()
+        .chain(net.latches().iter())
+        .copied()
+        .collect()
+}
+
+/// BDDs for every node of a network, sharing one [`BddManager`].
+///
+/// # Example
+///
+/// ```
+/// use domino_bdd::circuit::CircuitBdds;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = domino_netlist::Network::new("c");
+/// let a = net.add_input("a")?;
+/// let b = net.add_input("b")?;
+/// let g = net.add_and([a, b])?;
+/// net.add_output("f", g)?;
+///
+/// let bdds = CircuitBdds::build(&net)?;
+/// let p = bdds.node_probabilities(&net, &[0.9, 0.9])?;
+/// assert!((p[g.index()] - 0.81).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBdds {
+    manager: BddManager,
+    node_funcs: Vec<Bdd>,
+}
+
+impl CircuitBdds {
+    /// Builds BDDs for all nodes using the paper's §4.2.2 variable ordering
+    /// heuristic ([`ordering::paper_order`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if construction blows up.
+    pub fn build(net: &Network) -> Result<Self, BddError> {
+        Self::build_with_order(net, ordering::paper_order(net))
+    }
+
+    /// Builds BDDs for all nodes with an explicit variable order:
+    /// `order[l]` is the source-variable index placed at BDD level `l`
+    /// (level 0 is root-most).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] if `order` is not a permutation
+    /// of the source indices, or [`BddError::NodeLimit`] on blow-up.
+    pub fn build_with_order(net: &Network, order: Vec<usize>) -> Result<Self, BddError> {
+        let sources = source_nodes(net);
+        if order.len() != sources.len() {
+            return Err(BddError::ArityMismatch {
+                expected: sources.len(),
+                got: order.len(),
+            });
+        }
+        let mut manager = BddManager::with_order(order)?;
+        let var_of: HashMap<NodeId, usize> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut node_funcs = vec![Bdd::FALSE; net.len()];
+        for id in net.topo_order() {
+            let node = net.node(id);
+            let f = match node.kind {
+                NodeKind::Input | NodeKind::Latch { .. } => manager.var(var_of[&id])?,
+                NodeKind::Constant(v) => manager.constant(v),
+                NodeKind::Not => {
+                    let x = node_funcs[node.fanins[0].index()];
+                    manager.not(x)?
+                }
+                NodeKind::And => {
+                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| node_funcs[f.index()]).collect();
+                    manager.and_many(fs)?
+                }
+                NodeKind::Or => {
+                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| node_funcs[f.index()]).collect();
+                    manager.or_many(fs)?
+                }
+            };
+            node_funcs[id.index()] = f;
+        }
+        Ok(CircuitBdds {
+            manager,
+            node_funcs,
+        })
+    }
+
+    /// The underlying manager.
+    pub fn manager(&self) -> &BddManager {
+        &self.manager
+    }
+
+    /// BDD of a node.
+    pub fn node_bdd(&self, id: NodeId) -> Bdd {
+        self.node_funcs[id.index()]
+    }
+
+    /// BDDs of the primary outputs, in declaration order.
+    pub fn output_bdds(&self, net: &Network) -> Vec<Bdd> {
+        net.outputs()
+            .iter()
+            .map(|o| self.node_funcs[o.driver.index()])
+            .collect()
+    }
+
+    /// Shared node count over the primary-output BDDs — the Figure 10
+    /// metric.
+    pub fn output_node_count(&self, net: &Network) -> usize {
+        self.manager.node_count(&self.output_bdds(net))
+    }
+
+    /// Shared node count over *all* circuit node BDDs.
+    pub fn total_node_count(&self) -> usize {
+        self.manager.node_count(&self.node_funcs)
+    }
+
+    /// Exact signal probability of every node (indexed by node arena index),
+    /// given per-source probabilities in source order (PIs then latches; see
+    /// [`source_nodes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::ArityMismatch`] /
+    /// [`BddError::InvalidProbability`] for bad probability vectors.
+    pub fn node_probabilities(
+        &self,
+        net: &Network,
+        source_probs: &[f64],
+    ) -> Result<Vec<f64>, BddError> {
+        let _ = net;
+        self.manager
+            .signal_probabilities(&self.node_funcs, source_probs)
+    }
+}
+
+/// Formally checks that two combinational networks with the same interface
+/// compute the same functions, by hash-consed BDD identity (complete — not
+/// sampled). Inputs are matched by *position*, outputs by position.
+///
+/// Returns `Ok(None)` when equivalent, or `Ok(Some(index))` with the first
+/// differing output position.
+///
+/// # Errors
+///
+/// Returns [`BddError::ArityMismatch`] if the interfaces differ in input or
+/// output count, or [`BddError::NodeLimit`] on blow-up.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use domino_bdd::circuit::check_equivalence;
+/// use domino_netlist::Network;
+///
+/// // DeMorgan: !(a·b) == !a + !b
+/// let mut x = Network::new("x");
+/// let a = x.add_input("a")?;
+/// let b = x.add_input("b")?;
+/// let ab = x.add_and([a, b])?;
+/// let f = x.add_not(ab)?;
+/// x.add_output("f", f)?;
+///
+/// let mut y = Network::new("y");
+/// let a = y.add_input("a")?;
+/// let b = y.add_input("b")?;
+/// let na = y.add_not(a)?;
+/// let nb = y.add_not(b)?;
+/// let g = y.add_or([na, nb])?;
+/// y.add_output("f", g)?;
+///
+/// assert_eq!(check_equivalence(&x, &y)?, None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_equivalence(a: &Network, b: &Network) -> Result<Option<usize>, BddError> {
+    let sa = source_nodes(a);
+    let sb = source_nodes(b);
+    if sa.len() != sb.len() {
+        return Err(BddError::ArityMismatch {
+            expected: sa.len(),
+            got: sb.len(),
+        });
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Err(BddError::ArityMismatch {
+            expected: a.outputs().len(),
+            got: b.outputs().len(),
+        });
+    }
+    // Build both networks in one shared manager: hash-consing makes
+    // function equality pointer equality.
+    let n = sa.len();
+    let mut manager = BddManager::new(n);
+    let build = |manager: &mut BddManager, net: &Network| -> Result<Vec<Bdd>, BddError> {
+        let sources = source_nodes(net);
+        let var_of: HashMap<NodeId, usize> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        let mut funcs = vec![Bdd::FALSE; net.len()];
+        for id in net.topo_order() {
+            let node = net.node(id);
+            let f = match node.kind {
+                NodeKind::Input | NodeKind::Latch { .. } => manager.var(var_of[&id])?,
+                NodeKind::Constant(v) => manager.constant(v),
+                NodeKind::Not => manager.not(funcs[node.fanins[0].index()])?,
+                NodeKind::And => {
+                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| funcs[f.index()]).collect();
+                    manager.and_many(fs)?
+                }
+                NodeKind::Or => {
+                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| funcs[f.index()]).collect();
+                    manager.or_many(fs)?
+                }
+            };
+            funcs[id.index()] = f;
+        }
+        Ok(net
+            .outputs()
+            .iter()
+            .map(|o| funcs[o.driver.index()])
+            .collect())
+    };
+    let outs_a = build(&mut manager, a)?;
+    let outs_b = build(&mut manager, b)?;
+    Ok(outs_a
+        .iter()
+        .zip(&outs_b)
+        .position(|(x, y)| x != y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> (Network, NodeId, NodeId) {
+        // f = (a+b)·!c, g = a+b
+        let mut net = Network::new("x");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_or([a, b]).unwrap();
+        let nc = net.add_not(c).unwrap();
+        let f = net.add_and([ab, nc]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", ab).unwrap();
+        (net, f, ab)
+    }
+
+    #[test]
+    fn bdds_match_network_evaluation() {
+        let (net, _, _) = example();
+        let bdds = CircuitBdds::build(&net).unwrap();
+        let outs = bdds.output_bdds(&net);
+        for bits in 0..8u32 {
+            let vals: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            let expect = net.eval_comb(&vals).unwrap();
+            for (o, &bdd) in outs.iter().enumerate() {
+                assert_eq!(
+                    bdds.manager().eval(bdd, &vals).unwrap(),
+                    expect[o],
+                    "output {o} bits {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_exact() {
+        let (net, f, ab) = example();
+        let bdds = CircuitBdds::build(&net).unwrap();
+        let p = bdds.node_probabilities(&net, &[0.5, 0.5, 0.5]).unwrap();
+        // P[a+b] = 0.75, P[(a+b)·!c] = 0.375
+        assert!((p[ab.index()] - 0.75).abs() < 1e-12);
+        assert!((p[f.index()] - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latch_outputs_are_variables() {
+        let mut net = Network::new("seq");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let g = net.add_and([a, q]).unwrap();
+        net.set_latch_data(q, g).unwrap();
+        net.add_output("f", g).unwrap();
+        let bdds = CircuitBdds::build(&net).unwrap();
+        // Sources: a (var 0), q (var 1); P[g] = P[a]·P[q].
+        let p = bdds.node_probabilities(&net, &[0.5, 0.25]).unwrap();
+        assert!((p[g.index()] - 0.125).abs() < 1e-12);
+        assert_eq!(source_nodes(&net), vec![a, q]);
+    }
+
+    #[test]
+    fn explicit_order_changes_nothing_functionally() {
+        let (net, _, _) = example();
+        let b1 = CircuitBdds::build_with_order(&net, vec![0, 1, 2]).unwrap();
+        let b2 = CircuitBdds::build_with_order(&net, vec![2, 1, 0]).unwrap();
+        let p1 = b1.node_probabilities(&net, &[0.3, 0.6, 0.9]).unwrap();
+        let p2 = b2.node_probabilities(&net, &[0.3, 0.6, 0.9]).unwrap();
+        for (x, y) in p1.iter().zip(&p2) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrong_order_length_rejected() {
+        let (net, _, _) = example();
+        assert!(matches!(
+            CircuitBdds::build_with_order(&net, vec![0, 1]),
+            Err(BddError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn equivalence_detects_differences() {
+        let mut x = Network::new("x");
+        let a = x.add_input("a").unwrap();
+        let b = x.add_input("b").unwrap();
+        let f = x.add_and([a, b]).unwrap();
+        x.add_output("f", f).unwrap();
+
+        let mut y = Network::new("y");
+        let a = y.add_input("a").unwrap();
+        let b = y.add_input("b").unwrap();
+        let f = y.add_or([a, b]).unwrap();
+        y.add_output("f", f).unwrap();
+
+        assert_eq!(check_equivalence(&x, &x).unwrap(), None);
+        assert_eq!(check_equivalence(&x, &y).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn equivalence_interface_mismatch_rejected() {
+        let mut x = Network::new("x");
+        let a = x.add_input("a").unwrap();
+        x.add_output("f", a).unwrap();
+        let mut y = Network::new("y");
+        let a = y.add_input("a").unwrap();
+        let b = y.add_input("b").unwrap();
+        let f = y.add_and([a, b]).unwrap();
+        y.add_output("f", f).unwrap();
+        assert!(check_equivalence(&x, &y).is_err());
+    }
+}

@@ -1,0 +1,960 @@
+//! The ROBDD manager: hash-consed node arena, boolean operations, and
+//! analyses (evaluation, SAT count, support, node count, signal
+//! probability).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Handle to a BDD root inside a [`BddManager`].
+///
+/// `Bdd`s are only meaningful for the manager that created them. The two
+/// terminals are [`Bdd::FALSE`] and [`Bdd::TRUE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false terminal.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true terminal.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// `true` if this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// `true` if this is the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+
+    /// `true` if this is the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Errors from BDD construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// A variable index was out of range for this manager.
+    UnknownVariable {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables in the manager.
+        n_vars: usize,
+    },
+    /// The node arena exceeded the configured limit (BDD blow-up guard).
+    NodeLimit {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A probability/assignment slice had the wrong length.
+    ArityMismatch {
+        /// Expected length (number of variables).
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// A supplied probability was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Variable whose probability is invalid.
+        var: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::UnknownVariable { var, n_vars } => {
+                write!(f, "variable {var} out of range for manager with {n_vars} variables")
+            }
+            BddError::NodeLimit { limit } => {
+                write!(f, "bdd node limit of {limit} nodes exceeded")
+            }
+            BddError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} per-variable values, got {got}")
+            }
+            BddError::InvalidProbability { var, value } => {
+                write!(f, "probability {value} for variable {var} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for BddError {}
+
+/// Internal node: decision on the variable at `level`, children `lo`/`hi`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    level: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// Size/occupancy statistics of a manager, from [`BddManager::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Live nodes in the arena, including the two terminals.
+    pub nodes: usize,
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Entries in the binary-operation cache.
+    pub cache_entries: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BinOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// An arena-based ROBDD manager with a fixed variable order.
+///
+/// Variables are external indices `0..n_vars`; the order in which they are
+/// tested from root to terminals is fixed at construction
+/// ([`BddManager::with_order`]) or defaults to `0, 1, 2, ...`
+/// ([`BddManager::new`]). The manager hash-conses nodes, so structural
+/// equality of functions is pointer equality of [`Bdd`] handles —
+/// this is what makes node counting and equivalence checks O(1)/O(size).
+///
+/// There is no garbage collection: the target workloads (block-sized domino
+/// control logic) comfortably fit; a configurable [node limit]
+/// (`BddManager::set_node_limit`) guards against pathological blow-up.
+#[derive(Debug, Clone)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    bin_cache: HashMap<(BinOp, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+    /// level_of_var[v] = position of variable v in the order (0 = root-most).
+    level_of_var: Vec<u32>,
+    /// var_at_level[l] = variable tested at level l.
+    var_at_level: Vec<u32>,
+    node_limit: usize,
+}
+
+impl BddManager {
+    /// Creates a manager over `n_vars` variables with the identity order
+    /// (variable 0 at the root).
+    pub fn new(n_vars: usize) -> Self {
+        Self::with_order((0..n_vars).collect()).expect("identity order is always a permutation")
+    }
+
+    /// Creates a manager whose variable order is the given permutation:
+    /// `order[l]` is the variable tested at level `l` (level 0 is the
+    /// root-most).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] if `order` is not a permutation
+    /// of `0..order.len()`.
+    pub fn with_order(order: Vec<usize>) -> Result<Self, BddError> {
+        let n = order.len();
+        let mut level_of_var = vec![u32::MAX; n];
+        for (level, &var) in order.iter().enumerate() {
+            if var >= n || level_of_var[var] != u32::MAX {
+                return Err(BddError::UnknownVariable { var, n_vars: n });
+            }
+            level_of_var[var] = level as u32;
+        }
+        Ok(BddManager {
+            nodes: vec![
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: Bdd::FALSE,
+                    hi: Bdd::FALSE,
+                },
+                Node {
+                    level: TERMINAL_LEVEL,
+                    lo: Bdd::TRUE,
+                    hi: Bdd::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            bin_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            level_of_var,
+            var_at_level: order.iter().map(|&v| v as u32).collect(),
+            node_limit: 50_000_000,
+        })
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.level_of_var.len()
+    }
+
+    /// The variable order: element `l` is the variable tested at level `l`.
+    pub fn order(&self) -> Vec<usize> {
+        self.var_at_level.iter().map(|&v| v as usize).collect()
+    }
+
+    /// Caps the node arena; operations that would exceed it return
+    /// [`BddError::NodeLimit`].
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit;
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            n_vars: self.n_vars(),
+            cache_entries: self.bin_cache.len(),
+        }
+    }
+
+    /// The constant BDD for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// The single-variable function `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] if `var ≥ n_vars`.
+    pub fn var(&mut self, var: usize) -> Result<Bdd, BddError> {
+        if var >= self.n_vars() {
+            return Err(BddError::UnknownVariable {
+                var,
+                n_vars: self.n_vars(),
+            });
+        }
+        let level = self.level_of_var[var];
+        self.mk(level, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated single-variable function `!v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] if `var ≥ n_vars`.
+    pub fn nvar(&mut self, var: usize) -> Result<Bdd, BddError> {
+        if var >= self.n_vars() {
+            return Err(BddError::UnknownVariable {
+                var,
+                n_vars: self.n_vars(),
+            });
+        }
+        let level = self.level_of_var[var];
+        self.mk(level, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, BddError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&b) = self.unique.get(&(level, lo, hi)) {
+            return Ok(b);
+        }
+        if self.nodes.len() >= self.node_limit {
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        let b = Bdd(u32::try_from(self.nodes.len()).expect("bdd arena exceeds u32"));
+        self.nodes.push(Node { level, lo, hi });
+        self.unique.insert((level, lo, hi), b);
+        Ok(b)
+    }
+
+    fn level(&self, b: Bdd) -> u32 {
+        self.nodes[b.index()].level
+    }
+
+    /// Conjunction `a · b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        self.binop(BinOp::And, a, b)
+    }
+
+    /// Disjunction `a + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        self.binop(BinOp::Or, a, b)
+    }
+
+    /// Exclusive or `a ⊕ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        self.binop(BinOp::Xor, a, b)
+    }
+
+    /// Conjunction over any number of operands (empty product = true).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn and_many(&mut self, operands: impl IntoIterator<Item = Bdd>) -> Result<Bdd, BddError> {
+        let mut acc = Bdd::TRUE;
+        for x in operands {
+            acc = self.and(acc, x)?;
+            if acc.is_false() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Disjunction over any number of operands (empty sum = false).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn or_many(&mut self, operands: impl IntoIterator<Item = Bdd>) -> Result<Bdd, BddError> {
+        let mut acc = Bdd::FALSE;
+        for x in operands {
+            acc = self.or(acc, x)?;
+            if acc.is_true() {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn binop(&mut self, op: BinOp, a: Bdd, b: Bdd) -> Result<Bdd, BddError> {
+        // Terminal cases.
+        match op {
+            BinOp::And => {
+                if a.is_false() || b.is_false() {
+                    return Ok(Bdd::FALSE);
+                }
+                if a.is_true() {
+                    return Ok(b);
+                }
+                if b.is_true() || a == b {
+                    return Ok(a);
+                }
+            }
+            BinOp::Or => {
+                if a.is_true() || b.is_true() {
+                    return Ok(Bdd::TRUE);
+                }
+                if a.is_false() {
+                    return Ok(b);
+                }
+                if b.is_false() || a == b {
+                    return Ok(a);
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    return Ok(Bdd::FALSE);
+                }
+                if a.is_false() {
+                    return Ok(b);
+                }
+                if b.is_false() {
+                    return Ok(a);
+                }
+                if a.is_true() {
+                    return self.not(b);
+                }
+                if b.is_true() {
+                    return self.not(a);
+                }
+            }
+        }
+        // Commutative: canonicalize operand order for the cache.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = self.bin_cache.get(&key) {
+            return Ok(r);
+        }
+        let (la, lb) = (self.level(a), self.level(b));
+        let level = la.min(lb);
+        let (a_lo, a_hi) = if la == level {
+            let n = self.nodes[a.index()];
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (b_lo, b_hi) = if lb == level {
+            let n = self.nodes[b.index()];
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        let lo = self.binop(op, a_lo, b_lo)?;
+        let hi = self.binop(op, a_hi, b_hi)?;
+        let r = self.mk(level, lo, hi)?;
+        self.bin_cache.insert(key, r);
+        Ok(r)
+    }
+
+    /// Negation `!a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn not(&mut self, a: Bdd) -> Result<Bdd, BddError> {
+        if a.is_true() {
+            return Ok(Bdd::FALSE);
+        }
+        if a.is_false() {
+            return Ok(Bdd::TRUE);
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return Ok(r);
+        }
+        let n = self.nodes[a.index()];
+        let lo = self.not(n.lo)?;
+        let hi = self.not(n.hi)?;
+        let r = self.mk(n.level, lo, hi)?;
+        self.not_cache.insert(a, r);
+        self.not_cache.insert(r, a);
+        Ok(r)
+    }
+
+    /// If-then-else `f·g + !f·h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the arena limit is hit.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Result<Bdd, BddError> {
+        let fg = self.and(f, g)?;
+        let nf = self.not(f)?;
+        let nfh = self.and(nf, h)?;
+        self.or(fg, nfh)
+    }
+
+    /// Evaluates the function under a complete variable assignment
+    /// (`assignment[v]` is the value of variable `v`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::ArityMismatch`] if the slice length differs from
+    /// the variable count.
+    pub fn eval(&self, root: Bdd, assignment: &[bool]) -> Result<bool, BddError> {
+        if assignment.len() != self.n_vars() {
+            return Err(BddError::ArityMismatch {
+                expected: self.n_vars(),
+                got: assignment.len(),
+            });
+        }
+        let mut cur = root;
+        while !cur.is_terminal() {
+            let n = self.nodes[cur.index()];
+            let var = self.var_at_level[n.level as usize] as usize;
+            cur = if assignment[var] { n.hi } else { n.lo };
+        }
+        Ok(cur.is_true())
+    }
+
+    /// Exact signal probability `P[f = 1]` given independent per-variable
+    /// probabilities `P[v = 1] = probs[v]`. Linear in the number of BDD
+    /// nodes (memoized).
+    ///
+    /// This is the core primitive of the paper's power estimator: for a
+    /// domino gate, the switching probability *equals* this value
+    /// (Property 2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::ArityMismatch`] on length mismatch or
+    /// [`BddError::InvalidProbability`] for values outside `[0, 1]`.
+    pub fn signal_probability(&self, root: Bdd, probs: &[f64]) -> Result<f64, BddError> {
+        if probs.len() != self.n_vars() {
+            return Err(BddError::ArityMismatch {
+                expected: self.n_vars(),
+                got: probs.len(),
+            });
+        }
+        for (var, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BddError::InvalidProbability { var, value: p });
+            }
+        }
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        Ok(self.prob_rec(root, probs, &mut memo))
+    }
+
+    /// Batched [`BddManager::signal_probability`]: one shared memo table
+    /// across all roots, so shared subgraphs are only visited once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BddManager::signal_probability`].
+    pub fn signal_probabilities(
+        &self,
+        roots: &[Bdd],
+        probs: &[f64],
+    ) -> Result<Vec<f64>, BddError> {
+        if probs.len() != self.n_vars() {
+            return Err(BddError::ArityMismatch {
+                expected: self.n_vars(),
+                got: probs.len(),
+            });
+        }
+        for (var, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BddError::InvalidProbability { var, value: p });
+            }
+        }
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        Ok(roots
+            .iter()
+            .map(|&r| self.prob_rec(r, probs, &mut memo))
+            .collect())
+    }
+
+    fn prob_rec(&self, b: Bdd, probs: &[f64], memo: &mut HashMap<Bdd, f64>) -> f64 {
+        if b.is_false() {
+            return 0.0;
+        }
+        if b.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&b) {
+            return p;
+        }
+        let n = self.nodes[b.index()];
+        let var = self.var_at_level[n.level as usize] as usize;
+        let p_var = probs[var];
+        let p = (1.0 - p_var) * self.prob_rec(n.lo, probs, memo)
+            + p_var * self.prob_rec(n.hi, probs, memo);
+        memo.insert(b, p);
+        p
+    }
+
+    /// Number of satisfying assignments of `root` over all `n_vars`
+    /// variables.
+    pub fn sat_count(&self, root: Bdd) -> f64 {
+        let p = self
+            .signal_probability(root, &vec![0.5; self.n_vars()])
+            .expect("uniform probabilities are valid");
+        p * (2f64).powi(self.n_vars() as i32)
+    }
+
+    /// The set of variables the function depends on, sorted ascending.
+    pub fn support(&self, root: Bdd) -> Vec<usize> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(b) = stack.pop() {
+            if b.is_terminal() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.nodes[b.index()];
+            vars.insert(self.var_at_level[n.level as usize] as usize);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        let mut v: Vec<usize> = vars.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of distinct non-terminal nodes reachable from the given roots
+    /// (shared nodes counted once). This is the metric of the paper's
+    /// Figure 10 ordering comparison.
+    pub fn node_count(&self, roots: &[Bdd]) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut count = 0;
+        while let Some(b) = stack.pop() {
+            if b.is_terminal() || !seen.insert(b) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[b.index()];
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Existential quantification `∃var. f = f[var←0] + f[var←1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] for out-of-range variables or
+    /// [`BddError::NodeLimit`] on blow-up.
+    pub fn exists(&mut self, root: Bdd, var: usize) -> Result<Bdd, BddError> {
+        let lo = self.cofactor(root, var, false)?;
+        let hi = self.cofactor(root, var, true)?;
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification `∀var. f = f[var←0] · f[var←1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] for out-of-range variables or
+    /// [`BddError::NodeLimit`] on blow-up.
+    pub fn forall(&mut self, root: Bdd, var: usize) -> Result<Bdd, BddError> {
+        let lo = self.cofactor(root, var, false)?;
+        let hi = self.cofactor(root, var, true)?;
+        self.and(lo, hi)
+    }
+
+    /// Functional composition `f[var ← g]` via Shannon expansion:
+    /// `g·f[var←1] + !g·f[var←0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] for out-of-range variables or
+    /// [`BddError::NodeLimit`] on blow-up.
+    pub fn compose(&mut self, root: Bdd, var: usize, g: Bdd) -> Result<Bdd, BddError> {
+        let hi = self.cofactor(root, var, true)?;
+        let lo = self.cofactor(root, var, false)?;
+        self.ite(g, hi, lo)
+    }
+
+    /// Positive cofactor of `root` with respect to `var` (i.e. `f[var←1]`
+    /// when `positive`, else `f[var←0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] for out-of-range variables or
+    /// [`BddError::NodeLimit`] on blow-up.
+    pub fn cofactor(&mut self, root: Bdd, var: usize, positive: bool) -> Result<Bdd, BddError> {
+        if var >= self.n_vars() {
+            return Err(BddError::UnknownVariable {
+                var,
+                n_vars: self.n_vars(),
+            });
+        }
+        let target = self.level_of_var[var];
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        self.cofactor_rec(root, target, positive, &mut memo)
+    }
+
+    fn cofactor_rec(
+        &mut self,
+        b: Bdd,
+        target: u32,
+        positive: bool,
+        memo: &mut HashMap<Bdd, Bdd>,
+    ) -> Result<Bdd, BddError> {
+        if b.is_terminal() {
+            return Ok(b);
+        }
+        let n = self.nodes[b.index()];
+        if n.level > target {
+            return Ok(b);
+        }
+        if let Some(&r) = memo.get(&b) {
+            return Ok(r);
+        }
+        let r = if n.level == target {
+            if positive {
+                n.hi
+            } else {
+                n.lo
+            }
+        } else {
+            let lo = self.cofactor_rec(n.lo, target, positive, memo)?;
+            let hi = self.cofactor_rec(n.hi, target, positive, memo)?;
+            self.mk(n.level, lo, hi)?
+        };
+        memo.insert(b, r);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_vars() -> (BddManager, Bdd, Bdd, Bdd) {
+        let mut m = BddManager::new(3);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        (m, a, b, c)
+    }
+
+    #[test]
+    fn terminal_identities() {
+        let (mut m, a, _, _) = three_vars();
+        assert_eq!(m.and(a, Bdd::TRUE).unwrap(), a);
+        assert_eq!(m.and(a, Bdd::FALSE).unwrap(), Bdd::FALSE);
+        assert_eq!(m.or(a, Bdd::FALSE).unwrap(), a);
+        assert_eq!(m.or(a, Bdd::TRUE).unwrap(), Bdd::TRUE);
+        assert_eq!(m.xor(a, a).unwrap(), Bdd::FALSE);
+        assert_eq!(m.and(a, a).unwrap(), a);
+        assert_eq!(m.or(a, a).unwrap(), a);
+    }
+
+    #[test]
+    fn hash_consing_makes_equal_functions_identical() {
+        let (mut m, a, b, c) = three_vars();
+        // (a·b)·c == a·(b·c)
+        let ab = m.and(a, b).unwrap();
+        let abc1 = m.and(ab, c).unwrap();
+        let bc = m.and(b, c).unwrap();
+        let abc2 = m.and(a, bc).unwrap();
+        assert_eq!(abc1, abc2);
+        // DeMorgan: !(a+b) == !a·!b
+        let aob = m.or(a, b).unwrap();
+        let lhs = m.not(aob).unwrap();
+        let na = m.not(a).unwrap();
+        let nb = m.not(b).unwrap();
+        let rhs = m.and(na, nb).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (mut m, a, b, _) = three_vars();
+        let f = m.and(a, b).unwrap();
+        let nf = m.not(f).unwrap();
+        let nnf = m.not(nf).unwrap();
+        assert_eq!(nnf, f);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let (mut m, a, b, c) = three_vars();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap(); // f = a·b + c
+        for bits in 0..8u32 {
+            let va = bits & 1 != 0;
+            let vb = bits & 2 != 0;
+            let vc = bits & 4 != 0;
+            assert_eq!(
+                m.eval(f, &[va, vb, vc]).unwrap(),
+                (va && vb) || vc,
+                "bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_semantics() {
+        let (mut m, a, b, _) = three_vars();
+        let f = m.xor(a, b).unwrap();
+        assert!(m.eval(f, &[true, false, false]).unwrap());
+        assert!(m.eval(f, &[false, true, false]).unwrap());
+        assert!(!m.eval(f, &[true, true, false]).unwrap());
+        assert!(!m.eval(f, &[false, false, false]).unwrap());
+    }
+
+    #[test]
+    fn ite_semantics() {
+        let (mut m, a, b, c) = three_vars();
+        let f = m.ite(a, b, c).unwrap();
+        for bits in 0..8u32 {
+            let va = bits & 1 != 0;
+            let vb = bits & 2 != 0;
+            let vc = bits & 4 != 0;
+            assert_eq!(
+                m.eval(f, &[va, vb, vc]).unwrap(),
+                if va { vb } else { vc }
+            );
+        }
+    }
+
+    #[test]
+    fn signal_probability_independent_product() {
+        let (mut m, a, b, c) = three_vars();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        // P = 1 - (1 - pa·pb)(1 - pc)
+        let (pa, pb, pc) = (0.9, 0.8, 0.3);
+        let expect = 1.0 - (1.0 - pa * pb) * (1.0 - pc);
+        let got = m.signal_probability(f, &[pa, pb, pc]).unwrap();
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_complement_sums_to_one() {
+        let (mut m, a, b, c) = three_vars();
+        let ab = m.and(a, b).unwrap();
+        let f = m.xor(ab, c).unwrap();
+        let nf = m.not(f).unwrap();
+        let probs = [0.42, 0.13, 0.77];
+        let p = m.signal_probability(f, &probs).unwrap();
+        let q = m.signal_probability(nf, &probs).unwrap();
+        assert!((p + q - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_probabilities_match_individual() {
+        let (mut m, a, b, c) = three_vars();
+        let f1 = m.and(a, b).unwrap();
+        let f2 = m.or(f1, c).unwrap();
+        let f3 = m.xor(a, c).unwrap();
+        let probs = [0.5, 0.25, 0.75];
+        let batch = m.signal_probabilities(&[f1, f2, f3], &probs).unwrap();
+        for (i, &f) in [f1, f2, f3].iter().enumerate() {
+            assert_eq!(batch[i], m.signal_probability(f, &probs).unwrap());
+        }
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        let (m, a, _, _) = three_vars();
+        assert!(matches!(
+            m.signal_probability(a, &[1.5, 0.5, 0.5]),
+            Err(BddError::InvalidProbability { var: 0, .. })
+        ));
+        assert!(matches!(
+            m.signal_probability(a, &[0.5]),
+            Err(BddError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sat_count_majority() {
+        let (mut m, a, b, c) = three_vars();
+        // majority(a,b,c) has 4 satisfying assignments
+        let ab = m.and(a, b).unwrap();
+        let ac = m.and(a, c).unwrap();
+        let bc = m.and(b, c).unwrap();
+        let f = m.or_many([ab, ac, bc]).unwrap();
+        assert_eq!(m.sat_count(f), 4.0);
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let (mut m, a, _b, c) = three_vars();
+        let f = m.and(a, c).unwrap();
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert_eq!(m.node_count(&[f]), 2);
+        // Shared roots counted once.
+        assert_eq!(m.node_count(&[f, f]), 2);
+        assert_eq!(m.node_count(&[Bdd::TRUE]), 0);
+    }
+
+    #[test]
+    fn variable_order_respected() {
+        // Order c, b, a: c at the root.
+        let mut m = BddManager::with_order(vec![2, 1, 0]).unwrap();
+        let a = m.var(0).unwrap();
+        let c = m.var(2).unwrap();
+        let f = m.and(a, c).unwrap();
+        // Root should test variable 2 (level 0).
+        assert_eq!(m.order(), vec![2, 1, 0]);
+        // Evaluation stays consistent regardless of order.
+        assert!(m.eval(f, &[true, false, true]).unwrap());
+        assert!(!m.eval(f, &[true, false, false]).unwrap());
+    }
+
+    #[test]
+    fn bad_order_rejected() {
+        assert!(BddManager::with_order(vec![0, 0, 1]).is_err());
+        assert!(BddManager::with_order(vec![0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let mut m = BddManager::new(16);
+        let vars: Vec<Bdd> = (0..16).map(|i| m.var(i).unwrap()).collect();
+        let limit = m.stats().nodes + 4;
+        m.set_node_limit(limit);
+        let mut acc = Bdd::TRUE;
+        let mut hit_limit = false;
+        for chunk in vars.chunks(2) {
+            let x = m.xor(chunk[0], chunk[1]);
+            match x.and_then(|x| m.and(acc, x)) {
+                Ok(r) => acc = r,
+                Err(BddError::NodeLimit { limit: l }) if l == limit => {
+                    hit_limit = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(hit_limit);
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        let (mut m, a, b, c) = three_vars();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let f1 = m.cofactor(f, 0, true).unwrap();
+        let f0 = m.cofactor(f, 0, false).unwrap();
+        // Shannon: f = a·f1 + !a·f0
+        let re = m.ite(a, f1, f0).unwrap();
+        assert_eq!(re, f);
+        // Cofactors do not depend on the variable.
+        assert!(!m.support(f1).contains(&0));
+        assert!(!m.support(f0).contains(&0));
+    }
+
+    #[test]
+    fn quantification_semantics() {
+        let (mut m, a, b, c) = three_vars();
+        // f = a·b + !a·c
+        let f = m.ite(a, b, c).unwrap();
+        // ∃a. f = b + c
+        let ex = m.exists(f, 0).unwrap();
+        let bc = m.or(b, c).unwrap();
+        assert_eq!(ex, bc);
+        // ∀a. f = b · c
+        let fa = m.forall(f, 0).unwrap();
+        let band = m.and(b, c).unwrap();
+        assert_eq!(fa, band);
+        // ∃ then ∀ commute for distinct variables.
+        let e_then_a = {
+            let e = m.exists(f, 1).unwrap();
+            m.forall(e, 2).unwrap()
+        };
+        let a_then_e = {
+            let fa = m.forall(f, 2).unwrap();
+            m.exists(fa, 1).unwrap()
+        };
+        assert_eq!(e_then_a, a_then_e);
+    }
+
+    #[test]
+    fn compose_substitutes_functions() {
+        let (mut m, a, b, c) = three_vars();
+        // f = a·b; f[a ← (b + c)] = (b+c)·b = b
+        let f = m.and(a, b).unwrap();
+        let g = m.or(b, c).unwrap();
+        let comp = m.compose(f, 0, g).unwrap();
+        assert_eq!(comp, b);
+        // Composing a variable with itself is the identity.
+        let same = m.compose(f, 0, a).unwrap();
+        assert_eq!(same, f);
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let mut m = BddManager::new(2);
+        assert!(matches!(
+            m.var(2),
+            Err(BddError::UnknownVariable { var: 2, n_vars: 2 })
+        ));
+        assert!(m.nvar(5).is_err());
+        let a = m.var(0).unwrap();
+        assert!(m.cofactor(a, 9, true).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_growth() {
+        let (m0, _, _, _) = three_vars();
+        let s = m0.stats();
+        assert_eq!(s.n_vars, 3);
+        assert!(s.nodes >= 5); // 2 terminals + 3 variable nodes
+    }
+}

@@ -1,0 +1,224 @@
+//! Circuit-driven BDD variable ordering heuristics (paper §4.2.2).
+//!
+//! The paper orders BDD variables by two principles:
+//!
+//! 1. *variables are ordered in the reverse of the order that the circuit
+//!    inputs are first visited when the gates are topologically traversed*,
+//! 2. *gates that are at the same topological level are traversed in the
+//!    decreasing order of the cardinality of their fanout cones*.
+//!
+//! Together these place a variable **low** in the BDD (near the terminals)
+//! when it is near the primary inputs or has a large fanout cone — which
+//! maximizes sharing in the highly convergent, flattened networks that
+//! domino blocks are.
+//!
+//! [`paper_order`] implements the heuristic; [`topological_order`] is the
+//! non-reversed baseline and [`sandwich_disturbed`] the "unnaturally
+//! sandwiched" order of Figure 10; [`random_order`] is a seeded shuffle for
+//! ablations.
+
+use domino_netlist::Network;
+
+/// First-visit order of the source variables under the paper's traversal:
+/// gates visited level by level, within a level in decreasing fanout-cone
+/// cardinality; each gate visits its fanins left to right and records any
+/// not-yet-seen source. Sources never visited (dangling inputs) are appended
+/// in declaration order.
+///
+/// Returns source-variable indices (see
+/// [`source_nodes`](crate::circuit::source_nodes)).
+fn first_visit_sequence(net: &Network) -> Vec<usize> {
+    let sources = crate::circuit::source_nodes(net);
+    let mut var_of = vec![usize::MAX; net.len()];
+    for (i, id) in sources.iter().enumerate() {
+        var_of[id.index()] = i;
+    }
+    let levels = net.levels();
+    let cone_sizes = net.fanout_cone_sizes();
+
+    // Gates grouped by level.
+    let mut gates: Vec<domino_netlist::NodeId> = net
+        .node_ids()
+        .filter(|&id| net.node(id).kind.is_gate())
+        .collect();
+    gates.sort_by(|&a, &b| {
+        levels
+            .level(a)
+            .cmp(&levels.level(b))
+            .then(cone_sizes[b.index()].cmp(&cone_sizes[a.index()]))
+            .then(a.cmp(&b))
+    });
+
+    let mut seen = vec![false; sources.len()];
+    let mut seq = Vec::with_capacity(sources.len());
+    for g in gates {
+        for &f in net.node(g).comb_fanins() {
+            let v = var_of[f.index()];
+            if v != usize::MAX && !seen[v] {
+                seen[v] = true;
+                seq.push(v);
+            }
+        }
+    }
+    for (v, s) in seen.iter().enumerate() {
+        if !s {
+            seq.push(v);
+        }
+    }
+    seq
+}
+
+/// The paper's ordering heuristic: the reverse of the first-visit sequence,
+/// so that early-visited variables (near the PIs, large fanout cones) sit at
+/// the *bottom* of the BDD.
+///
+/// The result is a permutation suitable for
+/// [`BddManager::with_order`](crate::BddManager::with_order): element `l` is
+/// the variable at level `l` (root-most first).
+pub fn paper_order(net: &Network) -> Vec<usize> {
+    let mut seq = first_visit_sequence(net);
+    seq.reverse();
+    seq
+}
+
+/// Baseline: the raw first-visit (topological) order, *without* the
+/// reversal — the 11-node ordering of Figure 10.
+pub fn topological_order(net: &Network) -> Vec<usize> {
+    first_visit_sequence(net)
+}
+
+/// The "disturbed signal grouping" order of Figure 10: take an order and
+/// move its *last* variable up to position 1, sandwiching it between
+/// variables it shares no gate with. Returns the input unchanged when it has
+/// fewer than three variables.
+pub fn sandwich_disturbed(mut order: Vec<usize>) -> Vec<usize> {
+    if order.len() >= 3 {
+        let last = order.pop().expect("len >= 3");
+        order.insert(1, last);
+    }
+    order
+}
+
+/// A seeded pseudo-random permutation of `n` variables (xorshift64*), for
+/// ordering ablations without pulling a RNG dependency into the library.
+pub fn random_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::Network;
+
+    /// A convergent two-output circuit: big-cone gate P consumes a,b; Q
+    /// consumes b,c; R consumes Q and d at a deeper level.
+    fn convergent() -> Network {
+        let mut net = Network::new("conv");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let p = net.add_and([a, b]).unwrap();
+        let q = net.add_or([b, c]).unwrap();
+        let r = net.add_and([q, d]).unwrap();
+        let f = net.add_or([p, r]).unwrap();
+        net.add_output("f", f).unwrap();
+        net
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let net = convergent();
+        for order in [paper_order(&net), topological_order(&net)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn paper_order_is_reverse_of_topological() {
+        let net = convergent();
+        let mut topo = topological_order(&net);
+        topo.reverse();
+        assert_eq!(paper_order(&net), topo);
+    }
+
+    #[test]
+    fn same_level_gates_sorted_by_fanout_cone() {
+        // Two level-1 gates: g1 has a larger fanout cone than g2, so g1's
+        // inputs are visited first even though g2 was created first.
+        let mut net = Network::new("cones");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let g2 = net.add_and([c, d]).unwrap(); // small cone (1 consumer)
+        let g1 = net.add_and([a, b]).unwrap(); // large cone (3 consumers)
+        let x1 = net.add_not(g1).unwrap();
+        let x2 = net.add_not(g1).unwrap();
+        let x3 = net.add_and([g1, g2]).unwrap();
+        net.add_output("x1", x1).unwrap();
+        net.add_output("x2", x2).unwrap();
+        net.add_output("x3", x3).unwrap();
+        let topo = topological_order(&net);
+        // a (var 0) and b (var 1) before c (2), d (3).
+        assert_eq!(topo, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unused_inputs_still_ordered() {
+        let mut net = Network::new("dangling");
+        let a = net.add_input("a").unwrap();
+        let _unused = net.add_input("u").unwrap();
+        let n = net.add_not(a).unwrap();
+        net.add_output("f", n).unwrap();
+        let order = paper_order(&net);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn sandwich_moves_last_to_second() {
+        assert_eq!(sandwich_disturbed(vec![4, 3, 2, 1, 0]), vec![4, 0, 3, 2, 1]);
+        assert_eq!(sandwich_disturbed(vec![1, 0]), vec![1, 0]);
+    }
+
+    #[test]
+    fn random_order_is_permutation_and_seed_dependent() {
+        let o1 = random_order(20, 1);
+        let o2 = random_order(20, 2);
+        let mut s = o1.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..20).collect::<Vec<_>>());
+        assert_ne!(o1, o2);
+        assert_eq!(o1, random_order(20, 1));
+    }
+
+    #[test]
+    fn paper_order_never_worse_on_convergent_example() {
+        // The heuristic's whole point: fewer shared nodes than the naive
+        // topological order on convergent circuits.
+        let net = convergent();
+        let good = crate::circuit::CircuitBdds::build_with_order(&net, paper_order(&net))
+            .unwrap()
+            .total_node_count();
+        let bad = crate::circuit::CircuitBdds::build_with_order(&net, topological_order(&net))
+            .unwrap()
+            .total_node_count();
+        assert!(good <= bad, "paper order {good} vs topological {bad}");
+    }
+}

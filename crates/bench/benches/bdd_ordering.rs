@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 10 / §4.2.2: BDD construction cost under the
+//! paper's variable ordering heuristic vs baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::ordering::{paper_order, random_order, topological_order};
+use domino_workloads::table_suite;
+
+fn bench_orders(c: &mut Criterion) {
+    let suite = table_suite().expect("suite generates");
+    let mut group = c.benchmark_group("bdd_build");
+    for bench in suite.iter().filter(|b| ["apex7", "x1"].contains(&b.name)) {
+        let net = &bench.network;
+        let n = net.inputs().len() + net.latches().len();
+        group.bench_with_input(BenchmarkId::new("paper_order", bench.name), net, |b, net| {
+            b.iter(|| CircuitBdds::build_with_order(net, paper_order(net)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("topological", bench.name),
+            net,
+            |b, net| b.iter(|| CircuitBdds::build_with_order(net, topological_order(net)).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("random", bench.name), net, |b, net| {
+            b.iter(|| CircuitBdds::build_with_order(net, random_order(n, 1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orders);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench: the complete Table 1 pipeline per circuit (probability
+//! computation, search, synthesis, mapping, simulation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_bench::Experiment;
+use domino_workloads::table_suite;
+
+fn bench_flow(c: &mut Criterion) {
+    let suite = table_suite().expect("suite generates");
+    let experiment = Experiment::default();
+    let mut group = c.benchmark_group("table1_flow");
+    group.sample_size(10);
+    for bench in suite.iter().filter(|b| ["frg1", "apex7", "x3"].contains(&b.name)) {
+        group.bench_function(BenchmarkId::new("ma_vs_mp", bench.name), |b| {
+            b.iter(|| experiment.compare(bench.name, &bench.network).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

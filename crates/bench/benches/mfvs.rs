@@ -1,0 +1,45 @@
+//! Criterion bench for §4.2.1: MFVS heuristics with and without the
+//! symmetry supervertex transformation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_sgraph::{extract_sgraph, mfvs, DiGraph, MfvsConfig};
+use domino_workloads::{generate, GeneratorSpec};
+
+fn sgraphs() -> Vec<(String, DiGraph)> {
+    [3u64, 5]
+        .iter()
+        .map(|&seed| {
+            let spec = GeneratorSpec {
+                n_latches: 40,
+                ..GeneratorSpec::control_block(format!("seq{seed}"), 48, 20, 420, seed)
+            };
+            let net = generate(&spec).expect("generator succeeds");
+            (format!("seq{seed}"), extract_sgraph(&net))
+        })
+        .collect()
+}
+
+fn bench_mfvs(c: &mut Criterion) {
+    let graphs = sgraphs();
+    let mut group = c.benchmark_group("mfvs");
+    for (name, g) in &graphs {
+        group.bench_with_input(BenchmarkId::new("enhanced", name), g, |b, g| {
+            b.iter(|| mfvs(g, &MfvsConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("plain_cba", name), g, |b, g| {
+            b.iter(|| {
+                mfvs(
+                    g,
+                    &MfvsConfig {
+                        symmetry: false,
+                        descending_weight: true,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mfvs);
+criterion_main!(benches);

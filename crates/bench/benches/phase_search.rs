@@ -1,0 +1,41 @@
+//! Criterion bench for §4.1: the min-power greedy search and the min-area
+//! baseline, per candidate-evaluation machinery (ConeAccountant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
+use domino_phase::search::{
+    min_area_assignment, min_power_assignment, MinAreaConfig, MinPowerConfig,
+};
+use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_workloads::table_suite;
+
+fn bench_search(c: &mut Criterion) {
+    let suite = table_suite().expect("suite generates");
+    let mut group = c.benchmark_group("phase_search");
+    group.sample_size(10);
+    for bench in suite.iter().filter(|b| ["apex7", "frg1"].contains(&b.name)) {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let probs = compute_probabilities(net, &pi, &ProbabilityConfig::default()).unwrap();
+        let synth = DominoSynthesizer::new(net).unwrap();
+        let n = synth.view_outputs().len();
+        group.bench_function(BenchmarkId::new("min_power", bench.name), |b| {
+            b.iter(|| {
+                min_power_assignment(
+                    &synth,
+                    &probs,
+                    PhaseAssignment::all_positive(n),
+                    &MinPowerConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("min_area", bench.name), |b| {
+            b.iter(|| min_area_assignment(&synth, &MinAreaConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Ablation studies for the design choices called out in DESIGN.md §7:
+//!
+//! * **A1** — symmetry supervertex reduction on/off (MFVS size);
+//! * **A2** — BDD ordering: paper heuristic vs topological vs random;
+//! * **A3** — cost-`K` pair guidance vs random candidate order;
+//! * **A4** — commit-only-if-better vs always-commit;
+//! * **A5** — exact BDD probabilities vs Monte-Carlo estimates feeding the
+//!   same search.
+
+use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::ordering::{paper_order, random_order, topological_order};
+use domino_phase::prob::{compute_probabilities, NodeProbabilities, ProbabilityConfig};
+use domino_phase::search::{min_power_assignment, MinPowerConfig};
+use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_sgraph::{extract_sgraph, mfvs, MfvsConfig};
+use domino_sim::montecarlo::estimate_node_probabilities;
+use domino_sim::SimConfig;
+use domino_workloads::{generate, table_suite, GeneratorSpec};
+
+fn main() {
+    let suite = table_suite().expect("suite generates");
+
+    println!("== A1: symmetry supervertex reduction (sequential control blocks) ==");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14}",
+        "circuit", "latches", "FVS plain", "FVS enhanced"
+    );
+    for seed in [3u64, 5, 9] {
+        let spec = GeneratorSpec {
+            n_latches: 30,
+            ..GeneratorSpec::control_block(format!("seq{seed}"), 40, 16, 320, seed)
+        };
+        let net = generate(&spec).expect("generator succeeds");
+        let g = extract_sgraph(&net);
+        let plain = mfvs(
+            &g,
+            &MfvsConfig {
+                symmetry: false,
+                descending_weight: true,
+            },
+        );
+        let enhanced = mfvs(&g, &MfvsConfig::default());
+        println!(
+            "{:<10} {:>8} {:>14} {:>14}",
+            format!("seq{seed}"),
+            net.latches().len(),
+            plain.fvs.len(),
+            enhanced.fvs.len()
+        );
+    }
+
+    println!("\n== A2: BDD variable ordering (total shared nodes) ==");
+    println!(
+        "{:<12} {:>10} {:>12} {:>10}",
+        "ckt", "paper", "topological", "random"
+    );
+    for bench in suite.iter().take(4) {
+        let net = &bench.network;
+        let n = net.inputs().len() + net.latches().len();
+        let build = |order: Vec<usize>| -> usize {
+            CircuitBdds::build_with_order(net, order)
+                .map(|b| b.total_node_count())
+                .unwrap_or(usize::MAX)
+        };
+        println!(
+            "{:<12} {:>10} {:>12} {:>10}",
+            bench.name,
+            build(paper_order(net)),
+            build(topological_order(net)),
+            build(random_order(n, 1))
+        );
+    }
+
+    println!("\n== A3/A4: search policy (estimated power, lower is better) ==");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14}",
+        "ckt", "K-guided", "random-order", "always-commit"
+    );
+    for bench in suite.iter().filter(|b| b.description == "Public Domain") {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let probs =
+            compute_probabilities(net, &pi, &ProbabilityConfig::default()).expect("probs");
+        let synth = DominoSynthesizer::new(net).expect("valid");
+        let n = synth.view_outputs().len();
+        // Refinement disabled: isolate the pairwise-loop policies.
+        let strict = MinPowerConfig {
+            refinement_passes: 0,
+            ..MinPowerConfig::default()
+        };
+        let run = |cfg: MinPowerConfig| -> f64 {
+            min_power_assignment(&synth, &probs, PhaseAssignment::all_positive(n), &cfg)
+                .expect("search succeeds")
+                .objective
+        };
+        let guided = run(strict.clone());
+        let random = run(MinPowerConfig {
+            k_guided: false,
+            seed: 7,
+            ..strict.clone()
+        });
+        let always = run(MinPowerConfig {
+            always_commit: true,
+            ..strict.clone()
+        });
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>14.2}",
+            bench.name, guided, random, always
+        );
+    }
+
+    println!("\n== A5: exact BDD vs Monte-Carlo probabilities feeding the search ==");
+    println!(
+        "{:<12} {:>14} {:>14} {:>16}",
+        "ckt", "exact-driven", "mc-driven", "assignments eq?"
+    );
+    for bench in suite.iter().filter(|b| b.description == "Public Domain") {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let exact =
+            compute_probabilities(net, &pi, &ProbabilityConfig::default()).expect("probs");
+        let mc_vec = estimate_node_probabilities(
+            net,
+            &pi,
+            &SimConfig {
+                cycles: 8192,
+                warmup: 16,
+                seed: 23,
+            },
+        );
+        let mc = NodeProbabilities::from_vec(mc_vec);
+        let synth = DominoSynthesizer::new(net).expect("valid");
+        let n = synth.view_outputs().len();
+        let a = min_power_assignment(
+            &synth,
+            &exact,
+            PhaseAssignment::all_positive(n),
+            &MinPowerConfig::default(),
+        )
+        .expect("search succeeds");
+        let b = min_power_assignment(
+            &synth,
+            &mc,
+            PhaseAssignment::all_positive(n),
+            &MinPowerConfig::default(),
+        )
+        .expect("search succeeds");
+        println!(
+            "{:<12} {:>14.2} {:>14.2} {:>16}",
+            bench.name,
+            a.objective,
+            b.objective,
+            a.assignment == b.assignment
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Calibration probe: reports MA/MP sizes, BDD node counts and runtimes for
+//! the benchmark suite, so the generator gate budgets can be tuned against
+//! the paper's published MA cell counts.
+
+use std::time::Instant;
+
+use domino_bench::Experiment;
+use domino_workloads::table_suite;
+
+fn main() {
+    let suite = table_suite().expect("suite generates");
+    let mut experiment = Experiment::default();
+    experiment.flow.power.refinement_passes = 6;
+    println!(
+        "{:<11} {:>5} {:>5} | {:>9} {:>7} | {:>7} {:>9} {:>7} {:>8} | {:>8}",
+        "ckt", "pi", "po", "paper MA", "MA", "MP", "evals", "sav%", "est-sav%", "time"
+    );
+    for bench in &suite {
+        let t0 = Instant::now();
+        match experiment.compare(bench.name, &bench.network) {
+            Ok(cmp) => {
+                let est_sav = 100.0
+                    * (cmp.ma.estimated_switching - cmp.mp.estimated_switching)
+                    / cmp.ma.estimated_switching;
+                println!(
+                    "{:<11} {:>5} {:>5} | {:>9} {:>7} | {:>7} {:>9} {:>7.1} {:>8.1} | {:>7.2}s",
+                    bench.name,
+                    bench.network.inputs().len(),
+                    bench.network.outputs().len(),
+                    bench.paper_ma_size,
+                    cmp.ma.size,
+                    cmp.mp.size,
+                    cmp.mp.evaluations,
+                    cmp.power_saving_pct(),
+                    est_sav,
+                    t0.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => println!("{:<11} FAILED: {e}", bench.name),
+        }
+    }
+}

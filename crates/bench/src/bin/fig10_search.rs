@@ -1,0 +1,111 @@
+//! One-off search tool: brute-forces small P/Q/R gate structures over
+//! x1..x5 looking for a circuit whose shared BDD node counts under the
+//! three Figure 10 orders equal the paper's (7, 11, 9).
+
+use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::ordering::{paper_order, sandwich_disturbed, topological_order};
+use domino_netlist::{Network, NodeId};
+
+type Builder = fn(&mut Network, &[NodeId]) -> NodeId;
+
+fn gates() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("and", |n, f| n.add_and(f.iter().copied()).unwrap()),
+        ("or", |n, f| n.add_or(f.iter().copied()).unwrap()),
+        ("a&!b..", |n, f| {
+            // first input direct, rest complemented, AND
+            let mut v = vec![f[0]];
+            for &x in &f[1..] {
+                v.push(n.add_not(x).unwrap());
+            }
+            n.add_and(v).unwrap()
+        }),
+        ("a+!b..", |n, f| {
+            let mut v = vec![f[0]];
+            for &x in &f[1..] {
+                v.push(n.add_not(x).unwrap());
+            }
+            n.add_or(v).unwrap()
+        }),
+        ("!a&b..", |n, f| {
+            let mut v = vec![n.add_not(f[0]).unwrap()];
+            v.extend(&f[1..]);
+            n.add_and(v).unwrap()
+        }),
+        ("maj/mix", |n, f| {
+            // (f0·f1) + f2… : mixed structure
+            if f.len() >= 3 {
+                let ab = n.add_and([f[0], f[1]]).unwrap();
+                n.add_or([ab, f[2]]).unwrap()
+            } else {
+                let na = n.add_not(f[0]).unwrap();
+                n.add_and([na, f[1]]).unwrap()
+            }
+        }),
+    ]
+}
+
+fn counts(build: impl Fn(&mut Network)) -> (usize, usize, usize) {
+    let mut net = Network::new("cand");
+    build(&mut net);
+    let rev = paper_order(&net);
+    let topo = topological_order(&net);
+    let dist = sandwich_disturbed(rev.clone());
+    let c = |order: Vec<usize>| {
+        CircuitBdds::build_with_order(&net, order)
+            .unwrap()
+            .output_node_count(&net)
+    };
+    (c(rev), c(topo), c(dist))
+}
+
+fn main() {
+    let gs = gates();
+    let mut best: Option<((usize, usize, usize), String)> = None;
+    // P over (x1,x2,x3); Q over (x3,x4) or (x4,x3); R over (Q,x5) or (x5,Q).
+    for (pn, pf) in &gs {
+        for (qn, qf) in &gs {
+            for (rn, rf) in &gs {
+                for q_swap in [false, true] {
+                    for r_swap in [false, true] {
+                        let got = counts(|net| {
+                            let x: Vec<NodeId> = (1..=5)
+                                .map(|i| net.add_input(format!("x{i}")).unwrap())
+                                .collect();
+                            let p = pf(net, &[x[0], x[1], x[2]]);
+                            let qargs = if q_swap {
+                                [x[3], x[2]]
+                            } else {
+                                [x[2], x[3]]
+                            };
+                            let q = qf(net, &qargs);
+                            let rargs = if r_swap { [x[4], q] } else { [q, x[4]] };
+                            let r = rf(net, &rargs);
+                            net.add_output("P", p).unwrap();
+                            net.add_output("Q", q).unwrap();
+                            net.add_output("R", r).unwrap();
+                        });
+                        let desc = format!(
+                            "P={pn} Q={qn}(swap={q_swap}) R={rn}(swap={r_swap}) -> {got:?}"
+                        );
+                        if got == (7, 11, 9) {
+                            println!("EXACT: {desc}");
+                            return;
+                        }
+                        let score = |t: (usize, usize, usize)| {
+                            (t.0 as i32 - 7).abs()
+                                + (t.1 as i32 - 11).abs()
+                                + (t.2 as i32 - 9).abs()
+                        };
+                        if best.as_ref().is_none_or(|(b, _)| score(got) < score(*b)) {
+                            best = Some((got, desc));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some((got, desc)) = best {
+        println!("closest: {desc} (target (7, 11, 9), got {got:?})");
+    }
+}

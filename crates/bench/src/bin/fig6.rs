@@ -1,0 +1,31 @@
+//! Regenerates **Figure 6** (the overall power minimization paradigm) as a
+//! convergence trace: estimated power after each committed candidate of the
+//! §4.1 loop, on the apex7-class benchmark.
+
+use domino_bench::Experiment;
+use domino_phase::flow::minimize_power;
+use domino_workloads::table_suite;
+
+fn main() {
+    let suite = table_suite().expect("suite generates");
+    let bench = suite.iter().find(|b| b.name == "apex7").expect("apex7");
+    let experiment = Experiment::default();
+    let pi = vec![experiment.pi_probability; bench.network.inputs().len()];
+    let report =
+        minimize_power(&bench.network, &pi, &experiment.flow).expect("flow succeeds");
+
+    println!("Figure 6: power-minimization loop convergence on {}\n", bench.name);
+    println!("candidate evaluations: {}", report.outcome.evaluations);
+    println!("committed improvements: {}\n", report.outcome.commits);
+    println!("{:>8} {:>14} {:>10}", "commit", "est. power", "of initial");
+    let initial = report.outcome.trace.first().copied().unwrap_or(0.0);
+    for (i, p) in report.outcome.trace.iter().enumerate() {
+        println!("{:>8} {:>14.3} {:>9.1}%", i, p, 100.0 * p / initial);
+    }
+    println!(
+        "\nfinal assignment: {} ({} negative-phase outputs of {})",
+        report.assignment,
+        report.assignment.negative_count(),
+        report.assignment.len()
+    );
+}

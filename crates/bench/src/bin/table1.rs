@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: synthesis and power for minimum-area (MA,
+//! Puri et al. \[15\]) vs minimum-power (MP, this paper) phase assignment,
+//! primary-input signal probabilities 0.5, untimed.
+//!
+//! Power is measured with the PowerMill-substitute simulator (capacitive +
+//! short-circuit + leakage current, mA); size is mapped standard cells.
+
+use domino_bench::{format_table, Experiment};
+use domino_workloads::table_suite;
+
+fn main() {
+    let suite = table_suite().expect("suite generates");
+    let experiment = Experiment::default();
+
+    println!("Table 1: synthesis when signal probabilities of primary inputs were 0.5\n");
+    let mut rows = Vec::new();
+    for bench in &suite {
+        let cmp = experiment
+            .compare(bench.name, &bench.network)
+            .expect("flow succeeds");
+        rows.push((
+            cmp,
+            bench.description,
+            bench.network.inputs().len(),
+            bench.network.outputs().len(),
+        ));
+    }
+    println!("{}", format_table(&rows));
+
+    println!("paper reference (same columns):");
+    println!(
+        "{:<11} {:>9} {:>9} {:>11}",
+        "Ckt", "MA Size", "MA Pwr", "%PwrSav"
+    );
+    for bench in &suite {
+        println!(
+            "{:<11} {:>9} {:>9.2} {:>11.1}",
+            bench.name, bench.paper_ma_size, bench.paper_ma_power, bench.paper_power_saving
+        );
+    }
+    println!("paper averages: area penalty 11.8%, power saving 18.0%");
+}

@@ -1,0 +1,236 @@
+//! Shared harness for the experiment binaries: runs a circuit through the
+//! minimum-area and minimum-power flows (untimed or timed), measures power
+//! with the PowerMill-substitute simulator, and formats paper-style rows.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — untimed MA vs MP, p(PI) = 0.5 |
+//! | `table2` | Table 2 — timed (resized) MA vs MP |
+//! | `fig2` | Figure 2 — switching vs signal probability curves |
+//! | `fig3` | Figure 3 — inverter removal by phase change |
+//! | `fig4` | Figure 4 — trapped-inverter logic duplication |
+//! | `fig5` | Figure 5 — switching totals of two assignments |
+//! | `fig6` | Figure 6 — convergence trace of the minimization loop |
+//! | `fig7` | Figure 7 — sequential partition quality |
+//! | `fig9` | Figure 9 — the symmetry MFVS transformation |
+//! | `fig10` | Figure 10 — BDD variable ordering comparison |
+//! | `ablations` | DESIGN.md A1–A5 design-choice studies |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use domino_netlist::Network;
+use domino_phase::flow::{minimize_area, minimize_power, FlowConfig};
+use domino_phase::PhaseError;
+use domino_sim::{measure_power, PowerReport, SimConfig};
+use domino_techmap::{map, size_for_timing, sta, Library, MappedNetlist, SizingConfig};
+
+/// One side (MA or MP) of a table row.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Mapped standard-cell count (the "Size" column).
+    pub size: usize,
+    /// Simulated current, mA (the "Pwr" column).
+    pub power: PowerReport,
+    /// Estimated (BDD) switching power, for reference.
+    pub estimated_switching: f64,
+    /// Worst arrival after mapping (and sizing, if timed), ps.
+    pub worst_arrival_ps: f64,
+    /// Whether the timing constraint was met (timed runs).
+    pub timing_met: bool,
+    /// Search evaluations performed.
+    pub evaluations: usize,
+    /// The mapped netlist (for further inspection).
+    pub mapped: MappedNetlist,
+}
+
+/// MA-vs-MP comparison for one circuit.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Circuit name.
+    pub name: String,
+    /// Minimum-area flow result.
+    pub ma: FlowResult,
+    /// Minimum-power flow result.
+    pub mp: FlowResult,
+}
+
+impl Comparison {
+    /// `% Area Pen.` column: MP size overhead relative to MA.
+    pub fn area_penalty_pct(&self) -> f64 {
+        100.0 * (self.mp.size as f64 - self.ma.size as f64) / self.ma.size as f64
+    }
+
+    /// `% Pwr Sav.` column: MP power saving relative to MA.
+    pub fn power_saving_pct(&self) -> f64 {
+        100.0 * (self.ma.power.total_ma() - self.mp.power.total_ma())
+            / self.ma.power.total_ma()
+    }
+}
+
+/// Experiment knobs shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Primary-input signal probability (the paper uses 0.5).
+    pub pi_probability: f64,
+    /// Flow configuration (search + probability machinery).
+    pub flow: FlowConfig,
+    /// Cell library.
+    pub library: Library,
+    /// Simulation length/seed.
+    pub sim: SimConfig,
+    /// Timed synthesis: resize to meet this fraction of the unsized MA
+    /// delay (None = untimed, Table 1).
+    pub timing_fraction: Option<f64>,
+    /// `P_i` penalty for series-stack AND gates in the MP objective (§4.2):
+    /// timed runs set this so the power search avoids structures the sizer
+    /// cannot rescue.
+    pub mp_and_penalty: Option<f64>,
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment {
+            pi_probability: 0.5,
+            flow: FlowConfig::default(),
+            library: Library::standard(),
+            sim: SimConfig::default(),
+            timing_fraction: None,
+            mp_and_penalty: None,
+        }
+    }
+}
+
+impl Experiment {
+    /// Runs one flow variant (`minimize_area` when `area` else
+    /// `minimize_power`) through mapping, optional sizing, and simulation.
+    ///
+    /// When timing is requested, the clock target is derived from the MA
+    /// netlist's unsized delay via `timing_fraction` (pass it in
+    /// `clock_ps`); `clock_ps = None` derives it from this netlist itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhaseError`] from the flow.
+    pub fn run_flow(
+        &self,
+        net: &Network,
+        area: bool,
+        clock_ps: Option<f64>,
+    ) -> Result<FlowResult, PhaseError> {
+        let pi = vec![self.pi_probability; net.inputs().len()];
+        let report = if area {
+            minimize_area(net, &pi, &self.flow)?
+        } else {
+            let mut flow = self.flow.clone();
+            if let Some(penalty) = self.mp_and_penalty {
+                flow.power.model = domino_phase::power::PowerModel::with_and_penalty(penalty);
+            }
+            minimize_power(net, &pi, &flow)?
+        };
+        let mut mapped = map(&report.domino, &self.library);
+        let mut timing_met = true;
+        let timing = sta(&mapped, &self.library);
+        let mut worst = timing.worst_arrival_ps;
+        if let Some(fraction) = self.timing_fraction {
+            let target = clock_ps.unwrap_or(worst * fraction);
+            let sizing = size_for_timing(
+                &mut mapped,
+                &self.library,
+                &SizingConfig {
+                    clock_period_ps: Some(target),
+                    ..SizingConfig::default()
+                },
+            );
+            worst = sizing.timing.worst_arrival_ps;
+            timing_met = sizing.met;
+        }
+        let power = measure_power(&mapped, &self.library, &pi, &self.sim);
+        Ok(FlowResult {
+            size: mapped.effective_cell_count(),
+            power,
+            estimated_switching: report.power.total(),
+            worst_arrival_ps: worst,
+            timing_met,
+            evaluations: report.outcome.evaluations,
+            mapped,
+        })
+    }
+
+    /// Runs the MA-vs-MP comparison on one circuit. For timed experiments
+    /// the clock target is a fraction of the *MA* unsized delay, applied to
+    /// both variants (the paper's "realistic timing constraints").
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhaseError`] from either flow.
+    pub fn compare(&self, name: &str, net: &Network) -> Result<Comparison, PhaseError> {
+        // Derive a common clock from the MA mapping when timed.
+        let clock_ps = if let Some(fraction) = self.timing_fraction {
+            let untimed = Experiment {
+                timing_fraction: None,
+                sim: SimConfig {
+                    cycles: 16, // probe run: only timing is needed
+                    ..self.sim
+                },
+                ..self.clone()
+            };
+            let probe = untimed.run_flow(net, true, None)?;
+            Some(probe.worst_arrival_ps * fraction)
+        } else {
+            None
+        };
+        let ma = self.run_flow(net, true, clock_ps)?;
+        let mp = self.run_flow(net, false, clock_ps)?;
+        Ok(Comparison {
+            name: name.to_string(),
+            ma,
+            mp,
+        })
+    }
+}
+
+/// Formats a table of comparisons in the paper's column layout.
+pub fn format_table(rows: &[(Comparison, &str, usize, usize)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<11} {:<13} {:>5} {:>5} | {:>6} {:>8} | {:>6} {:>8} | {:>10} {:>10}",
+        "Ckt", "Desc.", "#PIs", "#POs", "MA Sz", "MA Pwr", "MP Sz", "MP Pwr", "%AreaPen", "%PwrSav"
+    )
+    .unwrap();
+    writeln!(s, "{}", "-".repeat(104)).unwrap();
+    let mut pen_sum = 0.0;
+    let mut sav_sum = 0.0;
+    for (cmp, desc, pis, pos) in rows {
+        writeln!(
+            s,
+            "{:<11} {:<13} {:>5} {:>5} | {:>6} {:>8.2} | {:>6} {:>8.2} | {:>10.1} {:>10.1}",
+            cmp.name,
+            desc,
+            pis,
+            pos,
+            cmp.ma.size,
+            cmp.ma.power.total_ma(),
+            cmp.mp.size,
+            cmp.mp.power.total_ma(),
+            cmp.area_penalty_pct(),
+            cmp.power_saving_pct()
+        )
+        .unwrap();
+        pen_sum += cmp.area_penalty_pct();
+        sav_sum += cmp.power_saving_pct();
+    }
+    let n = rows.len() as f64;
+    writeln!(s, "{}", "-".repeat(104)).unwrap();
+    writeln!(
+        s,
+        "{:<37} {:>15} {:>8} {:>6} {:>8} | {:>10.1} {:>10.1}",
+        "Average", "", "", "", "", pen_sum / n, sav_sum / n
+    )
+    .unwrap();
+    s
+}

@@ -1,0 +1,230 @@
+//! The §4.1 pairwise cost function for candidate phase assignments.
+//!
+//! For primary outputs `i, j` with transitive fanin cones `D_i, D_j`:
+//!
+//! * cone **overlap** `O(i,j) = |D_i ∩ D_j| / (|D_i| + |D_j|)` — the worst
+//!   possible duplication penalty for incompatible phases;
+//! * cone **average probability** `A_i = Σ_{n∈D_i} S_n / |D_i|` under the
+//!   current assignment — flipping output `i`'s phase complements its cone,
+//!   so the flipped average is `1 − A_i` (Property 4.1);
+//! * the four costs
+//!   `K(i±, j±) = |D_i|·a_i + |D_j|·a_j + ½·O(i,j)·(a_i + a_j)` with
+//!   `a = A` for retaining the current phase and `a = 1 − A` for inverting
+//!   it.
+//!
+//! `K` estimates the switching of the pair's cones after the candidate
+//! change; the greedy loop in [`search`](crate::search) picks the globally
+//! cheapest `(pair, combination)` and verifies it against the real power
+//! estimate before committing.
+
+use std::collections::HashSet;
+
+use domino_netlist::NodeId;
+
+use crate::phase_assignment::{Phase, PhaseAssignment};
+use crate::prob::NodeProbabilities;
+use crate::synth::DominoSynthesizer;
+
+/// Precomputed cone sizes, averages and pairwise overlaps for a network.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    n: usize,
+    cone_sizes: Vec<usize>,
+    base_avgs: Vec<f64>,
+    /// Upper-triangular overlap matrix, row-major: entry for `i < j` at
+    /// `i*n - i*(i+1)/2 + (j - i - 1)`.
+    overlaps: Vec<f64>,
+}
+
+impl CostModel {
+    /// Builds the model from the synthesizer's view outputs and the base
+    /// (positive-polarity) node probabilities.
+    pub fn new(synth: &DominoSynthesizer<'_>, probs: &NodeProbabilities) -> Self {
+        let net = synth.network();
+        let outputs = synth.view_outputs();
+        let n = outputs.len();
+        let cones: Vec<HashSet<NodeId>> = outputs
+            .iter()
+            .map(|o| net.transitive_fanin(o.driver))
+            .collect();
+        let cone_sizes: Vec<usize> = cones.iter().map(HashSet::len).collect();
+        let base_avgs: Vec<f64> = cones
+            .iter()
+            .map(|cone| {
+                if cone.is_empty() {
+                    return 0.0;
+                }
+                let sum: f64 = cone.iter().map(|id| probs.get(id.index())).sum();
+                sum / cone.len() as f64
+            })
+            .collect();
+        let mut overlaps = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                let inter = cones[i].intersection(&cones[j]).count();
+                let denom = (cone_sizes[i] + cone_sizes[j]) as f64;
+                overlaps.push(if denom == 0.0 { 0.0 } else { inter as f64 / denom });
+            }
+        }
+        CostModel {
+            n,
+            cone_sizes,
+            base_avgs,
+            overlaps,
+        }
+    }
+
+    /// Number of outputs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the network has no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `|D_i|`.
+    pub fn cone_size(&self, i: usize) -> usize {
+        self.cone_sizes[i]
+    }
+
+    /// `O(i,j)` for `i ≠ j` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn overlap(&self, i: usize, j: usize) -> f64 {
+        assert!(i != j, "overlap is defined for distinct outputs");
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        self.overlaps[i * self.n - i * (i + 1) / 2 + (j - i - 1)]
+    }
+
+    /// `A_i` when output `i` is realized in the given phase: the base
+    /// (positive) cone average, complemented for negative phase
+    /// (Property 4.1).
+    pub fn average(&self, i: usize, phase: Phase) -> f64 {
+        match phase {
+            Phase::Positive => self.base_avgs[i],
+            Phase::Negative => 1.0 - self.base_avgs[i],
+        }
+    }
+
+    /// `K` for outputs `i, j` realized in phases `p_i, p_j`.
+    pub fn cost(&self, i: usize, j: usize, p_i: Phase, p_j: Phase) -> f64 {
+        let a_i = self.average(i, p_i);
+        let a_j = self.average(j, p_j);
+        self.cone_sizes[i] as f64 * a_i
+            + self.cone_sizes[j] as f64 * a_j
+            + 0.5 * self.overlap(i, j) * (a_i + a_j)
+    }
+
+    /// The cheapest of the four keep/flip combinations for pair `(i, j)`
+    /// relative to `current`: returns the phases to adopt and the cost.
+    /// Ties prefer the earlier combination in the order
+    /// (keep,keep), (keep,flip), (flip,keep), (flip,flip).
+    pub fn pair_best(
+        &self,
+        i: usize,
+        j: usize,
+        current: &PhaseAssignment,
+    ) -> (Phase, Phase, f64) {
+        let ci = current.phase(i);
+        let cj = current.phase(j);
+        let combos = [
+            (ci, cj),
+            (ci, cj.flipped()),
+            (ci.flipped(), cj),
+            (ci.flipped(), cj.flipped()),
+        ];
+        let mut best = (combos[0].0, combos[0].1, self.cost(i, j, combos[0].0, combos[0].1));
+        for &(pi, pj) in &combos[1..] {
+            let k = self.cost(i, j, pi, pj);
+            if k < best.2 {
+                best = (pi, pj, k);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::{compute_probabilities, ProbabilityConfig};
+    use domino_netlist::Network;
+
+    /// f = a·b (small cone, high-ish probability), g = a+b+c (bigger cone),
+    /// sharing {a, b}.
+    fn model() -> (CostModel, PhaseAssignment) {
+        let mut net = Network::new("cm");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let f = net.add_and([a, b]).unwrap();
+        let g0 = net.add_or([a, b]).unwrap();
+        let g = net.add_or([g0, c]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs =
+            compute_probabilities(&net, &[0.9, 0.9, 0.9], &ProbabilityConfig::default()).unwrap();
+        (
+            CostModel::new(&synth, &probs),
+            PhaseAssignment::all_positive(2),
+        )
+    }
+
+    #[test]
+    fn cone_sizes_and_overlap() {
+        let (cm, _) = model();
+        // D_f = {a, b, f} (3); D_g = {a, b, c, g0, g} (5); intersection {a, b}.
+        assert_eq!(cm.cone_size(0), 3);
+        assert_eq!(cm.cone_size(1), 5);
+        assert!((cm.overlap(0, 1) - 2.0 / 8.0).abs() < 1e-12);
+        assert_eq!(cm.overlap(0, 1), cm.overlap(1, 0));
+        assert_eq!(cm.len(), 2);
+    }
+
+    #[test]
+    fn averages_complement_on_flip() {
+        let (cm, _) = model();
+        let pos = cm.average(0, Phase::Positive);
+        let neg = cm.average(0, Phase::Negative);
+        assert!((pos + neg - 1.0).abs() < 1e-12);
+        // With p(PI) = 0.9 the positive cone average is high.
+        assert!(pos > 0.8);
+    }
+
+    #[test]
+    fn cost_formula_matches_hand_computation() {
+        let (cm, _) = model();
+        let (a0, a1) = (cm.average(0, Phase::Positive), cm.average(1, Phase::Negative));
+        let expect =
+            3.0 * a0 + 5.0 * a1 + 0.5 * cm.overlap(0, 1) * (a0 + a1);
+        let got = cm.cost(0, 1, Phase::Positive, Phase::Negative);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_best_picks_minimum() {
+        let (cm, current) = model();
+        let (pi, pj, k) = cm.pair_best(0, 1, &current);
+        for p_i in [Phase::Positive, Phase::Negative] {
+            for p_j in [Phase::Positive, Phase::Negative] {
+                assert!(k <= cm.cost(0, 1, p_i, p_j) + 1e-12);
+            }
+        }
+        // At p(PI) = 0.9 all positive cones are probability-heavy: flipping
+        // both is cheapest.
+        assert_eq!(pi, Phase::Negative);
+        assert_eq!(pj, Phase::Negative);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct outputs")]
+    fn overlap_same_output_panics() {
+        let (cm, _) = model();
+        let _ = cm.overlap(1, 1);
+    }
+}

@@ -1,0 +1,199 @@
+use std::fmt;
+
+/// Output phase: whether a static inverter sits at the output boundary of
+/// the domino block.
+///
+/// A *negative* phase does **not** complement the output's logical value —
+/// the block internally computes the complement and the boundary inverter
+/// restores it (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// No inverter at the boundary: the domino block realizes the function
+    /// directly.
+    #[default]
+    Positive,
+    /// One static inverter at the boundary: the block realizes the
+    /// complement.
+    Negative,
+}
+
+impl Phase {
+    /// The other phase.
+    pub fn flipped(self) -> Phase {
+        match self {
+            Phase::Positive => Phase::Negative,
+            Phase::Negative => Phase::Positive,
+        }
+    }
+
+    /// `true` for [`Phase::Negative`].
+    pub fn is_negative(self) -> bool {
+        self == Phase::Negative
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Positive => write!(f, "+"),
+            Phase::Negative => write!(f, "-"),
+        }
+    }
+}
+
+/// A phase per output of the network's combinational view (primary outputs
+/// first, then latch data inputs; see
+/// [`DominoSynthesizer::view_outputs`](crate::DominoSynthesizer::view_outputs)).
+///
+/// # Example
+///
+/// ```
+/// use domino_phase::{Phase, PhaseAssignment};
+///
+/// let mut pa = PhaseAssignment::all_positive(3);
+/// pa.flip(1);
+/// assert_eq!(pa.phase(1), Phase::Negative);
+/// assert_eq!(pa.to_string(), "+-+");
+/// assert_eq!(pa.negative_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PhaseAssignment {
+    phases: Vec<Phase>,
+}
+
+impl PhaseAssignment {
+    /// All outputs in positive phase.
+    pub fn all_positive(n: usize) -> Self {
+        PhaseAssignment {
+            phases: vec![Phase::Positive; n],
+        }
+    }
+
+    /// All outputs in negative phase.
+    pub fn all_negative(n: usize) -> Self {
+        PhaseAssignment {
+            phases: vec![Phase::Negative; n],
+        }
+    }
+
+    /// From an explicit phase vector.
+    pub fn from_phases(phases: Vec<Phase>) -> Self {
+        PhaseAssignment { phases }
+    }
+
+    /// Assignment number `bits` of the `2^n` possibilities: bit `i` set ⇒
+    /// output `i` negative. Used by exhaustive search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn from_bits(n: usize, bits: u64) -> Self {
+        assert!(n <= 64, "from_bits supports at most 64 outputs");
+        PhaseAssignment {
+            phases: (0..n)
+                .map(|i| {
+                    if bits & (1 << i) != 0 {
+                        Phase::Negative
+                    } else {
+                        Phase::Positive
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of outputs.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// `true` if there are no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Phase of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn phase(&self, i: usize) -> Phase {
+        self.phases[i]
+    }
+
+    /// Sets the phase of output `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, phase: Phase) {
+        self.phases[i] = phase;
+    }
+
+    /// Flips the phase of output `i` and returns the new phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip(&mut self, i: usize) -> Phase {
+        self.phases[i] = self.phases[i].flipped();
+        self.phases[i]
+    }
+
+    /// Iterates over the phases in output order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Phase> + '_ {
+        self.phases.iter().copied()
+    }
+
+    /// Number of negative-phase outputs (= output boundary inverters).
+    pub fn negative_count(&self) -> usize {
+        self.phases.iter().filter(|p| p.is_negative()).count()
+    }
+}
+
+impl fmt::Display for PhaseAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.phases {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(PhaseAssignment::all_positive(2).negative_count(), 0);
+        assert_eq!(PhaseAssignment::all_negative(2).negative_count(), 2);
+        let pa = PhaseAssignment::from_bits(4, 0b1010);
+        assert_eq!(pa.to_string(), "+-+-");
+    }
+
+    #[test]
+    fn flip_roundtrip() {
+        let mut pa = PhaseAssignment::all_positive(1);
+        assert_eq!(pa.flip(0), Phase::Negative);
+        assert_eq!(pa.flip(0), Phase::Positive);
+    }
+
+    #[test]
+    fn from_bits_covers_all_assignments() {
+        let n = 3;
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0..(1u64 << n) {
+            seen.insert(PhaseAssignment::from_bits(n, bits));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn phase_flipped() {
+        assert_eq!(Phase::Positive.flipped(), Phase::Negative);
+        assert!(!Phase::Positive.is_negative());
+        assert!(Phase::Negative.is_negative());
+        assert_eq!(Phase::default(), Phase::Positive);
+    }
+}

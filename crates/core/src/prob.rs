@@ -1,0 +1,322 @@
+//! Exact signal probabilities for every network node (paper §4.2.1–4.2.2).
+//!
+//! Combinational networks: one BDD per node (shared manager) under a
+//! configurable variable order, probabilities in one memoized sweep.
+//!
+//! Sequential networks: the latch dependency structure is made acyclic by
+//! cutting an (approximately minimum) feedback vertex set of the s-graph
+//! (`domino-sgraph`); cut latches act as pseudo primary inputs with
+//! probability ½, the remaining latches are resolved in dependency order
+//! (their steady-state probability is their data input's probability), and
+//! optional extra sweeps iterate the cut latches toward a fixpoint.
+
+use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::ordering;
+use domino_netlist::Network;
+use domino_sgraph::{partition, MfvsConfig, Partition};
+
+use crate::error::PhaseError;
+
+/// Which BDD variable order to build with (ablation A2 of DESIGN.md).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OrderingChoice {
+    /// The paper's reverse-topological fanout-cone heuristic (§4.2.2).
+    #[default]
+    Paper,
+    /// Naive first-visit topological order (Figure 10's 11-node baseline).
+    Topological,
+    /// A seeded random permutation.
+    Random(u64),
+    /// An explicit order (level 0 first).
+    Custom(Vec<usize>),
+}
+
+/// Configuration for [`compute_probabilities`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilityConfig {
+    /// Variable ordering for the BDDs.
+    pub ordering: OrderingChoice,
+    /// MFVS heuristic configuration for sequential partitioning.
+    pub mfvs: MfvsConfig,
+    /// Number of fixpoint sweeps updating cut-latch probabilities (≥ 1).
+    /// Sweep 1 uses probability ½ for every cut latch, matching the paper's
+    /// partition-and-approximate scheme; more sweeps refine toward a
+    /// steady state.
+    pub sweeps: usize,
+    /// Probability assigned to cut latches on the first sweep.
+    pub cut_latch_probability: f64,
+}
+
+impl Default for ProbabilityConfig {
+    fn default() -> Self {
+        ProbabilityConfig {
+            ordering: OrderingChoice::Paper,
+            mfvs: MfvsConfig::default(),
+            sweeps: 2,
+            cut_latch_probability: 0.5,
+        }
+    }
+}
+
+/// Signal probability of every node, plus the artifacts that produced them.
+#[derive(Debug, Clone)]
+pub struct NodeProbabilities {
+    probs: Vec<f64>,
+    partition: Option<Partition>,
+    bdd_nodes: usize,
+}
+
+impl NodeProbabilities {
+    /// Wraps externally computed per-node probabilities (e.g. Monte-Carlo
+    /// estimates from `domino-sim`) so they can drive the same search
+    /// machinery as the exact BDD values (ablation A5).
+    pub fn from_vec(probs: Vec<f64>) -> Self {
+        NodeProbabilities {
+            probs,
+            partition: None,
+            bdd_nodes: 0,
+        }
+    }
+
+    /// Probability of node with arena index `i` (see
+    /// [`NodeId::index`](domino_netlist::NodeId::index)).
+    pub fn get(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The full probability slice, indexed by node arena index.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The sequential partition, if the network had latches.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Shared BDD nodes used for the computation (the §4.2.2 cost metric).
+    pub fn bdd_node_count(&self) -> usize {
+        self.bdd_nodes
+    }
+}
+
+fn resolve_order(net: &Network, choice: &OrderingChoice) -> Vec<usize> {
+    match choice {
+        OrderingChoice::Paper => ordering::paper_order(net),
+        OrderingChoice::Topological => ordering::topological_order(net),
+        OrderingChoice::Random(seed) => {
+            let n = net.inputs().len() + net.latches().len();
+            ordering::random_order(n, *seed)
+        }
+        OrderingChoice::Custom(order) => order.clone(),
+    }
+}
+
+/// Computes the exact signal probability of every node given per-primary-
+/// input probabilities.
+///
+/// # Errors
+///
+/// * [`PhaseError::ProbabilityMismatch`] if `pi_probs` does not match the
+///   primary input count;
+/// * [`PhaseError::Bdd`] if BDD construction exceeds limits or
+///   probabilities are invalid.
+///
+/// # Example
+///
+/// ```
+/// use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = domino_netlist::Network::new("p");
+/// let a = net.add_input("a")?;
+/// let b = net.add_input("b")?;
+/// let g = net.add_or([a, b])?;
+/// net.add_output("f", g)?;
+/// let probs = compute_probabilities(&net, &[0.9, 0.9], &ProbabilityConfig::default())?;
+/// assert!((probs.get(g.index()) - 0.99).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_probabilities(
+    net: &Network,
+    pi_probs: &[f64],
+    config: &ProbabilityConfig,
+) -> Result<NodeProbabilities, PhaseError> {
+    if pi_probs.len() != net.inputs().len() {
+        return Err(PhaseError::ProbabilityMismatch {
+            expected: net.inputs().len(),
+            got: pi_probs.len(),
+        });
+    }
+    let order = resolve_order(net, &config.ordering);
+    let bdds = CircuitBdds::build_with_order(net, order)?;
+    let bdd_nodes = bdds.total_node_count();
+
+    if !net.is_sequential() {
+        let probs = bdds.node_probabilities(net, pi_probs)?;
+        return Ok(NodeProbabilities {
+            probs,
+            partition: None,
+            bdd_nodes,
+        });
+    }
+
+    // Sequential: partition, then resolve latch probabilities.
+    let part = partition(net, &config.mfvs);
+    let latches = net.latches();
+    let latch_pos: std::collections::HashMap<_, _> = latches
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i))
+        .collect();
+    // Source probabilities: PIs then latches.
+    let mut source_probs: Vec<f64> = pi_probs.to_vec();
+    source_probs.extend(std::iter::repeat_n(config.cut_latch_probability, latches.len()));
+
+    let sweeps = config.sweeps.max(1);
+    let mut probs = Vec::new();
+    for _ in 0..sweeps {
+        // Scheduled latches resolve in dependency order within the sweep.
+        for &l in &part.schedule {
+            let data = net.node(l).fanins[0];
+            let p = bdds
+                .manager()
+                .signal_probability(bdds.node_bdd(data), &source_probs)?;
+            source_probs[pi_probs.len() + latch_pos[&l]] = p;
+        }
+        // All node probabilities under the current sources.
+        probs = bdds.node_probabilities(net, &source_probs)?;
+        // Cut latches move toward their data's probability for the next
+        // sweep.
+        for &l in &part.cut {
+            let data = net.node(l).fanins[0];
+            source_probs[pi_probs.len() + latch_pos[&l]] = probs[data.index()];
+        }
+    }
+    Ok(NodeProbabilities {
+        probs,
+        partition: Some(part),
+        bdd_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::Network;
+
+    #[test]
+    fn combinational_exact() {
+        let mut net = Network::new("c");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let f = net.add_or([ab, c]).unwrap();
+        let nf = net.add_not(f).unwrap();
+        net.add_output("f", nf).unwrap();
+        let p = compute_probabilities(&net, &[0.9, 0.8, 0.3], &ProbabilityConfig::default())
+            .unwrap();
+        let expect_f = 1.0 - (1.0 - 0.72) * 0.7;
+        assert!((p.get(f.index()) - expect_f).abs() < 1e-12);
+        assert!((p.get(nf.index()) - (1.0 - expect_f)).abs() < 1e-12);
+        assert!(p.partition().is_none());
+        assert!(p.bdd_node_count() > 0);
+    }
+
+    #[test]
+    fn wrong_pi_count_rejected() {
+        let mut net = Network::new("c");
+        let _ = net.add_input("a").unwrap();
+        assert!(matches!(
+            compute_probabilities(&net, &[], &ProbabilityConfig::default()),
+            Err(PhaseError::ProbabilityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pipeline_probabilities_propagate_through_latches() {
+        // a -> q0 -> q1; all latches scheduled (no feedback), so after one
+        // sweep q1 carries P[a].
+        let mut net = Network::new("pipe");
+        let a = net.add_input("a").unwrap();
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        net.set_latch_data(q0, a).unwrap();
+        net.set_latch_data(q1, q0).unwrap();
+        net.add_output("o", q1).unwrap();
+        let p = compute_probabilities(&net, &[0.7], &ProbabilityConfig::default()).unwrap();
+        assert!((p.get(q0.index()) - 0.7).abs() < 1e-12);
+        assert!((p.get(q1.index()) - 0.7).abs() < 1e-12);
+        let part = p.partition().unwrap();
+        assert!(part.cut.is_empty());
+        assert_eq!(part.schedule.len(), 2);
+    }
+
+    #[test]
+    fn feedback_latch_iterates_toward_fixpoint() {
+        // q' = a + q (a sticky latch): the exact steady-state probability
+        // tends to 1; more sweeps should move monotonically upward.
+        let mut net = Network::new("sticky");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let d = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, d).unwrap();
+        net.add_output("o", q).unwrap();
+        let p1 = compute_probabilities(
+            &net,
+            &[0.5],
+            &ProbabilityConfig {
+                sweeps: 1,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        let p4 = compute_probabilities(
+            &net,
+            &[0.5],
+            &ProbabilityConfig {
+                sweeps: 4,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        // Sweep 1: q = 0.5 ⇒ d = 0.75. Sweep 4 refines: q = 0.75 ⇒
+        // d = 0.875, then q = 0.875 ⇒ …
+        assert!((p1.get(d.index()) - 0.75).abs() < 1e-12);
+        assert!(p4.get(d.index()) > p1.get(d.index()));
+        assert_eq!(p1.partition().unwrap().cut.len(), 1);
+    }
+
+    #[test]
+    fn ordering_choice_does_not_change_probabilities() {
+        let mut net = Network::new("c");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let f = net.add_or([ab, c]).unwrap();
+        net.add_output("f", f).unwrap();
+        let pi = [0.2, 0.4, 0.6];
+        let base = compute_probabilities(&net, &pi, &ProbabilityConfig::default()).unwrap();
+        for choice in [
+            OrderingChoice::Topological,
+            OrderingChoice::Random(7),
+            OrderingChoice::Custom(vec![2, 0, 1]),
+        ] {
+            let alt = compute_probabilities(
+                &net,
+                &pi,
+                &ProbabilityConfig {
+                    ordering: choice,
+                    ..ProbabilityConfig::default()
+                },
+            )
+            .unwrap();
+            for (x, y) in base.as_slice().iter().zip(alt.as_slice()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+}

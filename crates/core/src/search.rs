@@ -1,0 +1,1110 @@
+//! Phase-assignment search: the minimum-area baseline of Puri et al. \[15\]
+//! and the paper's minimum-power greedy loop (§4.1).
+//!
+//! Both searches share an incremental [`ConeAccountant`] that maintains the
+//! union of per-output demand cones under the current assignment with
+//! reference counts, so changing one output's phase costs `O(|cone|)` rather
+//! than a full resynthesis. The accountant is exact: its totals equal
+//! [`estimate_power`](crate::power::estimate_power) /
+//! [`DominoNetwork::area_cells`](crate::DominoNetwork::area_cells) on the
+//! synthesized network (asserted by tests).
+
+use std::collections::HashMap;
+
+use domino_netlist::{NodeId, NodeKind};
+
+use crate::cost::CostModel;
+use crate::error::PhaseError;
+use crate::phase_assignment::{Phase, PhaseAssignment};
+use crate::power::{static_switching, PowerModel};
+use crate::prob::NodeProbabilities;
+use crate::synth::{ConeDemand, DemandRoot, DominoGateKind, DominoSynthesizer};
+
+/// What the accountant optimizes.
+#[derive(Debug, Clone)]
+pub enum Objective<'p> {
+    /// Cell count: domino gates + boundary inverters (the \[15\] baseline).
+    Area,
+    /// Switching-weighted power `Σ S·C·P` plus boundary inverters — the
+    /// paper's estimate.
+    Power {
+        /// Base (positive-polarity) probability per original node index.
+        probs: &'p [f64],
+        /// Element weights.
+        model: PowerModel,
+    },
+}
+
+/// Incremental objective evaluator over phase assignments.
+///
+/// Maintains, for the current assignment, reference counts over demanded
+/// `(node, polarity)` gates and complemented sources; the weighted total
+/// updates in `O(|cone|)` per phase change.
+#[derive(Debug)]
+pub struct ConeAccountant<'a, 'p> {
+    synth: &'a DominoSynthesizer<'a>,
+    objective: Objective<'p>,
+    current: PhaseAssignment,
+    demands: Vec<[Option<ConeDemand>; 2]>,
+    gate_refs: HashMap<(NodeId, bool), u32>,
+    inv_refs: HashMap<NodeId, u32>,
+    block: f64,
+    input_inv: f64,
+    output_inv: f64,
+}
+
+impl<'a, 'p> ConeAccountant<'a, 'p> {
+    /// Creates an accountant positioned at `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::AssignmentMismatch`] if `initial` does not
+    /// match the synthesizer's view outputs.
+    pub fn new(
+        synth: &'a DominoSynthesizer<'a>,
+        objective: Objective<'p>,
+        initial: PhaseAssignment,
+    ) -> Result<Self, PhaseError> {
+        let n = synth.view_outputs().len();
+        if initial.len() != n {
+            return Err(PhaseError::AssignmentMismatch {
+                expected: n,
+                got: initial.len(),
+            });
+        }
+        let mut acct = ConeAccountant {
+            synth,
+            objective,
+            current: PhaseAssignment::all_positive(n),
+            demands: vec![[None, None]; n],
+            gate_refs: HashMap::new(),
+            inv_refs: HashMap::new(),
+            block: 0.0,
+            input_inv: 0.0,
+            output_inv: 0.0,
+        };
+        for i in 0..n {
+            acct.add_cone(i, Phase::Positive);
+        }
+        // Move to the requested assignment.
+        for i in 0..n {
+            acct.set_phase(i, initial.phase(i));
+        }
+        Ok(acct)
+    }
+
+    /// The current assignment.
+    pub fn assignment(&self) -> &PhaseAssignment {
+        &self.current
+    }
+
+    /// Objective total under the current assignment.
+    pub fn total(&self) -> f64 {
+        self.block + self.input_inv + self.output_inv
+    }
+
+    /// `(block, input inverters, output inverters)` components.
+    pub fn components(&self) -> (f64, f64, f64) {
+        (self.block, self.input_inv, self.output_inv)
+    }
+
+    /// Changes output `i`'s phase; no-op if unchanged.
+    pub fn set_phase(&mut self, i: usize, phase: Phase) {
+        let old = self.current.phase(i);
+        if old == phase {
+            return;
+        }
+        self.remove_cone(i, old);
+        self.add_cone(i, phase);
+        self.current.set(i, phase);
+    }
+
+    /// Flips output `i`.
+    pub fn flip(&mut self, i: usize) {
+        self.set_phase(i, self.current.phase(i).flipped());
+    }
+
+    fn gate_weight(&self, node: NodeId, complemented: bool) -> f64 {
+        match &self.objective {
+            Objective::Area => 1.0,
+            Objective::Power { probs, model } => {
+                let kind = match (self.synth.network().node(node).kind, complemented) {
+                    (NodeKind::And, false) | (NodeKind::Or, true) => DominoGateKind::And,
+                    (NodeKind::Or, false) | (NodeKind::And, true) => DominoGateKind::Or,
+                    _ => unreachable!("demand gates are and/or nodes"),
+                };
+                let p = probs[node.index()];
+                let rail = if complemented { 1.0 - p } else { p };
+                rail * model.gate_weight(kind)
+            }
+        }
+    }
+
+    fn inverter_weight(&self, source: NodeId) -> f64 {
+        match &self.objective {
+            Objective::Area => 1.0,
+            Objective::Power { probs, model } => {
+                static_switching(probs[source.index()]) * model.inverter_cap
+            }
+        }
+    }
+
+    fn output_inverter_weight(&self, root: DemandRoot) -> f64 {
+        match &self.objective {
+            Objective::Area => 1.0,
+            Objective::Power { probs, model } => {
+                let p = match root {
+                    DemandRoot::Node(n, c) | DemandRoot::Source(n, c) => {
+                        let base = probs[n.index()];
+                        if c {
+                            1.0 - base
+                        } else {
+                            base
+                        }
+                    }
+                    DemandRoot::Constant(v) => {
+                        if v {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                p * model.inverter_cap
+            }
+        }
+    }
+
+    fn demand(&mut self, i: usize, phase: Phase) -> &ConeDemand {
+        let slot = phase.is_negative() as usize;
+        if self.demands[i][slot].is_none() {
+            self.demands[i][slot] = Some(self.synth.cone_demand(i, phase));
+        }
+        self.demands[i][slot].as_ref().expect("just filled")
+    }
+
+    fn add_cone(&mut self, i: usize, phase: Phase) {
+        let demand = self.demand(i, phase).clone();
+        for &(n, c) in &demand.gates {
+            let count = self.gate_refs.entry((n, c)).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                self.block += self.gate_weight(n, c);
+            }
+        }
+        for &s in &demand.complemented_sources {
+            let count = self.inv_refs.entry(s).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                self.input_inv += self.inverter_weight(s);
+            }
+        }
+        if phase.is_negative() {
+            self.output_inv += self.output_inverter_weight(demand.root);
+        }
+    }
+
+    fn remove_cone(&mut self, i: usize, phase: Phase) {
+        let demand = self.demand(i, phase).clone();
+        for &(n, c) in &demand.gates {
+            let count = self
+                .gate_refs
+                .get_mut(&(n, c))
+                .expect("removing unaccounted gate");
+            *count -= 1;
+            if *count == 0 {
+                self.block -= self.gate_weight(n, c);
+            }
+        }
+        for &s in &demand.complemented_sources {
+            let count = self
+                .inv_refs
+                .get_mut(&s)
+                .expect("removing unaccounted inverter");
+            *count -= 1;
+            if *count == 0 {
+                self.input_inv -= self.inverter_weight(s);
+            }
+        }
+        if phase.is_negative() {
+            self.output_inv -= self.output_inverter_weight(demand.root);
+        }
+    }
+}
+
+/// Result of a phase-assignment search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The assignment found.
+    pub assignment: PhaseAssignment,
+    /// Objective value at that assignment (cells for area, switching-power
+    /// for power).
+    pub objective: f64,
+    /// Number of candidate evaluations (synthesize + measure steps).
+    pub evaluations: usize,
+    /// Number of committed changes.
+    pub commits: usize,
+    /// Objective after each commit (convergence trace, Figure 6).
+    pub trace: Vec<f64>,
+}
+
+/// Configuration for [`min_area_assignment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinAreaConfig {
+    /// Up to this many outputs the search is exhaustive over all `2^n`
+    /// assignments (gray-code walk, `O(cone)` per step) — this makes the
+    /// baseline *optimal* like the paper's \[15\] runs.
+    pub exhaustive_limit: usize,
+    /// Hill-climbing passes for larger output counts.
+    pub max_passes: usize,
+}
+
+impl Default for MinAreaConfig {
+    fn default() -> Self {
+        MinAreaConfig {
+            exhaustive_limit: 16,
+            max_passes: 32,
+        }
+    }
+}
+
+/// Minimum-area phase assignment — the Puri et al. \[15\] baseline: exhaustive
+/// for small output counts, single-flip hill climbing from all-positive
+/// otherwise.
+///
+/// # Errors
+///
+/// Propagates [`PhaseError`] from accounting (never fails on a validated
+/// synthesizer).
+pub fn min_area_assignment(
+    synth: &DominoSynthesizer<'_>,
+    config: &MinAreaConfig,
+) -> Result<SearchOutcome, PhaseError> {
+    search_objective(synth, Objective::Area, config)
+}
+
+/// Generic exhaustive/hill-climbing search over an [`Objective`] — the
+/// machinery behind [`min_area_assignment`], also used to find the *true*
+/// optimum power assignment on small circuits (frg1's 8-assignment space).
+///
+/// # Errors
+///
+/// Propagates [`PhaseError`] from accounting.
+pub fn search_objective(
+    synth: &DominoSynthesizer<'_>,
+    objective: Objective<'_>,
+    config: &MinAreaConfig,
+) -> Result<SearchOutcome, PhaseError> {
+    let n = synth.view_outputs().len();
+    let mut acct = ConeAccountant::new(synth, objective, PhaseAssignment::all_positive(n))?;
+    let mut evaluations = 1usize;
+    let mut best = acct.total();
+    let mut best_assignment = acct.assignment().clone();
+    let mut trace = vec![best];
+    let mut commits = 0usize;
+
+    if n <= config.exhaustive_limit && n > 0 {
+        // Gray-code walk: exactly one flip per step.
+        for step in 1u64..(1u64 << n) {
+            let flip_bit = step.trailing_zeros() as usize;
+            acct.flip(flip_bit);
+            evaluations += 1;
+            let total = acct.total();
+            if total < best - 1e-12 {
+                best = total;
+                best_assignment = acct.assignment().clone();
+                trace.push(best);
+                commits += 1;
+            }
+        }
+    } else {
+        // Hill climbing on single flips.
+        for _ in 0..config.max_passes {
+            let mut improved = false;
+            for i in 0..n {
+                acct.flip(i);
+                evaluations += 1;
+                let total = acct.total();
+                if total < best - 1e-12 {
+                    best = total;
+                    best_assignment = acct.assignment().clone();
+                    trace.push(best);
+                    commits += 1;
+                    improved = true;
+                } else {
+                    acct.flip(i); // revert
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    Ok(SearchOutcome {
+        assignment: best_assignment,
+        objective: best,
+        evaluations,
+        commits,
+        trace,
+    })
+}
+
+/// Configuration for [`min_power_assignment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinPowerConfig {
+    /// Element weights of the power estimate.
+    pub model: PowerModel,
+    /// Commit every candidate even if measured power did not decrease
+    /// (ablation A4; the paper commits only on improvement).
+    pub always_commit: bool,
+    /// Use the cost function `K` to order candidate pairs (the paper's
+    /// heuristic). When `false`, pairs are visited in a seeded random order
+    /// (ablation A3) with the combination still chosen by `K`.
+    pub k_guided: bool,
+    /// Seed for the random pair order when `k_guided` is `false`.
+    pub seed: u64,
+    /// Measurement-driven single-flip hill-climbing passes *after* the
+    /// pairwise loop. The paper's loop consumes each pair once, so an
+    /// unluckily ranked combination can strand an output in the wrong
+    /// phase; one cheap refinement pass fixes that (set to 0 for the
+    /// strictly literal §4.1 algorithm).
+    pub refinement_passes: usize,
+}
+
+impl Default for MinPowerConfig {
+    fn default() -> Self {
+        MinPowerConfig {
+            model: PowerModel::unit(),
+            always_commit: false,
+            k_guided: true,
+            seed: 1,
+            refinement_passes: 1,
+        }
+    }
+}
+
+/// Ordered f64 key for the candidate heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    i: usize,
+    j: usize,
+    phase_i: Phase,
+    phase_j: Phase,
+    version_i: u64,
+    version_j: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min cost on top.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| (other.i, other.j).cmp(&(self.i, self.j)))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The paper's §4.1 minimum-power phase assignment heuristic.
+///
+/// 1. start from an arbitrary initial assignment and measure its power;
+/// 2. for every pair of outputs, compute the cost `K` of the four keep/flip
+///    combinations;
+/// 3. take the globally cheapest `(pair, combination)`;
+/// 4. synthesize that candidate and measure its power;
+/// 5. commit iff the power decreased;
+/// 6. remove the pair from the candidate set and repeat until empty.
+///
+/// The per-candidate measurement uses the incremental [`ConeAccountant`]
+/// (exactly equal to a full resynthesis + `Σ S·C·P` estimate).
+///
+/// # Errors
+///
+/// Returns [`PhaseError::AssignmentMismatch`] if `initial` has the wrong
+/// length.
+pub fn min_power_assignment(
+    synth: &DominoSynthesizer<'_>,
+    probs: &NodeProbabilities,
+    initial: PhaseAssignment,
+    config: &MinPowerConfig,
+) -> Result<SearchOutcome, PhaseError> {
+    let n = synth.view_outputs().len();
+    let cost_model = CostModel::new(synth, probs);
+    let mut acct = ConeAccountant::new(
+        synth,
+        Objective::Power {
+            probs: probs.as_slice(),
+            model: config.model,
+        },
+        initial,
+    )?;
+    let mut best = acct.total();
+    let mut trace = vec![best];
+    let mut evaluations = 0usize;
+    let mut commits = 0usize;
+
+    if n >= 2 {
+        let mut versions = vec![0u64; n];
+        let mut removed = std::collections::HashSet::new();
+        if config.k_guided {
+            let mut heap = std::collections::BinaryHeap::new();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let (pi, pj, k) = cost_model.pair_best(i, j, acct.assignment());
+                    heap.push(HeapEntry {
+                        cost: k,
+                        i,
+                        j,
+                        phase_i: pi,
+                        phase_j: pj,
+                        version_i: 0,
+                        version_j: 0,
+                    });
+                }
+            }
+            while let Some(entry) = heap.pop() {
+                if removed.contains(&(entry.i, entry.j)) {
+                    continue;
+                }
+                if entry.version_i != versions[entry.i] || entry.version_j != versions[entry.j] {
+                    // Stale: recompute under the current assignment.
+                    let (pi, pj, k) =
+                        cost_model.pair_best(entry.i, entry.j, acct.assignment());
+                    heap.push(HeapEntry {
+                        cost: k,
+                        i: entry.i,
+                        j: entry.j,
+                        phase_i: pi,
+                        phase_j: pj,
+                        version_i: versions[entry.i],
+                        version_j: versions[entry.j],
+                    });
+                    continue;
+                }
+                evaluate_pair(
+                    &mut acct,
+                    entry.i,
+                    entry.j,
+                    entry.phase_i,
+                    entry.phase_j,
+                    config,
+                    &mut best,
+                    &mut trace,
+                    &mut evaluations,
+                    &mut commits,
+                    &mut versions,
+                );
+                removed.insert((entry.i, entry.j));
+            }
+        } else {
+            // Ablation: random pair order, combination still by K.
+            let mut pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+                .collect();
+            let mut state = config.seed | 1;
+            for idx in (1..pairs.len()).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let j = (state % (idx as u64 + 1)) as usize;
+                pairs.swap(idx, j);
+            }
+            for (i, j) in pairs {
+                let (pi, pj, _) = cost_model.pair_best(i, j, acct.assignment());
+                evaluate_pair(
+                    &mut acct,
+                    i,
+                    j,
+                    pi,
+                    pj,
+                    config,
+                    &mut best,
+                    &mut trace,
+                    &mut evaluations,
+                    &mut commits,
+                    &mut versions,
+                );
+            }
+        }
+    }
+
+    // Optional refinement: measurement-driven single flips.
+    for _ in 0..config.refinement_passes {
+        let mut improved = false;
+        for i in 0..n {
+            acct.flip(i);
+            evaluations += 1;
+            let total = acct.total();
+            if total < best - 1e-12 {
+                best = total;
+                trace.push(total);
+                commits += 1;
+                improved = true;
+            } else {
+                acct.flip(i);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(SearchOutcome {
+        assignment: acct.assignment().clone(),
+        objective: best,
+        evaluations,
+        commits,
+        trace,
+    })
+}
+
+/// The *optimal* minimum-power assignment by exhaustive gray-code search —
+/// feasible exactly when the paper says it is (frg1's "only 2³ or 8
+/// possible phase assignments"). Used to certify the heuristic on small
+/// circuits.
+///
+/// # Errors
+///
+/// Propagates [`PhaseError`] from accounting.
+///
+/// # Panics
+///
+/// Panics if the network has more than 20 view outputs (2²⁰ evaluations).
+pub fn optimal_power_assignment(
+    synth: &DominoSynthesizer<'_>,
+    probs: &NodeProbabilities,
+    model: PowerModel,
+) -> Result<SearchOutcome, PhaseError> {
+    let n = synth.view_outputs().len();
+    assert!(n <= 20, "exhaustive power search is exponential in outputs");
+    search_objective(
+        synth,
+        Objective::Power {
+            probs: probs.as_slice(),
+            model,
+        },
+        &MinAreaConfig {
+            exhaustive_limit: 20,
+            max_passes: 0,
+        },
+    )
+}
+
+/// The §4.1 extension: the cost function `K` generalized from pairs to
+/// groups of `group_size` outputs.
+///
+/// For a group `G` with chosen phases `p`, the cost is
+/// `Σ_{i∈G} |D_i|·a_i + ½·Σ_{i<j∈G} O(i,j)·(a_i + a_j)` — the paper's `K`
+/// restricted to `|G| = 2`, and "a greedily ordered exhaustive search" as
+/// `|G|` approaches the output count. Groups are the `C(n, g)` combinations
+/// in K-best order; each group is measured once with its best combination
+/// and committed iff power decreases, exactly like the pairwise loop.
+///
+/// Group sizes beyond 3 get expensive quickly (`C(n,g)·2^g` cost
+/// evaluations); sizes 2 and 3 cover the paper's discussion.
+///
+/// # Errors
+///
+/// Returns [`PhaseError::AssignmentMismatch`] if `initial` has the wrong
+/// length.
+///
+/// # Panics
+///
+/// Panics if `group_size < 2`.
+pub fn min_power_assignment_grouped(
+    synth: &DominoSynthesizer<'_>,
+    probs: &NodeProbabilities,
+    initial: PhaseAssignment,
+    config: &MinPowerConfig,
+    group_size: usize,
+) -> Result<SearchOutcome, PhaseError> {
+    assert!(group_size >= 2, "groups need at least two outputs");
+    if group_size == 2 {
+        return min_power_assignment(synth, probs, initial, config);
+    }
+    let n = synth.view_outputs().len();
+    let cost_model = CostModel::new(synth, probs);
+    let mut acct = ConeAccountant::new(
+        synth,
+        Objective::Power {
+            probs: probs.as_slice(),
+            model: config.model,
+        },
+        initial,
+    )?;
+    let mut best = acct.total();
+    let mut trace = vec![best];
+    let mut evaluations = 0usize;
+    let mut commits = 0usize;
+
+    if n >= group_size {
+        // Enumerate all C(n, g) groups, order by best-combination K.
+        let mut groups: Vec<(f64, Vec<usize>, Vec<Phase>)> = Vec::new();
+        let mut members: Vec<usize> = (0..group_size).collect();
+        loop {
+            let (phases, k) = group_best(&cost_model, &members, acct.assignment());
+            groups.push((k, members.clone(), phases));
+            // Next combination.
+            let mut i = group_size;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if members[i] != i + n - group_size {
+                    members[i] += 1;
+                    for j in i + 1..group_size {
+                        members[j] = members[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    members.clear();
+                }
+            }
+            if members.is_empty() {
+                break;
+            }
+        }
+        groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, members, _phases) in groups {
+            // Re-derive the best combination under the *current* assignment
+            // (commits since ranking may have changed it).
+            let (phases, _) = group_best(&cost_model, &members, acct.assignment());
+            let old: Vec<Phase> = members.iter().map(|&i| acct.assignment().phase(i)).collect();
+            if old == phases {
+                continue;
+            }
+            for (&i, &p) in members.iter().zip(&phases) {
+                acct.set_phase(i, p);
+            }
+            evaluations += 1;
+            let total = acct.total();
+            if total < best - 1e-12 || config.always_commit {
+                best = total;
+                trace.push(total);
+                commits += 1;
+            } else {
+                for (&i, &p) in members.iter().zip(&old) {
+                    acct.set_phase(i, p);
+                }
+            }
+        }
+    }
+
+    for _ in 0..config.refinement_passes {
+        let mut improved = false;
+        for i in 0..n {
+            acct.flip(i);
+            evaluations += 1;
+            let total = acct.total();
+            if total < best - 1e-12 {
+                best = total;
+                trace.push(total);
+                commits += 1;
+                improved = true;
+            } else {
+                acct.flip(i);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(SearchOutcome {
+        assignment: acct.assignment().clone(),
+        objective: best,
+        evaluations,
+        commits,
+        trace,
+    })
+}
+
+/// Best phase combination for a group under the generalized `K`.
+fn group_best(
+    cost_model: &CostModel,
+    members: &[usize],
+    current: &PhaseAssignment,
+) -> (Vec<Phase>, f64) {
+    let g = members.len();
+    let mut best_phases: Vec<Phase> = members.iter().map(|&i| current.phase(i)).collect();
+    let mut best_k = f64::INFINITY;
+    for combo in 0u32..(1 << g) {
+        let phases: Vec<Phase> = members
+            .iter()
+            .enumerate()
+            .map(|(idx, &i)| {
+                if combo & (1 << idx) != 0 {
+                    current.phase(i).flipped()
+                } else {
+                    current.phase(i)
+                }
+            })
+            .collect();
+        let mut k = 0.0;
+        for (idx, &i) in members.iter().enumerate() {
+            k += cost_model.cone_size(i) as f64 * cost_model.average(i, phases[idx]);
+        }
+        for (ia, &i) in members.iter().enumerate() {
+            for (ja, &j) in members.iter().enumerate().skip(ia + 1) {
+                k += 0.5
+                    * cost_model.overlap(i, j)
+                    * (cost_model.average(i, phases[ia]) + cost_model.average(j, phases[ja]));
+            }
+        }
+        if k < best_k {
+            best_k = k;
+            best_phases = phases;
+        }
+    }
+    (best_phases, best_k)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate_pair(
+    acct: &mut ConeAccountant<'_, '_>,
+    i: usize,
+    j: usize,
+    phase_i: Phase,
+    phase_j: Phase,
+    config: &MinPowerConfig,
+    best: &mut f64,
+    trace: &mut Vec<f64>,
+    evaluations: &mut usize,
+    commits: &mut usize,
+    versions: &mut [u64],
+) {
+    let old_i = acct.assignment().phase(i);
+    let old_j = acct.assignment().phase(j);
+    if old_i == phase_i && old_j == phase_j {
+        // Retain/retain: nothing to measure, power unchanged.
+        return;
+    }
+    acct.set_phase(i, phase_i);
+    acct.set_phase(j, phase_j);
+    *evaluations += 1;
+    let total = acct.total();
+    if total < *best - 1e-12 || config.always_commit {
+        *best = total;
+        trace.push(total);
+        *commits += 1;
+        versions[i] += 1;
+        versions[j] += 1;
+    } else {
+        acct.set_phase(i, old_i);
+        acct.set_phase(j, old_j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::estimate_power;
+    use crate::prob::{compute_probabilities, ProbabilityConfig};
+    use domino_netlist::Network;
+
+    /// The Figure 5 circuit: high-probability cones where phase choice
+    /// matters a lot.
+    fn fig5() -> Network {
+        let mut net = Network::new("fig5");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let aob = net.add_or([a, b]).unwrap();
+        let cad = net.add_and([c, d]).unwrap();
+        let f = net.add_or([aob, cad]).unwrap();
+        let naob = net.add_not(aob).unwrap();
+        let ncad = net.add_not(cad).unwrap();
+        let g = net.add_or([naob, ncad]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        net
+    }
+
+    fn probs_for(net: &Network, p: f64) -> NodeProbabilities {
+        compute_probabilities(
+            net,
+            &vec![p; net.inputs().len()],
+            &ProbabilityConfig::default(),
+        )
+        .unwrap()
+    }
+
+    /// The accountant must agree exactly with full synthesis + estimation
+    /// at every assignment.
+    #[test]
+    fn accountant_matches_full_synthesis() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.9);
+        let model = PowerModel::unit();
+        let mut acct = ConeAccountant::new(
+            &synth,
+            Objective::Power {
+                probs: probs.as_slice(),
+                model,
+            },
+            PhaseAssignment::all_positive(2),
+        )
+        .unwrap();
+        // Walk all four assignments in gray order.
+        for step in 0u64..4 {
+            if step > 0 {
+                acct.flip(step.trailing_zeros() as usize);
+            }
+            let pa = acct.assignment().clone();
+            let full = synth.synthesize(&pa).unwrap();
+            let est = estimate_power(&full, probs.as_slice(), &model);
+            assert!(
+                (acct.total() - est.total()).abs() < 1e-9,
+                "assignment {pa}: acct {} vs full {}",
+                acct.total(),
+                est.total()
+            );
+            let (b, ii, oi) = acct.components();
+            assert!((b - est.block).abs() < 1e-9);
+            assert!((ii - est.input_inverters).abs() < 1e-9);
+            assert!((oi - est.output_inverters).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn accountant_matches_area() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let mut acct =
+            ConeAccountant::new(&synth, Objective::Area, PhaseAssignment::all_positive(2))
+                .unwrap();
+        for step in 0u64..4 {
+            if step > 0 {
+                acct.flip(step.trailing_zeros() as usize);
+            }
+            let full = synth.synthesize(acct.assignment()).unwrap();
+            assert_eq!(acct.total() as usize, full.area_cells());
+        }
+    }
+
+    #[test]
+    fn min_area_exhaustive_is_optimal() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let outcome = min_area_assignment(&synth, &MinAreaConfig::default()).unwrap();
+        // Brute force over all four assignments.
+        let brute = (0..4u64)
+            .map(|bits| {
+                let pa = PhaseAssignment::from_bits(2, bits);
+                synth.synthesize(&pa).unwrap().area_cells()
+            })
+            .min()
+            .unwrap();
+        assert_eq!(outcome.objective as usize, brute);
+        assert_eq!(outcome.evaluations, 4);
+    }
+
+    #[test]
+    fn min_power_finds_figure5_optimum() {
+        // The paper's example: at p(PI) = 0.9 the (f−, g+) assignment is
+        // 75% cheaper; the greedy heuristic must find it.
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.9);
+        let outcome = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(2),
+            &MinPowerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.assignment.phase(0), Phase::Negative, "f flipped");
+        assert_eq!(outcome.assignment.phase(1), Phase::Positive, "g kept");
+        assert!((outcome.objective - 1.1219).abs() < 1e-9);
+        assert!(outcome.commits >= 1);
+        // Trace is monotone decreasing.
+        for w in outcome.trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_power_never_worse_than_initial() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let probs = probs_for(&net, p);
+            for init_bits in 0..4u64 {
+                let init = PhaseAssignment::from_bits(2, init_bits);
+                let acct = ConeAccountant::new(
+                    &synth,
+                    Objective::Power {
+                        probs: probs.as_slice(),
+                        model: PowerModel::unit(),
+                    },
+                    init.clone(),
+                )
+                .unwrap();
+                let initial_power = acct.total();
+                let outcome =
+                    min_power_assignment(&synth, &probs, init, &MinPowerConfig::default())
+                        .unwrap();
+                assert!(
+                    outcome.objective <= initial_power + 1e-12,
+                    "p={p} init={init_bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_order_ablation_still_improves() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.9);
+        let outcome = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(2),
+            &MinPowerConfig {
+                k_guided: false,
+                seed: 42,
+                ..MinPowerConfig::default()
+            },
+        )
+        .unwrap();
+        // With a single pair the random order is irrelevant; it must still
+        // find the optimum.
+        assert!((outcome.objective - 1.1219).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_reaches_the_exhaustive_optimum_on_figure5() {
+        // frg1's argument in miniature: with ≤ 2^n assignments the optimum
+        // is computable, and the heuristic should land on it.
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for p in [0.1, 0.5, 0.9] {
+            let probs = probs_for(&net, p);
+            let optimal =
+                optimal_power_assignment(&synth, &probs, PowerModel::unit()).unwrap();
+            let heuristic = min_power_assignment(
+                &synth,
+                &probs,
+                PhaseAssignment::all_positive(2),
+                &MinPowerConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                (heuristic.objective - optimal.objective).abs() < 1e-9,
+                "p={p}: heuristic {} vs optimal {}",
+                heuristic.objective,
+                optimal.objective
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_search_matches_or_beats_pairwise_on_small_circuits() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for p in [0.3, 0.5, 0.9] {
+            let probs = probs_for(&net, p);
+            let pairwise = min_power_assignment(
+                &synth,
+                &probs,
+                PhaseAssignment::all_positive(2),
+                &MinPowerConfig::default(),
+            )
+            .unwrap();
+            // group_size == 2 must be identical to the pairwise loop.
+            let same = min_power_assignment_grouped(
+                &synth,
+                &probs,
+                PhaseAssignment::all_positive(2),
+                &MinPowerConfig::default(),
+                2,
+            )
+            .unwrap();
+            assert_eq!(pairwise.assignment, same.assignment);
+        }
+    }
+
+    #[test]
+    fn grouped_search_triples_beat_pairs_when_interaction_matters() {
+        // Three outputs sharing one OR-heavy cone: flipping all three
+        // together is cheap, flipping any pair leaves a trapped polarity.
+        let mut net = Network::new("triple");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let core = net.add_or([a, b, c]).unwrap();
+        let f1 = net.add_or([core, d]).unwrap();
+        let f2 = net.add_or([core, a]).unwrap();
+        let f3 = net.add_or([core, b]).unwrap();
+        net.add_output("f1", f1).unwrap();
+        net.add_output("f2", f2).unwrap();
+        net.add_output("f3", f3).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.9);
+        let strict = MinPowerConfig {
+            refinement_passes: 0,
+            ..MinPowerConfig::default()
+        };
+        let pair = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(3),
+            &strict,
+        )
+        .unwrap();
+        let triple = min_power_assignment_grouped(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(3),
+            &strict,
+            3,
+        )
+        .unwrap();
+        assert!(
+            triple.objective <= pair.objective + 1e-12,
+            "triples {} vs pairs {}",
+            triple.objective,
+            pair.objective
+        );
+    }
+
+    #[test]
+    fn always_commit_ablation_can_end_worse() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.9);
+        let strict = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(2),
+            &MinPowerConfig::default(),
+        )
+        .unwrap();
+        let always = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(2),
+            &MinPowerConfig {
+                always_commit: true,
+                ..MinPowerConfig::default()
+            },
+        )
+        .unwrap();
+        // The strict policy is never worse.
+        assert!(strict.objective <= always.objective + 1e-12);
+    }
+}

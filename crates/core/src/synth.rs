@@ -1,0 +1,970 @@
+//! Inverter-free domino synthesis for a given phase assignment (paper §3).
+//!
+//! Given a technology-independent AND/OR/NOT network and a [`Phase`] per
+//! output, [`DominoSynthesizer::synthesize`] pushes every inverter to the
+//! block boundary with DeMorgan's law:
+//!
+//! * each internal node may be demanded *direct* or *complemented*;
+//! * a complemented AND becomes an OR of complemented fanins (and vice
+//!   versa), so the complement flag propagates unchanged through AND/OR and
+//!   flips through NOT;
+//! * demands that reach a primary input (or latch output) complemented are
+//!   served by a **static inverter at the input boundary**;
+//! * a negative-phase output adds a **static inverter at the output
+//!   boundary** and demands the complement of its driver.
+//!
+//! A node demanded in *both* polarities is duplicated — the trapped-inverter
+//! logic duplication of Figure 4. The resulting [`DominoNetwork`] contains
+//! only AND/OR gates over monotone rails, i.e. it is domino-implementable.
+
+use std::collections::HashMap;
+
+use domino_netlist::{Network, NodeId, NodeKind};
+
+use crate::error::PhaseError;
+use crate::phase_assignment::{Phase, PhaseAssignment};
+
+/// Kind of a synthesized domino gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DominoGateKind {
+    /// N-stack in series — the slow/penalized structure of the paper's
+    /// `P_i` term.
+    And,
+    /// N-stack in parallel.
+    Or,
+}
+
+/// A fanin reference inside a [`DominoNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DominoRef {
+    /// Another domino gate, by index into [`DominoNetwork::gates`].
+    Gate(usize),
+    /// A source rail: a primary input or latch output, possibly through the
+    /// input-boundary inverter.
+    Source {
+        /// The source node in the original network.
+        node: NodeId,
+        /// `true` if this is the complemented rail (through a static input
+        /// inverter).
+        complemented: bool,
+    },
+    /// A constant rail.
+    Constant(bool),
+}
+
+/// One synthesized domino gate: which original node (and polarity) it
+/// realizes, and its structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoGate {
+    /// The original AND/OR node this gate realizes.
+    pub source: NodeId,
+    /// `true` if the gate realizes the *complement* of the original node.
+    pub complemented: bool,
+    /// AND or OR (after DeMorgan).
+    pub kind: DominoGateKind,
+    /// Fanins.
+    pub fanins: Vec<DominoRef>,
+}
+
+/// An output of the combinational view: a primary output or a latch data
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewOutput {
+    /// Port name (primary output name, or `<latchname>.d`).
+    pub name: String,
+    /// Driving node in the original network.
+    pub driver: NodeId,
+    /// `true` if this is a latch data input rather than a primary output.
+    pub is_latch_data: bool,
+}
+
+/// Where a polarity demand lands after skipping inverter chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DemandRoot {
+    /// An AND/OR node demanded in the given polarity.
+    Node(NodeId, bool),
+    /// A source (input/latch) rail.
+    Source(NodeId, bool),
+    /// A constant.
+    Constant(bool),
+}
+
+/// The polarity-demand closure of one output under one phase: exactly the
+/// domino gates and boundary inverters this output contributes. Used by the
+/// incremental accountants in [`search`](crate::search).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeDemand {
+    /// Demanded `(node, complemented)` gate pairs, deduplicated.
+    pub gates: Vec<(NodeId, bool)>,
+    /// Sources demanded complemented (each costs one input inverter, shared
+    /// across outputs).
+    pub complemented_sources: Vec<NodeId>,
+    /// Where the output's own demand lands.
+    pub root: DemandRoot,
+}
+
+/// One output of a synthesized [`DominoNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoOutput {
+    /// Port name.
+    pub name: String,
+    /// What drives the boundary (before the output inverter, if any).
+    pub driver: DominoRef,
+    /// The output's phase.
+    pub phase: Phase,
+    /// `true` for latch data inputs.
+    pub is_latch_data: bool,
+}
+
+/// An inverter-free domino block plus its boundary inverters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoNetwork {
+    gates: Vec<DominoGate>,
+    gate_index: HashMap<(NodeId, bool), usize>,
+    input_inverters: Vec<NodeId>,
+    outputs: Vec<DominoOutput>,
+    sources: Vec<NodeId>,
+    latch_inits: Vec<bool>,
+    assignment: PhaseAssignment,
+}
+
+impl DominoNetwork {
+    /// The synthesized gates in topological order (fanins precede
+    /// consumers).
+    pub fn gates(&self) -> &[DominoGate] {
+        &self.gates
+    }
+
+    /// Number of domino gates in the block.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `(and, or)` gate counts.
+    pub fn gate_kind_counts(&self) -> (usize, usize) {
+        let and = self
+            .gates
+            .iter()
+            .filter(|g| g.kind == DominoGateKind::And)
+            .count();
+        (and, self.gates.len() - and)
+    }
+
+    /// Sources (inputs then latches of the original network) whose
+    /// complemented rail is used — one static input inverter each.
+    pub fn input_inverters(&self) -> &[NodeId] {
+        &self.input_inverters
+    }
+
+    /// Number of static inverters at the input boundary.
+    pub fn input_inverter_count(&self) -> usize {
+        self.input_inverters.len()
+    }
+
+    /// Number of static inverters at the output boundary (= negative-phase
+    /// outputs).
+    pub fn output_inverter_count(&self) -> usize {
+        self.outputs.iter().filter(|o| o.phase.is_negative()).count()
+    }
+
+    /// Total cell count: domino gates plus boundary inverters — the area
+    /// metric of the paper's experiments (before technology mapping).
+    pub fn area_cells(&self) -> usize {
+        self.gate_count() + self.input_inverter_count() + self.output_inverter_count()
+    }
+
+    /// The outputs, in view order.
+    pub fn outputs(&self) -> &[DominoOutput] {
+        &self.outputs
+    }
+
+    /// The phase assignment this network was synthesized with.
+    pub fn assignment(&self) -> &PhaseAssignment {
+        &self.assignment
+    }
+
+    /// Source rails in variable order: the original network's primary
+    /// inputs, then its latch outputs.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// Reset values of the original network's latches, in latch declaration
+    /// order (aligned with the `is_latch_data` outputs).
+    pub fn latch_inits(&self) -> &[bool] {
+        &self.latch_inits
+    }
+
+    /// Number of original nodes realized in *both* polarities — the
+    /// trapped-inverter duplication of Figure 4.
+    pub fn duplicated_node_count(&self) -> usize {
+        self.gate_index
+            .keys()
+            .filter(|(n, c)| *c && self.gate_index.contains_key(&(*n, false)))
+            .count()
+    }
+
+    /// `true` if the block contains no logical inverters (always holds by
+    /// construction; checks the structural invariant defensively).
+    pub fn is_inverter_free(&self) -> bool {
+        // Every fanin is a gate, a source rail, or a constant; inverters
+        // exist only at the boundaries. The invariant that could break is a
+        // gate referencing a *later* gate; check topological soundness too.
+        self.gates.iter().enumerate().all(|(i, g)| {
+            g.fanins.iter().all(|f| match f {
+                DominoRef::Gate(j) => *j < i,
+                _ => true,
+            })
+        })
+    }
+
+    /// Evaluates the block for one vector of source values (original
+    /// network's inputs then latches, in declaration order). Returns the
+    /// logical value of every view output *after* boundary inverters — which
+    /// must equal the original functions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::ProbabilityMismatch`] if the slice length does
+    /// not match the source count.
+    pub fn eval(&self, source_values: &[bool]) -> Result<Vec<bool>, PhaseError> {
+        let rails = self.eval_rails(source_values)?;
+        Ok(self
+            .outputs
+            .iter()
+            .map(|o| {
+                let block = self.ref_value(o.driver, source_values, &rails);
+                if o.phase.is_negative() {
+                    !block
+                } else {
+                    block
+                }
+            })
+            .collect())
+    }
+
+    /// Evaluates only the internal gate rails (no boundary inverters) —
+    /// used by the monotonicity test and the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::ProbabilityMismatch`] on length mismatch.
+    pub fn eval_rails(&self, source_values: &[bool]) -> Result<Vec<bool>, PhaseError> {
+        if source_values.len() != self.sources.len() {
+            return Err(PhaseError::ProbabilityMismatch {
+                expected: self.sources.len(),
+                got: source_values.len(),
+            });
+        }
+        let mut rails = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let v = match g.kind {
+                DominoGateKind::And => g
+                    .fanins
+                    .iter()
+                    .all(|f| self.ref_value(*f, source_values, &rails)),
+                DominoGateKind::Or => g
+                    .fanins
+                    .iter()
+                    .any(|f| self.ref_value(*f, source_values, &rails)),
+            };
+            rails[i] = v;
+        }
+        Ok(rails)
+    }
+
+    /// Exports the block — including its boundary inverters — as a plain
+    /// [`Network`], with one primary input per source rail (in source
+    /// order) and one primary output per view output. Positional interfaces
+    /// match [`DominoSynthesizer::comb_view`], so
+    /// [`check_equivalence`](domino_bdd::circuit::check_equivalence) can
+    /// formally verify the synthesis.
+    pub fn to_network(&self) -> Network {
+        let mut out = Network::new("domino_block");
+        let src_ids: Vec<NodeId> = (0..self.sources.len())
+            .map(|i| out.add_input(format!("s{i}")).expect("unique names"))
+            .collect();
+        let mut inv_rail: HashMap<usize, NodeId> = HashMap::new();
+        for &inv in &self.input_inverters {
+            let pos = self.source_position(inv);
+            let n = out.add_not(src_ids[pos]).expect("valid fanin");
+            inv_rail.insert(pos, n);
+        }
+        let mut consts: [Option<NodeId>; 2] = [None, None];
+        let mut gate_ids: Vec<NodeId> = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let fanins: Vec<NodeId> = gate
+                .fanins
+                .iter()
+                .map(|&f| match f {
+                    DominoRef::Gate(i) => gate_ids[i],
+                    DominoRef::Source { node, complemented } => {
+                        let pos = self.source_position(node);
+                        if complemented {
+                            inv_rail[&pos]
+                        } else {
+                            src_ids[pos]
+                        }
+                    }
+                    DominoRef::Constant(v) => {
+                        *consts[v as usize].get_or_insert_with(|| out.add_const(v))
+                    }
+                })
+                .collect();
+            let id = match gate.kind {
+                DominoGateKind::And => out.add_and(fanins).expect("valid fanins"),
+                DominoGateKind::Or => out.add_or(fanins).expect("valid fanins"),
+            };
+            gate_ids.push(id);
+        }
+        for o in &self.outputs {
+            let mut driver = match o.driver {
+                DominoRef::Gate(i) => gate_ids[i],
+                DominoRef::Source { node, complemented } => {
+                    let pos = self.source_position(node);
+                    if complemented {
+                        inv_rail[&pos]
+                    } else {
+                        src_ids[pos]
+                    }
+                }
+                DominoRef::Constant(v) => {
+                    *consts[v as usize].get_or_insert_with(|| out.add_const(v))
+                }
+            };
+            if o.phase.is_negative() {
+                driver = out.add_not(driver).expect("valid fanin");
+            }
+            out.add_output(o.name.clone(), driver).expect("unique names");
+        }
+        out
+    }
+
+    fn source_position(&self, node: NodeId) -> usize {
+        self.sources
+            .iter()
+            .position(|&s| s == node)
+            .expect("domino ref to unknown source")
+    }
+
+    fn ref_value(&self, r: DominoRef, source_values: &[bool], rails: &[bool]) -> bool {
+        match r {
+            DominoRef::Gate(i) => rails[i],
+            DominoRef::Source { node, complemented } => {
+                let v = source_values[self.source_position(node)];
+                v ^ complemented
+            }
+            DominoRef::Constant(v) => v,
+        }
+    }
+}
+
+/// Synthesizes inverter-free domino blocks from a Boolean network for any
+/// phase assignment.
+///
+/// The synthesizer works on the network's *combinational view*: sources are
+/// primary inputs followed by latch outputs; outputs are primary outputs
+/// followed by latch data inputs ([`DominoSynthesizer::view_outputs`]). A
+/// [`PhaseAssignment`] indexes this combined output list.
+#[derive(Debug, Clone)]
+pub struct DominoSynthesizer<'a> {
+    net: &'a Network,
+    view_outputs: Vec<ViewOutput>,
+    sources: Vec<NodeId>,
+}
+
+impl<'a> DominoSynthesizer<'a> {
+    /// Creates a synthesizer for `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::Netlist`] if the network fails validation.
+    pub fn new(net: &'a Network) -> Result<Self, PhaseError> {
+        net.validate()?;
+        let mut view_outputs: Vec<ViewOutput> = net
+            .outputs()
+            .iter()
+            .map(|o| ViewOutput {
+                name: o.name.clone(),
+                driver: o.driver,
+                is_latch_data: false,
+            })
+            .collect();
+        for (i, &l) in net.latches().iter().enumerate() {
+            let data = net.node(l).fanins[0];
+            let name = match &net.node(l).name {
+                Some(n) => format!("{n}.d"),
+                None => format!("latch{i}.d"),
+            };
+            view_outputs.push(ViewOutput {
+                name,
+                driver: data,
+                is_latch_data: true,
+            });
+        }
+        let sources = net
+            .inputs()
+            .iter()
+            .chain(net.latches().iter())
+            .copied()
+            .collect();
+        Ok(DominoSynthesizer {
+            net,
+            view_outputs,
+            sources,
+        })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        self.net
+    }
+
+    /// The combinational view's outputs: primary outputs, then latch data
+    /// inputs. Phase assignments index this list.
+    pub fn view_outputs(&self) -> &[ViewOutput] {
+        &self.view_outputs
+    }
+
+    /// The combinational view's sources: primary inputs, then latch
+    /// outputs.
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// The network's *combinational view* as a standalone [`Network`]: one
+    /// primary input per source rail (PIs then latch outputs, named
+    /// positionally `s{i}`), one primary output per view output. Interfaces
+    /// match [`DominoNetwork::to_network`] positionally, enabling formal
+    /// equivalence checking of any synthesis result.
+    pub fn comb_view(&self) -> Network {
+        let mut out = Network::new(format!("{}_comb", self.net.name()));
+        let mut map: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+        for (i, &s) in self.sources.iter().enumerate() {
+            map.insert(s, out.add_input(format!("s{i}")).expect("unique names"));
+        }
+        for id in self.net.topo_order() {
+            if map.contains_key(&id) {
+                continue;
+            }
+            let node = self.net.node(id);
+            let new_id = match node.kind {
+                NodeKind::Input | NodeKind::Latch { .. } => continue,
+                NodeKind::Constant(v) => out.add_const(v),
+                NodeKind::Not => out.add_not(map[&node.fanins[0]]).expect("mapped"),
+                NodeKind::And => out
+                    .add_and(node.fanins.iter().map(|f| map[f]))
+                    .expect("mapped"),
+                NodeKind::Or => out
+                    .add_or(node.fanins.iter().map(|f| map[f]))
+                    .expect("mapped"),
+            };
+            map.insert(id, new_id);
+        }
+        for vo in &self.view_outputs {
+            out.add_output(vo.name.clone(), map[&vo.driver])
+                .expect("unique names");
+        }
+        out
+    }
+
+    /// Follows inverter chains and constants: where does the demand for
+    /// `node` (complemented if `complemented`) actually land?
+    pub fn resolve(&self, mut node: NodeId, mut complemented: bool) -> DemandRoot {
+        loop {
+            match self.net.node(node).kind {
+                NodeKind::Not => {
+                    complemented = !complemented;
+                    node = self.net.node(node).fanins[0];
+                }
+                NodeKind::Constant(v) => return DemandRoot::Constant(v ^ complemented),
+                NodeKind::Input | NodeKind::Latch { .. } => {
+                    return DemandRoot::Source(node, complemented)
+                }
+                NodeKind::And | NodeKind::Or => return DemandRoot::Node(node, complemented),
+            }
+        }
+    }
+
+    /// The demand closure of a single output under a given phase — the set
+    /// of gates and boundary inverters it requires (Figure 3's "zone that
+    /// must become inverterless").
+    pub fn cone_demand(&self, output: usize, phase: Phase) -> ConeDemand {
+        let driver = self.view_outputs[output].driver;
+        let root = self.resolve(driver, phase.is_negative());
+        let mut gates = Vec::new();
+        let mut seen: HashMap<(NodeId, bool), ()> = HashMap::new();
+        let mut neg_sources: Vec<NodeId> = Vec::new();
+        let mut neg_seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut stack: Vec<(NodeId, bool)> = Vec::new();
+        match root {
+            DemandRoot::Node(n, c) => stack.push((n, c)),
+            DemandRoot::Source(s, true) => {
+                neg_seen.insert(s, ());
+                neg_sources.push(s);
+            }
+            _ => {}
+        }
+        while let Some((n, c)) = stack.pop() {
+            if seen.insert((n, c), ()).is_some() {
+                continue;
+            }
+            gates.push((n, c));
+            for &f in self.net.node(n).comb_fanins() {
+                match self.resolve(f, c) {
+                    DemandRoot::Node(m, mc) => stack.push((m, mc)),
+                    DemandRoot::Source(s, true)
+                        if neg_seen.insert(s, ()).is_none() => {
+                            neg_sources.push(s);
+                        }
+                    _ => {}
+                }
+            }
+        }
+        ConeDemand {
+            gates,
+            complemented_sources: neg_sources,
+            root,
+        }
+    }
+
+    /// Synthesizes the inverter-free domino block for `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::AssignmentMismatch`] if the assignment length
+    /// differs from [`DominoSynthesizer::view_outputs`].
+    pub fn synthesize(&self, assignment: &PhaseAssignment) -> Result<DominoNetwork, PhaseError> {
+        if assignment.len() != self.view_outputs.len() {
+            return Err(PhaseError::AssignmentMismatch {
+                expected: self.view_outputs.len(),
+                got: assignment.len(),
+            });
+        }
+        // Demand closure with explicit post-order so gates come out
+        // topologically sorted.
+        let mut state: HashMap<(NodeId, bool), u8> = HashMap::new(); // 1 = open, 2 = done
+        let mut postorder: Vec<(NodeId, bool)> = Vec::new();
+        let mut neg_sources: Vec<NodeId> = Vec::new();
+        let mut neg_seen: HashMap<NodeId, ()> = HashMap::new();
+
+        let mut roots: Vec<DemandRoot> = Vec::with_capacity(self.view_outputs.len());
+        for (i, vo) in self.view_outputs.iter().enumerate() {
+            roots.push(self.resolve(vo.driver, assignment.phase(i).is_negative()));
+        }
+        for &root in &roots {
+            match root {
+                DemandRoot::Node(n, c) => {
+                    self.demand_dfs(n, c, &mut state, &mut postorder, &mut neg_sources, &mut neg_seen);
+                }
+                DemandRoot::Source(s, true)
+                    if neg_seen.insert(s, ()).is_none() => {
+                        neg_sources.push(s);
+                    }
+                _ => {}
+            }
+        }
+
+        // Emit gates in post-order.
+        let mut gate_index: HashMap<(NodeId, bool), usize> = HashMap::new();
+        let mut gates: Vec<DominoGate> = Vec::with_capacity(postorder.len());
+        for &(n, c) in &postorder {
+            let node = self.net.node(n);
+            let kind = match (node.kind, c) {
+                (NodeKind::And, false) | (NodeKind::Or, true) => DominoGateKind::And,
+                (NodeKind::Or, false) | (NodeKind::And, true) => DominoGateKind::Or,
+                _ => unreachable!("demand closure only contains and/or nodes"),
+            };
+            let fanins = node
+                .comb_fanins()
+                .iter()
+                .map(|&f| match self.resolve(f, c) {
+                    DemandRoot::Node(m, mc) => DominoRef::Gate(gate_index[&(m, mc)]),
+                    DemandRoot::Source(s, sc) => DominoRef::Source {
+                        node: s,
+                        complemented: sc,
+                    },
+                    DemandRoot::Constant(v) => DominoRef::Constant(v),
+                })
+                .collect();
+            gate_index.insert((n, c), gates.len());
+            gates.push(DominoGate {
+                source: n,
+                complemented: c,
+                kind,
+                fanins,
+            });
+        }
+
+        let outputs = self
+            .view_outputs
+            .iter()
+            .zip(roots.iter())
+            .enumerate()
+            .map(|(i, (vo, &root))| DominoOutput {
+                name: vo.name.clone(),
+                driver: match root {
+                    DemandRoot::Node(n, c) => DominoRef::Gate(gate_index[&(n, c)]),
+                    DemandRoot::Source(s, c) => DominoRef::Source {
+                        node: s,
+                        complemented: c,
+                    },
+                    DemandRoot::Constant(v) => DominoRef::Constant(v),
+                },
+                phase: assignment.phase(i),
+                is_latch_data: vo.is_latch_data,
+            })
+            .collect();
+
+        let latch_inits = self
+            .net
+            .latches()
+            .iter()
+            .map(|&l| match self.net.node(l).kind {
+                NodeKind::Latch { init } => init,
+                _ => unreachable!("latch list contains non-latch"),
+            })
+            .collect();
+        Ok(DominoNetwork {
+            gates,
+            gate_index,
+            input_inverters: neg_sources,
+            outputs,
+            sources: self.sources.clone(),
+            latch_inits,
+            assignment: assignment.clone(),
+        })
+    }
+
+    fn demand_dfs(
+        &self,
+        root_n: NodeId,
+        root_c: bool,
+        state: &mut HashMap<(NodeId, bool), u8>,
+        postorder: &mut Vec<(NodeId, bool)>,
+        neg_sources: &mut Vec<NodeId>,
+        neg_seen: &mut HashMap<NodeId, ()>,
+    ) {
+        // Iterative DFS with an explicit frame stack: (node, comp, child idx).
+        if state.contains_key(&(root_n, root_c)) {
+            return;
+        }
+        let mut stack: Vec<((NodeId, bool), usize)> = vec![((root_n, root_c), 0)];
+        state.insert((root_n, root_c), 1);
+        while !stack.is_empty() {
+            let ((n, c), child) = {
+                let top = stack.last_mut().expect("stack is non-empty");
+                let frame = (top.0, top.1);
+                top.1 += 1;
+                frame
+            };
+            let fanins = self.net.node(n).comb_fanins();
+            if child < fanins.len() {
+                let f = fanins[child];
+                match self.resolve(f, c) {
+                    DemandRoot::Node(m, mc) => {
+                        if let std::collections::hash_map::Entry::Vacant(e) = state.entry((m, mc)) {
+                            e.insert(1);
+                            stack.push(((m, mc), 0));
+                        }
+                    }
+                    DemandRoot::Source(s, true)
+                        if neg_seen.insert(s, ()).is_none() => {
+                            neg_sources.push(s);
+                        }
+                    _ => {}
+                }
+            } else {
+                state.insert((n, c), 2);
+                postorder.push((n, c));
+                stack.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::Network;
+
+    /// The §3 example: f = (a+b)+(c·d), g = !(a+b) + !(c·d).
+    fn fig_functions() -> Network {
+        let mut net = Network::new("fig");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let aob = net.add_or([a, b]).unwrap();
+        let cad = net.add_and([c, d]).unwrap();
+        let f = net.add_or([aob, cad]).unwrap();
+        let naob = net.add_not(aob).unwrap();
+        let ncad = net.add_not(cad).unwrap();
+        let g = net.add_or([naob, ncad]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        net
+    }
+
+    fn check_equivalence(net: &Network, assignment: &PhaseAssignment) {
+        let synth = DominoSynthesizer::new(net).unwrap();
+        let domino = synth.synthesize(assignment).unwrap();
+        assert!(domino.is_inverter_free());
+        let n = net.inputs().len();
+        for bits in 0..(1u32 << n) {
+            let vals: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            let want = net.eval_comb(&vals).unwrap();
+            let got = domino.eval(&vals).unwrap();
+            assert_eq!(got, want, "assignment {assignment} vector {bits:b}");
+        }
+    }
+
+    #[test]
+    fn all_assignments_preserve_function() {
+        let net = fig_functions();
+        for bits in 0..4u64 {
+            check_equivalence(&net, &PhaseAssignment::from_bits(2, bits));
+        }
+    }
+
+    #[test]
+    fn negative_phase_adds_output_inverter() {
+        let net = fig_functions();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let pos = synth
+            .synthesize(&PhaseAssignment::all_positive(2))
+            .unwrap();
+        assert_eq!(pos.output_inverter_count(), 0);
+        let neg = synth
+            .synthesize(&PhaseAssignment::all_negative(2))
+            .unwrap();
+        assert_eq!(neg.output_inverter_count(), 2);
+    }
+
+    #[test]
+    fn demorgan_flips_gate_kinds() {
+        // f = !(a·b): negative phase block computes a·b (an AND gate);
+        // positive phase computes !a + !b (an OR gate over inverted rails).
+        let mut net = Network::new("nand");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let f = net.add_not(ab).unwrap();
+        net.add_output("f", f).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+
+        let neg = synth.synthesize(&PhaseAssignment::all_negative(1)).unwrap();
+        assert_eq!(neg.gate_count(), 1);
+        assert_eq!(neg.gates()[0].kind, DominoGateKind::And);
+        assert_eq!(neg.input_inverter_count(), 0);
+        assert_eq!(neg.output_inverter_count(), 1);
+
+        let pos = synth.synthesize(&PhaseAssignment::all_positive(1)).unwrap();
+        assert_eq!(pos.gate_count(), 1);
+        assert_eq!(pos.gates()[0].kind, DominoGateKind::Or);
+        assert_eq!(pos.input_inverter_count(), 2);
+        assert_eq!(pos.output_inverter_count(), 0);
+        check_equivalence(&net, &PhaseAssignment::all_positive(1));
+        check_equivalence(&net, &PhaseAssignment::all_negative(1));
+    }
+
+    #[test]
+    fn conflicting_phases_duplicate_logic() {
+        // Figure 4: f and g share the cone (a+b); demanding it in both
+        // polarities duplicates it.
+        let mut net = Network::new("dup");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let aob = net.add_or([a, b]).unwrap();
+        let naob = net.add_not(aob).unwrap();
+        let c = net.add_input("c").unwrap();
+        let f = net.add_and([aob, c]).unwrap();
+        let g = net.add_and([naob, c]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        // Both outputs positive: (a+b) needed direct for f, complemented
+        // for g.
+        let d = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        assert_eq!(d.duplicated_node_count(), 1);
+        check_equivalence(&net, &PhaseAssignment::all_positive(2));
+        // f positive, g negative: g's block computes !( !(a+b)·c ) =
+        // (a+b) + !c — no duplication of the (a+b) cone.
+        let mut pa = PhaseAssignment::all_positive(2);
+        pa.set(1, Phase::Negative);
+        let d2 = synth.synthesize(&pa).unwrap();
+        assert_eq!(d2.duplicated_node_count(), 0);
+        assert!(d2.gate_count() <= d.gate_count());
+        check_equivalence(&net, &pa);
+    }
+
+    #[test]
+    fn rails_are_monotone() {
+        // The domino block must be monotone in its rails: raising any
+        // source value can only raise gate outputs when the complemented
+        // rails are *held fixed* — equivalently, every gate is AND/OR of
+        // rails. We verify by checking there is no path from a source to a
+        // gate through any negation inside the block: structurally true,
+        // and dynamically: evaluating with all rails forced high yields all
+        // gates high.
+        let net = fig_functions();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for bits in 0..4u64 {
+            let d = synth.synthesize(&PhaseAssignment::from_bits(2, bits)).unwrap();
+            // In a single evaluate phase, a gate's output rises 0→1 only;
+            // check AND/OR structure has no constants-false shortcuts that
+            // would require a falling rail: evaluate twice with increasing
+            // source vectors and demand gate-wise monotonicity in the
+            // *rail* sense (sources fixed — rails include complements, so
+            // we compare two vectors where both v and !v rails rise is
+            // impossible; instead verify structural property):
+            assert!(d.is_inverter_free());
+        }
+    }
+
+    #[test]
+    fn cone_demand_matches_synthesis() {
+        let net = fig_functions();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for bits in 0..4u64 {
+            let pa = PhaseAssignment::from_bits(2, bits);
+            let d = synth.synthesize(&pa).unwrap();
+            // Union of per-output demands = synthesized gates.
+            let mut union: std::collections::HashSet<(NodeId, bool)> =
+                std::collections::HashSet::new();
+            let mut inv_union: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+            for i in 0..2 {
+                let cd = synth.cone_demand(i, pa.phase(i));
+                union.extend(cd.gates.iter().copied());
+                inv_union.extend(cd.complemented_sources.iter().copied());
+            }
+            let gates: std::collections::HashSet<(NodeId, bool)> = d
+                .gates()
+                .iter()
+                .map(|g| (g.source, g.complemented))
+                .collect();
+            assert_eq!(union, gates, "assignment {pa}");
+            let invs: std::collections::HashSet<NodeId> =
+                d.input_inverters().iter().copied().collect();
+            assert_eq!(inv_union, invs, "assignment {pa}");
+        }
+    }
+
+    #[test]
+    fn output_driven_by_source() {
+        let mut net = Network::new("wire");
+        let a = net.add_input("a").unwrap();
+        let na = net.add_not(a).unwrap();
+        net.add_output("w", a).unwrap();
+        net.add_output("nw", na).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let d = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        assert_eq!(d.gate_count(), 0);
+        // nw demands the complemented rail of a.
+        assert_eq!(d.input_inverter_count(), 1);
+        assert_eq!(d.eval(&[true]).unwrap(), vec![true, false]);
+        assert_eq!(d.eval(&[false]).unwrap(), vec![false, true]);
+        // Negative phase on nw serves it from the direct rail + output inv.
+        let mut pa = PhaseAssignment::all_positive(2);
+        pa.set(1, Phase::Negative);
+        let d2 = synth.synthesize(&pa).unwrap();
+        assert_eq!(d2.input_inverter_count(), 0);
+        assert_eq!(d2.output_inverter_count(), 1);
+        assert_eq!(d2.eval(&[true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn latch_view_outputs() {
+        let mut net = Network::new("seq");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        net.set_node_name(q, "q").unwrap();
+        let nq = net.add_not(q).unwrap();
+        let d = net.add_and([a, nq]).unwrap();
+        net.set_latch_data(q, d).unwrap();
+        net.add_output("o", q).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        assert_eq!(synth.view_outputs().len(), 2);
+        assert!(synth.view_outputs()[1].is_latch_data);
+        assert_eq!(synth.view_outputs()[1].name, "q.d");
+        let dn = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        // The latch data cone needs !q: an input inverter on the q rail.
+        assert_eq!(dn.input_inverter_count(), 1);
+        // Sources are [a, q]; outputs are [o, q.d].
+        assert_eq!(dn.eval(&[true, false]).unwrap(), vec![false, true]);
+        assert_eq!(dn.eval(&[true, true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn wrong_assignment_length_rejected() {
+        let net = fig_functions();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        assert!(matches!(
+            synth.synthesize(&PhaseAssignment::all_positive(3)),
+            Err(PhaseError::AssignmentMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn formal_equivalence_via_bdds() {
+        // The exported domino block is *formally* equivalent to the
+        // combinational view, for every assignment — checked by shared-BDD
+        // identity, not sampling.
+        let net = fig_functions();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let view = synth.comb_view();
+        for bits in 0..4u64 {
+            let pa = PhaseAssignment::from_bits(2, bits);
+            let domino = synth.synthesize(&pa).unwrap();
+            let exported = domino.to_network();
+            assert_eq!(
+                domino_bdd::circuit::check_equivalence(&view, &exported).unwrap(),
+                None,
+                "assignment {pa}"
+            );
+        }
+    }
+
+    #[test]
+    fn formal_equivalence_sequential_view() {
+        let mut net = Network::new("seq");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let nq = net.add_not(q).unwrap();
+        let d = net.add_and([a, nq]).unwrap();
+        net.set_latch_data(q, d).unwrap();
+        net.add_output("o", d).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let view = synth.comb_view();
+        assert_eq!(view.inputs().len(), 2); // a and the q rail
+        assert_eq!(view.outputs().len(), 2); // o and q.d
+        for bits in 0..4u64 {
+            let pa = PhaseAssignment::from_bits(2, bits);
+            let domino = synth.synthesize(&pa).unwrap();
+            assert_eq!(
+                domino_bdd::circuit::check_equivalence(&view, &domino.to_network()).unwrap(),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn constant_outputs() {
+        let mut net = Network::new("const");
+        let c1 = net.add_const(true);
+        let a = net.add_input("a").unwrap();
+        let g = net.add_and([a, c1]).unwrap();
+        net.add_output("f", g).unwrap();
+        net.add_output("k", c1).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        for bits in 0..4u64 {
+            let pa = PhaseAssignment::from_bits(2, bits);
+            let d = synth.synthesize(&pa).unwrap();
+            assert_eq!(d.eval(&[true]).unwrap(), vec![true, true]);
+            assert_eq!(d.eval(&[false]).unwrap(), vec![false, true]);
+        }
+    }
+}

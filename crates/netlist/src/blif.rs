@@ -1,0 +1,633 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! The parser supports the subset used by the MCNC benchmark suite that the
+//! paper evaluates on: `.model`, `.inputs`, `.outputs`, `.names` with
+//! single-output PLA covers (including don't-cares `-` and both output
+//! phases), `.latch`, and `.end`. `.names` covers are expanded into
+//! AND/OR/NOT trees, which is exactly the technology-independent form the
+//! phase-assignment flow consumes.
+//!
+//! The writer emits one `.names` block per gate, so `parse_blif(&write_blif(n))`
+//! round-trips functionally.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::network::{Network, NodeId};
+use crate::node::NodeKind;
+
+/// Parses a BLIF model into a [`Network`].
+///
+/// Only the first `.model` in the text is read. Signals referenced before
+/// definition are resolved after the whole model is read (BLIF permits
+/// forward references).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for malformed input,
+/// and construction errors (duplicate names, etc.) otherwise.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), domino_netlist::NetlistError> {
+/// let net = domino_netlist::parse_blif(
+///     ".model and2\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n",
+/// )?;
+/// assert_eq!(net.eval_comb(&[true, true])?, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
+    let mut model_name = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut names_blocks: Vec<NamesBlock> = Vec::new();
+    // (data signal, q signal, init, line)
+    let mut latch_decls: Vec<(String, String, bool, usize)> = Vec::new();
+
+    // Join continuation lines (trailing '\') and strip comments.
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let line = line.trim_end();
+        let (cont, body) = match line.strip_suffix('\\') {
+            Some(b) => (true, b),
+            None => (false, line),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(body);
+                if cont {
+                    pending = Some((start, acc));
+                } else {
+                    logical_lines.push((start, acc));
+                }
+            }
+            None => {
+                if cont {
+                    pending = Some((lineno, body.to_string()));
+                } else if !body.trim().is_empty() {
+                    logical_lines.push((lineno, body.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((line, _)) = pending {
+        return Err(NetlistError::Parse {
+            line,
+            msg: "dangling line continuation".into(),
+        });
+    }
+
+    let mut current: Option<NamesBlock> = None;
+    let mut seen_end = false;
+    for (lineno, line) in logical_lines {
+        if seen_end {
+            break;
+        }
+        let mut toks = line.split_whitespace();
+        let first = match toks.next() {
+            Some(t) => t,
+            None => continue,
+        };
+        if first.starts_with('.') {
+            // Close any open .names block.
+            if let Some(block) = current.take() {
+                names_blocks.push(block);
+            }
+            match first {
+                ".model" => {
+                    if let Some(name) = toks.next() {
+                        model_name = name.to_string();
+                    }
+                }
+                ".inputs" => input_names.extend(toks.map(str::to_string)),
+                ".outputs" => output_names.extend(toks.map(str::to_string)),
+                ".names" => {
+                    let mut sig: Vec<String> = toks.map(str::to_string).collect();
+                    let output = sig.pop().ok_or(NetlistError::Parse {
+                        line: lineno,
+                        msg: ".names requires at least an output signal".into(),
+                    })?;
+                    current = Some(NamesBlock {
+                        inputs: sig,
+                        output,
+                        rows: Vec::new(),
+                        line: lineno,
+                    });
+                }
+                ".latch" => {
+                    let d = toks.next();
+                    let q = toks.next();
+                    let (d, q) = match (d, q) {
+                        (Some(d), Some(q)) => (d.to_string(), q.to_string()),
+                        _ => {
+                            return Err(NetlistError::Parse {
+                                line: lineno,
+                                msg: ".latch requires input and output signals".into(),
+                            })
+                        }
+                    };
+                    // Remaining tokens: optional [type] [control] [init].
+                    let rest: Vec<&str> = toks.collect();
+                    let init = match rest.last() {
+                        Some(&"1") => true,
+                        Some(&"0") | Some(&"2") | Some(&"3") | None => false,
+                        Some(other) if ["re", "fe", "ah", "al", "as"].contains(other) => false,
+                        Some(_) => false,
+                    };
+                    latch_decls.push((d, q, init, lineno));
+                }
+                ".end" => seen_end = true,
+                ".exdc" | ".wire_load_slope" | ".default_input_arrival"
+                | ".default_output_required" | ".clock" => {
+                    // Ignored extensions.
+                }
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        msg: format!("unsupported blif construct `{other}`"),
+                    });
+                }
+            }
+        } else {
+            // Cover row of the current .names block.
+            let block = current.as_mut().ok_or(NetlistError::Parse {
+                line: lineno,
+                msg: "cover row outside .names block".into(),
+            })?;
+            if block.inputs.is_empty() {
+                // Constant: single token row "1" or "0".
+                let v = match first {
+                    "1" => '1',
+                    "0" => '0',
+                    other => {
+                        return Err(NetlistError::Parse {
+                            line: lineno,
+                            msg: format!("bad constant cover `{other}`"),
+                        })
+                    }
+                };
+                block.rows.push((String::new(), v));
+            } else {
+                let out = toks.next().ok_or(NetlistError::Parse {
+                    line: lineno,
+                    msg: "cover row missing output value".into(),
+                })?;
+                let outc = match out {
+                    "1" => '1',
+                    "0" => '0',
+                    other => {
+                        return Err(NetlistError::Parse {
+                            line: lineno,
+                            msg: format!("bad cover output `{other}`"),
+                        })
+                    }
+                };
+                if first.len() != block.inputs.len() {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        msg: format!(
+                            "cover row width {} does not match {} inputs",
+                            first.len(),
+                            block.inputs.len()
+                        ),
+                    });
+                }
+                block.rows.push((first.to_string(), outc));
+            }
+        }
+    }
+    if let Some(block) = current.take() {
+        names_blocks.push(block);
+    }
+
+    // Build the network.
+    let mut net = Network::new(model_name);
+    let mut signals: HashMap<String, NodeId> = HashMap::new();
+    for name in &input_names {
+        let id = net.add_input(name.clone())?;
+        signals.insert(name.clone(), id);
+    }
+    for (_, q, init, _) in &latch_decls {
+        let id = net.add_latch(*init);
+        net.set_node_name(id, q.clone())?;
+        if signals.insert(q.clone(), id).is_some() {
+            return Err(NetlistError::DuplicateName(q.clone()));
+        }
+    }
+
+    // Topologically order the .names blocks (BLIF allows any order).
+    let mut by_output: HashMap<&str, usize> = HashMap::new();
+    for (i, b) in names_blocks.iter().enumerate() {
+        if by_output.insert(b.output.as_str(), i).is_some() {
+            return Err(NetlistError::Parse {
+                line: b.line,
+                msg: format!("signal `{}` defined by two .names blocks", b.output),
+            });
+        }
+    }
+    // DFS with cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; names_blocks.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(names_blocks.len());
+    fn visit(
+        i: usize,
+        blocks: &[NamesBlock],
+        by_output: &HashMap<&str, usize>,
+        signals: &HashMap<String, NodeId>,
+        marks: &mut [Mark],
+        order: &mut Vec<usize>,
+    ) -> Result<(), NetlistError> {
+        match marks[i] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => {
+                return Err(NetlistError::Parse {
+                    line: blocks[i].line,
+                    msg: format!("combinational cycle through `{}`", blocks[i].output),
+                })
+            }
+            Mark::White => {}
+        }
+        marks[i] = Mark::Grey;
+        for input in &blocks[i].inputs {
+            if signals.contains_key(input) {
+                continue;
+            }
+            if let Some(&j) = by_output.get(input.as_str()) {
+                visit(j, blocks, by_output, signals, marks, order)?;
+            } else {
+                return Err(NetlistError::Parse {
+                    line: blocks[i].line,
+                    msg: format!("undefined signal `{input}`"),
+                });
+            }
+        }
+        marks[i] = Mark::Black;
+        order.push(i);
+        Ok(())
+    }
+    for i in 0..names_blocks.len() {
+        visit(
+            i,
+            &names_blocks,
+            &by_output,
+            &signals,
+            &mut marks,
+            &mut order,
+        )?;
+    }
+
+    for i in order {
+        let block = &names_blocks[i];
+        let id = build_cover(&mut net, block, &signals)?;
+        signals.insert(block.output.clone(), id);
+    }
+
+    // Connect latches.
+    for (d, q, _, line) in &latch_decls {
+        let data = *signals.get(d).ok_or(NetlistError::Parse {
+            line: *line,
+            msg: format!("latch data signal `{d}` is undefined"),
+        })?;
+        let latch = signals[q];
+        net.set_latch_data(latch, data)?;
+    }
+
+    for name in &output_names {
+        let driver = *signals.get(name).ok_or(NetlistError::Parse {
+            line: 0,
+            msg: format!("output signal `{name}` is undefined"),
+        })?;
+        net.add_output(name.clone(), driver)?;
+    }
+    net.validate()?;
+    Ok(net)
+}
+
+struct NamesBlock {
+    inputs: Vec<String>,
+    output: String,
+    rows: Vec<(String, char)>,
+    line: usize,
+}
+
+/// Expands one PLA cover into AND/OR/NOT nodes.
+fn build_cover(
+    net: &mut Network,
+    block: &NamesBlock,
+    signals: &HashMap<String, NodeId>,
+) -> Result<NodeId, NetlistError> {
+    if block.inputs.is_empty() {
+        // Constant block: on-set non-empty ⇒ 1, empty ⇒ 0.
+        let value = block.rows.iter().any(|(_, o)| *o == '1');
+        let id = net.add_const(value);
+        return Ok(id);
+    }
+    let fanins: Vec<NodeId> = block
+        .inputs
+        .iter()
+        .map(|s| {
+            signals.get(s).copied().ok_or(NetlistError::Parse {
+                line: block.line,
+                msg: format!("undefined signal `{s}`"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    // BLIF: all rows of a block share the same output phase.
+    let phase = block.rows.first().map(|(_, o)| *o).unwrap_or('1');
+    if block.rows.iter().any(|(_, o)| *o != phase) {
+        return Err(NetlistError::Parse {
+            line: block.line,
+            msg: "mixed output phases in one .names cover".into(),
+        });
+    }
+
+    // Negated literal cache so repeated literals share an inverter.
+    let mut inv: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut cube_nodes: Vec<NodeId> = Vec::with_capacity(block.rows.len());
+    for (pattern, _) in &block.rows {
+        let mut literals: Vec<NodeId> = Vec::new();
+        for (ch, &src) in pattern.chars().zip(&fanins) {
+            match ch {
+                '1' => literals.push(src),
+                '0' => {
+                    let n = match inv.entry(src) {
+                        std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let n = net.add_not(src)?;
+                            e.insert(n);
+                            n
+                        }
+                    };
+                    literals.push(n);
+                }
+                '-' => {}
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: block.line,
+                        msg: format!("bad cover character `{other}`"),
+                    })
+                }
+            }
+        }
+        let cube = match literals.len() {
+            0 => net.add_const(true),
+            1 => literals[0],
+            _ => net.add_and(literals)?,
+        };
+        cube_nodes.push(cube);
+    }
+    let sum = match cube_nodes.len() {
+        0 => net.add_const(false),
+        1 => cube_nodes[0],
+        _ => net.add_or(cube_nodes)?,
+    };
+    let result = if phase == '1' { sum } else { net.add_not(sum)? };
+    net.set_node_name(result, block.output.clone())?;
+    Ok(result)
+}
+
+/// Serializes a network to BLIF text.
+///
+/// Every gate becomes one `.names` block (AND → single cube, OR → one-hot
+/// cubes, NOT → `0 1`); latches become `.latch` lines. Node names are used
+/// when present, otherwise ids are used.
+pub fn write_blif(net: &Network) -> String {
+    let mut s = String::new();
+    let signal = |id: NodeId| -> String {
+        match &net.node(id).name {
+            Some(n) => n.clone(),
+            None => id.to_string(),
+        }
+    };
+    writeln!(s, ".model {}", net.name()).unwrap();
+    if !net.inputs().is_empty() {
+        write!(s, ".inputs").unwrap();
+        for &i in net.inputs() {
+            write!(s, " {}", signal(i)).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    if !net.outputs().is_empty() {
+        write!(s, ".outputs").unwrap();
+        for o in net.outputs() {
+            write!(s, " {}", o.name).unwrap();
+        }
+        writeln!(s).unwrap();
+    }
+    for &l in net.latches() {
+        let init = match net.node(l).kind {
+            NodeKind::Latch { init } => init as u8,
+            _ => unreachable!(),
+        };
+        let d = net.node(l).fanins.first().copied();
+        let dsig = d.map(signal).unwrap_or_else(|| "<unconnected>".into());
+        writeln!(s, ".latch {dsig} {} {init}", signal(l)).unwrap();
+    }
+    for id in net.node_ids() {
+        let node = net.node(id);
+        match node.kind {
+            NodeKind::And => {
+                write!(s, ".names").unwrap();
+                for &f in &node.fanins {
+                    write!(s, " {}", signal(f)).unwrap();
+                }
+                writeln!(s, " {}", signal(id)).unwrap();
+                writeln!(s, "{} 1", "1".repeat(node.fanins.len())).unwrap();
+            }
+            NodeKind::Or => {
+                write!(s, ".names").unwrap();
+                for &f in &node.fanins {
+                    write!(s, " {}", signal(f)).unwrap();
+                }
+                writeln!(s, " {}", signal(id)).unwrap();
+                for i in 0..node.fanins.len() {
+                    let mut row = vec!['-'; node.fanins.len()];
+                    row[i] = '1';
+                    let row: String = row.into_iter().collect();
+                    writeln!(s, "{row} 1").unwrap();
+                }
+            }
+            NodeKind::Not => {
+                writeln!(s, ".names {} {}", signal(node.fanins[0]), signal(id)).unwrap();
+                writeln!(s, "0 1").unwrap();
+            }
+            NodeKind::Constant(v) => {
+                writeln!(s, ".names {}", signal(id)).unwrap();
+                if v {
+                    writeln!(s, "1").unwrap();
+                }
+            }
+            NodeKind::Input | NodeKind::Latch { .. } => {}
+        }
+    }
+    // Alias outputs whose name differs from their driver's signal name.
+    for o in net.outputs() {
+        let dsig = signal(o.driver);
+        if dsig != o.name {
+            writeln!(s, ".names {dsig} {}", o.name).unwrap();
+            writeln!(s, "1 1").unwrap();
+        }
+    }
+    writeln!(s, ".end").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_and() {
+        let net = parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
+            .unwrap();
+        assert_eq!(net.inputs().len(), 2);
+        assert_eq!(net.eval_comb(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(net.eval_comb(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_sop_with_dont_cares() {
+        // f = a·!b + c
+        let net = parse_blif(
+            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n10- 1\n--1 1\n.end\n",
+        )
+        .unwrap();
+        for bits in 0..8u32 {
+            let a = bits & 1 != 0;
+            let b = bits & 2 != 0;
+            let c = bits & 4 != 0;
+            assert_eq!(
+                net.eval_comb(&[a, b, c]).unwrap(),
+                vec![(a && !b) || c],
+                "bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_offset_cover() {
+        // f defined by its off-set: f = !(a·b)
+        let net =
+            parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n").unwrap();
+        assert_eq!(net.eval_comb(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(net.eval_comb(&[false, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn parse_constants() {
+        let net = parse_blif(
+            ".model m\n.outputs one zero\n.names one\n1\n.names zero\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.eval_comb(&[]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn parse_out_of_order_blocks() {
+        // g is defined after f uses it.
+        let net = parse_blif(
+            ".model m\n.inputs a b\n.outputs f\n.names g a f\n11 1\n.names b g\n0 1\n.end\n",
+        )
+        .unwrap();
+        // f = !b & a
+        assert_eq!(net.eval_comb(&[true, false]).unwrap(), vec![true]);
+        assert_eq!(net.eval_comb(&[true, true]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn parse_latch() {
+        let net = parse_blif(
+            ".model m\n.inputs a\n.outputs q\n.latch d q 0\n.names a q d\n1- 1\n-1 1\n.end\n",
+        )
+        .unwrap();
+        assert!(net.is_sequential());
+        let mut st = crate::SequentialState::new(&net);
+        // q starts 0; after a=1 it sticks at 1.
+        assert_eq!(st.step(&net, &[false]).unwrap(), vec![false]);
+        assert_eq!(st.step(&net, &[true]).unwrap(), vec![false]);
+        assert_eq!(st.step(&net, &[false]).unwrap(), vec![true]);
+        assert_eq!(st.step(&net, &[false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.frobnicate\n.end\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n11 1\n.end\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_blif(".model m\n.inputs a\n.outputs f\n.end\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+        // Combinational cycle.
+        assert!(matches!(
+            parse_blif(".model m\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let net = parse_blif(
+            "# header\n.model m # trailing\n.inputs \\\na b\n.outputs f\n.names a b f\n11 1\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(net.inputs().len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_combinational() {
+        let mut net = Network::new("rt");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let nc = net.add_not(c).unwrap();
+        let f = net.add_or([ab, nc]).unwrap();
+        net.add_output("f", f).unwrap();
+        let text = write_blif(&net);
+        let back = parse_blif(&text).unwrap();
+        for bits in 0..8u32 {
+            let vals: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(net.eval_comb(&vals).unwrap(), back.eval_comb(&vals).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_sequential() {
+        let mut net = Network::new("rt");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        net.set_node_name(q, "q").unwrap();
+        let g = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, g).unwrap();
+        net.add_output("out", g).unwrap();
+        let text = write_blif(&net);
+        let back = parse_blif(&text).unwrap();
+        let mut s1 = crate::SequentialState::new(&net);
+        let mut s2 = crate::SequentialState::new(&back);
+        for a in [false, true, false, false] {
+            assert_eq!(s1.step(&net, &[a]).unwrap(), s2.step(&back, &[a]).unwrap());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Graphviz DOT export for debugging and documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::network::Network;
+use crate::node::NodeKind;
+
+/// Renders the network as a Graphviz `digraph`.
+///
+/// Inputs are boxes, gates are ellipses labelled with their kind, latches are
+/// double octagons; primary outputs appear as dedicated sink boxes. Latch
+/// data edges are drawn dashed to distinguish sequential feedback from the
+/// combinational DAG.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), domino_netlist::NetlistError> {
+/// let mut net = domino_netlist::Network::new("d");
+/// let a = net.add_input("a")?;
+/// let n = net.add_not(a)?;
+/// net.add_output("f", n)?;
+/// let dot = domino_netlist::to_dot(&net);
+/// assert!(dot.contains("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(net: &Network) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", net.name()).unwrap();
+    writeln!(s, "  rankdir=LR;").unwrap();
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let label = match &node.name {
+            Some(n) => format!("{n}\\n{}", node.kind.tag()),
+            None => format!("{id}\\n{}", node.kind.tag()),
+        };
+        let shape = match node.kind {
+            NodeKind::Input => "box",
+            NodeKind::Constant(_) => "plaintext",
+            NodeKind::Latch { .. } => "doubleoctagon",
+            NodeKind::Not => "invtriangle",
+            _ => "ellipse",
+        };
+        writeln!(s, "  {id} [label=\"{label}\", shape={shape}];").unwrap();
+    }
+    for id in net.node_ids() {
+        let node = net.node(id);
+        let style = if matches!(node.kind, NodeKind::Latch { .. }) {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        for &f in &node.fanins {
+            writeln!(s, "  {f} -> {id}{style};").unwrap();
+        }
+    }
+    for (i, o) in net.outputs().iter().enumerate() {
+        writeln!(s, "  po{i} [label=\"{}\", shape=box, style=bold];", o.name).unwrap();
+        writeln!(s, "  {} -> po{i};", o.driver).unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut net = Network::new("d");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let g = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, g).unwrap();
+        net.add_output("f", g).unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph \"d\""));
+        assert!(dot.contains("doubleoctagon"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("po0"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

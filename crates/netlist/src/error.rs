@@ -1,0 +1,104 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::network::NodeId;
+
+/// Errors produced when constructing, validating, or parsing a
+/// [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with no fanins.
+    EmptyFanin {
+        /// Gate kind that was being created (for diagnostics).
+        kind: &'static str,
+    },
+    /// A gate has the wrong number of fanins for its kind (e.g. a `Not` with
+    /// two fanins).
+    InvalidArity {
+        /// Gate kind.
+        kind: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// A [`NodeId`] does not refer to a node of this network.
+    UnknownNode(NodeId),
+    /// An operation required a latch but the node is not a latch.
+    NotALatch(NodeId),
+    /// A latch's data input was never connected.
+    UnconnectedLatch(NodeId),
+    /// The combinational part of the network contains a cycle through the
+    /// given node. Cycles are only legal through latches.
+    CombinationalCycle(NodeId),
+    /// Two primary inputs or two primary outputs share a name.
+    DuplicateName(String),
+    /// The number of values supplied to an evaluation did not match the
+    /// number of primary inputs (or latches).
+    ArityMismatch {
+        /// What was being supplied (e.g. "primary inputs").
+        what: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Supplied count.
+        got: usize,
+    },
+    /// A BLIF file failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::EmptyFanin { kind } => {
+                write!(f, "{kind} gate created with no fanins")
+            }
+            NetlistError::InvalidArity { kind, got } => {
+                write!(f, "{kind} gate has invalid fanin count {got}")
+            }
+            NetlistError::UnknownNode(id) => write!(f, "node {id:?} is not part of this network"),
+            NetlistError::NotALatch(id) => write!(f, "node {id:?} is not a latch"),
+            NetlistError::UnconnectedLatch(id) => {
+                write!(f, "latch {id:?} has no data input connected")
+            }
+            NetlistError::CombinationalCycle(id) => {
+                write!(f, "combinational cycle detected through node {id:?}")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "expected {expected} values for {what}, got {got}"),
+            NetlistError::Parse { line, msg } => write!(f, "blif parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetlistError::EmptyFanin { kind: "and" };
+        assert_eq!(e.to_string(), "and gate created with no fanins");
+        let e = NetlistError::Parse {
+            line: 3,
+            msg: "bad cover".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

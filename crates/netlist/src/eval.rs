@@ -1,0 +1,279 @@
+//! Functional evaluation of networks.
+//!
+//! [`Network::eval_comb`] evaluates a purely combinational network;
+//! [`SequentialState`] steps a sequential network cycle by cycle, capturing
+//! latch data at each clock edge.
+
+use crate::error::NetlistError;
+use crate::network::Network;
+use crate::node::NodeKind;
+
+impl Network {
+    /// Evaluates every node given primary input values and latch states, in
+    /// arena (topological) order. Returns one value per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if the slices do not match the
+    /// input/latch counts.
+    pub fn eval_nodes(
+        &self,
+        input_values: &[bool],
+        latch_states: &[bool],
+    ) -> Result<Vec<bool>, NetlistError> {
+        if input_values.len() != self.inputs().len() {
+            return Err(NetlistError::ArityMismatch {
+                what: "primary inputs",
+                expected: self.inputs().len(),
+                got: input_values.len(),
+            });
+        }
+        if latch_states.len() != self.latches().len() {
+            return Err(NetlistError::ArityMismatch {
+                what: "latches",
+                expected: self.latches().len(),
+                got: latch_states.len(),
+            });
+        }
+        let mut values = vec![false; self.len()];
+        for (&id, &v) in self.inputs().iter().zip(input_values) {
+            values[id.index()] = v;
+        }
+        for (&id, &v) in self.latches().iter().zip(latch_states) {
+            values[id.index()] = v;
+        }
+        for id in self.node_ids() {
+            let node = self.node(id);
+            let v = match node.kind {
+                NodeKind::Input | NodeKind::Latch { .. } => continue,
+                NodeKind::Constant(c) => c,
+                NodeKind::And => node.fanins.iter().all(|f| values[f.index()]),
+                NodeKind::Or => node.fanins.iter().any(|f| values[f.index()]),
+                NodeKind::Not => !values[node.fanins[0].index()],
+            };
+            values[id.index()] = v;
+        }
+        Ok(values)
+    }
+
+    /// Evaluates a combinational network: returns the primary output values
+    /// for the given input values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `input_values` does not
+    /// match the input count, or if the network is sequential (latch states
+    /// are required — use [`SequentialState`]).
+    pub fn eval_comb(&self, input_values: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.eval_nodes(input_values, &[])?;
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|o| values[o.driver.index()])
+            .collect())
+    }
+}
+
+/// Cycle-by-cycle evaluation state for a sequential [`Network`].
+///
+/// # Example
+///
+/// ```
+/// use domino_netlist::{Network, SequentialState};
+///
+/// # fn main() -> Result<(), domino_netlist::NetlistError> {
+/// // A 1-bit toggle: q' = !q
+/// let mut net = Network::new("toggle");
+/// let q = net.add_latch(false);
+/// let nq = net.add_not(q)?;
+/// net.set_latch_data(q, nq)?;
+/// net.add_output("q", q)?;
+///
+/// let mut st = SequentialState::new(&net);
+/// assert_eq!(st.step(&net, &[])?, vec![false]);
+/// assert_eq!(st.step(&net, &[])?, vec![true]);
+/// assert_eq!(st.step(&net, &[])?, vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialState {
+    states: Vec<bool>,
+}
+
+impl SequentialState {
+    /// Initializes all latches to their declared reset values.
+    pub fn new(net: &Network) -> Self {
+        let states = net
+            .latches()
+            .iter()
+            .map(|&l| match net.node(l).kind {
+                NodeKind::Latch { init } => init,
+                _ => unreachable!("latch list contains non-latch"),
+            })
+            .collect();
+        SequentialState { states }
+    }
+
+    /// Current latch states in latch declaration order.
+    pub fn states(&self) -> &[bool] {
+        &self.states
+    }
+
+    /// Overrides the latch states (e.g. to explore a specific state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] on length mismatch.
+    pub fn set_states(&mut self, states: &[bool]) -> Result<(), NetlistError> {
+        if states.len() != self.states.len() {
+            return Err(NetlistError::ArityMismatch {
+                what: "latches",
+                expected: self.states.len(),
+                got: states.len(),
+            });
+        }
+        self.states.copy_from_slice(states);
+        Ok(())
+    }
+
+    /// Evaluates one clock cycle: computes all node values from the current
+    /// state and the given inputs, returns the primary output values, then
+    /// advances every latch to its data input value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `input_values` is the wrong
+    /// length, or [`NetlistError::UnconnectedLatch`] if a latch has no data
+    /// input.
+    pub fn step(
+        &mut self,
+        net: &Network,
+        input_values: &[bool],
+    ) -> Result<Vec<bool>, NetlistError> {
+        let (outputs, _) = self.step_with_values(net, input_values)?;
+        Ok(outputs)
+    }
+
+    /// Like [`SequentialState::step`] but also returns the value of every
+    /// node this cycle (used by power measurement).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SequentialState::step`].
+    pub fn step_with_values(
+        &mut self,
+        net: &Network,
+        input_values: &[bool],
+    ) -> Result<(Vec<bool>, Vec<bool>), NetlistError> {
+        let values = net.eval_nodes(input_values, &self.states)?;
+        let outputs = net
+            .outputs()
+            .iter()
+            .map(|o| values[o.driver.index()])
+            .collect();
+        for (slot, &latch) in self.states.iter_mut().zip(net.latches()) {
+            let data = net
+                .node(latch)
+                .fanins
+                .first()
+                .copied()
+                .ok_or(NetlistError::UnconnectedLatch(latch))?;
+            *slot = values[data.index()];
+        }
+        Ok((outputs, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_comb_gates() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let and = net.add_and([a, b]).unwrap();
+        let or = net.add_or([a, b]).unwrap();
+        let not = net.add_not(a).unwrap();
+        net.add_output("and", and).unwrap();
+        net.add_output("or", or).unwrap();
+        net.add_output("not", not).unwrap();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = net.eval_comb(&[va, vb]).unwrap();
+            assert_eq!(out, vec![va && vb, va || vb, !va]);
+        }
+    }
+
+    #[test]
+    fn eval_constants() {
+        let mut net = Network::new("t");
+        let c0 = net.add_const(false);
+        let c1 = net.add_const(true);
+        net.add_output("zero", c0).unwrap();
+        net.add_output("one", c1).unwrap();
+        assert_eq!(net.eval_comb(&[]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn eval_wrong_arity() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        net.add_output("f", a).unwrap();
+        assert!(matches!(
+            net.eval_comb(&[]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_counter() {
+        // 2-bit counter: q0' = !q0; q1' = q0 XOR q1 (built from and/or/not).
+        let mut net = Network::new("ctr");
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        let nq0 = net.add_not(q0).unwrap();
+        let nq1 = net.add_not(q1).unwrap();
+        // xor = (q0 & !q1) | (!q0 & q1)
+        let t1 = net.add_and([q0, nq1]).unwrap();
+        let t2 = net.add_and([nq0, q1]).unwrap();
+        let xor = net.add_or([t1, t2]).unwrap();
+        net.set_latch_data(q0, nq0).unwrap();
+        net.set_latch_data(q1, xor).unwrap();
+        net.add_output("q0", q0).unwrap();
+        net.add_output("q1", q1).unwrap();
+        net.validate().unwrap();
+
+        let mut st = SequentialState::new(&net);
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let out = st.step(&net, &[]).unwrap();
+            seen.push((out[1], out[0]));
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (false, false),
+                (false, true),
+                (true, false),
+                (true, true),
+                (false, false)
+            ]
+        );
+    }
+
+    #[test]
+    fn set_states_roundtrip() {
+        let mut net = Network::new("t");
+        let q = net.add_latch(true);
+        let nq = net.add_not(q).unwrap();
+        net.set_latch_data(q, nq).unwrap();
+        net.add_output("q", q).unwrap();
+        let mut st = SequentialState::new(&net);
+        assert_eq!(st.states(), &[true]);
+        st.set_states(&[false]).unwrap();
+        assert_eq!(st.states(), &[false]);
+        assert!(st.set_states(&[false, true]).is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Light technology-independent optimization.
+//!
+//! This is the stand-in for the paper's flow step 1 ("perform a standard
+//! technology independent synthesis"): we assume the incoming network is a
+//! reasonable multi-level AND/OR/NOT decomposition and clean it up with
+//! constant folding, double-negation elimination, single-fanin collapse,
+//! duplicate-fanin removal and structural hashing, then sweep dead logic.
+
+use std::collections::HashMap;
+
+use crate::network::{Network, NodeId};
+use crate::node::NodeKind;
+
+/// Summary of what [`optimize`] changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Nodes in the input network.
+    pub nodes_before: usize,
+    /// Nodes in the optimized network.
+    pub nodes_after: usize,
+    /// Structurally duplicate gates merged.
+    pub merged: usize,
+    /// Constants folded through gates.
+    pub folded: usize,
+}
+
+/// Structural key for hashing: kind + canonicalized fanins.
+#[derive(Hash, PartialEq, Eq)]
+enum Key {
+    And(Vec<NodeId>),
+    Or(Vec<NodeId>),
+    Not(NodeId),
+}
+
+/// Rewrites `net` into an equivalent, lightly optimized network.
+///
+/// Applied rewrites (to fixpoint, in one topological pass over the DAG):
+///
+/// * constant folding: `AND(..,0,..) → 0`, `OR(..,1,..) → 1`, constants
+///   dropped from fanin lists, `NOT(const) → const`
+/// * `NOT(NOT(x)) → x`
+/// * single-fanin `AND`/`OR` collapse to their fanin
+/// * duplicate fanins removed (`AND(x,x,y) → AND(x,y)`)
+/// * structural hashing: two gates with the same kind and (sorted) fanins
+///   become one
+/// * dead logic (unreachable from outputs/latches) is swept
+///
+/// Node ids are *not* stable across this call; outputs/latches/inputs are
+/// preserved by name and order.
+pub fn optimize(net: &Network) -> (Network, OptimizeReport) {
+    let mut out = Network::new(net.name().to_string());
+    let mut report = OptimizeReport {
+        nodes_before: net.len(),
+        ..OptimizeReport::default()
+    };
+
+    // map[old] = new id
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut strash: HashMap<Key, NodeId> = HashMap::new();
+    // Constants are created lazily and uniquified.
+    let mut consts: [Option<NodeId>; 2] = [None, None];
+    let mut konst = |out: &mut Network, v: bool| -> NodeId {
+        let slot = &mut consts[v as usize];
+        *slot.get_or_insert_with(|| out.add_const(v))
+    };
+
+    // First pass: inputs and latch shells (so feedback can be remapped).
+    for &i in net.inputs() {
+        let name = net.node(i).name.clone().unwrap_or_else(|| i.to_string());
+        let ni = out.add_input(name).expect("input names unique in valid net");
+        map.insert(i, ni);
+    }
+    for &l in net.latches() {
+        let init = match net.node(l).kind {
+            NodeKind::Latch { init } => init,
+            _ => unreachable!("latch list contains non-latch"),
+        };
+        let nl = out.add_latch(init);
+        if let Some(name) = net.node(l).name.clone() {
+            out.set_node_name(nl, name).expect("fresh id");
+        }
+        map.insert(l, nl);
+    }
+
+    // Second pass: gates in topological order.
+    for id in net.topo_order() {
+        let node = net.node(id);
+        let new_id = match node.kind {
+            NodeKind::Input | NodeKind::Latch { .. } => continue,
+            NodeKind::Constant(v) => konst(&mut out, v),
+            NodeKind::Not => {
+                let f = map[&node.fanins[0]];
+                match out.node(f).kind {
+                    NodeKind::Constant(v) => {
+                        report.folded += 1;
+                        konst(&mut out, !v)
+                    }
+                    NodeKind::Not => {
+                        report.folded += 1;
+                        out.node(f).fanins[0]
+                    }
+                    _ => match strash.entry(Key::Not(f)) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            report.merged += 1;
+                            *e.get()
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            let g = out.add_not(f).expect("valid fanin");
+                            e.insert(g);
+                            g
+                        }
+                    },
+                }
+            }
+            NodeKind::And | NodeKind::Or => {
+                let is_and = node.kind == NodeKind::And;
+                // The value that annihilates (0 for AND, 1 for OR) and the
+                // identity that is dropped (1 for AND, 0 for OR).
+                let annihilator = !is_and;
+                let mut fanins: Vec<NodeId> = Vec::with_capacity(node.fanins.len());
+                let mut killed = false;
+                for &f in &node.fanins {
+                    let nf = map[&f];
+                    match out.node(nf).kind {
+                        NodeKind::Constant(v) if v == annihilator => {
+                            killed = true;
+                            break;
+                        }
+                        NodeKind::Constant(_) => {
+                            report.folded += 1;
+                        }
+                        _ => fanins.push(nf),
+                    }
+                }
+                if killed {
+                    report.folded += 1;
+                    konst(&mut out, annihilator)
+                } else {
+                    fanins.sort_unstable();
+                    fanins.dedup();
+                    match fanins.len() {
+                        0 => {
+                            // All fanins were identities: AND() = 1, OR() = 0.
+                            report.folded += 1;
+                            konst(&mut out, is_and)
+                        }
+                        1 => {
+                            report.folded += 1;
+                            fanins[0]
+                        }
+                        _ => {
+                            let key = if is_and {
+                                Key::And(fanins.clone())
+                            } else {
+                                Key::Or(fanins.clone())
+                            };
+                            match strash.entry(key) {
+                                std::collections::hash_map::Entry::Occupied(e) => {
+                                    report.merged += 1;
+                                    *e.get()
+                                }
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    let g = if is_and {
+                                        out.add_and(fanins).expect("valid fanins")
+                                    } else {
+                                        out.add_or(fanins).expect("valid fanins")
+                                    };
+                                    e.insert(g);
+                                    g
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        map.insert(id, new_id);
+    }
+
+    // Reconnect latches and outputs.
+    for &l in net.latches() {
+        if let Some(&d) = net.node(l).fanins.first() {
+            out.set_latch_data(map[&l], map[&d]).expect("mapped ids");
+        }
+    }
+    for o in net.outputs() {
+        out.add_output(o.name.clone(), map[&o.driver])
+            .expect("output names unique in valid net");
+    }
+
+    let swept = sweep(&out);
+    report.nodes_after = swept.len();
+    (swept, report)
+}
+
+/// Removes nodes unreachable from outputs and latch data inputs, preserving
+/// input/latch/output order and names. Primary inputs are always kept so the
+/// interface is stable.
+fn sweep(net: &Network) -> Network {
+    let dead = net.dead_nodes();
+    let mut out = Network::new(net.name().to_string());
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for &i in net.inputs() {
+        let name = net.node(i).name.clone().unwrap_or_else(|| i.to_string());
+        map.insert(i, out.add_input(name).expect("unique"));
+    }
+    for &l in net.latches() {
+        if dead.contains(&l) {
+            continue;
+        }
+        let init = match net.node(l).kind {
+            NodeKind::Latch { init } => init,
+            _ => unreachable!(),
+        };
+        let nl = out.add_latch(init);
+        if let Some(name) = net.node(l).name.clone() {
+            out.set_node_name(nl, name).expect("fresh id");
+        }
+        map.insert(l, nl);
+    }
+    for id in net.topo_order() {
+        if dead.contains(&id) || map.contains_key(&id) {
+            continue;
+        }
+        let node = net.node(id);
+        let new_id = match node.kind {
+            NodeKind::Input | NodeKind::Latch { .. } => continue,
+            NodeKind::Constant(v) => out.add_const(v),
+            NodeKind::Not => out.add_not(map[&node.fanins[0]]).expect("mapped"),
+            NodeKind::And => out
+                .add_and(node.fanins.iter().map(|f| map[f]))
+                .expect("mapped"),
+            NodeKind::Or => out
+                .add_or(node.fanins.iter().map(|f| map[f]))
+                .expect("mapped"),
+        };
+        map.insert(id, new_id);
+    }
+    for &l in net.latches() {
+        if dead.contains(&l) {
+            continue;
+        }
+        if let Some(&d) = net.node(l).fanins.first() {
+            out.set_latch_data(map[&l], map[&d]).expect("mapped");
+        }
+    }
+    for o in net.outputs() {
+        out.add_output(o.name.clone(), map[&o.driver]).expect("unique");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks functional equivalence of two combinational
+    /// networks with the same inputs/outputs.
+    fn assert_equiv(a: &Network, b: &Network) {
+        let n = a.inputs().len();
+        assert_eq!(n, b.inputs().len());
+        assert!(n <= 12, "too many inputs for exhaustive check");
+        for bits in 0u32..(1 << n) {
+            let vals: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(
+                a.eval_comb(&vals).unwrap(),
+                b.eval_comb(&vals).unwrap(),
+                "mismatch at {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let c1 = net.add_const(true);
+        let c0 = net.add_const(false);
+        let and = net.add_and([a, c1]).unwrap(); // = a
+        let or = net.add_or([and, c0]).unwrap(); // = a
+        let dead = net.add_and([a, c0]).unwrap(); // = 0
+        net.add_output("f", or).unwrap();
+        net.add_output("z", dead).unwrap();
+        let (opt, report) = optimize(&net);
+        opt.validate().unwrap();
+        assert_equiv(&net, &opt);
+        assert!(report.folded > 0);
+        // f collapses to the input, z to const 0.
+        let (and, or, not) = opt.gate_counts();
+        assert_eq!((and, or, not), (0, 0, 0));
+    }
+
+    #[test]
+    fn removes_double_negation() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let n1 = net.add_not(a).unwrap();
+        let n2 = net.add_not(n1).unwrap();
+        let n3 = net.add_not(n2).unwrap();
+        net.add_output("f", n3).unwrap();
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt);
+        let (_, _, not) = opt.gate_counts();
+        assert_eq!(not, 1);
+    }
+
+    #[test]
+    fn structural_hashing_merges() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g1 = net.add_and([a, b]).unwrap();
+        let g2 = net.add_and([b, a]).unwrap(); // same gate, permuted fanins
+        let f = net.add_or([g1, g2]).unwrap(); // collapses to single fanin
+        net.add_output("f", f).unwrap();
+        let (opt, report) = optimize(&net);
+        assert_equiv(&net, &opt);
+        assert!(report.merged >= 1);
+        let (and, or, _) = opt.gate_counts();
+        assert_eq!((and, or), (1, 0));
+    }
+
+    #[test]
+    fn dedups_fanins() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_and([a, a, b]).unwrap();
+        net.add_output("f", g).unwrap();
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt);
+        let f = opt.outputs()[0].driver;
+        assert_eq!(opt.node(f).fanins.len(), 2);
+    }
+
+    #[test]
+    fn sweeps_dead_logic() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let live = net.add_and([a, b]).unwrap();
+        let dead1 = net.add_or([a, b]).unwrap();
+        let _dead2 = net.add_not(dead1).unwrap();
+        net.add_output("f", live).unwrap();
+        let (opt, report) = optimize(&net);
+        assert_equiv(&net, &opt);
+        assert_eq!(report.nodes_after, 3); // a, b, and
+    }
+
+    #[test]
+    fn preserves_sequential_structure() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(true);
+        let nn = net.add_not(q).unwrap();
+        let nnn = net.add_not(nn).unwrap(); // collapses back to q
+        let g = net.add_or([a, nnn]).unwrap();
+        net.set_latch_data(q, g).unwrap();
+        net.add_output("f", g).unwrap();
+        let (opt, _) = optimize(&net);
+        opt.validate().unwrap();
+        assert_eq!(opt.latches().len(), 1);
+        // The not/not pair is gone.
+        let (_, _, not) = opt.gate_counts();
+        assert_eq!(not, 0);
+    }
+
+    #[test]
+    fn all_identity_fanins_fold_to_constant() {
+        let mut net = Network::new("t");
+        let c1 = net.add_const(true);
+        let c1b = net.add_const(true);
+        let g = net.add_and([c1, c1b]).unwrap();
+        net.add_output("f", g).unwrap();
+        let (opt, _) = optimize(&net);
+        assert_eq!(opt.eval_comb(&[]).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Structural summary statistics used in experiment reports and workload
+//! calibration.
+
+use std::fmt;
+
+use crate::network::Network;
+use crate::node::NodeKind;
+
+/// Summary statistics of a [`Network`].
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), domino_netlist::NetlistError> {
+/// let mut net = domino_netlist::Network::new("s");
+/// let a = net.add_input("a")?;
+/// let b = net.add_input("b")?;
+/// let g = net.add_and([a, b])?;
+/// net.add_output("f", g)?;
+/// let stats = domino_netlist::NetworkStats::of(&net);
+/// assert_eq!(stats.inputs, 2);
+/// assert_eq!(stats.ands, 1);
+/// assert_eq!(stats.depth, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Latch count.
+    pub latches: usize,
+    /// AND gate count.
+    pub ands: usize,
+    /// OR gate count.
+    pub ors: usize,
+    /// Inverter count.
+    pub nots: usize,
+    /// Constant node count.
+    pub constants: usize,
+    /// Logic depth (max level).
+    pub depth: u32,
+    /// Mean fanin over AND/OR gates.
+    pub avg_fanin: f64,
+    /// Mean combinational fanout over all non-sink nodes.
+    pub avg_fanout: f64,
+}
+
+impl NetworkStats {
+    /// Computes statistics for `net`.
+    pub fn of(net: &Network) -> Self {
+        let mut ands = 0;
+        let mut ors = 0;
+        let mut nots = 0;
+        let mut constants = 0;
+        let mut fanin_sum = 0usize;
+        for id in net.node_ids() {
+            let node = net.node(id);
+            match node.kind {
+                NodeKind::And => {
+                    ands += 1;
+                    fanin_sum += node.fanins.len();
+                }
+                NodeKind::Or => {
+                    ors += 1;
+                    fanin_sum += node.fanins.len();
+                }
+                NodeKind::Not => nots += 1,
+                NodeKind::Constant(_) => constants += 1,
+                _ => {}
+            }
+        }
+        let gate_count = ands + ors;
+        let fanouts = net.fanouts();
+        let (fanout_sum, fanout_nodes) = fanouts
+            .iter()
+            .filter(|f| !f.is_empty())
+            .fold((0usize, 0usize), |(s, c), f| (s + f.len(), c + 1));
+        NetworkStats {
+            inputs: net.inputs().len(),
+            outputs: net.outputs().len(),
+            latches: net.latches().len(),
+            ands,
+            ors,
+            nots,
+            constants,
+            depth: net.levels().depth(),
+            avg_fanin: if gate_count == 0 {
+                0.0
+            } else {
+                fanin_sum as f64 / gate_count as f64
+            },
+            avg_fanout: if fanout_nodes == 0 {
+                0.0
+            } else {
+                fanout_sum as f64 / fanout_nodes as f64
+            },
+        }
+    }
+
+    /// Total gate count (AND + OR + NOT).
+    pub fn gates(&self) -> usize {
+        self.ands + self.ors + self.nots
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi={} po={} ff={} and={} or={} not={} depth={} fanin={:.2} fanout={:.2}",
+            self.inputs,
+            self.outputs,
+            self.latches,
+            self.ands,
+            self.ors,
+            self.nots,
+            self.depth,
+            self.avg_fanin,
+            self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_network() {
+        let mut net = Network::new("s");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let abc = net.add_or([ab, c]).unwrap();
+        let n = net.add_not(abc).unwrap();
+        net.add_output("f", n).unwrap();
+        let st = NetworkStats::of(&net);
+        assert_eq!(st.inputs, 3);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.gates(), 3);
+        assert_eq!(st.depth, 3);
+        assert!((st.avg_fanin - 2.0).abs() < 1e-12);
+        let line = st.to_string();
+        assert!(line.contains("pi=3"));
+        assert!(line.contains("depth=3"));
+    }
+
+    #[test]
+    fn stats_of_empty_network() {
+        let net = Network::new("e");
+        let st = NetworkStats::of(&net);
+        assert_eq!(st.gates(), 0);
+        assert_eq!(st.avg_fanin, 0.0);
+        assert_eq!(st.avg_fanout, 0.0);
+    }
+}

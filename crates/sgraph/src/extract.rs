@@ -1,0 +1,136 @@
+//! Extracting the s-graph of a sequential network.
+//!
+//! The s-graph has one vertex per latch (flip-flop); there is an edge
+//! `u → v` iff a combinational path leads from latch `u`'s output to latch
+//! `v`'s data input. Cutting a feedback vertex set of this graph makes the
+//! latch dependency structure acyclic, which is what the signal-probability
+//! machinery needs.
+
+use domino_netlist::{Network, NodeKind};
+
+use crate::graph::DiGraph;
+
+/// Builds the s-graph of `net`: vertex `i` is `net.latches()[i]`, and
+/// `u → v` iff latch `u`'s output reaches latch `v`'s data input through
+/// combinational logic (including the direct `Q → D` wire).
+///
+/// Unconnected latches contribute no incoming edges.
+pub fn extract_sgraph(net: &Network) -> DiGraph {
+    let latches = net.latches();
+    let n = latches.len();
+    let mut index_of = vec![usize::MAX; net.len()];
+    for (i, &l) in latches.iter().enumerate() {
+        index_of[l.index()] = i;
+    }
+    let mut g = DiGraph::new(n);
+    // reaches[node] = bitset of latch indices whose output reaches `node`
+    // through combinational edges.
+    let words = n.div_ceil(64);
+    let mut reaches: Vec<Vec<u64>> = vec![vec![0u64; words]; net.len()];
+    for id in net.topo_order() {
+        let node = net.node(id);
+        if matches!(node.kind, NodeKind::Latch { .. }) {
+            let i = index_of[id.index()];
+            reaches[id.index()][i / 64] |= 1 << (i % 64);
+            continue;
+        }
+        let fanins: Vec<usize> = node.comb_fanins().iter().map(|f| f.index()).collect();
+        for f in fanins {
+            // Combinational fanins precede the node in arena order.
+            let (lo, hi) = reaches.split_at_mut(id.index());
+            for (w, src) in hi[0].iter_mut().zip(lo[f].iter()) {
+                *w |= *src;
+            }
+        }
+    }
+    for (v, &latch) in latches.iter().enumerate() {
+        let Some(&data) = net.node(latch).fanins.first() else {
+            continue;
+        };
+        let set = &reaches[data.index()];
+        for u in 0..n {
+            if set[u / 64] & (1 << (u % 64)) != 0 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::Network;
+
+    #[test]
+    fn shift_register_is_a_path() {
+        // q0 -> q1 -> q2, no feedback.
+        let mut net = Network::new("shift");
+        let a = net.add_input("a").unwrap();
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        let q2 = net.add_latch(false);
+        net.set_latch_data(q0, a).unwrap();
+        net.set_latch_data(q1, q0).unwrap();
+        net.set_latch_data(q2, q1).unwrap();
+        net.add_output("o", q2).unwrap();
+        let g = extract_sgraph(&net);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2)]);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn self_feedback_is_a_self_loop() {
+        let mut net = Network::new("loop");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let g1 = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, g1).unwrap();
+        net.add_output("o", q).unwrap();
+        let g = extract_sgraph(&net);
+        assert_eq!(g.edges(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn cross_coupled_latches() {
+        // q0' = f(q1), q1' = f(q0): a 2-cycle.
+        let mut net = Network::new("cross");
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(true);
+        let n0 = net.add_not(q1).unwrap();
+        let n1 = net.add_not(q0).unwrap();
+        net.set_latch_data(q0, n0).unwrap();
+        net.set_latch_data(q1, n1).unwrap();
+        net.add_output("o", q0).unwrap();
+        let g = extract_sgraph(&net);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn deep_combinational_path_detected() {
+        // q0 feeds q1 through three levels of logic.
+        let mut net = Network::new("deep");
+        let a = net.add_input("a").unwrap();
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        let x = net.add_and([q0, a]).unwrap();
+        let y = net.add_not(x).unwrap();
+        let z = net.add_or([y, a]).unwrap();
+        net.set_latch_data(q1, z).unwrap();
+        net.set_latch_data(q0, a).unwrap();
+        net.add_output("o", q1).unwrap();
+        let g = extract_sgraph(&net);
+        assert_eq!(g.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn combinational_network_gives_empty_graph() {
+        let mut net = Network::new("comb");
+        let a = net.add_input("a").unwrap();
+        let n = net.add_not(a).unwrap();
+        net.add_output("o", n).unwrap();
+        let g = extract_sgraph(&net);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! A small dense directed graph with deterministic iteration order.
+
+use std::collections::BTreeSet;
+
+/// Directed graph on vertices `0..n` with set-based adjacency (parallel
+/// edges collapse; self-loops allowed). Iteration order is deterministic
+/// (ascending vertex index), which keeps every heuristic in this crate
+/// reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    succ: Vec<BTreeSet<usize>>,
+    pred: Vec<BTreeSet<usize>>,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            succ: vec![BTreeSet::new(); n],
+            pred: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `≥ n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of (distinct) edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Adds edge `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.vertex_count() && v < self.vertex_count(), "edge endpoint out of range");
+        self.succ[u].insert(v);
+        self.pred[v].insert(u);
+    }
+
+    /// `true` if edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.succ.get(u).is_some_and(|s| s.contains(&v))
+    }
+
+    /// Successors of `u`, ascending.
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succ[u].iter().copied()
+    }
+
+    /// Predecessors of `u`, ascending.
+    pub fn predecessors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.pred[u].iter().copied()
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succ[u].len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: usize) -> usize {
+        self.pred[u].len()
+    }
+
+    /// All edges `(u, v)`, lexicographic.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut e = Vec::with_capacity(self.edge_count());
+        for (u, succ) in self.succ.iter().enumerate() {
+            for &v in succ {
+                e.push((u, v));
+            }
+        }
+        e
+    }
+
+    /// Removes all edges incident to `u` (the vertex id stays valid but
+    /// isolated).
+    pub fn isolate(&mut self, u: usize) {
+        let out: Vec<usize> = self.succ[u].iter().copied().collect();
+        for v in out {
+            self.pred[v].remove(&u);
+        }
+        self.succ[u].clear();
+        let inn: Vec<usize> = self.pred[u].iter().copied().collect();
+        for v in inn {
+            self.succ[v].remove(&u);
+        }
+        self.pred[u].clear();
+    }
+
+    /// The graph restricted to `keep` (edges between kept vertices only;
+    /// vertex ids preserved).
+    pub fn induced(&self, keep: &BTreeSet<usize>) -> DiGraph {
+        let mut g = DiGraph::new(self.vertex_count());
+        for &u in keep {
+            for &v in &self.succ[u] {
+                if keep.contains(&v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// `true` if the graph (restricted to vertices that still have edges or
+    /// are listed in `vertices`) contains no directed cycle.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm over all vertices.
+        let n = self.vertex_count();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for s in self.successors(v) {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Topological order (ascending-index tie-break).
+    ///
+    /// Returns `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.in_degree(v)).collect();
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&v) = ready.iter().next() {
+            ready.remove(&v);
+            order.push(v);
+            for s in self.successors(v) {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.insert(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Strongly connected components (Tarjan, iterative), in reverse
+    /// topological order of the condensation. Singleton components without
+    /// self-loops are trivially acyclic.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.vertex_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs = Vec::new();
+
+        // Iterative Tarjan: (vertex, iterator position over successors).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            let succs: Vec<usize> = self.successors(root).collect();
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            call.push((root, succs, 0));
+            while let Some((v, succs, mut pos)) = call.pop() {
+                let mut descended = false;
+                while pos < succs.len() {
+                    let w = succs[pos];
+                    pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        let wsuccs: Vec<usize> = self.successors(w).collect();
+                        call.push((v, succs, pos));
+                        call.push((w, wsuccs, 0));
+                        descended = true;
+                        break;
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // v finished.
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+                if let Some((parent, _, _)) = call.last() {
+                    let parent = *parent;
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+        sccs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_and_degrees() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 3); // parallel edge collapsed
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn acyclicity() {
+        let dag = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.topo_order(), Some(vec![0, 1, 2, 3]));
+        let cyc = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!cyc.is_acyclic());
+        assert_eq!(cyc.topo_order(), None);
+        let self_loop = DiGraph::from_edges(2, [(0, 0)]);
+        assert!(!self_loop.is_acyclic());
+    }
+
+    #[test]
+    fn isolate_removes_incident_edges() {
+        let mut g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 1), (1, 1)]);
+        g.isolate(1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let keep: BTreeSet<usize> = [0, 1, 2].into_iter().collect();
+        let sub = g.induced(&keep);
+        assert_eq!(sub.edges(), vec![(0, 1), (1, 2)]);
+        assert!(sub.is_acyclic());
+    }
+
+    #[test]
+    fn sccs_of_two_cycles_and_bridge() {
+        // 0↔1 and 2↔3, with a bridge 1→2; plus isolated 4.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let mut comps = g.sccs();
+        comps.sort();
+        assert!(comps.contains(&vec![0, 1]));
+        assert!(comps.contains(&vec![2, 3]));
+        assert!(comps.contains(&vec![4]));
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn sccs_long_cycle() {
+        let n = 50;
+        let g = DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)));
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), n);
+    }
+
+    #[test]
+    fn sccs_dag_all_singletons() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let comps = g.sccs();
+        assert_eq!(comps.len(), 4);
+        // Reverse topological order of the condensation: 3 first.
+        assert_eq!(comps[0], vec![3]);
+    }
+}

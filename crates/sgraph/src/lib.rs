@@ -1,0 +1,52 @@
+//! s-graphs and enhanced minimum feedback vertex set (MFVS) partitioning for
+//! sequential domino circuits (paper §4.2.1).
+//!
+//! Computing exact signal probabilities in a sequential circuit is
+//! intractable (state explosion), so the paper cuts the circuit into
+//! combinational blocks at a small set of flip-flops. The flip-flops whose
+//! feedback is cut act as fresh primary inputs; the fewer the cuts, the
+//! fewer pseudo-inputs and the cheaper the BDD computation.
+//!
+//! The cut set is a *feedback vertex set* of the **s-graph**: the directed
+//! graph whose vertices are flip-flops and whose edges are combinational
+//! structural dependencies between them (Chakradhar, Balakrishnan & Agrawal,
+//! DAC '94). Finding a minimum FVS is NP-complete; this crate implements:
+//!
+//! * the three classical CBA graph reductions (self-loop, source/sink,
+//!   unit-degree bypass) — Figure 8 of the paper;
+//! * the paper's **new symmetry-based transformation**: vertices with
+//!   identical fanins *and* identical fanouts are grouped into a weighted
+//!   supervertex, and supervertices are processed in descending weight order
+//!   — Figure 9 (phase-assignment duplication creates exactly this kind of
+//!   symmetry in domino blocks);
+//! * a greedy selection rule for irreducible remainders, and an exact
+//!   branch-and-bound for small graphs (used to validate the heuristics);
+//! * [`partition`]: applying the FVS to a [`Network`](domino_netlist::Network)
+//!   to obtain an acyclic evaluation schedule for its latches.
+//!
+//! # Example
+//!
+//! ```
+//! use domino_sgraph::{DiGraph, MfvsConfig, mfvs};
+//!
+//! // A 3-cycle: any single vertex is a minimum FVS.
+//! let mut g = DiGraph::new(3);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(2, 0);
+//! let result = mfvs(&g, &MfvsConfig::default());
+//! assert_eq!(result.fvs.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod extract;
+mod graph;
+mod mfvs;
+mod partition;
+
+pub use extract::extract_sgraph;
+pub use graph::DiGraph;
+pub use mfvs::{exact_mfvs, mfvs, MfvsConfig, MfvsResult, ReductionStats};
+pub use partition::{partition, Partition};

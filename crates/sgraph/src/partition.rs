@@ -1,0 +1,142 @@
+//! Applying an MFVS cut to a sequential network (paper Figure 7).
+//!
+//! Cutting the latches of a feedback vertex set turns the latch dependency
+//! structure into a DAG: cut latches behave like fresh primary inputs
+//! (typically carrying probability ½), while the remaining latches can be
+//! evaluated in topological order — each one's steady-state probability is
+//! the probability of its data input.
+
+use std::collections::BTreeSet;
+
+use domino_netlist::{Network, NodeId};
+
+use crate::extract::extract_sgraph;
+use crate::mfvs::{mfvs, MfvsConfig, MfvsResult};
+
+/// A sequential partition: which latches are cut, and the evaluation
+/// schedule for the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Latches whose feedback is cut; they act as pseudo primary inputs.
+    pub cut: Vec<NodeId>,
+    /// The remaining latches in an order where each latch's data cone only
+    /// depends on primary inputs, cut latches, and earlier latches of this
+    /// list.
+    pub schedule: Vec<NodeId>,
+    /// The MFVS run that produced the cut.
+    pub mfvs: MfvsResult,
+}
+
+impl Partition {
+    /// Number of pseudo primary inputs the cut introduces — the cost metric
+    /// the paper's Figure 7 discusses (a good partition minimizes block
+    /// inputs).
+    pub fn pseudo_input_count(&self) -> usize {
+        self.cut.len()
+    }
+}
+
+/// Partitions a sequential network by cutting an (approximately minimum)
+/// feedback vertex set of its s-graph.
+///
+/// For a combinational network the partition is trivial (empty cut and
+/// schedule).
+///
+/// # Panics
+///
+/// Panics only if internal invariants are violated (the reduced graph of a
+/// valid network always has a topological order after the cut).
+pub fn partition(net: &Network, config: &MfvsConfig) -> Partition {
+    let g = extract_sgraph(net);
+    let result = mfvs(&g, config);
+    let cut_set: BTreeSet<usize> = result.fvs.iter().copied().collect();
+    let keep: BTreeSet<usize> = (0..g.vertex_count())
+        .filter(|v| !cut_set.contains(v))
+        .collect();
+    let reduced = g.induced(&keep);
+    let order = reduced
+        .topo_order()
+        .expect("graph minus a feedback vertex set is acyclic");
+    let latches = net.latches();
+    Partition {
+        cut: result.fvs.iter().map(|&v| latches[v]).collect(),
+        schedule: order
+            .into_iter()
+            .filter(|v| keep.contains(v))
+            .map(|v| latches[v])
+            .collect(),
+        mfvs: result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::Network;
+
+    /// A ring counter of `n` latches with an enable input.
+    fn ring(n: usize) -> Network {
+        let mut net = Network::new("ring");
+        let en = net.add_input("en").unwrap();
+        let latches: Vec<NodeId> = (0..n).map(|i| net.add_latch(i == 0)).collect();
+        for i in 0..n {
+            let prev = latches[(i + n - 1) % n];
+            let d = net.add_and([prev, en]).unwrap();
+            net.set_latch_data(latches[i], d).unwrap();
+        }
+        net.add_output("tap", latches[n - 1]).unwrap();
+        net
+    }
+
+    #[test]
+    fn ring_cut_once_rest_scheduled() {
+        let net = ring(5);
+        let p = partition(&net, &MfvsConfig::default());
+        assert_eq!(p.cut.len(), 1);
+        assert_eq!(p.schedule.len(), 4);
+        assert_eq!(p.pseudo_input_count(), 1);
+        // Schedule respects dependencies: each latch's predecessor in the
+        // ring is either cut or earlier in the schedule.
+        let latches = net.latches().to_vec();
+        let pos = |id: NodeId| p.schedule.iter().position(|&x| x == id);
+        for (i, &l) in latches.iter().enumerate() {
+            if p.cut.contains(&l) {
+                continue;
+            }
+            let prev = latches[(i + latches.len() - 1) % latches.len()];
+            if !p.cut.contains(&prev) {
+                assert!(pos(prev).unwrap() < pos(l).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_network_trivial_partition() {
+        let mut net = Network::new("comb");
+        let a = net.add_input("a").unwrap();
+        let g = net.add_not(a).unwrap();
+        net.add_output("f", g).unwrap();
+        let p = partition(&net, &MfvsConfig::default());
+        assert!(p.cut.is_empty());
+        assert!(p.schedule.is_empty());
+    }
+
+    #[test]
+    fn pipeline_needs_no_cut() {
+        // A 3-stage pipeline (no feedback): all latches scheduled, none cut.
+        let mut net = Network::new("pipe");
+        let a = net.add_input("a").unwrap();
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        let q2 = net.add_latch(false);
+        net.set_latch_data(q0, a).unwrap();
+        let n0 = net.add_not(q0).unwrap();
+        net.set_latch_data(q1, n0).unwrap();
+        let n1 = net.add_not(q1).unwrap();
+        net.set_latch_data(q2, n1).unwrap();
+        net.add_output("o", q2).unwrap();
+        let p = partition(&net, &MfvsConfig::default());
+        assert!(p.cut.is_empty());
+        assert_eq!(p.schedule, vec![q0, q1, q2]);
+    }
+}

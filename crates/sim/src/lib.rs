@@ -1,0 +1,35 @@
+//! Statistical vector simulation and power measurement — the stand-in for
+//! the paper's EPIC PowerMill runs.
+//!
+//! The paper measures final power by simulating the mapped netlist with
+//! "statistically generated input vectors with the appropriate signal
+//! probabilities". This crate reproduces that methodology:
+//!
+//! * [`VectorSource`] — seeded Bernoulli vector streams with per-input
+//!   probabilities;
+//! * [`measure_power`] — cycle-accurate simulation of a mapped netlist with
+//!   capacitive, short-circuit and leakage currents reported in mA
+//!   (Property 2.2 makes zero-delay simulation *exact* for domino
+//!   switching);
+//! * [`measure_domino_switching`] — event counts on the unmapped
+//!   [`DominoNetwork`](domino_phase::DominoNetwork), used to validate the
+//!   BDD-based estimate `Σ S·C·P` against simulation;
+//! * [`montecarlo`] — sampled node probabilities, the cross-check for the
+//!   exact BDD probabilities;
+//! * [`simulate_static`] — a unit-delay event-driven simulation of the
+//!   *static CMOS* realization, which glitches; the contrast quantifies
+//!   Property 2.2 and the Figure 2 switching models.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod montecarlo;
+mod power;
+mod static_sim;
+mod vectors;
+
+pub use power::{
+    measure_domino_switching, measure_power, PowerReport, SimConfig, SwitchingCounts,
+};
+pub use static_sim::{simulate_static, StaticSimReport};
+pub use vectors::{CorrelatedVectorSource, VectorSource};

@@ -1,0 +1,229 @@
+//! Seeded statistical vector generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible stream of input vectors where bit `i` is an independent
+/// Bernoulli variable with probability `probs[i]` — the "statistically
+/// generated input vectors with the appropriate signal probabilities" of
+/// the paper's measurement flow.
+///
+/// # Example
+///
+/// ```
+/// use domino_sim::VectorSource;
+///
+/// let mut src = VectorSource::new(vec![0.9, 0.1], 42);
+/// let v = src.next_vector();
+/// assert_eq!(v.len(), 2);
+/// // Streams are reproducible for a given seed.
+/// let mut again = VectorSource::new(vec![0.9, 0.1], 42);
+/// assert_eq!(again.next_vector(), v);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorSource {
+    probs: Vec<f64>,
+    rng: StdRng,
+}
+
+impl VectorSource {
+    /// Creates a stream over the given per-bit probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(probs: Vec<f64>, seed: u64) -> Self {
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0, 1]"
+        );
+        VectorSource {
+            probs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform probability ½ for `n` bits.
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        VectorSource::new(vec![0.5; n], seed)
+    }
+
+    /// Number of bits per vector.
+    pub fn width(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Draws the next vector.
+    pub fn next_vector(&mut self) -> Vec<bool> {
+        self.probs
+            .iter()
+            .map(|&p| self.rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect()
+    }
+
+    /// Fills `out` with the next vector without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.width()`.
+    pub fn fill_next(&mut self, out: &mut [bool]) {
+        assert_eq!(out.len(), self.probs.len(), "vector width");
+        for (slot, &p) in out.iter_mut().zip(&self.probs) {
+            *slot = self.rng.gen_bool(p);
+        }
+    }
+}
+
+/// A vector stream with *temporal correlation*: each bit holds its previous
+/// value with probability `hold`, otherwise it is redrawn Bernoulli.
+///
+/// The paper's boundary-inverter model assumes temporally independent
+/// vectors (toggle probability `2p(1−p)`); real control signals are sticky.
+/// This stream lets the ablation quantify how far the independence
+/// assumption is off: the marginal probability stays `p`, while the toggle
+/// rate drops to `2p(1−p)·(1−hold)`.
+///
+/// # Example
+///
+/// ```
+/// use domino_sim::CorrelatedVectorSource;
+///
+/// let mut src = CorrelatedVectorSource::new(vec![0.5; 4], 0.9, 1);
+/// let first = src.next_vector();
+/// assert_eq!(first.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorrelatedVectorSource {
+    probs: Vec<f64>,
+    hold: f64,
+    state: Vec<bool>,
+    rng: StdRng,
+}
+
+impl CorrelatedVectorSource {
+    /// Creates a stream with per-bit probabilities and hold factor in
+    /// `[0, 1)` (`hold = 0` recovers an independent stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or `hold` outside
+    /// `[0, 1)`.
+    pub fn new(probs: Vec<f64>, hold: f64, seed: u64) -> Self {
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0, 1]"
+        );
+        assert!((0.0..1.0).contains(&hold), "hold factor must lie in [0, 1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = probs.iter().map(|&p| rng.gen_bool(p)).collect();
+        CorrelatedVectorSource {
+            probs,
+            hold,
+            state,
+            rng,
+        }
+    }
+
+    /// Number of bits per vector.
+    pub fn width(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Draws the next vector.
+    pub fn next_vector(&mut self) -> Vec<bool> {
+        let mut out = vec![false; self.probs.len()];
+        self.fill_next(&mut out);
+        out
+    }
+
+    /// Fills `out` with the next vector without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.width()`.
+    pub fn fill_next(&mut self, out: &mut [bool]) {
+        assert_eq!(out.len(), self.probs.len(), "vector width");
+        for ((slot, prev), &p) in out.iter_mut().zip(&mut self.state).zip(&self.probs) {
+            if !self.rng.gen_bool(self.hold) {
+                *prev = self.rng.gen_bool(p);
+            }
+            *slot = *prev;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_frequency_matches_probability() {
+        let mut src = VectorSource::new(vec![0.9, 0.5, 0.1], 7);
+        let n = 20_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let v = src.next_vector();
+            for (c, &bit) in counts.iter_mut().zip(&v) {
+                *c += bit as usize;
+            }
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freqs[0] - 0.9).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[1] - 0.5).abs() < 0.01, "{freqs:?}");
+        assert!((freqs[2] - 0.1).abs() < 0.01, "{freqs:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = VectorSource::uniform(32, 1);
+        let mut b = VectorSource::uniform(32, 2);
+        assert_ne!(a.next_vector(), b.next_vector());
+    }
+
+    #[test]
+    fn fill_next_matches_width() {
+        let mut src = VectorSource::uniform(4, 3);
+        let mut buf = vec![false; 4];
+        src.fill_next(&mut buf);
+        assert_eq!(src.width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = VectorSource::new(vec![1.5], 0);
+    }
+
+    #[test]
+    fn correlated_stream_keeps_marginal_and_cuts_toggles() {
+        let n = 40_000;
+        let p = 0.5;
+        let hold = 0.8;
+        let mut src = CorrelatedVectorSource::new(vec![p], hold, 9);
+        let mut ones = 0usize;
+        let mut toggles = 0usize;
+        let mut prev = src.next_vector()[0];
+        for _ in 0..n {
+            let v = src.next_vector()[0];
+            ones += v as usize;
+            toggles += (v != prev) as usize;
+            prev = v;
+        }
+        let marginal = ones as f64 / n as f64;
+        let toggle_rate = toggles as f64 / n as f64;
+        assert!((marginal - p).abs() < 0.02, "marginal {marginal}");
+        // Independent toggle rate would be 2p(1-p) = 0.5; held streams
+        // toggle at (1-hold) of that.
+        let expect = 2.0 * p * (1.0 - p) * (1.0 - hold);
+        assert!(
+            (toggle_rate - expect).abs() < 0.02,
+            "toggle {toggle_rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hold factor")]
+    fn invalid_hold_panics() {
+        let _ = CorrelatedVectorSource::new(vec![0.5], 1.0, 0);
+    }
+}

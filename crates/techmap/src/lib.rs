@@ -1,0 +1,52 @@
+//! Technology mapping, timing analysis and gate sizing for domino blocks.
+//!
+//! This crate is the substrate for the paper's experimental flow steps 3–4:
+//! after phase assignment produces an inverter-free
+//! [`DominoNetwork`](domino_phase::DominoNetwork), [`map`]
+//! lowers it onto a small parametric domino cell [`Library`] (AND/OR cells
+//! of bounded fanin, boundary inverters, flip-flops), [`sta`]
+//! computes arrival times with a series-stack penalty for AND structures,
+//! and [`size_for_timing`] iteratively upsizes
+//! critical cells until a clock constraint is met — the "transistor
+//! resizing" step that Table 2 shows can *undo* area/power optimization.
+//!
+//! The paper used a proprietary Intel library and flow; any self-consistent
+//! library preserves the MA-vs-MP comparisons the experiments make (see
+//! DESIGN.md §3).
+//!
+//! # Example
+//!
+//! ```
+//! use domino_phase::{DominoSynthesizer, PhaseAssignment};
+//! use domino_techmap::{map, sta, Library};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = domino_netlist::Network::new("m");
+//! let inputs: Vec<_> = (0..6)
+//!     .map(|i| net.add_input(format!("i{i}")))
+//!     .collect::<Result<_, _>>()?;
+//! let wide = net.add_and(inputs)?; // 6-input AND: needs decomposition
+//! net.add_output("f", wide)?;
+//! let synth = DominoSynthesizer::new(&net)?;
+//! let domino = synth.synthesize(&PhaseAssignment::all_positive(1))?;
+//! let lib = Library::standard();
+//! let mapped = map(&domino, &lib);
+//! assert!(mapped.cells().iter().all(|c| c.fanins.len() <= lib.max_fanin));
+//! let timing = sta(&mapped, &lib);
+//! assert!(timing.worst_arrival_ps > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cells;
+mod mapping;
+mod sizing;
+mod timing;
+
+pub use cells::{CellClass, Library};
+pub use mapping::{map, MappedCell, MappedNetlist, MappedRef};
+pub use sizing::{size_for_timing, SizingConfig, SizingReport};
+pub use timing::{sta, TimingReport};

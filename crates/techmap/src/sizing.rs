@@ -1,0 +1,191 @@
+//! Timing-driven gate sizing (the "transistor resizing" step of Table 2).
+//!
+//! After mapping, the netlist may miss the clock; this pass iteratively
+//! upsizes the cells on the critical path until timing is met (or limits are
+//! hit). Upsizing speeds a cell up but grows its input pins — loading its
+//! drivers — and its power; this interplay is exactly what lets subsequent
+//! timing optimization "undo" area/power optimization, the phenomenon
+//! Table 2 of the paper investigates.
+
+use crate::cells::Library;
+use crate::mapping::MappedNetlist;
+use crate::timing::{sta, TimingReport};
+
+/// Configuration for [`size_for_timing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingConfig {
+    /// Target clock period, ps. Defaults to the library clock.
+    pub clock_period_ps: Option<f64>,
+    /// Multiplicative upsize per iteration for critical cells.
+    pub gamma: f64,
+    /// Maximum drive size of any cell.
+    pub max_size: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for SizingConfig {
+    fn default() -> Self {
+        SizingConfig {
+            clock_period_ps: None,
+            gamma: 1.3,
+            max_size: 8.0,
+            max_iterations: 64,
+        }
+    }
+}
+
+/// Result of a sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Upsize operations applied.
+    pub upsizes: usize,
+    /// Final timing.
+    pub timing: TimingReport,
+    /// `true` if the clock is met.
+    pub met: bool,
+}
+
+/// Upsizes critical-path cells until the clock period is met.
+///
+/// Mutates `mapped` in place (cell `size` fields) and returns a report.
+pub fn size_for_timing(
+    mapped: &mut MappedNetlist,
+    lib: &Library,
+    config: &SizingConfig,
+) -> SizingReport {
+    let target = config
+        .clock_period_ps
+        .unwrap_or(1e6 / lib.clock_mhz);
+    let mut upsizes = 0usize;
+    let mut iterations = 0usize;
+    loop {
+        let timing = sta(mapped, lib);
+        let met = timing.worst_arrival_ps <= target;
+        if met || iterations >= config.max_iterations {
+            return SizingReport {
+                iterations,
+                upsizes,
+                timing,
+                met,
+            };
+        }
+        let critical_path = timing.critical_path.clone();
+        let mut progressed = false;
+        for &i in &critical_path {
+            let cell = &mut mapped.cells_mut()[i];
+            if cell.size < config.max_size {
+                cell.size = (cell.size * config.gamma).min(config.max_size);
+                upsizes += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Everything on the path is maxed out: give up.
+            let timing = sta(mapped, lib);
+            let met = timing.worst_arrival_ps <= target;
+            return SizingReport {
+                iterations,
+                upsizes,
+                timing,
+                met,
+            };
+        }
+        iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::map;
+    use domino_netlist::Network;
+    use domino_phase::{DominoSynthesizer, PhaseAssignment};
+
+    fn deep_chain(depth: usize) -> MappedNetlist {
+        let mut net = Network::new("deep");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let mut cur = net.add_and([a, b]).unwrap();
+        for _ in 1..depth {
+            cur = net.add_and([cur, b]).unwrap();
+        }
+        net.add_output("f", cur).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(1)).unwrap();
+        map(&domino, &Library::standard())
+    }
+
+    #[test]
+    fn sizing_meets_a_reachable_target() {
+        let lib = Library::standard();
+        let mut mapped = deep_chain(12);
+        let before = sta(&mapped, &lib).worst_arrival_ps;
+        // Ask for 75% of the unsized delay: reachable by upsizing.
+        let target = before * 0.75;
+        let report = size_for_timing(
+            &mut mapped,
+            &lib,
+            &SizingConfig {
+                clock_period_ps: Some(target),
+                ..SizingConfig::default()
+            },
+        );
+        assert!(report.met, "target {target} vs {}", report.timing.worst_arrival_ps);
+        assert!(report.upsizes > 0);
+        assert!(mapped.effective_cell_count() >= mapped.cell_count());
+    }
+
+    #[test]
+    fn already_met_target_is_a_noop() {
+        let lib = Library::standard();
+        let mut mapped = deep_chain(3);
+        let slack_target = sta(&mapped, &lib).worst_arrival_ps * 2.0;
+        let report = size_for_timing(
+            &mut mapped,
+            &lib,
+            &SizingConfig {
+                clock_period_ps: Some(slack_target),
+                ..SizingConfig::default()
+            },
+        );
+        assert!(report.met);
+        assert_eq!(report.upsizes, 0);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn impossible_target_reports_unmet() {
+        let lib = Library::standard();
+        let mut mapped = deep_chain(12);
+        let report = size_for_timing(
+            &mut mapped,
+            &lib,
+            &SizingConfig {
+                clock_period_ps: Some(1.0), // 1 ps: impossible
+                max_iterations: 10,
+                ..SizingConfig::default()
+            },
+        );
+        assert!(!report.met);
+    }
+
+    #[test]
+    fn sizing_grows_effective_cell_count() {
+        let lib = Library::standard();
+        let mut mapped = deep_chain(12);
+        let before_cells = mapped.effective_cell_count();
+        let target = sta(&mapped, &lib).worst_arrival_ps * 0.7;
+        size_for_timing(
+            &mut mapped,
+            &lib,
+            &SizingConfig {
+                clock_period_ps: Some(target),
+                ..SizingConfig::default()
+            },
+        );
+        assert!(mapped.effective_cell_count() > before_cells);
+    }
+}

@@ -1,0 +1,228 @@
+//! Static timing analysis of mapped domino netlists.
+//!
+//! Domino stages cascade within the evaluate phase, so the block's critical
+//! delay is the longest source-to-sink path; the clock period must cover it
+//! (plus flop overhead). The linear delay model charges each cell its
+//! intrinsic delay (with the series-stack AND penalty) scaled down by drive
+//! size, plus a load term for the capacitance it drives.
+
+use crate::cells::{CellClass, Library};
+use crate::mapping::{MappedNetlist, MappedRef};
+
+/// Result of [`sta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Arrival time at every cell output, ps.
+    pub arrivals_ps: Vec<f64>,
+    /// Worst arrival over all timing endpoints (primary outputs and flop
+    /// data pins), ps.
+    pub worst_arrival_ps: f64,
+    /// Cells on (one of) the critical path(s), source to sink.
+    pub critical_path: Vec<usize>,
+    /// Clock period implied by the library's frequency, ps.
+    pub clock_period_ps: f64,
+}
+
+impl TimingReport {
+    /// Slack against the library clock (negative = violation), ps.
+    pub fn slack_ps(&self) -> f64 {
+        self.clock_period_ps - self.worst_arrival_ps
+    }
+
+    /// `true` if the netlist meets the clock.
+    pub fn met(&self) -> bool {
+        self.slack_ps() >= 0.0
+    }
+}
+
+/// Delay of one cell at its current size and load, ps.
+///
+/// Upsizing scales the drive: both the intrinsic delay and the load-driving
+/// term shrink with `size` (while the cell's input pins grow, loading its
+/// drivers — that interplay is what the sizer trades off).
+pub fn cell_delay_ps(
+    lib: &Library,
+    class: CellClass,
+    fanin_count: usize,
+    size: f64,
+    load_ff: f64,
+) -> f64 {
+    (lib.intrinsic_delay_ps(class, fanin_count) + lib.load_ps_per_ff * load_ff) / size
+}
+
+/// Computes arrival times for every cell (topological sweep) and extracts a
+/// critical path.
+///
+/// Sources launch at the flop clock-to-Q delay (flop outputs) or 0 (primary
+/// inputs); endpoints are primary outputs and flop data pins.
+pub fn sta(mapped: &MappedNetlist, lib: &Library) -> TimingReport {
+    let loads = mapped.load_caps_ff(lib);
+    let n = mapped.cells().len();
+    let mut arrivals = vec![0.0f64; n];
+    let mut worst_fanin: Vec<Option<usize>> = vec![None; n];
+    let ref_arrival = |r: MappedRef, arrivals: &[f64]| -> f64 {
+        match r {
+            MappedRef::Cell(i) => arrivals[i],
+            MappedRef::Source(i) => {
+                if i >= mapped.pi_count() {
+                    lib.dff_clk_to_q_ps
+                } else {
+                    0.0
+                }
+            }
+            MappedRef::Const(_) => 0.0,
+        }
+    };
+    for (i, cell) in mapped.cells().iter().enumerate() {
+        let mut launch: f64 = 0.0;
+        for &f in &cell.fanins {
+            let a = ref_arrival(f, &arrivals);
+            if a > launch {
+                launch = a;
+                worst_fanin[i] = match f {
+                    MappedRef::Cell(j) => Some(j),
+                    _ => None,
+                };
+            }
+        }
+        arrivals[i] =
+            launch + cell_delay_ps(lib, cell.class, cell.fanins.len(), cell.size, loads[i]);
+    }
+
+    // Endpoints.
+    let mut worst = 0.0f64;
+    let mut worst_cell: Option<usize> = None;
+    let mut consider = |r: MappedRef| {
+        let a = ref_arrival(r, &arrivals);
+        if a > worst {
+            worst = a;
+            worst_cell = match r {
+                MappedRef::Cell(i) => Some(i),
+                _ => None,
+            };
+        }
+    };
+    for (_, r) in mapped.outputs() {
+        consider(*r);
+    }
+    for dff in mapped.dffs() {
+        consider(dff.data);
+    }
+
+    // Backtrack the critical path.
+    let mut critical_path = Vec::new();
+    let mut cur = worst_cell;
+    while let Some(i) = cur {
+        critical_path.push(i);
+        cur = worst_fanin[i];
+    }
+    critical_path.reverse();
+
+    TimingReport {
+        arrivals_ps: arrivals,
+        worst_arrival_ps: worst,
+        critical_path,
+        clock_period_ps: 1e6 / lib.clock_mhz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::map;
+    use domino_netlist::Network;
+    use domino_phase::{DominoSynthesizer, PhaseAssignment};
+
+    fn chain(depth: usize) -> MappedNetlist {
+        let mut net = Network::new("chain");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let mut cur = net.add_and([a, b]).unwrap();
+        for _ in 1..depth {
+            cur = net.add_and([cur, b]).unwrap();
+        }
+        net.add_output("f", cur).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(1)).unwrap();
+        map(&domino, &Library::standard())
+    }
+
+    #[test]
+    fn deeper_chains_are_slower() {
+        let lib = Library::standard();
+        let t2 = sta(&chain(2), &lib).worst_arrival_ps;
+        let t6 = sta(&chain(6), &lib).worst_arrival_ps;
+        assert!(t6 > t2);
+    }
+
+    #[test]
+    fn critical_path_spans_the_chain() {
+        let lib = Library::standard();
+        let mapped = chain(5);
+        let report = sta(&mapped, &lib);
+        assert_eq!(report.critical_path.len(), 5);
+        // Arrivals increase along the path.
+        for w in report.critical_path.windows(2) {
+            assert!(report.arrivals_ps[w[1]] > report.arrivals_ps[w[0]]);
+        }
+    }
+
+    #[test]
+    fn upsizing_reduces_delay() {
+        let lib = Library::standard();
+        let mut mapped = chain(4);
+        let before = sta(&mapped, &lib).worst_arrival_ps;
+        for c in mapped.cells_mut() {
+            c.size = 2.0;
+        }
+        let after = sta(&mapped, &lib).worst_arrival_ps;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn flop_outputs_launch_late() {
+        let lib = Library::standard();
+        let mut net = Network::new("seq");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let d = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, d).unwrap();
+        net.add_output("o", d).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        let mapped = map(&domino, &lib);
+        let report = sta(&mapped, &lib);
+        // The OR launches after clock-to-Q.
+        assert!(report.worst_arrival_ps > lib.dff_clk_to_q_ps);
+        assert!(report.clock_period_ps > 0.0);
+    }
+
+    #[test]
+    fn and_chain_slower_than_or_chain() {
+        let lib = Library::standard();
+        let build = |use_and: bool| {
+            let mut net = Network::new("k");
+            let a = net.add_input("a").unwrap();
+            let b = net.add_input("b").unwrap();
+            let mut cur = if use_and {
+                net.add_and([a, b]).unwrap()
+            } else {
+                net.add_or([a, b]).unwrap()
+            };
+            for _ in 0..4 {
+                cur = if use_and {
+                    net.add_and([cur, b]).unwrap()
+                } else {
+                    net.add_or([cur, b]).unwrap()
+                };
+            }
+            net.add_output("f", cur).unwrap();
+            let synth = DominoSynthesizer::new(&net).unwrap();
+            let domino = synth.synthesize(&PhaseAssignment::all_positive(1)).unwrap();
+            map(&domino, &lib)
+        };
+        let t_and = sta(&build(true), &lib).worst_arrival_ps;
+        let t_or = sta(&build(false), &lib).worst_arrival_ps;
+        assert!(t_and > t_or, "series stacks must be slower");
+    }
+}

@@ -1,0 +1,194 @@
+//! The exact circuits and graphs behind the paper's figures.
+
+use domino_netlist::{NetlistError, Network};
+use domino_sgraph::DiGraph;
+
+/// Figure 3's running example (§3): a shared subnetwork
+/// `common = (a+b) + !(c·d)` drives `f = !common` (negative phase in the
+/// initial synthesis) and `g = common` (positive phase). The internal
+/// inverter on `c·d` is the one phase assignment must push to the
+/// boundary.
+///
+/// # Errors
+///
+/// Construction never fails for this fixed netlist; the `Result` mirrors
+/// the builder API.
+pub fn fig3_network() -> Result<Network, NetlistError> {
+    let mut net = Network::new("fig3");
+    let a = net.add_input("a")?;
+    let b = net.add_input("b")?;
+    let c = net.add_input("c")?;
+    let d = net.add_input("d")?;
+    let aob = net.add_or([a, b])?;
+    let cad = net.add_and([c, d])?;
+    let ncad = net.add_not(cad)?;
+    let common = net.add_or([aob, ncad])?;
+    let f = net.add_not(common)?;
+    net.add_output("f", f)?;
+    net.add_output("g", common)?;
+    net.validate()?;
+    Ok(net)
+}
+
+/// Figure 5's two-output example: `f = (a+b)+(c·d)` and
+/// `g = !(a+b) + !(c·d)`. With all primary input probabilities 0.9, the
+/// phase assignment (f−, g+) has 75% fewer weighted transitions than
+/// (f+, g−) — reproduced exactly by the unit power model.
+///
+/// # Errors
+///
+/// Construction never fails for this fixed netlist.
+pub fn fig5_network() -> Result<Network, NetlistError> {
+    let mut net = Network::new("fig5");
+    let a = net.add_input("a")?;
+    let b = net.add_input("b")?;
+    let c = net.add_input("c")?;
+    let d = net.add_input("d")?;
+    let aob = net.add_or([a, b])?;
+    let cad = net.add_and([c, d])?;
+    let f = net.add_or([aob, cad])?;
+    let naob = net.add_not(aob)?;
+    let ncad = net.add_not(cad)?;
+    let g = net.add_or([naob, ncad])?;
+    net.add_output("f", f)?;
+    net.add_output("g", g)?;
+    net.validate()?;
+    Ok(net)
+}
+
+/// Figure 7's sequential partitioning example: a feedback structure where
+/// cutting the *right* flip-flop yields a combinational block with fewer
+/// pseudo primary inputs. Three latches: `q0` feeds wide logic, `q1`/`q2`
+/// form the feedback loop through narrow logic.
+///
+/// # Errors
+///
+/// Construction never fails for this fixed netlist.
+pub fn fig7_network() -> Result<Network, NetlistError> {
+    let mut net = Network::new("fig7");
+    let a = net.add_input("a")?;
+    let b = net.add_input("b")?;
+    let c = net.add_input("c")?;
+    let q0 = net.add_latch(false);
+    let q1 = net.add_latch(false);
+    let q2 = net.add_latch(true);
+    net.set_node_name(q0, "q0")?;
+    net.set_node_name(q1, "q1")?;
+    net.set_node_name(q2, "q2")?;
+    // q0's next state depends on everything (wide); q1/q2 loop narrowly.
+    let wide = net.add_and([a, b, c])?;
+    let d0 = net.add_or([wide, q1])?;
+    let d1 = net.add_and([q2, a])?;
+    let d2 = net.add_or([q1, b])?;
+    net.set_latch_data(q0, d0)?;
+    net.set_latch_data(q1, d1)?;
+    net.set_latch_data(q2, d2)?;
+    let out = net.add_or([q0, q2])?;
+    net.add_output("o", out)?;
+    net.validate()?;
+    Ok(net)
+}
+
+/// Figure 9's s-graph: vertices A, B, E (indices 0, 1, 4) and C, D
+/// (indices 2, 3) forming a strongly connected bipartite structure. The
+/// classical reductions cannot touch it; the symmetry transformation merges
+/// it into supervertices ABE (weight 3) and CD (weight 2).
+pub fn fig9_sgraph() -> DiGraph {
+    let mut g = DiGraph::new(5);
+    for abe in [0usize, 1, 4] {
+        for cd in [2usize, 3] {
+            g.add_edge(abe, cd);
+            g.add_edge(cd, abe);
+        }
+    }
+    g
+}
+
+/// Figure 10's three-gate circuit over inputs `x1..x5`: gate `P` consumes
+/// `x1, x2, x3`; gate `Q` consumes `x3, x4`; gate `R` consumes `Q` and
+/// `x5`. BDDs for all three circuit nodes are built under three variable
+/// orders (reverse-topological, topological, "disturbed"); the shared node
+/// counts reproduce the figure's ranking.
+///
+/// Returns the network; inputs are declared in index order so BDD variable
+/// `i` is `x(i+1)`.
+///
+/// # Errors
+///
+/// Construction never fails for this fixed netlist.
+pub fn fig10_network() -> Result<Network, NetlistError> {
+    let mut net = Network::new("fig10");
+    let x1 = net.add_input("x1")?;
+    let x2 = net.add_input("x2")?;
+    let x3 = net.add_input("x3")?;
+    let x4 = net.add_input("x4")?;
+    let x5 = net.add_input("x5")?;
+    let p = net.add_and([x1, x2, x3])?;
+    let q = net.add_and([x3, x4])?;
+    let r = net.add_or([q, x5])?;
+    net.add_output("P", p)?;
+    net.add_output("Q", q)?;
+    net.add_output("R", r)?;
+    net.validate()?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_functions() {
+        let net = fig3_network().unwrap();
+        // f = !((a+b) + !(c·d)), g = (a+b) + !(c·d)
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let (a, b, c, d) = (v[0], v[1], v[2], v[3]);
+            let common = (a || b) || !(c && d);
+            assert_eq!(net.eval_comb(&v).unwrap(), vec![!common, common]);
+        }
+    }
+
+    #[test]
+    fn fig5_functions() {
+        let net = fig5_network().unwrap();
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let (a, b, c, d) = (v[0], v[1], v[2], v[3]);
+            let f = (a || b) || (c && d);
+            let g = !(a || b) || !(c && d);
+            assert_eq!(net.eval_comb(&v).unwrap(), vec![f, g]);
+        }
+    }
+
+    #[test]
+    fn fig7_is_sequential_with_feedback() {
+        let net = fig7_network().unwrap();
+        assert_eq!(net.latches().len(), 3);
+        let g = domino_sgraph::extract_sgraph(&net);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn fig9_graph_shape() {
+        let g = fig9_sgraph();
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 12);
+        // Strongly connected: one SCC of 5.
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 5);
+    }
+
+    #[test]
+    fn fig10_functions() {
+        let net = fig10_network().unwrap();
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            let p = v[0] && v[1] && v[2];
+            let q = v[2] && v[3];
+            let r = q || v[4];
+            assert_eq!(net.eval_comb(&v).unwrap(), vec![p, q, r]);
+        }
+    }
+}

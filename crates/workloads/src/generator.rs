@@ -1,0 +1,311 @@
+//! Seeded random control-logic generator.
+//!
+//! The generated networks mimic the structure the paper attributes to
+//! domino control blocks: highly flattened (shallow AND/OR trees), highly
+//! convergent (wide gates near the inputs), with heavily overlapping output
+//! cones. Each output is built over a sliding *window* of the inputs, and a
+//! fraction of gates is published to a shared pool that later cones may
+//! reuse — this bounds every cone's BDD support (keeping exact probability
+//! computation cheap) while creating the cone overlap `O(i,j)` that drives
+//! the paper's cost function.
+
+use domino_netlist::{Network, NetlistError, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a generated control block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorSpec {
+    /// Model name.
+    pub name: String,
+    /// Primary input count.
+    pub n_inputs: usize,
+    /// Primary output count.
+    pub n_outputs: usize,
+    /// Total AND/OR gates to create (inverters come extra).
+    pub n_gates: usize,
+    /// Maximum gate fanin (≥ 2).
+    pub max_fanin: usize,
+    /// Probability that a chosen fanin edge is complemented (creates the
+    /// internal inverters phase assignment must remove).
+    pub not_probability: f64,
+    /// Number of inputs visible to each output cone.
+    pub window: usize,
+    /// Probability that a gate is published to the shared pool (cross-cone
+    /// overlap).
+    pub share_probability: f64,
+    /// How many shared gates each cone may import.
+    pub shared_picks: usize,
+    /// Latches to insert (0 = combinational). Latch data inputs are tapped
+    /// from late gates; latch outputs join the candidate pool.
+    pub n_latches: usize,
+    /// Scale of the per-cone AND/OR probability skew in `[0, 1]`: 1.0 keeps
+    /// the full decoder-like U-shape, 0.0 makes every cone balanced (signal
+    /// probabilities hover near ½, leaving phase assignment no leverage —
+    /// the Industry 2 profile).
+    pub skew: f64,
+    /// RNG seed — equal specs generate identical networks.
+    pub seed: u64,
+}
+
+impl GeneratorSpec {
+    /// A reasonable control-logic default: 16-input window, fanin-3 gates,
+    /// 15% inverted edges, combinational.
+    pub fn control_block(
+        name: impl Into<String>,
+        n_inputs: usize,
+        n_outputs: usize,
+        n_gates: usize,
+        seed: u64,
+    ) -> Self {
+        GeneratorSpec {
+            name: name.into(),
+            n_inputs,
+            n_outputs,
+            n_gates,
+            max_fanin: 3,
+            not_probability: 0.15,
+            window: 16,
+            share_probability: 0.25,
+            shared_picks: 2,
+            n_latches: 0,
+            skew: 1.0,
+            seed,
+        }
+    }
+}
+
+/// Generates the network described by `spec`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] only on internal construction failures (which
+/// would indicate a bug — the generator always produces valid networks for
+/// sane specs).
+///
+/// # Panics
+///
+/// Panics if `n_inputs == 0`, `n_outputs == 0`, or `max_fanin < 2`.
+pub fn generate(spec: &GeneratorSpec) -> Result<Network, NetlistError> {
+    assert!(spec.n_inputs > 0, "need at least one input");
+    assert!(spec.n_outputs > 0, "need at least one output");
+    assert!(spec.max_fanin >= 2, "gates need fanin of at least 2");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut net = Network::new(spec.name.clone());
+
+    let inputs: Vec<NodeId> = (0..spec.n_inputs)
+        .map(|i| net.add_input(format!("i{i}")))
+        .collect::<Result<_, _>>()?;
+    let latches: Vec<NodeId> = (0..spec.n_latches)
+        .map(|i| {
+            let l = net.add_latch(rng.gen_bool(0.5));
+            net.set_node_name(l, format!("q{i}")).expect("fresh id");
+            l
+        })
+        .collect();
+
+    // Shared inverter cache so complement edges reuse one NOT per node.
+    let mut inverters: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+    let mut shared: Vec<NodeId> = Vec::new();
+    let mut output_drivers: Vec<NodeId> = Vec::new();
+    let mut latch_candidates: Vec<NodeId> = Vec::new();
+
+    let window = spec.window.clamp(2, spec.n_inputs);
+    let gates_per_cone = (spec.n_gates / spec.n_outputs).max(1);
+    let mut remainder = spec.n_gates.saturating_sub(gates_per_cone * spec.n_outputs);
+
+    for o in 0..spec.n_outputs {
+        // Window of inputs: a contiguous band (wrapping) plus a couple of
+        // random extras — consecutive outputs overlap heavily.
+        let start = if spec.n_inputs > window {
+            (o * spec.n_inputs * 2 / (3 * spec.n_outputs).max(1)) % (spec.n_inputs - window + 1)
+        } else {
+            0
+        };
+        let mut pool: Vec<NodeId> = inputs[start..start + window].to_vec();
+        for _ in 0..2 {
+            pool.push(inputs[rng.gen_range(0..spec.n_inputs)]);
+        }
+        if !latches.is_empty() {
+            pool.push(latches[rng.gen_range(0..latches.len())]);
+        }
+        for _ in 0..spec.shared_picks.min(shared.len()) {
+            pool.push(shared[rng.gen_range(0..shared.len())]);
+        }
+
+        let mut cone_gates = gates_per_cone;
+        if remainder > 0 {
+            cone_gates += 1;
+            remainder -= 1;
+        }
+        // Per-cone gate-kind bias, U-shaped: control logic is full of
+        // decoder-like AND-heavy cones (output probability near 0) and
+        // flag/enable-like OR-heavy cones (near 1); balanced cones are the
+        // minority. Skewed cone probabilities are what make phase choice
+        // matter.
+        let raw_bias = if rng.gen_bool(0.45) {
+            0.86 + 0.12 * rng.gen::<f64>()
+        } else if rng.gen_bool(0.6) {
+            0.02 + 0.12 * rng.gen::<f64>()
+        } else {
+            0.3 + 0.4 * rng.gen::<f64>()
+        };
+        let or_bias = 0.5 + (raw_bias - 0.5) * spec.skew.clamp(0.0, 1.0);
+        let mut top = pool[0];
+        for _ in 0..cone_gates {
+            let k = rng.gen_range(2..=spec.max_fanin);
+            let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
+            let mut tries = 0;
+            while fanins.len() < k && tries < 32 {
+                tries += 1;
+                // Recent-biased pick: deeper, narrower cones.
+                let idx = if rng.gen_bool(0.75) && pool.len() > 4 {
+                    rng.gen_range(pool.len() - 4..pool.len())
+                } else {
+                    rng.gen_range(0..pool.len())
+                };
+                let mut cand = pool[idx];
+                if rng.gen_bool(spec.not_probability) {
+                    cand = match inverters.get(&cand) {
+                        Some(&inv) => inv,
+                        None => {
+                            let inv = net.add_not(cand)?;
+                            inverters.insert(cand, inv);
+                            inv
+                        }
+                    };
+                }
+                if !fanins.contains(&cand) {
+                    fanins.push(cand);
+                }
+            }
+            if fanins.len() < 2 {
+                continue;
+            }
+            let gate = if rng.gen_bool(or_bias) {
+                net.add_or(fanins)?
+            } else {
+                net.add_and(fanins)?
+            };
+            pool.push(gate);
+            top = gate;
+            if rng.gen_bool(spec.share_probability) {
+                shared.push(gate);
+            }
+            if rng.gen_bool(0.2) {
+                latch_candidates.push(gate);
+            }
+        }
+        output_drivers.push(top);
+    }
+
+    for (o, &driver) in output_drivers.iter().enumerate() {
+        // Some outputs come out inverted — realistic synthesis output and
+        // the raw material for phase assignment.
+        let driver = if rng.gen_bool(spec.not_probability) {
+            match inverters.get(&driver) {
+                Some(&inv) => inv,
+                None => {
+                    let inv = net.add_not(driver)?;
+                    inverters.insert(driver, inv);
+                    inv
+                }
+            }
+        } else {
+            driver
+        };
+        net.add_output(format!("o{o}"), driver)?;
+    }
+
+    for &l in &latches {
+        let data = if latch_candidates.is_empty() {
+            inputs[rng.gen_range(0..spec.n_inputs)]
+        } else {
+            latch_candidates[rng.gen_range(0..latch_candidates.len())]
+        };
+        net.set_latch_data(l, data)?;
+    }
+
+    net.validate()?;
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_netlist::NetworkStats;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let spec = GeneratorSpec::control_block("t", 20, 8, 60, 42);
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&GeneratorSpec {
+            seed: 43,
+            ..spec.clone()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_interface_counts() {
+        let spec = GeneratorSpec::control_block("t", 31, 3, 50, 7);
+        let net = generate(&spec).unwrap();
+        assert_eq!(net.inputs().len(), 31);
+        assert_eq!(net.outputs().len(), 3);
+        net.validate().unwrap();
+        let stats = NetworkStats::of(&net);
+        assert!(stats.ands + stats.ors >= 40, "{stats}");
+        assert!(stats.nots > 0, "needs inverters for phase assignment");
+    }
+
+    #[test]
+    fn sequential_generation() {
+        let spec = GeneratorSpec {
+            n_latches: 6,
+            ..GeneratorSpec::control_block("seq", 16, 4, 60, 3)
+        };
+        let net = generate(&spec).unwrap();
+        assert!(net.is_sequential());
+        assert_eq!(net.latches().len(), 6);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn output_cones_overlap() {
+        // Consecutive outputs share window inputs: the overlap the cost
+        // function needs.
+        let spec = GeneratorSpec::control_block("t", 24, 6, 90, 11);
+        let net = generate(&spec).unwrap();
+        let cones: Vec<std::collections::HashSet<_>> = net
+            .outputs()
+            .iter()
+            .map(|o| net.transitive_fanin(o.driver))
+            .collect();
+        let mut overlapping_pairs = 0;
+        for i in 0..cones.len() {
+            for j in i + 1..cones.len() {
+                if cones[i].intersection(&cones[j]).next().is_some() {
+                    overlapping_pairs += 1;
+                }
+            }
+        }
+        assert!(overlapping_pairs >= 3, "{overlapping_pairs} overlapping pairs");
+    }
+
+    #[test]
+    fn windowed_support_stays_bounded() {
+        let spec = GeneratorSpec::control_block("t", 120, 20, 400, 5);
+        let net = generate(&spec).unwrap();
+        for o in net.outputs() {
+            let support = net.cone_inputs(o.driver).len();
+            assert!(
+                support <= 70,
+                "cone of {} spans {support} inputs",
+                o.name
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Benchmark circuits for the `dominolp` experiments.
+//!
+//! The paper evaluates on three proprietary Intel control blocks and four
+//! MCNC benchmarks (apex7, frg1, x1, x3). Neither set is redistributable
+//! here, so this crate provides **seeded synthetic equivalents**: random
+//! control-logic networks with the *published* primary input/output counts
+//! and sizes calibrated so the minimum-area mapped cell counts land near the
+//! published "MA Size" column (see DESIGN.md §3 for why this substitution
+//! preserves the experiments). Real MCNC `.blif` files drop in via
+//! [`domino_netlist::parse_blif`] if you have them.
+//!
+//! Contents:
+//!
+//! * generator — the seeded random control-logic generator
+//!   ([`GeneratorSpec`], [`generate`]);
+//! * suite — the seven Table 1/2 circuits ([`BenchmarkCircuit`],
+//!   [`table_suite`], [`public_suite`]);
+//! * [`figures`] — the exact circuits/graphs behind Figures 3, 5, 7, 9
+//!   and 10.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+mod generator;
+mod suite;
+
+pub use generator::{generate, GeneratorSpec};
+pub use suite::{public_suite, row_spec, table_suite, BenchmarkCircuit};

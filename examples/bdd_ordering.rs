@@ -1,0 +1,61 @@
+//! The §4.2.2 BDD variable ordering heuristic at work: reverse-topological,
+//! fanout-cone-weighted orders shrink the shared BDD of a convergent
+//! domino block.
+//!
+//! ```sh
+//! cargo run --example bdd_ordering
+//! ```
+
+use dominolp::bdd::circuit::CircuitBdds;
+use dominolp::bdd::ordering::{paper_order, random_order, topological_order};
+use dominolp::workloads::figures::fig10_network;
+use dominolp::workloads::{generate, GeneratorSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 10 toy circuit.
+    let net = fig10_network()?;
+    println!("Figure 10 circuit (P = x1·x2·x3, Q = x3·x4, R = Q + x5):");
+    for (label, order) in [
+        ("paper (reverse topo)", paper_order(&net)),
+        ("topological", topological_order(&net)),
+    ] {
+        let bdds = CircuitBdds::build_with_order(&net, order.clone())?;
+        let vars: Vec<String> = order.iter().map(|v| format!("x{}", v + 1)).collect();
+        println!(
+            "  {label:<22} order {:<18} shared nodes {}",
+            vars.join(","),
+            bdds.output_node_count(&net)
+        );
+    }
+
+    // A realistic convergent control block.
+    let spec = GeneratorSpec::control_block("conv", 48, 16, 420, 9);
+    let net = generate(&spec)?;
+    println!("\nconvergent control block ({} inputs, {} gates):", 48, 420);
+    let n = net.inputs().len();
+    for (label, order) in [
+        ("paper (reverse topo)", paper_order(&net)),
+        ("topological", topological_order(&net)),
+        ("random", random_order(n, 5)),
+    ] {
+        let bdds = CircuitBdds::build_with_order(&net, order)?;
+        println!(
+            "  {label:<22} total shared nodes {:>6}",
+            bdds.total_node_count()
+        );
+    }
+
+    // Orders never change the computed probabilities — only the cost.
+    let pi = vec![0.5; n];
+    let a = CircuitBdds::build_with_order(&net, paper_order(&net))?
+        .node_probabilities(&net, &pi)?;
+    let b = CircuitBdds::build_with_order(&net, random_order(n, 5))?
+        .node_probabilities(&net, &pi)?;
+    let max_diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax probability difference across orders: {max_diff:.2e} (exactness ✓)");
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # dominolp — low-power domino logic synthesis via output phase assignment
+//!
+//! Umbrella crate for the `dominolp` workspace, a from-scratch reproduction of
+//! *Patra & Narayanan, "Automated Phase Assignment for the Synthesis of Low
+//! Power Domino Circuits", DAC 1999*.
+//!
+//! Each subsystem lives in its own crate and is re-exported here under a short
+//! module name:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`netlist`] | `domino-netlist` | Boolean networks, BLIF I/O, traversal |
+//! | [`bdd`] | `domino-bdd` | ROBDDs, exact signal probability, variable ordering |
+//! | [`sgraph`] | `domino-sgraph` | s-graphs, MFVS heuristics, sequential partitioning |
+//! | [`phase`] | `domino-phase` | inverter-free domino synthesis, min-area & min-power phase assignment, power estimation |
+//! | [`techmap`] | `domino-techmap` | domino cell library, mapping, STA, sizing |
+//! | [`sim`] | `domino-sim` | statistical vector simulation ("PowerMill" substitute) |
+//! | [`workloads`] | `domino-workloads` | benchmark circuits and paper figure examples |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
+//! use dominolp::workloads::figures::fig5_network;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = fig5_network()?;
+//! let synth = DominoSynthesizer::new(&net)?;
+//! // All-positive phases: every output implemented without a boundary inverter.
+//! let assignment = PhaseAssignment::all_positive(net.outputs().len());
+//! let domino = synth.synthesize(&assignment)?;
+//! assert!(domino.is_inverter_free());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end flows and `crates/bench` for the binaries
+//! that regenerate every table and figure of the paper.
+
+pub use domino_bdd as bdd;
+pub use domino_netlist as netlist;
+pub use domino_phase as phase;
+pub use domino_sgraph as sgraph;
+pub use domino_sim as sim;
+pub use domino_techmap as techmap;
+pub use domino_workloads as workloads;

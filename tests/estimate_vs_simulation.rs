@@ -1,0 +1,113 @@
+//! The power-estimation contract: BDD-exact `Σ S·C·P` equals simulated
+//! switching (Property 2.1/2.2 make zero-delay exact), and exact BDD
+//! probabilities match Monte-Carlo sampling.
+
+use dominolp::phase::power::{estimate_power, PowerModel};
+use dominolp::phase::prob::{compute_probabilities, ProbabilityConfig};
+use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
+use dominolp::sim::montecarlo::estimate_node_probabilities;
+use dominolp::sim::{measure_domino_switching, SimConfig};
+use dominolp::workloads::{generate, GeneratorSpec};
+
+#[test]
+fn bdd_probabilities_match_monte_carlo() {
+    for seed in [1u64, 4] {
+        let spec = GeneratorSpec::control_block(format!("mc{seed}"), 12, 4, 45, seed);
+        let net = generate(&spec).expect("generator succeeds");
+        let pi: Vec<f64> = (0..12).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let exact = compute_probabilities(&net, &pi, &ProbabilityConfig::default())
+            .expect("probabilities compute");
+        let mc = estimate_node_probabilities(
+            &net,
+            &pi,
+            &SimConfig {
+                cycles: 40_000,
+                warmup: 0,
+                seed: 77,
+            },
+        );
+        for id in net.node_ids() {
+            let i = id.index();
+            assert!(
+                (exact.get(i) - mc[i]).abs() < 0.015,
+                "seed {seed} node {i}: exact {} vs mc {}",
+                exact.get(i),
+                mc[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn estimate_matches_simulated_switching_for_every_assignment_shape() {
+    let spec = GeneratorSpec::control_block("est", 10, 4, 36, 2);
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.7; 10];
+    let probs =
+        compute_probabilities(&net, &pi, &ProbabilityConfig::default()).expect("probs");
+    let synth = DominoSynthesizer::new(&net).expect("valid");
+    let n = synth.view_outputs().len();
+    let cfg = SimConfig {
+        cycles: 60_000,
+        warmup: 16,
+        seed: 3,
+    };
+    for bits in [0u64, 0b1010, (1 << n as u64) - 1] {
+        let pa = PhaseAssignment::from_bits(n, bits & ((1 << n as u64) - 1));
+        let domino = synth.synthesize(&pa).expect("synthesis succeeds");
+        let est = estimate_power(&domino, probs.as_slice(), &PowerModel::unit());
+        let sim = measure_domino_switching(&domino, &pi, &cfg);
+        let tol = 0.03 * est.total().max(1.0);
+        assert!(
+            (est.total() - sim.total()).abs() < tol,
+            "bits {bits:b}: est {} vs sim {}",
+            est.total(),
+            sim.total()
+        );
+    }
+}
+
+#[test]
+fn sequential_estimate_tracks_simulation() {
+    // With feedback, the BDD estimate uses partition + fixpoint sweeps —
+    // an approximation; simulation sees the true correlated state. They
+    // must still agree loosely.
+    let spec = GeneratorSpec {
+        n_latches: 5,
+        ..GeneratorSpec::control_block("seq_est", 8, 3, 40, 6)
+    };
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.5; 8];
+    let probs = compute_probabilities(
+        &net,
+        &pi,
+        &ProbabilityConfig {
+            sweeps: 4,
+            ..ProbabilityConfig::default()
+        },
+    )
+    .expect("probs");
+    let synth = DominoSynthesizer::new(&net).expect("valid");
+    let n = synth.view_outputs().len();
+    let domino = synth
+        .synthesize(&PhaseAssignment::all_positive(n))
+        .expect("synthesis succeeds");
+    let est = estimate_power(&domino, probs.as_slice(), &PowerModel::unit());
+    let sim = measure_domino_switching(
+        &domino,
+        &pi,
+        &SimConfig {
+            cycles: 60_000,
+            warmup: 64,
+            seed: 9,
+        },
+    );
+    let rel = (est.total() - sim.total()).abs() / sim.total();
+    assert!(
+        rel < 0.15,
+        "sequential estimate off by {:.1}%: est {} vs sim {}",
+        100.0 * rel,
+        est.total(),
+        sim.total()
+    );
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the complete flow preserves functionality and
+//! its invariants on randomly generated control blocks.
+
+use dominolp::netlist::optimize;
+use dominolp::phase::flow::{minimize_area, minimize_power, FlowConfig};
+use dominolp::sim::VectorSource;
+use dominolp::workloads::{generate, GeneratorSpec};
+
+fn sample_equivalence(
+    net: &dominolp::netlist::Network,
+    domino: &dominolp::phase::DominoNetwork,
+    seed: u64,
+) {
+    let mut vectors = VectorSource::uniform(net.inputs().len(), seed);
+    for _ in 0..200 {
+        let v = vectors.next_vector();
+        assert_eq!(
+            domino.eval(&v).expect("eval"),
+            net.eval_comb(&v).expect("eval"),
+            "domino block must compute the original functions"
+        );
+    }
+}
+
+#[test]
+fn ma_and_mp_flows_preserve_function() {
+    for seed in 0..6u64 {
+        let spec = GeneratorSpec::control_block(format!("rand{seed}"), 16, 6, 70, seed);
+        let net = generate(&spec).expect("generator succeeds");
+        let pi = vec![0.5; 16];
+        let cfg = FlowConfig::default();
+        let ma = minimize_area(&net, &pi, &cfg).expect("ma flow");
+        let mp = minimize_power(&net, &pi, &cfg).expect("mp flow");
+        assert!(ma.domino.is_inverter_free());
+        assert!(mp.domino.is_inverter_free());
+        sample_equivalence(&net, &ma.domino, 100 + seed);
+        sample_equivalence(&net, &mp.domino, 200 + seed);
+        // MP's estimate is never worse than the all-positive start, and the
+        // reported power matches the search objective.
+        assert!((mp.power.total() - mp.outcome.objective).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn optimize_then_flow_agrees_with_raw_flow_functionally() {
+    let spec = GeneratorSpec::control_block("opt", 14, 5, 60, 3);
+    let raw = generate(&spec).expect("generator succeeds");
+    let (opt, _) = optimize(&raw);
+    let pi = vec![0.5; 14];
+    let cfg = FlowConfig::default();
+    let report = minimize_power(&opt, &pi, &cfg).expect("mp flow");
+    // The optimized network's domino block computes the raw functions.
+    let mut vectors = VectorSource::uniform(14, 7);
+    for _ in 0..200 {
+        let v = vectors.next_vector();
+        assert_eq!(
+            report.domino.eval(&v).expect("eval"),
+            raw.eval_comb(&v).expect("eval")
+        );
+    }
+    // Optimization never grows the network.
+    assert!(opt.len() <= raw.len());
+}
+
+#[test]
+fn flows_are_formally_equivalent_to_the_source() {
+    use dominolp::bdd::circuit::check_equivalence;
+    use dominolp::phase::DominoSynthesizer;
+    for seed in 0..4u64 {
+        let spec = GeneratorSpec::control_block(format!("feq{seed}"), 14, 5, 55, seed);
+        let net = generate(&spec).expect("generator succeeds");
+        let pi = vec![0.5; 14];
+        let cfg = FlowConfig::default();
+        let synth = DominoSynthesizer::new(&net).expect("valid");
+        let view = synth.comb_view();
+        for report in [
+            minimize_area(&net, &pi, &cfg).expect("ma flow"),
+            minimize_power(&net, &pi, &cfg).expect("mp flow"),
+        ] {
+            // Complete (BDD) equivalence — not sampling.
+            assert_eq!(
+                check_equivalence(&view, &report.domino.to_network()).expect("bdds build"),
+                None,
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sequential_flow_preserves_cycle_behaviour() {
+    use dominolp::netlist::SequentialState;
+    let spec = GeneratorSpec {
+        n_latches: 6,
+        ..GeneratorSpec::control_block("seqflow", 10, 4, 50, 9)
+    };
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.5; 10];
+    let report = minimize_power(&net, &pi, &FlowConfig::default()).expect("mp flow");
+
+    // Step the original network and the domino block side by side: the
+    // domino view outputs are [POs, latch Ds]; latch state evolves
+    // identically, so POs must match cycle by cycle.
+    let mut state = SequentialState::new(&net);
+    let mut domino_state: Vec<bool> = report.domino.latch_inits().to_vec();
+    let mut vectors = VectorSource::uniform(10, 31);
+    for cycle in 0..100 {
+        let v = vectors.next_vector();
+        let want = state.step(&net, &v).expect("step");
+        let mut sources = v.clone();
+        sources.extend(domino_state.iter().copied());
+        let outs = report.domino.eval(&sources).expect("eval");
+        let n_pos = net.outputs().len();
+        assert_eq!(&outs[..n_pos], &want[..], "cycle {cycle}");
+        domino_state.copy_from_slice(&outs[n_pos..]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Mapping/timing/power pipeline invariants at suite scale.
+
+use dominolp::phase::flow::{minimize_area, minimize_power, FlowConfig};
+use dominolp::sim::{measure_power, SimConfig, VectorSource};
+use dominolp::techmap::{map, size_for_timing, sta, Library, SizingConfig};
+use dominolp::workloads::{generate, row_spec, GeneratorSpec};
+
+#[test]
+fn mapped_netlist_equivalent_to_domino_block() {
+    let spec = GeneratorSpec::control_block("mapchk", 18, 6, 80, 4);
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.5; 18];
+    let report = minimize_power(&net, &pi, &FlowConfig::default()).expect("flow");
+    let lib = Library::standard();
+    let mapped = map(&report.domino, &lib);
+    let mut vectors = VectorSource::uniform(18, 77);
+    for _ in 0..300 {
+        let v = vectors.next_vector();
+        assert_eq!(
+            mapped.eval_outputs(&v),
+            net.eval_comb(&v).expect("eval"),
+            "mapped netlist computes the original functions"
+        );
+    }
+    // All cells obey the library fanin bound.
+    assert!(mapped.cells().iter().all(|c| c.fanins.len() <= lib.max_fanin));
+}
+
+#[test]
+fn sizing_trades_power_for_speed() {
+    let spec = row_spec("frg1").expect("suite row");
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.5; net.inputs().len()];
+    let report = minimize_area(&net, &pi, &FlowConfig::default()).expect("flow");
+    let lib = Library::standard();
+    let mut mapped = map(&report.domino, &lib);
+    let sim = SimConfig::default();
+
+    let before_delay = sta(&mapped, &lib).worst_arrival_ps;
+    let before_power = measure_power(&mapped, &lib, &pi, &sim).total_ma();
+
+    let target = before_delay * 0.7;
+    let sizing = size_for_timing(
+        &mut mapped,
+        &lib,
+        &SizingConfig {
+            clock_period_ps: Some(target),
+            ..SizingConfig::default()
+        },
+    );
+    assert!(sizing.met, "frg1-class block must be sizable to 70%");
+    let after_delay = sizing.timing.worst_arrival_ps;
+    let after_power = measure_power(&mapped, &lib, &pi, &sim).total_ma();
+
+    assert!(after_delay <= target);
+    assert!(
+        after_power > before_power,
+        "speed costs power: {after_power} vs {before_power}"
+    );
+    // Function unchanged by sizing.
+    let mut vectors = VectorSource::uniform(net.inputs().len(), 3);
+    for _ in 0..100 {
+        let v = vectors.next_vector();
+        assert_eq!(mapped.eval_outputs(&v), net.eval_comb(&v).expect("eval"));
+    }
+}
+
+#[test]
+fn power_report_components_are_consistent() {
+    let spec = GeneratorSpec::control_block("pwr", 16, 6, 70, 6);
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.5; 16];
+    let report = minimize_power(&net, &pi, &FlowConfig::default()).expect("flow");
+    let lib = Library::standard();
+    let mapped = map(&report.domino, &lib);
+    let power = measure_power(&mapped, &lib, &pi, &SimConfig::default());
+    assert!(power.cap_ma > 0.0);
+    assert!((power.short_circuit_ma - 0.1 * power.cap_ma).abs() < 1e-12);
+    assert!(
+        (power.leakage_ma - mapped.cell_count() as f64 * lib.leak_ua * 1e-3).abs() < 1e-12
+    );
+    assert!(
+        (power.total_ma() - (power.cap_ma + power.short_circuit_ma + power.leakage_ma)).abs()
+            < 1e-12
+    );
+}
