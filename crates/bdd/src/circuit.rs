@@ -77,11 +77,8 @@ impl CircuitBdds {
             });
         }
         let mut manager = BddManager::with_order(order)?;
-        let var_of: HashMap<NodeId, usize> = sources
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
+        let var_of: HashMap<NodeId, usize> =
+            sources.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut node_funcs = vec![Bdd::FALSE; net.len()];
         for id in net.topo_order() {
             let node = net.node(id);
@@ -217,11 +214,8 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Result<Option<usize>, BddE
     let mut manager = BddManager::new(n);
     let build = |manager: &mut BddManager, net: &Network| -> Result<Vec<Bdd>, BddError> {
         let sources = source_nodes(net);
-        let var_of: HashMap<NodeId, usize> = sources
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i))
-            .collect();
+        let var_of: HashMap<NodeId, usize> =
+            sources.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut funcs = vec![Bdd::FALSE; net.len()];
         for id in net.topo_order() {
             let node = net.node(id);
@@ -248,10 +242,7 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Result<Option<usize>, BddE
     };
     let outs_a = build(&mut manager, a)?;
     let outs_b = build(&mut manager, b)?;
-    Ok(outs_a
-        .iter()
-        .zip(&outs_b)
-        .position(|(x, y)| x != y))
+    Ok(outs_a.iter().zip(&outs_b).position(|(x, y)| x != y))
 }
 
 #[cfg(test)]

@@ -75,7 +75,10 @@ impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::UnknownVariable { var, n_vars } => {
-                write!(f, "variable {var} out of range for manager with {n_vars} variables")
+                write!(
+                    f,
+                    "variable {var} out of range for manager with {n_vars} variables"
+                )
             }
             BddError::NodeLimit { limit } => {
                 write!(f, "bdd node limit of {limit} nodes exceeded")
@@ -500,11 +503,7 @@ impl BddManager {
     /// # Errors
     ///
     /// Same conditions as [`BddManager::signal_probability`].
-    pub fn signal_probabilities(
-        &self,
-        roots: &[Bdd],
-        probs: &[f64],
-    ) -> Result<Vec<f64>, BddError> {
+    pub fn signal_probabilities(&self, roots: &[Bdd], probs: &[f64]) -> Result<Vec<f64>, BddError> {
         if probs.len() != self.n_vars() {
             return Err(BddError::ArityMismatch {
                 expected: self.n_vars(),
@@ -764,10 +763,7 @@ mod tests {
             let va = bits & 1 != 0;
             let vb = bits & 2 != 0;
             let vc = bits & 4 != 0;
-            assert_eq!(
-                m.eval(f, &[va, vb, vc]).unwrap(),
-                if va { vb } else { vc }
-            );
+            assert_eq!(m.eval(f, &[va, vb, vc]).unwrap(), if va { vb } else { vc });
         }
     }
 

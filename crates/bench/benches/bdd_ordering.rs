@@ -12,9 +12,11 @@ fn bench_orders(c: &mut Criterion) {
     for bench in suite.iter().filter(|b| ["apex7", "x1"].contains(&b.name)) {
         let net = &bench.network;
         let n = net.inputs().len() + net.latches().len();
-        group.bench_with_input(BenchmarkId::new("paper_order", bench.name), net, |b, net| {
-            b.iter(|| CircuitBdds::build_with_order(net, paper_order(net)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("paper_order", bench.name),
+            net,
+            |b, net| b.iter(|| CircuitBdds::build_with_order(net, paper_order(net)).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("topological", bench.name),
             net,

@@ -1,0 +1,80 @@
+//! Criterion bench for the `domino-engine` batch executor: public-suite
+//! throughput at 1/2/4 worker threads, and cold-vs-warm cache behaviour.
+//! The numbers feed `BENCH_engine.json`-style reports (suite wall-clock per
+//! thread count; warm/cold ratio is the cache's whole value proposition).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_engine::{EngineConfig, FlowEngine, FlowJob, JobSpec, ResultCache};
+
+fn public_suite_jobs() -> Vec<FlowJob> {
+    domino_workloads::public_row_names()
+        .iter()
+        .map(|name| {
+            let mut spec = JobSpec::suite(name);
+            spec.sim.cycles = 1024;
+            spec.resolve().expect("suite row resolves")
+        })
+        .collect()
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let jobs = public_suite_jobs();
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("public_suite_cold", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let engine = FlowEngine::new(EngineConfig {
+                        threads,
+                        cache: None,
+                    });
+                    let results = engine.run_batch(&jobs);
+                    assert!(results.iter().all(|r| r.outcome().is_some()));
+                    results
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let jobs = public_suite_jobs();
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+
+    // Cold: a fresh cache every iteration — every job is computed + stored.
+    group.bench_function(BenchmarkId::new("cold", 4), |b| {
+        b.iter(|| {
+            let engine = FlowEngine::new(EngineConfig {
+                threads: 4,
+                cache: Some(Arc::new(ResultCache::in_memory())),
+            });
+            engine.run_batch(&jobs)
+        })
+    });
+
+    // Warm: one pre-filled cache — every job is a content-address hit.
+    let cache = Arc::new(ResultCache::in_memory());
+    let engine = FlowEngine::new(EngineConfig {
+        threads: 4,
+        cache: Some(Arc::clone(&cache)),
+    });
+    engine.run_batch(&jobs);
+    group.bench_function(BenchmarkId::new("warm", 4), |b| {
+        b.iter(|| {
+            let results = engine.run_batch(&jobs);
+            assert!(results.iter().all(|r| r.was_cached()));
+            results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_cache);
+criterion_main!(benches);

@@ -10,7 +10,10 @@ fn bench_flow(c: &mut Criterion) {
     let experiment = Experiment::default();
     let mut group = c.benchmark_group("table1_flow");
     group.sample_size(10);
-    for bench in suite.iter().filter(|b| ["frg1", "apex7", "x3"].contains(&b.name)) {
+    for bench in suite
+        .iter()
+        .filter(|b| ["frg1", "apex7", "x3"].contains(&b.name))
+    {
         group.bench_function(BenchmarkId::new("ma_vs_mp", bench.name), |b| {
             b.iter(|| experiment.compare(bench.name, &bench.network).unwrap())
         });

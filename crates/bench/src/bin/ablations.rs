@@ -9,6 +9,8 @@
 
 use domino_bdd::circuit::CircuitBdds;
 use domino_bdd::ordering::{paper_order, random_order, topological_order};
+use domino_bench::Experiment;
+use domino_engine::{FlowEngine, RunObjective};
 use domino_phase::prob::{compute_probabilities, NodeProbabilities, ProbabilityConfig};
 use domino_phase::search::{min_power_assignment, MinPowerConfig};
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
@@ -76,37 +78,73 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>14}",
         "ckt", "K-guided", "random-order", "always-commit"
     );
-    for bench in suite.iter().filter(|b| b.description == "Public Domain") {
-        let net = &bench.network;
-        let pi = vec![0.5; net.inputs().len()];
-        let probs =
-            compute_probabilities(net, &pi, &ProbabilityConfig::default()).expect("probs");
-        let synth = DominoSynthesizer::new(net).expect("valid");
-        let n = synth.view_outputs().len();
+    // Each policy variant is an engine job (min-power objective, refinement
+    // disabled to isolate the pairwise-loop policies); all 3 variants × 4
+    // circuits fan out over one engine pool.
+    {
         // Refinement disabled: isolate the pairwise-loop policies.
         let strict = MinPowerConfig {
             refinement_passes: 0,
             ..MinPowerConfig::default()
         };
-        let run = |cfg: MinPowerConfig| -> f64 {
-            min_power_assignment(&synth, &probs, PhaseAssignment::all_positive(n), &cfg)
-                .expect("search succeeds")
-                .objective
-        };
-        let guided = run(strict.clone());
-        let random = run(MinPowerConfig {
-            k_guided: false,
-            seed: 7,
-            ..strict.clone()
-        });
-        let always = run(MinPowerConfig {
-            always_commit: true,
-            ..strict.clone()
-        });
-        println!(
-            "{:<12} {:>12.2} {:>12.2} {:>14.2}",
-            bench.name, guided, random, always
-        );
+        let policies = [
+            ("K-guided", strict.clone()),
+            (
+                "random-order",
+                MinPowerConfig {
+                    k_guided: false,
+                    seed: 7,
+                    ..strict.clone()
+                },
+            ),
+            (
+                "always-commit",
+                MinPowerConfig {
+                    always_commit: true,
+                    ..strict.clone()
+                },
+            ),
+        ];
+        let public: Vec<_> = suite
+            .iter()
+            .filter(|b| b.description == "Public Domain")
+            .collect();
+        let mut experiment = Experiment::default();
+        experiment.sim.cycles = 64; // only the BDD estimate is reported
+        let jobs: Vec<_> = public
+            .iter()
+            .flat_map(|bench| {
+                policies.iter().map(|(_, cfg)| {
+                    let mut exp = experiment.clone();
+                    exp.flow.power = cfg.clone();
+                    exp.job(bench.name, &bench.network, RunObjective::MinPower)
+                })
+            })
+            .collect();
+        let results = FlowEngine::default().run_batch(&jobs);
+        for (row, bench) in public.iter().enumerate() {
+            let est = |col: usize| -> f64 {
+                match &results[row * policies.len() + col] {
+                    r @ domino_engine::JobResult::Completed { .. } => {
+                        r.outcome()
+                            .and_then(|o| o.mp.as_ref())
+                            .expect("min-power job has an MP side")
+                            .estimated_switching
+                    }
+                    other => panic!(
+                        "{} / {} search failed: {other:?}",
+                        bench.name, policies[col].0
+                    ),
+                }
+            };
+            println!(
+                "{:<12} {:>12.2} {:>12.2} {:>14.2}",
+                bench.name,
+                est(0),
+                est(1),
+                est(2)
+            );
+        }
     }
 
     println!("\n== A5: exact BDD vs Monte-Carlo probabilities feeding the search ==");
@@ -117,8 +155,7 @@ fn main() {
     for bench in suite.iter().filter(|b| b.description == "Public Domain") {
         let net = &bench.network;
         let pi = vec![0.5; net.inputs().len()];
-        let exact =
-            compute_probabilities(net, &pi, &ProbabilityConfig::default()).expect("probs");
+        let exact = compute_probabilities(net, &pi, &ProbabilityConfig::default()).expect("probs");
         let mc_vec = estimate_node_probabilities(
             net,
             &pi,

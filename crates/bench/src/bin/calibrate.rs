@@ -19,8 +19,7 @@ fn main() {
         let t0 = Instant::now();
         match experiment.compare(bench.name, &bench.network) {
             Ok(cmp) => {
-                let est_sav = 100.0
-                    * (cmp.ma.estimated_switching - cmp.mp.estimated_switching)
+                let est_sav = 100.0 * (cmp.ma.estimated_switching - cmp.mp.estimated_switching)
                     / cmp.ma.estimated_switching;
                 println!(
                     "{:<11} {:>5} {:>5} | {:>9} {:>7} | {:>7} {:>9} {:>7.1} {:>8.1} | {:>7.2}s",

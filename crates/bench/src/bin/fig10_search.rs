@@ -73,11 +73,7 @@ fn main() {
                                 .map(|i| net.add_input(format!("x{i}")).unwrap())
                                 .collect();
                             let p = pf(net, &[x[0], x[1], x[2]]);
-                            let qargs = if q_swap {
-                                [x[3], x[2]]
-                            } else {
-                                [x[2], x[3]]
-                            };
+                            let qargs = if q_swap { [x[3], x[2]] } else { [x[2], x[3]] };
                             let q = qf(net, &qargs);
                             let rargs = if r_swap { [x[4], q] } else { [q, x[4]] };
                             let r = rf(net, &rargs);

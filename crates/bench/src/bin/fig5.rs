@@ -54,8 +54,6 @@ fn main() {
         totals.push(est.total());
     }
     let reduction = 100.0 * (1.0 - totals[1] / totals[0]);
-    println!(
-        "\nsecond realization has {reduction:.1}% fewer weighted transitions (paper: 75%)"
-    );
+    println!("\nsecond realization has {reduction:.1}% fewer weighted transitions (paper: 75%)");
     println!("paper values: 3.6/0.0/.8019 = 4.4019  vs  .40/.72/.0019 = 1.1219");
 }

@@ -11,10 +11,12 @@ fn main() {
     let bench = suite.iter().find(|b| b.name == "apex7").expect("apex7");
     let experiment = Experiment::default();
     let pi = vec![experiment.pi_probability; bench.network.inputs().len()];
-    let report =
-        minimize_power(&bench.network, &pi, &experiment.flow).expect("flow succeeds");
+    let report = minimize_power(&bench.network, &pi, &experiment.flow).expect("flow succeeds");
 
-    println!("Figure 6: power-minimization loop convergence on {}\n", bench.name);
+    println!(
+        "Figure 6: power-minimization loop convergence on {}\n",
+        bench.name
+    );
     println!("candidate evaluations: {}", report.outcome.evaluations);
     println!("committed improvements: {}\n", report.outcome.commits);
     println!("{:>8} {:>14} {:>10}", "commit", "est. power", "of initial");

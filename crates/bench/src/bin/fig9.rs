@@ -40,6 +40,10 @@ fn main() {
 
     let exact = exact_mfvs(&g);
     println!("\nexact minimum FVS: {:?} (size {})", exact, exact.len());
-    assert_eq!(enhanced.fvs.len(), exact.len(), "enhanced heuristic is optimal here");
+    assert_eq!(
+        enhanced.fvs.len(),
+        exact.len(),
+        "enhanced heuristic is optimal here"
+    );
     println!("\nenhanced = exact ✓ (paper: ABE/CD supervertices crack the graph)");
 }

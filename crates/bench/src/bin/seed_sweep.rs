@@ -9,10 +9,7 @@ use domino_workloads::{generate, row_spec};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("frg1");
-    let n_seeds: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let n_seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
 
     let Some(base_spec) = row_spec(which) else {
         eprintln!("unknown circuit {which}");

@@ -4,20 +4,34 @@
 //!
 //! Power is measured with the PowerMill-substitute simulator (capacitive +
 //! short-circuit + leakage current, mA); size is mapped standard cells.
+//! All seven circuits fan out over a `domino-engine` thread pool
+//! (`TABLE_THREADS` workers, default one per CPU).
+
+use std::sync::Arc;
 
 use domino_bench::{format_table, Experiment};
+use domino_engine::{EngineConfig, FlowEngine, ResultCache};
 use domino_workloads::table_suite;
 
 fn main() {
     let suite = table_suite().expect("suite generates");
     let experiment = Experiment::default();
+    let threads = std::env::var("TABLE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let engine = FlowEngine::new(EngineConfig {
+        threads,
+        cache: Some(Arc::new(ResultCache::in_memory())),
+    });
 
     println!("Table 1: synthesis when signal probabilities of primary inputs were 0.5\n");
+    let circuits: Vec<(&str, &domino_netlist::Network)> =
+        suite.iter().map(|b| (b.name, &b.network)).collect();
+    let comparisons = experiment.compare_batch(&circuits, &engine);
     let mut rows = Vec::new();
-    for bench in &suite {
-        let cmp = experiment
-            .compare(bench.name, &bench.network)
-            .expect("flow succeeds");
+    for (bench, cmp) in suite.iter().zip(comparisons) {
+        let cmp = cmp.expect("flow succeeds");
         rows.push((
             cmp,
             bench.description,

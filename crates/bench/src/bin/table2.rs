@@ -4,8 +4,13 @@
 //! savings survive when a timing step can "undo" them? (Their answer, and
 //! ours: yes — MP stays ahead, and its area can even come out *smaller*
 //! because fewer high-activity cells sit on critical paths.)
+//!
+//! The four public circuits run in parallel on a `domino-engine` pool.
+
+use std::sync::Arc;
 
 use domino_bench::{format_table, Experiment};
+use domino_engine::{EngineConfig, FlowEngine, ResultCache};
 use domino_workloads::public_suite;
 
 fn main() {
@@ -21,13 +26,18 @@ fn main() {
         mp_and_penalty: Some(2.5),
         ..Experiment::default()
     };
+    let engine = FlowEngine::new(EngineConfig {
+        threads: 0,
+        cache: Some(Arc::new(ResultCache::in_memory())),
+    });
 
     println!("Table 2: timed synthesis when signal probabilities of primary inputs were 0.5\n");
+    let circuits: Vec<(&str, &domino_netlist::Network)> =
+        suite.iter().map(|b| (b.name, &b.network)).collect();
+    let comparisons = experiment.compare_batch(&circuits, &engine);
     let mut rows = Vec::new();
-    for bench in &suite {
-        let cmp = experiment
-            .compare(bench.name, &bench.network)
-            .expect("flow succeeds");
+    for (bench, cmp) in suite.iter().zip(comparisons) {
+        let cmp = cmp.expect("flow succeeds");
         println!(
             "  {}: clock met (MA: {}, MP: {}); worst arrival MA {:.0} ps, MP {:.0} ps",
             bench.name,

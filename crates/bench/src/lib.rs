@@ -1,6 +1,14 @@
-//! Shared harness for the experiment binaries: runs a circuit through the
+//! Shared harness for the experiment binaries: runs circuits through the
 //! minimum-area and minimum-power flows (untimed or timed), measures power
 //! with the PowerMill-substitute simulator, and formats paper-style rows.
+//!
+//! Since the `domino-engine` subsystem landed, this crate no longer executes
+//! flows itself: [`Experiment`] lowers its knobs into an engine
+//! [`JobSpec`](domino_engine::JobSpec) and every run goes through
+//! [`domino_engine::run_job`] — the same code path as the `dominoc` CLI —
+//! so results are cacheable, batchable and identical across the binaries
+//! and the CLI. [`Experiment::compare_batch`] fans a whole suite out over a
+//! [`FlowEngine`] thread pool.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/`:
 //!
@@ -21,33 +29,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use domino_engine::{
+    run_job, run_objective, EngineError, FlowEngine, FlowJob, JobResult, JobSpec, PiSpec,
+    RunObjective,
+};
 use domino_netlist::Network;
-use domino_phase::flow::{minimize_area, minimize_power, FlowConfig};
-use domino_phase::PhaseError;
-use domino_sim::{measure_power, PowerReport, SimConfig};
-use domino_techmap::{map, size_for_timing, sta, Library, MappedNetlist, SizingConfig};
+use domino_phase::flow::FlowConfig;
+use domino_sim::SimConfig;
+use domino_techmap::Library;
 
-/// One side (MA or MP) of a table row.
-#[derive(Debug, Clone)]
-pub struct FlowResult {
-    /// Mapped standard-cell count (the "Size" column).
-    pub size: usize,
-    /// Simulated current, mA (the "Pwr" column).
-    pub power: PowerReport,
-    /// Estimated (BDD) switching power, for reference.
-    pub estimated_switching: f64,
-    /// Worst arrival after mapping (and sizing, if timed), ps.
-    pub worst_arrival_ps: f64,
-    /// Whether the timing constraint was met (timed runs).
-    pub timing_met: bool,
-    /// Search evaluations performed.
-    pub evaluations: usize,
-    /// The mapped netlist (for further inspection).
-    pub mapped: MappedNetlist,
-}
+/// One side (MA or MP) of a table row — the engine's pure-data result.
+///
+/// `size` is the mapped cell count (the "Size" column), [`power_ma`] the
+/// simulated current (the "Pwr" column).
+///
+/// [`power_ma`]: domino_engine::ObjectiveResult::power_ma
+pub type FlowResult = domino_engine::ObjectiveResult;
 
 /// MA-vs-MP comparison for one circuit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Circuit name.
     pub name: String,
@@ -55,6 +55,8 @@ pub struct Comparison {
     pub ma: FlowResult,
     /// Minimum-power flow result.
     pub mp: FlowResult,
+    /// The shared clock target of a timed run, ps.
+    pub clock_ps: Option<f64>,
 }
 
 impl Comparison {
@@ -65,8 +67,21 @@ impl Comparison {
 
     /// `% Pwr Sav.` column: MP power saving relative to MA.
     pub fn power_saving_pct(&self) -> f64 {
-        100.0 * (self.ma.power.total_ma() - self.mp.power.total_ma())
-            / self.ma.power.total_ma()
+        100.0 * (self.ma.power_ma() - self.mp.power_ma()) / self.ma.power_ma()
+    }
+
+    fn from_outcome(outcome: domino_engine::FlowOutcome) -> Result<Self, EngineError> {
+        match (outcome.ma, outcome.mp) {
+            (Some(ma), Some(mp)) => Ok(Comparison {
+                name: outcome.name,
+                ma,
+                mp,
+                clock_ps: outcome.clock_ps,
+            }),
+            _ => Err(EngineError::Spec(
+                "comparison outcome is missing a side".into(),
+            )),
+        }
     }
 }
 
@@ -104,8 +119,28 @@ impl Default for Experiment {
 }
 
 impl Experiment {
+    /// Lowers these knobs into an engine [`JobSpec`] for `net` (serialized
+    /// as inline BLIF, so the spec is self-contained and cacheable).
+    pub fn to_spec(&self, name: &str, net: &Network, objective: RunObjective) -> JobSpec {
+        let mut spec = JobSpec::for_network(name, net);
+        spec.objective = objective;
+        spec.pi = PiSpec::Uniform(self.pi_probability);
+        spec.flow = self.flow.clone();
+        spec.library = self.library.clone();
+        spec.sim = self.sim;
+        spec.timing_fraction = self.timing_fraction;
+        spec.mp_and_penalty = self.mp_and_penalty;
+        spec
+    }
+
+    /// Builds a resolved engine job for `net`.
+    pub fn job(&self, name: &str, net: &Network, objective: RunObjective) -> FlowJob {
+        FlowJob::new(self.to_spec(name, net, objective), net.clone())
+    }
+
     /// Runs one flow variant (`minimize_area` when `area` else
-    /// `minimize_power`) through mapping, optional sizing, and simulation.
+    /// `minimize_power`) through mapping, optional sizing, and simulation —
+    /// via the engine's [`run_objective`].
     ///
     /// When timing is requested, the clock target is derived from the MA
     /// netlist's unsized delay via `timing_fraction` (pass it in
@@ -113,82 +148,56 @@ impl Experiment {
     ///
     /// # Errors
     ///
-    /// Propagates [`PhaseError`] from the flow.
+    /// Propagates [`EngineError`] from the flow.
     pub fn run_flow(
         &self,
         net: &Network,
         area: bool,
         clock_ps: Option<f64>,
-    ) -> Result<FlowResult, PhaseError> {
-        let pi = vec![self.pi_probability; net.inputs().len()];
-        let report = if area {
-            minimize_area(net, &pi, &self.flow)?
+    ) -> Result<FlowResult, EngineError> {
+        let objective = if area {
+            RunObjective::MinArea
         } else {
-            let mut flow = self.flow.clone();
-            if let Some(penalty) = self.mp_and_penalty {
-                flow.power.model = domino_phase::power::PowerModel::with_and_penalty(penalty);
-            }
-            minimize_power(net, &pi, &flow)?
+            RunObjective::MinPower
         };
-        let mut mapped = map(&report.domino, &self.library);
-        let mut timing_met = true;
-        let timing = sta(&mapped, &self.library);
-        let mut worst = timing.worst_arrival_ps;
-        if let Some(fraction) = self.timing_fraction {
-            let target = clock_ps.unwrap_or(worst * fraction);
-            let sizing = size_for_timing(
-                &mut mapped,
-                &self.library,
-                &SizingConfig {
-                    clock_period_ps: Some(target),
-                    ..SizingConfig::default()
-                },
-            );
-            worst = sizing.timing.worst_arrival_ps;
-            timing_met = sizing.met;
-        }
-        let power = measure_power(&mapped, &self.library, &pi, &self.sim);
-        Ok(FlowResult {
-            size: mapped.effective_cell_count(),
-            power,
-            estimated_switching: report.power.total(),
-            worst_arrival_ps: worst,
-            timing_met,
-            evaluations: report.outcome.evaluations,
-            mapped,
-        })
+        let job = self.job(net.name(), net, objective);
+        run_objective(&job, area, clock_ps)
     }
 
-    /// Runs the MA-vs-MP comparison on one circuit. For timed experiments
-    /// the clock target is a fraction of the *MA* unsized delay, applied to
-    /// both variants (the paper's "realistic timing constraints").
+    /// Runs the MA-vs-MP comparison on one circuit through the engine. For
+    /// timed experiments the clock target is a fraction of the *MA* unsized
+    /// delay, applied to both variants (the paper's "realistic timing
+    /// constraints").
     ///
     /// # Errors
     ///
-    /// Propagates [`PhaseError`] from either flow.
-    pub fn compare(&self, name: &str, net: &Network) -> Result<Comparison, PhaseError> {
-        // Derive a common clock from the MA mapping when timed.
-        let clock_ps = if let Some(fraction) = self.timing_fraction {
-            let untimed = Experiment {
-                timing_fraction: None,
-                sim: SimConfig {
-                    cycles: 16, // probe run: only timing is needed
-                    ..self.sim
-                },
-                ..self.clone()
-            };
-            let probe = untimed.run_flow(net, true, None)?;
-            Some(probe.worst_arrival_ps * fraction)
-        } else {
-            None
-        };
-        let ma = self.run_flow(net, true, clock_ps)?;
-        let mp = self.run_flow(net, false, clock_ps)?;
-        Ok(Comparison {
-            name: name.to_string(),
-            ma,
-            mp,
-        })
+    /// Propagates [`EngineError`] from either flow.
+    pub fn compare(&self, name: &str, net: &Network) -> Result<Comparison, EngineError> {
+        let job = self.job(name, net, RunObjective::Compare);
+        Comparison::from_outcome(run_job(&job)?)
+    }
+
+    /// Runs MA-vs-MP comparisons for a whole suite on a [`FlowEngine`] —
+    /// parallel across circuits, cache-aware, one `Result` per circuit in
+    /// input order.
+    pub fn compare_batch(
+        &self,
+        circuits: &[(&str, &Network)],
+        engine: &FlowEngine,
+    ) -> Vec<Result<Comparison, EngineError>> {
+        let jobs: Vec<FlowJob> = circuits
+            .iter()
+            .map(|(name, net)| self.job(name, net, RunObjective::Compare))
+            .collect();
+        engine
+            .run_batch(&jobs)
+            .into_iter()
+            .map(|result| match result {
+                JobResult::Completed { outcome, .. } => Comparison::from_outcome(*outcome),
+                JobResult::Failed(e) => Err(e),
+                JobResult::Cancelled => Err(EngineError::Cancelled),
+            })
+            .collect()
     }
 }
 
@@ -214,9 +223,9 @@ pub fn format_table(rows: &[(Comparison, &str, usize, usize)]) -> String {
             pis,
             pos,
             cmp.ma.size,
-            cmp.ma.power.total_ma(),
+            cmp.ma.power_ma(),
             cmp.mp.size,
-            cmp.mp.power.total_ma(),
+            cmp.mp.power_ma(),
             cmp.area_penalty_pct(),
             cmp.power_saving_pct()
         )
@@ -229,8 +238,76 @@ pub fn format_table(rows: &[(Comparison, &str, usize, usize)]) -> String {
     writeln!(
         s,
         "{:<37} {:>15} {:>8} {:>6} {:>8} | {:>10.1} {:>10.1}",
-        "Average", "", "", "", "", pen_sum / n, sav_sum / n
+        "Average",
+        "",
+        "",
+        "",
+        "",
+        pen_sum / n,
+        sav_sum / n
     )
     .unwrap();
     s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5() -> Network {
+        let mut net = Network::new("fig5");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let aob = net.add_or([a, b]).unwrap();
+        let cad = net.add_and([c, d]).unwrap();
+        let f = net.add_or([aob, cad]).unwrap();
+        let naob = net.add_not(aob).unwrap();
+        let ncad = net.add_not(cad).unwrap();
+        let g = net.add_or([naob, ncad]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        net
+    }
+
+    #[test]
+    fn compare_agrees_with_run_flow() {
+        let net = fig5();
+        let mut experiment = Experiment::default();
+        experiment.sim.cycles = 256;
+        let cmp = experiment.compare("fig5", &net).unwrap();
+        let ma = experiment.run_flow(&net, true, None).unwrap();
+        let mp = experiment.run_flow(&net, false, None).unwrap();
+        assert_eq!(cmp.ma, ma);
+        assert_eq!(cmp.mp, mp);
+    }
+
+    #[test]
+    fn compare_batch_matches_serial_compare() {
+        let net = fig5();
+        let mut experiment = Experiment::default();
+        experiment.sim.cycles = 256;
+        let serial = experiment.compare("fig5", &net).unwrap();
+        let batch = experiment.compare_batch(&[("fig5", &net)], &FlowEngine::serial());
+        assert_eq!(batch.len(), 1);
+        assert_eq!(*batch[0].as_ref().unwrap(), serial);
+    }
+
+    #[test]
+    fn experiment_spec_is_serializable() {
+        let net = fig5();
+        let experiment = Experiment {
+            timing_fraction: Some(0.85),
+            mp_and_penalty: Some(2.5),
+            ..Experiment::default()
+        };
+        let spec = experiment.to_spec("fig5", &net, RunObjective::Compare);
+        let json = spec.to_json();
+        let back = JobSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        // The inline-BLIF source resolves back to the same structure.
+        let job = back.resolve().unwrap();
+        assert_eq!(job.network.structural_digest(), net.structural_digest());
+    }
 }

@@ -63,7 +63,11 @@ impl CostModel {
             for j in i + 1..n {
                 let inter = cones[i].intersection(&cones[j]).count();
                 let denom = (cone_sizes[i] + cone_sizes[j]) as f64;
-                overlaps.push(if denom == 0.0 { 0.0 } else { inter as f64 / denom });
+                overlaps.push(if denom == 0.0 {
+                    0.0
+                } else {
+                    inter as f64 / denom
+                });
             }
         }
         CostModel {
@@ -123,12 +127,7 @@ impl CostModel {
     /// relative to `current`: returns the phases to adopt and the cost.
     /// Ties prefer the earlier combination in the order
     /// (keep,keep), (keep,flip), (flip,keep), (flip,flip).
-    pub fn pair_best(
-        &self,
-        i: usize,
-        j: usize,
-        current: &PhaseAssignment,
-    ) -> (Phase, Phase, f64) {
+    pub fn pair_best(&self, i: usize, j: usize, current: &PhaseAssignment) -> (Phase, Phase, f64) {
         let ci = current.phase(i);
         let cj = current.phase(j);
         let combos = [
@@ -137,7 +136,11 @@ impl CostModel {
             (ci.flipped(), cj),
             (ci.flipped(), cj.flipped()),
         ];
-        let mut best = (combos[0].0, combos[0].1, self.cost(i, j, combos[0].0, combos[0].1));
+        let mut best = (
+            combos[0].0,
+            combos[0].1,
+            self.cost(i, j, combos[0].0, combos[0].1),
+        );
         for &(pi, pj) in &combos[1..] {
             let k = self.cost(i, j, pi, pj);
             if k < best.2 {
@@ -199,9 +202,11 @@ mod tests {
     #[test]
     fn cost_formula_matches_hand_computation() {
         let (cm, _) = model();
-        let (a0, a1) = (cm.average(0, Phase::Positive), cm.average(1, Phase::Negative));
-        let expect =
-            3.0 * a0 + 5.0 * a1 + 0.5 * cm.overlap(0, 1) * (a0 + a1);
+        let (a0, a1) = (
+            cm.average(0, Phase::Positive),
+            cm.average(1, Phase::Negative),
+        );
+        let expect = 3.0 * a0 + 5.0 * a1 + 0.5 * cm.overlap(0, 1) * (a0 + a1);
         let got = cm.cost(0, 1, Phase::Positive, Phase::Negative);
         assert!((got - expect).abs() < 1e-12);
     }

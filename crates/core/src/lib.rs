@@ -70,4 +70,6 @@ mod synth;
 
 pub use error::PhaseError;
 pub use phase_assignment::{Phase, PhaseAssignment};
-pub use synth::{DominoGate, DominoGateKind, DominoNetwork, DominoRef, DominoSynthesizer, ViewOutput};
+pub use synth::{
+    DominoGate, DominoGateKind, DominoNetwork, DominoRef, DominoSynthesizer, ViewOutput,
+};

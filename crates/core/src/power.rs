@@ -270,7 +270,10 @@ mod tests {
         );
         // Totals: 1.1219 vs 4.4019 — "75% fewer transitions".
         let reduction = 1.0 - power.total() / 4.4019;
-        assert!(reduction > 0.74 && reduction < 0.76, "reduction {reduction}");
+        assert!(
+            reduction > 0.74 && reduction < 0.76,
+            "reduction {reduction}"
+        );
     }
 
     #[test]

@@ -165,14 +165,14 @@ pub fn compute_probabilities(
     // Sequential: partition, then resolve latch probabilities.
     let part = partition(net, &config.mfvs);
     let latches = net.latches();
-    let latch_pos: std::collections::HashMap<_, _> = latches
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (l, i))
-        .collect();
+    let latch_pos: std::collections::HashMap<_, _> =
+        latches.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     // Source probabilities: PIs then latches.
     let mut source_probs: Vec<f64> = pi_probs.to_vec();
-    source_probs.extend(std::iter::repeat_n(config.cut_latch_probability, latches.len()));
+    source_probs.extend(std::iter::repeat_n(
+        config.cut_latch_probability,
+        latches.len(),
+    ));
 
     let sweeps = config.sweeps.max(1);
     let mut probs = Vec::new();
@@ -216,8 +216,8 @@ mod tests {
         let f = net.add_or([ab, c]).unwrap();
         let nf = net.add_not(f).unwrap();
         net.add_output("f", nf).unwrap();
-        let p = compute_probabilities(&net, &[0.9, 0.8, 0.3], &ProbabilityConfig::default())
-            .unwrap();
+        let p =
+            compute_probabilities(&net, &[0.9, 0.8, 0.3], &ProbabilityConfig::default()).unwrap();
         let expect_f = 1.0 - (1.0 - 0.72) * 0.7;
         assert!((p.get(f.index()) - expect_f).abs() < 1e-12);
         assert!((p.get(nf.index()) - (1.0 - expect_f)).abs() < 1e-12);

@@ -476,8 +476,7 @@ pub fn min_power_assignment(
                 }
                 if entry.version_i != versions[entry.i] || entry.version_j != versions[entry.j] {
                     // Stale: recompute under the current assignment.
-                    let (pi, pj, k) =
-                        cost_model.pair_best(entry.i, entry.j, acct.assignment());
+                    let (pi, pj, k) = cost_model.pair_best(entry.i, entry.j, acct.assignment());
                     heap.push(HeapEntry {
                         cost: k,
                         i: entry.i,
@@ -679,7 +678,10 @@ pub fn min_power_assignment_grouped(
             // Re-derive the best combination under the *current* assignment
             // (commits since ranking may have changed it).
             let (phases, _) = group_best(&cost_model, &members, acct.assignment());
-            let old: Vec<Phase> = members.iter().map(|&i| acct.assignment().phase(i)).collect();
+            let old: Vec<Phase> = members
+                .iter()
+                .map(|&i| acct.assignment().phase(i))
+                .collect();
             if old == phases {
                 continue;
             }
@@ -883,8 +885,7 @@ mod tests {
         let net = fig5();
         let synth = DominoSynthesizer::new(&net).unwrap();
         let mut acct =
-            ConeAccountant::new(&synth, Objective::Area, PhaseAssignment::all_positive(2))
-                .unwrap();
+            ConeAccountant::new(&synth, Objective::Area, PhaseAssignment::all_positive(2)).unwrap();
         for step in 0u64..4 {
             if step > 0 {
                 acct.flip(step.trailing_zeros() as usize);
@@ -954,8 +955,7 @@ mod tests {
                 .unwrap();
                 let initial_power = acct.total();
                 let outcome =
-                    min_power_assignment(&synth, &probs, init, &MinPowerConfig::default())
-                        .unwrap();
+                    min_power_assignment(&synth, &probs, init, &MinPowerConfig::default()).unwrap();
                 assert!(
                     outcome.objective <= initial_power + 1e-12,
                     "p={p} init={init_bits:b}"
@@ -993,8 +993,7 @@ mod tests {
         let synth = DominoSynthesizer::new(&net).unwrap();
         for p in [0.1, 0.5, 0.9] {
             let probs = probs_for(&net, p);
-            let optimal =
-                optimal_power_assignment(&synth, &probs, PowerModel::unit()).unwrap();
+            let optimal = optimal_power_assignment(&synth, &probs, PowerModel::unit()).unwrap();
             let heuristic = min_power_assignment(
                 &synth,
                 &probs,
@@ -1059,13 +1058,8 @@ mod tests {
             refinement_passes: 0,
             ..MinPowerConfig::default()
         };
-        let pair = min_power_assignment(
-            &synth,
-            &probs,
-            PhaseAssignment::all_positive(3),
-            &strict,
-        )
-        .unwrap();
+        let pair = min_power_assignment(&synth, &probs, PhaseAssignment::all_positive(3), &strict)
+            .unwrap();
         let triple = min_power_assignment_grouped(
             &synth,
             &probs,

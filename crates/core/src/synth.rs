@@ -164,7 +164,10 @@ impl DominoNetwork {
     /// Number of static inverters at the output boundary (= negative-phase
     /// outputs).
     pub fn output_inverter_count(&self) -> usize {
-        self.outputs.iter().filter(|o| o.phase.is_negative()).count()
+        self.outputs
+            .iter()
+            .filter(|o| o.phase.is_negative())
+            .count()
     }
 
     /// Total cell count: domino gates plus boundary inverters — the area
@@ -335,7 +338,8 @@ impl DominoNetwork {
             if o.phase.is_negative() {
                 driver = out.add_not(driver).expect("valid fanin");
             }
-            out.add_output(o.name.clone(), driver).expect("unique names");
+            out.add_output(o.name.clone(), driver)
+                .expect("unique names");
         }
         out
     }
@@ -513,10 +517,9 @@ impl<'a> DominoSynthesizer<'a> {
             for &f in self.net.node(n).comb_fanins() {
                 match self.resolve(f, c) {
                     DemandRoot::Node(m, mc) => stack.push((m, mc)),
-                    DemandRoot::Source(s, true)
-                        if neg_seen.insert(s, ()).is_none() => {
-                            neg_sources.push(s);
-                        }
+                    DemandRoot::Source(s, true) if neg_seen.insert(s, ()).is_none() => {
+                        neg_sources.push(s);
+                    }
                     _ => {}
                 }
             }
@@ -555,12 +558,18 @@ impl<'a> DominoSynthesizer<'a> {
         for &root in &roots {
             match root {
                 DemandRoot::Node(n, c) => {
-                    self.demand_dfs(n, c, &mut state, &mut postorder, &mut neg_sources, &mut neg_seen);
+                    self.demand_dfs(
+                        n,
+                        c,
+                        &mut state,
+                        &mut postorder,
+                        &mut neg_sources,
+                        &mut neg_seen,
+                    );
                 }
-                DemandRoot::Source(s, true)
-                    if neg_seen.insert(s, ()).is_none() => {
-                        neg_sources.push(s);
-                    }
+                DemandRoot::Source(s, true) if neg_seen.insert(s, ()).is_none() => {
+                    neg_sources.push(s);
+                }
                 _ => {}
             }
         }
@@ -668,10 +677,9 @@ impl<'a> DominoSynthesizer<'a> {
                             stack.push(((m, mc), 0));
                         }
                     }
-                    DemandRoot::Source(s, true)
-                        if neg_seen.insert(s, ()).is_none() => {
-                            neg_sources.push(s);
-                        }
+                    DemandRoot::Source(s, true) if neg_seen.insert(s, ()).is_none() => {
+                        neg_sources.push(s);
+                    }
                     _ => {}
                 }
             } else {
@@ -731,13 +739,9 @@ mod tests {
     fn negative_phase_adds_output_inverter() {
         let net = fig_functions();
         let synth = DominoSynthesizer::new(&net).unwrap();
-        let pos = synth
-            .synthesize(&PhaseAssignment::all_positive(2))
-            .unwrap();
+        let pos = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
         assert_eq!(pos.output_inverter_count(), 0);
-        let neg = synth
-            .synthesize(&PhaseAssignment::all_negative(2))
-            .unwrap();
+        let neg = synth.synthesize(&PhaseAssignment::all_negative(2)).unwrap();
         assert_eq!(neg.output_inverter_count(), 2);
     }
 
@@ -810,7 +814,9 @@ mod tests {
         let net = fig_functions();
         let synth = DominoSynthesizer::new(&net).unwrap();
         for bits in 0..4u64 {
-            let d = synth.synthesize(&PhaseAssignment::from_bits(2, bits)).unwrap();
+            let d = synth
+                .synthesize(&PhaseAssignment::from_bits(2, bits))
+                .unwrap();
             // In a single evaluate phase, a gate's output rises 0→1 only;
             // check AND/OR structure has no constants-false shortcuts that
             // would require a falling rail: evaluate twice with increasing

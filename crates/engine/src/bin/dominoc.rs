@@ -1,0 +1,329 @@
+//! `dominoc` — drive the domino synthesis flow from the command line.
+//!
+//! ```text
+//! dominoc run <file.blif> [options]        one circuit
+//! dominoc batch <file.blif>... [options]   many circuits in parallel
+//! dominoc suite [--public] [options]       the built-in Table 1/2 suite
+//! dominoc cache stats --cache <dir>        disk cache counters/entries
+//! dominoc cache clear --cache <dir>        empty the disk cache
+//! ```
+//!
+//! Exit status: 0 if every job completed, 1 on any failure, 2 on usage
+//! errors.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use domino_engine::{
+    report, CancelToken, CircuitSource, EngineConfig, FlowEngine, JobResult, JobSpec,
+    ProgressEvent, ResultCache, RunObjective,
+};
+
+fn usage() -> &'static str {
+    "usage: dominoc <run|batch|suite|cache> [args]\n\
+     \n\
+     dominoc run <file.blif> [options]        one circuit\n\
+     dominoc batch <file.blif>... [options]   many circuits in parallel\n\
+     dominoc suite [--public] [options]       built-in Table 1/2 suite\n\
+     dominoc cache stats --cache <dir>\n\
+     dominoc cache clear --cache <dir>\n\
+     \n\
+     options:\n\
+       --objective area|power|compare   [compare]\n\
+       --p <f>                          PI probability [0.5]\n\
+       --timed <fraction>               timed synthesis clock fraction\n\
+       --and-penalty <f>                MP series-stack penalty\n\
+       --threads <n>                    workers, 0 = all CPUs [0]\n\
+       --cache <dir>                    disk result cache\n\
+       --jsonl <file|->                 JSONL outcomes\n\
+       --sim-cycles <n>                 simulation cycles [4096]\n\
+       --quiet                          suppress progress"
+}
+
+#[derive(Debug)]
+struct Options {
+    objective: RunObjective,
+    p: f64,
+    timed: Option<f64>,
+    and_penalty: Option<f64>,
+    threads: usize,
+    cache_dir: Option<String>,
+    jsonl: Option<String>,
+    sim_cycles: Option<usize>,
+    quiet: bool,
+    public_only: bool,
+    positional: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options {
+            objective: RunObjective::Compare,
+            p: 0.5,
+            timed: None,
+            and_penalty: None,
+            threads: 0,
+            cache_dir: None,
+            jsonl: None,
+            sim_cycles: None,
+            quiet: false,
+            public_only: false,
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--objective" => {
+                    let v = value("--objective")?;
+                    opts.objective = match v.as_str() {
+                        "area" | "min-area" | "ma" => RunObjective::MinArea,
+                        "power" | "min-power" | "mp" => RunObjective::MinPower,
+                        "compare" | "both" => RunObjective::Compare,
+                        other => return Err(format!("unknown objective '{other}'")),
+                    };
+                }
+                "--p" => {
+                    opts.p = value("--p")?
+                        .parse()
+                        .map_err(|_| "--p needs a number".to_string())?;
+                }
+                "--timed" => {
+                    opts.timed = Some(
+                        value("--timed")?
+                            .parse()
+                            .map_err(|_| "--timed needs a number".to_string())?,
+                    );
+                }
+                "--and-penalty" => {
+                    opts.and_penalty = Some(
+                        value("--and-penalty")?
+                            .parse()
+                            .map_err(|_| "--and-penalty needs a number".to_string())?,
+                    );
+                }
+                "--threads" => {
+                    opts.threads = value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an integer".to_string())?;
+                }
+                "--cache" => opts.cache_dir = Some(value("--cache")?),
+                "--jsonl" => opts.jsonl = Some(value("--jsonl")?),
+                "--sim-cycles" => {
+                    opts.sim_cycles = Some(
+                        value("--sim-cycles")?
+                            .parse()
+                            .map_err(|_| "--sim-cycles needs an integer".to_string())?,
+                    );
+                }
+                "--quiet" => opts.quiet = true,
+                "--public" => opts.public_only = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option '{other}'"));
+                }
+                other => opts.positional.push(other.to_string()),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn apply(&self, mut spec: JobSpec) -> JobSpec {
+        spec.objective = self.objective;
+        spec.pi = domino_engine::PiSpec::Uniform(self.p);
+        spec.timing_fraction = self.timed;
+        spec.mp_and_penalty = self.and_penalty;
+        if let Some(cycles) = self.sim_cycles {
+            spec.sim.cycles = cycles;
+        }
+        spec
+    }
+
+    fn cache(&self) -> Result<Option<Arc<ResultCache>>, String> {
+        match &self.cache_dir {
+            Some(dir) => ResultCache::on_disk(dir)
+                .map(|c| Some(Arc::new(c)))
+                .map_err(|e| e.to_string()),
+            None => Ok(None),
+        }
+    }
+}
+
+fn blif_job(path: &str, opts: &Options) -> JobSpec {
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    opts.apply(JobSpec {
+        name,
+        source: CircuitSource::BlifPath(path.to_string()),
+        ..JobSpec::suite("unused")
+    })
+}
+
+fn run_jobs(specs: Vec<JobSpec>, opts: &Options) -> Result<ExitCode, String> {
+    let total = specs.len();
+    let mut jobs = Vec::with_capacity(total);
+    for spec in specs {
+        jobs.push(spec.resolve().map_err(|e| e.to_string())?);
+    }
+    let cache = opts.cache()?;
+    let engine = FlowEngine::new(EngineConfig {
+        threads: opts.threads,
+        cache: cache.clone(),
+    });
+    let quiet = opts.quiet;
+    let progress = move |event: ProgressEvent| {
+        if quiet {
+            return;
+        }
+        match event {
+            ProgressEvent::Started { index, name } => {
+                eprintln!("[{}/{}] {name} ...", index + 1, total);
+            }
+            ProgressEvent::Finished {
+                index,
+                name,
+                cached,
+                elapsed_ms,
+            } => {
+                let how = if cached { "cache hit" } else { "computed" };
+                eprintln!(
+                    "[{}/{}] {name} done ({how}, {elapsed_ms} ms)",
+                    index + 1,
+                    total
+                );
+            }
+            ProgressEvent::Failed { index, name, error } => {
+                eprintln!("[{}/{}] {name} FAILED: {error}", index + 1, total);
+            }
+            ProgressEvent::Cancelled { index } => {
+                eprintln!("[{}/{}] cancelled", index + 1, total);
+            }
+        }
+    };
+    let results = engine.run_batch_with(&jobs, progress, &CancelToken::new());
+
+    print!("{}", report::format_outcomes(&results));
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        println!(
+            "cache: {} hits ({} memory, {} disk), {} misses, {} entries on disk",
+            stats.hits(),
+            stats.memory_hits,
+            stats.disk_hits,
+            stats.misses,
+            cache.disk_len(),
+        );
+    }
+    if let Some(path) = &opts.jsonl {
+        let jsonl = report::to_jsonl(&results);
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+    }
+    let all_ok = results
+        .iter()
+        .all(|r| matches!(r, JobResult::Completed { .. }));
+    Ok(if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_suite(opts: &Options) -> Result<ExitCode, String> {
+    let specs = suite_names(opts.public_only)
+        .into_iter()
+        .map(|name| opts.apply(JobSpec::suite(name)))
+        .collect();
+    run_jobs(specs, opts)
+}
+
+/// Suite row names, optionally restricted to the public-domain subset
+/// (owned by `domino-workloads`, so the CLI never drifts from the library).
+fn suite_names(public_only: bool) -> Vec<&'static str> {
+    if public_only {
+        domino_workloads::public_row_names()
+    } else {
+        domino_workloads::table_row_names()
+    }
+}
+
+fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
+    let sub = args.first().map(String::as_str);
+    let opts = Options::parse(args.get(1..).unwrap_or(&[]))?;
+    let dir = opts
+        .cache_dir
+        .ok_or_else(|| "cache commands need --cache <dir>".to_string())?;
+    let cache = ResultCache::on_disk(&dir).map_err(|e| e.to_string())?;
+    match sub {
+        Some("stats") => {
+            println!("cache directory: {dir}");
+            println!("entries on disk: {}", cache.disk_len());
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("clear") => {
+            let before = cache.disk_len();
+            cache.clear().map_err(|e| e.to_string())?;
+            println!("removed {before} entries from {dir}");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("cache subcommand must be 'stats' or 'clear'".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let run = || -> Result<ExitCode, String> {
+        match command {
+            "run" => {
+                let opts = Options::parse(rest)?;
+                if opts.positional.len() != 1 {
+                    return Err("run needs exactly one BLIF file".to_string());
+                }
+                let spec = blif_job(&opts.positional[0], &opts);
+                run_jobs(vec![spec], &opts)
+            }
+            "batch" => {
+                let opts = Options::parse(rest)?;
+                if opts.positional.is_empty() {
+                    return Err("batch needs at least one BLIF file".to_string());
+                }
+                let specs = opts.positional.iter().map(|p| blif_job(p, &opts)).collect();
+                run_jobs(specs, &opts)
+            }
+            "suite" => {
+                let opts = Options::parse(rest)?;
+                if !opts.positional.is_empty() {
+                    return Err("suite takes no positional arguments".to_string());
+                }
+                cmd_suite(&opts)
+            }
+            "cache" => cmd_cache(rest),
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                Ok(ExitCode::SUCCESS)
+            }
+            other => Err(format!("unknown command '{other}'")),
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("dominoc: {message}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Content-addressed result cache: `cache_key → FlowOutcome`.
+//!
+//! Keys come from [`FlowJob::cache_key`](crate::FlowJob::cache_key) — a
+//! stable 128-bit digest of the circuit structure and every
+//! result-affecting spec field — so a hit is *sound*: the cached outcome is
+//! the one the flow would recompute. Outcomes are stored as the engine's
+//! deterministic JSON, which makes a warm hit byte-identical to a cold
+//! recomputation (pinned by the engine's cache tests).
+//!
+//! Two backends share one front door:
+//!
+//! * **in-memory** — a mutexed map, always on;
+//! * **on-disk** (optional) — one `<key>.json` file per entry under a cache
+//!   directory, loaded through the memory layer on first touch, shared
+//!   between processes and `dominoc` invocations.
+//!
+//! All counters are atomics; the cache is `Sync` and shared by engine
+//! workers via `Arc`.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::EngineError;
+use crate::job::FlowOutcome;
+
+/// Monotonic hit/miss/store counters (snapshot via [`ResultCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered from the disk backend (then promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found nothing — each one is a flow recomputation.
+    pub misses: u64,
+    /// Outcomes inserted.
+    pub stores: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both backends.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+}
+
+/// Thread-safe content-addressed store for [`FlowOutcome`]s.
+#[derive(Debug)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<String, FlowOutcome>>,
+    disk_dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultCache {
+    /// A purely in-memory cache.
+    pub fn in_memory() -> Self {
+        ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by `dir` (created if missing): every entry is also
+    /// written to `dir/<key>.json` and lookups fall back to disk on a
+    /// memory miss.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] if the directory cannot be created.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EngineError::Io(format!("creating cache dir '{}': {e}", dir.display())))?;
+        Ok(ResultCache {
+            disk_dir: Some(dir),
+            ..ResultCache::in_memory()
+        })
+    }
+
+    /// The disk directory, if this cache has one.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    fn entry_path(dir: &Path, key: &str) -> PathBuf {
+        // Keys are lowercase hex (filesystem-safe by construction).
+        dir.join(format!("{key}.json"))
+    }
+
+    /// Looks up an outcome. Disk hits are promoted into memory.
+    pub fn get(&self, key: &str) -> Option<FlowOutcome> {
+        if let Some(found) = self.memory.lock().expect("cache lock").get(key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found.clone());
+        }
+        if let Some(dir) = &self.disk_dir {
+            let path = Self::entry_path(dir, key);
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                match FlowOutcome::from_json_text(&text) {
+                    Ok(outcome) => {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        self.memory
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key.to_string(), outcome.clone());
+                        return Some(outcome);
+                    }
+                    Err(_) => {
+                        // A corrupt entry is treated as a miss; it will be
+                        // overwritten by the recomputed outcome.
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts an outcome under `key` (and writes the disk entry, if any).
+    ///
+    /// Disk write failures are swallowed: the cache is an accelerator, not
+    /// a source of truth, and the in-memory entry is still good.
+    pub fn put(&self, key: &str, outcome: &FlowOutcome) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key.to_string(), outcome.clone());
+        if let Some(dir) = &self.disk_dir {
+            let path = Self::entry_path(dir, key);
+            let _ = std::fs::write(&path, outcome.to_json().serialize());
+        }
+    }
+
+    /// Number of entries resident in memory.
+    pub fn len(&self) -> usize {
+        self.memory.lock().expect("cache lock").len()
+    }
+
+    /// `true` if no entries are resident in memory.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of entries in the disk backend (0 for memory-only caches).
+    pub fn disk_len(&self) -> usize {
+        let Some(dir) = &self.disk_dir else { return 0 };
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Deletes every entry from memory and disk. Counters are kept.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Io`] if a disk entry cannot be removed.
+    pub fn clear(&self) -> Result<(), EngineError> {
+        self.memory.lock().expect("cache lock").clear();
+        if let Some(dir) = &self.disk_dir {
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| EngineError::Io(format!("reading cache dir: {e}")))?;
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == "json") {
+                    std::fs::remove_file(&path).map_err(|e| {
+                        EngineError::Io(format!("removing {}: {e}", path.display()))
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_outcome(name: &str) -> FlowOutcome {
+        FlowOutcome {
+            name: name.into(),
+            key: "k".into(),
+            pis: 2,
+            pos: 1,
+            ma: None,
+            mp: None,
+            clock_ps: None,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dominolp-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_hit_and_miss_counters() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.get("a").is_none());
+        cache.put("a", &sample_outcome("one"));
+        assert_eq!(cache.get("a").unwrap().name, "one");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.memory_hits, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_backend_survives_process_restart() {
+        let dir = temp_dir("restart");
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            cache.put("deadbeef", &sample_outcome("persisted"));
+            assert_eq!(cache.disk_len(), 1);
+        }
+        // A fresh cache (empty memory) must find the entry on disk.
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        let found = cache.get("deadbeef").unwrap();
+        assert_eq!(found.name, "persisted");
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 0);
+        // Promotion: the second lookup is a memory hit.
+        cache.get("deadbeef").unwrap();
+        assert_eq!(cache.stats().memory_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{not json").unwrap();
+        assert!(cache.get("bad").is_none());
+        assert_eq!(cache.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clear_empties_both_backends() {
+        let dir = temp_dir("clear");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        cache.put("x", &sample_outcome("x"));
+        cache.put("y", &sample_outcome("y"));
+        assert_eq!(cache.disk_len(), 2);
+        cache.clear().unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.disk_len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

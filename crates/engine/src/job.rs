@@ -1,0 +1,852 @@
+//! The serializable job model: what to run ([`JobSpec`]), on which circuit
+//! ([`CircuitSource`]), and what came out ([`FlowOutcome`]).
+//!
+//! A [`JobSpec`] captures *every* knob that affects a flow's result — the
+//! full [`FlowConfig`], [`Library`] and [`SimConfig`], the PI probability
+//! profile, the objective, and the timed-synthesis settings — so that its
+//! canonical JSON combined with the circuit's
+//! [`structural digest`](domino_netlist::Network::structural_digest) forms a
+//! sound content address for the result cache: equal key ⇒ equal outcome.
+//!
+//! [`FlowOutcome`] is the pure-data result (no netlists), cheap to clone,
+//! `PartialEq`-comparable across thread counts, and serialized with the
+//! engine's deterministic JSON writer so a cached outcome is byte-identical
+//! to a recomputed one.
+
+use std::fmt;
+use std::path::Path;
+
+use domino_netlist::Network;
+use domino_phase::flow::FlowConfig;
+use domino_phase::power::PowerModel;
+use domino_phase::prob::{OrderingChoice, ProbabilityConfig};
+use domino_phase::search::{MinAreaConfig, MinPowerConfig};
+use domino_phase::{Phase, PhaseAssignment};
+use domino_sgraph::MfvsConfig;
+use domino_sim::SimConfig;
+use domino_techmap::Library;
+
+use crate::error::EngineError;
+use crate::json::{parse, Json};
+
+/// Where a job's circuit comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitSource {
+    /// A row of the built-in benchmark suite (`"frg1"`, `"Industry 1"`, ...).
+    Suite(String),
+    /// A BLIF file on disk, loaded at [`JobSpec::resolve`] time.
+    BlifPath(String),
+    /// Inline BLIF text (how provided networks are serialized).
+    BlifInline(String),
+}
+
+/// Which flow(s) a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunObjective {
+    /// Minimum-area baseline only.
+    MinArea,
+    /// Minimum-power flow only.
+    MinPower,
+    /// Both, with the timed clock target derived from the MA netlist — the
+    /// paper's MA-vs-MP table methodology.
+    Compare,
+}
+
+impl RunObjective {
+    fn tag(self) -> &'static str {
+        match self {
+            RunObjective::MinArea => "min-area",
+            RunObjective::MinPower => "min-power",
+            RunObjective::Compare => "compare",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "min-area" | "area" | "ma" => Some(RunObjective::MinArea),
+            "min-power" | "power" | "mp" => Some(RunObjective::MinPower),
+            "compare" | "both" => Some(RunObjective::Compare),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// Primary-input signal probability profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PiSpec {
+    /// One probability for every primary input (the paper uses 0.5).
+    Uniform(f64),
+    /// Explicit per-input probabilities (must match the PI count).
+    PerInput(Vec<f64>),
+}
+
+impl PiSpec {
+    /// Expands to one probability per primary input of `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] if an explicit profile's length does not match
+    /// the circuit's PI count.
+    pub fn expand(&self, net: &Network) -> Result<Vec<f64>, EngineError> {
+        match self {
+            PiSpec::Uniform(p) => Ok(vec![*p; net.inputs().len()]),
+            PiSpec::PerInput(ps) => {
+                if ps.len() != net.inputs().len() {
+                    return Err(EngineError::Spec(format!(
+                        "pi probability count {} does not match {} primary inputs",
+                        ps.len(),
+                        net.inputs().len()
+                    )));
+                }
+                Ok(ps.clone())
+            }
+        }
+    }
+}
+
+/// A complete, serializable description of one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Display name (table row label). Not part of the cache key.
+    pub name: String,
+    /// Circuit to run on.
+    pub source: CircuitSource,
+    /// Which flow(s) to run.
+    pub objective: RunObjective,
+    /// PI signal probabilities.
+    pub pi: PiSpec,
+    /// Search + probability machinery configuration.
+    pub flow: FlowConfig,
+    /// Cell library.
+    pub library: Library,
+    /// Simulation length/seed.
+    pub sim: SimConfig,
+    /// Timed synthesis: resize to meet this fraction of the unsized MA
+    /// delay (`None` = untimed).
+    pub timing_fraction: Option<f64>,
+    /// Series-stack penalty for the MP objective in timed runs (§4.2).
+    pub mp_and_penalty: Option<f64>,
+}
+
+impl JobSpec {
+    /// An untimed compare job over a suite circuit with paper defaults.
+    pub fn suite(name: &str) -> Self {
+        JobSpec {
+            name: name.to_string(),
+            source: CircuitSource::Suite(name.to_string()),
+            objective: RunObjective::Compare,
+            pi: PiSpec::Uniform(0.5),
+            flow: FlowConfig::default(),
+            library: Library::standard(),
+            sim: SimConfig::default(),
+            timing_fraction: None,
+            mp_and_penalty: None,
+        }
+    }
+
+    /// A job over an explicit network (serialized as inline BLIF).
+    pub fn for_network(name: &str, net: &Network) -> Self {
+        JobSpec {
+            source: CircuitSource::BlifInline(domino_netlist::write_blif(net)),
+            ..JobSpec::suite(name)
+        }
+    }
+
+    /// Loads the circuit and pairs it with this spec as a runnable
+    /// [`FlowJob`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] for unknown suite rows, [`EngineError::Io`] for
+    /// unreadable BLIF paths, [`EngineError::Netlist`] for invalid BLIF.
+    pub fn resolve(self) -> Result<FlowJob, EngineError> {
+        let network = match &self.source {
+            CircuitSource::Suite(name) => {
+                let spec = domino_workloads::row_spec(name)
+                    .ok_or_else(|| EngineError::Spec(format!("unknown suite circuit '{name}'")))?;
+                domino_workloads::generate(&spec)?
+            }
+            CircuitSource::BlifPath(path) => {
+                let text = std::fs::read_to_string(Path::new(path))
+                    .map_err(|e| EngineError::Io(format!("reading '{path}': {e}")))?;
+                domino_netlist::parse_blif(&text)?
+            }
+            CircuitSource::BlifInline(text) => domino_netlist::parse_blif(text)?,
+        };
+        Ok(FlowJob::new(self, network))
+    }
+
+    /// Canonical JSON of the *result-affecting* configuration — everything
+    /// except the display name and the circuit source (the circuit itself is
+    /// covered by the structural digest).
+    pub fn config_json(&self) -> Json {
+        Json::obj(vec![
+            ("objective", Json::Str(self.objective.tag().to_string())),
+            ("pi", pi_to_json(&self.pi)),
+            ("flow", flow_to_json(&self.flow)),
+            ("library", library_to_json(&self.library)),
+            ("sim", sim_to_json(&self.sim)),
+            ("timing_fraction", opt_num(self.timing_fraction)),
+            ("mp_and_penalty", opt_num(self.mp_and_penalty)),
+        ])
+    }
+
+    /// Serializes the full spec (including name and source) to JSON.
+    pub fn to_json(&self) -> Json {
+        let source = match &self.source {
+            CircuitSource::Suite(n) => Json::obj(vec![("suite", Json::Str(n.clone()))]),
+            CircuitSource::BlifPath(p) => Json::obj(vec![("blif_path", Json::Str(p.clone()))]),
+            CircuitSource::BlifInline(t) => Json::obj(vec![("blif", Json::Str(t.clone()))]),
+        };
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("source", source),
+            ("config", self.config_json()),
+        ])
+    }
+
+    /// Parses a spec serialized by [`JobSpec::to_json`]. Missing config
+    /// fields fall back to defaults, so hand-written job files can stay
+    /// short: `{"name":"x","source":{"blif_path":"x.blif"}}` is valid.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on malformed structure or unknown tags.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| EngineError::Spec("job spec missing 'name'".into()))?
+            .to_string();
+        let source = v
+            .get("source")
+            .ok_or_else(|| EngineError::Spec("job spec missing 'source'".into()))?;
+        let source = if let Some(s) = source.get("suite").and_then(Json::as_str) {
+            CircuitSource::Suite(s.to_string())
+        } else if let Some(p) = source.get("blif_path").and_then(Json::as_str) {
+            CircuitSource::BlifPath(p.to_string())
+        } else if let Some(t) = source.get("blif").and_then(Json::as_str) {
+            CircuitSource::BlifInline(t.to_string())
+        } else {
+            return Err(EngineError::Spec(
+                "source must have 'suite', 'blif_path' or 'blif'".into(),
+            ));
+        };
+        let defaults = JobSpec::suite(&name);
+        let cfg = v.get("config");
+        let get = |key: &str| cfg.and_then(|c| c.get(key));
+        let objective = match get("objective").and_then(Json::as_str) {
+            Some(tag) => RunObjective::from_tag(tag)
+                .ok_or_else(|| EngineError::Spec(format!("unknown objective '{tag}'")))?,
+            None => defaults.objective,
+        };
+        let pi = match get("pi") {
+            Some(j) => pi_from_json(j)?,
+            None => defaults.pi,
+        };
+        let flow = match get("flow") {
+            Some(j) => flow_from_json(j)?,
+            None => defaults.flow,
+        };
+        let library = match get("library") {
+            Some(j) => library_from_json(j)?,
+            None => defaults.library,
+        };
+        let sim = match get("sim") {
+            Some(j) => sim_from_json(j)?,
+            None => defaults.sim,
+        };
+        Ok(JobSpec {
+            name,
+            source,
+            objective,
+            pi,
+            flow,
+            library,
+            sim,
+            timing_fraction: get("timing_fraction").and_then(Json::as_f64),
+            mp_and_penalty: get("mp_and_penalty").and_then(Json::as_f64),
+        })
+    }
+}
+
+/// A [`JobSpec`] paired with its resolved circuit and content-address.
+#[derive(Debug, Clone)]
+pub struct FlowJob {
+    /// The job description.
+    pub spec: JobSpec,
+    /// The circuit to run.
+    pub network: Network,
+    key: String,
+}
+
+impl FlowJob {
+    /// Pairs a spec with an already-built network (no source resolution).
+    pub fn new(spec: JobSpec, network: Network) -> Self {
+        let key = cache_key(&network, &spec);
+        FlowJob { spec, network, key }
+    }
+
+    /// The content-address of this job: a stable hex digest of the
+    /// network's structure and every result-affecting spec field. Two jobs
+    /// with equal keys produce equal [`FlowOutcome`]s (modulo the display
+    /// name, which is not hashed).
+    pub fn cache_key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// Computes the content-address for running `spec` on `net`.
+pub fn cache_key(net: &Network, spec: &JobSpec) -> String {
+    let config = spec.config_json().serialize();
+    let net_digest = net.structural_digest();
+    // Two independent FNV-1a passes (salted differently) give a 128-bit
+    // address; collisions are negligible at any realistic cache size.
+    let lo = fnv1a64(config.as_bytes(), net_digest ^ 0x9E37_79B9_7F4A_7C15);
+    let hi = fnv1a64(
+        config.as_bytes(),
+        net_digest.rotate_left(31) ^ 0x517C_C1B7_2722_0A95,
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
+    let mut state = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// One flow variant's result (the MA or MP side of a table row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveResult {
+    /// Mapped standard-cell count (the "Size" column).
+    pub size: usize,
+    /// Simulated capacitive current, mA.
+    pub cap_ma: f64,
+    /// Simulated short-circuit current, mA.
+    pub short_circuit_ma: f64,
+    /// Simulated leakage current, mA.
+    pub leakage_ma: f64,
+    /// Estimated (BDD) switching power, for reference.
+    pub estimated_switching: f64,
+    /// Worst arrival after mapping (and sizing, if timed), ps.
+    pub worst_arrival_ps: f64,
+    /// Whether the timing constraint was met (timed runs).
+    pub timing_met: bool,
+    /// Search evaluations performed.
+    pub evaluations: usize,
+    /// Search commits performed.
+    pub commits: usize,
+    /// The final phase assignment as a `+`/`-` string, output order.
+    pub assignment: String,
+}
+
+impl ObjectiveResult {
+    /// Total simulated current, mA (the "Pwr" column).
+    pub fn power_ma(&self) -> f64 {
+        self.cap_ma + self.short_circuit_ma + self.leakage_ma
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("size", Json::Num(self.size as f64)),
+            ("cap_ma", Json::Num(self.cap_ma)),
+            ("short_circuit_ma", Json::Num(self.short_circuit_ma)),
+            ("leakage_ma", Json::Num(self.leakage_ma)),
+            ("estimated_switching", Json::Num(self.estimated_switching)),
+            ("worst_arrival_ps", Json::Num(self.worst_arrival_ps)),
+            ("timing_met", Json::Bool(self.timing_met)),
+            ("evaluations", Json::Num(self.evaluations as f64)),
+            ("commits", Json::Num(self.commits as f64)),
+            ("assignment", Json::Str(self.assignment.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, EngineError> {
+        Ok(ObjectiveResult {
+            size: req_usize(v, "size")?,
+            cap_ma: req_f64(v, "cap_ma")?,
+            short_circuit_ma: req_f64(v, "short_circuit_ma")?,
+            leakage_ma: req_f64(v, "leakage_ma")?,
+            estimated_switching: req_f64(v, "estimated_switching")?,
+            worst_arrival_ps: req_f64(v, "worst_arrival_ps")?,
+            timing_met: req_bool(v, "timing_met")?,
+            evaluations: req_usize(v, "evaluations")?,
+            commits: req_usize(v, "commits")?,
+            assignment: v
+                .get("assignment")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("assignment"))?
+                .to_string(),
+        })
+    }
+}
+
+/// Everything one job produced. Pure data: cacheable, comparable, printable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowOutcome {
+    /// Display name from the spec.
+    pub name: String,
+    /// The job's content-address (cache key).
+    pub key: String,
+    /// Primary input count of the circuit.
+    pub pis: usize,
+    /// Primary output count of the circuit.
+    pub pos: usize,
+    /// Minimum-area result (`objective` = `MinArea` or `Compare`).
+    pub ma: Option<ObjectiveResult>,
+    /// Minimum-power result (`objective` = `MinPower` or `Compare`).
+    pub mp: Option<ObjectiveResult>,
+    /// The derived clock target for timed compare runs, ps.
+    pub clock_ps: Option<f64>,
+}
+
+impl FlowOutcome {
+    /// `% Area Pen.` column: MP size overhead relative to MA.
+    /// `None` unless both sides ran.
+    pub fn area_penalty_pct(&self) -> Option<f64> {
+        let (ma, mp) = (self.ma.as_ref()?, self.mp.as_ref()?);
+        Some(100.0 * (mp.size as f64 - ma.size as f64) / ma.size as f64)
+    }
+
+    /// `% Pwr Sav.` column: MP power saving relative to MA.
+    /// `None` unless both sides ran.
+    pub fn power_saving_pct(&self) -> Option<f64> {
+        let (ma, mp) = (self.ma.as_ref()?, self.mp.as_ref()?);
+        Some(100.0 * (ma.power_ma() - mp.power_ma()) / ma.power_ma())
+    }
+
+    /// Serializes to JSON (deterministic; see the cache's byte-identity
+    /// guarantee).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("key", Json::Str(self.key.clone())),
+            ("pis", Json::Num(self.pis as f64)),
+            ("pos", Json::Num(self.pos as f64)),
+            (
+                "ma",
+                self.ma
+                    .as_ref()
+                    .map(ObjectiveResult::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "mp",
+                self.mp
+                    .as_ref()
+                    .map(ObjectiveResult::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+            ("clock_ps", opt_num(self.clock_ps)),
+        ])
+    }
+
+    /// Parses an outcome serialized by [`FlowOutcome::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        let side = |key: &str| -> Result<Option<ObjectiveResult>, EngineError> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => Ok(Some(ObjectiveResult::from_json(j)?)),
+            }
+        };
+        Ok(FlowOutcome {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("name"))?
+                .to_string(),
+            key: v
+                .get("key")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("key"))?
+                .to_string(),
+            pis: req_usize(v, "pis")?,
+            pos: req_usize(v, "pos")?,
+            ma: side("ma")?,
+            mp: side("mp")?,
+            clock_ps: v.get("clock_ps").and_then(Json::as_f64),
+        })
+    }
+
+    /// Parses an outcome from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on malformed JSON or missing fields.
+    pub fn from_json_text(text: &str) -> Result<Self, EngineError> {
+        let v = parse(text).map_err(|e| EngineError::Spec(e.to_string()))?;
+        FlowOutcome::from_json(&v)
+    }
+}
+
+/// Renders a phase assignment as the `+`/`-` string stored in outcomes.
+pub fn assignment_string(pa: &PhaseAssignment) -> String {
+    pa.iter()
+        .map(|p| if p == Phase::Negative { '-' } else { '+' })
+        .collect()
+}
+
+// ---- JSON codecs for the foreign configuration structs ----
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map(Json::Num).unwrap_or(Json::Null)
+}
+
+fn missing(key: &str) -> EngineError {
+    EngineError::Spec(format!("missing or mistyped field '{key}'"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, EngineError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, EngineError> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| missing(key))
+}
+
+/// Serializes a `u64` exactly: as a decimal string. `Json::Num` carries an
+/// `f64`, which silently rounds integers above 2^53 — unacceptable for
+/// seeds, which feed both the flow and the cache key.
+fn u64_to_json(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn u64_from_json(v: &Json) -> Option<u64> {
+    match v {
+        Json::Str(s) => s.parse().ok(),
+        // Tolerated for hand-written job files; exact for values < 2^53.
+        _ => v.as_u64(),
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, EngineError> {
+    v.get(key)
+        .and_then(u64_from_json)
+        .ok_or_else(|| missing(key))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, EngineError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| missing(key))
+}
+
+fn pi_to_json(pi: &PiSpec) -> Json {
+    match pi {
+        PiSpec::Uniform(p) => Json::obj(vec![("uniform", Json::Num(*p))]),
+        PiSpec::PerInput(ps) => Json::obj(vec![(
+            "per_input",
+            Json::Arr(ps.iter().map(|&p| Json::Num(p)).collect()),
+        )]),
+    }
+}
+
+fn pi_from_json(v: &Json) -> Result<PiSpec, EngineError> {
+    if let Some(p) = v.get("uniform").and_then(Json::as_f64) {
+        return Ok(PiSpec::Uniform(p));
+    }
+    if let Some(arr) = v.get("per_input").and_then(Json::as_arr) {
+        let ps = arr
+            .iter()
+            .map(|j| j.as_f64().ok_or_else(|| missing("per_input")))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(PiSpec::PerInput(ps));
+    }
+    Err(EngineError::Spec(
+        "pi must have 'uniform' or 'per_input'".into(),
+    ))
+}
+
+fn ordering_to_json(o: &OrderingChoice) -> Json {
+    match o {
+        OrderingChoice::Paper => Json::Str("paper".into()),
+        OrderingChoice::Topological => Json::Str("topological".into()),
+        OrderingChoice::Random(seed) => Json::obj(vec![("random", u64_to_json(*seed))]),
+        OrderingChoice::Custom(order) => Json::obj(vec![(
+            "custom",
+            Json::Arr(order.iter().map(|&i| Json::Num(i as f64)).collect()),
+        )]),
+    }
+}
+
+fn ordering_from_json(v: &Json) -> Result<OrderingChoice, EngineError> {
+    match v {
+        Json::Str(s) if s == "paper" => Ok(OrderingChoice::Paper),
+        Json::Str(s) if s == "topological" => Ok(OrderingChoice::Topological),
+        _ => {
+            if let Some(seed) = v.get("random").and_then(u64_from_json) {
+                return Ok(OrderingChoice::Random(seed));
+            }
+            if let Some(arr) = v.get("custom").and_then(Json::as_arr) {
+                let order = arr
+                    .iter()
+                    .map(|j| j.as_usize().ok_or_else(|| missing("custom")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                return Ok(OrderingChoice::Custom(order));
+            }
+            Err(EngineError::Spec("unknown BDD ordering".into()))
+        }
+    }
+}
+
+fn flow_to_json(flow: &FlowConfig) -> Json {
+    Json::obj(vec![
+        (
+            "probability",
+            Json::obj(vec![
+                ("ordering", ordering_to_json(&flow.probability.ordering)),
+                ("mfvs_symmetry", Json::Bool(flow.probability.mfvs.symmetry)),
+                (
+                    "mfvs_descending_weight",
+                    Json::Bool(flow.probability.mfvs.descending_weight),
+                ),
+                ("sweeps", Json::Num(flow.probability.sweeps as f64)),
+                (
+                    "cut_latch_probability",
+                    Json::Num(flow.probability.cut_latch_probability),
+                ),
+            ]),
+        ),
+        (
+            "power",
+            Json::obj(vec![
+                ("gate_cap", Json::Num(flow.power.model.gate_cap)),
+                ("and_penalty", Json::Num(flow.power.model.and_penalty)),
+                ("or_penalty", Json::Num(flow.power.model.or_penalty)),
+                ("inverter_cap", Json::Num(flow.power.model.inverter_cap)),
+                ("always_commit", Json::Bool(flow.power.always_commit)),
+                ("k_guided", Json::Bool(flow.power.k_guided)),
+                ("seed", u64_to_json(flow.power.seed)),
+                (
+                    "refinement_passes",
+                    Json::Num(flow.power.refinement_passes as f64),
+                ),
+            ]),
+        ),
+        (
+            "area",
+            Json::obj(vec![
+                (
+                    "exhaustive_limit",
+                    Json::Num(flow.area.exhaustive_limit as f64),
+                ),
+                ("max_passes", Json::Num(flow.area.max_passes as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn flow_from_json(v: &Json) -> Result<FlowConfig, EngineError> {
+    let p = v.get("probability").ok_or_else(|| missing("probability"))?;
+    let pw = v.get("power").ok_or_else(|| missing("power"))?;
+    let a = v.get("area").ok_or_else(|| missing("area"))?;
+    Ok(FlowConfig {
+        probability: ProbabilityConfig {
+            ordering: ordering_from_json(p.get("ordering").ok_or_else(|| missing("ordering"))?)?,
+            mfvs: MfvsConfig {
+                symmetry: req_bool(p, "mfvs_symmetry")?,
+                descending_weight: req_bool(p, "mfvs_descending_weight")?,
+            },
+            sweeps: req_usize(p, "sweeps")?,
+            cut_latch_probability: req_f64(p, "cut_latch_probability")?,
+        },
+        power: MinPowerConfig {
+            model: PowerModel {
+                gate_cap: req_f64(pw, "gate_cap")?,
+                and_penalty: req_f64(pw, "and_penalty")?,
+                or_penalty: req_f64(pw, "or_penalty")?,
+                inverter_cap: req_f64(pw, "inverter_cap")?,
+            },
+            always_commit: req_bool(pw, "always_commit")?,
+            k_guided: req_bool(pw, "k_guided")?,
+            seed: req_u64(pw, "seed")?,
+            refinement_passes: req_usize(pw, "refinement_passes")?,
+        },
+        area: MinAreaConfig {
+            exhaustive_limit: req_usize(a, "exhaustive_limit")?,
+            max_passes: req_usize(a, "max_passes")?,
+        },
+    })
+}
+
+fn library_to_json(lib: &Library) -> Json {
+    Json::obj(vec![
+        ("max_fanin", Json::Num(lib.max_fanin as f64)),
+        ("and_base_ps", Json::Num(lib.and_base_ps)),
+        ("and_stack_ps", Json::Num(lib.and_stack_ps)),
+        ("or_base_ps", Json::Num(lib.or_base_ps)),
+        ("or_stack_ps", Json::Num(lib.or_stack_ps)),
+        ("inv_ps", Json::Num(lib.inv_ps)),
+        ("dff_clk_to_q_ps", Json::Num(lib.dff_clk_to_q_ps)),
+        ("load_ps_per_ff", Json::Num(lib.load_ps_per_ff)),
+        ("input_cap_ff", Json::Num(lib.input_cap_ff)),
+        ("self_cap_ff", Json::Num(lib.self_cap_ff)),
+        ("clock_cap_ff", Json::Num(lib.clock_cap_ff)),
+        ("leak_ua", Json::Num(lib.leak_ua)),
+        ("vdd", Json::Num(lib.vdd)),
+        ("clock_mhz", Json::Num(lib.clock_mhz)),
+    ])
+}
+
+fn library_from_json(v: &Json) -> Result<Library, EngineError> {
+    Ok(Library {
+        max_fanin: req_usize(v, "max_fanin")?,
+        and_base_ps: req_f64(v, "and_base_ps")?,
+        and_stack_ps: req_f64(v, "and_stack_ps")?,
+        or_base_ps: req_f64(v, "or_base_ps")?,
+        or_stack_ps: req_f64(v, "or_stack_ps")?,
+        inv_ps: req_f64(v, "inv_ps")?,
+        dff_clk_to_q_ps: req_f64(v, "dff_clk_to_q_ps")?,
+        load_ps_per_ff: req_f64(v, "load_ps_per_ff")?,
+        input_cap_ff: req_f64(v, "input_cap_ff")?,
+        self_cap_ff: req_f64(v, "self_cap_ff")?,
+        clock_cap_ff: req_f64(v, "clock_cap_ff")?,
+        leak_ua: req_f64(v, "leak_ua")?,
+        vdd: req_f64(v, "vdd")?,
+        clock_mhz: req_f64(v, "clock_mhz")?,
+    })
+}
+
+fn sim_to_json(sim: &SimConfig) -> Json {
+    Json::obj(vec![
+        ("cycles", Json::Num(sim.cycles as f64)),
+        ("warmup", Json::Num(sim.warmup as f64)),
+        ("seed", u64_to_json(sim.seed)),
+    ])
+}
+
+fn sim_from_json(v: &Json) -> Result<SimConfig, EngineError> {
+    Ok(SimConfig {
+        cycles: req_usize(v, "cycles")?,
+        warmup: req_usize(v, "warmup")?,
+        seed: req_u64(v, "seed")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let mut spec = JobSpec::suite("frg1");
+        spec.timing_fraction = Some(0.85);
+        spec.mp_and_penalty = Some(2.5);
+        spec.flow.power.refinement_passes = 3;
+        spec.flow.probability.ordering = OrderingChoice::Random(9);
+        // Above 2^53: would be silently rounded if seeds went through f64.
+        spec.sim.seed = 9_007_199_254_740_993;
+        spec.pi = PiSpec::PerInput(vec![0.25, 0.75]);
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn minimal_spec_json_uses_defaults() {
+        let v = crate::json::parse(r#"{"name":"x","source":{"suite":"frg1"}}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.objective, RunObjective::Compare);
+        assert_eq!(spec.flow, FlowConfig::default());
+        assert_eq!(spec.pi, PiSpec::Uniform(0.5));
+    }
+
+    #[test]
+    fn cache_key_separates_config_and_circuit() {
+        let job = JobSpec::suite("frg1").resolve().unwrap();
+        let same = JobSpec::suite("frg1").resolve().unwrap();
+        assert_eq!(job.cache_key(), same.cache_key());
+
+        let mut timed_spec = JobSpec::suite("frg1");
+        timed_spec.timing_fraction = Some(0.85);
+        let timed = timed_spec.resolve().unwrap();
+        assert_ne!(job.cache_key(), timed.cache_key());
+
+        let other = JobSpec::suite("x1").resolve().unwrap();
+        assert_ne!(job.cache_key(), other.cache_key());
+    }
+
+    #[test]
+    fn display_name_is_not_part_of_the_key() {
+        let a = JobSpec::suite("frg1").resolve().unwrap();
+        let mut renamed_spec = JobSpec::suite("frg1");
+        renamed_spec.name = "row 5".into();
+        let b = renamed_spec.resolve().unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn inline_blif_and_suite_share_content_address() {
+        // Content addressing: the same circuit text reaches the same key
+        // regardless of where it came from.
+        let via_suite = JobSpec::suite("frg1").resolve().unwrap();
+        let spec = JobSpec::for_network("frg1", &via_suite.network);
+        let via_blif = spec.resolve().unwrap();
+        assert_eq!(via_suite.cache_key(), via_blif.cache_key());
+    }
+
+    #[test]
+    fn outcome_json_roundtrip() {
+        let outcome = FlowOutcome {
+            name: "frg1".into(),
+            key: "ab".repeat(16),
+            pis: 31,
+            pos: 3,
+            ma: Some(ObjectiveResult {
+                size: 98,
+                cap_ma: 1.25,
+                short_circuit_ma: 0.014,
+                leakage_ma: 0.002,
+                estimated_switching: 40.5,
+                worst_arrival_ps: 310.0,
+                timing_met: true,
+                evaluations: 8,
+                commits: 2,
+                assignment: "+-+".into(),
+            }),
+            mp: None,
+            clock_ps: Some(263.5),
+        };
+        let text = outcome.to_json().serialize();
+        assert_eq!(FlowOutcome::from_json_text(&text).unwrap(), outcome);
+        // Determinism: re-serializing the parsed value is byte-identical.
+        assert_eq!(
+            FlowOutcome::from_json_text(&text)
+                .unwrap()
+                .to_json()
+                .serialize(),
+            text
+        );
+    }
+
+    #[test]
+    fn unknown_suite_row_is_a_spec_error() {
+        let err = JobSpec::suite("nonesuch").resolve().unwrap_err();
+        assert!(matches!(err, EngineError::Spec(_)), "{err}");
+    }
+
+    #[test]
+    fn assignment_string_renders_phases() {
+        let pa = PhaseAssignment::from_bits(4, 0b0101);
+        let s = assignment_string(&pa);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == '+' || c == '-'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Paper-style table rendering and JSONL emission for batch results.
+
+use std::fmt::Write as _;
+
+use crate::engine::JobResult;
+
+/// Formats a batch's completed outcomes in the paper's MA-vs-MP column
+/// layout (Tables 1 and 2), one row per completed job, with a `cached`
+/// marker column. Failed and cancelled jobs render as annotation rows.
+pub fn format_outcomes(results: &[JobResult]) -> String {
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<11} {:>5} {:>5} | {:>6} {:>8} | {:>6} {:>8} | {:>9} {:>9} | {:>6}",
+        "Ckt", "#PIs", "#POs", "MA Sz", "MA Pwr", "MP Sz", "MP Pwr", "%AreaPen", "%PwrSav", "cache"
+    )
+    .expect("write to string");
+    writeln!(s, "{}", "-".repeat(96)).expect("write to string");
+    let mut pen_sum = 0.0;
+    let mut sav_sum = 0.0;
+    let mut compared = 0usize;
+    for result in results {
+        match result {
+            JobResult::Completed { outcome, cached } => {
+                let fmt_size = |side: &Option<crate::ObjectiveResult>| match side {
+                    Some(r) => format!("{}", r.size),
+                    None => "-".to_string(),
+                };
+                let fmt_pwr = |side: &Option<crate::ObjectiveResult>| match side {
+                    Some(r) => format!("{:.2}", r.power_ma()),
+                    None => "-".to_string(),
+                };
+                let (pen, sav) = match (outcome.area_penalty_pct(), outcome.power_saving_pct()) {
+                    (Some(p), Some(v)) => {
+                        pen_sum += p;
+                        sav_sum += v;
+                        compared += 1;
+                        (format!("{p:.1}"), format!("{v:.1}"))
+                    }
+                    _ => ("-".to_string(), "-".to_string()),
+                };
+                writeln!(
+                    s,
+                    "{:<11} {:>5} {:>5} | {:>6} {:>8} | {:>6} {:>8} | {:>9} {:>9} | {:>6}",
+                    outcome.name,
+                    outcome.pis,
+                    outcome.pos,
+                    fmt_size(&outcome.ma),
+                    fmt_pwr(&outcome.ma),
+                    fmt_size(&outcome.mp),
+                    fmt_pwr(&outcome.mp),
+                    pen,
+                    sav,
+                    if *cached { "warm" } else { "cold" },
+                )
+                .expect("write to string");
+            }
+            JobResult::Failed(e) => {
+                writeln!(s, "!! failed: {e}").expect("write to string");
+            }
+            JobResult::Cancelled => {
+                writeln!(s, "-- cancelled").expect("write to string");
+            }
+        }
+    }
+    writeln!(s, "{}", "-".repeat(96)).expect("write to string");
+    if compared > 0 {
+        let n = compared as f64;
+        writeln!(
+            s,
+            "{:<25} {:>39} | {:>9.1} {:>9.1} |",
+            "Average",
+            "",
+            pen_sum / n,
+            sav_sum / n
+        )
+        .expect("write to string");
+    }
+    s
+}
+
+/// Serializes every completed outcome as one JSON document per line
+/// (JSONL), in input order. Failed/cancelled jobs are skipped.
+pub fn to_jsonl(results: &[JobResult]) -> String {
+    let mut s = String::new();
+    for result in results {
+        if let Some(outcome) = result.outcome() {
+            s.push_str(&outcome.to_json().serialize());
+            s.push('\n');
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+    use crate::job::{FlowOutcome, ObjectiveResult};
+
+    fn outcome() -> FlowOutcome {
+        let side = ObjectiveResult {
+            size: 100,
+            cap_ma: 2.0,
+            short_circuit_ma: 0.5,
+            leakage_ma: 0.1,
+            estimated_switching: 42.0,
+            worst_arrival_ps: 300.0,
+            timing_met: true,
+            evaluations: 12,
+            commits: 3,
+            assignment: "++-".into(),
+        };
+        FlowOutcome {
+            name: "frg1".into(),
+            key: "00".repeat(16),
+            pis: 31,
+            pos: 3,
+            ma: Some(side.clone()),
+            mp: Some(ObjectiveResult { size: 120, ..side }),
+            clock_ps: None,
+        }
+    }
+
+    #[test]
+    fn table_includes_rows_and_average() {
+        let results = vec![
+            JobResult::Completed {
+                outcome: Box::new(outcome()),
+                cached: false,
+            },
+            JobResult::Failed(EngineError::Spec("boom".into())),
+            JobResult::Cancelled,
+        ];
+        let table = format_outcomes(&results);
+        assert!(table.contains("frg1"));
+        assert!(table.contains("cold"));
+        assert!(table.contains("!! failed: invalid job spec: boom"));
+        assert!(table.contains("-- cancelled"));
+        assert!(table.contains("Average"));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_completed_job() {
+        let results = vec![
+            JobResult::Completed {
+                outcome: Box::new(outcome()),
+                cached: true,
+            },
+            JobResult::Cancelled,
+        ];
+        let jsonl = to_jsonl(&results);
+        assert_eq!(jsonl.lines().count(), 1);
+        let parsed = FlowOutcome::from_json_text(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed, outcome());
+    }
+}

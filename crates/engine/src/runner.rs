@@ -1,0 +1,193 @@
+//! One-job execution: the full parse → probabilities → search → synthesis →
+//! techmap → (sizing) → simulation pipeline, lifted out of the experiment
+//! binaries into a reusable function.
+//!
+//! [`run_job`] is deterministic: every random stream in the flow (search
+//! ordering, vector simulation) is seeded from the [`JobSpec`], so the same
+//! job produces the same [`FlowOutcome`] on any thread of any run — the
+//! property the engine's parallel-equivalence tests pin down.
+
+use domino_phase::flow::{minimize_area, minimize_power, FlowReport};
+use domino_phase::power::PowerModel;
+use domino_sim::{measure_power, SimConfig};
+use domino_techmap::{map, size_for_timing, sta, SizingConfig};
+
+use crate::error::EngineError;
+use crate::job::{assignment_string, FlowJob, FlowOutcome, ObjectiveResult, RunObjective};
+
+/// Runs one side (MA when `area`, else MP) of a job through mapping,
+/// optional sizing and simulation.
+///
+/// When the spec is timed, the clock target is `clock_ps` if given
+/// (compare runs derive it from the MA probe) or this netlist's own unsized
+/// delay times the timing fraction.
+///
+/// # Errors
+///
+/// Propagates flow errors ([`EngineError::Flow`]) and PI-profile mismatches
+/// ([`EngineError::Spec`]).
+pub fn run_objective(
+    job: &FlowJob,
+    area: bool,
+    clock_ps: Option<f64>,
+) -> Result<ObjectiveResult, EngineError> {
+    let spec = &job.spec;
+    let pi = spec.pi.expand(&job.network)?;
+    let report: FlowReport = if area {
+        minimize_area(&job.network, &pi, &spec.flow)?
+    } else {
+        let mut flow = spec.flow.clone();
+        if let Some(penalty) = spec.mp_and_penalty {
+            flow.power.model = PowerModel::with_and_penalty(penalty);
+        }
+        minimize_power(&job.network, &pi, &flow)?
+    };
+    let mut mapped = map(&report.domino, &spec.library);
+    let mut timing_met = true;
+    let timing = sta(&mapped, &spec.library);
+    let mut worst = timing.worst_arrival_ps;
+    if let Some(fraction) = spec.timing_fraction {
+        let target = clock_ps.unwrap_or(worst * fraction);
+        let sizing = size_for_timing(
+            &mut mapped,
+            &spec.library,
+            &SizingConfig {
+                clock_period_ps: Some(target),
+                ..SizingConfig::default()
+            },
+        );
+        worst = sizing.timing.worst_arrival_ps;
+        timing_met = sizing.met;
+    }
+    let power = measure_power(&mapped, &spec.library, &pi, &spec.sim);
+    Ok(ObjectiveResult {
+        size: mapped.effective_cell_count(),
+        cap_ma: power.cap_ma,
+        short_circuit_ma: power.short_circuit_ma,
+        leakage_ma: power.leakage_ma,
+        estimated_switching: report.power.total(),
+        worst_arrival_ps: worst,
+        timing_met,
+        evaluations: report.outcome.evaluations,
+        commits: report.outcome.commits,
+        assignment: assignment_string(&report.assignment),
+    })
+}
+
+/// Derives the common clock target for a timed compare run: the MA
+/// netlist's unsized worst arrival times the timing fraction, found with a
+/// short probe simulation (only timing is needed from it).
+///
+/// # Errors
+///
+/// Propagates flow errors from the probe run.
+pub fn derive_clock_ps(job: &FlowJob) -> Result<Option<f64>, EngineError> {
+    let Some(fraction) = job.spec.timing_fraction else {
+        return Ok(None);
+    };
+    let mut probe_spec = job.spec.clone();
+    probe_spec.timing_fraction = None;
+    probe_spec.sim = SimConfig {
+        cycles: 16,
+        ..probe_spec.sim
+    };
+    let probe_job = FlowJob::new(probe_spec, job.network.clone());
+    let probe = run_objective(&probe_job, true, None)?;
+    Ok(Some(probe.worst_arrival_ps * fraction))
+}
+
+/// Executes one job start to finish according to its objective.
+///
+/// `Compare` runs MA first (deriving the shared clock target when timed,
+/// exactly like the paper's Table 2 methodology), then MP under the same
+/// clock.
+///
+/// # Errors
+///
+/// Propagates [`EngineError`] from either side.
+pub fn run_job(job: &FlowJob) -> Result<FlowOutcome, EngineError> {
+    job.network.validate()?;
+    let (ma, mp, clock_ps) = match job.spec.objective {
+        RunObjective::MinArea => (Some(run_objective(job, true, None)?), None, None),
+        RunObjective::MinPower => (None, Some(run_objective(job, false, None)?), None),
+        RunObjective::Compare => {
+            let clock_ps = derive_clock_ps(job)?;
+            let ma = run_objective(job, true, clock_ps)?;
+            let mp = run_objective(job, false, clock_ps)?;
+            (Some(ma), Some(mp), clock_ps)
+        }
+    };
+    Ok(FlowOutcome {
+        name: job.spec.name.clone(),
+        key: job.cache_key().to_string(),
+        pis: job.network.inputs().len(),
+        pos: job.network.outputs().len(),
+        ma,
+        mp,
+        clock_ps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, PiSpec};
+    use domino_netlist::Network;
+
+    fn fig5_job(objective: RunObjective) -> FlowJob {
+        let mut net = Network::new("fig5");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let aob = net.add_or([a, b]).unwrap();
+        let cad = net.add_and([c, d]).unwrap();
+        let f = net.add_or([aob, cad]).unwrap();
+        let naob = net.add_not(aob).unwrap();
+        let ncad = net.add_not(cad).unwrap();
+        let g = net.add_or([naob, ncad]).unwrap();
+        net.add_output("f", f).unwrap();
+        net.add_output("g", g).unwrap();
+        let mut spec = JobSpec::for_network("fig5", &net);
+        spec.objective = objective;
+        spec.pi = PiSpec::Uniform(0.9);
+        FlowJob::new(spec, net)
+    }
+
+    #[test]
+    fn compare_reproduces_the_paper_claim() {
+        let outcome = run_job(&fig5_job(RunObjective::Compare)).unwrap();
+        let (ma, mp) = (outcome.ma.unwrap(), outcome.mp.unwrap());
+        // At p = 0.9 the MP assignment (f-, g+) beats MA on switching.
+        assert!(mp.estimated_switching < ma.estimated_switching);
+        assert_eq!(mp.assignment, "-+");
+        assert!(outcome.clock_ps.is_none());
+    }
+
+    #[test]
+    fn single_objective_runs_one_side() {
+        let area = run_job(&fig5_job(RunObjective::MinArea)).unwrap();
+        assert!(area.ma.is_some() && area.mp.is_none());
+        let power = run_job(&fig5_job(RunObjective::MinPower)).unwrap();
+        assert!(power.ma.is_none() && power.mp.is_some());
+    }
+
+    #[test]
+    fn run_job_is_deterministic() {
+        let a = run_job(&fig5_job(RunObjective::Compare)).unwrap();
+        let b = run_job(&fig5_job(RunObjective::Compare)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().serialize(), b.to_json().serialize());
+    }
+
+    #[test]
+    fn timed_compare_shares_one_clock() {
+        let mut job = fig5_job(RunObjective::Compare);
+        job.spec.timing_fraction = Some(0.9);
+        let job = FlowJob::new(job.spec, job.network);
+        let outcome = run_job(&job).unwrap();
+        let clock = outcome.clock_ps.unwrap();
+        assert!(clock > 0.0);
+        assert!(outcome.ma.unwrap().timing_met);
+    }
+}

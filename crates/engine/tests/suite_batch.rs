@@ -1,0 +1,165 @@
+//! Engine acceptance tests on the full public-domain suite (the same four
+//! jobs `dominoc suite --public` runs):
+//!
+//! * parallel-vs-serial equivalence: identical `FlowOutcome`s regardless of
+//!   thread count;
+//! * cache determinism: a warm rerun is answered entirely from the cache —
+//!   zero flow recomputations — and is byte-identical to the cold run;
+//! * cancellation: a cancelled batch stops claiming jobs.
+
+use std::sync::{Arc, Mutex};
+
+use domino_engine::{
+    CancelToken, EngineConfig, FlowEngine, FlowJob, JobResult, JobSpec, ProgressEvent, ResultCache,
+};
+
+fn public_suite_jobs() -> Vec<FlowJob> {
+    domino_workloads::public_row_names()
+        .iter()
+        .map(|name| {
+            let mut spec = JobSpec::suite(name);
+            // Short simulation keeps the debug-profile test quick; every
+            // configuration below uses the *same* spec, which is what the
+            // equivalence claims are about.
+            spec.sim.cycles = 512;
+            spec.sim.warmup = 8;
+            spec.resolve().expect("suite row resolves")
+        })
+        .collect()
+}
+
+fn outcomes(results: &[JobResult]) -> Vec<&domino_engine::FlowOutcome> {
+    results
+        .iter()
+        .map(|r| r.outcome().expect("job completed"))
+        .collect()
+}
+
+#[test]
+fn parallel_batches_match_serial_exactly() {
+    let jobs = public_suite_jobs();
+    let serial = FlowEngine::new(EngineConfig {
+        threads: 1,
+        cache: None,
+    })
+    .run_batch(&jobs);
+    for threads in [2, 4] {
+        let parallel = FlowEngine::new(EngineConfig {
+            threads,
+            cache: None,
+        })
+        .run_batch(&jobs);
+        // Identical outcome structs…
+        assert_eq!(
+            outcomes(&serial),
+            outcomes(&parallel),
+            "threads = {threads}"
+        );
+        // …and byte-identical serialized form.
+        for (s, p) in outcomes(&serial).iter().zip(outcomes(&parallel)) {
+            assert_eq!(
+                s.to_json().serialize(),
+                p.to_json().serialize(),
+                "threads = {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_cache_rerun_recomputes_nothing() {
+    let jobs = public_suite_jobs();
+    let cache = Arc::new(ResultCache::in_memory());
+    let engine = FlowEngine::new(EngineConfig {
+        threads: 4,
+        cache: Some(Arc::clone(&cache)),
+    });
+
+    let cold = engine.run_batch(&jobs);
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.misses, jobs.len() as u64);
+    assert_eq!(after_cold.stores, jobs.len() as u64);
+    assert!(cold.iter().all(|r| !r.was_cached()));
+
+    let warm = engine.run_batch(&jobs);
+    let after_warm = cache.stats();
+    // Zero new misses ⇒ zero flow recomputations on the warm run.
+    assert_eq!(after_warm.misses, after_cold.misses);
+    assert_eq!(after_warm.hits(), jobs.len() as u64);
+    assert!(warm.iter().all(JobResult::was_cached));
+
+    // The cached outcomes are byte-identical to the computed ones.
+    for (c, w) in outcomes(&cold).iter().zip(outcomes(&warm)) {
+        assert_eq!(c.to_json().serialize(), w.to_json().serialize());
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_outcomes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("dominolp-suite-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let jobs = public_suite_jobs();
+
+    let cold = {
+        let cache = Arc::new(ResultCache::on_disk(&dir).expect("cache dir"));
+        let engine = FlowEngine::new(EngineConfig {
+            threads: 2,
+            cache: Some(cache),
+        });
+        engine.run_batch(&jobs)
+    };
+
+    // A fresh process-like cache over the same directory answers everything
+    // from disk.
+    let cache = Arc::new(ResultCache::on_disk(&dir).expect("cache dir"));
+    let engine = FlowEngine::new(EngineConfig {
+        threads: 2,
+        cache: Some(Arc::clone(&cache)),
+    });
+    let warm = engine.run_batch(&jobs);
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.disk_hits, jobs.len() as u64);
+    for (c, w) in outcomes(&cold).iter().zip(outcomes(&warm)) {
+        assert_eq!(c.to_json().serialize(), w.to_json().serialize());
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn cancellation_stops_the_suite_batch() {
+    let jobs = public_suite_jobs();
+    let cancel = CancelToken::new();
+    let engine = FlowEngine::new(EngineConfig {
+        threads: 1,
+        cache: None,
+    });
+    let seen = Mutex::new(Vec::new());
+    let cancel_handle = cancel.clone();
+    let results = engine.run_batch_with(
+        &jobs,
+        |event| {
+            if let ProgressEvent::Finished { index, .. } = &event {
+                if *index == 0 {
+                    cancel_handle.cancel();
+                }
+            }
+            seen.lock().unwrap().push(event);
+        },
+        &cancel,
+    );
+    assert!(results[0].outcome().is_some(), "first job completes");
+    assert!(
+        results[1..]
+            .iter()
+            .all(|r| matches!(r, JobResult::Cancelled)),
+        "remaining jobs are cancelled"
+    );
+    // Every job got exactly one terminal event.
+    let events = seen.lock().unwrap();
+    let terminal = events
+        .iter()
+        .filter(|e| !matches!(e, ProgressEvent::Started { .. }))
+        .count();
+    assert_eq!(terminal, jobs.len());
+}

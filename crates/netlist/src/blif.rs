@@ -147,8 +147,11 @@ pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
                     latch_decls.push((d, q, init, lineno));
                 }
                 ".end" => seen_end = true,
-                ".exdc" | ".wire_load_slope" | ".default_input_arrival"
-                | ".default_output_required" | ".clock" => {
+                ".exdc"
+                | ".wire_load_slope"
+                | ".default_input_arrival"
+                | ".default_output_required"
+                | ".clock" => {
                     // Ignored extensions.
                 }
                 other => {
@@ -494,8 +497,8 @@ mod tests {
 
     #[test]
     fn parse_simple_and() {
-        let net = parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n")
-            .unwrap();
+        let net =
+            parse_blif(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n").unwrap();
         assert_eq!(net.inputs().len(), 2);
         assert_eq!(net.eval_comb(&[true, true]).unwrap(), vec![true]);
         assert_eq!(net.eval_comb(&[true, false]).unwrap(), vec![false]);
@@ -504,10 +507,9 @@ mod tests {
     #[test]
     fn parse_sop_with_dont_cares() {
         // f = a·!b + c
-        let net = parse_blif(
-            ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n10- 1\n--1 1\n.end\n",
-        )
-        .unwrap();
+        let net =
+            parse_blif(".model m\n.inputs a b c\n.outputs f\n.names a b c f\n10- 1\n--1 1\n.end\n")
+                .unwrap();
         for bits in 0..8u32 {
             let a = bits & 1 != 0;
             let b = bits & 2 != 0;
@@ -531,10 +533,8 @@ mod tests {
 
     #[test]
     fn parse_constants() {
-        let net = parse_blif(
-            ".model m\n.outputs one zero\n.names one\n1\n.names zero\n.end\n",
-        )
-        .unwrap();
+        let net =
+            parse_blif(".model m\n.outputs one zero\n.names one\n1\n.names zero\n.end\n").unwrap();
         assert_eq!(net.eval_comb(&[]).unwrap(), vec![true, false]);
     }
 
@@ -609,7 +609,10 @@ mod tests {
         let back = parse_blif(&text).unwrap();
         for bits in 0..8u32 {
             let vals: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
-            assert_eq!(net.eval_comb(&vals).unwrap(), back.eval_comb(&vals).unwrap());
+            assert_eq!(
+                net.eval_comb(&vals).unwrap(),
+                back.eval_comb(&vals).unwrap()
+            );
         }
     }
 

@@ -1,0 +1,188 @@
+//! Stable structural digest of a [`Network`] — the content-address the
+//! engine's result cache is keyed by.
+//!
+//! The digest covers everything that affects a synthesis flow's result:
+//! every node's kind and fanin list, the primary-input order and names, the
+//! latch list with reset values and data connections, and the output ports
+//! (name and driver). It deliberately excludes the model name and internal
+//! node names, so re-parsing the same circuit under a different model name
+//! or with different net labels hashes identically.
+//!
+//! The hash is 64-bit FNV-1a over a canonical byte stream, computed without
+//! allocation and stable across platforms and compiler versions (unlike
+//! `std::hash::Hasher` implementations, which are explicitly not portable).
+
+use crate::network::Network;
+use crate::node::NodeKind;
+
+/// Incremental 64-bit FNV-1a hasher over a canonical byte stream.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a64 {
+    pub(crate) fn new() -> Self {
+        Fnv1a64 { state: FNV_OFFSET }
+    }
+
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Network {
+    /// Returns a stable 64-bit structural digest of this network.
+    ///
+    /// Two networks with identical structure (same node arena shape, input
+    /// order and names, latch configuration, and output ports) produce the
+    /// same digest on every platform and in every process run; any
+    /// structural edit — adding a gate, rewiring a fanin, renaming an output
+    /// — changes it with overwhelming probability. The model name and
+    /// internal signal names are *not* hashed.
+    ///
+    /// This is the netlist half of the content-address used by
+    /// `domino-engine`'s result cache.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), domino_netlist::NetlistError> {
+    /// let mut a = domino_netlist::Network::new("one");
+    /// let x = a.add_input("x")?;
+    /// let y = a.add_not(x)?;
+    /// a.add_output("f", y)?;
+    /// let mut b = a.clone();
+    /// b.set_name("two"); // model name is not structural
+    /// assert_eq!(a.structural_digest(), b.structural_digest());
+    /// let z = b.add_input("z")?;
+    /// b.add_output("g", z)?;
+    /// assert_ne!(a.structural_digest(), b.structural_digest());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn structural_digest(&self) -> u64 {
+        let mut h = Fnv1a64::new();
+        h.write_usize(self.len());
+        for id in self.node_ids() {
+            let node = self.node(id);
+            let (tag, aux) = match node.kind {
+                NodeKind::Input => (0u8, 0u8),
+                NodeKind::Constant(v) => (1, u8::from(v)),
+                NodeKind::And => (2, 0),
+                NodeKind::Or => (3, 0),
+                NodeKind::Not => (4, 0),
+                NodeKind::Latch { init } => (5, u8::from(init)),
+            };
+            h.write(&[tag, aux]);
+            h.write_usize(node.fanins.len());
+            for &f in &node.fanins {
+                h.write_usize(f.index());
+            }
+        }
+        h.write_usize(self.inputs().len());
+        for &pi in self.inputs() {
+            h.write_usize(pi.index());
+            // Input names are part of the interface contract (BLIF order
+            // plus name), so they are structural.
+            if let Some(name) = &self.node(pi).name {
+                h.write_usize(name.len());
+                h.write(name.as_bytes());
+            }
+        }
+        h.write_usize(self.latches().len());
+        for &l in self.latches() {
+            h.write_usize(l.index());
+        }
+        h.write_usize(self.outputs().len());
+        for out in self.outputs() {
+            h.write_usize(out.name.len());
+            h.write(out.name.as_bytes());
+            h.write_usize(out.driver.index());
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::network::Network;
+
+    fn sample() -> Network {
+        let mut net = Network::new("sample");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_and([a, b]).unwrap();
+        let n = net.add_not(g).unwrap();
+        net.add_output("f", n).unwrap();
+        net
+    }
+
+    #[test]
+    fn digest_is_stable_across_clones() {
+        let net = sample();
+        assert_eq!(net.structural_digest(), net.clone().structural_digest());
+    }
+
+    #[test]
+    fn model_name_is_not_structural() {
+        let net = sample();
+        let mut renamed = net.clone();
+        renamed.set_name("other");
+        assert_eq!(net.structural_digest(), renamed.structural_digest());
+    }
+
+    #[test]
+    fn structural_edits_change_digest() {
+        let net = sample();
+        let mut grown = net.clone();
+        let c = grown.add_input("c").unwrap();
+        grown.add_output("g", c).unwrap();
+        assert_ne!(net.structural_digest(), grown.structural_digest());
+
+        let mut rewired = Network::new("sample");
+        let a = rewired.add_input("a").unwrap();
+        let b = rewired.add_input("b").unwrap();
+        let g = rewired.add_or([a, b]).unwrap(); // AND -> OR
+        let n = rewired.add_not(g).unwrap();
+        rewired.add_output("f", n).unwrap();
+        assert_ne!(net.structural_digest(), rewired.structural_digest());
+    }
+
+    #[test]
+    fn output_rename_changes_digest() {
+        let net = sample();
+        let mut renamed = Network::new("sample");
+        let a = renamed.add_input("a").unwrap();
+        let b = renamed.add_input("b").unwrap();
+        let g = renamed.add_and([a, b]).unwrap();
+        let n = renamed.add_not(g).unwrap();
+        renamed.add_output("h", n).unwrap();
+        assert_ne!(net.structural_digest(), renamed.structural_digest());
+    }
+
+    #[test]
+    fn digest_known_value_is_locked() {
+        // Locks the byte-stream layout: if this constant changes, every
+        // on-disk cache key changes — bump deliberately, not accidentally.
+        assert_eq!(sample().structural_digest(), 0x8dca_c3e8_7cf4_fd48);
+    }
+}

@@ -74,7 +74,9 @@ impl fmt::Display for NetlistError {
                 expected,
                 got,
             } => write!(f, "expected {expected} values for {what}, got {got}"),
-            NetlistError::Parse { line, msg } => write!(f, "blif parse error at line {line}: {msg}"),
+            NetlistError::Parse { line, msg } => {
+                write!(f, "blif parse error at line {line}: {msg}")
+            }
         }
     }
 }

@@ -19,6 +19,8 @@
 //! * BLIF reading/writing ([`parse_blif`], [`write_blif`]) and Graphviz DOT
 //!   export ([`to_dot`])
 //! * summary statistics ([`NetworkStats`])
+//! * a stable structural digest for content-addressed result caching
+//!   ([`Network::structural_digest`])
 //!
 //! # Example
 //!
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 mod blif;
+mod digest;
 mod dot;
 mod error;
 mod eval;

@@ -67,7 +67,9 @@ pub fn optimize(net: &Network) -> (Network, OptimizeReport) {
     // First pass: inputs and latch shells (so feedback can be remapped).
     for &i in net.inputs() {
         let name = net.node(i).name.clone().unwrap_or_else(|| i.to_string());
-        let ni = out.add_input(name).expect("input names unique in valid net");
+        let ni = out
+            .add_input(name)
+            .expect("input names unique in valid net");
         map.insert(i, ni);
     }
     for &l in net.latches() {
@@ -245,7 +247,8 @@ fn sweep(net: &Network) -> Network {
         }
     }
     for o in net.outputs() {
-        out.add_output(o.name.clone(), map[&o.driver]).expect("unique");
+        out.add_output(o.name.clone(), map[&o.driver])
+            .expect("unique");
     }
     out
 }

@@ -50,7 +50,10 @@ impl DiGraph {
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.vertex_count() && v < self.vertex_count(), "edge endpoint out of range");
+        assert!(
+            u < self.vertex_count() && v < self.vertex_count(),
+            "edge endpoint out of range"
+        );
         self.succ[u].insert(v);
         self.pred[v].insert(u);
     }

@@ -133,7 +133,9 @@ pub fn mfvs(g: &DiGraph, config: &MfvsConfig) -> MfvsResult {
 /// `true` if removing `fvs` from `g` leaves an acyclic graph.
 pub fn verify_fvs(g: &DiGraph, fvs: &[usize]) -> bool {
     let drop: BTreeSet<usize> = fvs.iter().copied().collect();
-    let keep: BTreeSet<usize> = (0..g.vertex_count()).filter(|v| !drop.contains(v)).collect();
+    let keep: BTreeSet<usize> = (0..g.vertex_count())
+        .filter(|v| !drop.contains(v))
+        .collect();
     g.induced(&keep).is_acyclic()
 }
 
@@ -253,8 +255,7 @@ fn greedy_pick(work: &Work, remaining: &[usize]) -> usize {
         .iter()
         .max_by(|&&a, &&b| {
             let score = |v: usize| {
-                (work.graph.in_degree(v) * work.graph.out_degree(v)) as f64
-                    / work.weight(v) as f64
+                (work.graph.in_degree(v) * work.graph.out_degree(v)) as f64 / work.weight(v) as f64
             };
             score(a)
                 .partial_cmp(&score(b))
@@ -282,7 +283,10 @@ pub fn exact_mfvs(g: &DiGraph) -> Vec<usize> {
         .collect();
     interesting.sort_unstable();
     let m = interesting.len();
-    assert!(m <= 20, "exact_mfvs is exponential; use mfvs() for large graphs");
+    assert!(
+        m <= 20,
+        "exact_mfvs is exponential; use mfvs() for large graphs"
+    );
     if m == 0 {
         return Vec::new();
     }

@@ -28,8 +28,6 @@ mod power;
 mod static_sim;
 mod vectors;
 
-pub use power::{
-    measure_domino_switching, measure_power, PowerReport, SimConfig, SwitchingCounts,
-};
+pub use power::{measure_domino_switching, measure_power, PowerReport, SimConfig, SwitchingCounts};
 pub use static_sim::{simulate_static, StaticSimReport};
 pub use vectors::{CorrelatedVectorSource, VectorSource};

@@ -371,9 +371,7 @@ mod tests {
         let f = net.add_or([aob, cad]).unwrap();
         net.add_output("f", f).unwrap();
         let synth = DominoSynthesizer::new(&net).unwrap();
-        let domino = synth
-            .synthesize(&PhaseAssignment::all_positive(1))
-            .unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(1)).unwrap();
         let lib = domino_techmap::Library::standard();
         let mapped = map(&domino, &lib);
         let cfg = SimConfig::default();
@@ -397,9 +395,7 @@ mod tests {
         net.set_latch_data(q, d).unwrap();
         net.add_output("o", q).unwrap();
         let synth = DominoSynthesizer::new(&net).unwrap();
-        let domino = synth
-            .synthesize(&PhaseAssignment::all_positive(2))
-            .unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
         let lib = domino_techmap::Library::standard();
         let mapped = map(&domino, &lib);
         let report = measure_power(&mapped, &lib, &[0.5], &SimConfig::default());
@@ -412,9 +408,7 @@ mod tests {
     fn reproducible_for_fixed_seed() {
         let net = fig5();
         let synth = DominoSynthesizer::new(&net).unwrap();
-        let domino = synth
-            .synthesize(&PhaseAssignment::all_positive(2))
-            .unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
         let lib = domino_techmap::Library::standard();
         let mapped = map(&domino, &lib);
         let cfg = SimConfig::default();

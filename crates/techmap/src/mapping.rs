@@ -346,7 +346,7 @@ mod tests {
         let (mapped, _) = map_network(&net, 0);
         assert!(mapped.cells().iter().all(|c| c.fanins.len() <= 4));
         assert!(mapped.cells().len() >= 3); // 10 inputs need ≥ 3 AND4s
-        // Function preserved.
+                                            // Function preserved.
         let all_true = vec![true; 10];
         assert_eq!(mapped.eval_outputs(&all_true), vec![true]);
         let mut one_false = all_true.clone();

@@ -56,9 +56,7 @@ pub fn size_for_timing(
     lib: &Library,
     config: &SizingConfig,
 ) -> SizingReport {
-    let target = config
-        .clock_period_ps
-        .unwrap_or(1e6 / lib.clock_mhz);
+    let target = config.clock_period_ps.unwrap_or(1e6 / lib.clock_mhz);
     let mut upsizes = 0usize;
     let mut iterations = 0usize;
     loop {
@@ -133,7 +131,11 @@ mod tests {
                 ..SizingConfig::default()
             },
         );
-        assert!(report.met, "target {target} vs {}", report.timing.worst_arrival_ps);
+        assert!(
+            report.met,
+            "target {target} vs {}",
+            report.timing.worst_arrival_ps
+        );
         assert!(report.upsizes > 0);
         assert!(mapped.effective_cell_count() >= mapped.cell_count());
     }

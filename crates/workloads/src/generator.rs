@@ -9,7 +9,7 @@
 //! computation cheap) while creating the cone overlap `O(i,j)` that drives
 //! the paper's cost function.
 
-use domino_netlist::{Network, NetlistError, NodeId};
+use domino_netlist::{NetlistError, Network, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -292,7 +292,10 @@ mod tests {
                 }
             }
         }
-        assert!(overlapping_pairs >= 3, "{overlapping_pairs} overlapping pairs");
+        assert!(
+            overlapping_pairs >= 3,
+            "{overlapping_pairs} overlapping pairs"
+        );
     }
 
     #[test]
@@ -301,11 +304,7 @@ mod tests {
         let net = generate(&spec).unwrap();
         for o in net.outputs() {
             let support = net.cone_inputs(o.driver).len();
-            assert!(
-                support <= 70,
-                "cone of {} spans {support} inputs",
-                o.name
-            );
+            assert!(support <= 70, "cone of {} spans {support} inputs", o.name);
         }
     }
 }

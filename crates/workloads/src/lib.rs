@@ -26,4 +26,6 @@ mod generator;
 mod suite;
 
 pub use generator::{generate, GeneratorSpec};
-pub use suite::{public_suite, row_spec, table_suite, BenchmarkCircuit};
+pub use suite::{
+    public_row_names, public_suite, row_spec, table_row_names, table_suite, BenchmarkCircuit,
+};

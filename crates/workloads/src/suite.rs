@@ -171,9 +171,9 @@ const ROWS: [RowDef; 7] = [
 /// Exposed so calibration tooling (`seed_sweep`) and the suite itself share
 /// one definition. Returns `None` for unknown names.
 pub fn row_spec(name: &str) -> Option<GeneratorSpec> {
-    let row = ROWS
-        .iter()
-        .find(|r| r.name.eq_ignore_ascii_case(name) || r.name.replace(' ', "").eq_ignore_ascii_case(name))?;
+    let row = ROWS.iter().find(|r| {
+        r.name.eq_ignore_ascii_case(name) || r.name.replace(' ', "").eq_ignore_ascii_case(name)
+    })?;
     let mut spec = GeneratorSpec {
         name: row.name.to_string(),
         window: row.window,
@@ -189,6 +189,20 @@ pub fn row_spec(name: &str) -> Option<GeneratorSpec> {
         spec.not_probability = 0.45;
     }
     Some(spec)
+}
+
+/// Names of every Table 1 suite row, in row order — the single source the
+/// CLI, benches and tests enumerate the suite from.
+pub fn table_row_names() -> Vec<&'static str> {
+    ROWS.iter().map(|r| r.name).collect()
+}
+
+/// Names of the public-domain (Table 2) subset, in row order.
+pub fn public_row_names() -> Vec<&'static str> {
+    ROWS.iter()
+        .filter(|r| r.description == "Public Domain")
+        .map(|r| r.name)
+        .collect()
 }
 
 /// The full seven-circuit suite of Table 1 (industry + public domain).
@@ -255,6 +269,13 @@ mod tests {
         let public = public_suite().unwrap();
         let names: Vec<&str> = public.iter().map(|c| c.name).collect();
         assert_eq!(names, vec!["apex7", "frg1", "x1", "x3"]);
+        assert_eq!(names, public_row_names());
+    }
+
+    #[test]
+    fn row_name_lists_match_the_suites() {
+        let table: Vec<&str> = table_suite().unwrap().iter().map(|c| c.name).collect();
+        assert_eq!(table, table_row_names());
     }
 
     #[test]

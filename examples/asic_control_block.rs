@@ -37,8 +37,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = SimConfig::default();
 
     for (label, flow_report) in [
-        ("minimum area  (baseline [15])", minimize_area(&net, &pi, &cfg)?),
-        ("minimum power (this paper)   ", minimize_power(&net, &pi, &cfg)?),
+        (
+            "minimum area  (baseline [15])",
+            minimize_area(&net, &pi, &cfg)?,
+        ),
+        (
+            "minimum power (this paper)   ",
+            minimize_power(&net, &pi, &cfg)?,
+        ),
     ] {
         let mapped = map(&flow_report.domino, &lib);
         let timing = sta(&mapped, &lib);
@@ -58,8 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             flow_report.assignment.negative_count(),
             flow_report.assignment.len(),
             flow_report.domino.gate_count(),
-            flow_report.domino.input_inverter_count()
-                + flow_report.domino.output_inverter_count()
+            flow_report.domino.input_inverter_count() + flow_report.domino.output_inverter_count()
         );
     }
     Ok(())

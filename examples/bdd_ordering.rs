@@ -47,10 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Orders never change the computed probabilities — only the cost.
     let pi = vec![0.5; n];
-    let a = CircuitBdds::build_with_order(&net, paper_order(&net))?
-        .node_probabilities(&net, &pi)?;
-    let b = CircuitBdds::build_with_order(&net, random_order(n, 5))?
-        .node_probabilities(&net, &pi)?;
+    let a =
+        CircuitBdds::build_with_order(&net, paper_order(&net))?.node_probabilities(&net, &pi)?;
+    let b =
+        CircuitBdds::build_with_order(&net, random_order(n, 5))?.node_probabilities(&net, &pi)?;
     let max_diff = a
         .iter()
         .zip(&b)

@@ -10,7 +10,11 @@ use dominolp::workloads::figures::fig5_network;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Figure 5 circuit: f = (a+b)+(c·d), g = !(a+b)+!(c·d).
     let net = fig5_network()?;
-    println!("circuit `{}`: {}", net.name(), dominolp::netlist::NetworkStats::of(&net));
+    println!(
+        "circuit `{}`: {}",
+        net.name(),
+        dominolp::netlist::NetworkStats::of(&net)
+    );
 
     // High input probabilities make phase choice dramatic.
     let pi = vec![0.9; net.inputs().len()];

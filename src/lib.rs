@@ -16,6 +16,7 @@
 //! | [`techmap`] | `domino-techmap` | domino cell library, mapping, STA, sizing |
 //! | [`sim`] | `domino-sim` | statistical vector simulation ("PowerMill" substitute) |
 //! | [`workloads`] | `domino-workloads` | benchmark circuits and paper figure examples |
+//! | [`engine`] | `domino-engine` | parallel batch flow engine, content-addressed result cache, `dominoc` CLI |
 //!
 //! # Quickstart
 //!
@@ -38,6 +39,7 @@
 //! that regenerate every table and figure of the paper.
 
 pub use domino_bdd as bdd;
+pub use domino_engine as engine;
 pub use domino_netlist as netlist;
 pub use domino_phase as phase;
 pub use domino_sgraph as sgraph;

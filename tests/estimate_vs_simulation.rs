@@ -43,8 +43,7 @@ fn estimate_matches_simulated_switching_for_every_assignment_shape() {
     let spec = GeneratorSpec::control_block("est", 10, 4, 36, 2);
     let net = generate(&spec).expect("generator succeeds");
     let pi = vec![0.7; 10];
-    let probs =
-        compute_probabilities(&net, &pi, &ProbabilityConfig::default()).expect("probs");
+    let probs = compute_probabilities(&net, &pi, &ProbabilityConfig::default()).expect("probs");
     let synth = DominoSynthesizer::new(&net).expect("valid");
     let n = synth.view_outputs().len();
     let cfg = SimConfig {

@@ -67,14 +67,9 @@ fn grouped_k_never_loses_to_pairwise_at_scale() {
     let cfg = MinPowerConfig::default();
     let pair = min_power_assignment(&synth, &probs, PhaseAssignment::all_positive(n), &cfg)
         .expect("search");
-    let triple = min_power_assignment_grouped(
-        &synth,
-        &probs,
-        PhaseAssignment::all_positive(n),
-        &cfg,
-        3,
-    )
-    .expect("search");
+    let triple =
+        min_power_assignment_grouped(&synth, &probs, PhaseAssignment::all_positive(n), &cfg, 3)
+            .expect("search");
     // Both end at local optima of the same refinement; grouped exploration
     // can only help the pre-refinement phase.
     assert!(triple.objective <= pair.objective * 1.02 + 1e-9);
@@ -92,7 +87,10 @@ fn cost_model_invariants_at_scale() {
     assert_eq!(n, 12);
     for i in 0..n {
         assert!(cm.cone_size(i) > 0, "every cone is non-empty");
-        for phase in [dominolp::phase::Phase::Positive, dominolp::phase::Phase::Negative] {
+        for phase in [
+            dominolp::phase::Phase::Positive,
+            dominolp::phase::Phase::Negative,
+        ] {
             let a = cm.average(i, phase);
             assert!((0.0..=1.0).contains(&a));
         }

@@ -23,7 +23,10 @@ fn mapped_netlist_equivalent_to_domino_block() {
         );
     }
     // All cells obey the library fanin bound.
-    assert!(mapped.cells().iter().all(|c| c.fanins.len() <= lib.max_fanin));
+    assert!(mapped
+        .cells()
+        .iter()
+        .all(|c| c.fanins.len() <= lib.max_fanin));
 }
 
 #[test]
@@ -76,9 +79,7 @@ fn power_report_components_are_consistent() {
     let power = measure_power(&mapped, &lib, &pi, &SimConfig::default());
     assert!(power.cap_ma > 0.0);
     assert!((power.short_circuit_ma - 0.1 * power.cap_ma).abs() < 1e-12);
-    assert!(
-        (power.leakage_ma - mapped.cell_count() as f64 * lib.leak_ua * 1e-3).abs() < 1e-12
-    );
+    assert!((power.leakage_ma - mapped.cell_count() as f64 * lib.leak_ua * 1e-3).abs() < 1e-12);
     assert!(
         (power.total_ma() - (power.cap_ma + power.short_circuit_ma + power.leakage_ma)).abs()
             < 1e-12
