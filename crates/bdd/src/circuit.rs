@@ -77,6 +77,9 @@ impl CircuitBdds {
             });
         }
         let mut manager = BddManager::with_order(order)?;
+        // Shared BDDs for block-sized control logic land near the gate
+        // count; pre-sizing the kernel tables avoids mid-build rehashes.
+        manager.reserve(net.len());
         let var_of: HashMap<NodeId, usize> =
             sources.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut node_funcs = vec![Bdd::FALSE; net.len()];
@@ -89,13 +92,13 @@ impl CircuitBdds {
                     let x = node_funcs[node.fanins[0].index()];
                     manager.not(x)?
                 }
+                // Feed fanin functions straight from the arena — no
+                // per-gate temporary Vec on the construction hot path.
                 NodeKind::And => {
-                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| node_funcs[f.index()]).collect();
-                    manager.and_many(fs)?
+                    manager.and_many(node.fanins.iter().map(|f| node_funcs[f.index()]))?
                 }
                 NodeKind::Or => {
-                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| node_funcs[f.index()]).collect();
-                    manager.or_many(fs)?
+                    manager.or_many(node.fanins.iter().map(|f| node_funcs[f.index()]))?
                 }
             };
             node_funcs[id.index()] = f;
@@ -151,6 +154,24 @@ impl CircuitBdds {
         let _ = net;
         self.manager
             .signal_probabilities(&self.node_funcs, source_probs)
+    }
+
+    /// [`CircuitBdds::node_probabilities`] writing into a caller-owned
+    /// buffer (cleared first), so sweep loops reuse one allocation across
+    /// evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBdds::node_probabilities`].
+    pub fn node_probabilities_into(
+        &self,
+        net: &Network,
+        source_probs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), BddError> {
+        let _ = net;
+        self.manager
+            .signal_probabilities_into(&self.node_funcs, source_probs, out)
     }
 }
 
@@ -223,14 +244,8 @@ pub fn check_equivalence(a: &Network, b: &Network) -> Result<Option<usize>, BddE
                 NodeKind::Input | NodeKind::Latch { .. } => manager.var(var_of[&id])?,
                 NodeKind::Constant(v) => manager.constant(v),
                 NodeKind::Not => manager.not(funcs[node.fanins[0].index()])?,
-                NodeKind::And => {
-                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| funcs[f.index()]).collect();
-                    manager.and_many(fs)?
-                }
-                NodeKind::Or => {
-                    let fs: Vec<Bdd> = node.fanins.iter().map(|f| funcs[f.index()]).collect();
-                    manager.or_many(fs)?
-                }
+                NodeKind::And => manager.and_many(node.fanins.iter().map(|f| funcs[f.index()]))?,
+                NodeKind::Or => manager.or_many(node.fanins.iter().map(|f| funcs[f.index()]))?,
             };
             funcs[id.index()] = f;
         }

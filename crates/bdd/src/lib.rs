@@ -39,7 +39,9 @@
 #![forbid(unsafe_code)]
 
 pub mod circuit;
+pub mod fx;
 mod manager;
 pub mod ordering;
+pub mod table;
 
 pub use manager::{Bdd, BddError, BddManager, BddStats};

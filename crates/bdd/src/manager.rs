@@ -1,10 +1,31 @@
 //! The ROBDD manager: hash-consed node arena, boolean operations, and
 //! analyses (evaluation, SAT count, support, node count, signal
 //! probability).
+//!
+//! # Kernel data structures
+//!
+//! Every number the workspace produces — signal probabilities, `Σ S·C·P`
+//! power estimates, the pairwise phase search — bottoms out here, so the
+//! manager is built around dense, allocation-free structures rather than
+//! `std` hash maps:
+//!
+//! * hash-consing goes through an open-addressed [`UniqueTable`] and the
+//!   binary-op/NOT memo through a direct-mapped [`OpCache`], both hashed
+//!   with the Fx mix from [`crate::fx`] (see [`crate::table`]);
+//! * the `&self` analyses ([`BddManager::signal_probability`],
+//!   [`BddManager::sat_count`], [`BddManager::support`],
+//!   [`BddManager::node_count`]) memoize into stamp-versioned `Vec` arenas
+//!   indexed by the `u32` node handle, reused across calls through a
+//!   [`RefCell`] — repeated evaluations allocate nothing;
+//! * results are bit-identical to the `HashMap` implementation they
+//!   replaced: node handles, traversal order and floating-point summation
+//!   order are unchanged (pinned by the golden-equivalence tests).
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
+
+use crate::table::{OpCache, UniqueTable};
 
 /// Handle to a BDD root inside a [`BddManager`].
 ///
@@ -105,15 +126,46 @@ struct Node {
 
 const TERMINAL_LEVEL: u32 = u32::MAX;
 
-/// Size/occupancy statistics of a manager, from [`BddManager::stats`].
+/// Size/occupancy/traffic statistics of a manager, from
+/// [`BddManager::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
     /// Live nodes in the arena, including the two terminals.
     pub nodes: usize,
     /// Number of variables.
     pub n_vars: usize,
-    /// Entries in the binary-operation cache.
+    /// Live entries in the operation cache.
     pub cache_entries: usize,
+    /// Unique-table lookups that found an existing node (hash-consing
+    /// shares).
+    pub unique_hits: u64,
+    /// Unique-table lookups that interned a fresh node.
+    pub unique_misses: u64,
+    /// Operation-cache lookups (and/or/xor/not) answered from the cache.
+    pub cache_hits: u64,
+    /// Operation-cache lookups that had to recurse.
+    pub cache_misses: u64,
+}
+
+impl BddStats {
+    /// Unique-table hit fraction, or `None` before any lookups.
+    pub fn unique_hit_rate(&self) -> Option<f64> {
+        rate(self.unique_hits, self.unique_misses)
+    }
+
+    /// Operation-cache hit fraction, or `None` before any lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        rate(self.cache_hits, self.cache_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,6 +173,134 @@ enum BinOp {
     And,
     Or,
     Xor,
+}
+
+impl BinOp {
+    /// Nonzero [`OpCache`] tag.
+    fn tag(self) -> u32 {
+        match self {
+            BinOp::And => 1,
+            BinOp::Or => 2,
+            BinOp::Xor => 3,
+        }
+    }
+}
+
+/// [`OpCache`] tag for negation (`b` operand unused).
+const NOT_TAG: u32 = 4;
+
+/// Stamp-versioned dense memo for the `&self` analyses: `value[i]` is valid
+/// iff `stamp[i] == cur`. Bumping `cur` invalidates everything in O(1), so
+/// repeated evaluations reuse the same allocations with no clearing pass.
+#[derive(Debug, Clone, Default)]
+struct EvalScratch {
+    stamp: Vec<u32>,
+    value: Vec<f64>,
+    /// Visit stamps over *variables* (for support computation).
+    var_stamp: Vec<u32>,
+    /// Explicit DFS stack for the iterative traversals.
+    stack: Vec<Bdd>,
+    cur: u32,
+}
+
+impl EvalScratch {
+    /// Starts a new evaluation over `n_nodes` nodes and `n_vars` variables.
+    fn begin(&mut self, n_nodes: usize, n_vars: usize) {
+        if self.cur == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.var_stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 1;
+        } else {
+            self.cur += 1;
+        }
+        if self.stamp.len() < n_nodes {
+            self.stamp.resize(n_nodes, 0);
+            self.value.resize(n_nodes, 0.0);
+        }
+        if self.var_stamp.len() < n_vars {
+            self.var_stamp.resize(n_vars, 0);
+        }
+        self.stack.clear();
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<f64> {
+        if self.stamp[i] == self.cur {
+            Some(self.value[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: f64) {
+        self.stamp[i] = self.cur;
+        self.value[i] = v;
+    }
+
+    /// First visit of node `i` this evaluation?
+    #[inline]
+    fn visit(&mut self, i: usize) -> bool {
+        if self.stamp[i] == self.cur {
+            false
+        } else {
+            self.stamp[i] = self.cur;
+            true
+        }
+    }
+
+    /// First visit of variable `v` this evaluation?
+    #[inline]
+    fn visit_var(&mut self, v: usize) -> bool {
+        if self.var_stamp[v] == self.cur {
+            false
+        } else {
+            self.var_stamp[v] = self.cur;
+            true
+        }
+    }
+}
+
+/// Stamp-versioned dense memo for [`BddManager::cofactor`] (`&mut self`, so
+/// it lives outside the [`RefCell`] and is taken with `mem::take` while the
+/// recursion also creates nodes).
+#[derive(Debug, Clone, Default)]
+struct CofScratch {
+    stamp: Vec<u32>,
+    value: Vec<u32>,
+    cur: u32,
+}
+
+impl CofScratch {
+    fn begin(&mut self, n_nodes: usize) {
+        if self.cur == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.cur = 1;
+        } else {
+            self.cur += 1;
+        }
+        if self.stamp.len() < n_nodes {
+            self.stamp.resize(n_nodes, 0);
+            self.value.resize(n_nodes, 0);
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> Option<Bdd> {
+        if i < self.stamp.len() && self.stamp[i] == self.cur {
+            Some(Bdd(self.value[i]))
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, v: Bdd) {
+        if i < self.stamp.len() {
+            self.stamp[i] = self.cur;
+            self.value[i] = v.0;
+        }
+    }
 }
 
 /// An arena-based ROBDD manager with a fixed variable order.
@@ -138,14 +318,15 @@ enum BinOp {
 #[derive(Debug, Clone)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    bin_cache: HashMap<(BinOp, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
+    unique: UniqueTable,
+    op_cache: OpCache,
     /// level_of_var[v] = position of variable v in the order (0 = root-most).
     level_of_var: Vec<u32>,
     /// var_at_level[l] = variable tested at level l.
     var_at_level: Vec<u32>,
     node_limit: usize,
+    scratch: RefCell<EvalScratch>,
+    cof_scratch: CofScratch,
 }
 
 impl BddManager {
@@ -185,12 +366,13 @@ impl BddManager {
                     hi: Bdd::TRUE,
                 },
             ],
-            unique: HashMap::new(),
-            bin_cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            unique: UniqueTable::new(),
+            op_cache: OpCache::new(),
             level_of_var,
             var_at_level: order.iter().map(|&v| v as u32).collect(),
             node_limit: 50_000_000,
+            scratch: RefCell::new(EvalScratch::default()),
+            cof_scratch: CofScratch::default(),
         })
     }
 
@@ -210,12 +392,29 @@ impl BddManager {
         self.node_limit = limit;
     }
 
-    /// Current statistics.
+    /// Pre-sizes the unique table and op cache for roughly
+    /// `expected_nodes` arena nodes, avoiding rehash pauses during
+    /// construction. Best called before building anything (the circuit
+    /// builder sizes by the network's node count).
+    pub fn reserve(&mut self, expected_nodes: usize) {
+        self.nodes
+            .reserve(expected_nodes.saturating_sub(self.nodes.len()));
+        self.unique.reserve(expected_nodes);
+        self.op_cache.reserve(expected_nodes * 2);
+    }
+
+    /// Current statistics (sizes plus unique-table/op-cache traffic).
     pub fn stats(&self) -> BddStats {
+        let (unique_hits, unique_misses) = self.unique.counters();
+        let (cache_hits, cache_misses) = self.op_cache.counters();
         BddStats {
             nodes: self.nodes.len(),
             n_vars: self.n_vars(),
-            cache_entries: self.bin_cache.len(),
+            cache_entries: self.op_cache.len(),
+            unique_hits,
+            unique_misses,
+            cache_hits,
+            cache_misses,
         }
     }
 
@@ -264,8 +463,8 @@ impl BddManager {
         if lo == hi {
             return Ok(lo);
         }
-        if let Some(&b) = self.unique.get(&(level, lo, hi)) {
-            return Ok(b);
+        if let Some(b) = self.unique.get(level, lo.0, hi.0) {
+            return Ok(Bdd(b));
         }
         if self.nodes.len() >= self.node_limit {
             return Err(BddError::NodeLimit {
@@ -274,7 +473,7 @@ impl BddManager {
         }
         let b = Bdd(u32::try_from(self.nodes.len()).expect("bdd arena exceeds u32"));
         self.nodes.push(Node { level, lo, hi });
-        self.unique.insert((level, lo, hi), b);
+        self.unique.insert(level, lo.0, hi.0, b.0);
         Ok(b)
     }
 
@@ -385,9 +584,9 @@ impl BddManager {
             }
         }
         // Commutative: canonicalize operand order for the cache.
-        let key = if a <= b { (op, a, b) } else { (op, b, a) };
-        if let Some(&r) = self.bin_cache.get(&key) {
-            return Ok(r);
+        let (ka, kb) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(r) = self.op_cache.get(op.tag(), ka.0, kb.0) {
+            return Ok(Bdd(r));
         }
         let (la, lb) = (self.level(a), self.level(b));
         let level = la.min(lb);
@@ -406,7 +605,8 @@ impl BddManager {
         let lo = self.binop(op, a_lo, b_lo)?;
         let hi = self.binop(op, a_hi, b_hi)?;
         let r = self.mk(level, lo, hi)?;
-        self.bin_cache.insert(key, r);
+        self.op_cache.insert(op.tag(), ka.0, kb.0, r.0);
+        self.op_cache.maybe_grow();
         Ok(r)
     }
 
@@ -422,15 +622,16 @@ impl BddManager {
         if a.is_false() {
             return Ok(Bdd::TRUE);
         }
-        if let Some(&r) = self.not_cache.get(&a) {
-            return Ok(r);
+        if let Some(r) = self.op_cache.get(NOT_TAG, a.0, 0) {
+            return Ok(Bdd(r));
         }
         let n = self.nodes[a.index()];
         let lo = self.not(n.lo)?;
         let hi = self.not(n.hi)?;
         let r = self.mk(n.level, lo, hi)?;
-        self.not_cache.insert(a, r);
-        self.not_cache.insert(r, a);
+        self.op_cache.insert(NOT_TAG, a.0, 0, r.0);
+        self.op_cache.insert(NOT_TAG, r.0, 0, a.0);
+        self.op_cache.maybe_grow();
         Ok(r)
     }
 
@@ -469,9 +670,25 @@ impl BddManager {
         Ok(cur.is_true())
     }
 
+    fn check_probs(&self, probs: &[f64]) -> Result<(), BddError> {
+        if probs.len() != self.n_vars() {
+            return Err(BddError::ArityMismatch {
+                expected: self.n_vars(),
+                got: probs.len(),
+            });
+        }
+        for (var, &p) in probs.iter().enumerate() {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(BddError::InvalidProbability { var, value: p });
+            }
+        }
+        Ok(())
+    }
+
     /// Exact signal probability `P[f = 1]` given independent per-variable
     /// probabilities `P[v = 1] = probs[v]`. Linear in the number of BDD
-    /// nodes (memoized).
+    /// nodes; memoized into a reusable dense arena, so repeated calls
+    /// allocate nothing.
     ///
     /// This is the core primitive of the paper's power estimator: for a
     /// domino gate, the switching probability *equals* this value
@@ -482,19 +699,10 @@ impl BddManager {
     /// Returns [`BddError::ArityMismatch`] on length mismatch or
     /// [`BddError::InvalidProbability`] for values outside `[0, 1]`.
     pub fn signal_probability(&self, root: Bdd, probs: &[f64]) -> Result<f64, BddError> {
-        if probs.len() != self.n_vars() {
-            return Err(BddError::ArityMismatch {
-                expected: self.n_vars(),
-                got: probs.len(),
-            });
-        }
-        for (var, &p) in probs.iter().enumerate() {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(BddError::InvalidProbability { var, value: p });
-            }
-        }
-        let mut memo: HashMap<Bdd, f64> = HashMap::new();
-        Ok(self.prob_rec(root, probs, &mut memo))
+        self.check_probs(probs)?;
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.begin(self.nodes.len(), 0);
+        Ok(self.prob_rec(root, probs, &mut scratch))
     }
 
     /// Batched [`BddManager::signal_probability`]: one shared memo table
@@ -504,40 +712,51 @@ impl BddManager {
     ///
     /// Same conditions as [`BddManager::signal_probability`].
     pub fn signal_probabilities(&self, roots: &[Bdd], probs: &[f64]) -> Result<Vec<f64>, BddError> {
-        if probs.len() != self.n_vars() {
-            return Err(BddError::ArityMismatch {
-                expected: self.n_vars(),
-                got: probs.len(),
-            });
-        }
-        for (var, &p) in probs.iter().enumerate() {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(BddError::InvalidProbability { var, value: p });
-            }
-        }
-        let mut memo: HashMap<Bdd, f64> = HashMap::new();
-        Ok(roots
-            .iter()
-            .map(|&r| self.prob_rec(r, probs, &mut memo))
-            .collect())
+        let mut out = Vec::new();
+        self.signal_probabilities_into(roots, probs, &mut out)?;
+        Ok(out)
     }
 
-    fn prob_rec(&self, b: Bdd, probs: &[f64], memo: &mut HashMap<Bdd, f64>) -> f64 {
+    /// [`BddManager::signal_probabilities`] writing into a caller-owned
+    /// buffer, so sweep loops (sequential probability fixpoints) reuse one
+    /// allocation across evaluations. `out` is cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BddManager::signal_probability`].
+    pub fn signal_probabilities_into(
+        &self,
+        roots: &[Bdd],
+        probs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), BddError> {
+        self.check_probs(probs)?;
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.begin(self.nodes.len(), 0);
+        out.clear();
+        out.reserve(roots.len());
+        for &r in roots {
+            out.push(self.prob_rec(r, probs, &mut scratch));
+        }
+        Ok(())
+    }
+
+    fn prob_rec(&self, b: Bdd, probs: &[f64], scratch: &mut EvalScratch) -> f64 {
         if b.is_false() {
             return 0.0;
         }
         if b.is_true() {
             return 1.0;
         }
-        if let Some(&p) = memo.get(&b) {
+        if let Some(p) = scratch.get(b.index()) {
             return p;
         }
         let n = self.nodes[b.index()];
         let var = self.var_at_level[n.level as usize] as usize;
         let p_var = probs[var];
-        let p = (1.0 - p_var) * self.prob_rec(n.lo, probs, memo)
-            + p_var * self.prob_rec(n.hi, probs, memo);
-        memo.insert(b, p);
+        let p = (1.0 - p_var) * self.prob_rec(n.lo, probs, scratch)
+            + p_var * self.prob_rec(n.hi, probs, scratch);
+        scratch.set(b.index(), p);
         p
     }
 
@@ -552,38 +771,42 @@ impl BddManager {
 
     /// The set of variables the function depends on, sorted ascending.
     pub fn support(&self, root: Bdd) -> Vec<usize> {
-        let mut seen = std::collections::HashSet::new();
-        let mut vars = std::collections::HashSet::new();
-        let mut stack = vec![root];
-        while let Some(b) = stack.pop() {
-            if b.is_terminal() || !seen.insert(b) {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.begin(self.nodes.len(), self.n_vars());
+        let mut vars = Vec::new();
+        scratch.stack.push(root);
+        while let Some(b) = scratch.stack.pop() {
+            if b.is_terminal() || !scratch.visit(b.index()) {
                 continue;
             }
             let n = self.nodes[b.index()];
-            vars.insert(self.var_at_level[n.level as usize] as usize);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let var = self.var_at_level[n.level as usize] as usize;
+            if scratch.visit_var(var) {
+                vars.push(var);
+            }
+            scratch.stack.push(n.lo);
+            scratch.stack.push(n.hi);
         }
-        let mut v: Vec<usize> = vars.into_iter().collect();
-        v.sort_unstable();
-        v
+        vars.sort_unstable();
+        vars
     }
 
     /// Number of distinct non-terminal nodes reachable from the given roots
     /// (shared nodes counted once). This is the metric of the paper's
     /// Figure 10 ordering comparison.
     pub fn node_count(&self, roots: &[Bdd]) -> usize {
-        let mut seen = std::collections::HashSet::new();
-        let mut stack: Vec<Bdd> = roots.to_vec();
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.begin(self.nodes.len(), 0);
+        scratch.stack.extend_from_slice(roots);
         let mut count = 0;
-        while let Some(b) = stack.pop() {
-            if b.is_terminal() || !seen.insert(b) {
+        while let Some(b) = scratch.stack.pop() {
+            if b.is_terminal() || !scratch.visit(b.index()) {
                 continue;
             }
             count += 1;
             let n = self.nodes[b.index()];
-            stack.push(n.lo);
-            stack.push(n.hi);
+            scratch.stack.push(n.lo);
+            scratch.stack.push(n.hi);
         }
         count
     }
@@ -640,8 +863,15 @@ impl BddManager {
             });
         }
         let target = self.level_of_var[var];
-        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
-        self.cofactor_rec(root, target, positive, &mut memo)
+        // The memo lives outside the RefCell because the recursion needs
+        // `&mut self` (it creates nodes); take it, run, put it back. Only
+        // nodes that existed at entry are memoized, so sizing it now is
+        // sound even though the arena grows underneath.
+        let mut memo = std::mem::take(&mut self.cof_scratch);
+        memo.begin(self.nodes.len());
+        let result = self.cofactor_rec(root, target, positive, &mut memo);
+        self.cof_scratch = memo;
+        result
     }
 
     fn cofactor_rec(
@@ -649,7 +879,7 @@ impl BddManager {
         b: Bdd,
         target: u32,
         positive: bool,
-        memo: &mut HashMap<Bdd, Bdd>,
+        memo: &mut CofScratch,
     ) -> Result<Bdd, BddError> {
         if b.is_terminal() {
             return Ok(b);
@@ -658,7 +888,7 @@ impl BddManager {
         if n.level > target {
             return Ok(b);
         }
-        if let Some(&r) = memo.get(&b) {
+        if let Some(r) = memo.get(b.index()) {
             return Ok(r);
         }
         let r = if n.level == target {
@@ -672,11 +902,10 @@ impl BddManager {
             let hi = self.cofactor_rec(n.hi, target, positive, memo)?;
             self.mk(n.level, lo, hi)?
         };
-        memo.insert(b, r);
+        memo.set(b.index(), r);
         Ok(r)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

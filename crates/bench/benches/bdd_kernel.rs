@@ -1,0 +1,47 @@
+//! Criterion bench for the BDD kernel hot paths (the PR 2 overhaul):
+//!
+//! * `build` — cold construction of all node BDDs for a suite circuit
+//!   (unique table + op cache traffic);
+//! * `prob_cold` — build plus one probability evaluation, the
+//!   cold-manager path `compute_probabilities` takes;
+//! * `prob_warm` — repeated probability evaluation on an existing manager,
+//!   the path sequential sweeps and searches hit, which after the overhaul
+//!   allocates nothing (dense stamp memos).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_bdd::circuit::CircuitBdds;
+use domino_workloads::table_suite;
+
+fn bench_kernel(c: &mut Criterion) {
+    let suite = table_suite().expect("suite generates");
+    let mut group = c.benchmark_group("bdd_kernel");
+    group.sample_size(20);
+    for bench in suite
+        .iter()
+        .filter(|b| ["frg1", "apex7", "x3"].contains(&b.name))
+    {
+        let net = &bench.network;
+        let probs = vec![0.5; net.inputs().len() + net.latches().len()];
+        group.bench_with_input(BenchmarkId::new("build", bench.name), net, |b, net| {
+            b.iter(|| CircuitBdds::build(net).expect("bdds build"))
+        });
+        group.bench_with_input(BenchmarkId::new("prob_cold", bench.name), net, |b, net| {
+            b.iter(|| {
+                let bdds = CircuitBdds::build(net).expect("bdds build");
+                bdds.node_probabilities(net, &probs).expect("probs")
+            })
+        });
+        let bdds = CircuitBdds::build(net).expect("bdds build");
+        group.bench_with_input(BenchmarkId::new("prob_warm", bench.name), net, |b, net| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                bdds.node_probabilities_into(net, &probs, &mut out)
+                    .expect("probs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

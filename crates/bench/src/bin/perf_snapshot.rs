@@ -1,0 +1,130 @@
+//! Machine-readable performance snapshot of the hot paths: full MA-vs-MP
+//! flow wall time, BDD construction, warm probability evaluation, and the
+//! min-power search, per public-suite circuit.
+//!
+//! Writes a JSON document (default `perf_snapshot.json`) so the repo's
+//! performance trajectory is recorded per PR — `BENCH_PR2.json` holds the
+//! before/after pair for the PR 2 kernel overhaul.
+//!
+//! ```text
+//! cargo run --release -p domino-bench --bin perf_snapshot -- [--fast] [--out <path>]
+//! ```
+//!
+//! `--fast` restricts to the two cheapest circuits with one sample each —
+//! the CI smoke invocation. The full run takes a handful of seconds.
+
+use std::time::Instant;
+
+use domino_bdd::circuit::CircuitBdds;
+use domino_bench::Experiment;
+use domino_engine::json::Json;
+use domino_phase::flow::FlowConfig;
+use domino_phase::prob::compute_probabilities;
+use domino_phase::search::min_power_assignment;
+use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_workloads::public_suite;
+
+/// Wall-clock median of `samples` runs of `f`, in milliseconds.
+fn median_ms<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "perf_snapshot.json".to_string());
+
+    let samples = if fast { 1 } else { 3 };
+    let suite = public_suite().expect("suite generates");
+    let circuits: Vec<_> = suite
+        .iter()
+        .filter(|b| !fast || ["frg1", "apex7"].contains(&b.name))
+        .collect();
+
+    let experiment = Experiment::default();
+    let flow_config = FlowConfig::default();
+
+    let mut rows = Vec::new();
+    for bench in &circuits {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+
+        let flow_ms = median_ms(samples, || {
+            experiment.compare(bench.name, net).expect("flow runs")
+        });
+        let build_ms = median_ms(samples, || CircuitBdds::build(net).expect("bdds build"));
+        let bdds = CircuitBdds::build(net).expect("bdds build");
+        // One untimed warm-up eval, then timed warm evaluations: after the
+        // kernel overhaul these allocate nothing and hit the dense memo.
+        let source_probs = vec![0.5; net.inputs().len() + net.latches().len()];
+        let _ = bdds.node_probabilities(net, &source_probs).expect("probs");
+        let prob_eval_ms = median_ms(samples.max(3), || {
+            bdds.node_probabilities(net, &source_probs).expect("probs")
+        });
+        let probs =
+            compute_probabilities(net, &pi, &flow_config.probability).expect("probabilities");
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+        let search_ms = median_ms(samples, || {
+            min_power_assignment(
+                &synth,
+                &probs,
+                PhaseAssignment::all_positive(n),
+                &flow_config.power,
+            )
+            .expect("search runs")
+        });
+        let stats = bdds.manager().stats();
+
+        rows.push(Json::obj(vec![
+            ("name", Json::Str(bench.name.to_string())),
+            ("flow_ms", Json::Num(flow_ms)),
+            ("bdd_build_ms", Json::Num(build_ms)),
+            ("prob_eval_ms", Json::Num(prob_eval_ms)),
+            ("search_ms", Json::Num(search_ms)),
+            ("bdd_nodes", Json::Num(probs.bdd_node_count() as f64)),
+            ("manager_nodes", Json::Num(stats.nodes as f64)),
+            (
+                "unique_hit_rate",
+                rate(stats.unique_hits, stats.unique_misses),
+            ),
+            (
+                "op_cache_hit_rate",
+                rate(stats.cache_hits, stats.cache_misses),
+            ),
+        ]));
+    }
+
+    let doc = Json::obj(vec![
+        ("fast", Json::Bool(fast)),
+        ("samples", Json::Num(samples as f64)),
+        ("circuits", Json::Arr(rows)),
+    ]);
+    let text = doc.serialize();
+    std::fs::write(&out, format!("{text}\n")).expect("write snapshot");
+    println!("{text}");
+    eprintln!("wrote {out}");
+}
+
+/// Hit rate as a fraction, or `null` before any accesses.
+fn rate(hits: u64, misses: u64) -> Json {
+    let total = hits + misses;
+    if total == 0 {
+        Json::Null
+    } else {
+        Json::Num(hits as f64 / total as f64)
+    }
+}

@@ -12,6 +12,7 @@
 
 use domino_bdd::circuit::CircuitBdds;
 use domino_bdd::ordering;
+use domino_bdd::BddStats;
 use domino_netlist::Network;
 use domino_sgraph::{partition, MfvsConfig, Partition};
 
@@ -45,6 +46,12 @@ pub struct ProbabilityConfig {
     pub sweeps: usize,
     /// Probability assigned to cut latches on the first sweep.
     pub cut_latch_probability: f64,
+    /// Early-exit threshold for the sequential sweep loop: when no source
+    /// probability moved by more than this between sweeps, the remaining
+    /// sweeps are skipped (they could only reproduce the same result). The
+    /// default `0.0` exits only at an *exact* fixed point, so results are
+    /// bit-identical to running every sweep.
+    pub convergence_tolerance: f64,
 }
 
 impl Default for ProbabilityConfig {
@@ -54,6 +61,7 @@ impl Default for ProbabilityConfig {
             mfvs: MfvsConfig::default(),
             sweeps: 2,
             cut_latch_probability: 0.5,
+            convergence_tolerance: 0.0,
         }
     }
 }
@@ -64,6 +72,7 @@ pub struct NodeProbabilities {
     probs: Vec<f64>,
     partition: Option<Partition>,
     bdd_nodes: usize,
+    bdd_stats: Option<BddStats>,
 }
 
 impl NodeProbabilities {
@@ -75,6 +84,7 @@ impl NodeProbabilities {
             probs,
             partition: None,
             bdd_nodes: 0,
+            bdd_stats: None,
         }
     }
 
@@ -97,6 +107,13 @@ impl NodeProbabilities {
     /// Shared BDD nodes used for the computation (the §4.2.2 cost metric).
     pub fn bdd_node_count(&self) -> usize {
         self.bdd_nodes
+    }
+
+    /// Kernel statistics of the BDD manager that produced these
+    /// probabilities (unique-table and op-cache traffic); `None` for
+    /// externally supplied probabilities ([`NodeProbabilities::from_vec`]).
+    pub fn bdd_stats(&self) -> Option<&BddStats> {
+        self.bdd_stats.as_ref()
     }
 }
 
@@ -159,14 +176,19 @@ pub fn compute_probabilities(
             probs,
             partition: None,
             bdd_nodes,
+            bdd_stats: Some(bdds.manager().stats()),
         });
     }
 
     // Sequential: partition, then resolve latch probabilities.
     let part = partition(net, &config.mfvs);
     let latches = net.latches();
-    let latch_pos: std::collections::HashMap<_, _> =
-        latches.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    // Dense latch-position map indexed by node arena index (hoisted out of
+    // the sweep loop; the former HashMap cost a hash per latch per sweep).
+    let mut latch_pos = vec![usize::MAX; net.len()];
+    for (i, &l) in latches.iter().enumerate() {
+        latch_pos[l.index()] = i;
+    }
     // Source probabilities: PIs then latches.
     let mut source_probs: Vec<f64> = pi_probs.to_vec();
     source_probs.extend(std::iter::repeat_n(
@@ -175,7 +197,12 @@ pub fn compute_probabilities(
     ));
 
     let sweeps = config.sweeps.max(1);
+    // One probability buffer reused across all sweeps; `last_eval_sources`
+    // snapshots the source vector the buffer was computed under, so a
+    // sweep whose sources have not moved past the tolerance can stop —
+    // re-evaluating would reproduce the buffer as-is.
     let mut probs = Vec::new();
+    let mut last_eval_sources: Option<Vec<f64>> = None;
     for _ in 0..sweeps {
         // Scheduled latches resolve in dependency order within the sweep.
         for &l in &part.schedule {
@@ -183,21 +210,35 @@ pub fn compute_probabilities(
             let p = bdds
                 .manager()
                 .signal_probability(bdds.node_bdd(data), &source_probs)?;
-            source_probs[pi_probs.len() + latch_pos[&l]] = p;
+            source_probs[pi_probs.len() + latch_pos[l.index()]] = p;
+        }
+        if let Some(prev) = &last_eval_sources {
+            let converged = prev
+                .iter()
+                .zip(&source_probs)
+                .all(|(a, b)| (a - b).abs() <= config.convergence_tolerance);
+            if converged {
+                break;
+            }
         }
         // All node probabilities under the current sources.
-        probs = bdds.node_probabilities(net, &source_probs)?;
+        bdds.node_probabilities_into(net, &source_probs, &mut probs)?;
+        match &mut last_eval_sources {
+            Some(prev) => prev.copy_from_slice(&source_probs),
+            None => last_eval_sources = Some(source_probs.clone()),
+        }
         // Cut latches move toward their data's probability for the next
         // sweep.
         for &l in &part.cut {
             let data = net.node(l).fanins[0];
-            source_probs[pi_probs.len() + latch_pos[&l]] = probs[data.index()];
+            source_probs[pi_probs.len() + latch_pos[l.index()]] = probs[data.index()];
         }
     }
     Ok(NodeProbabilities {
         probs,
         partition: Some(part),
         bdd_nodes,
+        bdd_stats: Some(bdds.manager().stats()),
     })
 }
 
@@ -287,6 +328,95 @@ mod tests {
         assert!((p1.get(d.index()) - 0.75).abs() < 1e-12);
         assert!(p4.get(d.index()) > p1.get(d.index()));
         assert_eq!(p1.partition().unwrap().cut.len(), 1);
+    }
+
+    /// A feed-forward pipeline reaches its fixed point after one sweep, so
+    /// the default zero-tolerance early exit must stop there — and the
+    /// result must be bit-identical to running every requested sweep.
+    #[test]
+    fn early_exit_at_exact_fixpoint_is_bit_identical() {
+        let mut net = Network::new("pipe");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let g = net.add_and([a, b]).unwrap();
+        let q0 = net.add_latch(false);
+        let q1 = net.add_latch(false);
+        net.set_latch_data(q0, g).unwrap();
+        net.set_latch_data(q1, q0).unwrap();
+        let out = net.add_or([q1, a]).unwrap();
+        net.add_output("o", out).unwrap();
+        let pi = [0.3, 0.8];
+        let one = compute_probabilities(
+            &net,
+            &pi,
+            &ProbabilityConfig {
+                sweeps: 1,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        let many = compute_probabilities(
+            &net,
+            &pi,
+            &ProbabilityConfig {
+                sweeps: 64,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        for (x, y) in one.as_slice().iter().zip(many.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// A sequential workload with feedback: the cut latch refines by a
+    /// shrinking delta each sweep, so a loose tolerance stops the loop
+    /// after exactly the sweeps whose movement exceeded it.
+    #[test]
+    fn convergence_tolerance_stops_sequential_sweeps() {
+        // Sticky latch q' = a + q: cut-latch probability walks
+        // 0.5 → 0.75 → 0.875 → ... (delta halves each sweep).
+        let mut net = Network::new("sticky");
+        let a = net.add_input("a").unwrap();
+        let q = net.add_latch(false);
+        let d = net.add_or([a, q]).unwrap();
+        net.set_latch_data(q, d).unwrap();
+        net.add_output("o", q).unwrap();
+        let with_tol = compute_probabilities(
+            &net,
+            &[0.5],
+            &ProbabilityConfig {
+                sweeps: 10,
+                convergence_tolerance: 0.2,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        let two_sweeps = compute_probabilities(
+            &net,
+            &[0.5],
+            &ProbabilityConfig {
+                sweeps: 2,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        let full = compute_probabilities(
+            &net,
+            &[0.5],
+            &ProbabilityConfig {
+                sweeps: 10,
+                ..ProbabilityConfig::default()
+            },
+        )
+        .unwrap();
+        // Sweep 2's source delta is 0.25 > 0.2, sweep 3's is 0.125 ≤ 0.2:
+        // the tolerant run stops after two evaluations.
+        for (x, y) in with_tol.as_slice().iter().zip(two_sweeps.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // ... which really is an early exit: the full 10-sweep run differs.
+        assert!(with_tol.get(d.index()) < full.get(d.index()));
     }
 
     #[test]

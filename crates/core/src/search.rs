@@ -9,8 +9,6 @@
 //! [`DominoNetwork::area_cells`](crate::DominoNetwork::area_cells) on the
 //! synthesized network (asserted by tests).
 
-use std::collections::HashMap;
-
 use domino_netlist::{NodeId, NodeKind};
 
 use crate::cost::CostModel;
@@ -40,14 +38,20 @@ pub enum Objective<'p> {
 /// Maintains, for the current assignment, reference counts over demanded
 /// `(node, polarity)` gates and complemented sources; the weighted total
 /// updates in `O(|cone|)` per phase change.
+///
+/// The reference counts are dense per-node arrays indexed by the arena
+/// index (`gate_refs[node][polarity]`, `inv_refs[node]`) rather than hash
+/// maps: a phase change touches every gate of a cone, so the count update
+/// is the innermost loop of both searches and a bounds-checked array slot
+/// beats a hash per gate.
 #[derive(Debug)]
 pub struct ConeAccountant<'a, 'p> {
     synth: &'a DominoSynthesizer<'a>,
     objective: Objective<'p>,
     current: PhaseAssignment,
     demands: Vec<[Option<ConeDemand>; 2]>,
-    gate_refs: HashMap<(NodeId, bool), u32>,
-    inv_refs: HashMap<NodeId, u32>,
+    gate_refs: Vec<[u32; 2]>,
+    inv_refs: Vec<u32>,
     block: f64,
     input_inv: f64,
     output_inv: f64,
@@ -72,13 +76,14 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
                 got: initial.len(),
             });
         }
+        let n_nodes = synth.network().len();
         let mut acct = ConeAccountant {
             synth,
             objective,
             current: PhaseAssignment::all_positive(n),
             demands: vec![[None, None]; n],
-            gate_refs: HashMap::new(),
-            inv_refs: HashMap::new(),
+            gate_refs: vec![[0, 0]; n_nodes],
+            inv_refs: vec![0; n_nodes],
             block: 0.0,
             input_inv: 0.0,
             output_inv: 0.0,
@@ -186,14 +191,14 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
     fn add_cone(&mut self, i: usize, phase: Phase) {
         let demand = self.demand(i, phase).clone();
         for &(n, c) in &demand.gates {
-            let count = self.gate_refs.entry((n, c)).or_insert(0);
+            let count = &mut self.gate_refs[n.index()][usize::from(c)];
             *count += 1;
             if *count == 1 {
                 self.block += self.gate_weight(n, c);
             }
         }
         for &s in &demand.complemented_sources {
-            let count = self.inv_refs.entry(s).or_insert(0);
+            let count = &mut self.inv_refs[s.index()];
             *count += 1;
             if *count == 1 {
                 self.input_inv += self.inverter_weight(s);
@@ -207,20 +212,16 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
     fn remove_cone(&mut self, i: usize, phase: Phase) {
         let demand = self.demand(i, phase).clone();
         for &(n, c) in &demand.gates {
-            let count = self
-                .gate_refs
-                .get_mut(&(n, c))
-                .expect("removing unaccounted gate");
+            let count = &mut self.gate_refs[n.index()][usize::from(c)];
+            assert!(*count > 0, "removing unaccounted gate");
             *count -= 1;
             if *count == 0 {
                 self.block -= self.gate_weight(n, c);
             }
         }
         for &s in &demand.complemented_sources {
-            let count = self
-                .inv_refs
-                .get_mut(&s)
-                .expect("removing unaccounted inverter");
+            let count = &mut self.inv_refs[s.index()];
+            assert!(*count > 0, "removing unaccounted inverter");
             *count -= 1;
             if *count == 0 {
                 self.input_inv -= self.inverter_weight(s);
@@ -287,6 +288,12 @@ pub fn min_area_assignment(
 /// machinery behind [`min_area_assignment`], also used to find the *true*
 /// optimum power assignment on small circuits (frg1's 8-assignment space).
 ///
+/// The exhaustive branch walks all `2^n` assignments in Gray-code order
+/// (one flip per step, `O(|cone|)` each); for large enough area-objective
+/// spaces the walk is sharded across [`GRAY_SHARDS`] `std::thread` workers
+/// with a deterministic merge — see [`gray_walk`] for why sharding is
+/// restricted to objectives with exact totals.
+///
 /// # Errors
 ///
 /// Propagates [`PhaseError`] from accounting.
@@ -296,6 +303,23 @@ pub fn search_objective(
     config: &MinAreaConfig,
 ) -> Result<SearchOutcome, PhaseError> {
     let n = synth.view_outputs().len();
+    if n <= config.exhaustive_limit && n > 0 {
+        // Shard only when every accountant total is *exact* (the area
+        // objective sums small integers, which f64 represents and adds
+        // without rounding). Power totals are path-dependent floating
+        // point: a shard's freshly seeded accountant can differ from the
+        // sequentially flipped one in final ulps, which near the 1e-12
+        // commit margin would make the outcome depend on the shard count —
+        // so power walks stay single-threaded and bit-identical.
+        let exact = matches!(objective, Objective::Area);
+        let shards = if exact && (1u64 << n) >= GRAY_SHARD_MIN_STEPS {
+            GRAY_SHARDS
+        } else {
+            1
+        };
+        return gray_walk(synth, &objective, n, shards);
+    }
+
     let mut acct = ConeAccountant::new(synth, objective, PhaseAssignment::all_positive(n))?;
     let mut evaluations = 1usize;
     let mut best = acct.total();
@@ -303,11 +327,11 @@ pub fn search_objective(
     let mut trace = vec![best];
     let mut commits = 0usize;
 
-    if n <= config.exhaustive_limit && n > 0 {
-        // Gray-code walk: exactly one flip per step.
-        for step in 1u64..(1u64 << n) {
-            let flip_bit = step.trailing_zeros() as usize;
-            acct.flip(flip_bit);
+    // Hill climbing on single flips.
+    for _ in 0..config.max_passes {
+        let mut improved = false;
+        for i in 0..n {
+            acct.flip(i);
             evaluations += 1;
             let total = acct.total();
             if total < best - 1e-12 {
@@ -315,35 +339,142 @@ pub fn search_objective(
                 best_assignment = acct.assignment().clone();
                 trace.push(best);
                 commits += 1;
+                improved = true;
+            } else {
+                acct.flip(i); // revert
             }
         }
-    } else {
-        // Hill climbing on single flips.
-        for _ in 0..config.max_passes {
-            let mut improved = false;
-            for i in 0..n {
-                acct.flip(i);
-                evaluations += 1;
-                let total = acct.total();
-                if total < best - 1e-12 {
-                    best = total;
-                    best_assignment = acct.assignment().clone();
-                    trace.push(best);
-                    commits += 1;
-                    improved = true;
-                } else {
-                    acct.flip(i); // revert
-                }
-            }
-            if !improved {
-                break;
-            }
+        if !improved {
+            break;
         }
     }
     Ok(SearchOutcome {
         assignment: best_assignment,
         objective: best,
         evaluations,
+        commits,
+        trace,
+    })
+}
+
+/// Worker count of a sharded exhaustive walk. A fixed constant (rather
+/// than the machine's core count) so the shard boundaries — and therefore
+/// the floating-point accumulation paths — are identical on every machine.
+pub const GRAY_SHARDS: usize = 8;
+
+/// Smallest `2^n` for which the walk is sharded; below this the thread
+/// spawn/merge overhead exceeds the walk itself.
+const GRAY_SHARD_MIN_STEPS: u64 = 1 << 12;
+
+/// A shard-local improvement candidate of the Gray-code walk.
+struct GrayCandidate {
+    step: u64,
+    total: f64,
+}
+
+/// Exhaustive Gray-code walk over all `2^n` assignments, sharded across
+/// `shards` workers.
+///
+/// The global walk visits assignment `gray(s) = s ^ (s >> 1)` at step `s`.
+/// Shard `w` owns the contiguous step range `[w·2^n/shards, (w+1)·2^n/shards)`:
+/// it positions a private [`ConeAccountant`] at its range's first
+/// assignment, walks the range flipping `trailing_zeros(step)` per step,
+/// and records every *strict local prefix minimum* (strictly smaller than
+/// everything earlier in the shard, no margin). A sequentially committed
+/// step satisfies `total < best − 1e-12`, and the sequential `best` never
+/// sits more than `1e-12` above the shard-local strict minimum, so every
+/// such step is a strict local minimum — replaying the recorded candidates
+/// in global step order through the sequential commit rule therefore
+/// reproduces the single-threaded result: same best assignment, same
+/// trace, same commit count, independent of `shards`.
+///
+/// That argument treats totals as exact values, which holds for the area
+/// objective (integer weights) but *not* in general for power weights:
+/// a shard accountant seeded by [`ConeAccountant::new`] accumulates its
+/// `f64` state along a different path than the sequentially flipped one
+/// and can differ in final ulps. [`search_objective`] therefore only
+/// passes `shards > 1` for [`Objective::Area`]; callers forcing multiple
+/// shards for power objectives get a deterministic result (the shard
+/// boundaries are fixed), but one that may differ from `shards = 1` in
+/// the last bits near commit-margin ties.
+fn gray_walk(
+    synth: &DominoSynthesizer<'_>,
+    objective: &Objective<'_>,
+    n: usize,
+    shards: usize,
+) -> Result<SearchOutcome, PhaseError> {
+    let total_steps = 1u64 << n;
+    let shards = shards.clamp(1, 16) as u64;
+    // Each shard must own at least one step; shards is a power-of-two
+    // divisor of total_steps by construction.
+    let shards = shards.min(total_steps);
+    debug_assert!(shards.is_power_of_two());
+    let chunk = total_steps / shards;
+
+    let walk_shard = |w: u64| -> Result<Vec<GrayCandidate>, PhaseError> {
+        let start = w * chunk;
+        let start_bits = start ^ (start >> 1);
+        let mut acct = ConeAccountant::new(
+            synth,
+            objective.clone(),
+            PhaseAssignment::from_bits(n, start_bits),
+        )?;
+        let mut local_best = f64::INFINITY;
+        let mut candidates = Vec::new();
+        let mut record = |step: u64, total: f64, local_best: &mut f64| {
+            if total < *local_best {
+                *local_best = total;
+                candidates.push(GrayCandidate { step, total });
+            }
+        };
+        record(start, acct.total(), &mut local_best);
+        for step in start + 1..start + chunk {
+            acct.flip(step.trailing_zeros() as usize);
+            record(step, acct.total(), &mut local_best);
+        }
+        Ok(candidates)
+    };
+
+    let shard_results: Vec<Result<Vec<GrayCandidate>, PhaseError>> = if shards == 1 {
+        vec![walk_shard(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let walk_shard = &walk_shard;
+            let handles: Vec<_> = (0..shards)
+                .map(|w| scope.spawn(move || walk_shard(w)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gray-walk shard panicked"))
+                .collect()
+        })
+    };
+
+    // Deterministic merge in global step order.
+    let mut best = f64::INFINITY;
+    let mut best_step = 0u64;
+    let mut trace = Vec::new();
+    let mut commits = 0usize;
+    for candidates in shard_results {
+        for cand in candidates? {
+            if cand.step == 0 {
+                // The sequential loop seeds `best` with the all-positive
+                // total before walking (not a commit).
+                best = cand.total;
+                best_step = 0;
+                trace.push(best);
+            } else if cand.total < best - 1e-12 {
+                best = cand.total;
+                best_step = cand.step;
+                trace.push(best);
+                commits += 1;
+            }
+        }
+    }
+    Ok(SearchOutcome {
+        assignment: PhaseAssignment::from_bits(n, best_step ^ (best_step >> 1)),
+        objective: best,
+        evaluations: total_steps as usize,
         commits,
         trace,
     })
@@ -1074,6 +1205,95 @@ mod tests {
             triple.objective,
             pair.objective
         );
+    }
+
+    /// 12 outputs with shared, asymmetric cones over 6 inputs — wide
+    /// enough (4096 assignments) that [`search_objective`] takes the
+    /// sharded walk.
+    fn wide12() -> Network {
+        let mut net = Network::new("wide12");
+        let ins: Vec<_> = (0..6)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
+        for i in 0..12usize {
+            let g1 = net.add_and([ins[i % 6], ins[(i + 1) % 6]]).unwrap();
+            let g2 = net.add_or([g1, ins[(i + 2) % 6]]).unwrap();
+            let driver = if i % 2 == 0 {
+                g2
+            } else {
+                net.add_not(g2).unwrap()
+            };
+            net.add_output(format!("o{i}"), driver).unwrap();
+        }
+        net
+    }
+
+    /// The sharded Gray walk must reproduce the single-threaded walk
+    /// exactly — same assignment, same objective bits, same trace — for
+    /// any shard count, whenever the accountant totals are exact: always
+    /// for the area objective (integer weights, the only one
+    /// [`search_objective`] auto-shards), and for power at p = ½ where
+    /// every weight is a dyadic rational. (General power probabilities
+    /// are path-dependent floating point, which is exactly why
+    /// [`search_objective`] keeps those walks single-threaded.)
+    #[test]
+    fn sharded_gray_walk_matches_sequential() {
+        let net = wide12();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.5);
+        let objectives = [
+            Objective::Area,
+            Objective::Power {
+                probs: probs.as_slice(),
+                model: PowerModel::unit(),
+            },
+        ];
+        for objective in objectives {
+            let seq = gray_walk(&synth, &objective, 12, 1).unwrap();
+            for shards in [2, 4, 8] {
+                let par = gray_walk(&synth, &objective, 12, shards).unwrap();
+                assert_eq!(seq.assignment, par.assignment, "shards={shards}");
+                assert_eq!(
+                    seq.objective.to_bits(),
+                    par.objective.to_bits(),
+                    "shards={shards}"
+                );
+                assert_eq!(seq.commits, par.commits, "shards={shards}");
+                assert_eq!(seq.trace, par.trace, "shards={shards}");
+                assert_eq!(par.evaluations, 1 << 12);
+            }
+        }
+        // The public entry point (which auto-shards at this width) agrees
+        // with the explicit single-shard walk.
+        let auto = search_objective(
+            &synth,
+            Objective::Area,
+            &MinAreaConfig {
+                exhaustive_limit: 12,
+                max_passes: 0,
+            },
+        )
+        .unwrap();
+        let seq = gray_walk(&synth, &Objective::Area, 12, 1).unwrap();
+        assert_eq!(auto.assignment, seq.assignment);
+        assert_eq!(auto.objective.to_bits(), seq.objective.to_bits());
+    }
+
+    /// The sharded exhaustive optimum must equal brute force over a
+    /// smaller space where brute force is cheap.
+    #[test]
+    fn sharded_walk_finds_the_true_optimum() {
+        let net = wide12();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        // Walk the full 2^12 space sharded; verify against the best of a
+        // sequential walk (already proven equal to brute force for the
+        // 2-output case by `min_area_exhaustive_is_optimal`).
+        let sharded = gray_walk(&synth, &Objective::Area, 12, 8).unwrap();
+        let sequential = gray_walk(&synth, &Objective::Area, 12, 1).unwrap();
+        assert_eq!(sharded.objective, sequential.objective);
+        // And the reported assignment really achieves the reported cost.
+        let full = synth.synthesize(&sharded.assignment).unwrap();
+        assert_eq!(sharded.objective as usize, full.area_cells());
     }
 
     #[test]

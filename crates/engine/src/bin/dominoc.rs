@@ -37,6 +37,7 @@ fn usage() -> &'static str {
        --cache <dir>                    disk result cache\n\
        --jsonl <file|->                 JSONL outcomes\n\
        --sim-cycles <n>                 simulation cycles [4096]\n\
+       --stats                          print BDD kernel statistics\n\
        --quiet                          suppress progress"
 }
 
@@ -50,6 +51,7 @@ struct Options {
     cache_dir: Option<String>,
     jsonl: Option<String>,
     sim_cycles: Option<usize>,
+    stats: bool,
     quiet: bool,
     public_only: bool,
     positional: Vec<String>,
@@ -66,6 +68,7 @@ impl Options {
             cache_dir: None,
             jsonl: None,
             sim_cycles: None,
+            stats: false,
             quiet: false,
             public_only: false,
             positional: Vec::new(),
@@ -120,6 +123,7 @@ impl Options {
                             .map_err(|_| "--sim-cycles needs an integer".to_string())?,
                     );
                 }
+                "--stats" => opts.stats = true,
                 "--quiet" => opts.quiet = true,
                 "--public" => opts.public_only = true,
                 other if other.starts_with("--") => {
@@ -208,6 +212,9 @@ fn run_jobs(specs: Vec<JobSpec>, opts: &Options) -> Result<ExitCode, String> {
     let results = engine.run_batch_with(&jobs, progress, &CancelToken::new());
 
     print!("{}", report::format_outcomes(&results));
+    if opts.stats {
+        print!("{}", report::format_kernel_stats(&results));
+    }
     if let Some(cache) = &cache {
         let stats = cache.stats();
         println!(

@@ -325,6 +325,79 @@ fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
     state
 }
 
+/// BDD kernel statistics of one flow side: how big the shared BDDs were
+/// and how the unique table / operation cache performed while building
+/// them. Surfaced by `dominoc run --stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BddKernelStats {
+    /// Shared BDD node count used for the probability computation.
+    pub nodes: usize,
+    /// Unique-table lookups answered by hash-consing.
+    pub unique_hits: u64,
+    /// Unique-table lookups that interned a fresh node.
+    pub unique_misses: u64,
+    /// Operation-cache hits.
+    pub cache_hits: u64,
+    /// Operation-cache misses.
+    pub cache_misses: u64,
+}
+
+impl BddKernelStats {
+    /// Snapshots a manager's [`domino_bdd::BddStats`] counters, paired
+    /// with the flow's shared BDD node count (the §4.2.2 metric — not the
+    /// manager's arena size).
+    pub fn from_manager(stats: &domino_bdd::BddStats, nodes: usize) -> Self {
+        BddKernelStats {
+            nodes,
+            unique_hits: stats.unique_hits,
+            unique_misses: stats.unique_misses,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+        }
+    }
+
+    /// Unique-table hit fraction, or `None` before any lookups. (Defined
+    /// here as well as on [`domino_bdd::BddStats`] because this type is
+    /// what outcome JSON deserializes back into.)
+    pub fn unique_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.unique_hits, self.unique_misses)
+    }
+
+    /// Operation-cache hit fraction, or `None` before any lookups.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        hit_rate(self.cache_hits, self.cache_misses)
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("nodes", Json::Num(self.nodes as f64)),
+            ("unique_hits", Json::Num(self.unique_hits as f64)),
+            ("unique_misses", Json::Num(self.unique_misses as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, EngineError> {
+        Ok(BddKernelStats {
+            nodes: req_usize(v, "nodes")?,
+            unique_hits: req_usize(v, "unique_hits")? as u64,
+            unique_misses: req_usize(v, "unique_misses")? as u64,
+            cache_hits: req_usize(v, "cache_hits")? as u64,
+            cache_misses: req_usize(v, "cache_misses")? as u64,
+        })
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
+}
+
 /// One flow variant's result (the MA or MP side of a table row).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectiveResult {
@@ -348,6 +421,8 @@ pub struct ObjectiveResult {
     pub commits: usize,
     /// The final phase assignment as a `+`/`-` string, output order.
     pub assignment: String,
+    /// BDD kernel statistics of this side's probability computation.
+    pub bdd: BddKernelStats,
 }
 
 impl ObjectiveResult {
@@ -368,6 +443,7 @@ impl ObjectiveResult {
             ("evaluations", Json::Num(self.evaluations as f64)),
             ("commits", Json::Num(self.commits as f64)),
             ("assignment", Json::Str(self.assignment.clone())),
+            ("bdd", self.bdd.to_json()),
         ])
     }
 
@@ -387,6 +463,12 @@ impl ObjectiveResult {
                 .and_then(Json::as_str)
                 .ok_or_else(|| missing("assignment"))?
                 .to_string(),
+            // Optional so outcomes cached before the kernel stats existed
+            // still parse.
+            bdd: match v.get("bdd") {
+                None | Some(Json::Null) => BddKernelStats::default(),
+                Some(j) => BddKernelStats::from_json(j)?,
+            },
         })
     }
 }
@@ -623,6 +705,10 @@ fn flow_to_json(flow: &FlowConfig) -> Json {
                     "cut_latch_probability",
                     Json::Num(flow.probability.cut_latch_probability),
                 ),
+                (
+                    "convergence_tolerance",
+                    Json::Num(flow.probability.convergence_tolerance),
+                ),
             ]),
         ),
         (
@@ -667,6 +753,11 @@ fn flow_from_json(v: &Json) -> Result<FlowConfig, EngineError> {
             },
             sweeps: req_usize(p, "sweeps")?,
             cut_latch_probability: req_f64(p, "cut_latch_probability")?,
+            // Optional so short hand-written job files stay valid.
+            convergence_tolerance: p
+                .get("convergence_tolerance")
+                .and_then(Json::as_f64)
+                .unwrap_or_default(),
         },
         power: MinPowerConfig {
             model: PowerModel {
@@ -820,6 +911,13 @@ mod tests {
                 evaluations: 8,
                 commits: 2,
                 assignment: "+-+".into(),
+                bdd: BddKernelStats {
+                    nodes: 50,
+                    unique_hits: 120,
+                    unique_misses: 48,
+                    cache_hits: 30,
+                    cache_misses: 90,
+                },
             }),
             mp: None,
             clock_ps: Some(263.5),

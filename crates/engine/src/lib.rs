@@ -64,7 +64,7 @@ pub use cache::{CacheStats, ResultCache};
 pub use engine::{CancelToken, EngineConfig, FlowEngine, JobResult, ProgressEvent};
 pub use error::EngineError;
 pub use job::{
-    assignment_string, cache_key, CircuitSource, FlowJob, FlowOutcome, JobSpec, ObjectiveResult,
-    PiSpec, RunObjective,
+    assignment_string, cache_key, BddKernelStats, CircuitSource, FlowJob, FlowOutcome, JobSpec,
+    ObjectiveResult, PiSpec, RunObjective,
 };
 pub use runner::{derive_clock_ps, run_job, run_objective};

@@ -79,6 +79,39 @@ pub fn format_outcomes(results: &[JobResult]) -> String {
     s
 }
 
+/// Formats per-job BDD kernel statistics (node counts, unique-table and
+/// op-cache hit rates) for completed jobs — the body of
+/// `dominoc ... --stats`.
+pub fn format_kernel_stats(results: &[JobResult]) -> String {
+    let mut s = String::new();
+    let pct = |r: Option<f64>| match r {
+        Some(r) => format!("{:.1}%", 100.0 * r),
+        None => "-".to_string(),
+    };
+    for result in results {
+        let Some(outcome) = result.outcome() else {
+            continue;
+        };
+        for (tag, side) in [("MA", &outcome.ma), ("MP", &outcome.mp)] {
+            if let Some(r) = side {
+                writeln!(
+                    s,
+                    "stats: {:<11} {tag}  bdd nodes {:>6}  unique {:>7} lookups {:>6} hit  \
+                     ops {:>8} lookups {:>6} hit",
+                    outcome.name,
+                    r.bdd.nodes,
+                    r.bdd.unique_hits + r.bdd.unique_misses,
+                    pct(r.bdd.unique_hit_rate()),
+                    r.bdd.cache_hits + r.bdd.cache_misses,
+                    pct(r.bdd.cache_hit_rate()),
+                )
+                .expect("write to string");
+            }
+        }
+    }
+    s
+}
+
 /// Serializes every completed outcome as one JSON document per line
 /// (JSONL), in input order. Failed/cancelled jobs are skipped.
 pub fn to_jsonl(results: &[JobResult]) -> String {
@@ -110,6 +143,7 @@ mod tests {
             evaluations: 12,
             commits: 3,
             assignment: "++-".into(),
+            bdd: crate::BddKernelStats::default(),
         };
         FlowOutcome {
             name: "frg1".into(),

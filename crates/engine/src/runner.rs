@@ -13,7 +13,9 @@ use domino_sim::{measure_power, SimConfig};
 use domino_techmap::{map, size_for_timing, sta, SizingConfig};
 
 use crate::error::EngineError;
-use crate::job::{assignment_string, FlowJob, FlowOutcome, ObjectiveResult, RunObjective};
+use crate::job::{
+    assignment_string, BddKernelStats, FlowJob, FlowOutcome, ObjectiveResult, RunObjective,
+};
 
 /// Runs one side (MA when `area`, else MP) of a job through mapping,
 /// optional sizing and simulation.
@@ -60,6 +62,11 @@ pub fn run_objective(
         timing_met = sizing.met;
     }
     let power = measure_power(&mapped, &spec.library, &pi, &spec.sim);
+    let bdd = report
+        .probabilities
+        .bdd_stats()
+        .map(|stats| BddKernelStats::from_manager(stats, report.probabilities.bdd_node_count()))
+        .unwrap_or_default();
     Ok(ObjectiveResult {
         size: mapped.effective_cell_count(),
         cap_ma: power.cap_ma,
@@ -71,6 +78,7 @@ pub fn run_objective(
         evaluations: report.outcome.evaluations,
         commits: report.outcome.commits,
         assignment: assignment_string(&report.assignment),
+        bdd,
     })
 }
 

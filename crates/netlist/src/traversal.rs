@@ -122,29 +122,48 @@ impl Network {
     /// costs O(V·V/64) words in the worst case; intended for the BDD ordering
     /// heuristic where networks are block-sized.
     pub fn fanout_cone_sizes(&self) -> Vec<usize> {
-        let fanouts = self.fanouts();
         let n = self.len();
+        // CSR fanout adjacency (two flat allocations) instead of
+        // [`Network::fanouts`]'s Vec-per-node.
+        let mut offsets = vec![0usize; n + 1];
+        for id in self.node_ids() {
+            for f in self.node(id).comb_fanins() {
+                offsets[f.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut adj = vec![0u32; offsets[n]];
+        let mut cursor = offsets.clone();
+        for id in self.node_ids() {
+            for f in self.node(id).comb_fanins() {
+                adj[cursor[f.index()]] = id.index() as u32;
+                cursor[f.index()] += 1;
+            }
+        }
         let words = n.div_ceil(64);
-        let mut cones: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        // One flat bitset matrix (row i = node i's cone) instead of one
+        // allocation per node — this sits on the BDD-ordering hot path.
+        let mut cones: Vec<u64> = vec![0u64; n * words];
         let mut sizes = vec![0usize; n];
         for id in self.topo_order().into_iter().rev() {
             let i = id.index();
-            cones[i][i / 64] |= 1u64 << (i % 64);
+            cones[i * words + i / 64] |= 1u64 << (i % 64);
             // Merge every fanout's cone into ours.
-            let fo: Vec<usize> = fanouts[i].iter().map(|f| f.index()).collect();
-            for f in fo {
-                let (a, b) = if f > i {
-                    let (lo, hi) = cones.split_at_mut(f);
-                    (&mut lo[i], &hi[0])
-                } else {
-                    // Combinational fanouts always come later in arena order.
-                    unreachable!("fanout precedes node in arena order")
-                };
-                for (w, src) in a.iter_mut().zip(b.iter()) {
+            for f in adj[offsets[i]..offsets[i + 1]].iter().map(|&f| f as usize) {
+                // Combinational fanouts always come later in arena order.
+                assert!(f > i, "fanout precedes node in arena order");
+                let (head, tail) = cones.split_at_mut(f * words);
+                let row = &mut head[i * words..(i + 1) * words];
+                for (w, src) in row.iter_mut().zip(&tail[..words]) {
                     *w |= *src;
                 }
             }
-            sizes[i] = cones[i].iter().map(|w| w.count_ones() as usize).sum();
+            sizes[i] = cones[i * words..(i + 1) * words]
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
         }
         sizes
     }

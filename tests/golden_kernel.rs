@@ -1,0 +1,162 @@
+//! Golden equivalence tests for the PR 2 kernel overhaul: the dense-arena
+//! BDD engine, the dense-refcount accountant and the sharded Gray-code
+//! walk must be *bit-identical* to the pre-refactor `HashMap`
+//! implementation on the public suite.
+//!
+//! The fixtures below were generated from the pre-overhaul kernel with
+//! `cargo run --release -p domino-bench --bin golden_dump` and pin, per
+//! circuit: the structural digest (cache-key ingredient), an FNV-1a hash
+//! over the exact `f64` bit patterns of every node probability, the shared
+//! BDD node count, and the min-area / min-power search outcomes (assignment
+//! plus the objective's raw bit pattern). Any kernel change that shifts a
+//! single probability bit or a single search decision fails here.
+//!
+//! The property tests at the bottom drive the open-addressed unique table
+//! against a `std::collections::HashMap` reference model under random
+//! workloads.
+
+use std::collections::HashMap;
+
+use dominolp::bdd::table::UniqueTable;
+use dominolp::phase::flow::FlowConfig;
+use dominolp::phase::prob::compute_probabilities;
+use dominolp::phase::search::{min_area_assignment, min_power_assignment};
+use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
+use dominolp::workloads::public_suite;
+use proptest::prelude::*;
+
+struct GoldenRow {
+    name: &'static str,
+    digest: u64,
+    prob_hash: u64,
+    bdd_nodes: usize,
+    ma_assignment: &'static str,
+    ma_objective_bits: u64,
+    ma_evaluations: usize,
+    mp_assignment: &'static str,
+    mp_objective_bits: u64,
+    mp_evaluations: usize,
+}
+
+/// Pre-overhaul kernel values; regenerate with
+/// `cargo run --release -p domino-bench --bin golden_dump`.
+const GOLDEN: &[GoldenRow] = &[
+    GoldenRow { name: "apex7", digest: 0xe23dcc7e250d3bdf, prob_hash: 0x3ddb35bee41d9e29, bdd_nodes: 380, ma_assignment: "++++++++++++++-+++++++++++++++++++++", ma_objective_bits: 0x4077300000000000, ma_evaluations: 73, mp_assignment: "+-+-++--+++--+---+---++-+++-+---++++", mp_objective_bits: 0x4063c49000000000, mp_evaluations: 530 },
+    GoldenRow { name: "frg1", digest: 0x81af3594a297e6ed, prob_hash: 0xc61a601b42e15da9, bdd_nodes: 50, ma_assignment: "+++", ma_objective_bits: 0x405dc00000000000, ma_evaluations: 8, mp_assignment: "++-", mp_objective_bits: 0x404ac00000000000, mp_evaluations: 3 },
+    GoldenRow { name: "x1", digest: 0x4cf57f9dc9662319, prob_hash: 0xb00ed94458a37753, bdd_nodes: 363, ma_assignment: "-+++++++++++++++++++++++++++", ma_objective_bits: 0x407a500000000000, ma_evaluations: 57, mp_assignment: "--+--++---+--++++-+++++-+-+-", mp_objective_bits: 0x40677d7000000000, mp_evaluations: 228 },
+    GoldenRow { name: "x3", digest: 0x1ddbaa0a0b908f76, prob_hash: 0xc3d6cb4313d6159f, bdd_nodes: 2093, ma_assignment: "++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++-++", ma_objective_bits: 0x4095fc0000000000, ma_evaluations: 199, mp_assignment: "++-++----++++--+--++-+---+-+----+-++++---+++-++-++--+--++++++---++-+++-+-++--++--++-++-++-+++--++++", mp_objective_bits: 0x4082fc2e54000000, mp_evaluations: 1499 },
+];
+
+/// FNV-1a over the `f64` bit patterns — equal hash ⟺ byte-identical
+/// probabilities (must match `golden_dump`'s implementation).
+fn prob_hash(probs: &[f64]) -> u64 {
+    let mut state = 0xcbf2_9ce4_8422_2325u64;
+    for &p in probs {
+        for byte in p.to_bits().to_le_bytes() {
+            state ^= u64::from(byte);
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    state
+}
+
+#[test]
+fn kernel_is_bit_identical_to_pre_overhaul_fixtures() {
+    let suite = public_suite().expect("suite generates");
+    let config = FlowConfig::default();
+    assert_eq!(suite.len(), GOLDEN.len());
+    for (bench, golden) in suite.iter().zip(GOLDEN) {
+        assert_eq!(bench.name, golden.name);
+        let net = &bench.network;
+        assert_eq!(
+            net.structural_digest(),
+            golden.digest,
+            "{}: structural digest (cache key ingredient) moved",
+            bench.name
+        );
+        let pi = vec![0.5; net.inputs().len()];
+        let probs = compute_probabilities(net, &pi, &config.probability).expect("probabilities");
+        assert_eq!(
+            prob_hash(probs.as_slice()),
+            golden.prob_hash,
+            "{}: node probabilities are no longer bit-identical",
+            bench.name
+        );
+        assert_eq!(probs.bdd_node_count(), golden.bdd_nodes, "{}", bench.name);
+
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+        let ma = min_area_assignment(&synth, &config.area).expect("min-area");
+        assert_eq!(
+            ma.assignment.to_string(),
+            golden.ma_assignment,
+            "{} MA",
+            bench.name
+        );
+        assert_eq!(
+            ma.objective.to_bits(),
+            golden.ma_objective_bits,
+            "{} MA objective",
+            bench.name
+        );
+        assert_eq!(ma.evaluations, golden.ma_evaluations, "{} MA", bench.name);
+
+        let mp = min_power_assignment(
+            &synth,
+            &probs,
+            PhaseAssignment::all_positive(n),
+            &config.power,
+        )
+        .expect("min-power");
+        assert_eq!(
+            mp.assignment.to_string(),
+            golden.mp_assignment,
+            "{} MP",
+            bench.name
+        );
+        assert_eq!(
+            mp.objective.to_bits(),
+            golden.mp_objective_bits,
+            "{} MP objective",
+            bench.name
+        );
+        assert_eq!(mp.evaluations, golden.mp_evaluations, "{} MP", bench.name);
+    }
+}
+
+/// One random unique-table operation: a key triple (narrow ranges force
+/// collisions and duplicate lookups).
+fn key_strategy() -> impl Strategy<Value = (u32, u32, u32)> {
+    (0u32..32, 0u32..64, 0u32..64)
+}
+
+proptest! {
+    /// The open-addressed table must agree with a `HashMap` reference
+    /// model under the manager's access pattern (lookup, insert on miss)
+    /// for every random workload, including through growth.
+    #[test]
+    fn unique_table_agrees_with_hashmap_model(keys in proptest::collection::vec(key_strategy(), 1..400)) {
+        let mut table = UniqueTable::new();
+        let mut reference: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        let mut next = 2u32; // node handles start at 2
+        for (level, lo, hi) in keys {
+            let expect = reference.get(&(level, lo, hi)).copied();
+            prop_assert_eq!(table.get(level, lo, hi), expect);
+            if expect.is_none() {
+                table.insert(level, lo, hi, next);
+                reference.insert((level, lo, hi), next);
+                next += 1;
+            }
+        }
+        prop_assert_eq!(table.len(), reference.len());
+        // Every interned key is still retrievable after all growth.
+        for (&(level, lo, hi), &value) in &reference {
+            prop_assert_eq!(table.get(level, lo, hi), Some(value));
+        }
+        // Exactly one counted miss per interned key (its first lookup);
+        // everything else — including the retrieval loop above — hit.
+        let (hits, misses) = table.counters();
+        prop_assert_eq!(misses as usize, reference.len());
+        prop_assert!(hits as usize >= reference.len());
+    }
+}
