@@ -163,6 +163,7 @@ fn main() {
                 cycles: 8192,
                 warmup: 16,
                 seed: 23,
+                ..SimConfig::default()
             },
         );
         let mc = NodeProbabilities::from_vec(mc_vec);

@@ -32,6 +32,7 @@ fn main() {
             cycles: 20_000,
             warmup: 0,
             seed: 7 + step as u64,
+            ..SimConfig::default()
         };
         let dom_sim = measure_domino_switching(&domino, &[q, q], &cfg).block;
 

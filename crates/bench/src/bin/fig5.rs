@@ -40,6 +40,7 @@ fn main() {
                 cycles: 200_000,
                 warmup: 16,
                 seed: 5,
+                ..SimConfig::default()
             },
         );
         println!(

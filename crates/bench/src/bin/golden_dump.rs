@@ -1,22 +1,35 @@
-//! Regenerates the kernel-equivalence fixtures pinned in
-//! `tests/golden_kernel.rs`.
+//! Regenerates the kernel-equivalence fixtures pinned by
+//! `tests/golden_kernel.rs` (checked in at
+//! `tests/fixtures/golden_kernel.txt`).
 //!
-//! For every public-domain suite circuit this prints, in Rust-literal form:
-//! the network's structural digest, an FNV-1a hash over the exact bit
-//! patterns of every node probability, the shared BDD node count, and the
-//! minimum-area / minimum-power search outcomes (assignment string plus the
-//! objective's `f64` bit pattern). The golden test compares the live kernel
-//! against these values bit for bit, so any refactor of the BDD manager,
-//! accountant or search must leave them untouched.
+//! For every public-domain suite circuit this emits, as stable
+//! `key=value` text: the network's structural digest, an FNV-1a hash over
+//! the exact bit patterns of every node probability, the shared BDD node
+//! count, the minimum-area / minimum-power search outcomes (assignment
+//! string plus the objective's `f64` bit pattern) — and, since the
+//! bit-parallel simulation engine landed, the packed power measurement
+//! (total current bits + switch events) and domino switching counts of the
+//! min-area assignment under the default `SimConfig`. The golden test
+//! compares the live kernel against these values bit for bit, so any
+//! refactor of the BDD manager, accountant, search, vector stream or
+//! packed simulator must leave them untouched (or consciously regenerate).
 //!
 //! ```text
-//! cargo run --release -p domino-bench --bin golden_dump
+//! cargo run --release -p domino-bench --bin golden_dump -- [--out <path>]
 //! ```
+//!
+//! Without `--out` the fixture text goes to stdout. CI regenerates into a
+//! temp file and diffs against the checked-in fixture, failing when a code
+//! change silently shifts pinned outputs without a fixture update.
+
+use std::fmt::Write as _;
 
 use domino_phase::flow::FlowConfig;
 use domino_phase::prob::compute_probabilities;
 use domino_phase::search::{min_area_assignment, min_power_assignment};
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_sim::{measure_domino_switching, measure_power, SimConfig};
+use domino_techmap::{map, Library};
 use domino_workloads::public_suite;
 
 /// FNV-1a over the `f64` bit patterns of a probability vector: equal hash
@@ -33,9 +46,24 @@ fn prob_hash(probs: &[f64]) -> u64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     let suite = public_suite().expect("suite generates");
     let config = FlowConfig::default();
-    println!("// Generated by: cargo run --release -p domino-bench --bin golden_dump");
+    let lib = Library::standard();
+    let sim_cfg = SimConfig::default();
+    let mut text = String::new();
+    writeln!(
+        text,
+        "# golden kernel fixtures — regenerate with:\n\
+         #   cargo run --release -p domino-bench --bin golden_dump -- --out tests/fixtures/golden_kernel.txt"
+    )
+    .unwrap();
     for bench in &suite {
         let net = &bench.network;
         let pi = vec![0.5; net.inputs().len()];
@@ -50,20 +78,51 @@ fn main() {
             &config.power,
         )
         .expect("min-power");
-        println!(
-            "GoldenRow {{ name: {:?}, digest: 0x{:016x}, prob_hash: 0x{:016x}, bdd_nodes: {}, \
-             ma_assignment: {:?}, ma_objective_bits: 0x{:016x}, ma_evaluations: {}, \
-             mp_assignment: {:?}, mp_objective_bits: 0x{:016x}, mp_evaluations: {} }},",
+        writeln!(
+            text,
+            "kernel name={} digest={:016x} prob_hash={:016x} bdd_nodes={} \
+             ma_assignment={} ma_objective={:016x} ma_evaluations={} \
+             mp_assignment={} mp_objective={:016x} mp_evaluations={}",
             bench.name,
             net.structural_digest(),
             prob_hash(probs.as_slice()),
             probs.bdd_node_count(),
-            ma.assignment.to_string(),
+            ma.assignment,
             ma.objective.to_bits(),
             ma.evaluations,
-            mp.assignment.to_string(),
+            mp.assignment,
             mp.objective.to_bits(),
             mp.evaluations,
-        );
+        )
+        .unwrap();
+
+        // Packed-simulation pins: power and switching of the MA assignment
+        // under the default simulation config.
+        let domino = synth.synthesize(&ma.assignment).expect("synthesis");
+        let mapped = map(&domino, &lib);
+        let power = measure_power(&mapped, &lib, &pi, &sim_cfg);
+        let switching = measure_domino_switching(&domino, &pi, &sim_cfg);
+        writeln!(
+            text,
+            "sim name={} power_total={:016x} switch_events={} vectors={} words={} \
+             block={:016x} input_inv={:016x} output_inv={:016x}",
+            bench.name,
+            power.total_ma().to_bits(),
+            power.switch_events,
+            power.stats.vectors,
+            power.stats.words,
+            switching.block.to_bits(),
+            switching.input_inverters.to_bits(),
+            switching.output_inverters.to_bits(),
+        )
+        .unwrap();
+    }
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).expect("write fixture");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
     }
 }

@@ -1,53 +1,86 @@
 //! Machine-readable performance snapshot of the hot paths: full MA-vs-MP
-//! flow wall time, BDD construction, warm probability evaluation, and the
-//! min-power search, per public-suite circuit.
+//! flow wall time, BDD construction, warm probability evaluation, the
+//! min-power search, and packed power simulation, per public-suite
+//! circuit — plus the CI perf-regression gate.
 //!
 //! Writes a JSON document (default `perf_snapshot.json`) so the repo's
-//! performance trajectory is recorded per PR — `BENCH_PR2.json` holds the
-//! before/after pair for the PR 2 kernel overhaul.
+//! performance trajectory is recorded per PR — `BENCH_PR2.json` and
+//! `BENCH_PR3.json` hold the before/after pairs of past overhauls.
 //!
 //! ```text
-//! cargo run --release -p domino-bench --bin perf_snapshot -- [--fast] [--out <path>]
+//! cargo run --release -p domino-bench --bin perf_snapshot -- \
+//!     [--fast] [--out <path>] [--check <baseline.json>] [--tolerance <pct>]
 //! ```
 //!
-//! `--fast` restricts to the two cheapest circuits with one sample each —
-//! the CI smoke invocation. The full run takes a handful of seconds.
+//! `--fast` restricts to the two cheapest circuits — the CI smoke
+//! invocation. The full run takes a handful of seconds.
+//!
+//! `--check <baseline>` compares the freshly measured wall-clock metrics
+//! against a committed baseline (see `bench/baselines/`) and exits
+//! non-zero when any metric regressed by more than `--tolerance` percent
+//! (default 25): the CI perf-regression gate. Only metrics present in both
+//! documents are compared, so baselines survive metric additions.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use domino_bdd::circuit::CircuitBdds;
 use domino_bench::Experiment;
-use domino_engine::json::Json;
+use domino_engine::json::{parse, Json};
 use domino_phase::flow::FlowConfig;
 use domino_phase::prob::compute_probabilities;
 use domino_phase::search::min_power_assignment;
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_sim::{measure_power, SimConfig};
+use domino_techmap::{map, Library};
 use domino_workloads::public_suite;
 
-/// Wall-clock median of `samples` runs of `f`, in milliseconds.
-fn median_ms<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
-    let mut times: Vec<f64> = (0..samples.max(1))
+/// Wall-clock metrics compared by the regression gate (everything else in
+/// a snapshot row is informational).
+const TIME_METRICS: &[&str] = &[
+    "flow_ms",
+    "bdd_build_ms",
+    "prob_eval_ms",
+    "search_ms",
+    "sim_ms",
+];
+
+/// Wall-clock minimum of `samples` runs of `f`, in milliseconds.
+///
+/// The gate compares machines against their own committed baseline, and
+/// scheduler noise is one-sided (it only ever *adds* time), so the minimum
+/// is the stable statistic — a median can shift 30% when the machine is
+/// briefly busy, and a single spike must not fail CI.
+fn best_ms<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    (0..samples.max(1))
         .map(|_| {
             let start = Instant::now();
             std::hint::black_box(f());
             start.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+        .min_by(f64::total_cmp)
+        .expect("at least one sample")
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "perf_snapshot.json".to_string());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "perf_snapshot.json".to_string());
+    let check = flag("--check");
+    let tolerance_pct: f64 = flag("--tolerance")
+        .map(|t| t.parse().expect("--tolerance needs a number"))
+        .unwrap_or(25.0);
 
-    let samples = if fast { 1 } else { 3 };
+    // The packed engine made single flows ~1 ms, so even the CI smoke mode
+    // can afford 5 samples — single samples jitter past any reasonable
+    // gate tolerance.
+    let samples = if fast { 5 } else { 3 };
     let suite = public_suite().expect("suite generates");
     let circuits: Vec<_> = suite
         .iter()
@@ -56,29 +89,30 @@ fn main() {
 
     let experiment = Experiment::default();
     let flow_config = FlowConfig::default();
+    let lib = Library::standard();
 
     let mut rows = Vec::new();
     for bench in &circuits {
         let net = &bench.network;
         let pi = vec![0.5; net.inputs().len()];
 
-        let flow_ms = median_ms(samples, || {
+        let flow_ms = best_ms(samples, || {
             experiment.compare(bench.name, net).expect("flow runs")
         });
-        let build_ms = median_ms(samples, || CircuitBdds::build(net).expect("bdds build"));
+        let build_ms = best_ms(samples, || CircuitBdds::build(net).expect("bdds build"));
         let bdds = CircuitBdds::build(net).expect("bdds build");
         // One untimed warm-up eval, then timed warm evaluations: after the
         // kernel overhaul these allocate nothing and hit the dense memo.
         let source_probs = vec![0.5; net.inputs().len() + net.latches().len()];
         let _ = bdds.node_probabilities(net, &source_probs).expect("probs");
-        let prob_eval_ms = median_ms(samples.max(3), || {
+        let prob_eval_ms = best_ms(samples.max(3), || {
             bdds.node_probabilities(net, &source_probs).expect("probs")
         });
         let probs =
             compute_probabilities(net, &pi, &flow_config.probability).expect("probabilities");
         let synth = DominoSynthesizer::new(net).expect("synthesizer");
         let n = synth.view_outputs().len();
-        let search_ms = median_ms(samples, || {
+        let search_ms = best_ms(samples, || {
             min_power_assignment(
                 &synth,
                 &probs,
@@ -87,6 +121,15 @@ fn main() {
             )
             .expect("search runs")
         });
+        // Packed power simulation of the all-positive mapped netlist under
+        // the default 4096-cycle config — the flow's dominant cost before
+        // the bit-parallel engine.
+        let domino = synth
+            .synthesize(&PhaseAssignment::all_positive(n))
+            .expect("synthesis");
+        let mapped = map(&domino, &lib);
+        let sim_cfg = SimConfig::default();
+        let sim_ms = best_ms(samples, || measure_power(&mapped, &lib, &pi, &sim_cfg));
         let stats = bdds.manager().stats();
 
         rows.push(Json::obj(vec![
@@ -95,6 +138,7 @@ fn main() {
             ("bdd_build_ms", Json::Num(build_ms)),
             ("prob_eval_ms", Json::Num(prob_eval_ms)),
             ("search_ms", Json::Num(search_ms)),
+            ("sim_ms", Json::Num(sim_ms)),
             ("bdd_nodes", Json::Num(probs.bdd_node_count() as f64)),
             ("manager_nodes", Json::Num(stats.nodes as f64)),
             (
@@ -117,6 +161,83 @@ fn main() {
     std::fs::write(&out, format!("{text}\n")).expect("write snapshot");
     println!("{text}");
     eprintln!("wrote {out}");
+
+    match check {
+        Some(baseline_path) => check_against_baseline(&doc, &baseline_path, tolerance_pct),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+/// Noise floor for the regression gate, ms: both sides of a comparison
+/// are clamped up to this before the ratio is taken, so microsecond-scale
+/// metrics (whose wall-clock jitter easily exceeds any tolerance) cannot
+/// flake the gate, while a genuine blow-up past the floor still trips it.
+const CHECK_FLOOR_MS: f64 = 0.05;
+
+/// Compares `current` against the baseline document at `path`; reports
+/// every time-metric ratio and fails on regressions beyond the tolerance.
+fn check_against_baseline(current: &Json, path: &str, tolerance_pct: f64) -> ExitCode {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading baseline '{path}': {e}"));
+    let baseline = parse(&text).expect("baseline parses");
+    let limit = 1.0 + tolerance_pct / 100.0;
+    let find_row = |doc: &Json, name: &str| -> Option<Json> {
+        doc.get("circuits")?
+            .as_arr()?
+            .iter()
+            .find(|row| row.get("name").and_then(Json::as_str) == Some(name))
+            .cloned()
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    let current_rows = current
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .expect("snapshot has circuits");
+    for row in current_rows {
+        let name = row.get("name").and_then(Json::as_str).expect("row name");
+        let Some(base_row) = find_row(&baseline, name) else {
+            eprintln!("check: {name}: not in baseline, skipped");
+            continue;
+        };
+        for &metric in TIME_METRICS {
+            let (Some(now), Some(base)) = (
+                row.get(metric).and_then(Json::as_f64),
+                base_row.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue; // metric absent on one side (older baseline)
+            };
+            if base <= 0.0 {
+                continue;
+            }
+            compared += 1;
+            let ratio = now.max(CHECK_FLOOR_MS) / base.max(CHECK_FLOOR_MS);
+            let verdict = if ratio > limit {
+                regressions += 1;
+                "REGRESSED"
+            } else if ratio < 1.0 / limit {
+                "improved"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "check: {name:<11} {metric:<13} {now:>9.3} ms vs {base:>9.3} ms  \
+                 ({ratio:>5.2}x)  {verdict}"
+            );
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("check: no comparable metrics between snapshot and '{path}'");
+        return ExitCode::FAILURE;
+    }
+    if regressions > 0 {
+        eprintln!("check: {regressions} metric(s) regressed beyond {tolerance_pct}% vs '{path}'");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("check: all {compared} metrics within {tolerance_pct}% of '{path}'");
+    ExitCode::SUCCESS
 }
 
 /// Hit rate as a fraction, or `null` before any accesses.

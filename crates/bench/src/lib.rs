@@ -4,7 +4,7 @@
 //!
 //! Since the `domino-engine` subsystem landed, this crate no longer executes
 //! flows itself: [`Experiment`] lowers its knobs into an engine
-//! [`JobSpec`](domino_engine::JobSpec) and every run goes through
+//! [`JobSpec`] and every run goes through
 //! [`domino_engine::run_job`] — the same code path as the `dominoc` CLI —
 //! so results are cacheable, batchable and identical across the binaries
 //! and the CLI. [`Experiment::compare_batch`] fans a whole suite out over a

@@ -71,5 +71,6 @@ mod synth;
 pub use error::PhaseError;
 pub use phase_assignment::{Phase, PhaseAssignment};
 pub use synth::{
-    DominoGate, DominoGateKind, DominoNetwork, DominoRef, DominoSynthesizer, ViewOutput,
+    DominoGate, DominoGateKind, DominoNetwork, DominoRef, DominoSynthesizer, PackedRailEvaluator,
+    ResolvedOutput, ResolvedRef, ViewOutput,
 };

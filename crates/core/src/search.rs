@@ -291,7 +291,7 @@ pub fn min_area_assignment(
 /// The exhaustive branch walks all `2^n` assignments in Gray-code order
 /// (one flip per step, `O(|cone|)` each); for large enough area-objective
 /// spaces the walk is sharded across [`GRAY_SHARDS`] `std::thread` workers
-/// with a deterministic merge — see [`gray_walk`] for why sharding is
+/// with a deterministic merge — see `gray_walk` for why sharding is
 /// restricted to objectives with exact totals.
 ///
 /// # Errors

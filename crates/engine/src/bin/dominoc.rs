@@ -37,7 +37,7 @@ fn usage() -> &'static str {
        --cache <dir>                    disk result cache\n\
        --jsonl <file|->                 JSONL outcomes\n\
        --sim-cycles <n>                 simulation cycles [4096]\n\
-       --stats                          print BDD kernel statistics\n\
+       --stats                          print BDD kernel + simulation statistics\n\
        --quiet                          suppress progress"
 }
 

@@ -313,6 +313,7 @@ mod tests {
             cycles: 64,
             warmup: 4,
             seed: 1,
+            ..SimConfig::default()
         };
         FlowJob::new(spec, net)
     }

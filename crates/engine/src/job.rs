@@ -23,7 +23,7 @@ use domino_phase::prob::{OrderingChoice, ProbabilityConfig};
 use domino_phase::search::{MinAreaConfig, MinPowerConfig};
 use domino_phase::{Phase, PhaseAssignment};
 use domino_sgraph::MfvsConfig;
-use domino_sim::SimConfig;
+use domino_sim::{SimConfig, SimStats};
 use domino_techmap::Library;
 
 use crate::error::EngineError;
@@ -398,6 +398,22 @@ fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
     }
 }
 
+fn sim_stats_to_json(stats: &SimStats) -> Json {
+    Json::obj(vec![
+        ("vectors", Json::Num(stats.vectors as f64)),
+        ("words", Json::Num(stats.words as f64)),
+        ("measured_words", Json::Num(stats.measured_words as f64)),
+    ])
+}
+
+fn sim_stats_from_json(v: &Json) -> Result<SimStats, EngineError> {
+    Ok(SimStats {
+        vectors: req_usize(v, "vectors")? as u64,
+        words: req_usize(v, "words")? as u64,
+        measured_words: req_usize(v, "measured_words")? as u64,
+    })
+}
+
 /// One flow variant's result (the MA or MP side of a table row).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectiveResult {
@@ -423,6 +439,9 @@ pub struct ObjectiveResult {
     pub assignment: String,
     /// BDD kernel statistics of this side's probability computation.
     pub bdd: BddKernelStats,
+    /// Packed-simulation work accounting (vectors simulated, words
+    /// evaluated) of this side's power measurement.
+    pub sim: SimStats,
 }
 
 impl ObjectiveResult {
@@ -444,6 +463,7 @@ impl ObjectiveResult {
             ("commits", Json::Num(self.commits as f64)),
             ("assignment", Json::Str(self.assignment.clone())),
             ("bdd", self.bdd.to_json()),
+            ("sim", sim_stats_to_json(&self.sim)),
         ])
     }
 
@@ -468,6 +488,12 @@ impl ObjectiveResult {
             bdd: match v.get("bdd") {
                 None | Some(Json::Null) => BddKernelStats::default(),
                 Some(j) => BddKernelStats::from_json(j)?,
+            },
+            // Optional so outcomes cached before the packed engine existed
+            // still parse.
+            sim: match v.get("sim") {
+                None | Some(Json::Null) => SimStats::default(),
+                Some(j) => sim_stats_from_json(j)?,
             },
         })
     }
@@ -821,6 +847,10 @@ fn sim_to_json(sim: &SimConfig) -> Json {
         ("cycles", Json::Num(sim.cycles as f64)),
         ("warmup", Json::Num(sim.warmup as f64)),
         ("seed", u64_to_json(sim.seed)),
+        (
+            "adaptive_tol_ppm",
+            Json::Num(f64::from(sim.adaptive_tol_ppm)),
+        ),
     ])
 }
 
@@ -829,6 +859,16 @@ fn sim_from_json(v: &Json) -> Result<SimConfig, EngineError> {
         cycles: req_usize(v, "cycles")?,
         warmup: req_usize(v, "warmup")?,
         seed: req_u64(v, "seed")?,
+        // Optional so job files written before adaptive mode stay valid —
+        // but a present-and-malformed value must fail loudly like every
+        // other field, not silently disable adaptive mode.
+        adaptive_tol_ppm: match v.get("adaptive_tol_ppm") {
+            None | Some(Json::Null) => 0,
+            Some(j) => j
+                .as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| missing("adaptive_tol_ppm"))?,
+        },
     })
 }
 
@@ -917,6 +957,11 @@ mod tests {
                     unique_misses: 48,
                     cache_hits: 30,
                     cache_misses: 90,
+                },
+                sim: SimStats {
+                    vectors: 4096,
+                    words: 128,
+                    measured_words: 64,
                 },
             }),
             mp: None,

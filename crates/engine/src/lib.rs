@@ -61,6 +61,7 @@ pub mod report;
 mod runner;
 
 pub use cache::{CacheStats, ResultCache};
+pub use domino_sim::SimStats;
 pub use engine::{CancelToken, EngineConfig, FlowEngine, JobResult, ProgressEvent};
 pub use error::EngineError;
 pub use job::{

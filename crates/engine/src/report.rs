@@ -79,9 +79,10 @@ pub fn format_outcomes(results: &[JobResult]) -> String {
     s
 }
 
-/// Formats per-job BDD kernel statistics (node counts, unique-table and
-/// op-cache hit rates) for completed jobs — the body of
-/// `dominoc ... --stats`.
+/// Formats per-job kernel statistics for completed jobs — the body of
+/// `dominoc ... --stats`: BDD node counts, unique-table and op-cache hit
+/// rates, plus packed-simulation work (vectors simulated, words evaluated,
+/// lane utilization).
 pub fn format_kernel_stats(results: &[JobResult]) -> String {
     let mut s = String::new();
     let pct = |r: Option<f64>| match r {
@@ -104,6 +105,15 @@ pub fn format_kernel_stats(results: &[JobResult]) -> String {
                     pct(r.bdd.unique_hit_rate()),
                     r.bdd.cache_hits + r.bdd.cache_misses,
                     pct(r.bdd.cache_hit_rate()),
+                )
+                .expect("write to string");
+                writeln!(
+                    s,
+                    "stats: {:<11} {tag}  sim vectors {:>8}  words {:>6}  lanes {:>6} used",
+                    outcome.name,
+                    r.sim.vectors,
+                    r.sim.words,
+                    format!("{:.1}%", 100.0 * r.sim.lane_utilization()),
                 )
                 .expect("write to string");
             }
@@ -144,6 +154,11 @@ mod tests {
             commits: 3,
             assignment: "++-".into(),
             bdd: crate::BddKernelStats::default(),
+            sim: crate::SimStats {
+                vectors: 4096,
+                words: 128,
+                measured_words: 64,
+            },
         };
         FlowOutcome {
             name: "frg1".into(),

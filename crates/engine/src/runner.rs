@@ -79,6 +79,7 @@ pub fn run_objective(
         commits: report.outcome.commits,
         assignment: assignment_string(&report.assignment),
         bdd,
+        sim: power.stats,
     })
 }
 
@@ -97,6 +98,7 @@ pub fn derive_clock_ps(job: &FlowJob) -> Result<Option<f64>, EngineError> {
     probe_spec.timing_fraction = None;
     probe_spec.sim = SimConfig {
         cycles: 16,
+        adaptive_tol_ppm: 0,
         ..probe_spec.sim
     };
     let probe_job = FlowJob::new(probe_spec, job.network.clone());

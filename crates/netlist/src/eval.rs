@@ -56,6 +56,71 @@ impl Network {
         Ok(values)
     }
 
+    /// Bit-parallel variant of [`Network::eval_nodes`]: every `u64` word
+    /// carries 64 independent simulation lanes, and each gate is evaluated
+    /// as one word-wide boolean operation — one pass of the arena simulates
+    /// 64 vectors. `values` is resized to the node count and fully
+    /// overwritten (pass the same buffer across cycles to stay
+    /// allocation-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if the slices do not match the
+    /// input/latch counts.
+    pub fn eval_nodes_packed(
+        &self,
+        input_words: &[u64],
+        latch_words: &[u64],
+        values: &mut Vec<u64>,
+    ) -> Result<(), NetlistError> {
+        if input_words.len() != self.inputs().len() {
+            return Err(NetlistError::ArityMismatch {
+                what: "primary inputs",
+                expected: self.inputs().len(),
+                got: input_words.len(),
+            });
+        }
+        if latch_words.len() != self.latches().len() {
+            return Err(NetlistError::ArityMismatch {
+                what: "latches",
+                expected: self.latches().len(),
+                got: latch_words.len(),
+            });
+        }
+        values.clear();
+        values.resize(self.len(), 0);
+        for (&id, &w) in self.inputs().iter().zip(input_words) {
+            values[id.index()] = w;
+        }
+        for (&id, &w) in self.latches().iter().zip(latch_words) {
+            values[id.index()] = w;
+        }
+        for id in self.node_ids() {
+            let node = self.node(id);
+            let w = match node.kind {
+                NodeKind::Input | NodeKind::Latch { .. } => continue,
+                NodeKind::Constant(c) => {
+                    if c {
+                        !0
+                    } else {
+                        0
+                    }
+                }
+                NodeKind::And => node
+                    .fanins
+                    .iter()
+                    .fold(!0u64, |acc, f| acc & values[f.index()]),
+                NodeKind::Or => node
+                    .fanins
+                    .iter()
+                    .fold(0u64, |acc, f| acc | values[f.index()]),
+                NodeKind::Not => !values[node.fanins[0].index()],
+            };
+            values[id.index()] = w;
+        }
+        Ok(())
+    }
+
     /// Evaluates a combinational network: returns the primary output values
     /// for the given input values.
     ///
@@ -204,6 +269,55 @@ mod tests {
             let out = net.eval_comb(&[va, vb]).unwrap();
             assert_eq!(out, vec![va && vb, va || vb, !va]);
         }
+    }
+
+    #[test]
+    fn packed_eval_agrees_with_scalar_lane_by_lane() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let nc = net.add_not(c).unwrap();
+        let f = net.add_or([ab, nc]).unwrap();
+        let k1 = net.add_const(true);
+        let g = net.add_and([f, k1]).unwrap();
+        net.add_output("g", g).unwrap();
+        // 8 input patterns broadcast across lanes 0..8.
+        let mut in_words = [0u64; 3];
+        for lane in 0..8usize {
+            for (i, w) in in_words.iter_mut().enumerate() {
+                if (lane >> i) & 1 == 1 {
+                    *w |= 1 << lane;
+                }
+            }
+        }
+        let mut packed = Vec::new();
+        net.eval_nodes_packed(&in_words, &[], &mut packed).unwrap();
+        for lane in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| (in_words[i] >> lane) & 1 == 1).collect();
+            let scalar = net.eval_nodes(&bits, &[]).unwrap();
+            for id in net.node_ids() {
+                assert_eq!(
+                    (packed[id.index()] >> lane) & 1 == 1,
+                    scalar[id.index()],
+                    "lane {lane} node {}",
+                    id.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_eval_wrong_arity() {
+        let mut net = Network::new("t");
+        let a = net.add_input("a").unwrap();
+        net.add_output("f", a).unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            net.eval_nodes_packed(&[], &[], &mut buf),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Monte-Carlo signal probability estimation — the sampling cross-check for
 //! the exact BDD probabilities (and the fallback when BDDs blow up).
+//!
+//! Runs on the bit-parallel engine: 64 independent sequential chains per
+//! `u64` word, tallied with `count_ones` into integer counters and divided
+//! once at the end.
 
 use domino_netlist::{Network, SequentialState};
 
+use crate::packed::{broadcast, WordSchedule};
 use crate::power::SimConfig;
-use crate::vectors::VectorSource;
+use crate::vectors::PackedVectorSource;
 
 /// Estimates the signal probability of every node by simulating `cycles`
-/// random vectors (sequential networks are stepped with their real latch
-/// state).
+/// random vectors across 64 packed lanes (sequential networks are stepped
+/// with one independent latch-state chain per lane).
 ///
 /// Returns one probability per node arena index.
 ///
@@ -25,20 +30,41 @@ pub fn estimate_node_probabilities(
         net.inputs().len(),
         "one probability per primary input"
     );
-    let mut vectors = VectorSource::new(pi_probs.to_vec(), config.seed);
-    let mut state = SequentialState::new(net);
+    let mut vectors = PackedVectorSource::new(pi_probs, config.seed);
+    // Every lane starts from the declared reset state.
+    let mut latch_words: Vec<u64> = SequentialState::new(net)
+        .states()
+        .iter()
+        .map(|&v| broadcast(v))
+        .collect();
+    let latch_data: Vec<usize> = net
+        .latches()
+        .iter()
+        .map(|&l| {
+            net.node(l)
+                .fanins
+                .first()
+                .expect("validated network has connected latches")
+                .index()
+        })
+        .collect();
     let mut tallies = vec![0u64; net.len()];
-    let mut inputs = vec![false; net.inputs().len()];
-    let total = config.warmup + config.cycles;
-    for cycle in 0..total {
-        vectors.fill_next(&mut inputs);
-        let (_, values) = state
-            .step_with_values(net, &inputs)
+    let mut input_words = vec![0u64; net.inputs().len()];
+    let mut values: Vec<u64> = Vec::new();
+
+    let schedule = WordSchedule::new(config.warmup, config.cycles);
+    for step in 0..schedule.total_steps() {
+        let mask = schedule.step_mask(step);
+        vectors.next_words(&mut input_words);
+        net.eval_nodes_packed(&input_words, &latch_words, &mut values)
             .expect("validated network evaluates");
-        if cycle >= config.warmup {
-            for (t, &v) in tallies.iter_mut().zip(&values) {
-                *t += v as u64;
+        if mask != 0 {
+            for (t, &w) in tallies.iter_mut().zip(&values) {
+                *t += u64::from((w & mask).count_ones());
             }
+        }
+        for (slot, &data) in latch_words.iter_mut().zip(&latch_data) {
+            *slot = values[data];
         }
     }
     tallies
@@ -75,6 +101,7 @@ mod tests {
                 cycles: 60_000,
                 warmup: 0,
                 seed: 5,
+                ..SimConfig::default()
             },
         );
         for id in net.node_ids() {
@@ -103,6 +130,7 @@ mod tests {
                 cycles: 10_000,
                 warmup: 10,
                 seed: 1,
+                ..SimConfig::default()
             },
         );
         assert!((est[q.index()] - 0.5).abs() < 0.01);

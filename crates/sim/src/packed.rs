@@ -1,0 +1,135 @@
+//! Shared plumbing for the bit-parallel simulation engine: lane/word
+//! scheduling and work accounting.
+//!
+//! The engine packs 64 *independent* Monte-Carlo lanes into every `u64`
+//! word. One word-step advances every lane by one cycle, so a run of `c`
+//! measured cycles needs `⌈c / 64⌉` measured word-steps — the last one
+//! masked down to the remainder lanes — plus one warmup word-step per
+//! requested warmup cycle (each lane warms up independently).
+
+pub use crate::vectors::LANES;
+
+/// Broadcasts a boolean to all 64 lanes.
+pub(crate) fn broadcast(v: bool) -> u64 {
+    if v {
+        !0
+    } else {
+        0
+    }
+}
+
+/// Word schedule of one packed run: warmup word-steps, full measured
+/// words, and the remainder mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WordSchedule {
+    /// Unmeasured word-steps (one per warmup cycle, every lane settling).
+    pub warmup: usize,
+    /// Fully-measured word-steps.
+    pub full: usize,
+    /// Lanes measured in the final partial word (0 = none).
+    pub rem: u32,
+}
+
+impl WordSchedule {
+    pub(crate) fn new(warmup: usize, cycles: usize) -> Self {
+        WordSchedule {
+            warmup,
+            full: cycles / LANES,
+            rem: (cycles % LANES) as u32,
+        }
+    }
+
+    /// Measured word-steps, the partial word included.
+    pub(crate) fn measured_words(&self) -> usize {
+        self.full + usize::from(self.rem > 0)
+    }
+
+    /// Lane mask of measured word-step `k`.
+    pub(crate) fn mask(&self, k: usize) -> u64 {
+        if k < self.full {
+            !0
+        } else {
+            (1u64 << self.rem) - 1
+        }
+    }
+
+    /// Total word-steps of the run, warmup included.
+    pub(crate) fn total_steps(&self) -> usize {
+        self.warmup + self.measured_words()
+    }
+
+    /// Lane mask of absolute word-step `step`: zero during warmup, the
+    /// measured mask afterwards. The one place the warmup/measured split
+    /// lives — every kernel and every scalar reference steps through this,
+    /// so the packed/reference bit-equivalence contract cannot drift.
+    pub(crate) fn step_mask(&self, step: usize) -> u64 {
+        if step < self.warmup {
+            0
+        } else {
+            self.mask(step - self.warmup)
+        }
+    }
+}
+
+/// Work accounting of one packed simulation run — surfaced through
+/// [`PowerReport::stats`](crate::PowerReport) and `dominoc --stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Measured vectors (cycles) that contributed to the statistics.
+    pub vectors: u64,
+    /// Total word-steps evaluated, warmup included.
+    pub words: u64,
+    /// Measured word-steps (each evaluates all 64 lanes).
+    pub measured_words: u64,
+}
+
+impl SimStats {
+    /// Fraction of measured lanes that contributed vectors: 1.0 when the
+    /// cycle count is a multiple of 64, lower when the final word was
+    /// partially masked.
+    pub fn lane_utilization(&self) -> f64 {
+        if self.measured_words == 0 {
+            0.0
+        } else {
+            self.vectors as f64 / (self.measured_words * LANES as u64) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_covers_cycles_exactly() {
+        let s = WordSchedule::new(3, 130);
+        assert_eq!(s.measured_words(), 3);
+        let covered: u32 = (0..s.measured_words())
+            .map(|k| s.mask(k).count_ones())
+            .sum();
+        assert_eq!(covered, 130);
+        assert_eq!(s.mask(0), !0);
+        assert_eq!(s.mask(2).count_ones(), 2);
+
+        let exact = WordSchedule::new(0, 128);
+        assert_eq!(exact.measured_words(), 2);
+        assert_eq!(exact.mask(1), !0);
+    }
+
+    #[test]
+    fn stats_utilization() {
+        let full = SimStats {
+            vectors: 4096,
+            words: 128,
+            measured_words: 64,
+        };
+        assert!((full.lane_utilization() - 1.0).abs() < 1e-12);
+        let partial = SimStats {
+            vectors: 100,
+            words: 4,
+            measured_words: 2,
+        };
+        assert!((partial.lane_utilization() - 100.0 / 128.0).abs() < 1e-12);
+        assert_eq!(SimStats::default().lane_utilization(), 0.0);
+    }
+}

@@ -1,5 +1,7 @@
 //! Cycle-accurate power measurement of mapped domino netlists, and
-//! switching-event counting on unmapped domino blocks.
+//! switching-event counting on unmapped domino blocks — on the bit-parallel
+//! simulation engine (64 Monte-Carlo lanes per `u64` word, every gate one
+//! word-wide boolean operation).
 //!
 //! Energy accounting per cycle (all capacitances in fF, from the library):
 //!
@@ -14,25 +16,48 @@
 //! * a **flip-flop** pays clock capacitance every cycle and switches its
 //!   output load when its state changes.
 //!
+//! Switching events are accumulated per cell as *integer popcounts* of the
+//! packed value words and converted to `f64` exactly once at the end, so
+//! totals are independent of accumulation order — the property that makes
+//! the counters shardable and lets the scalar lane-by-lane
+//! [`reference`](crate::reference) implementations reproduce them bit for
+//! bit.
+//!
 //! Average capacitive current: `I_cap = C_avg · V_dd · f` (reported in mA);
 //! short-circuit current is modelled as 10% of capacitive (the classic
 //! rule of thumb) and leakage as a per-cell constant — giving the same
 //! three-component current breakdown the paper reports from PowerMill.
 
-use domino_phase::{DominoNetwork, DominoRef};
+use domino_phase::{DominoNetwork, PackedRailEvaluator};
 use domino_techmap::{CellClass, Library, MappedNetlist, MappedRef};
 
-use crate::vectors::VectorSource;
+use crate::packed::{broadcast, SimStats, WordSchedule};
+use crate::vectors::PackedVectorSource;
+
+/// Words between adaptive-convergence checkpoints (1024 vectors).
+const ADAPTIVE_CHUNK_WORDS: usize = 16;
 
 /// Simulation length and seeding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Measured cycles (after warmup).
+    /// Measured vectors. The packed engine simulates 64 lanes per word, so
+    /// `cycles / 64` full words are evaluated plus one partially-masked
+    /// word for the remainder.
     pub cycles: usize,
-    /// Warmup cycles discarded from statistics (sequential state settling).
+    /// Warmup cycles *per lane*, discarded from statistics (sequential
+    /// state settling — every lane is an independent Monte-Carlo chain and
+    /// settles on its own).
     pub warmup: usize,
     /// RNG seed for the vector stream.
     pub seed: u64,
+    /// Adaptive cycle control for [`measure_power`], in parts per million
+    /// (`0` = fixed length, the default). When non-zero, the measurement
+    /// checks its running energy-per-cycle estimate every 1024 vectors and
+    /// stops early — at a word boundary, never exceeding `cycles` — once
+    /// the relative change between checkpoints drops below `tol · 1e-6`.
+    /// Deterministic for a given seed; the realized length is reported in
+    /// [`PowerReport::cycles`] and [`PowerReport::stats`].
+    pub adaptive_tol_ppm: u32,
 }
 
 impl Default for SimConfig {
@@ -41,6 +66,7 @@ impl Default for SimConfig {
             cycles: 4096,
             warmup: 64,
             seed: 0x00D0_1110,
+            adaptive_tol_ppm: 0,
         }
     }
 }
@@ -54,10 +80,12 @@ pub struct PowerReport {
     pub short_circuit_ma: f64,
     /// Leakage current, mA.
     pub leakage_ma: f64,
-    /// Measured cycles.
+    /// Measured cycles (may be less than requested under adaptive mode).
     pub cycles: usize,
     /// Total switching events observed.
     pub switch_events: u64,
+    /// Packed-engine work accounting (vectors, words, lane utilization).
+    pub stats: SimStats,
 }
 
 impl PowerReport {
@@ -68,8 +96,144 @@ impl PowerReport {
     }
 }
 
-/// Simulates `mapped` with Bernoulli-`pi_probs` vectors and reports average
-/// currents.
+/// Load seen by each flop output rail (consumer pins), fF.
+pub(crate) fn dff_source_loads(mapped: &MappedNetlist, lib: &Library) -> Vec<f64> {
+    let mut source_loads = vec![0.0f64; mapped.source_count()];
+    for cell in mapped.cells() {
+        for &f in &cell.fanins {
+            if let MappedRef::Source(i) = f {
+                source_loads[i] += lib.input_cap_ff * cell.size;
+            }
+        }
+    }
+    for dff in mapped.dffs() {
+        if let MappedRef::Source(i) = dff.data {
+            source_loads[i] += lib.input_cap_ff * dff.size;
+        }
+    }
+    source_loads
+}
+
+/// Integer switching-event counters of one mapped-netlist run. Totals are
+/// order-independent: the packed engine and the scalar reference produce
+/// identical counters for the same logical vector stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PowerCounters {
+    /// Switch events per combinational cell.
+    pub cell_events: Vec<u64>,
+    /// State-change events per flip-flop.
+    pub dff_events: Vec<u64>,
+    /// Measured cycles the counters cover.
+    pub measured_cycles: u64,
+}
+
+/// Converts integer counters into currents. Shared verbatim by the packed
+/// engine and the scalar reference so equal counters give bit-identical
+/// reports.
+pub(crate) fn finalize_power(
+    mapped: &MappedNetlist,
+    lib: &Library,
+    loads: &[f64],
+    source_loads: &[f64],
+    counters: &PowerCounters,
+    stats: SimStats,
+) -> PowerReport {
+    let vdd2 = lib.vdd * lib.vdd;
+    let cycles = counters.measured_cycles as f64;
+    let mut energy_ffv2 = 0.0f64; // Σ C·V² in fF·V²
+    let mut events = 0u64;
+    for (i, cell) in mapped.cells().iter().enumerate() {
+        match cell.class {
+            CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
+                energy_ffv2 += cycles * lib.clock_cap_ff * cell.size * vdd2;
+                energy_ffv2 += counters.cell_events[i] as f64 * loads[i] * vdd2;
+            }
+            CellClass::InputInv | CellClass::OutputInv => {
+                energy_ffv2 += counters.cell_events[i] as f64 * loads[i] * vdd2;
+            }
+            CellClass::Dff => unreachable!("flops are not in cells"),
+        }
+        events += counters.cell_events[i];
+    }
+    for (j, dff) in mapped.dffs().iter().enumerate() {
+        energy_ffv2 += cycles * lib.clock_cap_ff * dff.size * vdd2;
+        energy_ffv2 += counters.dff_events[j] as f64 * source_loads[dff.source_index] * vdd2;
+        events += counters.dff_events[j];
+    }
+
+    // Average switched capacitance per cycle (fF) → current.
+    let cavg_ff = energy_ffv2 / vdd2 / cycles;
+    // I = C·V·f: fF × V × MHz × 1e-6 = mA.
+    let cap_ma = cavg_ff * lib.vdd * lib.clock_mhz * 1e-6;
+    let short_circuit_ma = 0.1 * cap_ma;
+    let leakage_ma = mapped.cell_count() as f64 * lib.leak_ua * 1e-3;
+    PowerReport {
+        cap_ma,
+        short_circuit_ma,
+        leakage_ma,
+        cycles: counters.measured_cycles as usize,
+        switch_events: events,
+        stats,
+    }
+}
+
+/// One word-step of the packed mapped-netlist simulation.
+struct PackedPowerSim<'a> {
+    mapped: &'a MappedNetlist,
+    vectors: PackedVectorSource,
+    source_words: Vec<u64>,
+    prev_cell_words: Vec<u64>,
+    cell_words: Vec<u64>,
+    pi_words: Vec<u64>,
+    dff_next: Vec<u64>,
+}
+
+impl PackedPowerSim<'_> {
+    /// Advances every lane one cycle; counts events on lanes in `mask`.
+    fn step(&mut self, mask: u64, counters: &mut PowerCounters) {
+        self.vectors.next_words(&mut self.pi_words);
+        let pi_count = self.mapped.pi_count();
+        self.source_words[..pi_count].copy_from_slice(&self.pi_words);
+        self.mapped
+            .eval_cells_packed(&self.source_words, &mut self.cell_words);
+
+        if mask != 0 {
+            for (i, cell) in self.mapped.cells().iter().enumerate() {
+                let events = match cell.class {
+                    CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
+                        self.cell_words[i] & mask
+                    }
+                    CellClass::InputInv => (self.cell_words[i] ^ self.prev_cell_words[i]) & mask,
+                    // Pulses with its domino driver (driver high ⇔ inverter
+                    // output low).
+                    CellClass::OutputInv => !self.cell_words[i] & mask,
+                    CellClass::Dff => unreachable!("flops are not in cells"),
+                };
+                counters.cell_events[i] += u64::from(events.count_ones());
+            }
+        }
+        self.prev_cell_words.copy_from_slice(&self.cell_words);
+
+        // Clock the flops simultaneously: every data input samples the
+        // rails of *this* cycle before any flop output moves, so a flop
+        // chained directly to another flop's rail sees its pre-edge value.
+        for (j, dff) in self.mapped.dffs().iter().enumerate() {
+            self.dff_next[j] = self
+                .mapped
+                .ref_word(dff.data, &self.source_words, &self.cell_words);
+        }
+        for (j, dff) in self.mapped.dffs().iter().enumerate() {
+            if mask != 0 {
+                let flips = (self.dff_next[j] ^ self.source_words[dff.source_index]) & mask;
+                counters.dff_events[j] += u64::from(flips.count_ones());
+            }
+            self.source_words[dff.source_index] = self.dff_next[j];
+        }
+    }
+}
+
+/// Simulates `mapped` with Bernoulli-`pi_probs` vectors on the packed
+/// engine and reports average currents.
 ///
 /// # Panics
 ///
@@ -87,96 +251,65 @@ pub fn measure_power(
         "one probability per primary input"
     );
     let loads = mapped.load_caps_ff(lib);
-    // Load seen by each flop output rail (consumer pins).
-    let mut source_loads = vec![0.0f64; mapped.source_count()];
-    for cell in mapped.cells() {
-        for &f in &cell.fanins {
-            if let MappedRef::Source(i) = f {
-                source_loads[i] += lib.input_cap_ff * cell.size;
-            }
-        }
-    }
+    let source_loads = dff_source_loads(mapped, lib);
+
+    let mut source_words = vec![0u64; mapped.source_count()];
     for dff in mapped.dffs() {
-        if let MappedRef::Source(i) = dff.data {
-            source_loads[i] += lib.input_cap_ff * dff.size;
-        }
+        source_words[dff.source_index] = broadcast(dff.init);
     }
+    let mut sim = PackedPowerSim {
+        mapped,
+        vectors: PackedVectorSource::new(pi_probs, config.seed),
+        source_words,
+        prev_cell_words: vec![0u64; mapped.cells().len()],
+        cell_words: Vec::new(),
+        pi_words: vec![0u64; mapped.pi_count()],
+        dff_next: vec![0u64; mapped.dffs().len()],
+    };
+    let mut counters = PowerCounters {
+        cell_events: vec![0u64; mapped.cells().len()],
+        dff_events: vec![0u64; mapped.dffs().len()],
+        measured_cycles: 0,
+    };
 
-    let mut vectors = VectorSource::new(pi_probs.to_vec(), config.seed);
-    let mut sources = vec![false; mapped.source_count()];
-    for dff in mapped.dffs() {
-        sources[dff.source_index] = dff.init;
+    let schedule = WordSchedule::new(config.warmup, config.cycles);
+    for _ in 0..schedule.warmup {
+        sim.step(0, &mut counters);
     }
-    let mut prev_cells: Vec<bool> = vec![false; mapped.cells().len()];
-    let mut energy_ffv2 = 0.0f64; // Σ C·V² in fF·V²
-    let mut events = 0u64;
-
-    let total = config.warmup + config.cycles;
-    for cycle in 0..total {
-        let measuring = cycle >= config.warmup;
-        // Sample primary inputs; flop rails persist from last state update.
-        let mut pis = vec![false; mapped.pi_count()];
-        vectors.fill_next(&mut pis);
-        sources[..mapped.pi_count()].copy_from_slice(&pis);
-        let values = mapped.eval_cells(&sources);
-
-        if measuring {
-            for (i, cell) in mapped.cells().iter().enumerate() {
-                match cell.class {
-                    CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
-                        energy_ffv2 += lib.clock_cap_ff * cell.size * lib.vdd * lib.vdd;
-                        if values[i] {
-                            energy_ffv2 += loads[i] * lib.vdd * lib.vdd;
-                            events += 1;
-                        }
-                    }
-                    CellClass::InputInv => {
-                        if values[i] != prev_cells[i] {
-                            energy_ffv2 += loads[i] * lib.vdd * lib.vdd;
-                            events += 1;
-                        }
-                    }
-                    CellClass::OutputInv => {
-                        // Pulses with its domino driver.
-                        let driver_high = !values[i];
-                        if driver_high {
-                            energy_ffv2 += loads[i] * lib.vdd * lib.vdd;
-                            events += 1;
-                        }
-                    }
-                    CellClass::Dff => unreachable!("flops are not in cells"),
+    let tol = f64::from(config.adaptive_tol_ppm) * 1e-6;
+    let mut measured_words = 0usize;
+    let mut last_estimate: Option<f64> = None;
+    for k in 0..schedule.measured_words() {
+        sim.step(schedule.mask(k), &mut counters);
+        measured_words += 1;
+        counters.measured_cycles += u64::from(schedule.mask(k).count_ones());
+        // Adaptive early exit: stop at a word boundary once the running
+        // energy-per-cycle estimate has converged between checkpoints.
+        if tol > 0.0 && measured_words.is_multiple_of(ADAPTIVE_CHUNK_WORDS) {
+            let estimate = finalize_power(
+                mapped,
+                lib,
+                &loads,
+                &source_loads,
+                &counters,
+                SimStats::default(),
+            )
+            .cap_ma;
+            if let Some(prev) = last_estimate {
+                if (estimate - prev).abs() <= tol * prev.abs() {
+                    break;
                 }
             }
-        }
-        prev_cells = values.clone();
-
-        // Clock the flops.
-        for dff in mapped.dffs() {
-            let next = mapped.ref_value(dff.data, &sources, &values);
-            if measuring {
-                energy_ffv2 += lib.clock_cap_ff * dff.size * lib.vdd * lib.vdd;
-                if next != sources[dff.source_index] {
-                    energy_ffv2 += source_loads[dff.source_index] * lib.vdd * lib.vdd;
-                    events += 1;
-                }
-            }
-            sources[dff.source_index] = next;
+            last_estimate = Some(estimate);
         }
     }
 
-    // Average switched capacitance per cycle (fF) → current.
-    let cavg_ff = energy_ffv2 / (lib.vdd * lib.vdd) / config.cycles as f64;
-    // I = C·V·f: fF × V × MHz × 1e-6 = mA.
-    let cap_ma = cavg_ff * lib.vdd * lib.clock_mhz * 1e-6;
-    let short_circuit_ma = 0.1 * cap_ma;
-    let leakage_ma = mapped.cell_count() as f64 * lib.leak_ua * 1e-3;
-    PowerReport {
-        cap_ma,
-        short_circuit_ma,
-        leakage_ma,
-        cycles: config.cycles,
-        switch_events: events,
-    }
+    let stats = SimStats {
+        vectors: counters.measured_cycles,
+        words: (schedule.warmup + measured_words) as u64,
+        measured_words: measured_words as u64,
+    };
+    finalize_power(mapped, lib, &loads, &source_loads, &counters, stats)
 }
 
 /// Per-element-class switching event averages for an (unmapped) domino
@@ -200,8 +333,46 @@ impl SwitchingCounts {
     }
 }
 
-/// Counts model switching events on a [`DominoNetwork`] by simulation
-/// (sequential state handled through the latch-data outputs).
+/// Integer switching-event counters of one domino-block run (shared by the
+/// packed engine and the scalar reference).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SwitchingEventCounters {
+    pub block: u64,
+    pub input_inverters: u64,
+    pub output_inverters: u64,
+}
+
+impl SwitchingEventCounters {
+    /// Event counts → per-cycle averages, in one place so the packed and
+    /// reference paths divide identically.
+    pub(crate) fn per_cycle(&self, cycles: usize) -> SwitchingCounts {
+        let c = cycles as f64;
+        SwitchingCounts {
+            block: self.block as f64 / c,
+            input_inverters: self.input_inverters as f64 / c,
+            output_inverters: self.output_inverters as f64 / c,
+        }
+    }
+}
+
+/// Positions (in source order) of the block's input-boundary inverters.
+pub(crate) fn inverter_positions(domino: &DominoNetwork) -> Vec<usize> {
+    domino
+        .input_inverters()
+        .iter()
+        .map(|&inv| {
+            domino
+                .sources()
+                .iter()
+                .position(|&s| s == inv)
+                .expect("inverter on known source")
+        })
+        .collect()
+}
+
+/// Counts model switching events on a [`DominoNetwork`] by packed
+/// simulation (sequential state handled through the latch-data outputs,
+/// one independent chain per lane).
 ///
 /// # Panics
 ///
@@ -216,90 +387,69 @@ pub fn measure_domino_switching(
     let n_pis = domino.sources().len() - n_latches;
     assert_eq!(pi_probs.len(), n_pis, "one probability per primary input");
 
-    let mut vectors = VectorSource::new(pi_probs.to_vec(), config.seed);
-    let mut sources = vec![false; domino.sources().len()];
+    let eval = domino.packed_evaluator();
+    let inverter_positions = inverter_positions(domino);
+    let mut vectors = PackedVectorSource::new(pi_probs, config.seed);
+    let mut source_words = vec![0u64; domino.sources().len()];
     for (i, &init) in domino.latch_inits().iter().enumerate() {
-        sources[n_pis + i] = init;
+        source_words[n_pis + i] = broadcast(init);
     }
-    let mut prev_sources = sources.clone();
-    let mut counts = SwitchingCounts::default();
-    let inverter_positions: Vec<usize> = domino
-        .input_inverters()
-        .iter()
-        .map(|&inv| {
-            domino
-                .sources()
-                .iter()
-                .position(|&s| s == inv)
-                .expect("inverter on known source")
-        })
-        .collect();
+    let mut prev_source_words = source_words.clone();
+    let mut pi_words = vec![0u64; n_pis];
+    let mut rails: Vec<u64> = Vec::new();
+    let mut out_words = vec![0u64; eval.outputs().len()];
+    let mut counters = SwitchingEventCounters::default();
 
-    let total = config.warmup + config.cycles;
-    for cycle in 0..total {
-        let measuring = cycle >= config.warmup;
-        let mut pis = vec![false; n_pis];
-        vectors.fill_next(&mut pis);
-        sources[..n_pis].copy_from_slice(&pis);
-        let rails = domino
-            .eval_rails(&sources)
-            .expect("source width matches by construction");
-        if measuring {
-            for &v in &rails {
-                if v {
-                    counts.block += 1.0;
-                }
+    let schedule = WordSchedule::new(config.warmup, config.cycles);
+    for step in 0..schedule.total_steps() {
+        let mask = schedule.step_mask(step);
+        vectors.next_words(&mut pi_words);
+        source_words[..n_pis].copy_from_slice(&pi_words);
+        eval.eval_rails(&source_words, &mut rails);
+        if mask != 0 {
+            for &r in &rails {
+                counters.block += u64::from((r & mask).count_ones());
             }
             // Boundary inverters on both PI and latch rails toggle when the
             // (cycle-stable) rail value differs from the previous cycle.
             for &pos in &inverter_positions {
-                if sources[pos] != prev_sources[pos] {
-                    counts.input_inverters += 1.0;
-                }
+                let toggles = (source_words[pos] ^ prev_source_words[pos]) & mask;
+                counters.input_inverters += u64::from(toggles.count_ones());
             }
         }
-        prev_sources.copy_from_slice(&sources);
+        prev_source_words.copy_from_slice(&source_words);
 
-        // Outputs: count output-inverter pulses and update latch state.
-        let mut latch_idx = 0usize;
-        for out in domino.outputs() {
-            let block_value = match out.driver {
-                DominoRef::Gate(i) => rails[i],
-                DominoRef::Source { node, complemented } => {
-                    let pos = domino
-                        .sources()
-                        .iter()
-                        .position(|&s| s == node)
-                        .expect("known source");
-                    sources[pos] ^ complemented
-                }
-                DominoRef::Constant(v) => v,
-            };
-            if measuring && out.phase.is_negative() && block_value {
-                counts.output_inverters += 1.0;
+        // Outputs: count output-inverter pulses, then clock the latches
+        // simultaneously — every driver samples this cycle's rails before
+        // any latch state moves (a latch fed directly by another latch's
+        // rail must see its pre-edge value).
+        for (k, out) in eval.outputs().iter().enumerate() {
+            out_words[k] = PackedRailEvaluator::ref_word(out.driver, &source_words, &rails);
+            if mask != 0 && out.negative {
+                counters.output_inverters += u64::from((out_words[k] & mask).count_ones());
             }
-            let logical = if out.phase.is_negative() {
-                !block_value
-            } else {
-                block_value
-            };
+        }
+        let mut latch_idx = 0usize;
+        for (k, out) in eval.outputs().iter().enumerate() {
             if out.is_latch_data {
-                sources[n_pis + latch_idx] = logical;
+                let logical = if out.negative {
+                    !out_words[k]
+                } else {
+                    out_words[k]
+                };
+                source_words[n_pis + latch_idx] = logical;
                 latch_idx += 1;
             }
         }
     }
 
-    let c = config.cycles as f64;
-    counts.block /= c;
-    counts.input_inverters /= c;
-    counts.output_inverters /= c;
-    counts
+    counters.per_cycle(config.cycles)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packed::LANES;
     use domino_netlist::Network;
     use domino_phase::power::{estimate_power, PowerModel};
     use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
@@ -335,6 +485,7 @@ mod tests {
             cycles: 40_000,
             warmup: 16,
             seed: 11,
+            ..SimConfig::default()
         };
         for bits in [0b01u64, 0b10u64] {
             let pa = PhaseAssignment::from_bits(2, bits);
@@ -383,6 +534,92 @@ mod tests {
         // Components are consistent.
         assert!((high.short_circuit_ma - 0.1 * high.cap_ma).abs() < 1e-12);
         assert!(high.leakage_ma > 0.0);
+        // Work accounting: 4096 cycles = 64 full words + 64 warmup words.
+        assert_eq!(high.stats.vectors, 4096);
+        assert_eq!(high.stats.measured_words, 64);
+        assert_eq!(high.stats.words, 128);
+        assert!((high.stats.lane_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_word_masks_remainder_lanes() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        let lib = domino_techmap::Library::standard();
+        let mapped = map(&domino, &lib);
+        let cfg = SimConfig {
+            cycles: 100, // 1 full word + 36 lanes
+            warmup: 2,
+            ..SimConfig::default()
+        };
+        let report = measure_power(&mapped, &lib, &[0.5; 4], &cfg);
+        assert_eq!(report.cycles, 100);
+        assert_eq!(report.stats.vectors, 100);
+        assert_eq!(report.stats.measured_words, 2);
+        assert!(report.stats.lane_utilization() < 1.0);
+    }
+
+    #[test]
+    fn adaptive_mode_stops_early_and_stays_deterministic() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        let lib = domino_techmap::Library::standard();
+        let mapped = map(&domino, &lib);
+        let fixed = SimConfig {
+            cycles: 1 << 20,
+            ..SimConfig::default()
+        };
+        let adaptive = SimConfig {
+            adaptive_tol_ppm: 20_000, // 2% between 1024-vector checkpoints
+            ..fixed
+        };
+        let full = measure_power(&mapped, &lib, &[0.5; 4], &fixed);
+        let early = measure_power(&mapped, &lib, &[0.5; 4], &adaptive);
+        assert!(early.cycles < full.cycles, "adaptive must stop early");
+        assert_eq!(early.cycles % LANES, 0, "stops at a word boundary");
+        // Converged estimate is close to the full-length measurement.
+        assert!((early.cap_ma - full.cap_ma).abs() < 0.05 * full.cap_ma);
+        let again = measure_power(&mapped, &lib, &[0.5; 4], &adaptive);
+        assert_eq!(early, again);
+    }
+
+    #[test]
+    fn chained_latches_clock_simultaneously() {
+        // q1' = !q1 (toggle), q2' = q1, g = q1·q2. With simultaneous
+        // clocking q2 lags q1 by one cycle, so q1 and q2 are never both
+        // high and the AND gate never evaluates. A flop that shoot-through
+        // sampled its neighbour's *new* value would make q2 ≡ q1 and the
+        // gate fire every other cycle.
+        let mut net = Network::new("chain");
+        let q1 = net.add_latch(false);
+        let q2 = net.add_latch(false);
+        let nq1 = net.add_not(q1).unwrap();
+        net.set_latch_data(q1, nq1).unwrap();
+        net.set_latch_data(q2, q1).unwrap();
+        let g = net.add_and([q1, q2]).unwrap();
+        net.add_output("g", g).unwrap();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let n = synth.view_outputs().len();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(n)).unwrap();
+        let cfg = SimConfig {
+            cycles: 1024,
+            warmup: 8,
+            ..SimConfig::default()
+        };
+        let counts = measure_domino_switching(&domino, &[], &cfg);
+        assert_eq!(counts.block, 0.0, "AND(q1, q2) must never evaluate");
+
+        // Same invariant through mapping: the only domino cell is the AND,
+        // so its load never switches and no flop pair ever agrees.
+        let lib = domino_techmap::Library::standard();
+        let mapped = map(&domino, &lib);
+        let report = measure_power(&mapped, &lib, &[], &cfg);
+        // Both flops and the !q1 input inverter toggle every cycle; the
+        // AND never fires. Shoot-through clocking would add AND events on
+        // half the cycles.
+        assert_eq!(report.switch_events, 3 * 1024);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Unit-delay simulation of the *static CMOS* realization, with glitch
-//! accounting.
+//! accounting — on the bit-parallel engine.
 //!
 //! Domino gates cannot glitch (Property 2.2): once a gate discharges it
 //! stays down until the next precharge, so zero-delay analysis is exact.
@@ -10,13 +10,22 @@
 //! the transitions in excess of the settled change are glitches. The
 //! contrast against the glitch-free domino counts is the dynamic-power
 //! story behind Figure 2.
+//!
+//! All 64 lanes propagate their wavefronts in lockstep: each unit-delay
+//! timestep re-evaluates the dirty nodes word-wide (double-buffered, so
+//! races between equal-time events are preserved per lane) and counts
+//! transitions as `count_ones` of the XOR between successive words.
+//! Glitches fall out of the identity `glitches = gate transitions −
+//! settled gate changes`: a gate's settled value cannot change without at
+//! least one toggle, so every toggle beyond the settled change is excess.
 
 use std::collections::BTreeSet;
 
 use domino_netlist::{Network, NodeKind, SequentialState};
 
+use crate::packed::{broadcast, WordSchedule};
 use crate::power::SimConfig;
-use crate::vectors::VectorSource;
+use crate::vectors::PackedVectorSource;
 
 /// Result of [`simulate_static`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +56,8 @@ impl StaticSimReport {
 }
 
 /// Simulates `net` as static CMOS with unit gate delays under random
-/// vectors, counting all transitions and glitches.
+/// vectors, counting all transitions and glitches (64 independent lanes
+/// per word).
 ///
 /// # Panics
 ///
@@ -59,96 +69,107 @@ pub fn simulate_static(net: &Network, pi_probs: &[f64], config: &SimConfig) -> S
         "one probability per primary input"
     );
     let fanouts = net.fanouts();
-    let mut vectors = VectorSource::new(pi_probs.to_vec(), config.seed);
-    let mut seq = SequentialState::new(net);
-    let mut inputs = vec![false; net.inputs().len()];
+    let mut vectors = PackedVectorSource::new(pi_probs, config.seed);
+    let mut latch_words: Vec<u64> = SequentialState::new(net)
+        .states()
+        .iter()
+        .map(|&v| broadcast(v))
+        .collect();
+    let mut input_words = vec![0u64; net.inputs().len()];
 
-    // Settled values from an initial all-false vector.
-    let mut values = net
-        .eval_nodes(&vec![false; net.inputs().len()], seq.states())
+    // Settled values from an initial all-false vector (every lane).
+    let mut values: Vec<u64> = Vec::new();
+    net.eval_nodes_packed(&vec![0u64; net.inputs().len()], &latch_words, &mut values)
         .expect("validated network evaluates");
+    let mut before = vec![0u64; net.len()];
 
     let mut transitions = 0u64;
     let mut glitches = 0u64;
-    let total = config.warmup + config.cycles;
-    for cycle in 0..total {
-        let measuring = cycle >= config.warmup;
-        vectors.fill_next(&mut inputs);
-        let before = values.clone();
+    let schedule = WordSchedule::new(config.warmup, config.cycles);
+    for step in 0..schedule.total_steps() {
+        let mask = schedule.step_mask(step);
+        vectors.next_words(&mut input_words);
+        before.copy_from_slice(&values);
 
         // Apply the new inputs and latch states, then propagate with unit
         // delays.
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
-        for (&id, &v) in net.inputs().iter().zip(&inputs) {
-            if values[id.index()] != v {
-                values[id.index()] = v;
-                if measuring {
-                    transitions += 1;
-                }
+        for (&id, &w) in net.inputs().iter().zip(&input_words) {
+            let changed = values[id.index()] ^ w;
+            if changed != 0 {
+                values[id.index()] = w;
+                transitions += u64::from((changed & mask).count_ones());
                 dirty.extend(fanouts[id.index()].iter().map(|f| f.index()));
             }
         }
-        for (&id, &v) in net.latches().iter().zip(seq.states()) {
-            if values[id.index()] != v {
-                values[id.index()] = v;
-                if measuring {
-                    transitions += 1;
-                }
+        for (&id, &w) in net.latches().iter().zip(&latch_words) {
+            let changed = values[id.index()] ^ w;
+            if changed != 0 {
+                values[id.index()] = w;
+                transitions += u64::from((changed & mask).count_ones());
                 dirty.extend(fanouts[id.index()].iter().map(|f| f.index()));
             }
         }
 
-        let mut toggle_counts = vec![0u32; net.len()];
+        let mut gate_transitions = 0u64;
         let mut guard = 0usize;
         while !dirty.is_empty() && guard <= 4 * net.len() {
             guard += 1;
             // Unit-delay semantics: all nodes of this wavefront evaluate
             // against the values at the *start* of the timestep (double
-            // buffered), so races between equal-time events are preserved.
-            let mut updates: Vec<(usize, bool)> = Vec::new();
+            // buffered), so races between equal-time events are preserved
+            // in every lane.
+            let mut updates: Vec<(usize, u64)> = Vec::new();
             for &i in &dirty {
                 let node = net.node(domino_netlist::NodeId::from_index(i));
-                let v = match node.kind {
-                    NodeKind::And => node.fanins.iter().all(|f| values[f.index()]),
-                    NodeKind::Or => node.fanins.iter().any(|f| values[f.index()]),
+                let w = match node.kind {
+                    NodeKind::And => node
+                        .fanins
+                        .iter()
+                        .fold(!0u64, |acc, f| acc & values[f.index()]),
+                    NodeKind::Or => node
+                        .fanins
+                        .iter()
+                        .fold(0u64, |acc, f| acc | values[f.index()]),
                     NodeKind::Not => !values[node.fanins[0].index()],
                     _ => continue,
                 };
-                if v != values[i] {
-                    updates.push((i, v));
+                if w != values[i] {
+                    updates.push((i, w));
                 }
             }
             let mut next: BTreeSet<usize> = BTreeSet::new();
-            for (i, v) in updates {
-                values[i] = v;
-                toggle_counts[i] += 1;
-                if measuring {
-                    transitions += 1;
-                }
+            for (i, w) in updates {
+                gate_transitions += u64::from(((w ^ values[i]) & mask).count_ones());
+                values[i] = w;
                 next.extend(fanouts[i].iter().map(|f| f.index()));
             }
             dirty = next;
         }
+        transitions += gate_transitions;
 
-        if measuring {
-            // Glitches: toggles beyond the settled change.
-            for (i, &t) in toggle_counts.iter().enumerate() {
-                if t == 0 {
-                    continue;
+        if mask != 0 {
+            // Glitches: gate toggles beyond the settled change. A settled
+            // change requires at least one toggle, so the difference is
+            // exactly the per-node, per-lane excess of the scalar
+            // accounting.
+            let mut settled_changes = 0u64;
+            for id in net.node_ids() {
+                match net.node(id).kind {
+                    NodeKind::And | NodeKind::Or | NodeKind::Not => {
+                        let i = id.index();
+                        settled_changes += u64::from(((values[i] ^ before[i]) & mask).count_ones());
+                    }
+                    _ => {}
                 }
-                let settled_changed = values[i] != before[i];
-                let useful = settled_changed as u32;
-                glitches += (t - useful) as u64;
             }
+            glitches += gate_transitions - settled_changes;
         }
 
         // Clock the latches from settled values.
-        let next_states: Vec<bool> = net
-            .latches()
-            .iter()
-            .map(|&l| values[net.node(l).fanins[0].index()])
-            .collect();
-        seq.set_states(&next_states).expect("state width");
+        for (slot, &l) in latch_words.iter_mut().zip(net.latches()) {
+            *slot = values[net.node(l).fanins[0].index()];
+        }
     }
 
     StaticSimReport {
@@ -187,6 +208,7 @@ mod tests {
                 cycles: 20_000,
                 warmup: 4,
                 seed: 3,
+                ..SimConfig::default()
             },
         );
         assert!(report.transitions > 0);
@@ -215,6 +237,7 @@ mod tests {
                 cycles: 5_000,
                 warmup: 0,
                 seed: 9,
+                ..SimConfig::default()
             },
         );
         assert_eq!(report.glitch_transitions, 0);

@@ -20,6 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cycles: 30_000,
         warmup: 32,
         seed: 2,
+        ..SimConfig::default()
     };
 
     // Domino: zero-delay analysis is exact (Property 2.2) — compare the

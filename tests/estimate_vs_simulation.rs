@@ -24,6 +24,7 @@ fn bdd_probabilities_match_monte_carlo() {
                 cycles: 40_000,
                 warmup: 0,
                 seed: 77,
+                ..SimConfig::default()
             },
         );
         for id in net.node_ids() {
@@ -50,6 +51,7 @@ fn estimate_matches_simulated_switching_for_every_assignment_shape() {
         cycles: 60_000,
         warmup: 16,
         seed: 3,
+        ..SimConfig::default()
     };
     for bits in [0u64, 0b1010, (1 << n as u64) - 1] {
         let pa = PhaseAssignment::from_bits(n, bits & ((1 << n as u64) - 1));
@@ -99,6 +101,7 @@ fn sequential_estimate_tracks_simulation() {
             cycles: 60_000,
             warmup: 64,
             seed: 9,
+            ..SimConfig::default()
         },
     );
     let rel = (est.total() - sim.total()).abs() / sim.total();

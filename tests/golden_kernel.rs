@@ -1,15 +1,22 @@
-//! Golden equivalence tests for the PR 2 kernel overhaul: the dense-arena
-//! BDD engine, the dense-refcount accountant and the sharded Gray-code
-//! walk must be *bit-identical* to the pre-refactor `HashMap`
-//! implementation on the public suite.
+//! Golden equivalence tests: the dense-arena BDD engine, dense-refcount
+//! accountant, sharded Gray-code walk *and* the bit-parallel simulation
+//! engine must be bit-identical to the pinned fixtures on the public
+//! suite.
 //!
-//! The fixtures below were generated from the pre-overhaul kernel with
-//! `cargo run --release -p domino-bench --bin golden_dump` and pin, per
-//! circuit: the structural digest (cache-key ingredient), an FNV-1a hash
-//! over the exact `f64` bit patterns of every node probability, the shared
-//! BDD node count, and the min-area / min-power search outcomes (assignment
-//! plus the objective's raw bit pattern). Any kernel change that shifts a
-//! single probability bit or a single search decision fails here.
+//! The fixtures live in `tests/fixtures/golden_kernel.txt` and are
+//! regenerated with
+//! `cargo run --release -p domino-bench --bin golden_dump -- --out
+//! tests/fixtures/golden_kernel.txt`. They pin, per circuit: the
+//! structural digest (cache-key ingredient), an FNV-1a hash over the exact
+//! `f64` bit patterns of every node probability, the shared BDD node
+//! count, the min-area / min-power search outcomes (assignment plus the
+//! objective's raw bit pattern), and — for the packed simulator — the
+//! measured power total, switch-event count and domino switching averages
+//! of the min-area assignment under the default `SimConfig`. Any kernel or
+//! simulator change that shifts a single bit fails here; CI additionally
+//! regenerates the fixture into a temp file and diffs it against the
+//! checked-in copy, so a conscious change must update the fixture in the
+//! same commit.
 //!
 //! The property tests at the bottom drive the open-addressed unique table
 //! against a `std::collections::HashMap` reference model under random
@@ -22,30 +29,64 @@ use dominolp::phase::flow::FlowConfig;
 use dominolp::phase::prob::compute_probabilities;
 use dominolp::phase::search::{min_area_assignment, min_power_assignment};
 use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
+use dominolp::sim::{measure_domino_switching, measure_power, SimConfig};
+use dominolp::techmap::{map, Library};
 use dominolp::workloads::public_suite;
 use proptest::prelude::*;
 
-struct GoldenRow {
-    name: &'static str,
-    digest: u64,
-    prob_hash: u64,
-    bdd_nodes: usize,
-    ma_assignment: &'static str,
-    ma_objective_bits: u64,
-    ma_evaluations: usize,
-    mp_assignment: &'static str,
-    mp_objective_bits: u64,
-    mp_evaluations: usize,
+const FIXTURES: &str = include_str!("fixtures/golden_kernel.txt");
+
+/// One `key=value` fixture line, keyed by its leading tag (`kernel`/`sim`).
+#[derive(Debug)]
+struct Row {
+    fields: HashMap<String, String>,
 }
 
-/// Pre-overhaul kernel values; regenerate with
-/// `cargo run --release -p domino-bench --bin golden_dump`.
-const GOLDEN: &[GoldenRow] = &[
-    GoldenRow { name: "apex7", digest: 0xe23dcc7e250d3bdf, prob_hash: 0x3ddb35bee41d9e29, bdd_nodes: 380, ma_assignment: "++++++++++++++-+++++++++++++++++++++", ma_objective_bits: 0x4077300000000000, ma_evaluations: 73, mp_assignment: "+-+-++--+++--+---+---++-+++-+---++++", mp_objective_bits: 0x4063c49000000000, mp_evaluations: 530 },
-    GoldenRow { name: "frg1", digest: 0x81af3594a297e6ed, prob_hash: 0xc61a601b42e15da9, bdd_nodes: 50, ma_assignment: "+++", ma_objective_bits: 0x405dc00000000000, ma_evaluations: 8, mp_assignment: "++-", mp_objective_bits: 0x404ac00000000000, mp_evaluations: 3 },
-    GoldenRow { name: "x1", digest: 0x4cf57f9dc9662319, prob_hash: 0xb00ed94458a37753, bdd_nodes: 363, ma_assignment: "-+++++++++++++++++++++++++++", ma_objective_bits: 0x407a500000000000, ma_evaluations: 57, mp_assignment: "--+--++---+--++++-+++++-+-+-", mp_objective_bits: 0x40677d7000000000, mp_evaluations: 228 },
-    GoldenRow { name: "x3", digest: 0x1ddbaa0a0b908f76, prob_hash: 0xc3d6cb4313d6159f, bdd_nodes: 2093, ma_assignment: "++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++++-++", ma_objective_bits: 0x4095fc0000000000, ma_evaluations: 199, mp_assignment: "++-++----++++--+--++-+---+-+----+-++++---+++-++-++--+--++++++---++-+++-+-++--++--++-++-++-+++--++++", mp_objective_bits: 0x4082fc2e54000000, mp_evaluations: 1499 },
-];
+impl Row {
+    fn get(&self, key: &str) -> &str {
+        self.fields
+            .get(key)
+            .unwrap_or_else(|| panic!("fixture row missing field '{key}'"))
+    }
+
+    fn hex(&self, key: &str) -> u64 {
+        u64::from_str_radix(self.get(key), 16)
+            .unwrap_or_else(|_| panic!("fixture field '{key}' is not hex"))
+    }
+
+    fn num(&self, key: &str) -> u64 {
+        self.get(key)
+            .parse()
+            .unwrap_or_else(|_| panic!("fixture field '{key}' is not a number"))
+    }
+}
+
+/// Parses the fixture into `(kernel rows, sim rows)`, in file order.
+fn parse_fixtures() -> (Vec<Row>, Vec<Row>) {
+    let mut kernel = Vec::new();
+    let mut sim = Vec::new();
+    for line in FIXTURES.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("fixture line has a tag");
+        let fields: HashMap<String, String> = parts
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').expect("fixture field is key=value");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        let row = Row { fields };
+        match tag {
+            "kernel" => kernel.push(row),
+            "sim" => sim.push(row),
+            other => panic!("unknown fixture tag '{other}'"),
+        }
+    }
+    (kernel, sim)
+}
 
 /// FNV-1a over the `f64` bit patterns — equal hash ⟺ byte-identical
 /// probabilities (must match `golden_dump`'s implementation).
@@ -61,16 +102,17 @@ fn prob_hash(probs: &[f64]) -> u64 {
 }
 
 #[test]
-fn kernel_is_bit_identical_to_pre_overhaul_fixtures() {
+fn kernel_is_bit_identical_to_fixtures() {
     let suite = public_suite().expect("suite generates");
     let config = FlowConfig::default();
-    assert_eq!(suite.len(), GOLDEN.len());
-    for (bench, golden) in suite.iter().zip(GOLDEN) {
-        assert_eq!(bench.name, golden.name);
+    let (golden, _) = parse_fixtures();
+    assert_eq!(suite.len(), golden.len());
+    for (bench, golden) in suite.iter().zip(&golden) {
+        assert_eq!(bench.name, golden.get("name"));
         let net = &bench.network;
         assert_eq!(
             net.structural_digest(),
-            golden.digest,
+            golden.hex("digest"),
             "{}: structural digest (cache key ingredient) moved",
             bench.name
         );
@@ -78,28 +120,38 @@ fn kernel_is_bit_identical_to_pre_overhaul_fixtures() {
         let probs = compute_probabilities(net, &pi, &config.probability).expect("probabilities");
         assert_eq!(
             prob_hash(probs.as_slice()),
-            golden.prob_hash,
+            golden.hex("prob_hash"),
             "{}: node probabilities are no longer bit-identical",
             bench.name
         );
-        assert_eq!(probs.bdd_node_count(), golden.bdd_nodes, "{}", bench.name);
+        assert_eq!(
+            probs.bdd_node_count() as u64,
+            golden.num("bdd_nodes"),
+            "{}",
+            bench.name
+        );
 
         let synth = DominoSynthesizer::new(net).expect("synthesizer");
         let n = synth.view_outputs().len();
         let ma = min_area_assignment(&synth, &config.area).expect("min-area");
         assert_eq!(
             ma.assignment.to_string(),
-            golden.ma_assignment,
+            golden.get("ma_assignment"),
             "{} MA",
             bench.name
         );
         assert_eq!(
             ma.objective.to_bits(),
-            golden.ma_objective_bits,
+            golden.hex("ma_objective"),
             "{} MA objective",
             bench.name
         );
-        assert_eq!(ma.evaluations, golden.ma_evaluations, "{} MA", bench.name);
+        assert_eq!(
+            ma.evaluations as u64,
+            golden.num("ma_evaluations"),
+            "{} MA",
+            bench.name
+        );
 
         let mp = min_power_assignment(
             &synth,
@@ -110,17 +162,71 @@ fn kernel_is_bit_identical_to_pre_overhaul_fixtures() {
         .expect("min-power");
         assert_eq!(
             mp.assignment.to_string(),
-            golden.mp_assignment,
+            golden.get("mp_assignment"),
             "{} MP",
             bench.name
         );
         assert_eq!(
             mp.objective.to_bits(),
-            golden.mp_objective_bits,
+            golden.hex("mp_objective"),
             "{} MP objective",
             bench.name
         );
-        assert_eq!(mp.evaluations, golden.mp_evaluations, "{} MP", bench.name);
+        assert_eq!(
+            mp.evaluations as u64,
+            golden.num("mp_evaluations"),
+            "{} MP",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn packed_simulation_is_bit_identical_to_fixtures() {
+    let suite = public_suite().expect("suite generates");
+    let config = FlowConfig::default();
+    let lib = Library::standard();
+    let sim_cfg = SimConfig::default();
+    let (_, golden) = parse_fixtures();
+    assert_eq!(suite.len(), golden.len());
+    for (bench, golden) in suite.iter().zip(&golden) {
+        assert_eq!(bench.name, golden.get("name"));
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let ma = min_area_assignment(&synth, &config.area).expect("min-area");
+        let domino = synth.synthesize(&ma.assignment).expect("synthesis");
+        let mapped = map(&domino, &lib);
+
+        let power = measure_power(&mapped, &lib, &pi, &sim_cfg);
+        assert_eq!(
+            power.total_ma().to_bits(),
+            golden.hex("power_total"),
+            "{}: measured power total is no longer bit-identical",
+            bench.name
+        );
+        assert_eq!(
+            power.switch_events,
+            golden.num("switch_events"),
+            "{}: switch-event count moved",
+            bench.name
+        );
+        assert_eq!(power.stats.vectors, golden.num("vectors"), "{}", bench.name);
+        assert_eq!(power.stats.words, golden.num("words"), "{}", bench.name);
+
+        let switching = measure_domino_switching(&domino, &pi, &sim_cfg);
+        for (key, value) in [
+            ("block", switching.block),
+            ("input_inv", switching.input_inverters),
+            ("output_inv", switching.output_inverters),
+        ] {
+            assert_eq!(
+                value.to_bits(),
+                golden.hex(key),
+                "{}: switching '{key}' is no longer bit-identical",
+                bench.name
+            );
+        }
     }
 }
 

@@ -1,0 +1,185 @@
+//! The packed-engine contract: the bit-parallel simulation kernels must be
+//! **bit-identical** to the scalar reference implementations for the same
+//! logical vector stream — identical per-node toggle counts, identical
+//! power totals, identical probability estimates. The reference
+//! (`dominolp::sim::reference`) unpacks the very same `PackedVectorSource`
+//! words and simulates the 64 lanes one `bool` at a time; both sides
+//! accumulate integer event counters and share the final integer→`f64`
+//! conversion, so any disagreement is a packed-kernel bug, not float
+//! noise.
+
+use dominolp::phase::{DominoSynthesizer, Phase, PhaseAssignment};
+use dominolp::sim::montecarlo::estimate_node_probabilities;
+use dominolp::sim::{
+    measure_domino_switching, measure_power, reference, simulate_static, SimConfig,
+};
+use dominolp::techmap::{map, Library};
+use dominolp::workloads::{generate, public_suite, GeneratorSpec};
+use proptest::prelude::*;
+
+/// 3 full words + one 8-lane partial word: exercises the remainder mask.
+fn small_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        cycles: 200,
+        warmup: 3,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Golden equivalence on the public suite: the exact flow-shaped workload,
+/// both MA-shaped (all-positive) and a mixed assignment, through mapping.
+#[test]
+fn packed_power_matches_scalar_reference_on_public_suite() {
+    let lib = Library::standard();
+    for bench in public_suite().expect("suite generates").iter() {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+        let alternating = PhaseAssignment::from_phases(
+            (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Phase::Positive
+                    } else {
+                        Phase::Negative
+                    }
+                })
+                .collect(),
+        );
+        for (tag, pa) in [
+            ("all+", PhaseAssignment::all_positive(n)),
+            ("alt", alternating),
+        ] {
+            let domino = synth.synthesize(&pa).expect("synthesis");
+            let mapped = map(&domino, &lib);
+            let cfg = small_cfg(0x00D0_1110 + pa.negative_count() as u64);
+            let packed = measure_power(&mapped, &lib, &pi, &cfg);
+            let scalar = reference::measure_power(&mapped, &lib, &pi, &cfg);
+            assert_eq!(packed, scalar, "{} {tag}: power", bench.name);
+
+            let packed_sw = measure_domino_switching(&domino, &pi, &cfg);
+            let scalar_sw = reference::measure_domino_switching(&domino, &pi, &cfg);
+            assert_eq!(packed_sw, scalar_sw, "{} {tag}: switching", bench.name);
+        }
+    }
+}
+
+#[test]
+fn packed_montecarlo_and_static_match_scalar_reference() {
+    for bench in public_suite().expect("suite generates").iter().take(2) {
+        let net = &bench.network;
+        let pi: Vec<f64> = (0..net.inputs().len())
+            .map(|i| 0.15 + 0.07 * (i % 10) as f64)
+            .collect();
+        let cfg = small_cfg(17);
+        assert_eq!(
+            estimate_node_probabilities(net, &pi, &cfg),
+            reference::estimate_node_probabilities(net, &pi, &cfg),
+            "{}: monte-carlo",
+            bench.name
+        );
+        assert_eq!(
+            simulate_static(net, &pi, &cfg),
+            reference::simulate_static(net, &pi, &cfg),
+            "{}: static sim",
+            bench.name
+        );
+    }
+}
+
+/// Sequential feedback: flop lanes must evolve independently and still
+/// match the lane-by-lane scalar replay.
+#[test]
+fn packed_sequential_simulation_matches_scalar_reference() {
+    let spec = GeneratorSpec {
+        n_latches: 5,
+        ..GeneratorSpec::control_block("pk_seq", 8, 3, 40, 6)
+    };
+    let net = generate(&spec).expect("generator succeeds");
+    let pi = vec![0.6; 8];
+    let cfg = SimConfig {
+        cycles: 130, // 2 full words + 2-lane partial
+        warmup: 8,
+        seed: 23,
+        ..SimConfig::default()
+    };
+    let synth = DominoSynthesizer::new(&net).expect("valid");
+    let n = synth.view_outputs().len();
+    let domino = synth
+        .synthesize(&PhaseAssignment::from_bits(
+            n,
+            0b1011 & ((1 << n as u64) - 1),
+        ))
+        .expect("synthesis");
+    let lib = Library::standard();
+    let mapped = map(&domino, &lib);
+    assert_eq!(
+        measure_power(&mapped, &lib, &pi, &cfg),
+        reference::measure_power(&mapped, &lib, &pi, &cfg)
+    );
+    assert_eq!(
+        measure_domino_switching(&domino, &pi, &cfg),
+        reference::measure_domino_switching(&domino, &pi, &cfg)
+    );
+    assert_eq!(
+        estimate_node_probabilities(&net, &pi, &cfg),
+        reference::estimate_node_probabilities(&net, &pi, &cfg)
+    );
+    assert_eq!(
+        simulate_static(&net, &pi, &cfg),
+        reference::simulate_static(&net, &pi, &cfg)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random networks, seeds, probabilities and assignments: packed and
+    /// scalar must agree bit for bit on every kernel.
+    #[test]
+    fn packed_equals_scalar_on_random_networks(
+        gen_seed in 0u64..1000,
+        sim_seed in 0u64..1000,
+        pis in 4usize..10,
+        pos in 2usize..5,
+        gates in 12usize..45,
+        latches in 0usize..4,
+        bits in 0u64..256,
+        p10 in 1u64..10,
+    ) {
+        let spec = GeneratorSpec {
+            n_latches: latches,
+            ..GeneratorSpec::control_block(
+                format!("pk{gen_seed}"), pis, pos, gates, gen_seed,
+            )
+        };
+        let net = generate(&spec).expect("generator succeeds");
+        let pi = vec![p10 as f64 / 10.0; pis];
+        let cfg = small_cfg(sim_seed);
+        let synth = DominoSynthesizer::new(&net).expect("valid");
+        let n = synth.view_outputs().len();
+        let pa = PhaseAssignment::from_bits(n, bits & ((1u64 << n.min(63)) - 1));
+        let domino = synth.synthesize(&pa).expect("synthesis");
+        let lib = Library::standard();
+        let mapped = map(&domino, &lib);
+
+        prop_assert_eq!(
+            measure_power(&mapped, &lib, &pi, &cfg),
+            reference::measure_power(&mapped, &lib, &pi, &cfg)
+        );
+        prop_assert_eq!(
+            measure_domino_switching(&domino, &pi, &cfg),
+            reference::measure_domino_switching(&domino, &pi, &cfg)
+        );
+        prop_assert_eq!(
+            estimate_node_probabilities(&net, &pi, &cfg),
+            reference::estimate_node_probabilities(&net, &pi, &cfg)
+        );
+        prop_assert_eq!(
+            simulate_static(&net, &pi, &cfg),
+            reference::simulate_static(&net, &pi, &cfg)
+        );
+    }
+}
