@@ -1,0 +1,103 @@
+//! Criterion bench: the PR 4 sharded deterministic-power paths.
+//!
+//! * `search/*` — the exhaustive Gray-code walk over the **power**
+//!   objective, sequential vs sharded (possible at all because the
+//!   fixed-point accountant totals are path-independent integers);
+//! * `sim/*` — the sharded packed power kernel at 1 thread vs all CPUs
+//!   (bit-identical outputs by contract; the ratio is the machine's
+//!   parallel headroom and collapses to ~1 on a single-core host);
+//! * `heuristic/*` — the §4.1 pairwise min-power search, the `compare`
+//!   profile's `search_ms` driver, exercising the bitset cost model and
+//!   the flattened fixed-point accountant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use domino_phase::power::PowerModel;
+use domino_phase::prob::compute_probabilities;
+use domino_phase::search::{
+    min_power_assignment, search_objective_with_shards, MinAreaConfig, MinPowerConfig, Objective,
+};
+use domino_phase::{DominoSynthesizer, PhaseAssignment};
+use domino_sim::{measure_power, SimConfig};
+use domino_techmap::{map, Library};
+use domino_workloads::{generate, public_suite, GeneratorSpec};
+
+fn bench_power_sharding(c: &mut Criterion) {
+    let suite = public_suite().expect("suite generates");
+    let lib = Library::standard();
+
+    let mut group = c.benchmark_group("power_sharding");
+    group.sample_size(20);
+
+    // Exhaustive power walk over 2^14 assignments on a generated 14-output
+    // control block (the suite circuits have either trivial or intractably
+    // wide output counts for a full walk).
+    {
+        let net = generate(&GeneratorSpec::control_block("walk14", 10, 14, 80, 5))
+            .expect("generator succeeds");
+        let pi = vec![0.5; net.inputs().len()];
+        let probs = compute_probabilities(&net, &pi, &Default::default()).expect("probabilities");
+        let synth = DominoSynthesizer::new(&net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+        let config = MinAreaConfig {
+            exhaustive_limit: n,
+            max_passes: 0,
+        };
+        for shards in [1usize, 8] {
+            group.bench_function(
+                BenchmarkId::new(format!("search_shards{shards}"), "walk14"),
+                |b| {
+                    b.iter(|| {
+                        search_objective_with_shards(
+                            &synth,
+                            Objective::Power {
+                                probs: probs.as_slice(),
+                                model: PowerModel::unit(),
+                            },
+                            &config,
+                            shards,
+                        )
+                        .expect("walk runs")
+                    })
+                },
+            );
+        }
+    }
+
+    for bench in suite.iter().filter(|b| ["frg1", "apex7"].contains(&b.name)) {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let probs = compute_probabilities(net, &pi, &Default::default()).expect("probabilities");
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+
+        let domino = synth
+            .synthesize(&PhaseAssignment::all_positive(n))
+            .expect("synthesis");
+        let mapped = map(&domino, &lib);
+        for (tag, threads) in [("sim_threads1", 1usize), ("sim_threads_all", 0)] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            group.bench_function(BenchmarkId::new(tag, bench.name), |b| {
+                b.iter(|| measure_power(&mapped, &lib, &pi, &cfg))
+            });
+        }
+
+        group.bench_function(BenchmarkId::new("heuristic", bench.name), |b| {
+            b.iter(|| {
+                min_power_assignment(
+                    &synth,
+                    &probs,
+                    PhaseAssignment::all_positive(n),
+                    &MinPowerConfig::default(),
+                )
+                .expect("search runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_power_sharding);
+criterion_main!(benches);

@@ -17,15 +17,21 @@
 //! cheapest `(pair, combination)` and verifies it against the real power
 //! estimate before committing.
 
-use std::collections::HashSet;
-
-use domino_netlist::NodeId;
-
 use crate::phase_assignment::{Phase, PhaseAssignment};
 use crate::prob::NodeProbabilities;
 use crate::synth::DominoSynthesizer;
 
 /// Precomputed cone sizes, averages and pairwise overlaps for a network.
+///
+/// Construction is the `O(n²)` part of the min-power search setup, so the
+/// cones are materialized as **bitset rows** (one bit per arena node):
+/// pairwise intersection sizes reduce to word-wise `AND` + popcount
+/// instead of hash-set probing, and the per-cone probability sums iterate
+/// set bits once. The `K` values themselves stay `f64` — they only *rank*
+/// candidates (every candidate is re-measured through the fixed-point
+/// [`ConeAccountant`](crate::search::ConeAccountant) before committing),
+/// so the [`FixedPower`](crate::power::FixedPower) scaling contract does
+/// not apply to them.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     n: usize,
@@ -43,30 +49,51 @@ impl CostModel {
         let net = synth.network();
         let outputs = synth.view_outputs();
         let n = outputs.len();
-        let cones: Vec<HashSet<NodeId>> = outputs
-            .iter()
-            .map(|o| net.transitive_fanin(o.driver))
-            .collect();
-        let cone_sizes: Vec<usize> = cones.iter().map(HashSet::len).collect();
-        let base_avgs: Vec<f64> = cones
-            .iter()
-            .map(|cone| {
-                if cone.is_empty() {
-                    return 0.0;
+        let words = net.len().div_ceil(64);
+        // One bitset row per output: bit `k` ⇔ arena node `k` ∈ D_i
+        // (combinational transitive fanin including the driver and the
+        // sources it reaches, exactly `Network::transitive_fanin`).
+        let mut rows = vec![0u64; n * words];
+        let mut cone_sizes = vec![0usize; n];
+        let mut base_avgs = vec![0.0f64; n];
+        let mut stack: Vec<domino_netlist::NodeId> = Vec::new();
+        for (i, out) in outputs.iter().enumerate() {
+            let row = &mut rows[i * words..(i + 1) * words];
+            stack.clear();
+            stack.push(out.driver);
+            let mut size = 0usize;
+            let mut sum = 0.0f64;
+            while let Some(id) = stack.pop() {
+                let idx = id.index();
+                let (w, bit) = (idx / 64, 1u64 << (idx % 64));
+                if row[w] & bit != 0 {
+                    continue;
                 }
-                let sum: f64 = cone.iter().map(|id| probs.get(id.index())).sum();
-                sum / cone.len() as f64
-            })
-            .collect();
+                row[w] |= bit;
+                size += 1;
+                sum += probs.get(idx);
+                stack.extend(net.node(id).comb_fanins().iter().copied());
+            }
+            cone_sizes[i] = size;
+            if size > 0 {
+                base_avgs[i] = sum / size as f64;
+            }
+        }
         let mut overlaps = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
         for i in 0..n {
+            let row_i = &rows[i * words..(i + 1) * words];
             for j in i + 1..n {
-                let inter = cones[i].intersection(&cones[j]).count();
+                let row_j = &rows[j * words..(j + 1) * words];
+                let inter: u32 = row_i
+                    .iter()
+                    .zip(row_j)
+                    .map(|(a, b)| (a & b).count_ones())
+                    .sum();
                 let denom = (cone_sizes[i] + cone_sizes[j]) as f64;
                 overlaps.push(if denom == 0.0 {
                     0.0
                 } else {
-                    inter as f64 / denom
+                    f64::from(inter) / denom
                 });
             }
         }

@@ -22,6 +22,63 @@
 
 use crate::synth::{DominoGateKind, DominoNetwork, DominoRef};
 
+/// Fractional bits of the fixed-point power representation: one unit is
+/// `2⁻⁴⁰ ≈ 9.1e-13` switching-weight, the same order as the historical
+/// `1e-12` commit margin of the searches.
+pub const POWER_FRAC_BITS: u32 = 40;
+
+/// The fixed-point scale factor, `2^POWER_FRAC_BITS` as an `f64` (exact —
+/// it is a power of two).
+pub const POWER_SCALE: f64 = (1u64 << POWER_FRAC_BITS) as f64;
+
+/// An integer-scaled power value: switching-weight units of `2⁻⁴⁰`.
+///
+/// # Scaling contract
+///
+/// Every per-element power weight (a domino gate's `S·C·P` contribution, a
+/// boundary inverter's toggle weight) is quantized **once**, at the element
+/// level, by [`power_to_fixed`] — round-to-nearest onto the `2⁻⁴⁰` grid.
+/// Totals are then plain integer sums of those quantized weights, which
+/// makes them
+///
+/// * **path-independent** — integer addition is associative and
+///   commutative, so any accumulation order (sequential Gray-code flips, a
+///   freshly seeded accountant, per-shard partial sums merged by addition)
+///   produces the *same bits*; this is what lets the exhaustive power walk
+///   shard across threads without breaking determinism;
+/// * **exactly reversible** — adding and later subtracting an element's
+///   weight restores the previous total exactly, so incremental
+///   accountants never drift from a full recomputation.
+///
+/// Quantization error is at most `2⁻⁴¹` per element, so a total over `k`
+/// elements is within `k·2⁻⁴¹` (≈ `5e-10` for a million elements) of the
+/// real-valued sum. Overflow is impossible in practice: an `i64`
+/// accommodates total weights up to `2²³ ≈ 8.4e6` (callers keep per-element
+/// weights below that; the paper's models use unit-order weights).
+pub type FixedPower = i64;
+
+/// Quantizes one element weight onto the `2⁻⁴⁰` fixed-point grid
+/// (round-to-nearest). See the [`FixedPower`] scaling contract.
+///
+/// ```
+/// use domino_phase::power::{fixed_to_power, power_to_fixed, POWER_SCALE};
+///
+/// let w = power_to_fixed(0.8019);
+/// assert!((fixed_to_power(w) - 0.8019).abs() <= 0.5 / POWER_SCALE);
+/// // Integer totals merge by addition, independent of order.
+/// assert_eq!(w + power_to_fixed(0.18), power_to_fixed(0.18) + w);
+/// ```
+pub fn power_to_fixed(weight: f64) -> FixedPower {
+    debug_assert!(weight.is_finite(), "power weights must be finite");
+    (weight * POWER_SCALE).round() as FixedPower
+}
+
+/// Converts a fixed-point total back to switching-weight units (exact for
+/// totals below `2⁵³` units, i.e. total weight below `2¹³`; rounds above).
+pub fn fixed_to_power(fixed: FixedPower) -> f64 {
+    fixed as f64 / POWER_SCALE
+}
+
 /// Switching probability of a domino gate whose logical output has signal
 /// probability `p` (Property 2.1 — the identity function).
 pub fn domino_switching(p: f64) -> f64 {
@@ -115,6 +172,28 @@ impl PowerBreakdown {
 /// with arena index `i` (from [`prob`](crate::prob)); a gate realizing the
 /// complement of node `n` has probability `1 − node_probs[n]`
 /// (Property 4.1, exact for complements).
+///
+/// # Example
+///
+/// ```
+/// use domino_phase::power::{estimate_power, PowerModel};
+/// use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
+/// use domino_phase::{DominoSynthesizer, PhaseAssignment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = domino_workloads::figures::fig5_network()?;
+/// let probs = compute_probabilities(&net, &[0.9; 4], &ProbabilityConfig::default())?;
+/// let synth = DominoSynthesizer::new(&net)?;
+/// let domino = synth.synthesize(&PhaseAssignment::all_positive(2))?;
+/// let power = estimate_power(&domino, probs.as_slice(), &PowerModel::unit());
+/// assert!(power.total() > 0.0);
+/// assert_eq!(
+///     power.total(),
+///     power.block + power.input_inverters + power.output_inverters,
+/// );
+/// # Ok(())
+/// # }
+/// ```
 pub fn estimate_power(
     domino: &DominoNetwork,
     node_probs: &[f64],

@@ -9,12 +9,14 @@
 //! [`DominoNetwork::area_cells`](crate::DominoNetwork::area_cells) on the
 //! synthesized network (asserted by tests).
 
-use domino_netlist::{NodeId, NodeKind};
+use domino_netlist::NodeKind;
 
 use crate::cost::CostModel;
 use crate::error::PhaseError;
 use crate::phase_assignment::{Phase, PhaseAssignment};
-use crate::power::{static_switching, PowerModel};
+use crate::power::{
+    fixed_to_power, power_to_fixed, static_switching, FixedPower, PowerModel, POWER_FRAC_BITS,
+};
 use crate::prob::NodeProbabilities;
 use crate::synth::{ConeDemand, DemandRoot, DominoGateKind, DominoSynthesizer};
 
@@ -44,17 +46,47 @@ pub enum Objective<'p> {
 /// maps: a phase change touches every gate of a cone, so the count update
 /// is the innermost loop of both searches and a bounds-checked array slot
 /// beats a hash per gate.
+///
+/// # Fixed-point totals
+///
+/// Every element weight is quantized once, at construction, onto the
+/// [`FixedPower`] `2⁻⁴⁰` grid (`gate_weights[node][polarity]`,
+/// `inv_weights[node]`), and the three running components are plain `i64`
+/// sums of those table entries. A phase change therefore applies an
+/// **incremental integer delta** per touched element — no per-step weight
+/// recomputation — and because integer addition is associative and
+/// commutative the total is *path-independent*: an accountant flipped to an
+/// assignment step by step carries bit-identical totals to one freshly
+/// seeded there, which is what lets [`search_objective`] shard the
+/// exhaustive walk for *every* objective, power included.
 #[derive(Debug)]
 pub struct ConeAccountant<'a, 'p> {
     synth: &'a DominoSynthesizer<'a>,
     objective: Objective<'p>,
     current: PhaseAssignment,
-    demands: Vec<[Option<ConeDemand>; 2]>,
-    gate_refs: Vec<[u32; 2]>,
+    demands: Vec<[Option<FlatDemand>; 2]>,
+    /// Refcount per gate slot (`2·node + polarity`).
+    gate_refs: Vec<u32>,
     inv_refs: Vec<u32>,
-    block: f64,
-    input_inv: f64,
-    output_inv: f64,
+    /// Quantized weight per gate slot (`2·node + polarity`).
+    gate_weights: Vec<FixedPower>,
+    /// Quantized weight of the input-boundary inverter on each source.
+    inv_weights: Vec<FixedPower>,
+    block: FixedPower,
+    input_inv: FixedPower,
+    output_inv: FixedPower,
+}
+
+/// A [`ConeDemand`](crate::synth::ConeDemand) pre-flattened for the
+/// accountant's innermost loop: gate demands as flat `2·node + polarity`
+/// slots into the refcount/weight arrays, complemented sources as plain
+/// node indices. Computed once per `(output, phase)` and walked on every
+/// phase change.
+#[derive(Debug)]
+struct FlatDemand {
+    gate_slots: Vec<u32>,
+    inv_slots: Vec<u32>,
+    root: DemandRoot,
 }
 
 impl<'a, 'p> ConeAccountant<'a, 'p> {
@@ -77,16 +109,19 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
             });
         }
         let n_nodes = synth.network().len();
+        let (gate_weights, inv_weights) = build_weight_tables(synth, &objective);
         let mut acct = ConeAccountant {
             synth,
             objective,
             current: PhaseAssignment::all_positive(n),
-            demands: vec![[None, None]; n],
-            gate_refs: vec![[0, 0]; n_nodes],
+            demands: std::iter::repeat_with(|| [None, None]).take(n).collect(),
+            gate_refs: vec![0; 2 * n_nodes],
             inv_refs: vec![0; n_nodes],
-            block: 0.0,
-            input_inv: 0.0,
-            output_inv: 0.0,
+            gate_weights,
+            inv_weights,
+            block: 0,
+            input_inv: 0,
+            output_inv: 0,
         };
         for i in 0..n {
             acct.add_cone(i, Phase::Positive);
@@ -103,14 +138,25 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
         &self.current
     }
 
-    /// Objective total under the current assignment.
+    /// Objective total under the current assignment, in weight units.
     pub fn total(&self) -> f64 {
+        fixed_to_power(self.fixed_total())
+    }
+
+    /// The exact fixed-point total — what the searches compare. Equal
+    /// assignments give equal bits regardless of the flip path taken to
+    /// reach them (see the type-level docs).
+    pub fn fixed_total(&self) -> FixedPower {
         self.block + self.input_inv + self.output_inv
     }
 
     /// `(block, input inverters, output inverters)` components.
     pub fn components(&self) -> (f64, f64, f64) {
-        (self.block, self.input_inv, self.output_inv)
+        (
+            fixed_to_power(self.block),
+            fixed_to_power(self.input_inv),
+            fixed_to_power(self.output_inv),
+        )
     }
 
     /// Changes output `i`'s phase; no-op if unchanged.
@@ -129,34 +175,12 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
         self.set_phase(i, self.current.phase(i).flipped());
     }
 
-    fn gate_weight(&self, node: NodeId, complemented: bool) -> f64 {
+    /// Quantized weight of the output-boundary inverter a negative-phase
+    /// output adds on `root`. Pure in `root`, so repeated add/remove of the
+    /// same cone cancels exactly in the integer total.
+    fn output_inverter_weight(&self, root: DemandRoot) -> FixedPower {
         match &self.objective {
-            Objective::Area => 1.0,
-            Objective::Power { probs, model } => {
-                let kind = match (self.synth.network().node(node).kind, complemented) {
-                    (NodeKind::And, false) | (NodeKind::Or, true) => DominoGateKind::And,
-                    (NodeKind::Or, false) | (NodeKind::And, true) => DominoGateKind::Or,
-                    _ => unreachable!("demand gates are and/or nodes"),
-                };
-                let p = probs[node.index()];
-                let rail = if complemented { 1.0 - p } else { p };
-                rail * model.gate_weight(kind)
-            }
-        }
-    }
-
-    fn inverter_weight(&self, source: NodeId) -> f64 {
-        match &self.objective {
-            Objective::Area => 1.0,
-            Objective::Power { probs, model } => {
-                static_switching(probs[source.index()]) * model.inverter_cap
-            }
-        }
-    }
-
-    fn output_inverter_weight(&self, root: DemandRoot) -> f64 {
-        match &self.objective {
-            Objective::Area => 1.0,
+            Objective::Area => AREA_UNIT,
             Objective::Power { probs, model } => {
                 let p = match root {
                     DemandRoot::Node(n, c) | DemandRoot::Source(n, c) => {
@@ -175,60 +199,125 @@ impl<'a, 'p> ConeAccountant<'a, 'p> {
                         }
                     }
                 };
-                p * model.inverter_cap
+                power_to_fixed(p * model.inverter_cap)
             }
         }
     }
 
-    fn demand(&mut self, i: usize, phase: Phase) -> &ConeDemand {
+    /// Moves the (lazily computed) flattened demand of `(i, phase)` out of
+    /// the cache so the caller can walk it while mutating the refcount
+    /// arrays; must be returned with [`Self::put_demand`]. A move instead
+    /// of a clone — the cone walk is the innermost loop of both searches
+    /// and a per-walk `Vec` clone would dominate its cost.
+    fn take_demand(&mut self, i: usize, phase: Phase) -> FlatDemand {
         let slot = phase.is_negative() as usize;
         if self.demands[i][slot].is_none() {
-            self.demands[i][slot] = Some(self.synth.cone_demand(i, phase));
+            let cd: ConeDemand = self.synth.cone_demand(i, phase);
+            self.demands[i][slot] = Some(FlatDemand {
+                gate_slots: cd
+                    .gates
+                    .iter()
+                    .map(|&(n, c)| (2 * n.index() + usize::from(c)) as u32)
+                    .collect(),
+                inv_slots: cd
+                    .complemented_sources
+                    .iter()
+                    .map(|&s| s.index() as u32)
+                    .collect(),
+                root: cd.root,
+            });
         }
-        self.demands[i][slot].as_ref().expect("just filled")
+        self.demands[i][slot].take().expect("just filled")
+    }
+
+    fn put_demand(&mut self, i: usize, phase: Phase, demand: FlatDemand) {
+        self.demands[i][phase.is_negative() as usize] = Some(demand);
     }
 
     fn add_cone(&mut self, i: usize, phase: Phase) {
-        let demand = self.demand(i, phase).clone();
-        for &(n, c) in &demand.gates {
-            let count = &mut self.gate_refs[n.index()][usize::from(c)];
+        let demand = self.take_demand(i, phase);
+        for &slot in &demand.gate_slots {
+            let count = &mut self.gate_refs[slot as usize];
             *count += 1;
             if *count == 1 {
-                self.block += self.gate_weight(n, c);
+                self.block += self.gate_weights[slot as usize];
             }
         }
-        for &s in &demand.complemented_sources {
-            let count = &mut self.inv_refs[s.index()];
+        for &s in &demand.inv_slots {
+            let count = &mut self.inv_refs[s as usize];
             *count += 1;
             if *count == 1 {
-                self.input_inv += self.inverter_weight(s);
+                self.input_inv += self.inv_weights[s as usize];
             }
         }
         if phase.is_negative() {
             self.output_inv += self.output_inverter_weight(demand.root);
         }
+        self.put_demand(i, phase, demand);
     }
 
     fn remove_cone(&mut self, i: usize, phase: Phase) {
-        let demand = self.demand(i, phase).clone();
-        for &(n, c) in &demand.gates {
-            let count = &mut self.gate_refs[n.index()][usize::from(c)];
+        let demand = self.take_demand(i, phase);
+        for &slot in &demand.gate_slots {
+            let count = &mut self.gate_refs[slot as usize];
             assert!(*count > 0, "removing unaccounted gate");
             *count -= 1;
             if *count == 0 {
-                self.block -= self.gate_weight(n, c);
+                self.block -= self.gate_weights[slot as usize];
             }
         }
-        for &s in &demand.complemented_sources {
-            let count = &mut self.inv_refs[s.index()];
+        for &s in &demand.inv_slots {
+            let count = &mut self.inv_refs[s as usize];
             assert!(*count > 0, "removing unaccounted inverter");
             *count -= 1;
             if *count == 0 {
-                self.input_inv -= self.inverter_weight(s);
+                self.input_inv -= self.inv_weights[s as usize];
             }
         }
         if phase.is_negative() {
             self.output_inv -= self.output_inverter_weight(demand.root);
+        }
+        self.put_demand(i, phase, demand);
+    }
+}
+
+/// One cell or inverter in the area objective: weight `1.0`, exact in
+/// fixed point (`2⁴⁰` units).
+const AREA_UNIT: FixedPower = 1 << POWER_FRAC_BITS;
+
+/// Quantizes every per-element weight once, up front: the per-flip work of
+/// [`ConeAccountant`] then reduces to integer table deltas (the fix for the
+/// old per-step weight recomputation in the exhaustive power walk). Gate
+/// weights are laid out flat, `2·node + polarity`, matching
+/// [`FlatDemand::gate_slots`].
+fn build_weight_tables(
+    synth: &DominoSynthesizer<'_>,
+    objective: &Objective<'_>,
+) -> (Vec<FixedPower>, Vec<FixedPower>) {
+    let net = synth.network();
+    let n_nodes = net.len();
+    match objective {
+        Objective::Area => (vec![AREA_UNIT; 2 * n_nodes], vec![AREA_UNIT; n_nodes]),
+        Objective::Power { probs, model } => {
+            let mut gate_weights = vec![0 as FixedPower; 2 * n_nodes];
+            let mut inv_weights = vec![0 as FixedPower; n_nodes];
+            for idx in 0..n_nodes {
+                let node = net.node(domino_netlist::NodeId::from_index(idx));
+                let p = probs[idx];
+                if matches!(node.kind, NodeKind::And | NodeKind::Or) {
+                    for (pol, complemented) in [(0usize, false), (1usize, true)] {
+                        let kind = match (node.kind, complemented) {
+                            (NodeKind::And, false) | (NodeKind::Or, true) => DominoGateKind::And,
+                            _ => DominoGateKind::Or,
+                        };
+                        let rail = if complemented { 1.0 - p } else { p };
+                        gate_weights[2 * idx + pol] =
+                            power_to_fixed(rail * model.gate_weight(kind));
+                    }
+                }
+                inv_weights[idx] = power_to_fixed(static_switching(p) * model.inverter_cap);
+            }
+            (gate_weights, inv_weights)
         }
     }
 }
@@ -289,42 +378,78 @@ pub fn min_area_assignment(
 /// optimum power assignment on small circuits (frg1's 8-assignment space).
 ///
 /// The exhaustive branch walks all `2^n` assignments in Gray-code order
-/// (one flip per step, `O(|cone|)` each); for large enough area-objective
-/// spaces the walk is sharded across [`GRAY_SHARDS`] `std::thread` workers
-/// with a deterministic merge — see `gray_walk` for why sharding is
-/// restricted to objectives with exact totals.
+/// (one flip per step, `O(|cone|)` each); large enough spaces are sharded
+/// across [`GRAY_SHARDS`] `std::thread` workers with a deterministic merge.
+/// Since the accountant's fixed-point totals are path-independent integers
+/// this applies to **every** objective — power included — and the result is
+/// bit-identical to the single-threaded walk (see `gray_walk`).
 ///
 /// # Errors
 ///
 /// Propagates [`PhaseError`] from accounting.
+///
+/// # Example
+///
+/// ```
+/// use domino_phase::search::{search_objective, MinAreaConfig, Objective};
+/// use domino_phase::DominoSynthesizer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut net = domino_netlist::Network::new("ex");
+/// let a = net.add_input("a")?;
+/// let b = net.add_input("b")?;
+/// let f = net.add_and([a, b])?;
+/// let g = net.add_not(f)?;
+/// net.add_output("f", f)?;
+/// net.add_output("g", g)?;
+/// let synth = DominoSynthesizer::new(&net)?;
+/// let outcome = search_objective(&synth, Objective::Area, &MinAreaConfig::default())?;
+/// // Exhaustive over 2² assignments; the optimum shares the AND gate.
+/// assert_eq!(outcome.evaluations, 4);
+/// # Ok(())
+/// # }
+/// ```
 pub fn search_objective(
     synth: &DominoSynthesizer<'_>,
     objective: Objective<'_>,
     config: &MinAreaConfig,
 ) -> Result<SearchOutcome, PhaseError> {
     let n = synth.view_outputs().len();
-    if n <= config.exhaustive_limit && n > 0 {
-        // Shard only when every accountant total is *exact* (the area
-        // objective sums small integers, which f64 represents and adds
-        // without rounding). Power totals are path-dependent floating
-        // point: a shard's freshly seeded accountant can differ from the
-        // sequentially flipped one in final ulps, which near the 1e-12
-        // commit margin would make the outcome depend on the shard count —
-        // so power walks stay single-threaded and bit-identical.
-        let exact = matches!(objective, Objective::Area);
-        let shards = if exact && (1u64 << n) >= GRAY_SHARD_MIN_STEPS {
+    let auto_shards =
+        if n <= config.exhaustive_limit && n > 0 && (1u64 << n) >= GRAY_SHARD_MIN_STEPS {
             GRAY_SHARDS
         } else {
             1
         };
+    search_objective_with_shards(synth, objective, config, auto_shards)
+}
+
+/// [`search_objective`] with an explicit shard count for the exhaustive
+/// branch (clamped to `[1, 16]`; the hill-climbing branch is inherently
+/// sequential and ignores it). The outcome is bit-identical for every
+/// shard count — exposed so tests and benches can pin that contract
+/// directly; ordinary callers should use [`search_objective`], which picks
+/// the count automatically.
+///
+/// # Errors
+///
+/// Propagates [`PhaseError`] from accounting.
+pub fn search_objective_with_shards(
+    synth: &DominoSynthesizer<'_>,
+    objective: Objective<'_>,
+    config: &MinAreaConfig,
+    shards: usize,
+) -> Result<SearchOutcome, PhaseError> {
+    let n = synth.view_outputs().len();
+    if n <= config.exhaustive_limit && n > 0 {
         return gray_walk(synth, &objective, n, shards);
     }
 
     let mut acct = ConeAccountant::new(synth, objective, PhaseAssignment::all_positive(n))?;
     let mut evaluations = 1usize;
-    let mut best = acct.total();
+    let mut best = acct.fixed_total();
     let mut best_assignment = acct.assignment().clone();
-    let mut trace = vec![best];
+    let mut trace = vec![fixed_to_power(best)];
     let mut commits = 0usize;
 
     // Hill climbing on single flips.
@@ -333,11 +458,11 @@ pub fn search_objective(
         for i in 0..n {
             acct.flip(i);
             evaluations += 1;
-            let total = acct.total();
-            if total < best - 1e-12 {
+            let total = acct.fixed_total();
+            if total < best {
                 best = total;
                 best_assignment = acct.assignment().clone();
-                trace.push(best);
+                trace.push(fixed_to_power(best));
                 commits += 1;
                 improved = true;
             } else {
@@ -350,7 +475,7 @@ pub fn search_objective(
     }
     Ok(SearchOutcome {
         assignment: best_assignment,
-        objective: best,
+        objective: fixed_to_power(best),
         evaluations,
         commits,
         trace,
@@ -369,34 +494,34 @@ const GRAY_SHARD_MIN_STEPS: u64 = 1 << 12;
 /// A shard-local improvement candidate of the Gray-code walk.
 struct GrayCandidate {
     step: u64,
-    total: f64,
+    total: FixedPower,
 }
 
 /// Exhaustive Gray-code walk over all `2^n` assignments, sharded across
 /// `shards` workers.
 ///
 /// The global walk visits assignment `gray(s) = s ^ (s >> 1)` at step `s`.
-/// Shard `w` owns the contiguous step range `[w·2^n/shards, (w+1)·2^n/shards)`:
-/// it positions a private [`ConeAccountant`] at its range's first
-/// assignment, walks the range flipping `trailing_zeros(step)` per step,
-/// and records every *strict local prefix minimum* (strictly smaller than
-/// everything earlier in the shard, no margin). A sequentially committed
-/// step satisfies `total < best − 1e-12`, and the sequential `best` never
-/// sits more than `1e-12` above the shard-local strict minimum, so every
-/// such step is a strict local minimum — replaying the recorded candidates
-/// in global step order through the sequential commit rule therefore
-/// reproduces the single-threaded result: same best assignment, same
-/// trace, same commit count, independent of `shards`.
+/// The step range `[0, 2^n)` is split into `shards` contiguous
+/// near-equal chunks (earlier shards take the remainder, so every shard
+/// count covers every step exactly once): shard `w` positions a private
+/// [`ConeAccountant`] at its range's first assignment, walks the range
+/// flipping `trailing_zeros(step)` per step, and records every *strict
+/// prefix minimum* (strictly smaller than everything earlier in the
+/// shard).
 ///
-/// That argument treats totals as exact values, which holds for the area
-/// objective (integer weights) but *not* in general for power weights:
-/// a shard accountant seeded by [`ConeAccountant::new`] accumulates its
-/// `f64` state along a different path than the sequentially flipped one
-/// and can differ in final ulps. [`search_objective`] therefore only
-/// passes `shards > 1` for [`Objective::Area`]; callers forcing multiple
-/// shards for power objectives get a deterministic result (the shard
-/// boundaries are fixed), but one that may differ from `shards = 1` in
-/// the last bits near commit-margin ties.
+/// Totals are the accountant's fixed-point integers, so they are **exact**
+/// and path-independent for every objective: a shard accountant freshly
+/// seeded at its range start carries the same bits as one flipped there
+/// sequentially. The sequential walk commits step `s` iff
+/// `total(s) < min(totals before s)` — exactly the strict prefix minima of
+/// the global sequence, each of which is also a strict prefix minimum of
+/// its own shard. Replaying the recorded candidates in global step order
+/// through the same commit rule therefore reproduces the single-threaded
+/// result bit for bit — same assignment, objective, trace and commit
+/// count, independent of `shards`. (Before the fixed-point weights this
+/// held only for the integer-weighted area objective; `f64` power totals
+/// were accumulation-path-dependent, which is why power walks used to be
+/// single-threaded.)
 fn gray_walk(
     synth: &DominoSynthesizer<'_>,
     objective: &Objective<'_>,
@@ -404,33 +529,34 @@ fn gray_walk(
     shards: usize,
 ) -> Result<SearchOutcome, PhaseError> {
     let total_steps = 1u64 << n;
-    let shards = shards.clamp(1, 16) as u64;
-    // Each shard must own at least one step; shards is a power-of-two
-    // divisor of total_steps by construction.
-    let shards = shards.min(total_steps);
-    debug_assert!(shards.is_power_of_two());
-    let chunk = total_steps / shards;
+    // Each shard must own at least one step; earlier shards take the
+    // remainder of the balanced split, so any count in [1, 16] covers
+    // every step exactly once.
+    let shards = (shards.clamp(1, 16) as u64).min(total_steps);
+    let base = total_steps / shards;
+    let rem = total_steps % shards;
 
     let walk_shard = |w: u64| -> Result<Vec<GrayCandidate>, PhaseError> {
-        let start = w * chunk;
+        let start = w * base + w.min(rem);
+        let len = base + u64::from(w < rem);
         let start_bits = start ^ (start >> 1);
         let mut acct = ConeAccountant::new(
             synth,
             objective.clone(),
             PhaseAssignment::from_bits(n, start_bits),
         )?;
-        let mut local_best = f64::INFINITY;
+        let mut local_best = FixedPower::MAX;
         let mut candidates = Vec::new();
-        let mut record = |step: u64, total: f64, local_best: &mut f64| {
+        let mut record = |step: u64, total: FixedPower, local_best: &mut FixedPower| {
             if total < *local_best {
                 *local_best = total;
                 candidates.push(GrayCandidate { step, total });
             }
         };
-        record(start, acct.total(), &mut local_best);
-        for step in start + 1..start + chunk {
+        record(start, acct.fixed_total(), &mut local_best);
+        for step in start + 1..start + len {
             acct.flip(step.trailing_zeros() as usize);
-            record(step, acct.total(), &mut local_best);
+            record(step, acct.fixed_total(), &mut local_best);
         }
         Ok(candidates)
     };
@@ -451,7 +577,7 @@ fn gray_walk(
     };
 
     // Deterministic merge in global step order.
-    let mut best = f64::INFINITY;
+    let mut best = FixedPower::MAX;
     let mut best_step = 0u64;
     let mut trace = Vec::new();
     let mut commits = 0usize;
@@ -462,18 +588,18 @@ fn gray_walk(
                 // total before walking (not a commit).
                 best = cand.total;
                 best_step = 0;
-                trace.push(best);
-            } else if cand.total < best - 1e-12 {
+                trace.push(fixed_to_power(best));
+            } else if cand.total < best {
                 best = cand.total;
                 best_step = cand.step;
-                trace.push(best);
+                trace.push(fixed_to_power(best));
                 commits += 1;
             }
         }
     }
     Ok(SearchOutcome {
         assignment: PhaseAssignment::from_bits(n, best_step ^ (best_step >> 1)),
-        objective: best,
+        objective: fixed_to_power(best),
         evaluations: total_steps as usize,
         commits,
         trace,
@@ -561,6 +687,33 @@ impl PartialOrd for HeapEntry {
 ///
 /// Returns [`PhaseError::AssignmentMismatch`] if `initial` has the wrong
 /// length.
+///
+/// # Example
+///
+/// The paper's Figure 5 pair at `p(PI) = 0.9`: the heuristic finds the
+/// `(f−, g+)` assignment, 75% cheaper than the all-positive one.
+///
+/// ```
+/// use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
+/// use domino_phase::search::{min_power_assignment, MinPowerConfig};
+/// use domino_phase::{DominoSynthesizer, Phase, PhaseAssignment};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = domino_workloads::figures::fig5_network()?;
+/// let probs = compute_probabilities(&net, &[0.9; 4], &ProbabilityConfig::default())?;
+/// let synth = DominoSynthesizer::new(&net)?;
+/// let outcome = min_power_assignment(
+///     &synth,
+///     &probs,
+///     PhaseAssignment::all_positive(2),
+///     &MinPowerConfig::default(),
+/// )?;
+/// assert_eq!(outcome.assignment.phase(0), Phase::Negative); // f flipped
+/// assert_eq!(outcome.assignment.phase(1), Phase::Positive); // g kept
+/// assert!((outcome.objective - 1.1219).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
 pub fn min_power_assignment(
     synth: &DominoSynthesizer<'_>,
     probs: &NodeProbabilities,
@@ -577,8 +730,8 @@ pub fn min_power_assignment(
         },
         initial,
     )?;
-    let mut best = acct.total();
-    let mut trace = vec![best];
+    let mut best = acct.fixed_total();
+    let mut trace = vec![fixed_to_power(best)];
     let mut evaluations = 0usize;
     let mut commits = 0usize;
 
@@ -672,10 +825,10 @@ pub fn min_power_assignment(
         for i in 0..n {
             acct.flip(i);
             evaluations += 1;
-            let total = acct.total();
-            if total < best - 1e-12 {
+            let total = acct.fixed_total();
+            if total < best {
                 best = total;
-                trace.push(total);
+                trace.push(fixed_to_power(total));
                 commits += 1;
                 improved = true;
             } else {
@@ -689,7 +842,7 @@ pub fn min_power_assignment(
 
     Ok(SearchOutcome {
         assignment: acct.assignment().clone(),
-        objective: best,
+        objective: fixed_to_power(best),
         evaluations,
         commits,
         trace,
@@ -770,8 +923,8 @@ pub fn min_power_assignment_grouped(
         },
         initial,
     )?;
-    let mut best = acct.total();
-    let mut trace = vec![best];
+    let mut best = acct.fixed_total();
+    let mut trace = vec![fixed_to_power(best)];
     let mut evaluations = 0usize;
     let mut commits = 0usize;
 
@@ -820,10 +973,10 @@ pub fn min_power_assignment_grouped(
                 acct.set_phase(i, p);
             }
             evaluations += 1;
-            let total = acct.total();
-            if total < best - 1e-12 || config.always_commit {
+            let total = acct.fixed_total();
+            if total < best || config.always_commit {
                 best = total;
-                trace.push(total);
+                trace.push(fixed_to_power(total));
                 commits += 1;
             } else {
                 for (&i, &p) in members.iter().zip(&old) {
@@ -838,10 +991,10 @@ pub fn min_power_assignment_grouped(
         for i in 0..n {
             acct.flip(i);
             evaluations += 1;
-            let total = acct.total();
-            if total < best - 1e-12 {
+            let total = acct.fixed_total();
+            if total < best {
                 best = total;
-                trace.push(total);
+                trace.push(fixed_to_power(total));
                 commits += 1;
                 improved = true;
             } else {
@@ -855,7 +1008,7 @@ pub fn min_power_assignment_grouped(
 
     Ok(SearchOutcome {
         assignment: acct.assignment().clone(),
-        objective: best,
+        objective: fixed_to_power(best),
         evaluations,
         commits,
         trace,
@@ -910,7 +1063,7 @@ fn evaluate_pair(
     phase_i: Phase,
     phase_j: Phase,
     config: &MinPowerConfig,
-    best: &mut f64,
+    best: &mut FixedPower,
     trace: &mut Vec<f64>,
     evaluations: &mut usize,
     commits: &mut usize,
@@ -925,10 +1078,10 @@ fn evaluate_pair(
     acct.set_phase(i, phase_i);
     acct.set_phase(j, phase_j);
     *evaluations += 1;
-    let total = acct.total();
-    if total < *best - 1e-12 || config.always_commit {
+    let total = acct.fixed_total();
+    if total < *best || config.always_commit {
         *best = total;
-        trace.push(total);
+        trace.push(fixed_to_power(total));
         *commits += 1;
         versions[i] += 1;
         versions[j] += 1;
@@ -1230,53 +1383,88 @@ mod tests {
 
     /// The sharded Gray walk must reproduce the single-threaded walk
     /// exactly — same assignment, same objective bits, same trace — for
-    /// any shard count, whenever the accountant totals are exact: always
-    /// for the area objective (integer weights, the only one
-    /// [`search_objective`] auto-shards), and for power at p = ½ where
-    /// every weight is a dyadic rational. (General power probabilities
-    /// are path-dependent floating point, which is exactly why
-    /// [`search_objective`] keeps those walks single-threaded.)
+    /// any shard count and *every* objective: fixed-point totals are
+    /// path-independent integers, so this holds at arbitrary (non-dyadic)
+    /// probabilities, which is exactly what lets [`search_objective`]
+    /// auto-shard power walks.
     #[test]
     fn sharded_gray_walk_matches_sequential() {
         let net = wide12();
         let synth = DominoSynthesizer::new(&net).unwrap();
-        let probs = probs_for(&net, 0.5);
-        let objectives = [
+        for p in [0.5, 0.9, 0.37] {
+            let probs = probs_for(&net, p);
+            let objectives = [
+                Objective::Area,
+                Objective::Power {
+                    probs: probs.as_slice(),
+                    model: PowerModel::unit(),
+                },
+            ];
+            for objective in objectives {
+                let seq = gray_walk(&synth, &objective, 12, 1).unwrap();
+                for shards in [2, 3, 4, 7, 8] {
+                    let par = gray_walk(&synth, &objective, 12, shards).unwrap();
+                    assert_eq!(seq.assignment, par.assignment, "p={p} shards={shards}");
+                    assert_eq!(
+                        seq.objective.to_bits(),
+                        par.objective.to_bits(),
+                        "p={p} shards={shards}"
+                    );
+                    assert_eq!(seq.commits, par.commits, "p={p} shards={shards}");
+                    assert_eq!(seq.trace, par.trace, "p={p} shards={shards}");
+                    assert_eq!(par.evaluations, 1 << 12);
+                }
+            }
+        }
+        // The public entry points (which auto-shard at this width) agree
+        // with the explicit single-shard walk, for area and power alike.
+        let cfg = MinAreaConfig {
+            exhaustive_limit: 12,
+            max_passes: 0,
+        };
+        let probs = probs_for(&net, 0.9);
+        for objective in [
             Objective::Area,
             Objective::Power {
                 probs: probs.as_slice(),
                 model: PowerModel::unit(),
             },
-        ];
-        for objective in objectives {
+        ] {
+            let auto = search_objective(&synth, objective.clone(), &cfg).unwrap();
             let seq = gray_walk(&synth, &objective, 12, 1).unwrap();
-            for shards in [2, 4, 8] {
-                let par = gray_walk(&synth, &objective, 12, shards).unwrap();
-                assert_eq!(seq.assignment, par.assignment, "shards={shards}");
+            assert_eq!(auto.assignment, seq.assignment);
+            assert_eq!(auto.objective.to_bits(), seq.objective.to_bits());
+        }
+    }
+
+    /// The incremental fixed-point delta must never drift from a full
+    /// recomputation: an accountant flipped along a long Gray path carries
+    /// bit-identical totals to one freshly seeded at the same assignment.
+    #[test]
+    fn incremental_totals_match_full_recomputation() {
+        let net = wide12();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let probs = probs_for(&net, 0.73);
+        let objective = Objective::Power {
+            probs: probs.as_slice(),
+            model: PowerModel::with_and_penalty(2.5),
+        };
+        let mut walker =
+            ConeAccountant::new(&synth, objective.clone(), PhaseAssignment::all_positive(12))
+                .unwrap();
+        for step in 1u64..512 {
+            walker.flip(step.trailing_zeros() as usize);
+            if step % 37 == 0 {
+                let fresh =
+                    ConeAccountant::new(&synth, objective.clone(), walker.assignment().clone())
+                        .unwrap();
                 assert_eq!(
-                    seq.objective.to_bits(),
-                    par.objective.to_bits(),
-                    "shards={shards}"
+                    walker.fixed_total(),
+                    fresh.fixed_total(),
+                    "step {step}: incremental vs full recomputation"
                 );
-                assert_eq!(seq.commits, par.commits, "shards={shards}");
-                assert_eq!(seq.trace, par.trace, "shards={shards}");
-                assert_eq!(par.evaluations, 1 << 12);
             }
         }
-        // The public entry point (which auto-shards at this width) agrees
-        // with the explicit single-shard walk.
-        let auto = search_objective(
-            &synth,
-            Objective::Area,
-            &MinAreaConfig {
-                exhaustive_limit: 12,
-                max_passes: 0,
-            },
-        )
-        .unwrap();
-        let seq = gray_walk(&synth, &Objective::Area, 12, 1).unwrap();
-        assert_eq!(auto.assignment, seq.assignment);
-        assert_eq!(auto.objective.to_bits(), seq.objective.to_bits());
     }
 
     /// The sharded exhaustive optimum must equal brute force over a

@@ -620,27 +620,33 @@ impl<'a> DominoSynthesizer<'a> {
         let driver = self.view_outputs[output].driver;
         let root = self.resolve(driver, phase.is_negative());
         let mut gates = Vec::new();
-        let mut seen: HashMap<(NodeId, bool), ()> = HashMap::new();
+        // Dense visited sets (bit 0 = direct, bit 1 = complemented): the
+        // demand walk feeds the search accountants, where hash probes per
+        // gate were measurable.
+        let mut seen = vec![0u8; self.net.len()];
         let mut neg_sources: Vec<NodeId> = Vec::new();
-        let mut neg_seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut neg_seen = vec![false; self.net.len()];
         let mut stack: Vec<(NodeId, bool)> = Vec::new();
         match root {
             DemandRoot::Node(n, c) => stack.push((n, c)),
             DemandRoot::Source(s, true) => {
-                neg_seen.insert(s, ());
+                neg_seen[s.index()] = true;
                 neg_sources.push(s);
             }
             _ => {}
         }
         while let Some((n, c)) = stack.pop() {
-            if seen.insert((n, c), ()).is_some() {
+            let mark = 1u8 << u8::from(c);
+            if seen[n.index()] & mark != 0 {
                 continue;
             }
+            seen[n.index()] |= mark;
             gates.push((n, c));
             for &f in self.net.node(n).comb_fanins() {
                 match self.resolve(f, c) {
                     DemandRoot::Node(m, mc) => stack.push((m, mc)),
-                    DemandRoot::Source(s, true) if neg_seen.insert(s, ()).is_none() => {
+                    DemandRoot::Source(s, true) if !neg_seen[s.index()] => {
+                        neg_seen[s.index()] = true;
                         neg_sources.push(s);
                     }
                     _ => {}

@@ -33,10 +33,12 @@ fn usage() -> &'static str {
        --p <f>                          PI probability [0.5]\n\
        --timed <fraction>               timed synthesis clock fraction\n\
        --and-penalty <f>                MP series-stack penalty\n\
-       --threads <n>                    workers, 0 = all CPUs [0]\n\
+       --threads <n>                    engine workers, 0 = all CPUs [0]\n\
        --cache <dir>                    disk result cache\n\
        --jsonl <file|->                 JSONL outcomes\n\
        --sim-cycles <n>                 simulation cycles [4096]\n\
+       --sim-shards <n>                 simulation stream shards [8]\n\
+       --sim-threads <n>                threads per simulation, 0 = all CPUs [1]\n\
        --stats                          print BDD kernel + simulation statistics\n\
        --quiet                          suppress progress"
 }
@@ -51,6 +53,8 @@ struct Options {
     cache_dir: Option<String>,
     jsonl: Option<String>,
     sim_cycles: Option<usize>,
+    sim_shards: Option<u32>,
+    sim_threads: Option<usize>,
     stats: bool,
     quiet: bool,
     public_only: bool,
@@ -68,6 +72,8 @@ impl Options {
             cache_dir: None,
             jsonl: None,
             sim_cycles: None,
+            sim_shards: None,
+            sim_threads: None,
             stats: false,
             quiet: false,
             public_only: false,
@@ -123,6 +129,22 @@ impl Options {
                             .map_err(|_| "--sim-cycles needs an integer".to_string())?,
                     );
                 }
+                "--sim-shards" => {
+                    let n: u32 = value("--sim-shards")?
+                        .parse()
+                        .map_err(|_| "--sim-shards needs an integer".to_string())?;
+                    if n == 0 {
+                        return Err("--sim-shards must be at least 1".to_string());
+                    }
+                    opts.sim_shards = Some(n);
+                }
+                "--sim-threads" => {
+                    opts.sim_threads = Some(
+                        value("--sim-threads")?
+                            .parse()
+                            .map_err(|_| "--sim-threads needs an integer".to_string())?,
+                    );
+                }
                 "--stats" => opts.stats = true,
                 "--quiet" => opts.quiet = true,
                 "--public" => opts.public_only = true,
@@ -142,6 +164,12 @@ impl Options {
         spec.mp_and_penalty = self.and_penalty;
         if let Some(cycles) = self.sim_cycles {
             spec.sim.cycles = cycles;
+        }
+        if let Some(shards) = self.sim_shards {
+            spec.sim.shards = shards;
+        }
+        if let Some(threads) = self.sim_threads {
+            spec.sim.threads = threads;
         }
         spec
     }

@@ -303,7 +303,16 @@ impl FlowJob {
 }
 
 /// Computes the content-address for running `spec` on `net`.
+///
+/// `sim.threads` is canonicalized away first: it is an execution knob —
+/// the sharded kernels produce bit-identical results for every thread
+/// count (pinned by the sim crate's invariance tests) — so jobs differing
+/// only in thread count share one cache entry. `sim.shards` stays in the
+/// key: the shard count defines the vector streams and therefore the
+/// measured bits.
 pub fn cache_key(net: &Network, spec: &JobSpec) -> String {
+    let mut spec = spec.clone();
+    spec.sim.threads = 1;
     let config = spec.config_json().serialize();
     let net_digest = net.structural_digest();
     // Two independent FNV-1a passes (salted differently) give a 128-bit
@@ -403,6 +412,7 @@ fn sim_stats_to_json(stats: &SimStats) -> Json {
         ("vectors", Json::Num(stats.vectors as f64)),
         ("words", Json::Num(stats.words as f64)),
         ("measured_words", Json::Num(stats.measured_words as f64)),
+        ("shards", Json::Num(stats.shards as f64)),
     ])
 }
 
@@ -411,6 +421,8 @@ fn sim_stats_from_json(v: &Json) -> Result<SimStats, EngineError> {
         vectors: req_usize(v, "vectors")? as u64,
         words: req_usize(v, "words")? as u64,
         measured_words: req_usize(v, "measured_words")? as u64,
+        // Optional so outcomes cached before the sharded engine still parse.
+        shards: v.get("shards").and_then(Json::as_usize).unwrap_or(0) as u64,
     })
 }
 
@@ -851,10 +863,13 @@ fn sim_to_json(sim: &SimConfig) -> Json {
             "adaptive_tol_ppm",
             Json::Num(f64::from(sim.adaptive_tol_ppm)),
         ),
+        ("shards", Json::Num(f64::from(sim.shards))),
+        ("threads", Json::Num(sim.threads as f64)),
     ])
 }
 
 fn sim_from_json(v: &Json) -> Result<SimConfig, EngineError> {
+    let defaults = SimConfig::default();
     Ok(SimConfig {
         cycles: req_usize(v, "cycles")?,
         warmup: req_usize(v, "warmup")?,
@@ -868,6 +883,18 @@ fn sim_from_json(v: &Json) -> Result<SimConfig, EngineError> {
                 .as_usize()
                 .and_then(|n| u32::try_from(n).ok())
                 .ok_or_else(|| missing("adaptive_tol_ppm"))?,
+        },
+        // Optional (pre-sharding job files), same fail-loudly rule.
+        shards: match v.get("shards") {
+            None | Some(Json::Null) => defaults.shards,
+            Some(j) => j
+                .as_usize()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| missing("shards"))?,
+        },
+        threads: match v.get("threads") {
+            None | Some(Json::Null) => defaults.threads,
+            Some(j) => j.as_usize().ok_or_else(|| missing("threads"))?,
         },
     })
 }
@@ -885,6 +912,8 @@ mod tests {
         spec.flow.probability.ordering = OrderingChoice::Random(9);
         // Above 2^53: would be silently rounded if seeds went through f64.
         spec.sim.seed = 9_007_199_254_740_993;
+        spec.sim.shards = 4;
+        spec.sim.threads = 3;
         spec.pi = PiSpec::PerInput(vec![0.25, 0.75]);
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -912,6 +941,22 @@ mod tests {
 
         let other = JobSpec::suite("x1").resolve().unwrap();
         assert_ne!(job.cache_key(), other.cache_key());
+    }
+
+    #[test]
+    fn sim_threads_do_not_split_the_cache() {
+        // threads is execution-only: results are thread-invariant, so the
+        // key canonicalizes it away...
+        let a = JobSpec::suite("frg1").resolve().unwrap();
+        let mut threaded_spec = JobSpec::suite("frg1");
+        threaded_spec.sim.threads = 8;
+        let b = threaded_spec.resolve().unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        // ...while shards define the vector streams and stay in the key.
+        let mut sharded_spec = JobSpec::suite("frg1");
+        sharded_spec.sim.shards = 1;
+        let c = sharded_spec.resolve().unwrap();
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 
     #[test]
@@ -960,8 +1005,9 @@ mod tests {
                 },
                 sim: SimStats {
                     vectors: 4096,
-                    words: 128,
+                    words: 80,
                     measured_words: 64,
+                    shards: 8,
                 },
             }),
             mp: None,

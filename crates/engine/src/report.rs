@@ -109,10 +109,12 @@ pub fn format_kernel_stats(results: &[JobResult]) -> String {
                 .expect("write to string");
                 writeln!(
                     s,
-                    "stats: {:<11} {tag}  sim vectors {:>8}  words {:>6}  lanes {:>6} used",
+                    "stats: {:<11} {tag}  sim vectors {:>8}  words {:>6}  shards {:>2}  \
+                     lanes {:>6} used",
                     outcome.name,
                     r.sim.vectors,
                     r.sim.words,
+                    r.sim.shards,
                     format!("{:.1}%", 100.0 * r.sim.lane_utilization()),
                 )
                 .expect("write to string");
@@ -156,8 +158,9 @@ mod tests {
             bdd: crate::BddKernelStats::default(),
             sim: crate::SimStats {
                 vectors: 4096,
-                words: 128,
+                words: 80,
                 measured_words: 64,
+                shards: 8,
             },
         };
         FlowOutcome {

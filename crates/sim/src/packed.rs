@@ -1,13 +1,28 @@
 //! Shared plumbing for the bit-parallel simulation engine: lane/word
-//! scheduling and work accounting.
+//! scheduling, shard decomposition and work accounting.
 //!
 //! The engine packs 64 *independent* Monte-Carlo lanes into every `u64`
 //! word. One word-step advances every lane by one cycle, so a run of `c`
 //! measured cycles needs `⌈c / 64⌉` measured word-steps — the last one
-//! masked down to the remainder lanes — plus one warmup word-step per
-//! requested warmup cycle (each lane warms up independently).
+//! masked down to the remainder lanes — plus the run's warmup word-steps.
+//!
+//! # Shard decomposition
+//!
+//! A measurement of `cycles` vectors is decomposed into
+//! [`SimConfig::shards`](crate::SimConfig) **logical shards**: shard `k`
+//! simulates its own contiguous block of the requested cycles from its own
+//! sub-seeded [`PackedVectorSource`](crate::PackedVectorSource) stream
+//! (every lane is an independent Monte-Carlo chain, so shards are simply
+//! more chains). All event counters are order-independent integers, so the
+//! per-shard counters merge by plain addition — the merged totals are a
+//! pure function of `(probs, seed, cycles, warmup, shards)` and in
+//! particular **independent of how many OS threads execute the shards**.
+//! That is the whole determinism story: `threads` is an execution knob,
+//! `shards` is part of the stream definition.
 
 pub use crate::vectors::LANES;
+
+use crate::power::SimConfig;
 
 /// Broadcasts a boolean to all 64 lanes.
 pub(crate) fn broadcast(v: bool) -> u64 {
@@ -71,16 +86,119 @@ impl WordSchedule {
     }
 }
 
+/// One logical shard of a packed measurement: its private stream seed and
+/// its slice of the run's warmup/measured budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardSlice {
+    /// Sub-seed of this shard's [`PackedVectorSource`](crate::PackedVectorSource) stream.
+    pub seed: u64,
+    /// Warmup word-steps this shard runs before measuring.
+    pub warmup: usize,
+    /// Measured cycles (vectors) this shard contributes.
+    pub cycles: usize,
+}
+
+/// Derives the stream seed of shard `k`. Shard 0 uses the configured seed
+/// itself — so a single-shard run reproduces the classic single-stream
+/// semantics — and every other shard gets a SplitMix64-mixed sub-seed,
+/// decorrelating the shard streams while staying a pure function of
+/// `(seed, k)`.
+pub(crate) fn shard_seed(seed: u64, k: u64) -> u64 {
+    if k == 0 {
+        return seed;
+    }
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Decomposes a [`SimConfig`] into its logical shards: measured cycles and
+/// warmup word-steps are split as evenly as possible (earlier shards take
+/// the remainders), and shards left with no measured cycles are dropped —
+/// so tiny runs degrade gracefully and `threads > shards > words` stays
+/// well-defined. When any warmup is requested at all, every shard settles
+/// for **at least one** word-step: a shard measuring from completely cold
+/// state would count spurious first-cycle inverter toggles the warmup knob
+/// exists to discard. The plan is a pure function of the config, never of
+/// the thread count.
+pub(crate) fn shard_plan(config: &SimConfig) -> Vec<ShardSlice> {
+    let shards = (config.shards.max(1) as usize).min(config.cycles.max(1));
+    let base = config.cycles / shards;
+    let rem = config.cycles % shards;
+    let wbase = config.warmup / shards;
+    let wrem = config.warmup % shards;
+    (0..shards)
+        .map(|k| {
+            let mut warmup = wbase + usize::from(k < wrem);
+            if warmup == 0 && config.warmup > 0 {
+                warmup = 1;
+            }
+            ShardSlice {
+                seed: shard_seed(config.seed, k as u64),
+                warmup,
+                cycles: base + usize::from(k < rem),
+            }
+        })
+        .filter(|slice| slice.cycles > 0)
+        .collect()
+}
+
+/// Resolves the execution thread count: `0` means "all available CPUs",
+/// and there is never a point in more workers than shards.
+fn effective_threads(threads: usize, shards: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    t.clamp(1, shards.max(1))
+}
+
+/// Runs `f` over every shard of `plan`, on up to `threads` OS threads,
+/// returning the results **in shard order**. The single-thread path runs
+/// inline (no spawn overhead); the multi-thread path splits the plan into
+/// contiguous chunks. Because callers merge shard results with integer
+/// addition, the outputs are identical either way — pinned by the
+/// thread-count-invariance tests.
+pub(crate) fn run_sharded<T: Send>(
+    plan: &[ShardSlice],
+    threads: usize,
+    f: impl Fn(&ShardSlice) -> T + Sync,
+) -> Vec<T> {
+    let threads = effective_threads(threads, plan.len());
+    if threads <= 1 || plan.len() <= 1 {
+        return plan.iter().map(f).collect();
+    }
+    let chunk_len = plan.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = plan
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulation shard panicked"))
+            .collect()
+    })
+}
+
 /// Work accounting of one packed simulation run — surfaced through
 /// [`PowerReport::stats`](crate::PowerReport) and `dominoc --stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimStats {
     /// Measured vectors (cycles) that contributed to the statistics.
     pub vectors: u64,
-    /// Total word-steps evaluated, warmup included.
+    /// Total word-steps evaluated, warmup included, summed over shards.
     pub words: u64,
-    /// Measured word-steps (each evaluates all 64 lanes).
+    /// Measured word-steps (each evaluates all 64 lanes), summed over
+    /// shards.
     pub measured_words: u64,
+    /// Logical shards the measurement was decomposed into (1 for the
+    /// single-stream kernels). Results depend on the shard count, never on
+    /// the thread count that executed them.
+    pub shards: u64,
 }
 
 impl SimStats {
@@ -122,14 +240,73 @@ mod tests {
             vectors: 4096,
             words: 128,
             measured_words: 64,
+            shards: 8,
         };
         assert!((full.lane_utilization() - 1.0).abs() < 1e-12);
         let partial = SimStats {
             vectors: 100,
             words: 4,
             measured_words: 2,
+            shards: 1,
         };
         assert!((partial.lane_utilization() - 100.0 / 128.0).abs() < 1e-12);
         assert_eq!(SimStats::default().lane_utilization(), 0.0);
+    }
+
+    #[test]
+    fn shard_plan_covers_cycles_exactly() {
+        let cfg = SimConfig {
+            cycles: 4096,
+            warmup: 64,
+            seed: 7,
+            shards: 8,
+            ..SimConfig::default()
+        };
+        let plan = shard_plan(&cfg);
+        assert_eq!(plan.len(), 8);
+        assert_eq!(plan.iter().map(|s| s.cycles).sum::<usize>(), 4096);
+        assert_eq!(plan.iter().map(|s| s.warmup).sum::<usize>(), 64);
+        // Shard 0 keeps the configured seed; the others get distinct mixes.
+        assert_eq!(plan[0].seed, 7);
+        let mut seeds: Vec<u64> = plan.iter().map(|s| s.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+
+        // Uneven split: earlier shards take the remainders.
+        let uneven = shard_plan(&SimConfig {
+            cycles: 203,
+            warmup: 3,
+            shards: 8,
+            ..cfg
+        });
+        assert_eq!(uneven.iter().map(|s| s.cycles).sum::<usize>(), 203);
+        assert!(uneven.iter().all(|s| s.cycles > 0));
+        assert!(uneven[0].cycles >= uneven[7].cycles);
+
+        // More shards than cycles: empty shards are dropped.
+        let tiny = shard_plan(&SimConfig {
+            cycles: 3,
+            warmup: 0,
+            shards: 8,
+            ..cfg
+        });
+        assert_eq!(tiny.len(), 3);
+        assert_eq!(tiny.iter().map(|s| s.cycles).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn run_sharded_is_thread_count_invariant() {
+        let cfg = SimConfig {
+            cycles: 1000,
+            warmup: 8,
+            shards: 8,
+            ..SimConfig::default()
+        };
+        let plan = shard_plan(&cfg);
+        let work = |s: &ShardSlice| s.seed.wrapping_mul(s.cycles as u64 + 1);
+        let seq: Vec<u64> = run_sharded(&plan, 1, work);
+        for threads in [2, 3, 8, 16] {
+            assert_eq!(run_sharded(&plan, threads, work), seq, "threads={threads}");
+        }
     }
 }

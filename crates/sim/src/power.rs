@@ -31,42 +31,92 @@
 use domino_phase::{DominoNetwork, PackedRailEvaluator};
 use domino_techmap::{CellClass, Library, MappedNetlist, MappedRef};
 
-use crate::packed::{broadcast, SimStats, WordSchedule};
+use crate::packed::{broadcast, run_sharded, shard_plan, ShardSlice, SimStats, WordSchedule};
 use crate::vectors::PackedVectorSource;
 
-/// Words between adaptive-convergence checkpoints (1024 vectors).
-const ADAPTIVE_CHUNK_WORDS: usize = 16;
+/// First adaptive checkpoint, in measured words per shard (128 vectors).
+/// Checkpoints then *double*: a shard checks at words 2, 4, 8, 16, … — so
+/// early stop stays reachable for small budgets at any shard count (a
+/// fixed 16-word interval would have needed `shards × 1024` vectors before
+/// the first comparison), while a long non-converging run pays only
+/// `O(log words)` `finalize_power` estimate passes instead of one every
+/// fixed interval. Each comparison spans half the shard's data — a
+/// stronger convergence signal than equal-width windows.
+const ADAPTIVE_FIRST_CHECK_WORDS: usize = 2;
 
-/// Simulation length and seeding.
+/// Simulation length, seeding, and shard/thread decomposition.
+///
+/// # Determinism contract
+///
+/// Measurement results are a pure function of `(cycles, warmup, seed,
+/// adaptive_tol_ppm, shards)` — everything except
+/// [`threads`](SimConfig::threads), which only chooses how many OS
+/// threads execute the (fixed) shard decomposition.
+/// Sharded kernels accumulate integer event counters per shard and merge
+/// them by addition, so `threads = 1` and `threads = 8` produce
+/// bit-identical reports; the engine's cache key canonicalizes `threads`
+/// away for the same reason.
+///
+/// # Example
+///
+/// ```
+/// use domino_sim::SimConfig;
+///
+/// let cfg = SimConfig { cycles: 1 << 16, threads: 8, ..SimConfig::default() };
+/// // threads is execution-only: these two configs measure identical bits.
+/// let sequential = SimConfig { threads: 1, ..cfg };
+/// assert_eq!(cfg.cycles, sequential.cycles);
+/// assert_eq!(cfg.shards, sequential.shards); // the stream decomposition
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
-    /// Measured vectors. The packed engine simulates 64 lanes per word, so
-    /// `cycles / 64` full words are evaluated plus one partially-masked
-    /// word for the remainder.
+    /// Measured vectors, summed over all shards. The packed engine
+    /// simulates 64 lanes per word, so each shard evaluates
+    /// `its cycles / 64` full words plus one partially-masked word for the
+    /// remainder.
     pub cycles: usize,
-    /// Warmup cycles *per lane*, discarded from statistics (sequential
-    /// state settling — every lane is an independent Monte-Carlo chain and
-    /// settles on its own).
+    /// Warmup word-steps discarded from statistics (sequential state
+    /// settling), split across the shards: each shard settles its own 64
+    /// independent Monte-Carlo lane-chains for `warmup / shards` steps —
+    /// at least one step whenever `warmup > 0`, so no shard measures from
+    /// completely cold state. A total budget, not a per-chain depth:
+    /// sequential designs whose pipelines need more than `warmup / shards`
+    /// cycles to settle should scale `warmup` with the shard count. The
+    /// single-stream kernels ([`montecarlo`](crate::montecarlo),
+    /// [`simulate_static`](crate::simulate_static)) run all `warmup` steps
+    /// on their one stream.
     pub warmup: usize,
-    /// RNG seed for the vector stream.
+    /// RNG seed. Shard 0 draws from `seed` itself; shard `k > 0` draws
+    /// from a SplitMix64-mixed sub-seed of `(seed, k)`.
     pub seed: u64,
     /// Adaptive cycle control for [`measure_power`], in parts per million
-    /// (`0` = fixed length, the default). When non-zero, the measurement
-    /// checks its running energy-per-cycle estimate every 1024 vectors and
-    /// stops early — at a word boundary, never exceeding `cycles` — once
-    /// the relative change between checkpoints drops below `tol · 1e-6`.
-    /// Deterministic for a given seed; the realized length is reported in
-    /// [`PowerReport::cycles`] and [`PowerReport::stats`].
+    /// (`0` = fixed length, the default). When non-zero, each shard
+    /// compares its running energy-per-cycle estimate at *doubling*
+    /// checkpoints (its measured words 2, 4, 8, …) and stops early — at a
+    /// word boundary, never exceeding its cycle share — once the relative
+    /// change between consecutive checkpoints drops below `tol · 1e-6`.
+    /// Deterministic for a given seed and shard count; the realized length
+    /// is reported in [`PowerReport::cycles`] and [`PowerReport::stats`].
     pub adaptive_tol_ppm: u32,
+    /// Logical shards the measurement is decomposed into (clamped to at
+    /// least 1; shards that would measure zero cycles are dropped). Part
+    /// of the stream definition — changing it changes the sampled vectors,
+    /// bit for bit, like changing the seed would.
+    pub shards: u32,
+    /// OS threads executing the shards: `0` = all available CPUs. Purely
+    /// an execution knob — results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             cycles: 4096,
-            warmup: 64,
+            warmup: 16,
             seed: 0x00D0_1110,
             adaptive_tol_ppm: 0,
+            shards: 8,
+            threads: 1,
         }
     }
 }
@@ -177,9 +227,41 @@ pub(crate) fn finalize_power(
     }
 }
 
+/// Cell indices grouped by event rule, hoisted out of the per-word
+/// counting loop: three tight popcount loops instead of a per-cell class
+/// match. Shared read-only across shards.
+struct CellClasses {
+    domino: Vec<u32>,
+    input_inv: Vec<u32>,
+    output_inv: Vec<u32>,
+}
+
+impl CellClasses {
+    fn of(mapped: &MappedNetlist) -> Self {
+        let mut classes = CellClasses {
+            domino: Vec::new(),
+            input_inv: Vec::new(),
+            output_inv: Vec::new(),
+        };
+        for (i, cell) in mapped.cells().iter().enumerate() {
+            let i = i as u32;
+            match cell.class {
+                CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
+                    classes.domino.push(i);
+                }
+                CellClass::InputInv => classes.input_inv.push(i),
+                CellClass::OutputInv => classes.output_inv.push(i),
+                CellClass::Dff => unreachable!("flops are not in cells"),
+            }
+        }
+        classes
+    }
+}
+
 /// One word-step of the packed mapped-netlist simulation.
 struct PackedPowerSim<'a> {
     mapped: &'a MappedNetlist,
+    classes: &'a CellClasses,
     vectors: PackedVectorSource,
     source_words: Vec<u64>,
     prev_cell_words: Vec<u64>,
@@ -198,17 +280,21 @@ impl PackedPowerSim<'_> {
             .eval_cells_packed(&self.source_words, &mut self.cell_words);
 
         if mask != 0 {
-            for (i, cell) in self.mapped.cells().iter().enumerate() {
-                let events = match cell.class {
-                    CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
-                        self.cell_words[i] & mask
-                    }
-                    CellClass::InputInv => (self.cell_words[i] ^ self.prev_cell_words[i]) & mask,
-                    // Pulses with its domino driver (driver high ⇔ inverter
-                    // output low).
-                    CellClass::OutputInv => !self.cell_words[i] & mask,
-                    CellClass::Dff => unreachable!("flops are not in cells"),
-                };
+            for &i in &self.classes.domino {
+                let i = i as usize;
+                let events = self.cell_words[i] & mask;
+                counters.cell_events[i] += u64::from(events.count_ones());
+            }
+            for &i in &self.classes.input_inv {
+                let i = i as usize;
+                let events = (self.cell_words[i] ^ self.prev_cell_words[i]) & mask;
+                counters.cell_events[i] += u64::from(events.count_ones());
+            }
+            // Pulses with its domino driver (driver high ⇔ inverter output
+            // low).
+            for &i in &self.classes.output_inv {
+                let i = i as usize;
+                let events = !self.cell_words[i] & mask;
                 counters.cell_events[i] += u64::from(events.count_ones());
             }
         }
@@ -232,8 +318,21 @@ impl PackedPowerSim<'_> {
     }
 }
 
+/// Per-shard output of the packed power kernel, merged by addition.
+struct PowerShardOutput {
+    counters: PowerCounters,
+    words: u64,
+    measured_words: u64,
+}
+
 /// Simulates `mapped` with Bernoulli-`pi_probs` vectors on the packed
 /// engine and reports average currents.
+///
+/// The measurement is decomposed into [`SimConfig::shards`] sub-seeded
+/// shard streams executed on up to [`SimConfig::threads`] OS threads;
+/// per-shard integer counters merge by addition, so the report is
+/// bit-identical for every thread count (see the [`SimConfig`] determinism
+/// contract).
 ///
 /// # Panics
 ///
@@ -252,63 +351,98 @@ pub fn measure_power(
     );
     let loads = mapped.load_caps_ff(lib);
     let source_loads = dff_source_loads(mapped, lib);
+    let classes = CellClasses::of(mapped);
+    let plan = shard_plan(config);
+    let tol = f64::from(config.adaptive_tol_ppm) * 1e-6;
 
-    let mut source_words = vec![0u64; mapped.source_count()];
-    for dff in mapped.dffs() {
-        source_words[dff.source_index] = broadcast(dff.init);
-    }
-    let mut sim = PackedPowerSim {
-        mapped,
-        vectors: PackedVectorSource::new(pi_probs, config.seed),
-        source_words,
-        prev_cell_words: vec![0u64; mapped.cells().len()],
-        cell_words: Vec::new(),
-        pi_words: vec![0u64; mapped.pi_count()],
-        dff_next: vec![0u64; mapped.dffs().len()],
+    let run_shard = |slice: &ShardSlice| -> PowerShardOutput {
+        let mut source_words = vec![0u64; mapped.source_count()];
+        for dff in mapped.dffs() {
+            source_words[dff.source_index] = broadcast(dff.init);
+        }
+        let mut sim = PackedPowerSim {
+            mapped,
+            classes: &classes,
+            vectors: PackedVectorSource::new(pi_probs, slice.seed),
+            source_words,
+            prev_cell_words: vec![0u64; mapped.cells().len()],
+            cell_words: Vec::new(),
+            pi_words: vec![0u64; mapped.pi_count()],
+            dff_next: vec![0u64; mapped.dffs().len()],
+        };
+        let mut counters = PowerCounters {
+            cell_events: vec![0u64; mapped.cells().len()],
+            dff_events: vec![0u64; mapped.dffs().len()],
+            measured_cycles: 0,
+        };
+
+        let schedule = WordSchedule::new(slice.warmup, slice.cycles);
+        for _ in 0..schedule.warmup {
+            sim.step(0, &mut counters);
+        }
+        let mut measured_words = 0usize;
+        let mut last_estimate: Option<f64> = None;
+        let mut next_check = ADAPTIVE_FIRST_CHECK_WORDS;
+        for k in 0..schedule.measured_words() {
+            sim.step(schedule.mask(k), &mut counters);
+            measured_words += 1;
+            counters.measured_cycles += u64::from(schedule.mask(k).count_ones());
+            // Adaptive early exit: stop this shard at a word boundary once
+            // its running energy-per-cycle estimate has converged between
+            // (doubling) checkpoints. Per-shard, so the decision depends
+            // only on the shard's own stream — never on thread scheduling.
+            if tol > 0.0 && measured_words == next_check {
+                next_check *= 2;
+                let estimate = finalize_power(
+                    mapped,
+                    lib,
+                    &loads,
+                    &source_loads,
+                    &counters,
+                    SimStats::default(),
+                )
+                .cap_ma;
+                if let Some(prev) = last_estimate {
+                    if (estimate - prev).abs() <= tol * prev.abs() {
+                        break;
+                    }
+                }
+                last_estimate = Some(estimate);
+            }
+        }
+        PowerShardOutput {
+            counters,
+            words: (schedule.warmup + measured_words) as u64,
+            measured_words: measured_words as u64,
+        }
     };
+
+    let outputs = run_sharded(&plan, config.threads, run_shard);
     let mut counters = PowerCounters {
         cell_events: vec![0u64; mapped.cells().len()],
         dff_events: vec![0u64; mapped.dffs().len()],
         measured_cycles: 0,
     };
-
-    let schedule = WordSchedule::new(config.warmup, config.cycles);
-    for _ in 0..schedule.warmup {
-        sim.step(0, &mut counters);
-    }
-    let tol = f64::from(config.adaptive_tol_ppm) * 1e-6;
-    let mut measured_words = 0usize;
-    let mut last_estimate: Option<f64> = None;
-    for k in 0..schedule.measured_words() {
-        sim.step(schedule.mask(k), &mut counters);
-        measured_words += 1;
-        counters.measured_cycles += u64::from(schedule.mask(k).count_ones());
-        // Adaptive early exit: stop at a word boundary once the running
-        // energy-per-cycle estimate has converged between checkpoints.
-        if tol > 0.0 && measured_words.is_multiple_of(ADAPTIVE_CHUNK_WORDS) {
-            let estimate = finalize_power(
-                mapped,
-                lib,
-                &loads,
-                &source_loads,
-                &counters,
-                SimStats::default(),
-            )
-            .cap_ma;
-            if let Some(prev) = last_estimate {
-                if (estimate - prev).abs() <= tol * prev.abs() {
-                    break;
-                }
-            }
-            last_estimate = Some(estimate);
-        }
-    }
-
-    let stats = SimStats {
-        vectors: counters.measured_cycles,
-        words: (schedule.warmup + measured_words) as u64,
-        measured_words: measured_words as u64,
+    let mut stats = SimStats {
+        shards: plan.len() as u64,
+        ..SimStats::default()
     };
+    for out in outputs {
+        for (total, &events) in counters
+            .cell_events
+            .iter_mut()
+            .zip(&out.counters.cell_events)
+        {
+            *total += events;
+        }
+        for (total, &events) in counters.dff_events.iter_mut().zip(&out.counters.dff_events) {
+            *total += events;
+        }
+        counters.measured_cycles += out.counters.measured_cycles;
+        stats.words += out.words;
+        stats.measured_words += out.measured_words;
+    }
+    stats.vectors = counters.measured_cycles;
     finalize_power(mapped, lib, &loads, &source_loads, &counters, stats)
 }
 
@@ -374,6 +508,10 @@ pub(crate) fn inverter_positions(domino: &DominoNetwork) -> Vec<usize> {
 /// simulation (sequential state handled through the latch-data outputs,
 /// one independent chain per lane).
 ///
+/// Sharded and threaded exactly like [`measure_power`]: per-shard integer
+/// counters merged by addition, bit-identical for every
+/// [`SimConfig::threads`] value.
+///
 /// # Panics
 ///
 /// Panics if `pi_probs` does not have one entry per primary input of the
@@ -389,60 +527,72 @@ pub fn measure_domino_switching(
 
     let eval = domino.packed_evaluator();
     let inverter_positions = inverter_positions(domino);
-    let mut vectors = PackedVectorSource::new(pi_probs, config.seed);
-    let mut source_words = vec![0u64; domino.sources().len()];
-    for (i, &init) in domino.latch_inits().iter().enumerate() {
-        source_words[n_pis + i] = broadcast(init);
-    }
-    let mut prev_source_words = source_words.clone();
-    let mut pi_words = vec![0u64; n_pis];
-    let mut rails: Vec<u64> = Vec::new();
-    let mut out_words = vec![0u64; eval.outputs().len()];
+    let plan = shard_plan(config);
+
+    let run_shard = |slice: &ShardSlice| -> SwitchingEventCounters {
+        let mut vectors = PackedVectorSource::new(pi_probs, slice.seed);
+        let mut source_words = vec![0u64; domino.sources().len()];
+        for (i, &init) in domino.latch_inits().iter().enumerate() {
+            source_words[n_pis + i] = broadcast(init);
+        }
+        let mut prev_source_words = source_words.clone();
+        let mut pi_words = vec![0u64; n_pis];
+        let mut rails: Vec<u64> = Vec::new();
+        let mut out_words = vec![0u64; eval.outputs().len()];
+        let mut counters = SwitchingEventCounters::default();
+
+        let schedule = WordSchedule::new(slice.warmup, slice.cycles);
+        for step in 0..schedule.total_steps() {
+            let mask = schedule.step_mask(step);
+            vectors.next_words(&mut pi_words);
+            source_words[..n_pis].copy_from_slice(&pi_words);
+            eval.eval_rails(&source_words, &mut rails);
+            if mask != 0 {
+                for &r in &rails {
+                    counters.block += u64::from((r & mask).count_ones());
+                }
+                // Boundary inverters on both PI and latch rails toggle when
+                // the (cycle-stable) rail value differs from the previous
+                // cycle.
+                for &pos in &inverter_positions {
+                    let toggles = (source_words[pos] ^ prev_source_words[pos]) & mask;
+                    counters.input_inverters += u64::from(toggles.count_ones());
+                }
+            }
+            prev_source_words.copy_from_slice(&source_words);
+
+            // Outputs: count output-inverter pulses, then clock the latches
+            // simultaneously — every driver samples this cycle's rails
+            // before any latch state moves (a latch fed directly by another
+            // latch's rail must see its pre-edge value).
+            for (k, out) in eval.outputs().iter().enumerate() {
+                out_words[k] = PackedRailEvaluator::ref_word(out.driver, &source_words, &rails);
+                if mask != 0 && out.negative {
+                    counters.output_inverters += u64::from((out_words[k] & mask).count_ones());
+                }
+            }
+            let mut latch_idx = 0usize;
+            for (k, out) in eval.outputs().iter().enumerate() {
+                if out.is_latch_data {
+                    let logical = if out.negative {
+                        !out_words[k]
+                    } else {
+                        out_words[k]
+                    };
+                    source_words[n_pis + latch_idx] = logical;
+                    latch_idx += 1;
+                }
+            }
+        }
+        counters
+    };
+
     let mut counters = SwitchingEventCounters::default();
-
-    let schedule = WordSchedule::new(config.warmup, config.cycles);
-    for step in 0..schedule.total_steps() {
-        let mask = schedule.step_mask(step);
-        vectors.next_words(&mut pi_words);
-        source_words[..n_pis].copy_from_slice(&pi_words);
-        eval.eval_rails(&source_words, &mut rails);
-        if mask != 0 {
-            for &r in &rails {
-                counters.block += u64::from((r & mask).count_ones());
-            }
-            // Boundary inverters on both PI and latch rails toggle when the
-            // (cycle-stable) rail value differs from the previous cycle.
-            for &pos in &inverter_positions {
-                let toggles = (source_words[pos] ^ prev_source_words[pos]) & mask;
-                counters.input_inverters += u64::from(toggles.count_ones());
-            }
-        }
-        prev_source_words.copy_from_slice(&source_words);
-
-        // Outputs: count output-inverter pulses, then clock the latches
-        // simultaneously — every driver samples this cycle's rails before
-        // any latch state moves (a latch fed directly by another latch's
-        // rail must see its pre-edge value).
-        for (k, out) in eval.outputs().iter().enumerate() {
-            out_words[k] = PackedRailEvaluator::ref_word(out.driver, &source_words, &rails);
-            if mask != 0 && out.negative {
-                counters.output_inverters += u64::from((out_words[k] & mask).count_ones());
-            }
-        }
-        let mut latch_idx = 0usize;
-        for (k, out) in eval.outputs().iter().enumerate() {
-            if out.is_latch_data {
-                let logical = if out.negative {
-                    !out_words[k]
-                } else {
-                    out_words[k]
-                };
-                source_words[n_pis + latch_idx] = logical;
-                latch_idx += 1;
-            }
-        }
+    for shard in run_sharded(&plan, config.threads, run_shard) {
+        counters.block += shard.block;
+        counters.input_inverters += shard.input_inverters;
+        counters.output_inverters += shard.output_inverters;
     }
-
     counters.per_cycle(config.cycles)
 }
 
@@ -534,11 +684,43 @@ mod tests {
         // Components are consistent.
         assert!((high.short_circuit_ma - 0.1 * high.cap_ma).abs() < 1e-12);
         assert!(high.leakage_ma > 0.0);
-        // Work accounting: 4096 cycles = 64 full words + 64 warmup words.
+        // Work accounting: 4096 cycles over 8 shards = 8 full words each,
+        // plus 16 warmup words split 2 per shard.
         assert_eq!(high.stats.vectors, 4096);
+        assert_eq!(high.stats.shards, 8);
         assert_eq!(high.stats.measured_words, 64);
-        assert_eq!(high.stats.words, 128);
+        assert_eq!(high.stats.words, 80);
         assert!((high.stats.lane_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    /// The determinism contract: the thread count must never change a bit
+    /// of the report; the shard count is part of the stream definition and
+    /// may.
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let net = fig5();
+        let synth = DominoSynthesizer::new(&net).unwrap();
+        let domino = synth.synthesize(&PhaseAssignment::all_positive(2)).unwrap();
+        let lib = domino_techmap::Library::standard();
+        let mapped = map(&domino, &lib);
+        let pi = [0.7; 4];
+        let base = SimConfig::default();
+        let sequential = measure_power(&mapped, &lib, &pi, &SimConfig { threads: 1, ..base });
+        for threads in [0, 2, 8, 64] {
+            let threaded = measure_power(&mapped, &lib, &pi, &SimConfig { threads, ..base });
+            assert_eq!(sequential, threaded, "threads={threads}");
+            let sw_seq = measure_domino_switching(&domino, &pi, &SimConfig { threads: 1, ..base });
+            let sw_par = measure_domino_switching(&domino, &pi, &SimConfig { threads, ..base });
+            assert_eq!(sw_seq, sw_par, "threads={threads}");
+        }
+        // Different shard counts are different (but valid) measurements.
+        let one_shard = measure_power(&mapped, &lib, &pi, &SimConfig { shards: 1, ..base });
+        assert_eq!(one_shard.stats.shards, 1);
+        assert_eq!(one_shard.cycles, sequential.cycles);
+        assert!(
+            (one_shard.cap_ma - sequential.cap_ma).abs() < 0.1 * sequential.cap_ma,
+            "shardings are statistically consistent"
+        );
     }
 
     #[test]
@@ -549,14 +731,15 @@ mod tests {
         let lib = domino_techmap::Library::standard();
         let mapped = map(&domino, &lib);
         let cfg = SimConfig {
-            cycles: 100, // 1 full word + 36 lanes
+            cycles: 100, // 8 shards of 12–13 lanes, each a partial word
             warmup: 2,
             ..SimConfig::default()
         };
         let report = measure_power(&mapped, &lib, &[0.5; 4], &cfg);
         assert_eq!(report.cycles, 100);
         assert_eq!(report.stats.vectors, 100);
-        assert_eq!(report.stats.measured_words, 2);
+        assert_eq!(report.stats.shards, 8);
+        assert_eq!(report.stats.measured_words, 8);
         assert!(report.stats.lane_utilization() < 1.0);
     }
 
@@ -583,6 +766,25 @@ mod tests {
         assert!((early.cap_ma - full.cap_ma).abs() < 0.05 * full.cap_ma);
         let again = measure_power(&mapped, &lib, &[0.5; 4], &adaptive);
         assert_eq!(early, again);
+
+        // The checkpoint interval scales with the shard count, so adaptive
+        // mode must stay reachable for moderate budgets too — not just for
+        // runs longer than shards × 1024 vectors.
+        let moderate = measure_power(
+            &mapped,
+            &lib,
+            &[0.5; 4],
+            &SimConfig {
+                cycles: 16 * 1024,
+                adaptive_tol_ppm: 50_000, // 5%
+                ..SimConfig::default()
+            },
+        );
+        assert!(
+            moderate.cycles < 16 * 1024,
+            "moderate budget must stop early, got {}",
+            moderate.cycles
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Each function here consumes the **same logical vector stream** as its
 //! packed counterpart — it draws the identical `u64` words from
-//! [`PackedVectorSource`] and then simulates the 64 lanes one at a time
+//! [`PackedVectorSource`] (walking the same per-shard sub-seeded streams
+//! for the sharded kernels) and then simulates the 64 lanes one at a time
 //! with plain `bool` evaluation, accumulating the same integer event
 //! counters and running the same final integer→`f64` conversion. Because
 //! the counters are order-independent integers, the packed kernels must
@@ -23,7 +24,7 @@ use domino_netlist::{Network, NodeKind, SequentialState};
 use domino_phase::{DominoNetwork, DominoRef};
 use domino_techmap::{CellClass, Library, MappedNetlist};
 
-use crate::packed::{SimStats, WordSchedule, LANES};
+use crate::packed::{shard_plan, SimStats, WordSchedule, LANES};
 use crate::power::{
     dff_source_loads, finalize_power, inverter_positions, PowerCounters, SimConfig,
     SwitchingEventCounters,
@@ -76,62 +77,70 @@ pub fn measure_power(
     assert_fixed_length(config);
     let loads = mapped.load_caps_ff(lib);
     let source_loads = dff_source_loads(mapped, lib);
-    let schedule = WordSchedule::new(config.warmup, config.cycles);
-    let total_steps = schedule.total_steps();
-    let step_words = collect_words(pi_probs, config.seed, total_steps);
+    let plan = shard_plan(config);
 
     let mut counters = PowerCounters {
         cell_events: vec![0u64; mapped.cells().len()],
         dff_events: vec![0u64; mapped.dffs().len()],
         measured_cycles: config.cycles as u64,
     };
-    for lane in 0..LANES {
-        let mut sources = vec![false; mapped.source_count()];
-        for dff in mapped.dffs() {
-            sources[dff.source_index] = dff.init;
-        }
-        let mut prev_cells = vec![false; mapped.cells().len()];
-        for (step, words) in step_words.iter().enumerate() {
-            let measuring = lane_bit(schedule.step_mask(step), lane);
-            for (slot, &w) in sources.iter_mut().zip(words) {
-                *slot = lane_bit(w, lane);
+    let mut stats = SimStats {
+        vectors: config.cycles as u64,
+        shards: plan.len() as u64,
+        ..SimStats::default()
+    };
+    // Same shard decomposition as the packed kernel, each shard's stream
+    // replayed lane by lane.
+    for slice in &plan {
+        let schedule = WordSchedule::new(slice.warmup, slice.cycles);
+        let total_steps = schedule.total_steps();
+        let step_words = collect_words(pi_probs, slice.seed, total_steps);
+        stats.words += total_steps as u64;
+        stats.measured_words += schedule.measured_words() as u64;
+        for lane in 0..LANES {
+            let mut sources = vec![false; mapped.source_count()];
+            for dff in mapped.dffs() {
+                sources[dff.source_index] = dff.init;
             }
-            let values = mapped.eval_cells(&sources);
-            if measuring {
-                for (i, cell) in mapped.cells().iter().enumerate() {
-                    let event = match cell.class {
-                        CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
-                            values[i]
-                        }
-                        CellClass::InputInv => values[i] != prev_cells[i],
-                        CellClass::OutputInv => !values[i],
-                        CellClass::Dff => unreachable!("flops are not in cells"),
-                    };
-                    counters.cell_events[i] += u64::from(event);
+            let mut prev_cells = vec![false; mapped.cells().len()];
+            for (step, words) in step_words.iter().enumerate() {
+                let measuring = lane_bit(schedule.step_mask(step), lane);
+                for (slot, &w) in sources.iter_mut().zip(words) {
+                    *slot = lane_bit(w, lane);
                 }
-            }
-            prev_cells.copy_from_slice(&values);
-            // Clock the flops simultaneously (mirrors the packed kernel):
-            // sample every data input before any flop output moves.
-            let next_states: Vec<bool> = mapped
-                .dffs()
-                .iter()
-                .map(|dff| mapped.ref_value(dff.data, &sources, &values))
-                .collect();
-            for (j, dff) in mapped.dffs().iter().enumerate() {
-                if measuring && next_states[j] != sources[dff.source_index] {
-                    counters.dff_events[j] += 1;
+                let values = mapped.eval_cells(&sources);
+                if measuring {
+                    for (i, cell) in mapped.cells().iter().enumerate() {
+                        let event = match cell.class {
+                            CellClass::DominoAnd | CellClass::DominoOr | CellClass::DominoBuf => {
+                                values[i]
+                            }
+                            CellClass::InputInv => values[i] != prev_cells[i],
+                            CellClass::OutputInv => !values[i],
+                            CellClass::Dff => unreachable!("flops are not in cells"),
+                        };
+                        counters.cell_events[i] += u64::from(event);
+                    }
                 }
-                sources[dff.source_index] = next_states[j];
+                prev_cells.copy_from_slice(&values);
+                // Clock the flops simultaneously (mirrors the packed
+                // kernel): sample every data input before any flop output
+                // moves.
+                let next_states: Vec<bool> = mapped
+                    .dffs()
+                    .iter()
+                    .map(|dff| mapped.ref_value(dff.data, &sources, &values))
+                    .collect();
+                for (j, dff) in mapped.dffs().iter().enumerate() {
+                    if measuring && next_states[j] != sources[dff.source_index] {
+                        counters.dff_events[j] += 1;
+                    }
+                    sources[dff.source_index] = next_states[j];
+                }
             }
         }
     }
 
-    let stats = SimStats {
-        vectors: config.cycles as u64,
-        words: total_steps as u64,
-        measured_words: schedule.measured_words() as u64,
-    };
     finalize_power(mapped, lib, &loads, &source_loads, &counters, stats)
 }
 
@@ -151,66 +160,71 @@ pub fn measure_domino_switching(
     assert_eq!(pi_probs.len(), n_pis, "one probability per primary input");
     assert_fixed_length(config);
     let inverter_positions = inverter_positions(domino);
-    let schedule = WordSchedule::new(config.warmup, config.cycles);
-    let total_steps = schedule.total_steps();
-    let step_words = collect_words(pi_probs, config.seed, total_steps);
 
     let mut counters = SwitchingEventCounters::default();
-    for lane in 0..LANES {
-        let mut sources = vec![false; domino.sources().len()];
-        for (i, &init) in domino.latch_inits().iter().enumerate() {
-            sources[n_pis + i] = init;
-        }
-        let mut prev_sources = sources.clone();
-        for (step, words) in step_words.iter().enumerate() {
-            let measuring = lane_bit(schedule.step_mask(step), lane);
-            for (slot, &w) in sources.iter_mut().zip(words) {
-                *slot = lane_bit(w, lane);
+    // Same shard decomposition as the packed kernel, each shard's stream
+    // replayed lane by lane.
+    for slice in &shard_plan(config) {
+        let schedule = WordSchedule::new(slice.warmup, slice.cycles);
+        let total_steps = schedule.total_steps();
+        let step_words = collect_words(pi_probs, slice.seed, total_steps);
+        for lane in 0..LANES {
+            let mut sources = vec![false; domino.sources().len()];
+            for (i, &init) in domino.latch_inits().iter().enumerate() {
+                sources[n_pis + i] = init;
             }
-            let rails = domino
-                .eval_rails(&sources)
-                .expect("source width matches by construction");
-            if measuring {
-                for &v in &rails {
-                    counters.block += u64::from(v);
+            let mut prev_sources = sources.clone();
+            for (step, words) in step_words.iter().enumerate() {
+                let measuring = lane_bit(schedule.step_mask(step), lane);
+                for (slot, &w) in sources.iter_mut().zip(words) {
+                    *slot = lane_bit(w, lane);
                 }
-                for &pos in &inverter_positions {
-                    counters.input_inverters += u64::from(sources[pos] != prev_sources[pos]);
-                }
-            }
-            prev_sources.copy_from_slice(&sources);
-
-            // Resolve every output against this cycle's rails first, then
-            // clock the latches simultaneously (mirrors the packed kernel).
-            let block_values: Vec<bool> = domino
-                .outputs()
-                .iter()
-                .map(|out| match out.driver {
-                    DominoRef::Gate(i) => rails[i],
-                    DominoRef::Source { node, complemented } => {
-                        let pos = domino
-                            .sources()
-                            .iter()
-                            .position(|&s| s == node)
-                            .expect("known source");
-                        sources[pos] ^ complemented
+                let rails = domino
+                    .eval_rails(&sources)
+                    .expect("source width matches by construction");
+                if measuring {
+                    for &v in &rails {
+                        counters.block += u64::from(v);
                     }
-                    DominoRef::Constant(v) => v,
-                })
-                .collect();
-            let mut latch_idx = 0usize;
-            for (out, &block_value) in domino.outputs().iter().zip(&block_values) {
-                if measuring && out.phase.is_negative() && block_value {
-                    counters.output_inverters += 1;
+                    for &pos in &inverter_positions {
+                        counters.input_inverters += u64::from(sources[pos] != prev_sources[pos]);
+                    }
                 }
-                if out.is_latch_data {
-                    let logical = if out.phase.is_negative() {
-                        !block_value
-                    } else {
-                        block_value
-                    };
-                    sources[n_pis + latch_idx] = logical;
-                    latch_idx += 1;
+                prev_sources.copy_from_slice(&sources);
+
+                // Resolve every output against this cycle's rails first,
+                // then clock the latches simultaneously (mirrors the packed
+                // kernel).
+                let block_values: Vec<bool> = domino
+                    .outputs()
+                    .iter()
+                    .map(|out| match out.driver {
+                        DominoRef::Gate(i) => rails[i],
+                        DominoRef::Source { node, complemented } => {
+                            let pos = domino
+                                .sources()
+                                .iter()
+                                .position(|&s| s == node)
+                                .expect("known source");
+                            sources[pos] ^ complemented
+                        }
+                        DominoRef::Constant(v) => v,
+                    })
+                    .collect();
+                let mut latch_idx = 0usize;
+                for (out, &block_value) in domino.outputs().iter().zip(&block_values) {
+                    if measuring && out.phase.is_negative() && block_value {
+                        counters.output_inverters += 1;
+                    }
+                    if out.is_latch_data {
+                        let logical = if out.phase.is_negative() {
+                            !block_value
+                        } else {
+                            block_value
+                        };
+                        sources[n_pis + latch_idx] = logical;
+                        latch_idx += 1;
+                    }
                 }
             }
         }

@@ -175,6 +175,13 @@ fn fixed_threshold(p: f64) -> u64 {
 /// generation stops when every lane is decided (about 7 draws on average,
 /// never more than [`PROB_BITS`]). Deterministic for a given RNG state —
 /// the draw count depends only on previously generated bits.
+///
+/// Planes below the threshold's lowest set bit are skipped entirely: once
+/// every remaining threshold bit is zero, a still-undecided lane (equal to
+/// the threshold so far) can only compare `>= t`, i.e. it has already
+/// failed. Round thresholds therefore cost very few draws — `p = ½`
+/// (`t = 2³¹`) resolves all 64 lanes with a *single* RNG word, which is
+/// the common case for the paper's uniform-probability runs.
 fn bernoulli_word(rng: &mut StdRng, t: u64) -> u64 {
     if t == 0 {
         return 0;
@@ -184,7 +191,7 @@ fn bernoulli_word(rng: &mut StdRng, t: u64) -> u64 {
     }
     let mut result = 0u64;
     let mut undecided = !0u64;
-    for plane in (0..PROB_BITS).rev() {
+    for plane in (t.trailing_zeros()..PROB_BITS).rev() {
         let r = rng.next_u64();
         if (t >> plane) & 1 == 1 {
             // Uniform bit 0 < threshold bit 1: decided below threshold.
@@ -223,6 +230,16 @@ fn bernoulli_word(rng: &mut StdRng, t: u64) -> u64 {
 /// Bernoulli — per-word this is `(hold_mask & prev) | (!hold_mask & fresh)`,
 /// which preserves the scalar [`CorrelatedVectorSource`] marginal `p` and
 /// toggle rate `2p(1−p)·(1−hold)` lane for lane.
+///
+/// # Seed semantics
+///
+/// The stream is a pure function of `(probs, seed)`: equal seeds replay
+/// equal words, different seeds give statistically independent streams.
+/// The sharded kernels in [`crate::measure_power`] build one source per
+/// logical shard — shard 0 from the configured seed itself, shard `k > 0`
+/// from a SplitMix64 mix of `(seed, k)` — so a sharded measurement is as
+/// reproducible as a single stream, and a 1-shard run consumes exactly
+/// the classic single-stream sequence.
 ///
 /// # Example
 ///

@@ -46,3 +46,17 @@ pub use domino_sgraph as sgraph;
 pub use domino_sim as sim;
 pub use domino_techmap as techmap;
 pub use domino_workloads as workloads;
+
+/// The architecture book — crate map, the end-to-end flow, and the
+/// determinism contract. Rendered from `docs/ARCHITECTURE.md`; including
+/// it here also compiles the book's `rust` fences as doctests, so CI
+/// (`cargo test --doc`) fails when a documented snippet rots.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
+
+/// The benchmarking book — `perf_snapshot`, the CI regression gate,
+/// baseline workflow, and the per-PR `BENCH_PR*.json` records. Rendered
+/// from `docs/BENCHMARKING.md`; fences compile as doctests like
+/// [`architecture`]'s.
+#[doc = include_str!("../docs/BENCHMARKING.md")]
+pub mod benchmarking {}

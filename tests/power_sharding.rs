@@ -1,0 +1,155 @@
+//! The sharded-determinism contract of PR 4, pinned end to end:
+//!
+//! * **Sharded power search** — the exhaustive Gray-code walk over the
+//!   power objective produces bit-identical outcomes (assignment,
+//!   objective bits, trace, commit count) for every shard count, because
+//!   the accountant's fixed-point totals are path-independent integers.
+//! * **Sharded packed power** — `measure_power` and
+//!   `measure_domino_switching` produce bit-identical reports for every
+//!   *thread* count (threads is execution-only; the shard decomposition is
+//!   part of the stream definition), including `threads = 1` and
+//!   `threads` far beyond the run's word count.
+//!
+//! Both properties are exercised across proptest-generated random
+//! networks, seeds, probabilities and assignments.
+
+use dominolp::phase::power::PowerModel;
+use dominolp::phase::prob::{compute_probabilities, ProbabilityConfig};
+use dominolp::phase::search::{search_objective_with_shards, MinAreaConfig, Objective};
+use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
+use dominolp::sim::{measure_domino_switching, measure_power, SimConfig};
+use dominolp::techmap::{map, Library};
+use dominolp::workloads::{generate, public_suite, GeneratorSpec};
+use proptest::prelude::*;
+
+/// Deterministic smoke pin on the public suite: the default-config packed
+/// power measurement must not depend on the thread count, circuit by
+/// circuit.
+#[test]
+fn public_suite_reports_are_thread_invariant() {
+    let lib = Library::standard();
+    for bench in public_suite().expect("suite generates").iter() {
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let synth = DominoSynthesizer::new(net).expect("synthesizer");
+        let n = synth.view_outputs().len();
+        let domino = synth
+            .synthesize(&PhaseAssignment::all_positive(n))
+            .expect("synthesis");
+        let mapped = map(&domino, &lib);
+        let sequential = measure_power(&mapped, &lib, &pi, &SimConfig::default());
+        for threads in [2, 8] {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            assert_eq!(
+                sequential,
+                measure_power(&mapped, &lib, &pi, &cfg),
+                "{}: threads={threads}",
+                bench.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sharded packed power: bit-identical across thread counts, including
+    /// threads > words (each shard of the 200-cycle run is a single
+    /// partial word, so 16 threads exceed the run's 8 measured words).
+    #[test]
+    fn packed_power_is_thread_count_invariant(
+        gen_seed in 0u64..1000,
+        sim_seed in 0u64..1000,
+        pis in 4usize..10,
+        pos in 2usize..5,
+        gates in 12usize..40,
+        latches in 0usize..4,
+        bits in 0u64..256,
+        p10 in 1u64..10,
+    ) {
+        let spec = GeneratorSpec {
+            n_latches: latches,
+            ..GeneratorSpec::control_block(format!("sh{gen_seed}"), pis, pos, gates, gen_seed)
+        };
+        let net = generate(&spec).expect("generator succeeds");
+        let pi = vec![p10 as f64 / 10.0; pis];
+        let synth = DominoSynthesizer::new(&net).expect("valid");
+        let n = synth.view_outputs().len();
+        let pa = PhaseAssignment::from_bits(n, bits & ((1u64 << n.min(63)) - 1));
+        let domino = synth.synthesize(&pa).expect("synthesis");
+        let lib = Library::standard();
+        let mapped = map(&domino, &lib);
+        let base = SimConfig {
+            cycles: 200,
+            warmup: 8,
+            seed: sim_seed,
+            ..SimConfig::default()
+        };
+
+        let power_seq = measure_power(&mapped, &lib, &pi, &SimConfig { threads: 1, ..base });
+        let switching_seq =
+            measure_domino_switching(&domino, &pi, &SimConfig { threads: 1, ..base });
+        for threads in [2usize, 8, 16] {
+            let cfg = SimConfig { threads, ..base };
+            prop_assert_eq!(&power_seq, &measure_power(&mapped, &lib, &pi, &cfg));
+            prop_assert_eq!(&switching_seq, &measure_domino_switching(&domino, &pi, &cfg));
+        }
+    }
+
+    /// Sharded power search: the exhaustive walk over the power objective
+    /// (and the area objective, for contrast) is bit-identical to the
+    /// sequential walk for every shard count.
+    #[test]
+    fn sharded_power_search_matches_sequential(
+        gen_seed in 0u64..1000,
+        pis in 4usize..9,
+        pos in 2usize..5,
+        gates in 10usize..35,
+        latches in 0usize..3,
+        p10 in 1u64..10,
+    ) {
+        let spec = GeneratorSpec {
+            n_latches: latches,
+            ..GeneratorSpec::control_block(format!("sw{gen_seed}"), pis, pos, gates, gen_seed)
+        };
+        let net = generate(&spec).expect("generator succeeds");
+        let probs = compute_probabilities(
+            &net,
+            &vec![p10 as f64 / 10.0; pis],
+            &ProbabilityConfig::default(),
+        )
+        .expect("probabilities");
+        let synth = DominoSynthesizer::new(&net).expect("valid");
+        let n = synth.view_outputs().len();
+        let config = MinAreaConfig {
+            exhaustive_limit: n,
+            max_passes: 0,
+        };
+        for objective in [
+            Objective::Area,
+            Objective::Power {
+                probs: probs.as_slice(),
+                model: PowerModel::unit(),
+            },
+            Objective::Power {
+                probs: probs.as_slice(),
+                model: PowerModel::with_and_penalty(3.0),
+            },
+        ] {
+            let seq =
+                search_objective_with_shards(&synth, objective.clone(), &config, 1).unwrap();
+            for shards in [2usize, 5, 8] {
+                let par =
+                    search_objective_with_shards(&synth, objective.clone(), &config, shards)
+                        .unwrap();
+                prop_assert_eq!(&seq.assignment, &par.assignment);
+                prop_assert_eq!(seq.objective.to_bits(), par.objective.to_bits());
+                prop_assert_eq!(seq.commits, par.commits);
+                prop_assert_eq!(&seq.trace, &par.trace);
+            }
+        }
+    }
+}
