@@ -1,7 +1,9 @@
 //! Machine-readable performance snapshot of the hot paths: full MA-vs-MP
 //! flow wall time, BDD construction, warm probability evaluation, the
 //! min-power search, and packed power simulation, per public-suite
-//! circuit — plus the CI perf-regression gate.
+//! circuit; a `serve` section measuring the `dominod` service (cold vs
+//! warm-cache throughput and latency, via the same harness as
+//! `serve_bench`) — plus the CI perf-regression gate.
 //!
 //! Writes a JSON document (default `perf_snapshot.json`) so the repo's
 //! performance trajectory is recorded per PR — `BENCH_PR2.json` and
@@ -25,6 +27,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use domino_bdd::circuit::CircuitBdds;
+use domino_bench::serve_probe::{measure_serve, ServeLoadConfig};
 use domino_bench::Experiment;
 use domino_engine::json::{parse, Json};
 use domino_phase::flow::FlowConfig;
@@ -153,10 +156,30 @@ fn main() -> ExitCode {
         ]));
     }
 
+    // The dominod service, measured with the same harness as serve_bench:
+    // cold wave (every request recomputes) vs best warm wave (every
+    // request answered by the shared cache — verified by the harness).
+    let serve = measure_serve(&ServeLoadConfig {
+        fast,
+        clients: 4,
+        warm_passes: 3,
+    });
+    let serve_doc = Json::obj(vec![
+        ("clients", Json::Num(serve.clients as f64)),
+        ("workers", Json::Num(serve.workers as f64)),
+        ("jobs_per_wave", Json::Num(serve.jobs_per_wave as f64)),
+        ("cold_ms", Json::Num(serve.cold.mean_ms)),
+        ("cold_jobs_per_s", Json::Num(serve.cold.jobs_per_s)),
+        ("serve_ms", Json::Num(serve.warm.mean_ms)),
+        ("jobs_per_s", Json::Num(serve.warm.jobs_per_s)),
+        ("warm_speedup", Json::Num(serve.warm_speedup)),
+    ]);
+
     let doc = Json::obj(vec![
         ("fast", Json::Bool(fast)),
         ("samples", Json::Num(samples as f64)),
         ("circuits", Json::Arr(rows)),
+        ("serve", serve_doc),
     ]);
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write snapshot");
@@ -174,6 +197,24 @@ fn main() -> ExitCode {
 /// metrics (whose wall-clock jitter easily exceeds any tolerance) cannot
 /// flake the gate, while a genuine blow-up past the floor still trips it.
 const CHECK_FLOOR_MS: f64 = 0.05;
+
+/// Noise floor for the serve latency metric: per-request wall time under
+/// client concurrency sits around a millisecond and swings with scheduler
+/// load, so sub-half-millisecond differences never trip the gate.
+const SERVE_FLOOR_MS: f64 = 0.5;
+
+/// Shared verdict logic for the serve-metric comparisons (`ratio` is
+/// oriented so that > 1 means worse).
+fn serve_verdict(ratio: f64, limit: f64, regressions: &mut usize) -> &'static str {
+    if ratio > limit {
+        *regressions += 1;
+        "REGRESSED"
+    } else if ratio < 1.0 / limit {
+        "improved"
+    } else {
+        "ok"
+    }
+}
 
 /// Compares `current` against the baseline document at `path`; reports
 /// every time-metric ratio and fails on regressions beyond the tolerance.
@@ -226,6 +267,42 @@ fn check_against_baseline(current: &Json, path: &str, tolerance_pct: f64) -> Exi
                 "check: {name:<11} {metric:<13} {now:>9.3} ms vs {base:>9.3} ms  \
                  ({ratio:>5.2}x)  {verdict}"
             );
+        }
+    }
+
+    // Serve metrics: `serve_ms` is a latency (lower is better) and
+    // `jobs_per_s` a throughput (higher is better). Both are wall-clock
+    // under client concurrency, which jitters more than the kernel
+    // minima above, so they get twice the tolerance and a larger floor.
+    let serve_limit = 1.0 + 2.0 * tolerance_pct / 100.0;
+    if let (Some(now), Some(base)) = (current.get("serve"), baseline.get("serve")) {
+        let pair = |metric: &str| Some((now.get(metric)?.as_f64()?, base.get(metric)?.as_f64()?));
+        if let Some((now_ms, base_ms)) = pair("serve_ms") {
+            compared += 1;
+            let ratio = now_ms.max(SERVE_FLOOR_MS) / base_ms.max(SERVE_FLOOR_MS);
+            let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
+            eprintln!(
+                "check: serve       serve_ms      {now_ms:>9.3} ms vs {base_ms:>9.3} ms  \
+                 ({ratio:>5.2}x)  {verdict}"
+            );
+        }
+        if let Some((now_tp, base_tp)) = pair("jobs_per_s") {
+            if base_tp > 0.0 && now_tp > 0.0 {
+                compared += 1;
+                // Compared through per-job wall time with the same noise
+                // floor as serve_ms: throughput is the inverse of the
+                // same wall clock, so without the floor a sub-floor
+                // latency wiggle the serve_ms clamp absorbs would still
+                // trip the gate here as a throughput ratio.
+                let ratio =
+                    (1e3 / now_tp).max(SERVE_FLOOR_MS) / (1e3 / base_tp).max(SERVE_FLOOR_MS);
+                let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
+                eprintln!(
+                    "check: serve       jobs_per_s    {now_tp:>9.0} /s vs {base_tp:>9.0} /s  \
+                     ({:>5.2}x)  {verdict}",
+                    now_tp / base_tp
+                );
+            }
         }
     }
 

@@ -1,0 +1,80 @@
+//! `serve_bench` — the `dominod` load generator: N concurrent clients
+//! over the public suite against an in-process server, cold cache vs warm
+//! cache, with the cache accounting verified (warm hit delta == request
+//! count) before any number is reported.
+//!
+//! ```text
+//! cargo run --release -p domino-bench --bin serve_bench -- \
+//!     [--fast] [--clients <n>] [--passes <n>] [--out <path>]
+//! ```
+//!
+//! `--fast` restricts to the two cheapest circuits (the CI artifact
+//! mode). The JSON document (default `serve_bench.json`) carries both
+//! waves' wall/throughput/latency and the warm-over-cold speedup; the
+//! same measurement feeds `perf_snapshot`'s `serve` section and the CI
+//! regression gate, via the shared [`domino_bench::serve_probe`] harness.
+
+use domino_bench::serve_probe::{measure_serve, ServeLoadConfig, WaveStats};
+use domino_engine::json::Json;
+
+fn wave_json(wave: &WaveStats) -> Json {
+    Json::obj(vec![
+        ("jobs", Json::Num(wave.jobs as f64)),
+        ("wall_ms", Json::Num(wave.wall_ms)),
+        ("jobs_per_s", Json::Num(wave.jobs_per_s)),
+        ("mean_ms", Json::Num(wave.mean_ms)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let config = ServeLoadConfig {
+        fast: args.iter().any(|a| a == "--fast"),
+        clients: flag("--clients")
+            .map(|v| v.parse().expect("--clients needs an integer"))
+            .unwrap_or(4),
+        warm_passes: flag("--passes")
+            .map(|v| v.parse().expect("--passes needs an integer"))
+            .unwrap_or(3),
+    };
+    let out = flag("--out").unwrap_or_else(|| "serve_bench.json".to_string());
+
+    let m = measure_serve(&config);
+
+    let doc = Json::obj(vec![
+        ("fast", Json::Bool(config.fast)),
+        ("clients", Json::Num(m.clients as f64)),
+        ("workers", Json::Num(m.workers as f64)),
+        ("jobs_per_wave", Json::Num(m.jobs_per_wave as f64)),
+        ("warm_passes", Json::Num(config.warm_passes as f64)),
+        ("cold", wave_json(&m.cold)),
+        ("warm", wave_json(&m.warm)),
+        ("warm_speedup", Json::Num(m.warm_speedup)),
+        ("warm_requests", Json::Num(m.warm_requests as f64)),
+        ("warm_cache_hits", Json::Num(m.warm_hits as f64)),
+    ]);
+    let text = doc.serialize();
+    std::fs::write(&out, format!("{text}\n")).expect("write serve_bench output");
+    println!("{text}");
+    eprintln!(
+        "serve_bench: {} clients x {} jobs | cold {:.1} jobs/s ({:.2} ms/job) | \
+         warm {:.1} jobs/s ({:.2} ms/job) | warm/cold {:.1}x | \
+         warm hits {}/{} verified",
+        m.clients,
+        m.jobs_per_wave,
+        m.cold.jobs_per_s,
+        m.cold.mean_ms,
+        m.warm.jobs_per_s,
+        m.warm.mean_ms,
+        m.warm_speedup,
+        m.warm_hits,
+        m.warm_requests,
+    );
+    eprintln!("wrote {out}");
+}

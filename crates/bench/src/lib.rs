@@ -29,6 +29,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod serve_probe;
+
 use domino_engine::{
     run_job, run_objective, EngineError, FlowEngine, FlowJob, JobResult, JobSpec, PiSpec,
     RunObjective,

@@ -22,6 +22,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+/// Distinguishes concurrent writers' temp files (multiple `dominod`
+/// workers, or several processes sharing one cache directory on the same
+/// machine, may store different keys at once — and even the same key,
+/// where last-rename-wins is fine because equal keys imply equal bytes).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 use crate::error::EngineError;
 use crate::job::FlowOutcome;
 
@@ -98,6 +104,21 @@ impl ResultCache {
 
     /// Looks up an outcome. Disk hits are promoted into memory.
     pub fn get(&self, key: &str) -> Option<FlowOutcome> {
+        self.lookup(key, true)
+    }
+
+    /// Like [`ResultCache::get`], but a miss is **not** counted (hits
+    /// are). For opportunistic checks that fall back to the full compute
+    /// path on a miss — where that path will perform the counting
+    /// [`ResultCache::get`] itself — so `misses` stays "number of flow
+    /// recomputations" and `hits()` stays "number of cache-answered
+    /// requests", with no double counting. `dominod` uses this to answer
+    /// warm submissions at admission time without a queue round trip.
+    pub fn probe(&self, key: &str) -> Option<FlowOutcome> {
+        self.lookup(key, false)
+    }
+
+    fn lookup(&self, key: &str, count_miss: bool) -> Option<FlowOutcome> {
         if let Some(found) = self.memory.lock().expect("cache lock").get(key) {
             self.memory_hits.fetch_add(1, Ordering::Relaxed);
             return Some(found.clone());
@@ -121,11 +142,23 @@ impl ResultCache {
                 }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        if count_miss {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
         None
     }
 
     /// Inserts an outcome under `key` (and writes the disk entry, if any).
+    ///
+    /// Disk entries are written **atomically**: the bytes go to a unique
+    /// temp file in the cache directory first, which is then renamed over
+    /// `<key>.json`. A process killed (or SIGTERM'd) mid-store can
+    /// therefore never leave a truncated `<key>.json` behind — readers
+    /// observe either no entry or a complete one — and concurrent readers
+    /// of an entry being replaced keep seeing complete bytes throughout
+    /// (same-key writers race only on identical content, since equal keys
+    /// imply equal outcomes). Pinned by this module's crash-simulation
+    /// and concurrent-reader tests.
     ///
     /// Disk write failures are swallowed: the cache is an accelerator, not
     /// a source of truth, and the in-memory entry is still good.
@@ -137,7 +170,21 @@ impl ResultCache {
             .insert(key.to_string(), outcome.clone());
         if let Some(dir) = &self.disk_dir {
             let path = Self::entry_path(dir, key);
-            let _ = std::fs::write(&path, outcome.to_json().serialize());
+            // The temp name's ".tmp…" suffix keeps it outside the ".json"
+            // extension filter of `disk_len`/`clear` scans.
+            let temp = dir.join(format!(
+                "{key}.tmp{}-{}",
+                std::process::id(),
+                TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            let text = outcome.to_json().serialize();
+            let stored =
+                std::fs::write(&temp, text).is_ok() && std::fs::rename(&temp, &path).is_ok();
+            if !stored {
+                // Failed write (disk full: a *partial* temp file) or failed
+                // rename: don't leave the orphan around.
+                let _ = std::fs::remove_file(&temp);
+            }
         }
     }
 
@@ -176,7 +223,14 @@ impl ResultCache {
                 .map_err(|e| EngineError::Io(format!("reading cache dir: {e}")))?;
             for entry in entries.filter_map(Result::ok) {
                 let path = entry.path();
-                if path.extension().is_some_and(|x| x == "json") {
+                let is_entry = path.extension().is_some_and(|x| x == "json");
+                // Orphaned temp files (a writer killed between write and
+                // rename) are garbage; sweep them too.
+                let is_orphan_temp = path
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    .is_some_and(|x| x.starts_with("tmp"));
+                if is_entry || is_orphan_temp {
                     std::fs::remove_file(&path).map_err(|e| {
                         EngineError::Io(format!("removing {}: {e}", path.display()))
                     })?;
@@ -200,6 +254,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn sample_outcome(name: &str) -> FlowOutcome {
         FlowOutcome {
@@ -261,6 +316,96 @@ mod tests {
         std::fs::write(dir.join("bad.json"), "{not json").unwrap();
         assert!(cache.get("bad").is_none());
         assert_eq!(cache.stats().misses, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Crash simulation: a writer killed between the temp-file write and
+    /// the rename leaves only a `<key>.tmp…` orphan — exactly the on-disk
+    /// state `put` passes through. Readers must never see it as an entry,
+    /// it must not count as one, a later `put` of the same key must
+    /// recover, and `clear` must sweep the orphan.
+    #[test]
+    fn killed_writer_leaves_no_partial_entry() {
+        let dir = temp_dir("killed");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        // A truncated in-flight temp write (half a JSON document).
+        std::fs::write(dir.join("deadbeef.tmp999-0"), "{\"name\":\"half").unwrap();
+        assert_eq!(cache.disk_len(), 0, "temp files are not entries");
+        assert!(cache.get("deadbeef").is_none());
+
+        // Recovery: the recomputed outcome lands atomically…
+        cache.put("deadbeef", &sample_outcome("recovered"));
+        assert_eq!(cache.disk_len(), 1);
+        // …and a fresh cache (new process) reads it back complete.
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        assert_eq!(fresh.get("deadbeef").unwrap().name, "recovered");
+        // No temp residue from the successful put.
+        let temps = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .and_then(|x| x.to_str())
+                    .is_some_and(|x| x.starts_with("tmp"))
+            })
+            .count();
+        assert_eq!(temps, 1, "only the simulated orphan remains");
+
+        // clear sweeps entries *and* orphans.
+        cache.clear().unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Concurrent readers vs a writer replacing the same key: with the
+    /// write-then-rename protocol every successful read observes a
+    /// complete document (a plain `fs::write` over the live path would
+    /// expose truncated intermediate states here).
+    #[test]
+    fn concurrent_readers_never_see_torn_writes() {
+        let dir = temp_dir("torn");
+        let cache = std::sync::Arc::new(ResultCache::on_disk(&dir).unwrap());
+        // A long outcome name makes torn writes easy to catch.
+        let outcome = sample_outcome(&"x".repeat(4096));
+        cache.put("cafe", &outcome);
+
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (dir, outcome, stop) = (dir.clone(), outcome.clone(), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                // A separate cache handle, as a second process would have.
+                let cache = ResultCache::on_disk(&dir).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    cache.put("cafe", &outcome);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let (dir, stop) = (dir.clone(), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Bypass the memory layer: read the file raw, as a
+                        // cold process would.
+                        if let Ok(text) = std::fs::read_to_string(dir.join("cafe.json")) {
+                            let parsed = FlowOutcome::from_json_text(&text)
+                                .expect("every observed entry is a complete document");
+                            assert_eq!(parsed.name.len(), 4096);
+                            seen += 1;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers observed at least one entry");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

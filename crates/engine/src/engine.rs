@@ -172,6 +172,18 @@ impl FlowEngine {
         self.run_batch_with(jobs, |_| {}, &CancelToken::new())
     }
 
+    /// Runs a single job *inline on the calling thread* — no worker pool,
+    /// no thread spawn — with the same cache consultation and panic
+    /// containment as a batch run. This is the job-ingest path for
+    /// services that bring their own scheduling (e.g. `dominod` workers):
+    /// a warm cache hit costs a lookup, not a thread.
+    pub fn run_one(&self, job: &FlowJob, cancel: &CancelToken) -> JobResult {
+        if cancel.is_cancelled() {
+            return JobResult::Cancelled;
+        }
+        execute_with_cache(job, self.config.cache.as_deref())
+    }
+
     /// Runs every job with a progress callback and a cancellation token.
     ///
     /// Results come back in input order. A failed job does not abort the

@@ -21,10 +21,12 @@
 //!   plus the canonical JSON of every result-affecting spec field, with
 //!   in-memory and on-disk (one JSON file per entry) backends and
 //!   hit/miss/store [`CacheStats`];
-//! * `dominoc` — the CLI binary driving all of it: `run` one BLIF, `batch`
-//!   many, `suite` for the built-in Table 1/2 circuits, `cache stats` /
-//!   `cache clear` for the disk cache; paper-style tables on stdout and
-//!   machine-readable JSONL on request.
+//! * `dominoc` — the CLI binary driving all of it (it lives in
+//!   `domino-serve` next to the `dominod` server so it can also speak the
+//!   wire protocol): `run` one BLIF, `batch` many, `suite` for the
+//!   built-in Table 1/2 circuits, `cache stats` / `cache clear` for the
+//!   disk cache; paper-style tables on stdout and machine-readable JSONL
+//!   on request.
 //!
 //! # Example
 //!

@@ -1,15 +1,23 @@
-//! `dominoc` — drive the domino synthesis flow from the command line.
+//! `dominoc` — drive the domino synthesis flow from the command line,
+//! locally or against a `dominod` server.
 //!
 //! ```text
-//! dominoc run <file.blif> [options]        one circuit
-//! dominoc batch <file.blif>... [options]   many circuits in parallel
-//! dominoc suite [--public] [options]       the built-in Table 1/2 suite
-//! dominoc cache stats --cache <dir>        disk cache counters/entries
-//! dominoc cache clear --cache <dir>        empty the disk cache
+//! dominoc run (<file.blif> | --suite <row>)   one circuit, locally
+//! dominoc batch <file.blif>...                many circuits in parallel
+//! dominoc suite [--public]                    the built-in Table 1/2 suite
+//! dominoc cache stats|clear --cache <dir>     disk cache maintenance
+//! dominoc serve [server options]              run a dominod in the foreground
+//! dominoc submit (<file.blif> | --suite <row>) --server <addr>
+//! dominoc status <id> [--wait]                job status JSON
+//! dominoc watch <id>                          stream lifecycle events
+//! dominoc result <id> [--wait]                outcome JSON (byte-identical to a local run)
+//! dominoc cancel <id>                         request cancellation
+//! dominoc metrics                             server metrics JSON
+//! dominoc shutdown                            graceful server drain
 //! ```
 //!
-//! Exit status: 0 if every job completed, 1 on any failure, 2 on usage
-//! errors.
+//! Exit status: 0 on success, 1 when a job failed or the server rejected
+//! the request, 2 on usage errors, 3 when the server is unreachable.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -18,29 +26,59 @@ use domino_engine::{
     report, CancelToken, CircuitSource, EngineConfig, FlowEngine, JobResult, JobSpec,
     ProgressEvent, ResultCache, RunObjective,
 };
+use domino_serve::{ClientError, ServeClient, DEFAULT_PORT};
 
-fn usage() -> &'static str {
-    "usage: dominoc <run|batch|suite|cache> [args]\n\
+/// Exit code for "the server could not be reached at all" — distinct from
+/// exit 1 ("the job itself failed") so scripts can tell infrastructure
+/// trouble from flow trouble.
+const EXIT_UNREACHABLE: u8 = 3;
+
+fn usage() -> String {
+    format!(
+        "usage: dominoc <command> [args]\n\
      \n\
-     dominoc run <file.blif> [options]        one circuit\n\
-     dominoc batch <file.blif>... [options]   many circuits in parallel\n\
-     dominoc suite [--public] [options]       built-in Table 1/2 suite\n\
-     dominoc cache stats --cache <dir>\n\
-     dominoc cache clear --cache <dir>\n\
+     local flow commands:\n\
+     \x20 run (<file.blif> | --suite <row>)     one circuit\n\
+     \x20 batch <file.blif>...                  many circuits in parallel\n\
+     \x20 suite [--public]                      built-in Table 1/2 suite\n\
+     \x20 cache stats --cache <dir>             disk cache counters/entries\n\
+     \x20 cache clear --cache <dir>             empty the disk cache\n\
      \n\
-     options:\n\
-       --objective area|power|compare   [compare]\n\
-       --p <f>                          PI probability [0.5]\n\
-       --timed <fraction>               timed synthesis clock fraction\n\
-       --and-penalty <f>                MP series-stack penalty\n\
-       --threads <n>                    engine workers, 0 = all CPUs [0]\n\
-       --cache <dir>                    disk result cache\n\
-       --jsonl <file|->                 JSONL outcomes\n\
-       --sim-cycles <n>                 simulation cycles [4096]\n\
-       --sim-shards <n>                 simulation stream shards [8]\n\
-       --sim-threads <n>                threads per simulation, 0 = all CPUs [1]\n\
-       --stats                          print BDD kernel + simulation statistics\n\
-       --quiet                          suppress progress"
+     server commands (against a dominod; see `dominoc serve`):\n\
+     \x20 serve                                 run a server in the foreground\n\
+     \x20 submit (<file.blif> | --suite <row>)  submit a job; prints its id on stdout\n\
+     \x20        [--wait]                       ...or block and print the outcome JSON\n\
+     \x20 status <id> [--wait]                  job status JSON\n\
+     \x20 watch <id>                            stream lifecycle events (one JSON line each)\n\
+     \x20 result <id> [--wait]                  outcome JSON, byte-identical to `run --jsonl`\n\
+     \x20 cancel <id>                           cancel (immediate while queued, cooperative while running)\n\
+     \x20 metrics                               queue/cache/timing counters JSON\n\
+     \x20 shutdown                              drain admitted jobs, then exit\n\
+     \n\
+     flow options (run/batch/suite/submit):\n\
+     \x20 --objective area|power|compare   [compare]\n\
+     \x20 --p <f>                          PI probability [0.5]\n\
+     \x20 --timed <fraction>               timed synthesis clock fraction\n\
+     \x20 --and-penalty <f>                MP series-stack penalty\n\
+     \x20 --threads <n>                    engine workers, 0 = all CPUs [0]\n\
+     \x20 --cache <dir>                    disk result cache\n\
+     \x20 --jsonl <file|->                 JSONL outcomes\n\
+     \x20 --sim-cycles <n>                 simulation cycles [4096]\n\
+     \x20 --sim-shards <n>                 simulation stream shards [8]\n\
+     \x20 --sim-threads <n>                threads per simulation, 0 = all CPUs [1]\n\
+     \x20 --stats                          print BDD kernel + simulation statistics\n\
+     \x20 --quiet                          suppress progress\n\
+     \n\
+     server options:\n\
+     \x20 --server <host:port>             dominod address [127.0.0.1:{DEFAULT_PORT}]\n\
+     \x20 --addr / --workers / --queue / --cache   (serve only; see `dominod --help`)\n\
+     \n\
+     exit codes:\n\
+     \x20 0  success\n\
+     \x20 1  a job failed, or the server rejected the request (400/409/429/5xx)\n\
+     \x20 2  usage error\n\
+     \x20 3  server unreachable (connection refused / no route)"
+    )
 }
 
 #[derive(Debug)]
@@ -58,6 +96,9 @@ struct Options {
     stats: bool,
     quiet: bool,
     public_only: bool,
+    suite_row: Option<String>,
+    server: String,
+    wait: bool,
     positional: Vec<String>,
 }
 
@@ -77,6 +118,9 @@ impl Options {
             stats: false,
             quiet: false,
             public_only: false,
+            suite_row: None,
+            server: format!("127.0.0.1:{DEFAULT_PORT}"),
+            wait: false,
             positional: Vec::new(),
         };
         let mut it = args.iter();
@@ -145,6 +189,9 @@ impl Options {
                             .map_err(|_| "--sim-threads needs an integer".to_string())?,
                     );
                 }
+                "--suite" => opts.suite_row = Some(value("--suite")?),
+                "--server" => opts.server = value("--server")?,
+                "--wait" => opts.wait = true,
                 "--stats" => opts.stats = true,
                 "--quiet" => opts.quiet = true,
                 "--public" => opts.public_only = true,
@@ -182,15 +229,34 @@ impl Options {
             None => Ok(None),
         }
     }
+
+    fn client(&self) -> ServeClient {
+        ServeClient::new(self.server.clone())
+    }
+
+    /// The single circuit spec for `run`/`submit`: a BLIF path or a suite
+    /// row, exactly one of them.
+    fn single_spec(&self, command: &str) -> Result<JobSpec, String> {
+        match (&self.suite_row, self.positional.as_slice()) {
+            (Some(row), []) => Ok(self.apply(JobSpec::suite(row))),
+            (None, [path]) => Ok(blif_job(path, self)),
+            _ => Err(format!(
+                "{command} needs exactly one BLIF file or --suite <row>"
+            )),
+        }
+    }
+}
+
+fn stem(path: &str) -> String {
+    std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string())
 }
 
 fn blif_job(path: &str, opts: &Options) -> JobSpec {
-    let name = std::path::Path::new(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
     opts.apply(JobSpec {
-        name,
+        name: stem(path),
         source: CircuitSource::BlifPath(path.to_string()),
         ..JobSpec::suite("unused")
     })
@@ -239,6 +305,8 @@ fn run_jobs(specs: Vec<JobSpec>, opts: &Options) -> Result<ExitCode, String> {
     };
     let results = engine.run_batch_with(&jobs, progress, &CancelToken::new());
 
+    // --quiet silences *progress* (stderr), never the results: the table,
+    // stats and cache summary always print, as documented in the usage.
     print!("{}", report::format_outcomes(&results));
     if opts.stats {
         print!("{}", report::format_kernel_stats(&results));
@@ -313,6 +381,147 @@ fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+// ---- server-side commands ----
+
+/// Renders a client error and picks the documented exit code: 3 for an
+/// unreachable server, 1 for everything the server itself rejected.
+fn client_failure(context: &str, error: &ClientError) -> ExitCode {
+    eprintln!("dominoc: {context}: {error}");
+    if let ClientError::Api {
+        retry_after: Some(seconds),
+        ..
+    } = error
+    {
+        eprintln!("dominoc: server suggests retrying after {seconds}s");
+    }
+    match error {
+        ClientError::Unreachable(_) => ExitCode::from(EXIT_UNREACHABLE),
+        _ => ExitCode::FAILURE,
+    }
+}
+
+fn parse_job_id(opts: &Options, command: &str) -> Result<u64, String> {
+    match opts.positional.as_slice() {
+        [id] => id
+            .parse()
+            .map_err(|_| format!("{command} needs a numeric job id, got '{id}'")),
+        _ => Err(format!("{command} needs exactly one job id")),
+    }
+}
+
+fn cmd_submit(opts: &Options) -> Result<ExitCode, String> {
+    let mut spec = opts.single_spec("submit")?;
+    // Inline the circuit text: the server need not share our filesystem.
+    // Content addressing makes this equivalent to a local path run.
+    if let CircuitSource::BlifPath(path) = &spec.source {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
+        spec.source = CircuitSource::BlifInline(text);
+    }
+    if opts.wait {
+        // Synchronous mode: one round trip, outcome JSON on stdout.
+        return match opts.client().run_sync(&spec) {
+            Ok(text) => {
+                println!("{text}");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => Ok(client_failure("submit", &e)),
+        };
+    }
+    match opts.client().submit(&spec) {
+        Ok(reply) => {
+            eprintln!(
+                "submitted job {} ({}, {}), queue depth {}",
+                reply.id, reply.name, reply.status, reply.queue_depth
+            );
+            // Machine-parseable: exactly the id on stdout.
+            println!("{}", reply.id);
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("submit", &e)),
+    }
+}
+
+fn cmd_status(opts: &Options) -> Result<ExitCode, String> {
+    let id = parse_job_id(opts, "status")?;
+    match opts.client().status(id, opts.wait) {
+        Ok(reply) => {
+            println!("{}", reply.to_json().serialize());
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("status", &e)),
+    }
+}
+
+fn cmd_watch(opts: &Options) -> Result<ExitCode, String> {
+    let id = parse_job_id(opts, "watch")?;
+    match opts.client().events(id, |event| {
+        println!("{}", event.to_json().serialize());
+    }) {
+        Ok(events) => Ok(match events.last().map(|e| e.kind) {
+            Some(domino_serve::EventKind::Finished) => ExitCode::SUCCESS,
+            // Failed, cancelled, or the stream ended without a terminal
+            // event (server drain): not a success.
+            _ => ExitCode::FAILURE,
+        }),
+        Err(e) => Ok(client_failure("watch", &e)),
+    }
+}
+
+fn cmd_result(opts: &Options) -> Result<ExitCode, String> {
+    let id = parse_job_id(opts, "result")?;
+    match opts.client().result(id, opts.wait) {
+        Ok(text) => {
+            // One outcome document per line — the same framing as
+            // `run --jsonl`, so the bytes diff clean against a local run.
+            println!("{text}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("result", &e)),
+    }
+}
+
+fn cmd_cancel(opts: &Options) -> Result<ExitCode, String> {
+    let id = parse_job_id(opts, "cancel")?;
+    match opts.client().cancel(id) {
+        Ok(reply) => {
+            println!("{}", reply.to_json().serialize());
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("cancel", &e)),
+    }
+}
+
+fn cmd_metrics(opts: &Options) -> Result<ExitCode, String> {
+    match opts.client().metrics() {
+        Ok(reply) => {
+            println!("{}", reply.to_json().serialize());
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("metrics", &e)),
+    }
+}
+
+fn cmd_shutdown(opts: &Options) -> Result<ExitCode, String> {
+    match opts.client().shutdown() {
+        Ok(()) => {
+            eprintln!("dominoc: server at {} is draining", opts.server);
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => Ok(client_failure("shutdown", &e)),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use domino_serve::{ServeConfig, Server};
+    // Same flags, same validation as the dominod binary — one parser.
+    let config = ServeConfig::parse_args(args)?;
+    let mut server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("dominod listening on {}", server.addr());
+    server.wait();
+    eprintln!("dominoc: server drained, exiting");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().map(String::as_str) else {
@@ -324,10 +533,7 @@ fn main() -> ExitCode {
         match command {
             "run" => {
                 let opts = Options::parse(rest)?;
-                if opts.positional.len() != 1 {
-                    return Err("run needs exactly one BLIF file".to_string());
-                }
-                let spec = blif_job(&opts.positional[0], &opts);
+                let spec = opts.single_spec("run")?;
                 run_jobs(vec![spec], &opts)
             }
             "batch" => {
@@ -346,6 +552,14 @@ fn main() -> ExitCode {
                 cmd_suite(&opts)
             }
             "cache" => cmd_cache(rest),
+            "serve" => cmd_serve(rest),
+            "submit" => cmd_submit(&Options::parse(rest)?),
+            "status" => cmd_status(&Options::parse(rest)?),
+            "watch" => cmd_watch(&Options::parse(rest)?),
+            "result" => cmd_result(&Options::parse(rest)?),
+            "cancel" => cmd_cancel(&Options::parse(rest)?),
+            "metrics" => cmd_metrics(&Options::parse(rest)?),
+            "shutdown" => cmd_shutdown(&Options::parse(rest)?),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
                 Ok(ExitCode::SUCCESS)

@@ -1,0 +1,62 @@
+//! `dominod` — the phase-assignment server.
+//!
+//! ```text
+//! dominod [--addr 127.0.0.1:7171] [--workers n] [--queue n] [--cache dir]
+//! ```
+//!
+//! Binds, prints `dominod listening on <addr>` (port 0 reports the
+//! ephemeral port actually bound — scripts parse this line), then serves
+//! until `POST /shutdown` (`dominoc shutdown`) asks it to drain.
+//!
+//! Exit status: 0 after a graceful drain, 2 on usage or bind errors.
+
+use std::process::ExitCode;
+
+use domino_serve::{ServeConfig, Server, DEFAULT_PORT};
+
+fn usage() -> String {
+    format!(
+        "usage: dominod [options]\n\
+         \n\
+         options:\n\
+         \x20 --addr <host:port>   bind address [127.0.0.1:{DEFAULT_PORT}]; port 0 = ephemeral\n\
+         \x20 --workers <n>        worker threads, 0 = all CPUs [0]\n\
+         \x20 --queue <n>          admission queue capacity [64]\n\
+         \x20 --cache <dir>        on-disk result cache (shared with dominoc)\n\
+         \n\
+         stop it with: dominoc shutdown --server <addr>"
+    )
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args
+        .iter()
+        .any(|a| matches!(a.as_str(), "help" | "--help" | "-h"))
+    {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let config = ServeConfig::parse_args(args)?;
+    let mut server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    // Scripts (CI smoke, serve_bench) parse this exact line for the port.
+    println!("dominod listening on {}", server.addr());
+    server.wait();
+    let m = server.metrics();
+    eprintln!(
+        "dominod: drained and exiting ({} completed, {} failed, {} cancelled, {} rejected)",
+        m.completed, m.failed, m.cancelled, m.rejected
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dominod: {message}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! `ServeClient`: the client half of the wire protocol, used by the
+//! `dominoc` subcommands, the integration tests and the load harness.
+//!
+//! One request per connection (mirroring the server's `Connection: close`
+//! model). Connection failures are distinguished from job failures so the
+//! CLI can exit with distinct codes: a refused/unreachable server is
+//! [`ClientError::Unreachable`], a job that ran and failed is
+//! [`ClientError::Api`].
+
+use std::fmt;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use domino_engine::json::{parse, Json};
+use domino_engine::JobSpec;
+
+use crate::http::{read_response, read_response_streaming, Response};
+use crate::protocol::{ErrorReply, EventRecord, MetricsReply, StatusReply, SubmitReply};
+
+/// Client-side failures, split by who is at fault.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect to the server at all (refused, no route, DNS).
+    /// `dominoc` maps this to its distinct "server unreachable" exit code.
+    Unreachable(String),
+    /// The connection worked but I/O failed mid-request.
+    Io(String),
+    /// The server answered with something the protocol cannot parse.
+    Protocol(String),
+    /// The server answered with a non-success status and an error body.
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// The server's rendered reason.
+        error: String,
+        /// `Retry-After` seconds, when the server sent one (backpressure).
+        retry_after: Option<u64>,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Unreachable(e) => write!(f, "server unreachable: {e}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Api { status, error, .. } => {
+                write!(f, "server returned {status}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A `dominod` client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// A client for the server at `addr` (e.g. `127.0.0.1:7171`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        ServeClient { addr: addr.into() }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `blocking`: whether this request may legitimately wait on job
+    /// progress (long-polls, event streams, sync submits). Those get no
+    /// read timeout — the server sends nothing until the job is terminal,
+    /// and a job may queue and run for arbitrarily long — while immediate
+    /// requests keep a timeout so a wedged server cannot hang the CLI.
+    fn connect(&self, blocking: bool) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ClientError::Unreachable(format!("{}: {e}", self.addr)))?;
+        let timeout = if blocking {
+            None
+        } else {
+            Some(Duration::from_secs(30))
+        };
+        stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(stream)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Response, ClientError> {
+        // A `?wait=1` request blocks until the job is terminal.
+        let blocking = path.ends_with("wait=1");
+        let mut stream = self.connect(blocking)?;
+        write_request(&mut stream, &self.addr, method, path, body)?;
+        let response = read_response(&mut stream).map_err(|e| ClientError::Io(e.to_string()))?;
+        check_status(&response)?;
+        Ok(response)
+    }
+
+    fn request_json(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Json, ClientError> {
+        let response = self.request(method, path, body)?;
+        parse_body(&response)
+    }
+
+    /// `POST /jobs`: submits a spec, returning the admission reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 429 (and `retry_after`) when the
+    /// queue is full, 400 for invalid specs, 503 while draining.
+    pub fn submit(&self, spec: &JobSpec) -> Result<SubmitReply, ClientError> {
+        let body = spec.to_json().serialize();
+        let v = self.request_json("POST", "/jobs", Some(body.as_bytes()))?;
+        SubmitReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `POST /jobs?wait=1`: submit and wait in one round trip, returning
+    /// the completed outcome as the engine's exact serialized JSON text —
+    /// the cheapest warm-cache path (one connection per job).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::submit`] for admission, plus
+    /// [`ClientError::Api`] with 502/409 if the job failed or was
+    /// cancelled.
+    pub fn run_sync(&self, spec: &JobSpec) -> Result<String, ClientError> {
+        let body = spec.to_json().serialize();
+        let response = self.request("POST", "/jobs?wait=1", Some(body.as_bytes()))?;
+        response
+            .text()
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /jobs/:id`: the job's status document. With `wait`, blocks
+    /// until the job is terminal.
+    pub fn status(&self, id: u64, wait: bool) -> Result<StatusReply, ClientError> {
+        let path = format!("/jobs/{id}{}", if wait { "?wait=1" } else { "" });
+        let v = self.request_json("GET", &path, None)?;
+        StatusReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /jobs/:id/result`: the completed outcome as the engine's exact
+    /// serialized JSON text. With `wait`, blocks until terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with status 502 if the job failed, 409 if it
+    /// was cancelled or is not finished.
+    pub fn result(&self, id: u64, wait: bool) -> Result<String, ClientError> {
+        let path = format!("/jobs/{id}/result{}", if wait { "?wait=1" } else { "" });
+        let response = self.request("GET", &path, None)?;
+        response
+            .text()
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /jobs/:id/events`: streams the job's lifecycle events,
+    /// invoking `on_event` for each as it arrives, until the stream ends
+    /// (terminal event or server drain).
+    pub fn events(
+        &self,
+        id: u64,
+        mut on_event: impl FnMut(&EventRecord),
+    ) -> Result<Vec<EventRecord>, ClientError> {
+        // The event stream blocks between chunks for as long as the job
+        // runs; no read timeout.
+        let mut stream = self.connect(true)?;
+        write_request(
+            &mut stream,
+            &self.addr,
+            "GET",
+            &format!("/jobs/{id}/events"),
+            None,
+        )?;
+        let mut events = Vec::new();
+        let mut pending = String::new();
+        let mut parse_failure: Option<String> = None;
+        let response = read_response_streaming(&mut stream, |chunk| {
+            pending.push_str(&String::from_utf8_lossy(chunk));
+            while let Some(newline) = pending.find('\n') {
+                let line: String = pending.drain(..=newline).collect();
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse(line)
+                    .map_err(|e| e.to_string())
+                    .and_then(|v| EventRecord::from_json(&v).map_err(|e| e.to_string()))
+                {
+                    Ok(event) => {
+                        on_event(&event);
+                        events.push(event);
+                    }
+                    // A line we cannot decode must not vanish silently —
+                    // dropping (say) the terminal event would make the
+                    // caller misread a finished job as unfinished.
+                    Err(e) if parse_failure.is_none() => {
+                        parse_failure = Some(format!("undecodable event '{line}': {e}"));
+                    }
+                    Err(_) => {}
+                }
+            }
+        })
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+        check_status(&response)?;
+        if let Some(failure) = parse_failure {
+            return Err(ClientError::Protocol(failure));
+        }
+        Ok(events)
+    }
+
+    /// `DELETE /jobs/:id`: requests cancellation; returns the resulting
+    /// status (queued jobs cancel immediately, running jobs are
+    /// cooperative).
+    pub fn cancel(&self, id: u64) -> Result<StatusReply, ClientError> {
+        let v = self.request_json("DELETE", &format!("/jobs/{id}"), None)?;
+        StatusReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /metrics`.
+    pub fn metrics(&self) -> Result<MetricsReply, ClientError> {
+        let v = self.request_json("GET", "/metrics", None)?;
+        MetricsReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// `GET /healthz`. Returns the raw health document.
+    pub fn healthz(&self) -> Result<Json, ClientError> {
+        self.request_json("GET", "/healthz", None)
+    }
+
+    /// `POST /shutdown`: asks the server to drain and exit.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.request("POST", "/shutdown", None).map(|_| ())
+    }
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<(), ClientError> {
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| ClientError::Io(e.to_string()))
+}
+
+fn parse_body(response: &Response) -> Result<Json, ClientError> {
+    let text = response
+        .text()
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+    parse(&text).map_err(|e| ClientError::Protocol(e.to_string()))
+}
+
+fn check_status(response: &Response) -> Result<(), ClientError> {
+    if (200..300).contains(&response.status) {
+        return Ok(());
+    }
+    let error = parse_body(response)
+        .ok()
+        .and_then(|v| ErrorReply::from_json(&v).ok())
+        .map(|e| e.error)
+        .unwrap_or_else(|| format!("(no error body, {} bytes)", response.body.len()));
+    Err(ClientError::Api {
+        status: response.status,
+        error,
+        retry_after: response.header("retry-after").and_then(|v| v.parse().ok()),
+    })
+}

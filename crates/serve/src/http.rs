@@ -1,0 +1,529 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The build environment has no registry access, so — following the
+//! `crates/compat` precedent — the service carries its own wire layer
+//! instead of hyper/axum. It implements exactly what `dominod` and its
+//! clients need and nothing more:
+//!
+//! * request parsing: request line, headers, `Content-Length` bodies
+//!   (bounded by [`MAX_BODY_BYTES`]), query-string splitting;
+//! * response writing: fixed-length bodies with `Connection: close`
+//!   semantics (one request per connection), and `Transfer-Encoding:
+//!   chunked` streaming for the `/jobs/:id/events` endpoint;
+//! * response reading for the client side, including a streaming chunk
+//!   decoder that yields line-delimited event records as they arrive.
+//!
+//! No keep-alive, no pipelining, no TLS, no compression: every connection
+//! carries one request and one response, which keeps the server's
+//! per-connection state machine trivial and the load harness honest (each
+//! request pays the full connection cost).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request/response bodies (16 MiB). Inline BLIF
+/// sources for the suite circuits are a few hundred KiB at most; anything
+/// larger is a malformed or hostile request and is rejected before it can
+/// balloon server memory.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// Upper bound on any single protocol line (request/status line, one
+/// header, a chunk-size line). Like the body bound, this is enforced
+/// *while reading*: a peer streaming an endless newline-free line is cut
+/// off here, not at OOM.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Upper bound on the number of headers per message.
+pub const MAX_HEADERS: usize = 128;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`] bytes.
+/// Returns `Ok(None)` on a clean EOF before any byte.
+fn read_line_bounded(reader: &mut impl BufRead, what: &str) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take((MAX_LINE_BYTES + 1) as u64)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(bad(&format!("{what} line too long")));
+    }
+    Ok(Some(line))
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, `DELETE`, ...), uppercased.
+    pub method: String,
+    /// Decoded path without the query string (`/jobs/42`).
+    pub path: String,
+    /// Query parameters in order of appearance (`?wait=1`).
+    pub query: Vec<(String, String)>,
+    /// Headers as `(lowercased-name, value)` pairs, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of the query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` when the query string asks for long-poll/blocking behaviour
+    /// (`?wait=1` or `?wait=true`).
+    pub fn wants_wait(&self) -> bool {
+        matches!(self.query_param("wait"), Some("1") | Some("true"))
+    }
+
+    /// First value of the (case-insensitively matched) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `stream`. Returns `Ok(None)` when the peer
+/// closed the connection before sending a request line.
+///
+/// # Errors
+///
+/// [`io::Error`] with `InvalidData` for malformed requests (bad request
+/// line, non-numeric or oversized `Content-Length`, truncated body).
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    let mut reader = BufReader::new(stream);
+    let Some(line) = read_line_bounded(&mut reader, "request")? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Err(bad("malformed request line"));
+    };
+    let method = method.to_ascii_uppercase();
+    let (path, query) = split_target(target);
+
+    let parsed = read_headers(&mut reader)?;
+
+    let mut body = vec![0u8; parsed.content_length.unwrap_or(0)];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers: parsed.headers,
+        body,
+    }))
+}
+
+/// The header block of a request or response.
+struct ParsedHeaders {
+    headers: Vec<(String, String)>,
+    content_length: Option<usize>,
+    chunked: bool,
+}
+
+/// Reads the header block shared by both message directions: bounded
+/// lines, bounded count, lowercased names, `Content-Length` validated
+/// against [`MAX_BODY_BYTES`], `Transfer-Encoding: chunked` detected.
+fn read_headers(reader: &mut impl BufRead) -> io::Result<ParsedHeaders> {
+    let mut parsed = ParsedHeaders {
+        headers: Vec::new(),
+        content_length: None,
+        chunked: false,
+    };
+    loop {
+        let Some(header) = read_line_bounded(reader, "header")? else {
+            return Err(bad("connection closed inside headers"));
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            return Ok(parsed);
+        }
+        if parsed.headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad("malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| bad("non-numeric content-length"))?;
+                if n > MAX_BODY_BYTES {
+                    return Err(bad("body too large"));
+                }
+                parsed.content_length = Some(n);
+            }
+            "transfer-encoding" if value.eq_ignore_ascii_case("chunked") => parsed.chunked = true,
+            _ => {}
+        }
+        parsed.headers.push((name, value));
+    }
+}
+
+fn bad(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Splits a request target into its path and parsed query pairs.
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_string(), Vec::new()),
+        Some((path, qs)) => {
+            let query = qs
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => (kv.to_string(), String::new()),
+                })
+                .collect();
+            (path.to_string(), query)
+        }
+    }
+}
+
+/// Canonical reason phrases for the status codes this service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it. The connection
+/// is meant to be dropped afterwards (`Connection: close`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response in progress: each [`ChunkedWriter::chunk`]
+/// is flushed immediately so clients observe events as they happen.
+#[derive(Debug)]
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn begin(stream: &'a mut TcpStream, status: u16) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
+             transfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk and flushes it.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes the terminating zero-length chunk.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A parsed client-side response: status code plus the complete body
+/// (chunked responses are reassembled; use [`read_response_streaming`] to
+/// observe chunks as they arrive).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The reassembled body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of the (case-insensitively matched) header `name`.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] with `InvalidData` if the body is not valid UTF-8.
+    pub fn text(&self) -> io::Result<String> {
+        String::from_utf8(self.body.clone()).map_err(|_| bad("response body is not UTF-8"))
+    }
+}
+
+/// Reads a complete response, reassembling chunked bodies.
+///
+/// # Errors
+///
+/// [`io::Error`] for connection failures or malformed responses.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    read_response_streaming(stream, |_| {})
+}
+
+/// Reads a response, invoking `on_chunk` for every chunk of a chunked
+/// body as it arrives (fixed-length bodies get a single callback). The
+/// complete body is still returned.
+///
+/// # Errors
+///
+/// [`io::Error`] for connection failures or malformed responses.
+pub fn read_response_streaming(
+    stream: &mut TcpStream,
+    mut on_chunk: impl FnMut(&[u8]),
+) -> io::Result<Response> {
+    let mut reader = BufReader::new(stream);
+    let Some(line) = read_line_bounded(&mut reader, "status")? else {
+        return Err(bad("connection closed before status line"));
+    };
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let ParsedHeaders {
+        headers,
+        content_length,
+        chunked,
+    } = read_headers(&mut reader)?;
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let Some(size_line) = read_line_bounded(&mut reader, "chunk size")? else {
+                return Err(bad("connection closed inside chunked body"));
+            };
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("malformed chunk size"))?;
+            // Checked form: a hostile size near usize::MAX must hit this
+            // bound, not wrap the addition and then fail to allocate.
+            if size > MAX_BODY_BYTES - body.len() {
+                return Err(bad("response body too large"));
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            if size == 0 {
+                break;
+            }
+            on_chunk(&chunk);
+            body.extend_from_slice(&chunk);
+        }
+    } else {
+        match content_length {
+            Some(n) => {
+                body.resize(n, 0);
+                reader.read_exact(&mut body)?;
+            }
+            None => {
+                // Read to EOF (connection: close framing) — through a
+                // `take` so a peer streaming forever is cut off at the
+                // bound, not at OOM.
+                reader
+                    .by_ref()
+                    .take((MAX_BODY_BYTES + 1) as u64)
+                    .read_to_end(&mut body)?;
+                if body.len() > MAX_BODY_BYTES {
+                    return Err(bad("response body too large"));
+                }
+            }
+        }
+        if !body.is_empty() {
+            on_chunk(&body);
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn request_roundtrip_with_body_and_query() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST /jobs?wait=1&x HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let req = read_request(&mut server).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert!(req.wants_wait());
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("t"));
+    }
+
+    #[test]
+    fn fixed_response_roundtrip() {
+        let (mut client, mut server) = pair();
+        write_response(&mut server, 429, &[("retry-after", "1")], b"{\"e\":1}").unwrap();
+        drop(server);
+        let resp = read_response(&mut client).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, b"{\"e\":1}");
+    }
+
+    #[test]
+    fn chunked_response_streams_and_reassembles() {
+        let (mut client, mut server) = pair();
+        let writer = std::thread::spawn(move || {
+            let mut w = ChunkedWriter::begin(&mut server, 200).unwrap();
+            w.chunk(b"{\"a\":1}\n").unwrap();
+            w.chunk(b"{\"b\":2}\n").unwrap();
+            w.finish().unwrap();
+        });
+        let mut seen = Vec::new();
+        let resp = read_response_streaming(&mut client, |c| seen.push(c.to_vec())).unwrap();
+        writer.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"a\":1}\n{\"b\":2}\n");
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(
+                format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX).as_bytes(),
+            )
+            .unwrap();
+        assert!(read_request(&mut server).is_err());
+    }
+
+    #[test]
+    fn closed_connection_yields_none() {
+        let (client, mut server) = pair();
+        drop(client);
+        assert!(read_request(&mut server).unwrap().is_none());
+    }
+
+    #[test]
+    fn endless_header_line_is_cut_off_at_the_line_bound() {
+        let (mut client, mut server) = pair();
+        let reader = std::thread::spawn(move || read_request(&mut server));
+        // The reader stops consuming once it errors; bound our writes so a
+        // full socket buffer can never turn this test into a hang.
+        client
+            .set_write_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        let _ = client.write_all(b"GET / HTTP/1.1\r\nx-fill: ");
+        // Twice the line bound, no newline: the reader must error at the
+        // bound, not buffer until OOM or EOF.
+        let chunk = vec![b'a'; 8 * 1024];
+        for _ in 0..16 {
+            if client.write_all(&chunk).is_err() {
+                break; // reader already gave up — exactly what we want
+            }
+        }
+        drop(client);
+        let err = reader.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn header_count_is_bounded() {
+        let (mut client, mut server) = pair();
+        let reader = std::thread::spawn(move || read_request(&mut server));
+        let _ = client.write_all(b"GET / HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 8) {
+            if client
+                .write_all(format!("x-h{i}: v\r\n").as_bytes())
+                .is_err()
+            {
+                break;
+            }
+        }
+        drop(client);
+        assert!(reader.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn huge_chunk_size_is_rejected_without_overflow() {
+        let (mut client, mut server) = pair();
+        let writer = std::thread::spawn(move || {
+            // A malformed chunked response claiming a ~usize::MAX chunk.
+            let _ = server.write_all(
+                b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nffffffffffffffff\r\n",
+            );
+        });
+        let err = read_response(&mut client).unwrap_err();
+        writer.join().unwrap();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    }
+}

@@ -1,0 +1,696 @@
+//! `dominod`'s core: the accept loop, the HTTP router, the worker pool
+//! and graceful shutdown.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! POST /jobs ──▶ parse JobSpec ──▶ resolve circuit ──▶ cache probe
+//!                   (400)          (400; memoized)      │hit: 200, no queue
+//!                                                       │miss
+//!                                                       ▼ admission queue
+//!                                                      (202 | 429+Retry-After)
+//!                                                          │ FIFO
+//!                                                          ▼
+//!                                               worker: FlowEngine::run_one
+//!                                               (shared ResultCache: get,
+//!                                                run, atomic store)
+//!                                                          │
+//!          GET /jobs/:id ◀── status/outcome ◀── registry ◀─┘
+//!          GET /jobs/:id/result   (the engine's exact outcome bytes)
+//!          GET /jobs/:id/events   (chunked stream, one JSON line each)
+//!          DELETE /jobs/:id       (cooperative cancel)
+//! ```
+//!
+//! Determinism holds across the wire because the server stores and serves
+//! the engine's serialized [`FlowOutcome`](domino_engine::FlowOutcome)
+//! *verbatim*: for any spec, `GET /jobs/:id/result` is byte-identical to
+//! the JSONL a local `dominoc run` emits, warm or cold cache, at any
+//! worker or client count (pinned by `tests/server_integration.rs`).
+//!
+//! # Shutdown
+//!
+//! `POST /shutdown` (or [`Server::request_shutdown`]) flips the shutdown
+//! flag: the accept loop closes, admissions turn into `503`, workers
+//! drain every job already admitted and exit. The on-disk cache needs no
+//! separate flush — every store is written (atomically) at completion
+//! time — so a drained server can be killed with nothing in flight.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use std::collections::HashMap;
+
+use domino_engine::json::{parse, Json};
+use domino_engine::{
+    CircuitSource, EngineConfig, EngineError, FlowEngine, FlowJob, JobResult, JobSpec, ResultCache,
+};
+
+use crate::http::{read_request, write_response, ChunkedWriter, Request};
+use crate::protocol::{CacheCounters, ErrorReply, JobStatus};
+use crate::registry::{AdmitError, Registry};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (the bound address is
+    /// reported by [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs. `0` means one per available CPU.
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Shared result cache; `None` disables caching.
+    pub cache: Option<Arc<ResultCache>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: format!("127.0.0.1:{DEFAULT_PORT}"),
+            workers: 0,
+            queue_capacity: 64,
+            cache: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parses the server CLI flags (`--addr`, `--workers`, `--queue`,
+    /// `--cache`) shared by `dominod` and `dominoc serve`, so the two
+    /// entry points cannot drift.
+    ///
+    /// # Errors
+    ///
+    /// A rendered usage message for unknown flags, missing values,
+    /// non-integer counts, a zero queue capacity, or an unusable cache
+    /// directory.
+    pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+        let mut config = ServeConfig::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--addr" => config.addr = value("--addr")?,
+                "--workers" => {
+                    config.workers = value("--workers")?
+                        .parse()
+                        .map_err(|_| "--workers needs an integer".to_string())?;
+                }
+                "--queue" => {
+                    config.queue_capacity = value("--queue")?
+                        .parse()
+                        .map_err(|_| "--queue needs an integer".to_string())?;
+                    if config.queue_capacity == 0 {
+                        return Err("--queue must be at least 1".to_string());
+                    }
+                }
+                "--cache" => {
+                    let dir = value("--cache")?;
+                    let cache = ResultCache::on_disk(&dir).map_err(|e| e.to_string())?;
+                    config.cache = Some(Arc::new(cache));
+                }
+                other => return Err(format!("unknown server option '{other}'")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// The default `dominod` port.
+pub const DEFAULT_PORT: u16 = 7171;
+
+/// Memoizes circuit resolution by source *content*: repeated submissions
+/// of the same suite row or inline BLIF clone the parsed
+/// [`Network`](domino_netlist::Network) instead of re-generating/-parsing
+/// it — on the warm path that is most of the per-request CPU.
+/// `BlifPath` sources are never memoized (the file can change under us),
+/// and only successfully resolved sources enter the memo, so a hit is
+/// always sound.
+///
+/// Bounded in **bytes**, not just entries: sources above
+/// [`RESOLVE_MEMO_MAX_SOURCE_BYTES`] are never memoized, and the memo is
+/// emptied once it holds [`RESOLVE_MEMO_CAP`] entries or
+/// [`RESOLVE_MEMO_MAX_TOTAL_BYTES`] of source text (the parsed networks
+/// scale with their sources) — a client cycling through large distinct
+/// inline circuits cannot grow server memory past the budget.
+#[derive(Debug, Default)]
+struct ResolveMemo {
+    map: Mutex<(HashMap<String, domino_netlist::Network>, usize)>,
+}
+
+/// Distinct sources kept by the resolve memo before it resets.
+const RESOLVE_MEMO_CAP: usize = 256;
+
+/// Largest single source the memo will retain (1 MiB — every suite
+/// circuit is far below this; a one-off giant BLIF just re-parses).
+const RESOLVE_MEMO_MAX_SOURCE_BYTES: usize = 1024 * 1024;
+
+/// Total source bytes retained before the memo resets (16 MiB).
+const RESOLVE_MEMO_MAX_TOTAL_BYTES: usize = 16 * 1024 * 1024;
+
+impl ResolveMemo {
+    fn memo_key(source: &CircuitSource) -> Option<String> {
+        match source {
+            CircuitSource::Suite(name) => Some(format!("suite\u{0}{name}")),
+            CircuitSource::BlifInline(text) => Some(format!("blif\u{0}{text}")),
+            CircuitSource::BlifPath(_) => None,
+        }
+    }
+
+    fn resolve(&self, spec: JobSpec) -> Result<FlowJob, EngineError> {
+        let key = match Self::memo_key(&spec.source) {
+            Some(key) if key.len() <= RESOLVE_MEMO_MAX_SOURCE_BYTES => key,
+            _ => return spec.resolve(),
+        };
+        if let Some(net) = self.map.lock().expect("memo lock").0.get(&key) {
+            return Ok(FlowJob::new(spec, net.clone()));
+        }
+        let job = spec.resolve()?;
+        let mut guard = self.map.lock().expect("memo lock");
+        let (map, bytes) = &mut *guard;
+        if map.len() >= RESOLVE_MEMO_CAP || *bytes + key.len() > RESOLVE_MEMO_MAX_TOTAL_BYTES {
+            map.clear();
+            *bytes = 0;
+        }
+        // Two racing resolvers of the same new source both reach here;
+        // count the key's bytes only for the insert that actually adds an
+        // entry, or the accounting drifts above the real total.
+        if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(key) {
+            *bytes += slot.key().len();
+            slot.insert(job.network.clone());
+        }
+        Ok(job)
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    resolve_memo: ResolveMemo,
+    engine: FlowEngine,
+    cache: Option<Arc<ResultCache>>,
+    shutdown: AtomicBool,
+    shutdown_signal: Mutex<bool>,
+    shutdown_cond: Condvar,
+    /// `true` once a shutdown wake-up connection reached the accept loop —
+    /// joining the accept thread is only safe then (see [`Server::wait`]).
+    accept_woken: AtomicBool,
+    /// Connection handlers currently alive; the drain waits for them so a
+    /// client blocked on `?wait=1` gets its response before exit.
+    active_connections: std::sync::atomic::AtomicUsize,
+    started: Instant,
+    workers: usize,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.registry.drain();
+        // The accept loop blocks in `accept()`; a throwaway connection to
+        // ourselves wakes it so it can observe the flag and exit. (The
+        // standard no-dependency alternative — polling with a sleep — taxes
+        // every real connection with up to one poll interval of latency,
+        // which warm cache hits would feel.) An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on every platform, so the wake
+        // targets the loopback of the same family; a transient failure is
+        // retried before giving up (wait() then refuses to join a possibly
+        // still-blocked accept thread rather than hang).
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(if wake.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        for attempt in 0..3 {
+            if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
+                self.accept_woken.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50 * (attempt + 1)));
+        }
+        *self.shutdown_signal.lock().expect("shutdown lock") = true;
+        self.shutdown_cond.notify_all();
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|cache| {
+            let stats = cache.stats();
+            CacheCounters {
+                memory_hits: stats.memory_hits,
+                disk_hits: stats.disk_hits,
+                misses: stats.misses,
+                stores: stats.stores,
+                disk_entries: cache.disk_len() as u64,
+            }
+        })
+    }
+}
+
+/// A running `dominod` instance: accept loop + worker pool over one
+/// [`Registry`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and the worker pool, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the address cannot be bound.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            registry: Registry::new(config.queue_capacity),
+            resolve_memo: ResolveMemo::default(),
+            engine: FlowEngine::new(EngineConfig {
+                threads: 1,
+                cache: config.cache.clone(),
+            }),
+            cache: config.cache,
+            shutdown: AtomicBool::new(false),
+            shutdown_signal: Mutex::new(false),
+            shutdown_cond: Condvar::new(),
+            accept_woken: AtomicBool::new(false),
+            active_connections: std::sync::atomic::AtomicUsize::new(0),
+            started: Instant::now(),
+            workers,
+            addr,
+        });
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            addr,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown without waiting (same effect as
+    /// `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (by [`Server::request_shutdown`]
+    /// or `POST /shutdown`), then drains: joins the accept loop and every
+    /// worker after the admitted queue has been fully executed. The server
+    /// can still be inspected (e.g. [`Server::metrics`]) afterwards.
+    pub fn wait(&mut self) {
+        {
+            let mut signalled = self.shared.shutdown_signal.lock().expect("shutdown lock");
+            while !*signalled {
+                signalled = self
+                    .shared
+                    .shutdown_cond
+                    .wait(signalled)
+                    .expect("shutdown lock");
+            }
+        }
+        if self.shared.accept_woken.load(Ordering::SeqCst) {
+            if let Some(handle) = self.accept_handle.take() {
+                let _ = handle.join();
+            }
+        } else {
+            // The wake-up connection never got through (see
+            // begin_shutdown): the accept thread may still be blocked and
+            // joining it would hang forever. Leak it — the process is
+            // exiting anyway, and in-process users get everything but the
+            // port back.
+            eprintln!("dominod: accept loop did not confirm shutdown; not joining it");
+            self.accept_handle = None;
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Let in-flight connection handlers (clients blocked on ?wait=1
+        // for jobs the drain just finished) write their responses before
+        // we return and the process can exit. Bounded: every wait path
+        // terminates once its job is terminal, which the drain guarantees.
+        let grace = Instant::now();
+        while self
+            .shared
+            .active_connections
+            .load(std::sync::atomic::Ordering::SeqCst)
+            > 0
+            && grace.elapsed() < Duration::from_secs(10)
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Convenience: request shutdown and wait for the drain to finish.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        self.wait();
+    }
+
+    /// An in-process metrics snapshot (same content as `GET /metrics`) —
+    /// usable even after the drain, when the HTTP surface is gone.
+    pub fn metrics(&self) -> crate::protocol::MetricsReply {
+        self.shared.registry.metrics(
+            self.shared.workers as u64,
+            self.shared.started.elapsed().as_millis() as u64,
+            self.shared.cache_counters(),
+        )
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Checked *after* accept: begin_shutdown wakes a blocked
+                // accept with a throwaway self-connection.
+                if shared.is_shutting_down() {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                // Connection handlers are detached but counted
+                // (active_connections): every response path is bounded —
+                // long-polls and event streams end once their job is
+                // terminal, which the drain guarantees — and wait() holds
+                // the process for them so ?wait=1 clients get their bytes.
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+                // Transient accept failure (EMFILE, ECONNABORTED, ...):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some((id, job, token)) = shared.registry.claim() {
+        // run_one executes inline on this worker thread (no per-job scope
+        // spawn), so warm cache hits cost a lookup, not a thread.
+        match shared.engine.run_one(&job, &token) {
+            JobResult::Completed { outcome, cached } => {
+                shared
+                    .registry
+                    .finish(id, outcome.to_json().serialize(), cached);
+            }
+            JobResult::Failed(e) => shared.registry.fail(id, e.to_string()),
+            JobResult::Cancelled => shared.registry.mark_cancelled(id),
+        }
+    }
+}
+
+/// Decrements the live-connection count when a handler exits, however it
+/// exits (normal return, early return, panic).
+struct ConnectionGuard<'a>(&'a Shared);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0
+            .active_connections
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared
+        .active_connections
+        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let _guard = ConnectionGuard(shared);
+    // A silent peer must not pin a handler thread forever — in either
+    // direction: reads for a client that never sends its request, writes
+    // for one that stops draining its socket mid-response.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let body = ErrorReply::new(format!("bad request: {e}"))
+                .to_json()
+                .serialize();
+            let _ = write_response(&mut stream, 400, &[], body.as_bytes());
+            return;
+        }
+    };
+    let _ = route(&mut stream, &request, shared);
+}
+
+/// Splits `/jobs/42[/tail]` into the id and the remainder.
+fn job_path(path: &str) -> Option<(u64, &str)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let (id, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, tail),
+        None => (rest, ""),
+    };
+    Some((id.parse().ok()?, tail))
+}
+
+fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) -> io::Result<()> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let body = Json::obj(vec![
+                ("status", Json::Str("ok".into())),
+                (
+                    "uptime_ms",
+                    Json::Num(shared.started.elapsed().as_millis() as f64),
+                ),
+                ("draining", Json::Bool(shared.is_shutting_down())),
+            ]);
+            write_response(stream, 200, &[], body.serialize().as_bytes())
+        }
+        ("GET", "/metrics") => {
+            let reply = shared.registry.metrics(
+                shared.workers as u64,
+                shared.started.elapsed().as_millis() as u64,
+                shared.cache_counters(),
+            );
+            write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+        }
+        ("POST", "/jobs") => handle_submit(stream, request, shared),
+        ("POST", "/shutdown") => {
+            let body = Json::obj(vec![("status", Json::Str("shutting-down".into()))]);
+            write_response(stream, 200, &[], body.serialize().as_bytes())?;
+            shared.begin_shutdown();
+            Ok(())
+        }
+        _ => match job_path(path) {
+            Some((id, "")) if method == "GET" => handle_status(stream, request, shared, id),
+            Some((id, "")) if method == "DELETE" => match shared.registry.cancel(id) {
+                Some(reply) => {
+                    write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+                }
+                None => not_found(stream, id),
+            },
+            Some((id, "result")) if method == "GET" => handle_result(stream, request, shared, id),
+            Some((id, "events")) if method == "GET" => handle_events(stream, shared, id),
+            // A known sub-path with the wrong method is 405; an unknown
+            // sub-path is 404 — don't misdiagnose a path typo as a method
+            // error.
+            Some((_, "" | "result" | "events")) => error_reply(stream, 405, "method not allowed"),
+            Some(_) | None => {
+                error_reply(stream, 404, &format!("no such endpoint: {method} {path}"))
+            }
+        },
+    }
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Arc<Shared>,
+) -> io::Result<()> {
+    if shared.is_shutting_down() {
+        return error_reply(stream, 503, "server is draining for shutdown");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_reply(stream, 400, "body is not UTF-8");
+    };
+    let spec = match parse(text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
+    {
+        Ok(spec) => spec,
+        Err(e) => return error_reply(stream, 400, &format!("invalid job spec: {e}")),
+    };
+    let job = match shared.resolve_memo.resolve(spec) {
+        Ok(job) => job,
+        Err(e) => return error_reply(stream, 400, &format!("unresolvable job: {e}")),
+    };
+    // Admission-time cache check: a warm submission is answered right
+    // here — no queue slot, no worker round trip. `probe` counts the hit
+    // but not a miss (the worker's own `get` counts recomputations), so
+    // the /metrics accounting stays exact: hits == cache-answered jobs,
+    // misses == flows actually recomputed.
+    if let Some(cache) = &shared.cache {
+        if let Some(mut outcome) = cache.probe(job.cache_key()) {
+            outcome.name = job.spec.name.clone();
+            return match shared
+                .registry
+                .admit_completed(&job, outcome.to_json().serialize())
+            {
+                Ok(reply) if request.wants_wait() => respond_with_outcome(stream, shared, reply.id),
+                // 200, not 202: the work is already done.
+                Ok(reply) => {
+                    write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+                }
+                Err(_) => error_reply(stream, 503, "server is draining for shutdown"),
+            };
+        }
+    }
+    match shared.registry.submit(job) {
+        // Synchronous mode: `POST /jobs?wait=1` blocks until terminal and
+        // answers like `GET /jobs/:id/result` — one round trip per job,
+        // which is what the warm path of the load harness measures.
+        Ok(reply) if request.wants_wait() => {
+            // Never abandoned on shutdown: the drain runs every admitted
+            // job to a terminal state, so this wait is bounded and the
+            // client gets its outcome even mid-drain (wait() holds the
+            // process for counted connections).
+            shared.registry.wait_done(reply.id);
+            respond_with_outcome(stream, shared, reply.id)
+        }
+        Ok(reply) => write_response(stream, 202, &[], reply.to_json().serialize().as_bytes()),
+        Err(AdmitError::Full { depth }) => {
+            let body = ErrorReply::new(format!("queue full: {depth} jobs waiting"))
+                .to_json()
+                .serialize();
+            write_response(stream, 429, &[("retry-after", "1")], body.as_bytes())
+        }
+        Err(AdmitError::Draining) => error_reply(stream, 503, "server is draining for shutdown"),
+    }
+}
+
+fn handle_status(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Arc<Shared>,
+    id: u64,
+) -> io::Result<()> {
+    let reply = if request.wants_wait() {
+        shared.registry.wait_terminal(id)
+    } else {
+        shared.registry.status(id)
+    };
+    match reply {
+        Some(reply) => write_response(stream, 200, &[], reply.to_json().serialize().as_bytes()),
+        None => not_found(stream, id),
+    }
+}
+
+fn handle_result(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Arc<Shared>,
+    id: u64,
+) -> io::Result<()> {
+    if request.wants_wait() && !shared.registry.wait_done(id) {
+        return not_found(stream, id);
+    }
+    respond_with_outcome(stream, shared, id)
+}
+
+/// Answers with the job's stored outcome bytes (the byte-identity path),
+/// or the appropriate error for failed/cancelled/unfinished jobs.
+fn respond_with_outcome(stream: &mut TcpStream, shared: &Arc<Shared>, id: u64) -> io::Result<()> {
+    match shared.registry.outcome_text(id) {
+        None => not_found(stream, id),
+        Some((JobStatus::Completed, Some(text), _)) => {
+            // The engine's exact bytes: this is the byte-identity endpoint.
+            write_response(stream, 200, &[], text.as_bytes())
+        }
+        Some((JobStatus::Failed, _, error)) => error_reply(
+            stream,
+            502,
+            &format!("job failed: {}", error.unwrap_or_default()),
+        ),
+        Some((JobStatus::Cancelled, _, _)) => error_reply(stream, 409, "job was cancelled"),
+        Some((status, _, _)) => error_reply(
+            stream,
+            409,
+            &format!("job not finished (status: {status}); use ?wait=1 to block"),
+        ),
+    }
+}
+
+fn handle_events(stream: &mut TcpStream, shared: &Arc<Shared>, id: u64) -> io::Result<()> {
+    if shared.registry.status(id).is_none() {
+        return not_found(stream, id);
+    }
+    let mut writer = ChunkedWriter::begin(stream, 200)?;
+    let mut next_seq = 0u64;
+    // The stream always ends with the job's terminal event — including
+    // through a shutdown, since the drain terminates every admitted job.
+    while let Some((fresh, terminal)) = shared.registry.wait_events(id, next_seq) {
+        for event in &fresh {
+            let mut line = event.to_json().serialize();
+            line.push('\n');
+            writer.chunk(line.as_bytes())?;
+            next_seq = event.seq + 1;
+        }
+        if terminal {
+            break;
+        }
+    }
+    writer.finish()
+}
+
+fn not_found(stream: &mut TcpStream, id: u64) -> io::Result<()> {
+    error_reply(stream, 404, &format!("no such job: {id}"))
+}
+
+fn error_reply(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let body = ErrorReply::new(message).to_json().serialize();
+    write_response(stream, status, &[], body.as_bytes())
+}

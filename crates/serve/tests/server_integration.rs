@@ -1,0 +1,332 @@
+//! End-to-end acceptance tests for the `dominod` wire protocol:
+//!
+//! * **determinism across the wire** — for any spec, the outcome JSON
+//!   fetched from the server is byte-identical to a local serial
+//!   `FlowEngine` run (what `dominoc run --jsonl` emits), cold or warm
+//!   cache, with many concurrent clients and workers;
+//! * **warm requests recompute nothing** — a second wave of identical
+//!   submissions is answered entirely by the shared cache: the hit
+//!   counter delta equals the request count and the miss counter is flat;
+//! * **backpressure** — a full admission queue answers `429` +
+//!   `Retry-After` while every *admitted* job still reaches a terminal
+//!   state (nothing is silently dropped), and cancelling a queued job
+//!   frees its slot;
+//! * **event streams** — the chunked `/jobs/:id/events` feed delivers the
+//!   dense `queued → started → finished` sequence and terminates;
+//! * **graceful shutdown** — `POST /shutdown` drains admitted jobs before
+//!   the workers exit, and the HTTP surface goes away afterwards.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use domino_engine::{FlowEngine, JobSpec, ResultCache};
+use domino_serve::{ClientError, EventKind, JobStatus, ServeClient, ServeConfig, Server};
+
+/// The public-suite specs used throughout, with short simulations so the
+/// debug-profile tests stay quick. Identical specs are what byte-identity
+/// is claimed over.
+fn public_specs() -> Vec<JobSpec> {
+    domino_workloads::public_row_names()
+        .iter()
+        .map(|name| {
+            let mut spec = JobSpec::suite(name);
+            spec.sim.cycles = 512;
+            spec.sim.warmup = 8;
+            spec
+        })
+        .collect()
+}
+
+/// A spec that keeps a debug-profile worker busy for a while (large
+/// simulation budget, adaptive stop disabled by default).
+fn slow_spec() -> JobSpec {
+    let mut spec = JobSpec::suite("apex7");
+    spec.name = "slowpoke".to_string();
+    spec.sim.cycles = 65_536;
+    spec
+}
+
+/// The reference bytes: what `dominoc run --jsonl` writes for `spec`.
+fn local_outcome_json(spec: &JobSpec) -> String {
+    let job = spec.clone().resolve().expect("spec resolves");
+    let results = FlowEngine::serial().run_batch(&[job]);
+    results[0]
+        .outcome()
+        .expect("local run completes")
+        .to_json()
+        .serialize()
+}
+
+fn start_server(config: ServeConfig) -> (Server, ServeClient) {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("ephemeral bind");
+    let client = ServeClient::new(server.addr().to_string());
+    (server, client)
+}
+
+#[test]
+fn concurrent_submissions_are_byte_identical_to_local_runs() {
+    let specs = public_specs();
+    let expected: Vec<String> = specs.iter().map(local_outcome_json).collect();
+
+    let cache = Arc::new(ResultCache::in_memory());
+    let (server, client) = start_server(ServeConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache: Some(Arc::clone(&cache)),
+        ..ServeConfig::default()
+    });
+
+    // Cold wave: 3 clients submit the full suite concurrently (12 jobs).
+    let clients = 3;
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let (client, specs, expected) = (client.clone(), &specs, &expected);
+            scope.spawn(move || {
+                let ids: Vec<u64> = specs
+                    .iter()
+                    .map(|spec| client.submit(spec).expect("admitted").id)
+                    .collect();
+                for (id, want) in ids.iter().zip(expected) {
+                    let got = client.result(*id, true).expect("job completes");
+                    assert_eq!(&got, want, "wire outcome differs from local run");
+                }
+            });
+        }
+    });
+
+    let cold = client.metrics().expect("metrics");
+    assert_eq!(cold.completed, (clients * specs.len()) as u64);
+    assert_eq!(cold.failed, 0);
+    let cold_cache = cold.cache.expect("server runs cached");
+    assert_eq!(cold_cache.misses + cold_cache.hits(), cold.completed);
+
+    // Warm wave: every request must be answered by the cache — hit delta
+    // == request count, zero new misses — and stay byte-identical.
+    let warm_requests = specs.len() as u64;
+    for (spec, want) in specs.iter().zip(&expected) {
+        let id = client.submit(spec).expect("admitted").id;
+        let status = client.status(id, true).expect("terminal");
+        assert_eq!(status.status, JobStatus::Completed);
+        assert_eq!(status.cached, Some(true), "warm request recomputed");
+        assert_eq!(&client.result(id, false).expect("stored"), want);
+    }
+    let warm = client.metrics().expect("metrics");
+    let warm_cache = warm.cache.expect("server runs cached");
+    assert_eq!(
+        warm_cache.hits() - cold_cache.hits(),
+        warm_requests,
+        "every warm request is a cache hit"
+    );
+    assert_eq!(
+        warm_cache.misses, cold_cache.misses,
+        "no warm recomputation"
+    );
+    assert_eq!(warm.warm - cold.warm, warm_requests);
+
+    // Synchronous mode (`POST /jobs?wait=1`) serves the same exact bytes
+    // in a single round trip.
+    let sync = client.run_sync(&specs[0]).expect("sync submit");
+    assert_eq!(&sync, &expected[0]);
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_backpressures_and_drops_nothing() {
+    let (server, client) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache: None,
+        ..ServeConfig::default()
+    });
+
+    // Occupy the single worker...
+    let slow = client.submit(&slow_spec()).expect("admitted");
+    loop {
+        let status = client.status(slow.id, false).expect("known job");
+        if status.status == JobStatus::Running {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // ...fill the queue...
+    let mut queued_spec = public_specs().remove(1);
+    queued_spec.name = "queued".to_string();
+    let queued = client.submit(&queued_spec).expect("fits the queue");
+
+    // ...and overflow it: explicit 429 + Retry-After, nothing enqueued.
+    let overflow = client.submit(&public_specs()[0]);
+    match overflow {
+        Err(ClientError::Api {
+            status: 429,
+            retry_after,
+            ..
+        }) => assert_eq!(retry_after, Some(1), "429 carries Retry-After"),
+        other => panic!("expected 429, got {other:?}"),
+    }
+
+    // Cancelling the queued job frees its slot immediately...
+    let cancelled = client.cancel(queued.id).expect("known job");
+    assert_eq!(cancelled.status, JobStatus::Cancelled);
+    // ...so the next submission is admitted again.
+    let replacement = client.submit(&public_specs()[0]).expect("slot freed");
+
+    // Every admitted job reaches a terminal state; nothing silently lost.
+    assert_eq!(
+        client.status(slow.id, true).unwrap().status,
+        JobStatus::Completed
+    );
+    assert_eq!(
+        client.status(replacement.id, true).unwrap().status,
+        JobStatus::Completed
+    );
+    assert_eq!(
+        client.status(queued.id, false).unwrap().status,
+        JobStatus::Cancelled
+    );
+    let result_of_cancelled = client.result(queued.id, false);
+    assert!(
+        matches!(
+            result_of_cancelled,
+            Err(ClientError::Api { status: 409, .. })
+        ),
+        "cancelled job has no outcome: {result_of_cancelled:?}"
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.submitted, 3, "slow + queued + replacement admitted");
+    assert_eq!(metrics.rejected, 1, "exactly one explicit 429");
+    assert_eq!(metrics.completed, 2);
+    assert_eq!(metrics.cancelled, 1);
+    assert_eq!(
+        metrics.submitted,
+        metrics.completed + metrics.cancelled,
+        "admitted = terminal: no job was silently dropped"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn event_stream_delivers_dense_lifecycle_and_terminates() {
+    let (server, client) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache: None,
+        ..ServeConfig::default()
+    });
+    let mut spec = public_specs().swap_remove(0);
+    spec.sim.cycles = 256;
+    let id = client.submit(&spec).expect("admitted").id;
+
+    // The stream blocks until the terminal event, then ends on its own.
+    let mut streamed = Vec::new();
+    let events = client
+        .events(id, |e| streamed.push(e.kind))
+        .expect("stream completes");
+    let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![EventKind::Queued, EventKind::Started, EventKind::Finished]
+    );
+    assert_eq!(streamed, kinds, "callback saw the same sequence");
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2], "dense sequence numbers");
+    assert_eq!(events[2].cached, Some(false));
+    assert!(events[2].elapsed_ms.is_some());
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_silence() {
+    let (server, client) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: None,
+        ..ServeConfig::default()
+    });
+
+    // Unknown job id.
+    match client.status(999, false) {
+        Err(ClientError::Api { status: 404, .. }) => {}
+        other => panic!("expected 404, got {other:?}"),
+    }
+
+    // A body that is not a JobSpec.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 8\r\n\r\nnot json")
+        .unwrap();
+    let response = domino_serve::http::read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 400);
+
+    // An unknown endpoint.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.write_all(b"GET /nonesuch HTTP/1.1\r\n\r\n").unwrap();
+    let response = domino_serve::http::read_response(&mut stream).unwrap();
+    assert_eq!(response.status, 404);
+
+    // A spec naming an unknown suite row fails at resolve time.
+    match client.submit(&JobSpec::suite("nonesuch")) {
+        Err(ClientError::Api { status: 400, .. }) => {}
+        other => panic!("expected 400, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn unreachable_server_is_distinguished_from_job_failure() {
+    // Port 9 (discard) on localhost is refused in any sane environment.
+    let client = ServeClient::new("127.0.0.1:9");
+    match client.metrics() {
+        Err(ClientError::Unreachable(_)) => {}
+        other => panic!("expected Unreachable, got {other:?}"),
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_jobs() {
+    let cache = Arc::new(ResultCache::in_memory());
+    let (mut server, client) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache: Some(cache),
+        ..ServeConfig::default()
+    });
+
+    let specs = public_specs();
+    let ids: Vec<u64> = specs[..3]
+        .iter()
+        .map(|spec| client.submit(spec).expect("admitted").id)
+        .collect();
+
+    // The wire-level shutdown: admissions stop, the drain begins.
+    client.shutdown().expect("shutdown accepted");
+    match client.submit(&specs[3]) {
+        // 503 while draining; Unreachable/Io once the dying listener is
+        // past accepting (the kernel backlog may still take — then reset —
+        // the connection). All three mean: not admitted, told explicitly.
+        Err(
+            ClientError::Api { status: 503, .. } | ClientError::Unreachable(_) | ClientError::Io(_),
+        ) => {}
+        other => panic!("expected refusal during drain, got {other:?}"),
+    }
+
+    // wait() returns only after every admitted job was executed.
+    server.wait();
+    let metrics = server.metrics();
+    assert_eq!(metrics.completed, ids.len() as u64, "drain ran every job");
+    assert_eq!(metrics.queue_depth, 0);
+
+    // The HTTP surface is gone after the drain.
+    match client.healthz() {
+        Err(ClientError::Unreachable(_)) => {}
+        other => panic!("expected Unreachable after drain, got {other:?}"),
+    }
+}

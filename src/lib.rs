@@ -16,7 +16,8 @@
 //! | [`techmap`] | `domino-techmap` | domino cell library, mapping, STA, sizing |
 //! | [`sim`] | `domino-sim` | statistical vector simulation ("PowerMill" substitute) |
 //! | [`workloads`] | `domino-workloads` | benchmark circuits and paper figure examples |
-//! | [`engine`] | `domino-engine` | parallel batch flow engine, content-addressed result cache, `dominoc` CLI |
+//! | [`engine`] | `domino-engine` | parallel batch flow engine, content-addressed result cache |
+//! | [`serve`] | `domino-serve` | `dominod` phase-assignment server, wire protocol, `dominoc` CLI |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub use domino_bdd as bdd;
 pub use domino_engine as engine;
 pub use domino_netlist as netlist;
 pub use domino_phase as phase;
+pub use domino_serve as serve;
 pub use domino_sgraph as sgraph;
 pub use domino_sim as sim;
 pub use domino_techmap as techmap;
