@@ -1,0 +1,100 @@
+//! `fleet_bench` — the `dominogw` fleet load generator: real `dominod`
+//! and `dominogw` processes over loopback TCP (in-process fallback when
+//! the binaries are not built), driven through three waves — cold, warm,
+//! and a peer-warm growth wave where a node that never computed anything
+//! answers warm because the gateway peered its cache from the old homes.
+//!
+//! ```text
+//! cargo build --release            # builds dominod + dominogw siblings
+//! cargo run --release -p domino-bench --bin fleet_bench -- \
+//!     [--fast] [--clients <n>] [--backends <n>] [--passes <n>] \
+//!     [--in-process] [--out <path>]
+//! ```
+//!
+//! `--fast` restricts to the two cheapest circuits (the CI artifact
+//! mode). The JSON document (default `fleet_bench.json`) carries all
+//! three waves plus the verified peering accounting; `perf_snapshot`'s
+//! `fleet` section measures the same waves (in-process) for the CI
+//! regression gate, via the shared [`domino_bench::fleet_probe`] harness.
+
+use domino_bench::fleet_probe::{measure_fleet, sibling_binary, FleetLoadConfig};
+use domino_bench::serve_probe::WaveStats;
+use domino_engine::json::Json;
+
+fn wave_json(wave: &WaveStats) -> Json {
+    Json::obj(vec![
+        ("jobs", Json::Num(wave.jobs as f64)),
+        ("wall_ms", Json::Num(wave.wall_ms)),
+        ("jobs_per_s", Json::Num(wave.jobs_per_s)),
+        ("mean_ms", Json::Num(wave.mean_ms)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let binaries_built =
+        sibling_binary("dominod").is_some() && sibling_binary("dominogw").is_some();
+    let in_process = args.iter().any(|a| a == "--in-process") || !binaries_built;
+    if in_process && !binaries_built {
+        eprintln!(
+            "fleet_bench: dominod/dominogw binaries not found next to this executable; \
+             measuring in-process (build them with: cargo build --release)"
+        );
+    }
+    let config = FleetLoadConfig {
+        fast: args.iter().any(|a| a == "--fast"),
+        clients: flag("--clients")
+            .map(|v| v.parse().expect("--clients needs an integer"))
+            .unwrap_or(4),
+        backends: flag("--backends")
+            .map(|v| v.parse().expect("--backends needs an integer"))
+            .unwrap_or(2),
+        warm_passes: flag("--passes")
+            .map(|v| v.parse().expect("--passes needs an integer"))
+            .unwrap_or(3),
+        processes: !in_process,
+    };
+    let out = flag("--out").unwrap_or_else(|| "fleet_bench.json".to_string());
+
+    let m = measure_fleet(&config);
+
+    let doc = Json::obj(vec![
+        ("fast", Json::Bool(config.fast)),
+        ("mode", Json::Str(m.mode.to_string())),
+        ("backends", Json::Num(m.backends as f64)),
+        ("clients", Json::Num(m.clients as f64)),
+        ("jobs_per_wave", Json::Num(m.jobs_per_wave as f64)),
+        ("cold", wave_json(&m.cold)),
+        ("warm", wave_json(&m.warm)),
+        ("peer_warm", wave_json(&m.peer_warm)),
+        ("warm_speedup", Json::Num(m.warm_speedup)),
+        ("peer_fills", Json::Num(m.peer_fills as f64)),
+        ("grown_stores", Json::Num(m.grown_stores as f64)),
+        ("grown_hits", Json::Num(m.grown_hits as f64)),
+    ]);
+    let text = doc.serialize();
+    std::fs::write(&out, format!("{text}\n")).expect("write fleet_bench output");
+    println!("{text}");
+    eprintln!(
+        "fleet_bench [{}]: {} backends (+1 grown), {} clients x {} jobs | \
+         cold {:.1} jobs/s | warm {:.1} jobs/s ({:.1}x) | \
+         peer-warm {:.1} jobs/s, {} key(s) re-homed and answered warm by a \
+         node that computed nothing",
+        m.mode,
+        m.backends,
+        m.clients,
+        m.jobs_per_wave,
+        m.cold.jobs_per_s,
+        m.warm.jobs_per_s,
+        m.warm_speedup,
+        m.peer_warm.jobs_per_s,
+        m.peer_fills,
+    );
+    eprintln!("wrote {out}");
+}

@@ -27,6 +27,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use domino_bdd::circuit::CircuitBdds;
+use domino_bench::fleet_probe::{measure_fleet, FleetLoadConfig};
 use domino_bench::serve_probe::{measure_serve, ServeLoadConfig};
 use domino_bench::Experiment;
 use domino_engine::json::{parse, Json};
@@ -173,6 +174,35 @@ fn main() -> ExitCode {
         ("serve_ms", Json::Num(serve.warm.mean_ms)),
         ("jobs_per_s", Json::Num(serve.warm.jobs_per_s)),
         ("warm_speedup", Json::Num(serve.warm_speedup)),
+        ("keepalive_speedup", Json::Num(serve.keepalive_speedup)),
+    ]);
+
+    // The fleet (gateway + backends + cache peering), measured in-process
+    // with the same harness as fleet_bench: the gated numbers are the
+    // warm wave through the gateway (the routed service floor) and the
+    // peer-warm growth wave (routing + peek + fill on re-homed keys).
+    let fleet = measure_fleet(&FleetLoadConfig {
+        fast,
+        clients: 4,
+        backends: 2,
+        warm_passes: 3,
+        processes: false,
+    });
+    let fleet_doc = Json::obj(vec![
+        ("backends", Json::Num(fleet.backends as f64)),
+        ("clients", Json::Num(fleet.clients as f64)),
+        ("jobs_per_wave", Json::Num(fleet.jobs_per_wave as f64)),
+        ("cold_ms", Json::Num(fleet.cold.mean_ms)),
+        ("cold_jobs_per_s", Json::Num(fleet.cold.jobs_per_s)),
+        ("fleet_ms", Json::Num(fleet.warm.mean_ms)),
+        ("jobs_per_s", Json::Num(fleet.warm.jobs_per_s)),
+        ("peer_warm_ms", Json::Num(fleet.peer_warm.mean_ms)),
+        (
+            "peer_warm_jobs_per_s",
+            Json::Num(fleet.peer_warm.jobs_per_s),
+        ),
+        ("warm_speedup", Json::Num(fleet.warm_speedup)),
+        ("peer_fills", Json::Num(fleet.peer_fills as f64)),
     ]);
 
     let doc = Json::obj(vec![
@@ -180,6 +210,7 @@ fn main() -> ExitCode {
         ("samples", Json::Num(samples as f64)),
         ("circuits", Json::Arr(rows)),
         ("serve", serve_doc),
+        ("fleet", fleet_doc),
     ]);
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write snapshot");
@@ -270,35 +301,41 @@ fn check_against_baseline(current: &Json, path: &str, tolerance_pct: f64) -> Exi
         }
     }
 
-    // Serve metrics: `serve_ms` is a latency (lower is better) and
-    // `jobs_per_s` a throughput (higher is better). Both are wall-clock
-    // under client concurrency, which jitters more than the kernel
-    // minima above, so they get twice the tolerance and a larger floor.
+    // Service metrics: a warm latency (lower is better) and a throughput
+    // (higher is better) per section — `serve` is the single dominod, and
+    // `fleet` the warm wave routed through the dominogw gateway. All are
+    // wall-clock under client concurrency, which jitters more than the
+    // kernel minima above, so they get twice the tolerance and a larger
+    // floor. Sections absent from the baseline are skipped, so baselines
+    // predating the fleet still gate what they know.
     let serve_limit = 1.0 + 2.0 * tolerance_pct / 100.0;
-    if let (Some(now), Some(base)) = (current.get("serve"), baseline.get("serve")) {
+    for (section, latency_metric) in [("serve", "serve_ms"), ("fleet", "fleet_ms")] {
+        let (Some(now), Some(base)) = (current.get(section), baseline.get(section)) else {
+            continue;
+        };
         let pair = |metric: &str| Some((now.get(metric)?.as_f64()?, base.get(metric)?.as_f64()?));
-        if let Some((now_ms, base_ms)) = pair("serve_ms") {
+        if let Some((now_ms, base_ms)) = pair(latency_metric) {
             compared += 1;
             let ratio = now_ms.max(SERVE_FLOOR_MS) / base_ms.max(SERVE_FLOOR_MS);
             let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
             eprintln!(
-                "check: serve       serve_ms      {now_ms:>9.3} ms vs {base_ms:>9.3} ms  \
-                 ({ratio:>5.2}x)  {verdict}"
+                "check: {section:<11} {latency_metric:<13} {now_ms:>9.3} ms vs \
+                 {base_ms:>9.3} ms  ({ratio:>5.2}x)  {verdict}"
             );
         }
         if let Some((now_tp, base_tp)) = pair("jobs_per_s") {
             if base_tp > 0.0 && now_tp > 0.0 {
                 compared += 1;
                 // Compared through per-job wall time with the same noise
-                // floor as serve_ms: throughput is the inverse of the
-                // same wall clock, so without the floor a sub-floor
-                // latency wiggle the serve_ms clamp absorbs would still
-                // trip the gate here as a throughput ratio.
+                // floor as the latency metric: throughput is the inverse
+                // of the same wall clock, so without the floor a
+                // sub-floor latency wiggle the latency clamp absorbs
+                // would still trip the gate here as a throughput ratio.
                 let ratio =
                     (1e3 / now_tp).max(SERVE_FLOOR_MS) / (1e3 / base_tp).max(SERVE_FLOOR_MS);
                 let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
                 eprintln!(
-                    "check: serve       jobs_per_s    {now_tp:>9.0} /s vs {base_tp:>9.0} /s  \
+                    "check: {section:<11} jobs_per_s    {now_tp:>9.0} /s vs {base_tp:>9.0} /s  \
                      ({:>5.2}x)  {verdict}",
                     now_tp / base_tp
                 );

@@ -58,6 +58,10 @@ fn main() {
         ("warm_speedup", Json::Num(m.warm_speedup)),
         ("warm_requests", Json::Num(m.warm_requests as f64)),
         ("warm_cache_hits", Json::Num(m.warm_hits as f64)),
+        ("keepalive", wave_json(&m.keepalive)),
+        ("per_connection", wave_json(&m.per_connection)),
+        ("keepalive_speedup", Json::Num(m.keepalive_speedup)),
+        ("connection_reuses", Json::Num(m.connection_reuses as f64)),
     ]);
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write serve_bench output");
@@ -75,6 +79,17 @@ fn main() {
         m.warm_speedup,
         m.warm_hits,
         m.warm_requests,
+    );
+    eprintln!(
+        "serve_bench: keep-alive {:.1} jobs/s ({:.3} ms/req) vs \
+         connection-per-request {:.1} jobs/s ({:.3} ms/req) — {:.2}x, \
+         {} reused connections verified",
+        m.keepalive.jobs_per_s,
+        m.keepalive.mean_ms,
+        m.per_connection.jobs_per_s,
+        m.per_connection.mean_ms,
+        m.keepalive_speedup,
+        m.connection_reuses,
     );
     eprintln!("wrote {out}");
 }

@@ -1,0 +1,447 @@
+//! Shared load-measurement harness for the `dominogw` fleet: N `dominod`
+//! backends behind one consistent-hash gateway, driven by concurrent
+//! clients through three waves:
+//!
+//! * **cold** — every client submits its own seed-varied copy of the
+//!   suite through the gateway: every job recomputes, once, on its
+//!   rendezvous home (verified: fleet-wide cache misses == jobs);
+//! * **warm** — the same specs again: every request must be answered by
+//!   its home backend's cache (verified: hit delta == requests, zero new
+//!   misses);
+//! * **peer-warm** — a *grown* fleet: a second gateway over the same
+//!   backends plus one fresh node that has never computed anything. Keys
+//!   that re-home onto the fresh node are answered warm anyway — the
+//!   gateway peeks the old home's cache and fills the new one — which
+//!   this harness verifies (the fresh node serves hits with zero misses,
+//!   and the whole wave recomputes nothing).
+//!
+//! Two spawn modes measure the same thing: `processes` runs the real
+//! `dominod`/`dominogw` binaries over loopback TCP (the honest
+//! multi-process deployment, used by `fleet_bench`), `in-process` starts
+//! the servers inside this process (hermetic, used by `perf_snapshot`'s
+//! regression gate). Wire traffic is identical either way.
+
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use domino_engine::json::parse;
+use domino_engine::{JobSpec, ResultCache};
+use domino_fleet::{hash, Gateway, GatewayConfig, GatewayMetrics};
+use domino_serve::{ServeClient, ServeConfig, Server};
+
+use crate::serve_probe::{client_specs, run_wave, serve_suite_names, WaveStats};
+
+/// Fleet-harness knobs.
+#[derive(Debug, Clone)]
+pub struct FleetLoadConfig {
+    /// Restrict to the two cheapest circuits (the CI smoke mode).
+    pub fast: bool,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Backends in the initial fleet (one more is spawned for the
+    /// peer-warm growth wave).
+    pub backends: usize,
+    /// Warm waves to run; the best (minimum-wall) wave is reported.
+    pub warm_passes: usize,
+    /// Spawn the real `dominod`/`dominogw` binaries instead of in-process
+    /// servers. Requires the binaries next to the current executable
+    /// (`cargo build --release` puts them there).
+    pub processes: bool,
+}
+
+impl Default for FleetLoadConfig {
+    fn default() -> Self {
+        FleetLoadConfig {
+            fast: false,
+            clients: 4,
+            backends: 2,
+            warm_passes: 3,
+            processes: false,
+        }
+    }
+}
+
+/// The three-wave fleet measurement, plus the verified peering accounting.
+#[derive(Debug, Clone)]
+pub struct FleetMeasurement {
+    /// `"processes"` or `"in-process"`.
+    pub mode: &'static str,
+    /// Backends in the initial fleet.
+    pub backends: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Requests per wave (`clients × suite size`).
+    pub jobs_per_wave: u64,
+    /// The cold (all-recompute) wave through the gateway.
+    pub cold: WaveStats,
+    /// The best warm (all-cache-hit) wave through the gateway.
+    pub warm: WaveStats,
+    /// The growth wave through the second gateway (fleet + 1 node).
+    pub peer_warm: WaveStats,
+    /// `warm.jobs_per_s / cold.jobs_per_s`.
+    pub warm_speedup: f64,
+    /// Peer fills the growth gateway performed (== keys re-homed onto
+    /// the fresh node).
+    pub peer_fills: u64,
+    /// Cache entries the fresh node received via peering.
+    pub grown_stores: u64,
+    /// Requests the fresh node answered from its peered cache.
+    pub grown_hits: u64,
+}
+
+/// One backend, either resident or a real `dominod` process. (`Option`
+/// inside so `stop` can move the handle out despite the `Drop` impl.)
+enum Node {
+    InProcess(Option<Server>),
+    Process(Option<Child>),
+}
+
+impl Node {
+    fn stop(&mut self, client: &ServeClient) {
+        match self {
+            Node::InProcess(server) => {
+                if let Some(server) = server.take() {
+                    server.shutdown();
+                }
+            }
+            Node::Process(child) => {
+                if let Some(mut child) = child.take() {
+                    // Drain over the wire like any operator would; the
+                    // kill is the cleanup of last resort.
+                    if client.shutdown().is_err() {
+                        let _ = child.kill();
+                    }
+                    let _ = child.wait();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if let Node::Process(Some(child)) = self {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// A gateway, either resident or a real `dominogw` process.
+enum Gw {
+    InProcess(Option<Gateway>),
+    Process(Option<Child>),
+}
+
+impl Gw {
+    fn stop(&mut self, client: &ServeClient) {
+        match self {
+            Gw::InProcess(gateway) => {
+                if let Some(gateway) = gateway.take() {
+                    gateway.shutdown();
+                }
+            }
+            Gw::Process(child) => {
+                if let Some(mut child) = child.take() {
+                    if client.shutdown().is_err() {
+                        let _ = child.kill();
+                    }
+                    let _ = child.wait();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Gw {
+    fn drop(&mut self) {
+        if let Gw::Process(Some(child)) = self {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Finds a workspace binary next to the current executable (or one
+/// directory up, for binaries running from `target/<profile>/deps/`).
+pub fn sibling_binary(name: &str) -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = exe.parent()?;
+    [dir, dir.parent()?]
+        .iter()
+        .map(|d| d.join(name))
+        .find(|p| p.is_file())
+}
+
+/// Spawns `binary`, reading its stdout until the `<name> listening on
+/// <addr>` line every daemon prints, and returns (child, addr).
+fn spawn_daemon(binary: &std::path::Path, name: &str, args: &[String]) -> (Child, String) {
+    let mut child = Command::new(binary)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawning {}: {e}", binary.display()));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let prefix = format!("{name} listening on ");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix(&prefix) {
+                    break addr.to_string();
+                }
+            }
+            _ => panic!("{name} exited before reporting its address"),
+        }
+    };
+    // Keep draining stdout so the daemon can never block on a full pipe;
+    // stop at the first read error rather than looping on Err forever.
+    std::thread::spawn(move || while let Some(Ok(_line)) = lines.next() {});
+    (child, addr)
+}
+
+fn start_backend(queue: usize, processes: bool, index: usize) -> (Node, String) {
+    if processes {
+        let binary = sibling_binary("dominod").expect("dominod binary (cargo build --release)");
+        let dir = std::env::temp_dir().join(format!("fleet_probe_{}_{index}", std::process::id()));
+        // A leftover directory (from a crashed prior run under a reused
+        // pid) would make the cold wave warm; start from nothing.
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = vec![
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--queue".into(),
+            queue.to_string(),
+            "--cache".into(),
+            dir.to_string_lossy().into_owned(),
+        ];
+        let (child, addr) = spawn_daemon(&binary, "dominod", &args);
+        (Node::Process(Some(child)), addr)
+    } else {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: queue,
+            cache: Some(Arc::new(ResultCache::in_memory())),
+            ..ServeConfig::default()
+        })
+        .expect("ephemeral backend bind");
+        let addr = server.addr().to_string();
+        (Node::InProcess(Some(server)), addr)
+    }
+}
+
+fn start_gateway(backends: &[String], processes: bool) -> (Gw, String) {
+    if processes {
+        let binary = sibling_binary("dominogw").expect("dominogw binary (cargo build --release)");
+        let mut args = vec!["--addr".to_string(), "127.0.0.1:0".to_string()];
+        for addr in backends {
+            args.push("--backend".into());
+            args.push(addr.clone());
+        }
+        let (child, addr) = spawn_daemon(&binary, "dominogw", &args);
+        (Gw::Process(Some(child)), addr)
+    } else {
+        let gateway = Gateway::start(GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: backends.to_vec(),
+            ..GatewayConfig::default()
+        })
+        .expect("ephemeral gateway bind");
+        let addr = gateway.addr().to_string();
+        (Gw::InProcess(Some(gateway)), addr)
+    }
+}
+
+/// Fleet-wide cache counters, summed over the backends' `/metrics`.
+fn cache_totals(clients: &[ServeClient]) -> (u64, u64, u64) {
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut stores = 0;
+    for client in clients {
+        let cache = client
+            .metrics()
+            .expect("backend metrics")
+            .cache
+            .expect("backend runs cached");
+        hits += cache.hits();
+        misses += cache.misses;
+        stores += cache.stores;
+    }
+    (hits, misses, stores)
+}
+
+fn gateway_metrics(client: &ServeClient) -> GatewayMetrics {
+    let response = client
+        .forward("GET", "/metrics", None)
+        .expect("gateway metrics");
+    let text = response.text().expect("metrics body");
+    GatewayMetrics::from_json(&parse(&text).expect("metrics json")).expect("metrics decode")
+}
+
+/// The routing key the gateway derives for `spec` — resolving the spec
+/// exactly as the gateway does, so the harness can reason about homes.
+fn routing_key(spec: &JobSpec) -> String {
+    spec.clone()
+        .resolve()
+        .expect("suite spec resolves")
+        .cache_key()
+        .to_string()
+}
+
+/// Ensures at least one spec re-homes onto `grown` when the fleet grows:
+/// bumps the last client's seeds (past every seed the other clients use)
+/// until one of its specs' keys ranks `grown` first. Deterministic — the
+/// search walks a fixed seed sequence.
+fn ensure_grown_coverage(specs_per_client: &mut [Vec<JobSpec>], all_addrs: &[String], grown: &str) {
+    let names: Vec<&str> = all_addrs.iter().map(String::as_str).collect();
+    let homes = |specs: &[Vec<JobSpec>]| {
+        specs
+            .iter()
+            .flatten()
+            .filter(|s| hash::rank(&names, &routing_key(s))[0] == grown)
+            .count()
+    };
+    if homes(specs_per_client) > 0 {
+        return;
+    }
+    let clients = specs_per_client.len() as u64;
+    let last = specs_per_client.last_mut().expect("at least one client");
+    let spec = last.last_mut().expect("at least one spec");
+    for _ in 0..256 {
+        // Stride past the per-client seed offsets so the bumped spec can
+        // never collide with another client's copy of the same circuit.
+        spec.sim.seed += clients + 1;
+        if hash::rank(&names, &routing_key(spec))[0] == grown {
+            return;
+        }
+    }
+    panic!("no seed homing on the grown node within 256 tries");
+}
+
+/// Starts the fleet (N backends + 1 future node + gateway), runs the
+/// cold / warm / peer-warm waves, verifies the cache and peering
+/// accounting, and drains everything.
+///
+/// # Panics
+///
+/// Panics if any served job fails or any wave's verified accounting does
+/// not hold (a wave that recomputes what should be cached, or a growth
+/// wave whose fresh node misses) — the measurement would be meaningless,
+/// so it refuses to report one.
+pub fn measure_fleet(config: &FleetLoadConfig) -> FleetMeasurement {
+    let names = serve_suite_names(config.fast);
+    let clients = config.clients.max(1);
+    let fleet_size = config.backends.max(1);
+    let jobs_per_wave = (clients * names.len()) as u64;
+    let queue = (jobs_per_wave as usize) * 2 + 16;
+
+    // Spawn every node up front — the grown node too, so the spec set can
+    // be fixed (and its growth coverage verified) before any wave runs.
+    // The grown node idles outside the first fleet; it computes nothing.
+    let (mut nodes, mut addrs): (Vec<Node>, Vec<String>) = (Vec::new(), Vec::new());
+    for index in 0..fleet_size + 1 {
+        let (node, addr) = start_backend(queue, config.processes, index);
+        nodes.push(node);
+        addrs.push(addr);
+    }
+    let fleet_addrs = addrs[..fleet_size].to_vec();
+    let grown_addr = addrs[fleet_size].clone();
+    let backend_clients: Vec<ServeClient> =
+        addrs.iter().map(|a| ServeClient::new(a.clone())).collect();
+
+    let mut specs_per_client: Vec<Vec<JobSpec>> =
+        (0..clients).map(|c| client_specs(&names, c)).collect();
+    ensure_grown_coverage(&mut specs_per_client, &addrs, &grown_addr);
+
+    let (mut gw, gw_addr) = start_gateway(&fleet_addrs, config.processes);
+    let gw_client = ServeClient::new(gw_addr.clone());
+
+    // Cold: every job recomputes exactly once, on its home.
+    let before = cache_totals(&backend_clients);
+    let (cold_wall, cold_lat) = run_wave(&gw_addr, &specs_per_client);
+    let cold = WaveStats::from_latencies(cold_wall, &cold_lat);
+    let after_cold = cache_totals(&backend_clients);
+    assert_eq!(
+        after_cold.1 - before.1,
+        jobs_per_wave,
+        "cold wave must recompute every job exactly once"
+    );
+
+    // Warm: the same specs, answered entirely by the home caches.
+    let mut warm: Option<WaveStats> = None;
+    for _ in 0..config.warm_passes.max(1) {
+        let (wall, lat) = run_wave(&gw_addr, &specs_per_client);
+        let stats = WaveStats::from_latencies(wall, &lat);
+        if warm.is_none_or(|best| stats.wall_ms < best.wall_ms) {
+            warm = Some(stats);
+        }
+    }
+    let warm = warm.expect("at least one warm pass");
+    let after_warm = cache_totals(&backend_clients);
+    let warm_requests = jobs_per_wave * config.warm_passes.max(1) as u64;
+    assert_eq!(
+        after_warm.0 - after_cold.0,
+        warm_requests,
+        "warm waves must be answered entirely from the fleet's caches"
+    );
+    assert_eq!(after_warm.1, after_cold.1, "warm waves must not recompute");
+
+    // Peer-warm: grow the fleet by one node behind a second gateway. The
+    // re-homed keys' outcomes already exist on the old homes; the growth
+    // gateway peeks them over and the fresh node answers warm.
+    let (mut gw2, gw2_addr) = start_gateway(&addrs, config.processes);
+    let gw2_client = ServeClient::new(gw2_addr.clone());
+    let (peer_wall, peer_lat) = run_wave(&gw2_addr, &specs_per_client);
+    let peer_warm = WaveStats::from_latencies(peer_wall, &peer_lat);
+    let after_peer = cache_totals(&backend_clients);
+    assert_eq!(
+        after_peer.1, after_warm.1,
+        "the growth wave must not recompute anything — peering replaces recomputation"
+    );
+    let grown = backend_clients[fleet_size]
+        .metrics()
+        .expect("grown metrics")
+        .cache
+        .expect("grown runs cached");
+    assert_eq!(grown.misses, 0, "the fresh node must never compute");
+    assert!(
+        grown.stores >= 1,
+        "at least one key must re-home onto the fresh node (coverage was verified)"
+    );
+    assert!(
+        grown.hits() >= grown.stores,
+        "every peered entry must answer its request warm"
+    );
+    let peer_fills = gateway_metrics(&gw2_client).peer_fills;
+    assert_eq!(
+        peer_fills, grown.stores,
+        "every fill the gateway performed must land on the fresh node"
+    );
+
+    gw2.stop(&gw2_client);
+    gw.stop(&gw_client);
+    for (node, client) in nodes.iter_mut().zip(&backend_clients) {
+        node.stop(client);
+    }
+
+    FleetMeasurement {
+        mode: if config.processes {
+            "processes"
+        } else {
+            "in-process"
+        },
+        backends: fleet_size,
+        clients,
+        jobs_per_wave,
+        cold,
+        warm,
+        peer_warm,
+        warm_speedup: warm.jobs_per_s / cold.jobs_per_s,
+        peer_fills,
+        grown_stores: grown.stores,
+        grown_hits: grown.hits(),
+    }
+}

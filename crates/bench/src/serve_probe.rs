@@ -13,10 +13,16 @@
 //!   this harness *verifies* (hit-counter delta == request count) rather
 //!   than assumes.
 //!
-//! Clients use the synchronous `POST /jobs?wait=1` path: one connection
-//! per job, so the warm numbers measure the true service floor (accept +
-//! parse + cache hit + respond) and the cold/warm ratio is an honest
-//! "what does the resident cache buy" statement.
+//! Clients use the synchronous `POST /jobs?wait=1` path — a dedicated
+//! connection per job, since a blocking request may pin a connection for
+//! as long as the job runs — so the warm numbers measure the true service
+//! floor (accept + parse + cache hit + respond) and the cold/warm ratio
+//! is an honest "what does the resident cache buy" statement.
+//!
+//! Two extra warm arms isolate what HTTP keep-alive buys on the
+//! non-blocking wire: the same warm requests once over kept-alive
+//! (pooled) connections and once with a fresh connection per request —
+//! same bytes, same cache hits, only the connection discipline differs.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,7 +66,7 @@ pub struct WaveStats {
 }
 
 impl WaveStats {
-    fn from_latencies(wall_ms: f64, latencies_ms: &[f64]) -> WaveStats {
+    pub(crate) fn from_latencies(wall_ms: f64, latencies_ms: &[f64]) -> WaveStats {
         let jobs = latencies_ms.len() as u64;
         WaveStats {
             jobs,
@@ -95,6 +101,16 @@ pub struct ServeMeasurement {
     pub warm_hits: u64,
     /// Warm requests issued across every warm wave.
     pub warm_requests: u64,
+    /// Best warm submit wave over kept-alive (pooled) connections.
+    pub keepalive: WaveStats,
+    /// The same warm submit wave with a fresh connection per request.
+    pub per_connection: WaveStats,
+    /// `keepalive.jobs_per_s / per_connection.jobs_per_s` — what the
+    /// persistent-connection wire buys at the service floor.
+    pub keepalive_speedup: f64,
+    /// Requests answered over a reused connection in the best kept-alive
+    /// wave (verified: every request but each client's first).
+    pub connection_reuses: u64,
 }
 
 /// Suite rows the harness drives (`--fast` keeps the two cheapest).
@@ -105,7 +121,7 @@ pub fn serve_suite_names(fast: bool) -> Vec<&'static str> {
         .collect()
 }
 
-fn client_specs(names: &[&'static str], client: usize) -> Vec<JobSpec> {
+pub(crate) fn client_specs(names: &[&'static str], client: usize) -> Vec<JobSpec> {
     names
         .iter()
         .map(|name| {
@@ -121,7 +137,7 @@ fn client_specs(names: &[&'static str], client: usize) -> Vec<JobSpec> {
 
 /// Runs one wave: every client thread submits its specs synchronously.
 /// Returns (wall_ms, per-request latencies).
-fn run_wave(addr: &str, specs_per_client: &[Vec<JobSpec>]) -> (f64, Vec<f64>) {
+pub(crate) fn run_wave(addr: &str, specs_per_client: &[Vec<JobSpec>]) -> (f64, Vec<f64>) {
     let wave_start = Instant::now();
     let mut latencies: Vec<f64> = Vec::new();
     std::thread::scope(|scope| {
@@ -148,6 +164,49 @@ fn run_wave(addr: &str, specs_per_client: &[Vec<JobSpec>]) -> (f64, Vec<f64>) {
     (wave_start.elapsed().as_secs_f64() * 1e3, latencies)
 }
 
+/// One warm *submit* wave (non-blocking `POST /jobs`, answered by the
+/// cache's probe fast path): every client issues its specs on one client
+/// handle, pooled (`reuse`) or connection-per-request. Returns
+/// (wall_ms, latencies, connections reused).
+fn run_submit_wave(
+    addr: &str,
+    specs_per_client: &[Vec<JobSpec>],
+    reuse: bool,
+) -> (f64, Vec<f64>, u64) {
+    let wave_start = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut reuses = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs_per_client
+            .iter()
+            .map(|specs| {
+                scope.spawn(move || {
+                    let client = if reuse {
+                        ServeClient::new(addr.to_string())
+                    } else {
+                        ServeClient::without_keep_alive(addr.to_string())
+                    };
+                    let lat: Vec<f64> = specs
+                        .iter()
+                        .map(|spec| {
+                            let start = Instant::now();
+                            client.submit(spec).expect("warm submit succeeds");
+                            start.elapsed().as_secs_f64() * 1e3
+                        })
+                        .collect();
+                    (lat, client.connection_reuses())
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (lat, r) = handle.join().expect("client thread");
+            latencies.extend(lat);
+            reuses += r;
+        }
+    });
+    (wave_start.elapsed().as_secs_f64() * 1e3, latencies, reuses)
+}
+
 /// Starts an in-process server, runs the cold wave and `warm_passes` warm
 /// waves, verifies the warm-path cache accounting, and shuts down.
 ///
@@ -171,6 +230,7 @@ pub fn measure_serve(config: &ServeLoadConfig) -> ServeMeasurement {
         // size the queue so backpressure never triggers.
         queue_capacity: (jobs_per_wave as usize) * 2 + 16,
         cache: Some(Arc::clone(&cache)),
+        ..ServeConfig::default()
     })
     .expect("ephemeral bind");
     let addr = server.addr().to_string();
@@ -201,6 +261,35 @@ pub fn measure_serve(config: &ServeLoadConfig) -> ServeMeasurement {
         "warm waves must not recompute"
     );
 
+    // The keep-alive arms: identical warm submits, only the connection
+    // discipline differs. Run after the warm accounting above so the
+    // probe fast path's extra cache hits cannot disturb it.
+    let mut per_connection: Option<WaveStats> = None;
+    let mut keepalive: Option<(WaveStats, u64)> = None;
+    for _ in 0..config.warm_passes.max(1) {
+        let (wall, lat, reuses) = run_submit_wave(&addr, &specs_per_client, false);
+        assert_eq!(reuses, 0, "connection-per-request arm must never reuse");
+        let stats = WaveStats::from_latencies(wall, &lat);
+        if per_connection.is_none_or(|best| stats.wall_ms < best.wall_ms) {
+            per_connection = Some(stats);
+        }
+        let (wall, lat, reuses) = run_submit_wave(&addr, &specs_per_client, true);
+        assert_eq!(
+            reuses,
+            jobs_per_wave - clients as u64,
+            "kept-alive arm must reuse every request but each client's first"
+        );
+        let stats = WaveStats::from_latencies(wall, &lat);
+        if keepalive
+            .as_ref()
+            .is_none_or(|(best, _)| stats.wall_ms < best.wall_ms)
+        {
+            keepalive = Some((stats, reuses));
+        }
+    }
+    let per_connection = per_connection.expect("at least one per-connection wave");
+    let (keepalive, connection_reuses) = keepalive.expect("at least one kept-alive wave");
+
     let metrics = server.metrics();
     assert_eq!(metrics.failed, 0, "no served job may fail");
     let workers = metrics.workers;
@@ -215,5 +304,9 @@ pub fn measure_serve(config: &ServeLoadConfig) -> ServeMeasurement {
         warm_speedup: warm.jobs_per_s / cold.jobs_per_s,
         warm_hits,
         warm_requests,
+        keepalive,
+        per_connection,
+        keepalive_speedup: keepalive.jobs_per_s / per_connection.jobs_per_s,
+        connection_reuses,
     }
 }

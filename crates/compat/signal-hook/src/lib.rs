@@ -1,0 +1,202 @@
+//! Offline drop-in subset of the `signal-hook` 0.3 API.
+//!
+//! The build environment has no registry access (see the other
+//! `crates/compat` members), so this crate re-implements the one surface
+//! the daemons need: [`flag::register`] — "set this `AtomicBool` when the
+//! process receives that signal" — plus the [`consts`] and a
+//! [`low_level::raise`] helper for tests.
+//!
+//! # Design
+//!
+//! A signal handler may only touch async-signal-safe state, so the
+//! `extern "C"` handler does exactly one thing: store `true` into a
+//! per-signal static `AtomicBool` (atomic stores are async-signal-safe).
+//! A lazily-started watcher thread polls those statics every few
+//! milliseconds and propagates them to the registered `Arc<AtomicBool>`
+//! flags, which live behind an ordinary mutex the handler never takes.
+//! The extra propagation latency (bounded by one poll interval) is
+//! irrelevant for the graceful-drain use case.
+//!
+//! On non-Unix targets `register` succeeds but the flag never fires, and
+//! [`low_level::raise`] reports `Unsupported` — callers degrade to
+//! "no signal handling" instead of failing to build.
+
+#![warn(missing_docs)]
+// The whole point of this crate is the one unavoidable unsafe surface
+// (installing a C signal handler); everything above it is safe code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Signal numbers, as `signal-hook` exposes them.
+pub mod consts {
+    /// Termination request (`kill <pid>`): the graceful-drain signal.
+    pub const SIGTERM: i32 = 15;
+    /// Interactive interrupt (Ctrl-C).
+    pub const SIGINT: i32 = 2;
+    /// Terminal hangup.
+    pub const SIGHUP: i32 = 1;
+}
+
+/// The signals this subset supports registering for.
+const SUPPORTED: [i32; 3] = [consts::SIGHUP, consts::SIGINT, consts::SIGTERM];
+
+/// One pending-delivery latch per supported signal, written by the C
+/// handler and drained by the watcher thread.
+static PENDING: [AtomicBool; SUPPORTED.len()] = [
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+];
+
+fn slot(signal: i32) -> Option<usize> {
+    SUPPORTED.iter().position(|&s| s == signal)
+}
+
+/// The registered `(signal, flag)` pairs the watcher propagates into.
+static REGISTRY: Mutex<Vec<(i32, Arc<AtomicBool>)>> = Mutex::new(Vec::new());
+
+/// Identifier returned by [`flag::register`] (kept for API shape; this
+/// subset has no `unregister`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigId(usize);
+
+#[cfg(unix)]
+mod sys {
+    use super::{slot, PENDING};
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    /// `SIG_ERR` as glibc/musl define it.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn on_signal(signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        if let Some(i) = slot(signum) {
+            PENDING[i].store(true, Ordering::SeqCst);
+        }
+    }
+
+    pub fn install(signum: i32) -> std::io::Result<()> {
+        let previous = unsafe { signal(signum, on_signal as extern "C" fn(i32) as usize) };
+        if previous == SIG_ERR {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn send_self(signum: i32) -> std::io::Result<()> {
+        if unsafe { raise(signum) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub fn install(_signum: i32) -> std::io::Result<()> {
+        Ok(()) // registered but never fires
+    }
+
+    pub fn send_self(_signum: i32) -> std::io::Result<()> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "raise() is unsupported on this platform",
+        ))
+    }
+}
+
+/// Starts (once) the thread that moves pending-latch state into the
+/// registered flags.
+fn ensure_watcher() {
+    static WATCHER: OnceLock<()> = OnceLock::new();
+    WATCHER.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("signal-watcher".into())
+            .spawn(|| loop {
+                for (i, &signum) in SUPPORTED.iter().enumerate() {
+                    if PENDING[i].swap(false, Ordering::SeqCst) {
+                        let registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+                        for (wanted, flag) in registry.iter() {
+                            if *wanted == signum {
+                                flag.store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            })
+            .expect("spawn signal watcher");
+    });
+}
+
+/// The `signal_hook::flag` module subset.
+pub mod flag {
+    use super::*;
+
+    /// Arranges for `flag` to be set to `true` when the process receives
+    /// `signal`. Multiple flags may be registered for one signal; all are
+    /// set. Delivery latency is bounded by the watcher's poll interval
+    /// (~10ms).
+    ///
+    /// # Errors
+    ///
+    /// `io::Error` when the signal is outside the supported subset or the
+    /// handler cannot be installed.
+    pub fn register(signal: i32, flag: Arc<AtomicBool>) -> std::io::Result<SigId> {
+        if slot(signal).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("unsupported signal {signal} (subset: HUP/INT/TERM)"),
+            ));
+        }
+        sys::install(signal)?;
+        ensure_watcher();
+        let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        registry.push((signal, flag));
+        Ok(SigId(registry.len() - 1))
+    }
+}
+
+/// The `signal_hook::low_level` module subset.
+pub mod low_level {
+    /// Sends `signal` to the current process (test helper; `raise(3)`).
+    ///
+    /// # Errors
+    ///
+    /// The OS error when delivery fails, or `Unsupported` off-Unix.
+    pub fn raise(signal: i32) -> std::io::Result<()> {
+        super::sys::send_self(signal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn registered_flag_is_set_after_raise() {
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGHUP, Arc::clone(&flag)).expect("register");
+        assert!(!flag.load(Ordering::SeqCst));
+
+        low_level::raise(consts::SIGHUP).expect("raise");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while !flag.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "flag never set");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn unsupported_signal_is_rejected() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(flag::register(64, flag).is_err());
+    }
+}

@@ -26,6 +26,9 @@ pub enum PhaseError {
         /// Values supplied.
         got: usize,
     },
+    /// The flow was cooperatively cancelled at a stage boundary (see
+    /// [`flow::minimize_power_with_cancel`](crate::flow::minimize_power_with_cancel)).
+    Cancelled,
 }
 
 impl fmt::Display for PhaseError {
@@ -41,6 +44,7 @@ impl fmt::Display for PhaseError {
                 f,
                 "expected {expected} primary-input probabilities, got {got}"
             ),
+            PhaseError::Cancelled => write!(f, "flow cancelled"),
         }
     }
 }

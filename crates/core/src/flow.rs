@@ -108,10 +108,36 @@ pub fn minimize_power(
     pi_probs: &[f64],
     config: &FlowConfig,
 ) -> Result<FlowReport, PhaseError> {
+    minimize_power_with_cancel(net, pi_probs, config, &|| false)
+}
+
+/// [`minimize_power`] with a cooperative cancellation check.
+///
+/// `is_cancelled` is consulted at every stage boundary — before the
+/// probability computation, between probabilities and the phase search,
+/// and between the search and the final synthesis — so a caller holding a
+/// cancel flag (e.g. a `dominod` worker observing `DELETE /jobs/:id`) gets
+/// a bounded response time instead of waiting out the whole flow. The
+/// check is a plain closure so this crate stays independent of any
+/// particular token type.
+///
+/// # Errors
+///
+/// [`PhaseError::Cancelled`] when `is_cancelled` returns `true` at a
+/// boundary, plus everything [`minimize_power`] can return.
+pub fn minimize_power_with_cancel(
+    net: &Network,
+    pi_probs: &[f64],
+    config: &FlowConfig,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowReport, PhaseError> {
+    check_cancel(is_cancelled)?;
     let probabilities = compute_probabilities(net, pi_probs, &config.probability)?;
+    check_cancel(is_cancelled)?;
     let synth = DominoSynthesizer::new(net)?;
     let initial = PhaseAssignment::all_positive(synth.view_outputs().len());
     let outcome = min_power_assignment(&synth, &probabilities, initial, &config.power)?;
+    check_cancel(is_cancelled)?;
     finish(&synth, probabilities, outcome, config)
 }
 
@@ -126,10 +152,37 @@ pub fn minimize_area(
     pi_probs: &[f64],
     config: &FlowConfig,
 ) -> Result<FlowReport, PhaseError> {
+    minimize_area_with_cancel(net, pi_probs, config, &|| false)
+}
+
+/// [`minimize_area`] with a cooperative cancellation check at the same
+/// stage boundaries as [`minimize_power_with_cancel`].
+///
+/// # Errors
+///
+/// [`PhaseError::Cancelled`] when `is_cancelled` returns `true` at a
+/// boundary, plus everything [`minimize_area`] can return.
+pub fn minimize_area_with_cancel(
+    net: &Network,
+    pi_probs: &[f64],
+    config: &FlowConfig,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowReport, PhaseError> {
+    check_cancel(is_cancelled)?;
     let probabilities = compute_probabilities(net, pi_probs, &config.probability)?;
+    check_cancel(is_cancelled)?;
     let synth = DominoSynthesizer::new(net)?;
     let outcome = min_area_assignment(&synth, &config.area)?;
+    check_cancel(is_cancelled)?;
     finish(&synth, probabilities, outcome, config)
+}
+
+fn check_cancel(is_cancelled: &dyn Fn() -> bool) -> Result<(), PhaseError> {
+    if is_cancelled() {
+        Err(PhaseError::Cancelled)
+    } else {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +253,35 @@ mod tests {
         assert_eq!(report.assignment.len(), 3);
         assert!(report.probabilities.partition().is_some());
         assert!(report.domino.is_inverter_free());
+    }
+
+    #[test]
+    fn cancellation_stops_at_stage_boundaries() {
+        let net = fig5();
+        let pi = vec![0.5; 4];
+        let cfg = FlowConfig::default();
+        // Already-cancelled: nothing runs.
+        assert!(matches!(
+            minimize_power_with_cancel(&net, &pi, &cfg, &|| true),
+            Err(PhaseError::Cancelled)
+        ));
+        assert!(matches!(
+            minimize_area_with_cancel(&net, &pi, &cfg, &|| true),
+            Err(PhaseError::Cancelled)
+        ));
+        // Cancel raised after the first boundary check: the flow stops at
+        // the next boundary instead of completing.
+        let checks = std::cell::Cell::new(0u32);
+        let cancel_after_first = || {
+            checks.set(checks.get() + 1);
+            checks.get() > 1
+        };
+        assert!(matches!(
+            minimize_power_with_cancel(&net, &pi, &cfg, &cancel_after_first),
+            Err(PhaseError::Cancelled)
+        ));
+        // A never-cancelled run through the same entry point completes.
+        assert!(minimize_power_with_cancel(&net, &pi, &cfg, &|| false).is_ok());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! All counters are atomics; the cache is `Sync` and shared by engine
 //! workers via `Arc`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -31,6 +31,17 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 use crate::error::EngineError;
 use crate::job::FlowOutcome;
 
+/// How a lookup participates in the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CountAs {
+    /// Hits and misses both counted ([`ResultCache::get`]).
+    Full,
+    /// Hits counted, misses not ([`ResultCache::probe`]).
+    HitsOnly,
+    /// Nothing counted ([`ResultCache::peek`]).
+    Silent,
+}
+
 /// Monotonic hit/miss/store counters (snapshot via [`ResultCache::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
@@ -42,6 +53,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Outcomes inserted.
     pub stores: u64,
+    /// Entries evicted from memory to honor the entry budget.
+    pub memory_evictions: u64,
+    /// Disk entries removed to honor the byte budget.
+    pub disk_evictions: u64,
 }
 
 impl CacheStats {
@@ -51,27 +66,90 @@ impl CacheStats {
     }
 }
 
+/// The in-memory layer: a map from key to outcome plus a recency index,
+/// giving O(log n) least-recently-used eviction without external crates.
+///
+/// Each entry carries the logical timestamp of its last touch; `recency`
+/// maps timestamps back to keys, so the least-recently-used entry is the
+/// first key in the `BTreeMap`. Timestamps are unique (the clock only
+/// moves forward), so the index never collides.
+#[derive(Debug, Default)]
+struct MemStore {
+    map: HashMap<String, (u64, FlowOutcome)>,
+    recency: BTreeMap<u64, String>,
+    clock: u64,
+}
+
+impl MemStore {
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn touch(&mut self, key: &str) -> Option<FlowOutcome> {
+        let stamp = self.map.get(key)?.0;
+        self.recency.remove(&stamp);
+        self.clock += 1;
+        self.recency.insert(self.clock, key.to_string());
+        let entry = self.map.get_mut(key).expect("entry just found");
+        entry.0 = self.clock;
+        Some(entry.1.clone())
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries down to `budget` (0 = unbounded). Returns how many were
+    /// evicted.
+    fn insert(&mut self, key: String, outcome: FlowOutcome, budget: usize) -> u64 {
+        if let Some((old_stamp, _)) = self.map.get(&key) {
+            let old_stamp = *old_stamp;
+            self.recency.remove(&old_stamp);
+        }
+        self.clock += 1;
+        self.recency.insert(self.clock, key.clone());
+        self.map.insert(key, (self.clock, outcome));
+        let mut evicted = 0;
+        while budget > 0 && self.map.len() > budget {
+            let lru_stamp = *self.recency.keys().next().expect("map non-empty");
+            let victim = self.recency.remove(&lru_stamp).expect("stamp present");
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+}
+
 /// Thread-safe content-addressed store for [`FlowOutcome`]s.
 #[derive(Debug)]
 pub struct ResultCache {
-    memory: Mutex<HashMap<String, FlowOutcome>>,
+    memory: Mutex<MemStore>,
     disk_dir: Option<PathBuf>,
+    /// Maximum entries resident in memory; 0 means unbounded.
+    memory_entry_budget: usize,
+    /// Maximum total bytes of `.json` entries on disk; 0 means unbounded.
+    disk_byte_budget: u64,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    memory_evictions: AtomicU64,
+    disk_evictions: AtomicU64,
 }
 
 impl ResultCache {
     /// A purely in-memory cache.
     pub fn in_memory() -> Self {
         ResultCache {
-            memory: Mutex::new(HashMap::new()),
+            memory: Mutex::new(MemStore::default()),
             disk_dir: None,
+            memory_entry_budget: 0,
+            disk_byte_budget: 0,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            memory_evictions: AtomicU64::new(0),
+            disk_evictions: AtomicU64::new(0),
         }
     }
 
@@ -97,6 +175,24 @@ impl ResultCache {
         self.disk_dir.as_deref()
     }
 
+    /// Caps the number of entries resident in memory: inserting beyond
+    /// the budget evicts least-recently-used entries. `0` (the default)
+    /// means unbounded. Entries evicted from memory remain on disk (if a
+    /// disk backend exists) and are re-promoted on their next lookup.
+    pub fn with_memory_entry_budget(mut self, entries: usize) -> Self {
+        self.memory_entry_budget = entries;
+        self
+    }
+
+    /// Caps the total size of on-disk `.json` entries: after a store
+    /// pushes the directory over `bytes`, oldest entries (by modification
+    /// time) are deleted until it fits, never evicting the entry just
+    /// written. `0` (the default) means unbounded.
+    pub fn with_disk_byte_budget(mut self, bytes: u64) -> Self {
+        self.disk_byte_budget = bytes;
+        self
+    }
+
     fn entry_path(dir: &Path, key: &str) -> PathBuf {
         // Keys are lowercase hex (filesystem-safe by construction).
         dir.join(format!("{key}.json"))
@@ -104,7 +200,7 @@ impl ResultCache {
 
     /// Looks up an outcome. Disk hits are promoted into memory.
     pub fn get(&self, key: &str) -> Option<FlowOutcome> {
-        self.lookup(key, true)
+        self.lookup(key, CountAs::Full)
     }
 
     /// Like [`ResultCache::get`], but a miss is **not** counted (hits
@@ -115,24 +211,39 @@ impl ResultCache {
     /// requests", with no double counting. `dominod` uses this to answer
     /// warm submissions at admission time without a queue round trip.
     pub fn probe(&self, key: &str) -> Option<FlowOutcome> {
-        self.lookup(key, false)
+        self.lookup(key, CountAs::HitsOnly)
     }
 
-    fn lookup(&self, key: &str, count_miss: bool) -> Option<FlowOutcome> {
-        if let Some(found) = self.memory.lock().expect("cache lock").get(key) {
-            self.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(found.clone());
+    /// A completely count-silent lookup: neither hits nor misses move.
+    /// This is the cache-peering door (`GET /cache/peek/:key` on
+    /// `dominod`): a gateway sounding out which backend holds a key must
+    /// not distort the backend's hit/miss accounting, which the serve
+    /// benchmarks read as "requests answered warm" / "flows recomputed".
+    pub fn peek(&self, key: &str) -> Option<FlowOutcome> {
+        self.lookup(key, CountAs::Silent)
+    }
+
+    fn lookup(&self, key: &str, count: CountAs) -> Option<FlowOutcome> {
+        if let Some(found) = self.memory.lock().expect("cache lock").touch(key) {
+            if count != CountAs::Silent {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(found);
         }
         if let Some(dir) = &self.disk_dir {
             let path = Self::entry_path(dir, key);
             if let Ok(text) = std::fs::read_to_string(&path) {
                 match FlowOutcome::from_json_text(&text) {
                     Ok(outcome) => {
-                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
-                        self.memory
-                            .lock()
-                            .expect("cache lock")
-                            .insert(key.to_string(), outcome.clone());
+                        if count != CountAs::Silent {
+                            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let evicted = self.memory.lock().expect("cache lock").insert(
+                            key.to_string(),
+                            outcome.clone(),
+                            self.memory_entry_budget,
+                        );
+                        self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
                         return Some(outcome);
                     }
                     Err(_) => {
@@ -142,7 +253,7 @@ impl ResultCache {
                 }
             }
         }
-        if count_miss {
+        if count == CountAs::Full {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         None
@@ -164,10 +275,12 @@ impl ResultCache {
     /// a source of truth, and the in-memory entry is still good.
     pub fn put(&self, key: &str, outcome: &FlowOutcome) {
         self.stores.fetch_add(1, Ordering::Relaxed);
-        self.memory
-            .lock()
-            .expect("cache lock")
-            .insert(key.to_string(), outcome.clone());
+        let evicted = self.memory.lock().expect("cache lock").insert(
+            key.to_string(),
+            outcome.clone(),
+            self.memory_entry_budget,
+        );
+        self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
         if let Some(dir) = &self.disk_dir {
             let path = Self::entry_path(dir, key);
             // The temp name's ".tmp…" suffix keeps it outside the ".json"
@@ -185,12 +298,55 @@ impl ResultCache {
                 // rename: don't leave the orphan around.
                 let _ = std::fs::remove_file(&temp);
             }
+            if stored && self.disk_byte_budget > 0 {
+                self.enforce_disk_budget(dir, &path);
+            }
+        }
+    }
+
+    /// Deletes oldest-first (by modification time) `.json` entries until
+    /// the directory fits the byte budget. `keep` — the entry just
+    /// written — is never a victim, so a store always lands even when the
+    /// budget is smaller than one entry.
+    ///
+    /// Failures are swallowed like disk-write failures: budget
+    /// enforcement is best-effort and a missed eviction only delays
+    /// reclamation until the next store.
+    fn enforce_disk_budget(&self, dir: &Path, keep: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((mtime, e.path(), meta.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+        if total <= self.disk_byte_budget {
+            return;
+        }
+        files.sort(); // oldest mtime first; path breaks mtime ties
+        for (_, path, len) in files {
+            if total <= self.disk_byte_budget {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// Number of entries resident in memory.
     pub fn len(&self) -> usize {
-        self.memory.lock().expect("cache lock").len()
+        self.memory.lock().expect("cache lock").map.len()
     }
 
     /// `true` if no entries are resident in memory.
@@ -247,6 +403,8 @@ impl ResultCache {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            memory_evictions: self.memory_evictions.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -406,6 +564,74 @@ mod tests {
         writer.join().unwrap();
         let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total > 0, "readers observed at least one entry");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn peek_is_count_silent() {
+        let cache = ResultCache::in_memory();
+        assert!(cache.peek("a").is_none());
+        cache.put("a", &sample_outcome("one"));
+        assert_eq!(cache.peek("a").unwrap().name, "one");
+        let stats = cache.stats();
+        assert_eq!(stats.hits(), 0, "peek hits are not counted");
+        assert_eq!(stats.misses, 0, "peek misses are not counted");
+        assert_eq!(stats.stores, 1);
+    }
+
+    #[test]
+    fn memory_budget_evicts_least_recently_used() {
+        let cache = ResultCache::in_memory().with_memory_entry_budget(2);
+        cache.put("a", &sample_outcome("a"));
+        cache.put("b", &sample_outcome("b"));
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.put("c", &sample_outcome("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek("b").is_none(), "LRU entry evicted");
+        assert!(cache.peek("a").is_some());
+        assert!(cache.peek("c").is_some());
+        assert_eq!(cache.stats().memory_evictions, 1);
+        // Re-inserting an existing key does not evict.
+        cache.put("c", &sample_outcome("c2"));
+        assert_eq!(cache.stats().memory_evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn memory_eviction_falls_back_to_disk() {
+        let dir = temp_dir("fallback");
+        let cache = ResultCache::on_disk(&dir)
+            .unwrap()
+            .with_memory_entry_budget(1);
+        cache.put("aaaa", &sample_outcome("a"));
+        cache.put("bbbb", &sample_outcome("b"));
+        assert_eq!(cache.len(), 1, "memory holds only the newest entry");
+        assert_eq!(cache.disk_len(), 2, "disk keeps both");
+        // The evicted entry comes back through the disk layer.
+        let found = cache.get("aaaa").unwrap();
+        assert_eq!(found.name, "a");
+        assert_eq!(cache.stats().disk_hits, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_budget_evicts_oldest_entries_but_never_the_newest() {
+        let dir = temp_dir("diskbudget");
+        // One serialized sample outcome is ~120 bytes; a budget of one
+        // entry's worth forces eviction on every subsequent store.
+        let one_entry = sample_outcome("x").to_json().serialize().len() as u64;
+        let cache = ResultCache::on_disk(&dir)
+            .unwrap()
+            .with_disk_byte_budget(one_entry);
+        cache.put("1111", &sample_outcome("x"));
+        assert_eq!(cache.disk_len(), 1);
+        // mtime granularity can be coarse; make ordering unambiguous.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.put("2222", &sample_outcome("x"));
+        assert_eq!(cache.disk_len(), 1, "oldest entry evicted");
+        assert!(dir.join("2222.json").exists(), "newest entry survives");
+        assert!(cache.stats().disk_evictions >= 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

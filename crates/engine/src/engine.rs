@@ -17,12 +17,17 @@ use std::time::Instant;
 use crate::cache::ResultCache;
 use crate::error::EngineError;
 use crate::job::{FlowJob, FlowOutcome};
-use crate::runner::run_job;
+use crate::runner::run_job_with_cancel;
 
 /// Cooperative cancellation handle, shared between the caller and workers.
 ///
-/// Cancellation is checked between jobs: a running flow finishes, but no new
-/// job is claimed afterwards. Cloning shares the flag.
+/// Batch runs check cancellation between jobs: a running flow finishes,
+/// but no new job is claimed afterwards. The single-job
+/// [`FlowEngine::run_one`] path additionally threads the token into the
+/// flow's stage boundaries (probabilities → search → synthesis →
+/// simulation), so a running job stops at the next boundary instead of
+/// completing — this is what bounds `DELETE /jobs/:id` latency on a
+/// `dominod` worker. Cloning shares the flag.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
@@ -181,7 +186,7 @@ impl FlowEngine {
         if cancel.is_cancelled() {
             return JobResult::Cancelled;
         }
-        execute_with_cache(job, self.config.cache.as_deref())
+        execute_with_cache(job, self.config.cache.as_deref(), &|| cancel.is_cancelled())
     }
 
     /// Runs every job with a progress callback and a cancellation token.
@@ -225,7 +230,9 @@ impl FlowEngine {
                         name: job.spec.name.clone(),
                     });
                     let start = Instant::now();
-                    let result = execute_with_cache(job, cache);
+                    // Batch semantics: claimed jobs finish even when the
+                    // batch is cancelled, so no mid-flow token here.
+                    let result = execute_with_cache(job, cache, &|| false);
                     let elapsed_ms = start.elapsed().as_millis() as u64;
                     match &result {
                         JobResult::Completed { cached, .. } => {
@@ -267,7 +274,11 @@ impl FlowEngine {
 /// The display name is patched onto cache hits: two jobs over the same
 /// content can carry different row labels, and the label is explicitly not
 /// part of the content address.
-fn execute_with_cache(job: &FlowJob, cache: Option<&ResultCache>) -> JobResult {
+fn execute_with_cache(
+    job: &FlowJob,
+    cache: Option<&ResultCache>,
+    is_cancelled: &dyn Fn() -> bool,
+) -> JobResult {
     if let Some(cache) = cache {
         if let Some(mut outcome) = cache.get(job.cache_key()) {
             outcome.name = job.spec.name.clone();
@@ -280,15 +291,17 @@ fn execute_with_cache(job: &FlowJob, cache: Option<&ResultCache>) -> JobResult {
     // A panicking flow must not take the whole batch (and its scope) down:
     // contain it to this job. The job data is read-only here, so unwind
     // safety is not a concern.
-    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(job)))
-        .unwrap_or_else(|payload| {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(EngineError::Panicked(msg))
-        });
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job_with_cancel(job, is_cancelled)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(EngineError::Panicked(msg))
+    });
     match ran {
         Ok(outcome) => {
             if let Some(cache) = cache {
@@ -299,6 +312,7 @@ fn execute_with_cache(job: &FlowJob, cache: Option<&ResultCache>) -> JobResult {
                 cached: false,
             }
         }
+        Err(EngineError::Cancelled) => JobResult::Cancelled,
         Err(e) => JobResult::Failed(e),
     }
 }
@@ -398,6 +412,32 @@ mod tests {
         let results = engine.run_batch_with(&jobs, |e| events.lock().unwrap().push(e), &cancel);
         assert!(results.iter().all(|r| matches!(r, JobResult::Cancelled)));
         assert_eq!(events.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn run_one_cancels_mid_flow_without_poisoning_the_cache() {
+        let cache = Arc::new(ResultCache::in_memory());
+        let engine = FlowEngine::new(EngineConfig {
+            threads: 1,
+            cache: Some(Arc::clone(&cache)),
+        });
+        let job = tiny_job("midflow", 2);
+        // Pre-flight: an already-cancelled token short-circuits run_one.
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let result = engine.run_one(&job, &cancel);
+        assert!(matches!(result, JobResult::Cancelled));
+        assert_eq!(cache.stats().stores, 0);
+        assert_eq!(cache.len(), 0);
+
+        // Mid-flow: defeat the up-front check with a token that flips
+        // after the first boundary consultation — the flow stops at the
+        // next boundary and nothing is cached.
+        let flips = AtomicUsize::new(0);
+        let outcome =
+            crate::runner::run_job_with_cancel(&job, &|| flips.fetch_add(1, Ordering::SeqCst) >= 1);
+        assert!(matches!(outcome, Err(EngineError::Cancelled)));
+        assert!(flips.load(Ordering::SeqCst) >= 2);
     }
 
     #[test]

@@ -70,4 +70,7 @@ pub use job::{
     assignment_string, cache_key, BddKernelStats, CircuitSource, FlowJob, FlowOutcome, JobSpec,
     ObjectiveResult, PiSpec, RunObjective,
 };
-pub use runner::{derive_clock_ps, run_job, run_objective};
+pub use runner::{
+    derive_clock_ps, derive_clock_ps_with_cancel, run_job, run_job_with_cancel, run_objective,
+    run_objective_with_cancel,
+};

@@ -7,8 +7,9 @@
 //! job produces the same [`FlowOutcome`] on any thread of any run — the
 //! property the engine's parallel-equivalence tests pin down.
 
-use domino_phase::flow::{minimize_area, minimize_power, FlowReport};
+use domino_phase::flow::{minimize_area_with_cancel, minimize_power_with_cancel, FlowReport};
 use domino_phase::power::PowerModel;
+use domino_phase::PhaseError;
 use domino_sim::{measure_power, SimConfig};
 use domino_techmap::{map, size_for_timing, sta, SizingConfig};
 
@@ -33,17 +34,44 @@ pub fn run_objective(
     area: bool,
     clock_ps: Option<f64>,
 ) -> Result<ObjectiveResult, EngineError> {
+    run_objective_with_cancel(job, area, clock_ps, &|| false)
+}
+
+/// [`run_objective`] with a cooperative cancellation check threaded into
+/// the flow's stage boundaries (probabilities → search → synthesis) and
+/// checked once more before the simulation stage — the two places a job
+/// spends nearly all of its time.
+///
+/// # Errors
+///
+/// [`EngineError::Cancelled`] when `is_cancelled` reports `true` at a
+/// boundary, plus everything [`run_objective`] can return.
+pub fn run_objective_with_cancel(
+    job: &FlowJob,
+    area: bool,
+    clock_ps: Option<f64>,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<ObjectiveResult, EngineError> {
     let spec = &job.spec;
     let pi = spec.pi.expand(&job.network)?;
-    let report: FlowReport = if area {
-        minimize_area(&job.network, &pi, &spec.flow)?
+    let flow_ran = if area {
+        minimize_area_with_cancel(&job.network, &pi, &spec.flow, is_cancelled)
     } else {
         let mut flow = spec.flow.clone();
         if let Some(penalty) = spec.mp_and_penalty {
             flow.power.model = PowerModel::with_and_penalty(penalty);
         }
-        minimize_power(&job.network, &pi, &flow)?
+        minimize_power_with_cancel(&job.network, &pi, &flow, is_cancelled)
     };
+    let report: FlowReport = flow_ran.map_err(|e| match e {
+        PhaseError::Cancelled => EngineError::Cancelled,
+        other => EngineError::Flow(other),
+    })?;
+    // The search → sim boundary: simulation is the other dominant stage,
+    // so a cancel raised during the search is honored before paying it.
+    if is_cancelled() {
+        return Err(EngineError::Cancelled);
+    }
     let mut mapped = map(&report.domino, &spec.library);
     let mut timing_met = true;
     let timing = sta(&mapped, &spec.library);
@@ -91,6 +119,19 @@ pub fn run_objective(
 ///
 /// Propagates flow errors from the probe run.
 pub fn derive_clock_ps(job: &FlowJob) -> Result<Option<f64>, EngineError> {
+    derive_clock_ps_with_cancel(job, &|| false)
+}
+
+/// [`derive_clock_ps`] with the probe run's stage boundaries checking the
+/// given cancellation flag.
+///
+/// # Errors
+///
+/// Same as [`derive_clock_ps`], plus [`EngineError::Cancelled`].
+pub fn derive_clock_ps_with_cancel(
+    job: &FlowJob,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<Option<f64>, EngineError> {
     let Some(fraction) = job.spec.timing_fraction else {
         return Ok(None);
     };
@@ -102,7 +143,7 @@ pub fn derive_clock_ps(job: &FlowJob) -> Result<Option<f64>, EngineError> {
         ..probe_spec.sim
     };
     let probe_job = FlowJob::new(probe_spec, job.network.clone());
-    let probe = run_objective(&probe_job, true, None)?;
+    let probe = run_objective_with_cancel(&probe_job, true, None, is_cancelled)?;
     Ok(Some(probe.worst_arrival_ps * fraction))
 }
 
@@ -116,14 +157,38 @@ pub fn derive_clock_ps(job: &FlowJob) -> Result<Option<f64>, EngineError> {
 ///
 /// Propagates [`EngineError`] from either side.
 pub fn run_job(job: &FlowJob) -> Result<FlowOutcome, EngineError> {
+    run_job_with_cancel(job, &|| false)
+}
+
+/// [`run_job`] with a cooperative cancellation check threaded through
+/// every stage boundary of every objective side, plus between the MA and
+/// MP sides of a compare run. `DELETE /jobs/:id` on a running `dominod`
+/// job rides this path: cancellation latency is bounded by the longest
+/// single stage, not the whole flow.
+///
+/// # Errors
+///
+/// [`EngineError::Cancelled`] when `is_cancelled` reports `true` at a
+/// boundary, plus everything [`run_job`] can return.
+pub fn run_job_with_cancel(
+    job: &FlowJob,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowOutcome, EngineError> {
     job.network.validate()?;
+    let objective = |area: bool, clock: Option<f64>| -> Result<ObjectiveResult, EngineError> {
+        run_objective_with_cancel(job, area, clock, is_cancelled)
+    };
     let (ma, mp, clock_ps) = match job.spec.objective {
-        RunObjective::MinArea => (Some(run_objective(job, true, None)?), None, None),
-        RunObjective::MinPower => (None, Some(run_objective(job, false, None)?), None),
+        RunObjective::MinArea => (Some(objective(true, None)?), None, None),
+        RunObjective::MinPower => (None, Some(objective(false, None)?), None),
         RunObjective::Compare => {
-            let clock_ps = derive_clock_ps(job)?;
-            let ma = run_objective(job, true, clock_ps)?;
-            let mp = run_objective(job, false, clock_ps)?;
+            let clock_ps = derive_clock_ps_with_cancel(job, is_cancelled)?;
+            let ma = objective(true, clock_ps)?;
+            // The MA → MP boundary of a compare run.
+            if is_cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+            let mp = objective(false, clock_ps)?;
             (Some(ma), Some(mp), clock_ps)
         }
     };

@@ -1,0 +1,93 @@
+//! `dominogw` — the fleet gateway.
+//!
+//! ```text
+//! dominogw --backend host:port [--backend host:port ...] [--addr 127.0.0.1:7270]
+//! ```
+//!
+//! Binds, prints `dominogw listening on <addr>` (port 0 reports the
+//! ephemeral port actually bound — scripts parse this line), then routes
+//! jobs across its backends until `POST /shutdown`, SIGTERM or SIGINT
+//! asks it to drain.
+//!
+//! Exit status: 0 after a graceful drain, 2 on usage or bind errors.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use domino_fleet::{Gateway, GatewayConfig, DEFAULT_GW_PORT};
+
+fn usage() -> String {
+    format!(
+        "usage: dominogw --backend <host:port> [options]\n\
+         \n\
+         options:\n\
+         \x20 --backend <host:port>  a dominod backend (repeatable, at least one)\n\
+         \x20 --addr <host:port>     bind address [127.0.0.1:{DEFAULT_GW_PORT}]; port 0 = ephemeral\n\
+         \x20 --probe-ms <n>         backend health-probe interval [500]\n\
+         \x20 --idle-ms <n>          per-connection idle timeout [10000]\n\
+         \x20 --max-requests <n>     requests per connection before close [1024]\n\
+         \n\
+         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
+    )
+}
+
+/// Arranges for SIGTERM/SIGINT to request the same graceful drain as
+/// `POST /shutdown`. Failures are reported, not fatal — a platform
+/// without signal support still serves.
+fn wire_signals(gateway: &Gateway) {
+    let flag = Arc::new(AtomicBool::new(false));
+    for signal in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+        if let Err(e) = signal_hook::flag::register(signal, Arc::clone(&flag)) {
+            eprintln!("dominogw: signal {signal} not wired: {e}");
+        }
+    }
+    let handle = gateway.shutdown_handle();
+    std::thread::Builder::new()
+        .name("gw-signals".into())
+        .spawn(move || loop {
+            if flag.load(Ordering::SeqCst) {
+                eprintln!("dominogw: signal received, draining");
+                handle.request_shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args
+        .iter()
+        .any(|a| matches!(a.as_str(), "help" | "--help" | "-h"))
+    {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let config = GatewayConfig::parse_args(args)?;
+    let backends = config.backends.clone();
+    let gateway = Gateway::start(config).map_err(|e| format!("bind failed: {e}"))?;
+    // Scripts (CI fleet-smoke, fleet_bench) parse this exact line.
+    println!("dominogw listening on {}", gateway.addr());
+    eprintln!(
+        "dominogw: routing across {} backend(s): {}",
+        backends.len(),
+        backends.join(", ")
+    );
+    wire_signals(&gateway);
+    gateway.wait();
+    eprintln!("dominogw: drained and exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dominogw: {message}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

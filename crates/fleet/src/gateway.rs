@@ -1,0 +1,915 @@
+//! `dominogw`: the fleet gateway. One HTTP front door that routes each
+//! submitted job — by its engine cache key (content-address) — to a
+//! `dominod` backend chosen by rendezvous hashing, so identical specs
+//! always land on the same backend and its warm cache.
+//!
+//! # Wire contract
+//!
+//! The gateway speaks the same protocol as `dominod` itself: `dominoc`
+//! and [`ServeClient`](domino_serve::ServeClient) work against it
+//! unchanged. Responses carrying
+//! outcome bytes (`/jobs/:id/result`, `POST /jobs?wait=1`) are relayed
+//! **verbatim** — the gateway never re-serializes an outcome, so fleet
+//! results stay byte-identical to single-node and local runs (pinned by
+//! `tests/gateway_integration.rs`). Job ids are gateway-assigned and
+//! rewritten in protocol documents (submit/status replies, event
+//! records) so callers never see backend-local ids.
+//!
+//! # Routing
+//!
+//! * **Home**: the highest rendezvous score among healthy backends.
+//! * **Failover**: connect-refused ⇒ mark the backend down and try the
+//!   next backend in score order — deterministic, so every gateway
+//!   agrees. Only *connect* failures fail over; once a request has been
+//!   sent, an error is reported (a blind resend could double-submit).
+//! * **Backpressure**: a backend's `429` is propagated verbatim (with
+//!   `Retry-After`) and never failed over — a full home queue means the
+//!   fleet should slow down, not migrate load away from the key's cache.
+//! * **Cache peering**: before routing a cold submit, the gateway peeks
+//!   the home's cache; on a miss it peeks the failover sequence and, if a
+//!   peer holds the entry, fills the home's cache first
+//!   (`POST /cache/fill/:key`) — one node's cold run warms the fleet.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use domino_engine::json::{parse, Json};
+use domino_engine::{CircuitSource, EngineError, FlowJob, JobSpec};
+use domino_serve::http::{serve_connection, ConnectionPolicy, HttpConnection, Request, Served};
+use domino_serve::protocol::{ErrorReply, StatusReply, SubmitReply};
+use domino_serve::ClientError;
+
+use crate::pool::BackendPool;
+
+/// Default TCP port for `dominogw` (one above `dominod`'s 7171 block).
+pub const DEFAULT_GW_PORT: u16 = 7270;
+
+/// Gateway configuration (CLI flags of `dominogw`).
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Listen address, e.g. `127.0.0.1:7270`. Port 0 binds ephemerally.
+    pub addr: String,
+    /// Backend `dominod` addresses (`host:port`), one per `--backend`.
+    pub backends: Vec<String>,
+    /// Health-probe interval.
+    pub probe_interval: Duration,
+    /// Per-connection idle timeout (same state machine as `dominod`).
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before a polite close.
+    pub max_requests_per_connection: u32,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: format!("127.0.0.1:{DEFAULT_GW_PORT}"),
+            backends: Vec::new(),
+            probe_interval: Duration::from_millis(500),
+            idle_timeout_ms: 10_000,
+            max_requests_per_connection: 1024,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Parses `dominogw` CLI flags (`--addr`, repeated `--backend`,
+    /// `--probe-ms`, `--idle-ms`, `--max-requests`).
+    ///
+    /// # Errors
+    ///
+    /// A rendered usage problem: unknown flag, missing value, no
+    /// backends.
+    pub fn parse_args(args: &[String]) -> Result<Self, String> {
+        let mut config = GatewayConfig::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--addr" => config.addr = value("--addr")?,
+                "--backend" => config.backends.push(value("--backend")?),
+                "--probe-ms" => {
+                    let ms: u64 = value("--probe-ms")?
+                        .parse()
+                        .map_err(|_| "--probe-ms needs an integer".to_string())?;
+                    config.probe_interval = Duration::from_millis(ms.max(1));
+                }
+                "--idle-ms" => {
+                    let ms: u64 = value("--idle-ms")?
+                        .parse()
+                        .map_err(|_| "--idle-ms needs an integer".to_string())?;
+                    if ms == 0 {
+                        return Err("--idle-ms must be at least 1".to_string());
+                    }
+                    config.idle_timeout_ms = ms;
+                }
+                "--max-requests" => {
+                    config.max_requests_per_connection = value("--max-requests")?
+                        .parse()
+                        .map_err(|_| "--max-requests needs an integer".to_string())?;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if config.backends.is_empty() {
+            return Err("at least one --backend is required".to_string());
+        }
+        Ok(config)
+    }
+}
+
+/// Gateway ids are monotonic; the table maps them to `(backend,
+/// backend-local id)`. Bounded: the oldest mappings are evicted beyond
+/// [`ID_TABLE_CAP`] — matching `dominod`'s own bounded retention of
+/// terminal jobs.
+const ID_TABLE_CAP: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct IdTable {
+    next: u64,
+    map: BTreeMap<u64, (String, u64)>,
+}
+
+impl IdTable {
+    fn assign(&mut self, backend: &str, backend_id: u64) -> u64 {
+        while self.map.len() >= ID_TABLE_CAP {
+            self.map.pop_first();
+        }
+        self.next += 1;
+        self.map
+            .insert(self.next, (backend.to_string(), backend_id));
+        self.next
+    }
+
+    fn lookup(&self, gw_id: u64) -> Option<(String, u64)> {
+        self.map.get(&gw_id).cloned()
+    }
+}
+
+/// Bounded memo of resolved networks keyed by circuit source, so warm
+/// resubmissions of the same suite circuit do not regenerate the netlist
+/// just to compute a routing key (mirrors `dominod`'s resolve memo).
+#[derive(Debug, Default)]
+struct KeyMemo {
+    map: Mutex<HashMap<String, FlowJob>>,
+}
+
+const KEY_MEMO_CAP: usize = 64;
+
+impl KeyMemo {
+    fn source_key(source: &CircuitSource) -> Option<String> {
+        match source {
+            CircuitSource::Suite(name) => Some(format!("suite\u{0}{name}")),
+            CircuitSource::BlifInline(text) => Some(format!("blif\u{0}{text}")),
+            CircuitSource::BlifPath(_) => None,
+        }
+    }
+
+    fn routing_key(&self, spec: JobSpec) -> Result<String, EngineError> {
+        let Some(memo_key) = Self::source_key(&spec.source) else {
+            return Ok(spec.resolve()?.cache_key().to_string());
+        };
+        if let Some(proto) = self.map.lock().expect("key memo").get(&memo_key) {
+            return Ok(FlowJob::new(spec, proto.network.clone())
+                .cache_key()
+                .to_string());
+        }
+        let job = spec.resolve()?;
+        let key = job.cache_key().to_string();
+        let mut map = self.map.lock().expect("key memo");
+        if map.len() >= KEY_MEMO_CAP {
+            map.clear();
+        }
+        map.insert(memo_key, job);
+        Ok(key)
+    }
+}
+
+#[derive(Debug)]
+struct GwShared {
+    pool: Arc<BackendPool>,
+    ids: Mutex<IdTable>,
+    key_memo: KeyMemo,
+    policy: ConnectionPolicy,
+    addr: SocketAddr,
+    started: Instant,
+    shutdown: AtomicBool,
+    accept_woken: AtomicBool,
+    active_connections: AtomicUsize,
+    /// Jobs forwarded to a backend (any reply status).
+    routed: AtomicU64,
+    /// Backend `429`s propagated to callers.
+    rejected: AtomicU64,
+    /// Submissions answered by a non-home backend after the home refused
+    /// the connection.
+    failovers: AtomicU64,
+    /// Cold-home submissions warmed from a peer's cache before routing.
+    peer_fills: AtomicU64,
+    /// Submissions with no reachable backend at all (`503`).
+    unroutable: AtomicU64,
+}
+
+impl GwShared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept loop with a throwaway connection (same
+        // trick, and same reasoning, as dominod's drain).
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(if wake.is_ipv4() {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            } else {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            });
+        }
+        for attempt in 0..3 {
+            if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
+                self.accept_woken.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50 * (attempt + 1)));
+        }
+    }
+}
+
+/// Point-in-time gateway counters (the `GET /metrics` document).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayMetrics {
+    /// Milliseconds since the gateway started.
+    pub uptime_ms: u64,
+    /// Jobs forwarded to a backend (any reply status).
+    pub routed: u64,
+    /// Backend `429`s propagated to callers.
+    pub rejected: u64,
+    /// Submissions answered by a failover backend.
+    pub failovers: u64,
+    /// Cold-home submissions warmed from a peer before routing.
+    pub peer_fills: u64,
+    /// Submissions refused with `503` (no reachable backend).
+    pub unroutable: u64,
+    /// Per-backend `(addr, healthy, down_transitions)`.
+    pub backends: Vec<(String, bool, u64)>,
+}
+
+impl GatewayMetrics {
+    /// Parses the `GET /metrics` document of a gateway.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| EngineError::Spec(format!("missing or mistyped field '{k}'")))
+        };
+        let backends = match v.get("backends") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|b| {
+                    let addr = b
+                        .get("addr")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string();
+                    let healthy = b.get("healthy").and_then(Json::as_bool).unwrap_or(false);
+                    let downs = b
+                        .get("down_transitions")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0);
+                    (addr, healthy, downs)
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(GatewayMetrics {
+            uptime_ms: field("uptime_ms")?,
+            routed: field("routed")?,
+            rejected: field("rejected")?,
+            failovers: field("failovers")?,
+            peer_fills: field("peer_fills")?,
+            unroutable: field("unroutable")?,
+            backends,
+        })
+    }
+}
+
+/// A running gateway: accept loop + health prober over a backend pool.
+#[derive(Debug)]
+pub struct Gateway {
+    shared: Arc<GwShared>,
+    accept_handle: Option<JoinHandle<()>>,
+    prober_handle: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds, probes the fleet once (so routing starts with real health
+    /// bits), spawns the accept loop and the prober, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the listen address cannot be bound.
+    pub fn start(config: GatewayConfig) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = Arc::new(BackendPool::new(&config.backends));
+        pool.probe_once();
+
+        let shared = Arc::new(GwShared {
+            pool: Arc::clone(&pool),
+            ids: Mutex::new(IdTable::default()),
+            key_memo: KeyMemo::default(),
+            policy: ConnectionPolicy {
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                max_requests: config.max_requests_per_connection.max(1),
+            },
+            addr,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            accept_woken: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            routed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            peer_fills: AtomicU64::new(0),
+            unroutable: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("gw-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        let prober_shared = Arc::clone(&shared);
+        let prober_handle = pool.spawn_prober(config.probe_interval, move || {
+            prober_shared.is_shutting_down()
+        });
+
+        Ok(Gateway {
+            shared,
+            accept_handle: Some(accept_handle),
+            prober_handle: Some(prober_handle),
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The backend pool (for tests and the load harness).
+    pub fn pool(&self) -> &Arc<BackendPool> {
+        &self.shared.pool
+    }
+
+    /// A handle that lets a signal watcher request the drain.
+    pub fn shutdown_handle(&self) -> GatewayShutdownHandle {
+        GatewayShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Begins the drain and blocks until the gateway has fully stopped.
+    pub fn shutdown(mut self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Blocks until the gateway exits (a drain requested over the wire or
+    /// via [`Gateway::shutdown_handle`]).
+    pub fn wait(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            // Refuse to join a possibly still-blocked accept thread (the
+            // wake connection may have failed); detach it instead.
+            while !self.shared.is_shutting_down() {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if self.shared.accept_woken.load(Ordering::SeqCst) {
+                let _ = handle.join();
+            }
+        }
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(handle) = self.prober_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if !self.shared.is_shutting_down() {
+            self.shared.begin_shutdown();
+        }
+        self.join();
+    }
+}
+
+/// Lets a signal watcher thread request the gateway drain (the SIGTERM /
+/// SIGINT path of `dominogw`).
+#[derive(Clone)]
+pub struct GatewayShutdownHandle {
+    shared: Arc<GwShared>,
+}
+
+impl GatewayShutdownHandle {
+    /// Requests the drain, exactly like `POST /shutdown`.
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl std::fmt::Debug for GatewayShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayShutdownHandle").finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<GwShared>) {
+    for stream in listener.incoming() {
+        if shared.is_shutting_down() {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("gw-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+struct ConnectionGuard<'a>(&'a GwShared);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<GwShared>) {
+    shared.active_connections.fetch_add(1, Ordering::SeqCst);
+    let _guard = ConnectionGuard(shared);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    serve_connection(stream, &shared.policy, |conn, request, keep_alive| {
+        let keep_alive = keep_alive && !shared.is_shutting_down();
+        route(conn, request, shared, keep_alive)
+    });
+}
+
+fn alive(ka: bool) -> Served {
+    if ka {
+        Served::KeepAlive
+    } else {
+        Served::Close
+    }
+}
+
+fn error_reply(
+    conn: &mut HttpConnection,
+    status: u16,
+    message: &str,
+    ka: bool,
+) -> io::Result<Served> {
+    let body = ErrorReply::new(message).to_json().serialize();
+    conn.write_response(status, &[], body.as_bytes(), ka)?;
+    Ok(alive(ka))
+}
+
+/// Splits `/jobs/42[/tail]` into the id and the remainder.
+fn job_path(path: &str) -> Option<(u64, &str)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let (id, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, tail),
+        None => (rest, ""),
+    };
+    Some((id.parse().ok()?, tail))
+}
+
+fn route(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<GwShared>,
+    ka: bool,
+) -> io::Result<Served> {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let healthy = shared
+                .pool
+                .backends()
+                .iter()
+                .filter(|b| b.is_healthy())
+                .count();
+            let body = Json::obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("role", Json::Str("gateway".into())),
+                ("backends", Json::Num(shared.pool.backends().len() as f64)),
+                ("healthy", Json::Num(healthy as f64)),
+            ]);
+            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
+        }
+        ("GET", "/metrics") => {
+            let backends: Vec<Json> = shared
+                .pool
+                .backends()
+                .iter()
+                .map(|b| {
+                    Json::obj(vec![
+                        ("addr", Json::Str(b.addr().to_string())),
+                        ("healthy", Json::Bool(b.is_healthy())),
+                        ("down_transitions", Json::Num(b.down_transitions() as f64)),
+                    ])
+                })
+                .collect();
+            let body = Json::obj(vec![
+                (
+                    "uptime_ms",
+                    Json::Num(shared.started.elapsed().as_millis() as f64),
+                ),
+                (
+                    "routed",
+                    Json::Num(shared.routed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected",
+                    Json::Num(shared.rejected.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "failovers",
+                    Json::Num(shared.failovers.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "peer_fills",
+                    Json::Num(shared.peer_fills.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "unroutable",
+                    Json::Num(shared.unroutable.load(Ordering::Relaxed) as f64),
+                ),
+                ("backends", Json::Arr(backends)),
+            ]);
+            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
+        }
+        ("POST", "/shutdown") => {
+            let body = Json::obj(vec![("status", Json::Str("shutting-down".into()))]);
+            conn.write_response(200, &[], body.serialize().as_bytes(), false)?;
+            shared.begin_shutdown();
+            Ok(Served::Close)
+        }
+        ("POST", "/jobs") => handle_submit(conn, request, shared, ka),
+        _ => match job_path(path) {
+            Some((gw_id, tail @ ("" | "result"))) if method == "GET" => {
+                handle_job_fetch(conn, request, shared, gw_id, tail, ka)
+            }
+            Some((gw_id, "")) if method == "DELETE" => {
+                handle_job_fetch(conn, request, shared, gw_id, "", ka)
+            }
+            Some((gw_id, "events")) if method == "GET" => handle_events(conn, shared, gw_id, ka),
+            Some((_, "" | "result" | "events")) => error_reply(conn, 405, "method not allowed", ka),
+            Some(_) | None => {
+                error_reply(conn, 404, &format!("no such endpoint: {method} {path}"), ka)
+            }
+        },
+    }
+}
+
+/// Relays `response` (status, `Retry-After` when present, body verbatim)
+/// to the gateway's caller.
+fn relay_verbatim(
+    conn: &mut HttpConnection,
+    response: &domino_serve::http::Response,
+    ka: bool,
+) -> io::Result<Served> {
+    let retry_after = response.header("retry-after").map(str::to_string);
+    let extra: Vec<(&str, &str)> = retry_after
+        .as_deref()
+        .map(|v| vec![("retry-after", v)])
+        .unwrap_or_default();
+    conn.write_response(response.status, &extra, &response.body, ka)?;
+    Ok(alive(ka))
+}
+
+fn handle_submit(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<GwShared>,
+    ka: bool,
+) -> io::Result<Served> {
+    if shared.is_shutting_down() {
+        return error_reply(conn, 503, "gateway is draining for shutdown", ka);
+    }
+    // Compute the routing key exactly as the backend will: resolve the
+    // spec and take its content-address. An unroutable spec fails here
+    // with the same 400 a backend would give.
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_reply(conn, 400, "body is not UTF-8", ka);
+    };
+    let spec = match parse(text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
+    {
+        Ok(spec) => spec,
+        Err(e) => return error_reply(conn, 400, &format!("invalid job spec: {e}"), ka),
+    };
+    let key = match shared.key_memo.routing_key(spec) {
+        Ok(key) => key,
+        Err(e) => return error_reply(conn, 400, &format!("unresolvable job: {e}"), ka),
+    };
+
+    let ranked = shared.pool.ranked(&key);
+    if ranked.is_empty() {
+        shared.unroutable.fetch_add(1, Ordering::Relaxed);
+        return error_reply(conn, 503, "no healthy backend", ka);
+    }
+
+    // Cache peering: if the home is cold for this key but a peer is warm,
+    // fill the home before routing — the submit below is then answered
+    // from the home's cache instead of recomputing.
+    if ranked.len() > 1 {
+        if let Ok(None) = ranked[0].client().cache_peek(&key) {
+            for peer in &ranked[1..] {
+                if let Ok(Some(bytes)) = peer.client().cache_peek(&key) {
+                    if ranked[0].client().cache_fill(&key, &bytes).is_ok() {
+                        shared.peer_fills.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    let target = request.target();
+    for (attempt, backend) in ranked.iter().enumerate() {
+        match backend
+            .client()
+            .forward("POST", &target, Some(&request.body))
+        {
+            // Connect refused: the prober will confirm, but routing must
+            // not wait for it — mark down and fail over now. Deterministic
+            // because the rendezvous order is.
+            Err(ClientError::Unreachable(_)) => {
+                backend.mark_down();
+                continue;
+            }
+            // The request may have reached the backend; resending could
+            // double-submit, so report instead of failing over.
+            Err(e) => {
+                return error_reply(conn, 502, &format!("backend {}: {e}", backend.addr()), ka)
+            }
+            Ok(response) => {
+                shared.routed.fetch_add(1, Ordering::Relaxed);
+                if attempt > 0 {
+                    shared.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                if response.status == 429 {
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                // Sync submits answer with outcome bytes (or an error
+                // body) — no id to rewrite, relay verbatim. Async submits
+                // answer with a SubmitReply whose backend-local id must
+                // become a gateway id.
+                if request.wants_wait() || !(response.status == 200 || response.status == 202) {
+                    return relay_verbatim(conn, &response, ka);
+                }
+                let reply = response
+                    .text()
+                    .ok()
+                    .and_then(|t| parse(&t).ok())
+                    .and_then(|v| SubmitReply::from_json(&v).ok());
+                let Some(mut reply) = reply else {
+                    return error_reply(
+                        conn,
+                        502,
+                        &format!("backend {} sent an undecodable reply", backend.addr()),
+                        ka,
+                    );
+                };
+                let gw_id = shared
+                    .ids
+                    .lock()
+                    .expect("id table")
+                    .assign(backend.addr(), reply.id);
+                reply.id = gw_id;
+                conn.write_response(
+                    response.status,
+                    &[],
+                    reply.to_json().serialize().as_bytes(),
+                    ka,
+                )?;
+                return Ok(alive(ka));
+            }
+        }
+    }
+    shared.unroutable.fetch_add(1, Ordering::Relaxed);
+    error_reply(conn, 503, "no healthy backend", ka)
+}
+
+/// Rebuilds the backend-side target for a job sub-path, preserving the
+/// query string (`?wait=1` long-polls ride through unchanged).
+fn backend_target(backend_id: u64, tail: &str, request: &Request) -> String {
+    let mut target = format!("/jobs/{backend_id}");
+    if !tail.is_empty() {
+        target.push('/');
+        target.push_str(tail);
+    }
+    let query: Vec<String> = request
+        .query
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    if !query.is_empty() {
+        target.push('?');
+        target.push_str(&query.join("&"));
+    }
+    target
+}
+
+/// `GET /jobs/:id[/result]` and `DELETE /jobs/:id`: forward to the job's
+/// backend, rewriting ids in protocol documents and relaying result
+/// bytes verbatim.
+fn handle_job_fetch(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<GwShared>,
+    gw_id: u64,
+    tail: &str,
+    ka: bool,
+) -> io::Result<Served> {
+    let Some((addr, backend_id)) = shared.ids.lock().expect("id table").lookup(gw_id) else {
+        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+    };
+    // Status lookups go to the job's backend even when it is marked
+    // unhealthy — the mark may be a transient probe failure.
+    let Some(backend) = shared
+        .pool
+        .backends()
+        .iter()
+        .find(|b| b.addr() == addr)
+        .cloned()
+    else {
+        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+    };
+    let target = backend_target(backend_id, tail, request);
+    let response = match backend.client().forward(&request.method, &target, None) {
+        Ok(response) => response,
+        Err(ClientError::Unreachable(e)) => {
+            backend.mark_down();
+            return error_reply(conn, 502, &format!("backend {addr} unreachable: {e}"), ka);
+        }
+        Err(e) => return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka),
+    };
+    // Result bytes (and error bodies) are relayed verbatim; status
+    // documents get their id rewritten back to the gateway's.
+    if tail == "result" || response.status != 200 {
+        return relay_verbatim(conn, &response, ka);
+    }
+    let reply = response
+        .text()
+        .ok()
+        .and_then(|t| parse(&t).ok())
+        .and_then(|v| StatusReply::from_json(&v).ok());
+    let Some(mut reply) = reply else {
+        return error_reply(
+            conn,
+            502,
+            &format!("backend {addr} sent an undecodable reply"),
+            ka,
+        );
+    };
+    reply.id = gw_id;
+    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
+    Ok(alive(ka))
+}
+
+/// `GET /jobs/:id/events`: re-emits the backend's event stream with
+/// gateway ids. A status probe runs first so an unknown job answers 404
+/// instead of an empty 200 stream.
+fn handle_events(
+    conn: &mut HttpConnection,
+    shared: &Arc<GwShared>,
+    gw_id: u64,
+    ka: bool,
+) -> io::Result<Served> {
+    let Some((addr, backend_id)) = shared.ids.lock().expect("id table").lookup(gw_id) else {
+        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+    };
+    let Some(backend) = shared
+        .pool
+        .backends()
+        .iter()
+        .find(|b| b.addr() == addr)
+        .cloned()
+    else {
+        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+    };
+    match backend
+        .client()
+        .forward("GET", &format!("/jobs/{backend_id}"), None)
+    {
+        Ok(probe) if probe.status == 200 => {}
+        Ok(probe) => {
+            let body = probe.text().unwrap_or_default();
+            conn.write_response(probe.status, &[], body.as_bytes(), ka)?;
+            return Ok(alive(ka));
+        }
+        Err(e) => return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka),
+    }
+    let mut writer = conn.begin_chunked(200)?;
+    let streamed = backend.client().events(backend_id, |event| {
+        let mut event = event.clone();
+        event.id = gw_id;
+        let line = format!("{}\n", event.to_json().serialize());
+        let _ = writer.chunk(line.as_bytes());
+    });
+    writer.finish()?;
+    if streamed.is_err() {
+        // The head was already sent; all we can do is end the stream.
+        return Ok(Served::Close);
+    }
+    Ok(Served::Close)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_table_is_bounded_and_monotonic() {
+        let mut table = IdTable::default();
+        let first = table.assign("b1", 1);
+        assert_eq!(first, 1);
+        for i in 0..(ID_TABLE_CAP as u64 + 10) {
+            table.assign("b1", i);
+        }
+        assert!(table.map.len() <= ID_TABLE_CAP);
+        // The earliest mapping was evicted, the newest survives.
+        assert_eq!(table.lookup(first), None);
+        let newest = table.next;
+        assert!(table.lookup(newest).is_some());
+    }
+
+    #[test]
+    fn parse_args_requires_backends() {
+        assert!(GatewayConfig::parse_args(&[]).is_err());
+        let config = GatewayConfig::parse_args(&[
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--backend".into(),
+            "127.0.0.1:7171".into(),
+            "--backend".into(),
+            "127.0.0.1:7172".into(),
+            "--probe-ms".into(),
+            "100".into(),
+        ])
+        .expect("valid flags");
+        assert_eq!(config.backends.len(), 2);
+        assert_eq!(config.probe_interval, Duration::from_millis(100));
+        assert!(GatewayConfig::parse_args(&["--nonesuch".into()]).is_err());
+    }
+
+    #[test]
+    fn backend_target_preserves_query() {
+        let request = Request {
+            method: "GET".into(),
+            path: "/jobs/7".into(),
+            query: vec![("wait".into(), "1".into())],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(backend_target(42, "", &request), "/jobs/42?wait=1");
+        assert_eq!(
+            backend_target(42, "result", &request),
+            "/jobs/42/result?wait=1"
+        );
+    }
+}

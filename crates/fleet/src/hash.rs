@@ -1,0 +1,131 @@
+//! Rendezvous (highest-random-weight) hashing: the gateway's routing
+//! function from a job's content-address to a backend.
+//!
+//! Every `(backend, key)` pair gets a pseudo-random 64-bit score; a key
+//! is homed on the highest-scoring backend. The property that makes this
+//! the right tool for cache affinity: when a backend joins or leaves,
+//! the *only* keys that move are the ones homed on (or now won by) that
+//! backend — every other key keeps its home, so the fleet's caches stay
+//! warm through membership churn. The full descending score order is the
+//! deterministic failover sequence: if the winner is down, the runner-up
+//! is the same on every gateway that knows the same membership.
+
+/// The pseudo-random score of `backend` for `key`.
+///
+/// FNV-1a over `backend \0 key` gives a seed that depends on the exact
+/// pair; a splitmix64 finalizer then scrambles it so near-identical
+/// backend names (`:7101` vs `:7102`) land far apart. Pure arithmetic —
+/// no platform- or process-dependent state — so every gateway computes
+/// identical placements.
+pub fn score(backend: &str, key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for byte in backend.bytes().chain(std::iter::once(0)).chain(key.bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer.
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Backends ordered by descending score for `key` — index 0 is the key's
+/// home, the rest the failover sequence. Ties (astronomically unlikely)
+/// break by backend name so the order is still total and deterministic.
+pub fn rank<'a>(backends: &[&'a str], key: &str) -> Vec<&'a str> {
+    let mut scored: Vec<(u64, &str)> = backends.iter().map(|b| (score(b, key), *b)).collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    scored.into_iter().map(|(_, b)| b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{i:032x}")).collect()
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_total() {
+        let backends = ["127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"];
+        for key in keys(64) {
+            let a = rank(&backends, &key);
+            let b = rank(&backends, &key);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), backends.len());
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, {
+                let mut s = backends.to_vec();
+                s.sort_unstable();
+                s
+            });
+        }
+    }
+
+    #[test]
+    fn removing_a_backend_only_moves_its_own_keys() {
+        let full = ["n1", "n2", "n3", "n4"];
+        let without_n3 = ["n1", "n2", "n4"];
+        for key in keys(512) {
+            let before = rank(&full, &key);
+            let after = rank(&without_n3, &key);
+            if before[0] == "n3" {
+                // A key homed on the removed backend re-homes to its
+                // runner-up — exactly the failover the gateway would take.
+                assert_eq!(after[0], before[1]);
+            } else {
+                assert_eq!(after[0], before[0], "unrelated key moved: {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_only_claims_keys_it_wins() {
+        let before = ["n1", "n2", "n3"];
+        let after = ["n1", "n2", "n3", "n4"];
+        for key in keys(512) {
+            let old = rank(&before, &key)[0];
+            let new = rank(&after, &key)[0];
+            assert!(new == old || new == "n4", "key moved between survivors");
+        }
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let backends = ["n1", "n2", "n3", "n4"];
+        let mut counts = std::collections::HashMap::new();
+        let n = 4096;
+        for key in keys(n) {
+            *counts.entry(rank(&backends, &key)[0]).or_insert(0usize) += 1;
+        }
+        for (&backend, &count) in &counts {
+            let share = count as f64 / n as f64;
+            assert!(
+                (0.15..=0.35).contains(&share),
+                "backend {backend} owns {share:.2} of keys"
+            );
+        }
+    }
+
+    #[test]
+    fn near_identical_names_score_independently() {
+        // Adjacent ports must not produce correlated scores.
+        let agree = keys(256)
+            .iter()
+            .filter(|k| {
+                let a = score("127.0.0.1:7101", k);
+                let b = score("127.0.0.1:7102", k);
+                a > b
+            })
+            .count();
+        assert!(
+            (64..=192).contains(&agree),
+            "biased pair ordering: {agree}/256"
+        );
+    }
+}

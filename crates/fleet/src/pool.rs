@@ -1,0 +1,185 @@
+//! The gateway's view of its `dominod` backends: one kept-alive
+//! [`ServeClient`] per backend plus a health bit maintained by a probe
+//! thread and by routing-time connect failures.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use domino_serve::ServeClient;
+
+use crate::hash;
+
+/// One `dominod` backend as the gateway sees it.
+#[derive(Debug)]
+pub struct Backend {
+    addr: String,
+    client: ServeClient,
+    healthy: AtomicBool,
+    /// Times this backend was marked down (probe failure or routing-time
+    /// connect failure).
+    downs: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: String) -> Self {
+        let client = ServeClient::new(addr.clone());
+        Backend {
+            addr,
+            client,
+            // Optimistic start: the first probe (or first routed request)
+            // corrects it. Starting pessimistic would reject the whole
+            // fleet's traffic until a probe cycle completes.
+            healthy: AtomicBool::new(true),
+            downs: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend's address (`host:port`) — also its rendezvous identity.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The kept-alive client for this backend.
+    pub fn client(&self) -> &ServeClient {
+        &self.client
+    }
+
+    /// Whether the last contact (probe or routed request) succeeded.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Routing-time demotion: a connect failure means the next probe
+    /// cycle must confirm recovery before this backend takes traffic.
+    pub fn mark_down(&self) {
+        if self.healthy.swap(false, Ordering::SeqCst) {
+            self.downs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// How many times this backend transitioned healthy → down.
+    pub fn down_transitions(&self) -> u64 {
+        self.downs.load(Ordering::Relaxed)
+    }
+
+    fn probe(&self) {
+        match self.client.healthz() {
+            Ok(_) => {
+                self.healthy.store(true, Ordering::SeqCst);
+            }
+            Err(_) => self.mark_down(),
+        }
+    }
+}
+
+/// The fleet membership: fixed at construction (membership churn within a
+/// run is modeled as health, not as add/remove — rendezvous hashing makes
+/// the distinction immaterial for placement).
+#[derive(Debug)]
+pub struct BackendPool {
+    backends: Vec<Arc<Backend>>,
+}
+
+impl BackendPool {
+    /// A pool over `addrs`, all initially presumed healthy.
+    pub fn new(addrs: &[String]) -> Self {
+        BackendPool {
+            backends: addrs
+                .iter()
+                .map(|a| Arc::new(Backend::new(a.clone())))
+                .collect(),
+        }
+    }
+
+    /// All backends, healthy or not, in construction order.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// The *healthy* backends in rendezvous order for `key`: index 0 is
+    /// the key's home, the rest the deterministic failover sequence.
+    pub fn ranked(&self, key: &str) -> Vec<Arc<Backend>> {
+        let names: Vec<&str> = self
+            .backends
+            .iter()
+            .filter(|b| b.is_healthy())
+            .map(|b| b.addr())
+            .collect();
+        hash::rank(&names, key)
+            .into_iter()
+            .filter_map(|addr| self.backends.iter().find(|b| b.addr() == addr).cloned())
+            .collect()
+    }
+
+    /// Probes every backend's `/healthz` once, updating health bits.
+    pub fn probe_once(&self) {
+        for backend in &self.backends {
+            backend.probe();
+        }
+    }
+
+    /// Spawns the health-probe loop; returns its join handle. The loop
+    /// exits when `stop` returns `true` (checked once per interval).
+    pub fn spawn_prober(
+        self: &Arc<Self>,
+        interval: Duration,
+        stop: impl Fn() -> bool + Send + 'static,
+    ) -> std::thread::JoinHandle<()> {
+        let pool = Arc::clone(self);
+        std::thread::Builder::new()
+            .name("gw-prober".into())
+            .spawn(move || {
+                while !stop() {
+                    pool.probe_once();
+                    // Sliced sleep so a long probe interval cannot pin
+                    // the gateway's shutdown join for that long.
+                    let mut remaining = interval;
+                    while !stop() && remaining > Duration::ZERO {
+                        let nap = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(nap);
+                        remaining -= nap;
+                    }
+                }
+            })
+            .expect("spawn prober")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranked_skips_unhealthy_backends() {
+        let pool = BackendPool::new(&[
+            "127.0.0.1:7101".to_string(),
+            "127.0.0.1:7102".to_string(),
+            "127.0.0.1:7103".to_string(),
+        ]);
+        let key = "deadbeefdeadbeefdeadbeefdeadbeef";
+        let full = pool.ranked(key);
+        assert_eq!(full.len(), 3);
+
+        // Knock out the key's home: the runner-up becomes the home and
+        // the down backend vanishes from the ranking entirely.
+        full[0].mark_down();
+        assert_eq!(full[0].down_transitions(), 1);
+        let rerouted = pool.ranked(key);
+        assert_eq!(rerouted.len(), 2);
+        assert_eq!(rerouted[0].addr(), full[1].addr());
+
+        // Double demotion counts once per healthy → down transition.
+        full[0].mark_down();
+        assert_eq!(full[0].down_transitions(), 1);
+    }
+
+    #[test]
+    fn probe_against_dead_port_marks_down() {
+        // Port 9 (discard) refuses connections on any sane machine.
+        let pool = BackendPool::new(&["127.0.0.1:9".to_string()]);
+        assert!(pool.backends()[0].is_healthy(), "optimistic start");
+        pool.probe_once();
+        assert!(!pool.backends()[0].is_healthy());
+    }
+}

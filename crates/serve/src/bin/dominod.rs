@@ -6,11 +6,14 @@
 //!
 //! Binds, prints `dominod listening on <addr>` (port 0 reports the
 //! ephemeral port actually bound — scripts parse this line), then serves
-//! until `POST /shutdown` (`dominoc shutdown`) asks it to drain.
+//! until `POST /shutdown` (`dominoc shutdown`), SIGTERM or SIGINT asks
+//! it to drain.
 //!
 //! Exit status: 0 after a graceful drain, 2 on usage or bind errors.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use domino_serve::{ServeConfig, Server, DEFAULT_PORT};
 
@@ -19,13 +22,40 @@ fn usage() -> String {
         "usage: dominod [options]\n\
          \n\
          options:\n\
-         \x20 --addr <host:port>   bind address [127.0.0.1:{DEFAULT_PORT}]; port 0 = ephemeral\n\
-         \x20 --workers <n>        worker threads, 0 = all CPUs [0]\n\
-         \x20 --queue <n>          admission queue capacity [64]\n\
-         \x20 --cache <dir>        on-disk result cache (shared with dominoc)\n\
+         \x20 --addr <host:port>        bind address [127.0.0.1:{DEFAULT_PORT}]; port 0 = ephemeral\n\
+         \x20 --workers <n>             worker threads, 0 = all CPUs [0]\n\
+         \x20 --queue <n>               admission queue capacity [64]\n\
+         \x20 --cache <dir>             on-disk result cache (shared with dominoc)\n\
+         \x20 --cache-mem-entries <n>   in-memory cache entry budget, 0 = unbounded [0]\n\
+         \x20 --cache-disk-bytes <n>    on-disk cache byte budget, 0 = unbounded [0]\n\
+         \x20 --idle-ms <n>             per-connection idle timeout [10000]\n\
          \n\
-         stop it with: dominoc shutdown --server <addr>"
+         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
     )
+}
+
+/// Arranges for SIGTERM/SIGINT to request the same graceful drain as
+/// `POST /shutdown`. Failures are reported, not fatal — a platform
+/// without signal support still serves.
+fn wire_signals(server: &Server) {
+    let flag = Arc::new(AtomicBool::new(false));
+    for signal in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+        if let Err(e) = signal_hook::flag::register(signal, Arc::clone(&flag)) {
+            eprintln!("dominod: signal {signal} not wired: {e}");
+        }
+    }
+    let handle = server.shutdown_handle();
+    std::thread::Builder::new()
+        .name("dominod-signals".into())
+        .spawn(move || loop {
+            if flag.load(Ordering::SeqCst) {
+                eprintln!("dominod: signal received, draining");
+                handle.request_shutdown();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -40,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
     // Scripts (CI smoke, serve_bench) parse this exact line for the port.
     println!("dominod listening on {}", server.addr());
+    wire_signals(&server);
     server.wait();
     let m = server.metrics();
     eprintln!(

@@ -1,21 +1,27 @@
 //! `ServeClient`: the client half of the wire protocol, used by the
-//! `dominoc` subcommands, the integration tests and the load harness.
+//! `dominoc` subcommands, the `dominogw` gateway, the integration tests
+//! and the load harness.
 //!
-//! One request per connection (mirroring the server's `Connection: close`
-//! model). Connection failures are distinguished from job failures so the
-//! CLI can exit with distinct codes: a refused/unreachable server is
-//! [`ClientError::Unreachable`], a job that ran and failed is
-//! [`ClientError::Api`].
+//! By default the client keeps one connection alive and reuses it across
+//! requests (`Connection: keep-alive`), falling back transparently to a
+//! fresh connection when the pooled one has gone stale — a server may
+//! close an idle connection at any time, and the retry makes that
+//! invisible to callers. Blocking requests (`?wait=1`, event streams)
+//! always use a dedicated single-request connection so an
+//! arbitrarily-long job cannot pin the pooled one. Connection failures
+//! are distinguished from job failures so the CLI can exit with distinct
+//! codes: a refused/unreachable server is [`ClientError::Unreachable`], a
+//! job that ran and failed is [`ClientError::Api`].
 
 use std::fmt;
-use std::io::Write;
-use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use domino_engine::json::{parse, Json};
 use domino_engine::JobSpec;
 
-use crate::http::{read_response, read_response_streaming, Response};
+use crate::http::{HttpConnection, Response};
 use crate::protocol::{ErrorReply, EventRecord, MetricsReply, StatusReply, SubmitReply};
 
 /// Client-side failures, split by who is at fault.
@@ -55,15 +61,38 @@ impl fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 /// A `dominod` client bound to one server address.
+///
+/// Cloning shares the connection pool: clones of one client reuse the
+/// same kept-alive connection (one at a time; concurrent requests that
+/// find the pool busy open their own connection and the winner repools).
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     addr: String,
+    reuse: bool,
+    pool: Arc<Mutex<Option<HttpConnection>>>,
+    reuses: Arc<AtomicU64>,
 }
 
 impl ServeClient {
-    /// A client for the server at `addr` (e.g. `127.0.0.1:7171`).
+    /// A keep-alive client for the server at `addr` (e.g.
+    /// `127.0.0.1:7171`).
     pub fn new(addr: impl Into<String>) -> Self {
-        ServeClient { addr: addr.into() }
+        ServeClient {
+            addr: addr.into(),
+            reuse: true,
+            pool: Arc::new(Mutex::new(None)),
+            reuses: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A client that opens a fresh connection for every request — the
+    /// pre-keep-alive wire behaviour, kept for benchmarking the
+    /// difference and for callers that want strict request isolation.
+    pub fn without_keep_alive(addr: impl Into<String>) -> Self {
+        ServeClient {
+            reuse: false,
+            ..ServeClient::new(addr)
+        }
     }
 
     /// The server address this client talks to.
@@ -71,13 +100,19 @@ impl ServeClient {
         &self.addr
     }
 
+    /// How many requests were answered over a reused (kept-alive)
+    /// connection rather than a fresh one. Shared across clones.
+    pub fn connection_reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
     /// `blocking`: whether this request may legitimately wait on job
     /// progress (long-polls, event streams, sync submits). Those get no
     /// read timeout — the server sends nothing until the job is terminal,
     /// and a job may queue and run for arbitrarily long — while immediate
     /// requests keep a timeout so a wedged server cannot hang the CLI.
-    fn connect(&self, blocking: bool) -> Result<TcpStream, ClientError> {
-        let stream = TcpStream::connect(&self.addr)
+    fn connect(&self, blocking: bool) -> Result<HttpConnection, ClientError> {
+        let stream = std::net::TcpStream::connect(&self.addr)
             .map_err(|e| ClientError::Unreachable(format!("{}: {e}", self.addr)))?;
         let timeout = if blocking {
             None
@@ -87,7 +122,20 @@ impl ServeClient {
         stream
             .set_read_timeout(timeout)
             .map_err(|e| ClientError::Io(e.to_string()))?;
-        Ok(stream)
+        Ok(HttpConnection::new(stream))
+    }
+
+    /// One request/response exchange on `conn`.
+    fn exchange(
+        &self,
+        conn: &mut HttpConnection,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        keep_alive: bool,
+    ) -> std::io::Result<Response> {
+        conn.write_request(&self.addr, method, path, body, keep_alive)?;
+        conn.read_response()
     }
 
     fn request(
@@ -96,13 +144,80 @@ impl ServeClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<Response, ClientError> {
-        // A `?wait=1` request blocks until the job is terminal.
-        let blocking = path.ends_with("wait=1");
-        let mut stream = self.connect(blocking)?;
-        write_request(&mut stream, &self.addr, method, path, body)?;
-        let response = read_response(&mut stream).map_err(|e| ClientError::Io(e.to_string()))?;
+        let response = self.request_any(method, path, body)?;
         check_status(&response)?;
         Ok(response)
+    }
+
+    /// The transport half of [`ServeClient::request`]: one exchange,
+    /// whatever the status — interpreting non-2xx is the caller's job.
+    fn request_any(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Response, ClientError> {
+        // A `?wait=1` request blocks until the job is terminal; it gets a
+        // dedicated connection so it cannot pin the pooled one.
+        let blocking = path.ends_with("wait=1");
+        if blocking || !self.reuse {
+            let mut conn = self.connect(blocking)?;
+            let response = self
+                .exchange(&mut conn, method, path, body, false)
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+            return Ok(response);
+        }
+        // Keep-alive path: try the pooled connection first. A stale pooled
+        // connection (closed by the server's idle timeout between our
+        // requests) surfaces as an I/O error before any response byte;
+        // retry exactly once on a fresh connection. A fresh connection's
+        // failure is NOT retried — that is a real error.
+        let pooled = self.pool.lock().expect("client pool").take();
+        if let Some(mut conn) = pooled {
+            match self.exchange(&mut conn, method, path, body, true) {
+                Ok(response) => {
+                    self.reuses.fetch_add(1, Ordering::Relaxed);
+                    self.repool(conn, &response);
+                    return Ok(response);
+                }
+                Err(_stale) => {
+                    // Fall through to a fresh connection.
+                }
+            }
+        }
+        let mut conn = self.connect(false)?;
+        let response = self
+            .exchange(&mut conn, method, path, body, true)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        self.repool(conn, &response);
+        Ok(response)
+    }
+
+    /// Proxy passthrough: one exchange returning the raw [`Response`]
+    /// whatever its status — what `dominogw` uses to relay a backend's
+    /// answer (success or error body) verbatim to its own caller. Rides
+    /// the same kept-alive pool as the typed methods.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only ([`ClientError::Unreachable`] /
+    /// [`ClientError::Io`]); an HTTP error status is a successful forward.
+    pub fn forward(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<Response, ClientError> {
+        self.request_any(method, path, body)
+    }
+
+    /// Returns a connection to the pool iff the server agreed to keep it
+    /// alive. Error responses (4xx/5xx) still ride keep-alive: the
+    /// connection state is clean after any complete exchange.
+    fn repool(&self, conn: HttpConnection, response: &Response) {
+        if response.keeps_alive() {
+            *self.pool.lock().expect("client pool") = Some(conn);
+        }
     }
 
     fn request_json(
@@ -129,7 +244,7 @@ impl ServeClient {
 
     /// `POST /jobs?wait=1`: submit and wait in one round trip, returning
     /// the completed outcome as the engine's exact serialized JSON text —
-    /// the cheapest warm-cache path (one connection per job).
+    /// the cheapest warm-cache path (one round trip per job).
     ///
     /// # Errors
     ///
@@ -146,6 +261,10 @@ impl ServeClient {
 
     /// `GET /jobs/:id`: the job's status document. With `wait`, blocks
     /// until the job is terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with 404 for unknown jobs.
     pub fn status(&self, id: u64, wait: bool) -> Result<StatusReply, ClientError> {
         let path = format!("/jobs/{id}{}", if wait { "?wait=1" } else { "" });
         let v = self.request_json("GET", &path, None)?;
@@ -167,54 +286,95 @@ impl ServeClient {
             .map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
+    /// `GET /cache/peek/:key`: this node's cached outcome bytes for
+    /// `key`, or `None` when it holds no entry (a 404 is the expected
+    /// miss answer, not an error).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and non-404 API errors.
+    pub fn cache_peek(&self, key: &str) -> Result<Option<String>, ClientError> {
+        match self.request("GET", &format!("/cache/peek/{key}"), None) {
+            Ok(response) => response
+                .text()
+                .map(Some)
+                .map_err(|e| ClientError::Protocol(e.to_string())),
+            Err(ClientError::Api { status: 404, .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `POST /cache/fill/:key`: hands this node an outcome computed
+    /// elsewhere, warming its cache for `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with 400 when the outcome does not match the
+    /// key, 404 when the node runs without a cache.
+    pub fn cache_fill(&self, key: &str, outcome_text: &str) -> Result<(), ClientError> {
+        self.request(
+            "POST",
+            &format!("/cache/fill/{key}"),
+            Some(outcome_text.as_bytes()),
+        )
+        .map(|_| ())
+    }
+
     /// `GET /jobs/:id/events`: streams the job's lifecycle events,
     /// invoking `on_event` for each as it arrives, until the stream ends
     /// (terminal event or server drain).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol (an undecodable event line), and API errors.
     pub fn events(
         &self,
         id: u64,
         mut on_event: impl FnMut(&EventRecord),
     ) -> Result<Vec<EventRecord>, ClientError> {
         // The event stream blocks between chunks for as long as the job
-        // runs; no read timeout.
-        let mut stream = self.connect(true)?;
-        write_request(
-            &mut stream,
+        // runs; no read timeout, and a dedicated connection — the server
+        // closes it when the stream ends.
+        let mut conn = self.connect(true)?;
+        conn.write_request(
             &self.addr,
             "GET",
             &format!("/jobs/{id}/events"),
             None,
-        )?;
+            false,
+        )
+        .map_err(|e| ClientError::Io(e.to_string()))?;
         let mut events = Vec::new();
         let mut pending = String::new();
         let mut parse_failure: Option<String> = None;
-        let response = read_response_streaming(&mut stream, |chunk| {
-            pending.push_str(&String::from_utf8_lossy(chunk));
-            while let Some(newline) = pending.find('\n') {
-                let line: String = pending.drain(..=newline).collect();
-                let line = line.trim();
-                if line.is_empty() {
-                    continue;
-                }
-                match parse(line)
-                    .map_err(|e| e.to_string())
-                    .and_then(|v| EventRecord::from_json(&v).map_err(|e| e.to_string()))
-                {
-                    Ok(event) => {
-                        on_event(&event);
-                        events.push(event);
+        let response = conn
+            .read_response_streaming(|chunk| {
+                pending.push_str(&String::from_utf8_lossy(chunk));
+                while let Some(newline) = pending.find('\n') {
+                    let line: String = pending.drain(..=newline).collect();
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
                     }
-                    // A line we cannot decode must not vanish silently —
-                    // dropping (say) the terminal event would make the
-                    // caller misread a finished job as unfinished.
-                    Err(e) if parse_failure.is_none() => {
-                        parse_failure = Some(format!("undecodable event '{line}': {e}"));
+                    match parse(line)
+                        .map_err(|e| e.to_string())
+                        .and_then(|v| EventRecord::from_json(&v).map_err(|e| e.to_string()))
+                    {
+                        Ok(event) => {
+                            on_event(&event);
+                            events.push(event);
+                        }
+                        // A line we cannot decode must not vanish silently —
+                        // dropping (say) the terminal event would make the
+                        // caller misread a finished job as unfinished.
+                        Err(e) if parse_failure.is_none() => {
+                            parse_failure = Some(format!("undecodable event '{line}': {e}"));
+                        }
+                        Err(_) => {}
                     }
-                    Err(_) => {}
                 }
-            }
-        })
-        .map_err(|e| ClientError::Io(e.to_string()))?;
+            })
+            .map_err(|e| ClientError::Io(e.to_string()))?;
         check_status(&response)?;
         if let Some(failure) = parse_failure {
             return Err(ClientError::Protocol(failure));
@@ -223,48 +383,44 @@ impl ServeClient {
     }
 
     /// `DELETE /jobs/:id`: requests cancellation; returns the resulting
-    /// status (queued jobs cancel immediately, running jobs are
-    /// cooperative).
+    /// status (queued jobs cancel immediately, running jobs stop at the
+    /// flow's next stage boundary).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Api`] with 404 for unknown jobs.
     pub fn cancel(&self, id: u64) -> Result<StatusReply, ClientError> {
         let v = self.request_json("DELETE", &format!("/jobs/{id}"), None)?;
         StatusReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// `GET /metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol errors.
     pub fn metrics(&self) -> Result<MetricsReply, ClientError> {
         let v = self.request_json("GET", "/metrics", None)?;
         MetricsReply::from_json(&v).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
     /// `GET /healthz`. Returns the raw health document.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol errors.
     pub fn healthz(&self) -> Result<Json, ClientError> {
         self.request_json("GET", "/healthz", None)
     }
 
     /// `POST /shutdown`: asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport and API errors.
     pub fn shutdown(&self) -> Result<(), ClientError> {
         self.request("POST", "/shutdown", None).map(|_| ())
     }
-}
-
-fn write_request(
-    stream: &mut TcpStream,
-    host: &str,
-    method: &str,
-    path: &str,
-    body: Option<&[u8]>,
-) -> Result<(), ClientError> {
-    let body = body.unwrap_or(&[]);
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n\r\n",
-        body.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body))
-        .and_then(|()| stream.flush())
-        .map_err(|e| ClientError::Io(e.to_string()))
 }
 
 fn parse_body(response: &Response) -> Result<Json, ClientError> {

@@ -2,24 +2,45 @@
 //!
 //! The build environment has no registry access, so — following the
 //! `crates/compat` precedent — the service carries its own wire layer
-//! instead of hyper/axum. It implements exactly what `dominod` and its
-//! clients need and nothing more:
+//! instead of hyper/axum. It implements exactly what `dominod`, the
+//! `dominogw` gateway and their clients need and nothing more:
 //!
 //! * request parsing: request line, headers, `Content-Length` bodies
 //!   (bounded by [`MAX_BODY_BYTES`]), query-string splitting;
-//! * response writing: fixed-length bodies with `Connection: close`
-//!   semantics (one request per connection), and `Transfer-Encoding:
-//!   chunked` streaming for the `/jobs/:id/events` endpoint;
+//! * response writing: fixed-length bodies with negotiated
+//!   `Connection: keep-alive` / `close` semantics, and
+//!   `Transfer-Encoding: chunked` streaming for the `/jobs/:id/events`
+//!   endpoint (chunked responses always close);
 //! * response reading for the client side, including a streaming chunk
 //!   decoder that yields line-delimited event records as they arrive.
 //!
-//! No keep-alive, no pipelining, no TLS, no compression: every connection
-//! carries one request and one response, which keeps the server's
-//! per-connection state machine trivial and the load harness honest (each
-//! request pays the full connection cost).
+//! # Keep-alive and pipelining
+//!
+//! [`HttpConnection`] wraps one TCP stream with a persistent read buffer,
+//! so a connection carries many requests back to back. Clients may
+//! pipeline: requests already buffered are parsed without touching the
+//! socket, and responses are written strictly in request order (the
+//! server handles one request at a time per connection, so the in-flight
+//! pipeline depth is bounded by the socket and read buffers — a peer can
+//! never force the server to hold more than one parsed request in
+//! memory). [`serve_connection`] is the server-side state machine:
+//!
+//! ```text
+//!          ┌────────────── idle (read timeout = idle_timeout) ─────────┐
+//!          ▼                                                           │
+//!   next_request ──▶ parsed ──▶ handler writes response ──▶ keep-alive?┘
+//!          │
+//!          ├─ clean EOF / idle timeout ─▶ close
+//!          ├─ malformed / stalled mid-request ─▶ 400 + close
+//!          └─ request #max_requests, Connection: close, or a
+//!             streaming handler ─▶ final response carries close
+//! ```
+//!
+//! No TLS, no compression, no `Expect: 100-continue`.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Upper bound on accepted request/response bodies (16 MiB). Inline BLIF
 /// sources for the suite circuits are a few hundred KiB at most; anything
@@ -51,6 +72,15 @@ fn read_line_bounded(reader: &mut impl BufRead, what: &str) -> io::Result<Option
         return Err(bad(&format!("{what} line too long")));
     }
     Ok(Some(line))
+}
+
+/// `true` for the error kinds a read timeout surfaces as (`WouldBlock` on
+/// unix, `TimedOut` on windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// One parsed HTTP request.
@@ -91,38 +121,367 @@ impl Request {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// `true` when the request asks the server to close after responding.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The original request target (`path?query`), reassembled — what a
+    /// proxy forwards verbatim.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            return self.path.clone();
+        }
+        let qs: Vec<String> = self
+            .query
+            .iter()
+            .map(|(k, v)| {
+                if v.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{k}={v}")
+                }
+            })
+            .collect();
+        format!("{}?{}", self.path, qs.join("&"))
+    }
 }
 
-/// Reads one request from `stream`. Returns `Ok(None)` when the peer
-/// closed the connection before sending a request line.
-///
-/// # Errors
-///
-/// [`io::Error`] with `InvalidData` for malformed requests (bad request
-/// line, non-numeric or oversized `Content-Length`, truncated body).
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
-    let mut reader = BufReader::new(stream);
-    let Some(line) = read_line_bounded(&mut reader, "request")? else {
-        return Ok(None);
-    };
-    let mut parts = line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        return Err(bad("malformed request line"));
-    };
-    let method = method.to_ascii_uppercase();
-    let (path, query) = split_target(target);
+/// What [`HttpConnection::next_request`] found on the wire.
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The idle deadline passed with no request byte received — close
+    /// without error (distinct from a peer stalling *mid*-request, which
+    /// is an [`io::Error`]).
+    TimedOut,
+}
 
-    let parsed = read_headers(&mut reader)?;
+/// One HTTP/1.1 connection (either side) with a persistent read buffer —
+/// the carrier for keep-alive and pipelining. Bytes of a follow-up
+/// request that arrive early stay in the buffer and are parsed by the
+/// next [`HttpConnection::next_request`] call instead of being lost.
+#[derive(Debug)]
+pub struct HttpConnection {
+    reader: BufReader<TcpStream>,
+}
 
-    let mut body = vec![0u8; parsed.content_length.unwrap_or(0)];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
-        method,
-        path,
-        query,
-        headers: parsed.headers,
-        body,
-    }))
+impl HttpConnection {
+    /// Wraps a connected stream.
+    ///
+    /// Disables Nagle's algorithm: every message here is written as one
+    /// complete buffer, so coalescing only adds delayed-ACK stalls
+    /// (~40ms per message) to keep-alive request/response cadence.
+    pub fn new(stream: TcpStream) -> Self {
+        let _ = stream.set_nodelay(true);
+        HttpConnection {
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// The underlying stream (for timeouts and peer addresses).
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// Mutable access to the underlying stream (writes bypass the read
+    /// buffer, which is exactly right for HTTP).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
+    }
+
+    /// `true` when a pipelined peer already delivered bytes of the next
+    /// message: parsing can proceed without waiting on the socket.
+    pub fn has_buffered(&self) -> bool {
+        !self.reader.buffer().is_empty()
+    }
+
+    /// Reads the next request off the connection.
+    ///
+    /// A read timeout that fires before *any* byte of the request line is
+    /// [`NextRequest::TimedOut`] (the idle-deadline close); one that fires
+    /// mid-request is an error, because the stream is no longer at a
+    /// message boundary and cannot be resynchronized.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] with `InvalidData` for malformed requests (bad
+    /// request line, non-numeric or oversized `Content-Length`, truncated
+    /// body), or the underlying I/O error.
+    pub fn next_request(&mut self) -> io::Result<NextRequest> {
+        let mut line = String::new();
+        let n = match self
+            .reader
+            .by_ref()
+            .take((MAX_LINE_BYTES + 1) as u64)
+            .read_line(&mut line)
+        {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) && line.is_empty() => return Ok(NextRequest::TimedOut),
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            return Ok(NextRequest::Closed);
+        }
+        if n > MAX_LINE_BYTES && !line.ends_with('\n') {
+            return Err(bad("request line too long"));
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Err(bad("malformed request line"));
+        };
+        let method = method.to_ascii_uppercase();
+        let (path, query) = split_target(target);
+
+        let parsed = read_headers(&mut self.reader)?;
+
+        let mut body = vec![0u8; parsed.content_length.unwrap_or(0)];
+        self.reader.read_exact(&mut body)?;
+        Ok(NextRequest::Request(Request {
+            method,
+            path,
+            query,
+            headers: parsed.headers,
+            body,
+        }))
+    }
+
+    /// Writes a complete fixed-length response and flushes it, with the
+    /// negotiated `Connection` header.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the underlying writes.
+    pub fn write_response(
+        &mut self,
+        status: u16,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: {}\r\n",
+            reason(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        // One write per message: a head-then-body pair of small segments
+        // would re-trigger the Nagle/delayed-ACK stall on every exchange.
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        stream.write_all(&message)?;
+        stream.flush()
+    }
+
+    /// Begins a chunked-transfer response (always `Connection: close`:
+    /// event streams end with the connection).
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from writing the response head.
+    pub fn begin_chunked(&mut self, status: u16) -> io::Result<ChunkedWriter<'_>> {
+        ChunkedWriter::begin(self.reader.get_mut(), status)
+    }
+
+    /// Client side: writes one request and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the underlying writes.
+    pub fn write_request(
+        &mut self,
+        host: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\n\
+             content-length: {}\r\nconnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        stream.write_all(&message)?;
+        stream.flush()
+    }
+
+    /// Client side: reads a complete response, reassembling chunked
+    /// bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] for connection failures or malformed responses.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        self.read_response_streaming(|_| {})
+    }
+
+    /// Client side: reads a response, invoking `on_chunk` for every chunk
+    /// of a chunked body as it arrives (fixed-length bodies get a single
+    /// callback). The complete body is still returned.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] for connection failures or malformed responses.
+    pub fn read_response_streaming(
+        &mut self,
+        mut on_chunk: impl FnMut(&[u8]),
+    ) -> io::Result<Response> {
+        let reader = &mut self.reader;
+        let Some(line) = read_line_bounded(reader, "status")? else {
+            return Err(bad("connection closed before status line"));
+        };
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+
+        let ParsedHeaders {
+            headers,
+            content_length,
+            chunked,
+        } = read_headers(reader)?;
+
+        let mut body = Vec::new();
+        if chunked {
+            loop {
+                let Some(size_line) = read_line_bounded(reader, "chunk size")? else {
+                    return Err(bad("connection closed inside chunked body"));
+                };
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| bad("malformed chunk size"))?;
+                // Checked form: a hostile size near usize::MAX must hit
+                // this bound, not wrap the addition and then fail to
+                // allocate.
+                if size > MAX_BODY_BYTES - body.len() {
+                    return Err(bad("response body too large"));
+                }
+                let mut chunk = vec![0u8; size];
+                reader.read_exact(&mut chunk)?;
+                let mut crlf = [0u8; 2];
+                reader.read_exact(&mut crlf)?;
+                if size == 0 {
+                    break;
+                }
+                on_chunk(&chunk);
+                body.extend_from_slice(&chunk);
+            }
+        } else {
+            match content_length {
+                Some(n) => {
+                    body.resize(n, 0);
+                    reader.read_exact(&mut body)?;
+                }
+                None => {
+                    // Read to EOF (connection: close framing) — through a
+                    // `take` so a peer streaming forever is cut off at the
+                    // bound, not at OOM.
+                    reader
+                        .by_ref()
+                        .take((MAX_BODY_BYTES + 1) as u64)
+                        .read_to_end(&mut body)?;
+                    if body.len() > MAX_BODY_BYTES {
+                        return Err(bad("response body too large"));
+                    }
+                }
+            }
+            if !body.is_empty() {
+                on_chunk(&body);
+            }
+        }
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Per-connection limits for [`serve_connection`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectionPolicy {
+    /// How long a kept-alive connection may sit with no request before
+    /// the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server forces
+    /// `Connection: close` — the explicit pipeline/keep-alive bound.
+    pub max_requests: u32,
+}
+
+impl Default for ConnectionPolicy {
+    fn default() -> Self {
+        ConnectionPolicy {
+            idle_timeout: Duration::from_secs(10),
+            max_requests: 1024,
+        }
+    }
+}
+
+/// What a [`serve_connection`] handler did with the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Served {
+    /// The response was written with `Connection: keep-alive`; the loop
+    /// reads the next request.
+    KeepAlive,
+    /// The response closed the connection (explicitly, or via a chunked
+    /// stream); the loop ends.
+    Close,
+}
+
+/// The server-side connection state machine shared by `dominod` and
+/// `dominogw`: reads requests in order, hands each to `handle` along with
+/// the keep-alive decision (`false` on the connection's last allowed
+/// request or when the client sent `Connection: close` — the handler must
+/// write that `Connection` header), and loops until close.
+///
+/// Malformed requests get a `400` and a close; a clean EOF or an idle
+/// timeout closes silently. Errors are swallowed — a connection that dies
+/// mid-response has no one left to tell.
+pub fn serve_connection(
+    stream: TcpStream,
+    policy: &ConnectionPolicy,
+    mut handle: impl FnMut(&mut HttpConnection, &Request, bool) -> io::Result<Served>,
+) {
+    let mut conn = HttpConnection::new(stream);
+    let mut served: u32 = 0;
+    loop {
+        // The idle deadline arms only between requests; mid-request stalls
+        // surface as errors from next_request instead.
+        let _ = conn.stream().set_read_timeout(Some(policy.idle_timeout));
+        let request = match conn.next_request() {
+            Ok(NextRequest::Request(request)) => request,
+            Ok(NextRequest::Closed | NextRequest::TimedOut) => return,
+            Err(_) => {
+                let _ = conn.write_response(400, &[], b"{\"error\":\"malformed request\"}", false);
+                return;
+            }
+        };
+        served += 1;
+        let keep_alive = served < policy.max_requests && !request.wants_close();
+        match handle(&mut conn, &request, keep_alive) {
+            Ok(Served::KeepAlive) if keep_alive => {}
+            _ => return,
+        }
+    }
 }
 
 /// The header block of a request or response.
@@ -213,32 +572,6 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete fixed-length response and flushes it. The connection
-/// is meant to be dropped afterwards (`Connection: close`).
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    extra_headers: &[(&str, &str)],
-    body: &[u8],
-) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
-         content-length: {}\r\nconnection: close\r\n",
-        reason(status),
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
-}
-
 /// A chunked-transfer response in progress: each [`ChunkedWriter::chunk`]
 /// is flushed immediately so clients observe events as they happen.
 #[derive(Debug)]
@@ -248,6 +581,10 @@ pub struct ChunkedWriter<'a> {
 
 impl<'a> ChunkedWriter<'a> {
     /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from writing the head.
     pub fn begin(stream: &'a mut TcpStream, status: u16) -> io::Result<Self> {
         let head = format!(
             "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
@@ -260,17 +597,26 @@ impl<'a> ChunkedWriter<'a> {
     }
 
     /// Writes one chunk and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the underlying writes.
     pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
         if data.is_empty() {
             return Ok(()); // an empty chunk would terminate the stream
         }
-        write!(self.stream, "{:x}\r\n", data.len())?;
-        self.stream.write_all(data)?;
-        self.stream.write_all(b"\r\n")?;
+        let mut framed = format!("{:x}\r\n", data.len()).into_bytes();
+        framed.extend_from_slice(data);
+        framed.extend_from_slice(b"\r\n");
+        self.stream.write_all(&framed)?;
         self.stream.flush()
     }
 
     /// Writes the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from the underlying writes.
     pub fn finish(self) -> io::Result<()> {
         self.stream.write_all(b"0\r\n\r\n")?;
         self.stream.flush()
@@ -278,8 +624,9 @@ impl<'a> ChunkedWriter<'a> {
 }
 
 /// A parsed client-side response: status code plus the complete body
-/// (chunked responses are reassembled; use [`read_response_streaming`] to
-/// observe chunks as they arrive).
+/// (chunked responses are reassembled; use
+/// [`HttpConnection::read_response_streaming`] to observe chunks as they
+/// arrive).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -300,6 +647,12 @@ impl Response {
             .map(|(_, v)| v.as_str())
     }
 
+    /// `true` when the server will keep the connection open afterwards.
+    pub fn keeps_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
+
     /// The body as UTF-8 text.
     ///
     /// # Errors
@@ -308,95 +661,6 @@ impl Response {
     pub fn text(&self) -> io::Result<String> {
         String::from_utf8(self.body.clone()).map_err(|_| bad("response body is not UTF-8"))
     }
-}
-
-/// Reads a complete response, reassembling chunked bodies.
-///
-/// # Errors
-///
-/// [`io::Error`] for connection failures or malformed responses.
-pub fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
-    read_response_streaming(stream, |_| {})
-}
-
-/// Reads a response, invoking `on_chunk` for every chunk of a chunked
-/// body as it arrives (fixed-length bodies get a single callback). The
-/// complete body is still returned.
-///
-/// # Errors
-///
-/// [`io::Error`] for connection failures or malformed responses.
-pub fn read_response_streaming(
-    stream: &mut TcpStream,
-    mut on_chunk: impl FnMut(&[u8]),
-) -> io::Result<Response> {
-    let mut reader = BufReader::new(stream);
-    let Some(line) = read_line_bounded(&mut reader, "status")? else {
-        return Err(bad("connection closed before status line"));
-    };
-    let status: u16 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| bad("malformed status line"))?;
-
-    let ParsedHeaders {
-        headers,
-        content_length,
-        chunked,
-    } = read_headers(&mut reader)?;
-
-    let mut body = Vec::new();
-    if chunked {
-        loop {
-            let Some(size_line) = read_line_bounded(&mut reader, "chunk size")? else {
-                return Err(bad("connection closed inside chunked body"));
-            };
-            let size = usize::from_str_radix(size_line.trim(), 16)
-                .map_err(|_| bad("malformed chunk size"))?;
-            // Checked form: a hostile size near usize::MAX must hit this
-            // bound, not wrap the addition and then fail to allocate.
-            if size > MAX_BODY_BYTES - body.len() {
-                return Err(bad("response body too large"));
-            }
-            let mut chunk = vec![0u8; size];
-            reader.read_exact(&mut chunk)?;
-            let mut crlf = [0u8; 2];
-            reader.read_exact(&mut crlf)?;
-            if size == 0 {
-                break;
-            }
-            on_chunk(&chunk);
-            body.extend_from_slice(&chunk);
-        }
-    } else {
-        match content_length {
-            Some(n) => {
-                body.resize(n, 0);
-                reader.read_exact(&mut body)?;
-            }
-            None => {
-                // Read to EOF (connection: close framing) — through a
-                // `take` so a peer streaming forever is cut off at the
-                // bound, not at OOM.
-                reader
-                    .by_ref()
-                    .take((MAX_BODY_BYTES + 1) as u64)
-                    .read_to_end(&mut body)?;
-                if body.len() > MAX_BODY_BYTES {
-                    return Err(bad("response body too large"));
-                }
-            }
-        }
-        if !body.is_empty() {
-            on_chunk(&body);
-        }
-    }
-    Ok(Response {
-        status,
-        headers,
-        body,
-    })
 }
 
 #[cfg(test)]
@@ -412,35 +676,190 @@ mod tests {
         (client, server)
     }
 
+    fn read_one(server: TcpStream) -> io::Result<NextRequest> {
+        HttpConnection::new(server).next_request()
+    }
+
     #[test]
     fn request_roundtrip_with_body_and_query() {
-        let (mut client, mut server) = pair();
+        let (mut client, server) = pair();
         client
             .write_all(b"POST /jobs?wait=1&x HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello")
             .unwrap();
-        let req = read_request(&mut server).unwrap().unwrap();
+        let NextRequest::Request(req) = read_one(server).unwrap() else {
+            panic!("expected a request");
+        };
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
         assert!(req.wants_wait());
         assert_eq!(req.query_param("x"), Some(""));
         assert_eq!(req.body, b"hello");
         assert_eq!(req.header("host"), Some("t"));
+        assert_eq!(req.target(), "/jobs?wait=1&x");
     }
 
     #[test]
     fn fixed_response_roundtrip() {
-        let (mut client, mut server) = pair();
-        write_response(&mut server, 429, &[("retry-after", "1")], b"{\"e\":1}").unwrap();
+        let (client, server) = pair();
+        let mut server = HttpConnection::new(server);
+        server
+            .write_response(429, &[("retry-after", "1")], b"{\"e\":1}", false)
+            .unwrap();
         drop(server);
-        let resp = read_response(&mut client).unwrap();
+        let resp = HttpConnection::new(client).read_response().unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.header("retry-after"), Some("1"));
+        assert!(!resp.keeps_alive());
         assert_eq!(resp.body, b"{\"e\":1}");
     }
 
     #[test]
+    fn keep_alive_connection_carries_many_requests() {
+        let (client, server) = pair();
+        let mut client = HttpConnection::new(client);
+        let server_side = std::thread::spawn(move || {
+            let mut conn = HttpConnection::new(server);
+            for i in 0..3u32 {
+                let NextRequest::Request(req) = conn.next_request().unwrap() else {
+                    panic!("expected request {i}");
+                };
+                assert_eq!(req.path, format!("/r{i}"));
+                conn.write_response(200, &[], format!("resp{i}").as_bytes(), i < 2)
+                    .unwrap();
+            }
+        });
+        for i in 0..3u32 {
+            client
+                .write_request("t", "GET", &format!("/r{i}"), None, i < 2)
+                .unwrap();
+            let resp = client.read_response().unwrap();
+            assert_eq!(resp.body, format!("resp{i}").as_bytes());
+            assert_eq!(resp.keeps_alive(), i < 2);
+        }
+        server_side.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let (mut client, server) = pair();
+        // Three requests in one write, before the server reads anything.
+        client
+            .write_all(
+                b"GET /a HTTP/1.1\r\nconnection: keep-alive\r\n\r\n\
+                  GET /b HTTP/1.1\r\nconnection: keep-alive\r\n\r\n\
+                  GET /c HTTP/1.1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut conn = HttpConnection::new(server);
+        let mut paths = Vec::new();
+        for _ in 0..3 {
+            let NextRequest::Request(req) = conn.next_request().unwrap() else {
+                panic!("expected a pipelined request");
+            };
+            paths.push(req.path.clone());
+            conn.write_response(200, &[], req.path.as_bytes(), !req.wants_close())
+                .unwrap();
+        }
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+        // After the first parse the rest were already buffered.
+        let mut client = HttpConnection::new(client);
+        for path in ["/a", "/b", "/c"] {
+            assert_eq!(client.read_response().unwrap().body, path.as_bytes());
+        }
+    }
+
+    #[test]
+    fn idle_timeout_yields_timed_out_not_error() {
+        let (_client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = HttpConnection::new(server);
+        assert!(matches!(
+            conn.next_request().unwrap(),
+            NextRequest::TimedOut
+        ));
+    }
+
+    #[test]
+    fn stall_mid_request_is_an_error_not_idle() {
+        let (mut client, server) = pair();
+        // Half a request line, then silence.
+        client.write_all(b"GET /half").unwrap();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = HttpConnection::new(server);
+        assert!(conn.next_request().is_err());
+    }
+
+    #[test]
+    fn serve_connection_honors_close_and_max_requests() {
+        let (mut client, server) = pair();
+        client
+            .write_all(
+                b"GET /1 HTTP/1.1\r\n\r\n\
+                  GET /2 HTTP/1.1\r\n\r\n\
+                  GET /3 HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let policy = ConnectionPolicy {
+            idle_timeout: Duration::from_millis(200),
+            max_requests: 2,
+        };
+        let server_side = std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            serve_connection(server, &policy, |conn, req, keep_alive| {
+                seen.push((req.path.clone(), keep_alive));
+                conn.write_response(200, &[], req.path.as_bytes(), keep_alive)?;
+                Ok(if keep_alive {
+                    Served::KeepAlive
+                } else {
+                    Served::Close
+                })
+            });
+            seen
+        });
+        let mut reader = HttpConnection::new(client);
+        assert_eq!(reader.read_response().unwrap().body, b"/1");
+        let second = reader.read_response().unwrap();
+        assert_eq!(second.body, b"/2");
+        assert!(!second.keeps_alive(), "request #max_requests closes");
+        // The third pipelined request is never served.
+        assert!(reader.read_response().is_err());
+        let seen = server_side.join().unwrap();
+        assert_eq!(
+            seen,
+            vec![("/1".to_string(), true), ("/2".to_string(), false)]
+        );
+    }
+
+    #[test]
+    fn serve_connection_half_close_mid_pipeline_stops_cleanly() {
+        let (mut client, server) = pair();
+        // One complete request, then half of a second, then FIN.
+        client
+            .write_all(b"GET /ok HTTP/1.1\r\n\r\nGET /tru")
+            .unwrap();
+        drop(client);
+        let policy = ConnectionPolicy::default();
+        let served = std::thread::spawn(move || {
+            let mut count = 0;
+            serve_connection(server, &policy, |conn, req, keep_alive| {
+                count += 1;
+                conn.write_response(200, &[], req.path.as_bytes(), keep_alive)?;
+                Ok(Served::KeepAlive)
+            });
+            count
+        });
+        // Only the complete request is served; the truncated one is not a
+        // panic, not a hang — just a close.
+        assert_eq!(served.join().unwrap(), 1);
+    }
+
+    #[test]
     fn chunked_response_streams_and_reassembles() {
-        let (mut client, mut server) = pair();
+        let (client, mut server) = pair();
         let writer = std::thread::spawn(move || {
             let mut w = ChunkedWriter::begin(&mut server, 200).unwrap();
             w.chunk(b"{\"a\":1}\n").unwrap();
@@ -448,7 +867,9 @@ mod tests {
             w.finish().unwrap();
         });
         let mut seen = Vec::new();
-        let resp = read_response_streaming(&mut client, |c| seen.push(c.to_vec())).unwrap();
+        let resp = HttpConnection::new(client)
+            .read_response_streaming(|c| seen.push(c.to_vec()))
+            .unwrap();
         writer.join().unwrap();
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body, b"{\"a\":1}\n{\"b\":2}\n");
@@ -457,26 +878,26 @@ mod tests {
 
     #[test]
     fn oversized_content_length_is_rejected() {
-        let (mut client, mut server) = pair();
+        let (mut client, server) = pair();
         client
             .write_all(
                 format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX).as_bytes(),
             )
             .unwrap();
-        assert!(read_request(&mut server).is_err());
+        assert!(read_one(server).is_err());
     }
 
     #[test]
     fn closed_connection_yields_none() {
-        let (client, mut server) = pair();
+        let (client, server) = pair();
         drop(client);
-        assert!(read_request(&mut server).unwrap().is_none());
+        assert!(matches!(read_one(server).unwrap(), NextRequest::Closed));
     }
 
     #[test]
     fn endless_header_line_is_cut_off_at_the_line_bound() {
-        let (mut client, mut server) = pair();
-        let reader = std::thread::spawn(move || read_request(&mut server));
+        let (mut client, server) = pair();
+        let reader = std::thread::spawn(move || read_one(server));
         // The reader stops consuming once it errors; bound our writes so a
         // full socket buffer can never turn this test into a hang.
         client
@@ -498,8 +919,8 @@ mod tests {
 
     #[test]
     fn header_count_is_bounded() {
-        let (mut client, mut server) = pair();
-        let reader = std::thread::spawn(move || read_request(&mut server));
+        let (mut client, server) = pair();
+        let reader = std::thread::spawn(move || read_one(server));
         let _ = client.write_all(b"GET / HTTP/1.1\r\n");
         for i in 0..(MAX_HEADERS + 8) {
             if client
@@ -515,14 +936,14 @@ mod tests {
 
     #[test]
     fn huge_chunk_size_is_rejected_without_overflow() {
-        let (mut client, mut server) = pair();
+        let (client, mut server) = pair();
         let writer = std::thread::spawn(move || {
             // A malformed chunked response claiming a ~usize::MAX chunk.
             let _ = server.write_all(
                 b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\nffffffffffffffff\r\n",
             );
         });
-        let err = read_response(&mut client).unwrap_err();
+        let err = HttpConnection::new(client).read_response().unwrap_err();
         writer.join().unwrap();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
     }

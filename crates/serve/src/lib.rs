@@ -64,4 +64,4 @@ pub use protocol::{
     SubmitReply,
 };
 pub use registry::{AdmitError, Registry, RETAINED_TERMINAL_JOBS};
-pub use server::{ServeConfig, Server, DEFAULT_PORT};
+pub use server::{ServeConfig, Server, ShutdownHandle, DEFAULT_PORT};

@@ -386,9 +386,11 @@ impl Registry {
     ///
     /// Queued jobs transition to [`JobStatus::Cancelled`] immediately and
     /// never run. For running jobs cancellation is cooperative: the token
-    /// is set, but a single job mid-flow runs to completion (the engine
-    /// checks tokens between jobs) — the returned status stays `Running`
-    /// and the job finishes normally.
+    /// is set and the engine observes it at the flow's stage boundaries
+    /// (probabilities → search → synthesis → simulation), so the job stops
+    /// at the next boundary rather than running to completion. The status
+    /// returned *here* still says `Running`; it flips to `Cancelled` once
+    /// the worker reports back.
     pub fn cancel(&self, id: u64) -> Option<StatusReply> {
         let mut inner = self.lock();
         let record = inner.jobs.get_mut(&id)?;

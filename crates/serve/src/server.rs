@@ -49,7 +49,7 @@ use domino_engine::{
     CircuitSource, EngineConfig, EngineError, FlowEngine, FlowJob, JobResult, JobSpec, ResultCache,
 };
 
-use crate::http::{read_request, write_response, ChunkedWriter, Request};
+use crate::http::{serve_connection, ConnectionPolicy, HttpConnection, Request, Served};
 use crate::protocol::{CacheCounters, ErrorReply, JobStatus};
 use crate::registry::{AdmitError, Registry};
 
@@ -65,6 +65,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Shared result cache; `None` disables caching.
     pub cache: Option<Arc<ResultCache>>,
+    /// Milliseconds a kept-alive connection may idle between requests
+    /// before the server closes it.
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before the server forces
+    /// `Connection: close`.
+    pub max_requests_per_connection: u32,
 }
 
 impl Default for ServeConfig {
@@ -74,22 +80,28 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 64,
             cache: None,
+            idle_timeout_ms: 10_000,
+            max_requests_per_connection: 1024,
         }
     }
 }
 
 impl ServeConfig {
     /// Parses the server CLI flags (`--addr`, `--workers`, `--queue`,
-    /// `--cache`) shared by `dominod` and `dominoc serve`, so the two
+    /// `--cache`, `--cache-mem-entries`, `--cache-disk-bytes`,
+    /// `--idle-ms`) shared by `dominod` and `dominoc serve`, so the two
     /// entry points cannot drift.
     ///
     /// # Errors
     ///
     /// A rendered usage message for unknown flags, missing values,
-    /// non-integer counts, a zero queue capacity, or an unusable cache
-    /// directory.
+    /// non-integer counts, a zero queue capacity, cache budgets without a
+    /// cache, or an unusable cache directory.
     pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
         let mut config = ServeConfig::default();
+        let mut cache_dir: Option<String> = None;
+        let mut cache_mem_entries: usize = 0;
+        let mut cache_disk_bytes: u64 = 0;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -112,13 +124,42 @@ impl ServeConfig {
                         return Err("--queue must be at least 1".to_string());
                     }
                 }
-                "--cache" => {
-                    let dir = value("--cache")?;
-                    let cache = ResultCache::on_disk(&dir).map_err(|e| e.to_string())?;
-                    config.cache = Some(Arc::new(cache));
+                "--cache" => cache_dir = Some(value("--cache")?),
+                "--cache-mem-entries" => {
+                    cache_mem_entries = value("--cache-mem-entries")?
+                        .parse()
+                        .map_err(|_| "--cache-mem-entries needs an integer".to_string())?;
+                }
+                "--cache-disk-bytes" => {
+                    cache_disk_bytes = value("--cache-disk-bytes")?
+                        .parse()
+                        .map_err(|_| "--cache-disk-bytes needs an integer".to_string())?;
+                }
+                "--idle-ms" => {
+                    config.idle_timeout_ms = value("--idle-ms")?
+                        .parse()
+                        .map_err(|_| "--idle-ms needs an integer".to_string())?;
+                    if config.idle_timeout_ms == 0 {
+                        return Err("--idle-ms must be at least 1".to_string());
+                    }
                 }
                 other => return Err(format!("unknown server option '{other}'")),
             }
+        }
+        // The cache is built last so the budget flags work in any order
+        // relative to `--cache`.
+        match cache_dir {
+            Some(dir) => {
+                let cache = ResultCache::on_disk(&dir)
+                    .map_err(|e| e.to_string())?
+                    .with_memory_entry_budget(cache_mem_entries)
+                    .with_disk_byte_budget(cache_disk_bytes);
+                config.cache = Some(Arc::new(cache));
+            }
+            None if cache_mem_entries != 0 || cache_disk_bytes != 0 => {
+                return Err("cache budget flags require --cache".to_string());
+            }
+            None => {}
         }
         Ok(config)
     }
@@ -208,6 +249,7 @@ struct Shared {
     started: Instant,
     workers: usize,
     addr: SocketAddr,
+    policy: ConnectionPolicy,
 }
 
 impl Shared {
@@ -308,6 +350,10 @@ impl Server {
             started: Instant::now(),
             workers,
             addr,
+            policy: ConnectionPolicy {
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                max_requests: config.max_requests_per_connection.max(1),
+            },
         });
 
         let accept_handle = {
@@ -338,6 +384,15 @@ impl Server {
     /// `POST /shutdown`).
     pub fn request_shutdown(&self) {
         self.shared.begin_shutdown();
+    }
+
+    /// A cloneable handle that can request this server's shutdown from
+    /// another thread — the hook a signal watcher (SIGTERM/SIGINT) uses
+    /// to turn a kill into a graceful drain.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Blocks until shutdown is requested (by [`Server::request_shutdown`]
@@ -404,6 +459,28 @@ impl Server {
     }
 }
 
+/// A detached shutdown trigger for a running [`Server`] (see
+/// [`Server::shutdown_handle`]). Cloneable and `Send`: hand it to a
+/// signal-watcher thread, keep the `Server` itself on the main thread
+/// for [`Server::wait`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle").finish()
+    }
+}
+
+impl ShutdownHandle {
+    /// Requests graceful shutdown (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
@@ -461,28 +538,22 @@ impl Drop for ConnectionGuard<'_> {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     shared
         .active_connections
         .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
     let _guard = ConnectionGuard(shared);
-    // A silent peer must not pin a handler thread forever — in either
-    // direction: reads for a client that never sends its request, writes
-    // for one that stops draining its socket mid-response.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // A peer that stops draining its socket mid-response must not pin a
+    // handler thread forever. (Read deadlines are managed per-request by
+    // the connection state machine: the idle timeout between requests,
+    // error-on-stall within one.)
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let request = match read_request(&mut stream) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(e) => {
-            let body = ErrorReply::new(format!("bad request: {e}"))
-                .to_json()
-                .serialize();
-            let _ = write_response(&mut stream, 400, &[], body.as_bytes());
-            return;
-        }
-    };
-    let _ = route(&mut stream, &request, shared);
+    serve_connection(stream, &shared.policy, |conn, request, keep_alive| {
+        // A draining server answers the in-flight request, then closes —
+        // keeping connections open would stall the drain.
+        let keep_alive = keep_alive && !shared.is_shutting_down();
+        route(conn, request, shared, keep_alive)
+    });
 }
 
 /// Splits `/jobs/42[/tail]` into the id and the remainder.
@@ -495,7 +566,12 @@ fn job_path(path: &str) -> Option<(u64, &str)> {
     Some((id.parse().ok()?, tail))
 }
 
-fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) -> io::Result<()> {
+fn route(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<Shared>,
+    ka: bool,
+) -> io::Result<Served> {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
@@ -508,7 +584,8 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) -> io:
                 ),
                 ("draining", Json::Bool(shared.is_shutting_down())),
             ]);
-            write_response(stream, 200, &[], body.serialize().as_bytes())
+            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
         }
         ("GET", "/metrics") => {
             let reply = shared.registry.metrics(
@@ -516,57 +593,133 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) -> io:
                 shared.started.elapsed().as_millis() as u64,
                 shared.cache_counters(),
             );
-            write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+            conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
         }
-        ("POST", "/jobs") => handle_submit(stream, request, shared),
+        ("POST", "/jobs") => handle_submit(conn, request, shared, ka),
         ("POST", "/shutdown") => {
             let body = Json::obj(vec![("status", Json::Str("shutting-down".into()))]);
-            write_response(stream, 200, &[], body.serialize().as_bytes())?;
+            conn.write_response(200, &[], body.serialize().as_bytes(), false)?;
             shared.begin_shutdown();
-            Ok(())
+            Ok(Served::Close)
+        }
+        ("GET", _) if path.starts_with("/cache/peek/") => {
+            handle_cache_peek(conn, shared, &path["/cache/peek/".len()..], ka)
+        }
+        ("POST", _) if path.starts_with("/cache/fill/") => {
+            handle_cache_fill(conn, request, shared, &path["/cache/fill/".len()..], ka)
         }
         _ => match job_path(path) {
-            Some((id, "")) if method == "GET" => handle_status(stream, request, shared, id),
+            Some((id, "")) if method == "GET" => handle_status(conn, request, shared, id, ka),
             Some((id, "")) if method == "DELETE" => match shared.registry.cancel(id) {
                 Some(reply) => {
-                    write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+                    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
+                    Ok(alive(ka))
                 }
-                None => not_found(stream, id),
+                None => not_found(conn, id, ka),
             },
-            Some((id, "result")) if method == "GET" => handle_result(stream, request, shared, id),
-            Some((id, "events")) if method == "GET" => handle_events(stream, shared, id),
+            Some((id, "result")) if method == "GET" => handle_result(conn, request, shared, id, ka),
+            Some((id, "events")) if method == "GET" => handle_events(conn, shared, id, ka),
             // A known sub-path with the wrong method is 405; an unknown
             // sub-path is 404 — don't misdiagnose a path typo as a method
             // error.
-            Some((_, "" | "result" | "events")) => error_reply(stream, 405, "method not allowed"),
+            Some((_, "" | "result" | "events")) => error_reply(conn, 405, "method not allowed", ka),
             Some(_) | None => {
-                error_reply(stream, 404, &format!("no such endpoint: {method} {path}"))
+                error_reply(conn, 404, &format!("no such endpoint: {method} {path}"), ka)
             }
         },
     }
 }
 
-fn handle_submit(
-    stream: &mut TcpStream,
+/// The routine "response written with this keep-alive flag" outcome.
+fn alive(ka: bool) -> Served {
+    if ka {
+        Served::KeepAlive
+    } else {
+        Served::Close
+    }
+}
+
+/// `GET /cache/peek/:key` — the read half of cache peering: answers with
+/// the cached outcome's canonical bytes, or 404. The lookup is
+/// count-silent ([`ResultCache::peek`]) so fleet-side probing does not
+/// distort this node's hit/miss accounting.
+fn handle_cache_peek(
+    conn: &mut HttpConnection,
+    shared: &Arc<Shared>,
+    key: &str,
+    ka: bool,
+) -> io::Result<Served> {
+    match shared.cache.as_ref().and_then(|cache| cache.peek(key)) {
+        Some(outcome) => {
+            conn.write_response(200, &[], outcome.to_json().serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
+        }
+        None => error_reply(conn, 404, &format!("no cache entry: {key}"), ka),
+    }
+}
+
+/// `POST /cache/fill/:key` — the write half of cache peering: a peer (or
+/// the gateway, relaying a peer's entry) hands this node an outcome it
+/// computed, so the next submission for that key is answered warm here.
+/// The body must be a complete serialized outcome whose own `key` field
+/// matches the path — a guard against cross-wiring two jobs' results.
+fn handle_cache_fill(
+    conn: &mut HttpConnection,
     request: &Request,
     shared: &Arc<Shared>,
-) -> io::Result<()> {
+    key: &str,
+    ka: bool,
+) -> io::Result<Served> {
+    let Some(cache) = &shared.cache else {
+        return error_reply(conn, 404, "no cache configured", ka);
+    };
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_reply(conn, 400, "body is not UTF-8", ka);
+    };
+    let outcome = match domino_engine::FlowOutcome::from_json_text(text) {
+        Ok(outcome) => outcome,
+        Err(e) => return error_reply(conn, 400, &format!("invalid outcome: {e}"), ka),
+    };
+    if outcome.key != key {
+        return error_reply(
+            conn,
+            400,
+            &format!(
+                "outcome key '{}' does not match path key '{key}'",
+                outcome.key
+            ),
+            ka,
+        );
+    }
+    cache.put(key, &outcome);
+    let body = Json::obj(vec![("status", Json::Str("filled".into()))]);
+    conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
+    Ok(alive(ka))
+}
+
+fn handle_submit(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<Shared>,
+    ka: bool,
+) -> io::Result<Served> {
     if shared.is_shutting_down() {
-        return error_reply(stream, 503, "server is draining for shutdown");
+        return error_reply(conn, 503, "server is draining for shutdown", ka);
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_reply(stream, 400, "body is not UTF-8");
+        return error_reply(conn, 400, "body is not UTF-8", ka);
     };
     let spec = match parse(text)
         .map_err(|e| e.to_string())
         .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
     {
         Ok(spec) => spec,
-        Err(e) => return error_reply(stream, 400, &format!("invalid job spec: {e}")),
+        Err(e) => return error_reply(conn, 400, &format!("invalid job spec: {e}"), ka),
     };
     let job = match shared.resolve_memo.resolve(spec) {
         Ok(job) => job,
-        Err(e) => return error_reply(stream, 400, &format!("unresolvable job: {e}")),
+        Err(e) => return error_reply(conn, 400, &format!("unresolvable job: {e}"), ka),
     };
     // Admission-time cache check: a warm submission is answered right
     // here — no queue slot, no worker round trip. `probe` counts the hit
@@ -580,12 +733,15 @@ fn handle_submit(
                 .registry
                 .admit_completed(&job, outcome.to_json().serialize())
             {
-                Ok(reply) if request.wants_wait() => respond_with_outcome(stream, shared, reply.id),
+                Ok(reply) if request.wants_wait() => {
+                    respond_with_outcome(conn, shared, reply.id, ka)
+                }
                 // 200, not 202: the work is already done.
                 Ok(reply) => {
-                    write_response(stream, 200, &[], reply.to_json().serialize().as_bytes())
+                    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
+                    Ok(alive(ka))
                 }
-                Err(_) => error_reply(stream, 503, "server is draining for shutdown"),
+                Err(_) => error_reply(conn, 503, "server is draining for shutdown", ka),
             };
         }
     }
@@ -599,76 +755,100 @@ fn handle_submit(
             // client gets its outcome even mid-drain (wait() holds the
             // process for counted connections).
             shared.registry.wait_done(reply.id);
-            respond_with_outcome(stream, shared, reply.id)
+            respond_with_outcome(conn, shared, reply.id, ka)
         }
-        Ok(reply) => write_response(stream, 202, &[], reply.to_json().serialize().as_bytes()),
+        Ok(reply) => {
+            conn.write_response(202, &[], reply.to_json().serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
+        }
         Err(AdmitError::Full { depth }) => {
             let body = ErrorReply::new(format!("queue full: {depth} jobs waiting"))
                 .to_json()
                 .serialize();
-            write_response(stream, 429, &[("retry-after", "1")], body.as_bytes())
+            conn.write_response(429, &[("retry-after", "1")], body.as_bytes(), ka)?;
+            Ok(alive(ka))
         }
-        Err(AdmitError::Draining) => error_reply(stream, 503, "server is draining for shutdown"),
+        Err(AdmitError::Draining) => error_reply(conn, 503, "server is draining for shutdown", ka),
     }
 }
 
 fn handle_status(
-    stream: &mut TcpStream,
+    conn: &mut HttpConnection,
     request: &Request,
     shared: &Arc<Shared>,
     id: u64,
-) -> io::Result<()> {
+    ka: bool,
+) -> io::Result<Served> {
     let reply = if request.wants_wait() {
         shared.registry.wait_terminal(id)
     } else {
         shared.registry.status(id)
     };
     match reply {
-        Some(reply) => write_response(stream, 200, &[], reply.to_json().serialize().as_bytes()),
-        None => not_found(stream, id),
+        Some(reply) => {
+            conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
+            Ok(alive(ka))
+        }
+        None => not_found(conn, id, ka),
     }
 }
 
 fn handle_result(
-    stream: &mut TcpStream,
+    conn: &mut HttpConnection,
     request: &Request,
     shared: &Arc<Shared>,
     id: u64,
-) -> io::Result<()> {
+    ka: bool,
+) -> io::Result<Served> {
     if request.wants_wait() && !shared.registry.wait_done(id) {
-        return not_found(stream, id);
+        return not_found(conn, id, ka);
     }
-    respond_with_outcome(stream, shared, id)
+    respond_with_outcome(conn, shared, id, ka)
 }
 
 /// Answers with the job's stored outcome bytes (the byte-identity path),
 /// or the appropriate error for failed/cancelled/unfinished jobs.
-fn respond_with_outcome(stream: &mut TcpStream, shared: &Arc<Shared>, id: u64) -> io::Result<()> {
+fn respond_with_outcome(
+    conn: &mut HttpConnection,
+    shared: &Arc<Shared>,
+    id: u64,
+    ka: bool,
+) -> io::Result<Served> {
     match shared.registry.outcome_text(id) {
-        None => not_found(stream, id),
+        None => not_found(conn, id, ka),
         Some((JobStatus::Completed, Some(text), _)) => {
             // The engine's exact bytes: this is the byte-identity endpoint.
-            write_response(stream, 200, &[], text.as_bytes())
+            conn.write_response(200, &[], text.as_bytes(), ka)?;
+            Ok(alive(ka))
         }
         Some((JobStatus::Failed, _, error)) => error_reply(
-            stream,
+            conn,
             502,
             &format!("job failed: {}", error.unwrap_or_default()),
+            ka,
         ),
-        Some((JobStatus::Cancelled, _, _)) => error_reply(stream, 409, "job was cancelled"),
+        Some((JobStatus::Cancelled, _, _)) => error_reply(conn, 409, "job was cancelled", ka),
         Some((status, _, _)) => error_reply(
-            stream,
+            conn,
             409,
             &format!("job not finished (status: {status}); use ?wait=1 to block"),
+            ka,
         ),
     }
 }
 
-fn handle_events(stream: &mut TcpStream, shared: &Arc<Shared>, id: u64) -> io::Result<()> {
+fn handle_events(
+    conn: &mut HttpConnection,
+    shared: &Arc<Shared>,
+    id: u64,
+    ka: bool,
+) -> io::Result<Served> {
     if shared.registry.status(id).is_none() {
-        return not_found(stream, id);
+        return not_found(conn, id, ka);
     }
-    let mut writer = ChunkedWriter::begin(stream, 200)?;
+    // Chunked streams are `Connection: close` by construction: the
+    // stream's end IS the connection's end.
+    let mut writer = conn.begin_chunked(200)?;
     let mut next_seq = 0u64;
     // The stream always ends with the job's terminal event — including
     // through a shutdown, since the drain terminates every admitted job.
@@ -683,14 +863,21 @@ fn handle_events(stream: &mut TcpStream, shared: &Arc<Shared>, id: u64) -> io::R
             break;
         }
     }
-    writer.finish()
+    writer.finish()?;
+    Ok(Served::Close)
 }
 
-fn not_found(stream: &mut TcpStream, id: u64) -> io::Result<()> {
-    error_reply(stream, 404, &format!("no such job: {id}"))
+fn not_found(conn: &mut HttpConnection, id: u64, ka: bool) -> io::Result<Served> {
+    error_reply(conn, 404, &format!("no such job: {id}"), ka)
 }
 
-fn error_reply(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+fn error_reply(
+    conn: &mut HttpConnection,
+    status: u16,
+    message: &str,
+    ka: bool,
+) -> io::Result<Served> {
     let body = ErrorReply::new(message).to_json().serialize();
-    write_response(stream, status, &[], body.as_bytes())
+    conn.write_response(status, &[], body.as_bytes(), ka)?;
+    Ok(alive(ka))
 }

@@ -212,6 +212,78 @@ fn full_queue_backpressures_and_drops_nothing() {
 }
 
 #[test]
+fn cache_peering_warms_a_cold_node() {
+    let cache_a = Arc::new(ResultCache::in_memory());
+    let cache_b = Arc::new(ResultCache::in_memory());
+    let (server_a, client_a) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: Some(Arc::clone(&cache_a)),
+        ..ServeConfig::default()
+    });
+    let (server_b, client_b) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        cache: Some(Arc::clone(&cache_b)),
+        ..ServeConfig::default()
+    });
+
+    // Node A computes an outcome the normal way.
+    let spec = public_specs().remove(0);
+    let admitted = client_a.submit(&spec).expect("admitted");
+    assert_eq!(
+        client_a.status(admitted.id, true).expect("terminal").status,
+        JobStatus::Completed
+    );
+    let bytes = client_a.result(admitted.id, false).expect("stored");
+
+    // Peek answers the exact stored bytes without touching the hit/miss
+    // accounting (gateway probing must not distort the node's stats).
+    let stats_before = cache_a.stats();
+    let peeked = client_a
+        .cache_peek(&admitted.key)
+        .expect("peek works")
+        .expect("node A holds the entry");
+    assert_eq!(peeked, bytes, "peek serves the stored bytes verbatim");
+    let stats_after = cache_a.stats();
+    assert_eq!(stats_after.hits(), stats_before.hits(), "peek is silent");
+    assert_eq!(stats_after.misses, stats_before.misses, "peek is silent");
+
+    // Node B has never seen the key.
+    assert_eq!(
+        client_b.cache_peek(&admitted.key).expect("peek works"),
+        None
+    );
+
+    // Peer-fill node B; an identical submission there is now a pure cache
+    // hit — byte-identical result, zero recomputation.
+    client_b
+        .cache_fill(&admitted.key, &peeked)
+        .expect("fill accepted");
+    let warm = client_b.submit(&spec).expect("admitted");
+    assert_eq!(warm.key, admitted.key, "same spec, same routing key");
+    let status = client_b.status(warm.id, true).expect("terminal");
+    assert_eq!(status.status, JobStatus::Completed);
+    assert_eq!(status.cached, Some(true), "peer-warmed node served cached");
+    assert_eq!(client_b.result(warm.id, false).expect("stored"), bytes);
+    assert_eq!(
+        cache_b.stats().misses,
+        0,
+        "peer-warmed node recomputed nothing"
+    );
+
+    // A fill whose outcome does not match the key is rejected: peering
+    // must not be able to poison a node's cache.
+    match client_b.cache_fill("00000000000000000000000000000000", &peeked) {
+        Err(ClientError::Api { status: 400, .. }) => {}
+        other => panic!("expected 400 for key mismatch, got {other:?}"),
+    }
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+#[test]
 fn event_stream_delivers_dense_lifecycle_and_terminates() {
     let (server, client) = start_server(ServeConfig {
         workers: 1,
@@ -262,13 +334,15 @@ fn malformed_requests_get_4xx_not_silence() {
     stream
         .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 8\r\n\r\nnot json")
         .unwrap();
-    let response = domino_serve::http::read_response(&mut stream).unwrap();
+    let mut conn = domino_serve::http::HttpConnection::new(stream);
+    let response = conn.read_response().unwrap();
     assert_eq!(response.status, 400);
 
     // An unknown endpoint.
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
     stream.write_all(b"GET /nonesuch HTTP/1.1\r\n\r\n").unwrap();
-    let response = domino_serve::http::read_response(&mut stream).unwrap();
+    let mut conn = domino_serve::http::HttpConnection::new(stream);
+    let response = conn.read_response().unwrap();
     assert_eq!(response.status, 404);
 
     // A spec naming an unknown suite row fails at resolve time.

@@ -18,6 +18,7 @@
 //! | [`workloads`] | `domino-workloads` | benchmark circuits and paper figure examples |
 //! | [`engine`] | `domino-engine` | parallel batch flow engine, content-addressed result cache |
 //! | [`serve`] | `domino-serve` | `dominod` phase-assignment server, wire protocol, `dominoc` CLI |
+//! | [`fleet`] | `domino-fleet` | `dominogw` consistent-hash gateway, backend pools, cache peering |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 
 pub use domino_bdd as bdd;
 pub use domino_engine as engine;
+pub use domino_fleet as fleet;
 pub use domino_netlist as netlist;
 pub use domino_phase as phase;
 pub use domino_serve as serve;
