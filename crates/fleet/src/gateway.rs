@@ -404,7 +404,13 @@ impl Gateway {
                 let _ = handle.join();
             }
         }
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0 {
+        // Bounded grace for in-flight relays, like `Server::wait`: a
+        // connection pinned by an event stream whose backend died
+        // uncleanly could otherwise hang the shutdown forever.
+        let grace = Instant::now();
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0
+            && grace.elapsed() < Duration::from_secs(10)
+        {
             std::thread::sleep(Duration::from_millis(5));
         }
         if let Some(handle) = self.prober_handle.take() {
@@ -648,12 +654,17 @@ fn handle_submit(
 
     // Cache peering: if the home is cold for this key but a peer is warm,
     // fill the home before routing — the submit below is then answered
-    // from the home's cache instead of recomputing.
+    // from the home's cache instead of recomputing. Peering is pure
+    // opportunism on the control-plane client (short I/O timeout, see
+    // `CONTROL_IO_TIMEOUT`): a home peek that *errors* (as opposed to a
+    // confirmed miss) skips peering entirely, and a slow or half-up peer
+    // costs the cold path at most the control timeout, never the data
+    // plane's 30 s.
     if ranked.len() > 1 {
-        if let Ok(None) = ranked[0].client().cache_peek(&key) {
+        if let Ok(None) = ranked[0].control_client().cache_peek(&key) {
             for peer in &ranked[1..] {
-                if let Ok(Some(bytes)) = peer.client().cache_peek(&key) {
-                    if ranked[0].client().cache_fill(&key, &bytes).is_ok() {
+                if let Ok(Some(bytes)) = peer.control_client().cache_peek(&key) {
+                    if ranked[0].control_client().cache_fill(&key, &bytes).is_ok() {
                         shared.peer_fills.fetch_add(1, Ordering::Relaxed);
                     }
                     break;
@@ -845,16 +856,23 @@ fn handle_events(
         Err(e) => return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka),
     }
     let mut writer = conn.begin_chunked(200)?;
+    let mut relay_failed = false;
     let streamed = backend.client().events(backend_id, |event| {
+        if relay_failed {
+            return;
+        }
         let mut event = event.clone();
         event.id = gw_id;
         let line = format!("{}\n", event.to_json().serialize());
-        let _ = writer.chunk(line.as_bytes());
+        relay_failed = writer.chunk(line.as_bytes()).is_err();
     });
-    writer.finish()?;
-    if streamed.is_err() {
-        // The head was already sent; all we can do is end the stream.
-        return Ok(Served::Close);
+    // Write the terminating zero-length chunk only for a stream that
+    // ended cleanly AND whose every event reached the caller. A backend
+    // stream that died mid-relay must leave the caller's stream visibly
+    // truncated — terminating it would forge a complete-looking stream
+    // missing its terminal event.
+    if streamed.is_ok() && !relay_failed {
+        writer.finish()?;
     }
     Ok(Served::Close)
 }

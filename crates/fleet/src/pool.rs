@@ -10,11 +10,20 @@ use domino_serve::ServeClient;
 
 use crate::hash;
 
+/// I/O bound for control-plane traffic (health probes, cache peek/fill
+/// peering): connect, read and write each complete within this or the
+/// call fails. Far below the data-plane client's 30 s read timeout — a
+/// half-up backend (accepts TCP, never answers) must cost the routing
+/// path at most this long, not serialize every cold submission behind a
+/// 30 s stall per peer.
+pub const CONTROL_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// One `dominod` backend as the gateway sees it.
 #[derive(Debug)]
 pub struct Backend {
     addr: String,
     client: ServeClient,
+    control_client: ServeClient,
     healthy: AtomicBool,
     /// Times this backend was marked down (probe failure or routing-time
     /// connect failure).
@@ -24,9 +33,11 @@ pub struct Backend {
 impl Backend {
     fn new(addr: String) -> Self {
         let client = ServeClient::new(addr.clone());
+        let control_client = ServeClient::with_io_timeout(addr.clone(), CONTROL_IO_TIMEOUT);
         Backend {
             addr,
             client,
+            control_client,
             // Optimistic start: the first probe (or first routed request)
             // corrects it. Starting pessimistic would reject the whole
             // fleet's traffic until a probe cycle completes.
@@ -40,9 +51,16 @@ impl Backend {
         &self.addr
     }
 
-    /// The kept-alive client for this backend.
+    /// The kept-alive client for this backend (data plane: forwarded
+    /// requests, relayed event streams).
     pub fn client(&self) -> &ServeClient {
         &self.client
+    }
+
+    /// The [`CONTROL_IO_TIMEOUT`]-bounded client for this backend
+    /// (control plane: health probes, cache peek/fill peering).
+    pub fn control_client(&self) -> &ServeClient {
+        &self.control_client
     }
 
     /// Whether the last contact (probe or routed request) succeeded.
@@ -64,7 +82,7 @@ impl Backend {
     }
 
     fn probe(&self) {
-        match self.client.healthz() {
+        match self.control_client.healthz() {
             Ok(_) => {
                 self.healthy.store(true, Ordering::SeqCst);
             }

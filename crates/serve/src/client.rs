@@ -6,12 +6,18 @@
 //! requests (`Connection: keep-alive`), falling back transparently to a
 //! fresh connection when the pooled one has gone stale — a server may
 //! close an idle connection at any time, and the retry makes that
-//! invisible to callers. Blocking requests (`?wait=1`, event streams)
-//! always use a dedicated single-request connection so an
-//! arbitrarily-long job cannot pin the pooled one. Connection failures
-//! are distinguished from job failures so the CLI can exit with distinct
-//! codes: a refused/unreachable server is [`ClientError::Unreachable`], a
-//! job that ran and failed is [`ClientError::Api`].
+//! invisible to callers. The retry fires only when the request provably
+//! never reached the server (the write failed, or the server closed
+//! before sending any response byte); a failure after that — a read
+//! timeout, a reset mid-response — is surfaced as an error, because the
+//! server may already be processing the request and a blind resend could
+//! double-submit a job. Blocking requests (`?wait=1`/`?wait=true`
+//! anywhere in the query string, event streams) always use a dedicated
+//! single-request connection so an arbitrarily-long job cannot pin the
+//! pooled one. Connection failures are distinguished from job failures
+//! so the CLI can exit with distinct codes: a refused/unreachable server
+//! is [`ClientError::Unreachable`], a job that ran and failed is
+//! [`ClientError::Api`].
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,9 +75,17 @@ impl std::error::Error for ClientError {}
 pub struct ServeClient {
     addr: String,
     reuse: bool,
+    /// When set, bounds connect, reads and writes — control-plane
+    /// clients (probes, cache peering) use this so a half-up peer
+    /// cannot stall them for the default 30 s read timeout.
+    io_timeout: Option<Duration>,
     pool: Arc<Mutex<Option<HttpConnection>>>,
     reuses: Arc<AtomicU64>,
 }
+
+/// Read timeout for immediate (non-blocking) requests on a default
+/// client; blocking requests (`?wait=1`, event streams) are untimed.
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 impl ServeClient {
     /// A keep-alive client for the server at `addr` (e.g.
@@ -80,6 +94,7 @@ impl ServeClient {
         ServeClient {
             addr: addr.into(),
             reuse: true,
+            io_timeout: None,
             pool: Arc::new(Mutex::new(None)),
             reuses: Arc::new(AtomicU64::new(0)),
         }
@@ -91,6 +106,18 @@ impl ServeClient {
     pub fn without_keep_alive(addr: impl Into<String>) -> Self {
         ServeClient {
             reuse: false,
+            ..ServeClient::new(addr)
+        }
+    }
+
+    /// A keep-alive client whose connect, reads and writes are all
+    /// bounded by `timeout` — for control-plane traffic (health probes,
+    /// cache peek/fill peering) that must stay fast even against a
+    /// half-up peer that accepts TCP but never answers. Blocking
+    /// requests are still untimed on reads, as on a default client.
+    pub fn with_io_timeout(addr: impl Into<String>, timeout: Duration) -> Self {
+        ServeClient {
+            io_timeout: Some(timeout),
             ..ServeClient::new(addr)
         }
     }
@@ -112,16 +139,46 @@ impl ServeClient {
     /// and a job may queue and run for arbitrarily long — while immediate
     /// requests keep a timeout so a wedged server cannot hang the CLI.
     fn connect(&self, blocking: bool) -> Result<HttpConnection, ClientError> {
-        let stream = std::net::TcpStream::connect(&self.addr)
-            .map_err(|e| ClientError::Unreachable(format!("{}: {e}", self.addr)))?;
+        let unreach =
+            |e: &dyn fmt::Display| ClientError::Unreachable(format!("{}: {e}", self.addr));
+        let stream = match self.io_timeout {
+            None => std::net::TcpStream::connect(&self.addr).map_err(|e| unreach(&e))?,
+            // Bounded connect: try each resolved address under the
+            // budget, so a peer whose SYN queue accepts but never
+            // completes the handshake cannot stall the caller.
+            Some(limit) => {
+                use std::net::ToSocketAddrs;
+                let addrs = self.addr.to_socket_addrs().map_err(|e| unreach(&e))?;
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for addr in addrs {
+                    match std::net::TcpStream::connect_timeout(&addr, limit) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| match &last {
+                    Some(e) => unreach(e),
+                    None => unreach(&"address resolved to nothing"),
+                })?
+            }
+        };
         let timeout = if blocking {
             None
         } else {
-            Some(Duration::from_secs(30))
+            Some(self.io_timeout.unwrap_or(DEFAULT_READ_TIMEOUT))
         };
         stream
             .set_read_timeout(timeout)
             .map_err(|e| ClientError::Io(e.to_string()))?;
+        if let Some(limit) = self.io_timeout {
+            stream
+                .set_write_timeout(Some(limit))
+                .map_err(|e| ClientError::Io(e.to_string()))?;
+        }
         Ok(HttpConnection::new(stream))
     }
 
@@ -157,9 +214,13 @@ impl ServeClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<Response, ClientError> {
-        // A `?wait=1` request blocks until the job is terminal; it gets a
-        // dedicated connection so it cannot pin the pooled one.
-        let blocking = path.ends_with("wait=1");
+        // A `?wait=1` / `?wait=true` request blocks until the job is
+        // terminal; it gets a dedicated connection so it cannot pin the
+        // pooled one. Decided by the same query parsing as the server's
+        // `Request::wants_wait` — proxied targets (the gateway forwards
+        // its caller's target verbatim) may carry `wait` in any position
+        // and either spelling.
+        let blocking = crate::http::target_wants_wait(path);
         if blocking || !self.reuse {
             let mut conn = self.connect(blocking)?;
             let response = self
@@ -167,22 +228,40 @@ impl ServeClient {
                 .map_err(|e| ClientError::Io(e.to_string()))?;
             return Ok(response);
         }
-        // Keep-alive path: try the pooled connection first. A stale pooled
-        // connection (closed by the server's idle timeout between our
-        // requests) surfaces as an I/O error before any response byte;
-        // retry exactly once on a fresh connection. A fresh connection's
-        // failure is NOT retried — that is a real error.
+        // Keep-alive path: try the pooled connection first, retrying
+        // exactly once on a fresh connection when the pooled one has gone
+        // stale. For idempotent methods (GET/DELETE) any pooled failure
+        // is retried — re-asking is harmless. A non-idempotent request
+        // (`POST /jobs` admits a job) is retried only when it provably
+        // never reached the server's handler:
+        //
+        // * the write itself failed (the request never fully left), or
+        // * the server closed cleanly before sending any response byte —
+        //   it idle-closed the pooled connection without reading the
+        //   request (this protocol's servers always answer a request they
+        //   processed).
+        //
+        // Any later failure (read timeout, reset mid-response) may mean
+        // the server is processing, or already processed, the request;
+        // resending could then double-submit, so those surface as errors
+        // instead. A fresh connection's failure is never retried — that
+        // is a real error.
+        let idempotent = matches!(method, "GET" | "DELETE");
         let pooled = self.pool.lock().expect("client pool").take();
         if let Some(mut conn) = pooled {
-            match self.exchange(&mut conn, method, path, body, true) {
-                Ok(response) => {
-                    self.reuses.fetch_add(1, Ordering::Relaxed);
-                    self.repool(conn, &response);
-                    return Ok(response);
-                }
-                Err(_stale) => {
-                    // Fall through to a fresh connection.
-                }
+            match conn.write_request(&self.addr, method, path, body, true) {
+                // Stale pool: fall through to a fresh connection.
+                Err(_never_sent) => {}
+                Ok(()) => match conn.read_response() {
+                    Ok(response) => {
+                        self.reuses.fetch_add(1, Ordering::Relaxed);
+                        self.repool(conn, &response);
+                        return Ok(response);
+                    }
+                    // Stale pool: fall through to a fresh connection.
+                    Err(e) if idempotent || crate::http::closed_before_response(&e) => {}
+                    Err(e) => return Err(ClientError::Io(format!("pooled connection: {e}"))),
+                },
             }
         }
         let mut conn = self.connect(false)?;
@@ -444,4 +523,124 @@ fn check_status(response: &Response) -> Result<(), ClientError> {
         error,
         retry_after: response.header("retry-after").and_then(|v| v.parse().ok()),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::NextRequest;
+    use std::io::Write;
+    use std::net::{Shutdown, TcpListener};
+
+    fn read_request(conn: &mut HttpConnection) -> crate::http::Request {
+        match conn.next_request().expect("request") {
+            NextRequest::Request(request) => request,
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    /// A stale pooled connection whose close the client observes as a
+    /// clean EOF before any response byte is retried transparently, even
+    /// for a non-idempotent POST — the server provably never read the
+    /// request.
+    #[test]
+    fn pooled_post_is_retried_after_clean_eof_before_any_response_byte() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = ServeClient::new(addr);
+        let server = std::thread::spawn(move || {
+            // Exchange 1 primes the pool.
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream);
+            read_request(&mut conn);
+            conn.write_response(200, &[], b"{}", true).unwrap();
+            // Idle-close the pooled connection: FIN without a response.
+            // Only the write side, so the client's unread second request
+            // drains instead of triggering a reset.
+            conn.stream().shutdown(Shutdown::Write).unwrap();
+            // The retry arrives on a fresh connection.
+            let (stream, _) = listener.accept().unwrap();
+            let mut retry_conn = HttpConnection::new(stream);
+            let request = read_request(&mut retry_conn);
+            retry_conn
+                .write_response(200, &[], b"{\"retried\":true}", true)
+                .unwrap();
+            request
+        });
+        assert_eq!(
+            client.forward("POST", "/jobs", Some(b"{}")).unwrap().status,
+            200
+        );
+        let response = client.forward("POST", "/jobs", Some(b"{}")).unwrap();
+        assert_eq!(response.body, b"{\"retried\":true}");
+        let request = server.join().unwrap();
+        assert_eq!(request.method, "POST");
+        // Both answers came over connections that saw no prior response.
+        assert_eq!(client.connection_reuses(), 0);
+    }
+
+    /// A pooled POST whose response *started* and then died must surface
+    /// the failure instead of retrying: the server may have admitted the
+    /// job, and a resend could double-submit it.
+    #[test]
+    fn pooled_post_failure_after_response_started_is_not_retried() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = ServeClient::new(addr);
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream);
+            read_request(&mut conn);
+            conn.write_response(200, &[], b"{}", true).unwrap();
+            // Second request: begin a response, then die mid-body.
+            read_request(&mut conn);
+            conn.stream_mut()
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc")
+                .unwrap();
+            conn.stream().shutdown(Shutdown::Write).unwrap();
+            // No retry may arrive: the listener must stay silent.
+            listener.set_nonblocking(true).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+            assert!(
+                listener.accept().is_err(),
+                "a mid-response failure must not be retried"
+            );
+        });
+        assert_eq!(
+            client.forward("POST", "/jobs", Some(b"{}")).unwrap().status,
+            200
+        );
+        let err = client.forward("POST", "/jobs", Some(b"{}")).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        server.join().unwrap();
+    }
+
+    /// Idempotent requests retry on ANY pooled failure — including the
+    /// abrupt-close flavours (reset races) a clean idle close can
+    /// degrade into.
+    #[test]
+    fn pooled_get_is_retried_after_abrupt_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = ServeClient::new(addr);
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream);
+            read_request(&mut conn);
+            conn.write_response(200, &[], b"{}", true).unwrap();
+            // Full close: depending on timing the client sees EOF or a
+            // reset; a GET must survive either.
+            drop(conn);
+            let (stream, _) = listener.accept().unwrap();
+            let mut retry_conn = HttpConnection::new(stream);
+            read_request(&mut retry_conn);
+            retry_conn
+                .write_response(200, &[], b"{\"ok\":true}", true)
+                .unwrap();
+        });
+        assert_eq!(client.forward("GET", "/metrics", None).unwrap().status, 200);
+        let response = client.forward("GET", "/metrics", None).unwrap();
+        assert_eq!(response.body, b"{\"ok\":true}");
+        server.join().unwrap();
+    }
 }

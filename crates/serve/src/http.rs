@@ -347,7 +347,10 @@ impl HttpConnection {
     ) -> io::Result<Response> {
         let reader = &mut self.reader;
         let Some(line) = read_line_bounded(reader, "status")? else {
-            return Err(bad("connection closed before status line"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                ClosedBeforeResponse,
+            ));
         };
         let status: u16 = line
             .split_whitespace()
@@ -537,6 +540,46 @@ fn bad(message: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.to_string())
 }
 
+/// Marker error payload: the peer closed cleanly before sending any byte
+/// of the response. On a kept-alive connection this is the signature of a
+/// server that idle-closed without reading the request — the one
+/// request/response failure a client may safely retry even for
+/// non-idempotent requests (any later EOF may mean the request was
+/// processed and the response lost).
+#[derive(Debug)]
+pub struct ClosedBeforeResponse;
+
+impl std::fmt::Display for ClosedBeforeResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("connection closed before any response byte")
+    }
+}
+
+impl std::error::Error for ClosedBeforeResponse {}
+
+/// `true` when `e` is the closed-before-any-response-byte failure from
+/// [`HttpConnection::read_response`] (see [`ClosedBeforeResponse`]).
+pub fn closed_before_response(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<ClosedBeforeResponse>())
+}
+
+/// `true` when a raw request target's query string asks for long-poll /
+/// blocking behaviour — the same test as [`Request::wants_wait`], for
+/// callers (like the client's connection pooling) that hold an
+/// unparsed target rather than a [`Request`]. `wait` may appear
+/// anywhere in the query string, as `1` or `true`.
+pub fn target_wants_wait(target: &str) -> bool {
+    let (_, query) = split_target(target);
+    matches!(
+        query
+            .iter()
+            .find(|(k, _)| k == "wait")
+            .map(|(_, v)| v.as_str()),
+        Some("1") | Some("true")
+    )
+}
+
 /// Splits a request target into its path and parsed query pairs.
 fn split_target(target: &str) -> (String, Vec<(String, String)>) {
     match target.split_once('?') {
@@ -696,6 +739,36 @@ mod tests {
         assert_eq!(req.body, b"hello");
         assert_eq!(req.header("host"), Some("t"));
         assert_eq!(req.target(), "/jobs?wait=1&x");
+    }
+
+    #[test]
+    fn target_wants_wait_parses_the_query_like_the_server() {
+        assert!(target_wants_wait("/jobs?wait=1"));
+        assert!(target_wants_wait("/jobs?wait=true"));
+        assert!(target_wants_wait("/jobs?wait=1&x"));
+        assert!(target_wants_wait("/jobs/7/result?a=b&wait=true"));
+        assert!(!target_wants_wait("/jobs"));
+        assert!(!target_wants_wait("/jobs?wait=0"));
+        assert!(!target_wants_wait("/jobs?await=1"));
+        assert!(!target_wants_wait("/jobs?waitx=1"));
+    }
+
+    #[test]
+    fn closed_before_any_response_byte_is_distinguished() {
+        // A clean close before the status line carries the marker...
+        let (client, server) = pair();
+        drop(server);
+        let err = HttpConnection::new(client).read_response().unwrap_err();
+        assert!(closed_before_response(&err));
+        // ...an EOF mid-body (same ErrorKind) does not: the response had
+        // started, so the request was definitely processed.
+        let (client, mut server) = pair();
+        server
+            .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc")
+            .unwrap();
+        drop(server);
+        let err = HttpConnection::new(client).read_response().unwrap_err();
+        assert!(!closed_before_response(&err));
     }
 
     #[test]
