@@ -31,6 +31,40 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 use crate::error::EngineError;
 use crate::job::FlowOutcome;
 
+/// Disk entries are self-checking: `dominocache1 <fnv64hex>\n<payload>`.
+/// The checksum line lets a reader distinguish "complete entry" from
+/// torn/bit-rotted bytes without trusting the JSON parser to notice.
+const ENTRY_MAGIC: &str = "dominocache1 ";
+
+/// Serializes a disk entry: checksum header line, then the payload.
+fn encode_entry(payload: &str) -> String {
+    format!("{ENTRY_MAGIC}{:016x}\n{payload}", fnv1a(payload.as_bytes()))
+}
+
+/// Splits and verifies a disk entry. `None` means corrupt (bad header,
+/// bad checksum). Files without the magic are legacy plain-JSON entries
+/// from before checksumming; they pass through for the parser to judge.
+fn decode_entry(text: &str) -> Option<&str> {
+    match text.strip_prefix(ENTRY_MAGIC) {
+        Some(rest) => {
+            let (sum, payload) = rest.split_once('\n')?;
+            let sum = u64::from_str_radix(sum, 16).ok()?;
+            (sum == fnv1a(payload.as_bytes())).then_some(payload)
+        }
+        None => Some(text),
+    }
+}
+
+/// FNV-1a, the workspace's stable no-dependency hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// How a lookup participates in the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CountAs {
@@ -57,6 +91,10 @@ pub struct CacheStats {
     pub memory_evictions: u64,
     /// Disk entries removed to honor the byte budget.
     pub disk_evictions: u64,
+    /// Corrupt disk entries detected (bad checksum, torn bytes, garbage
+    /// JSON) and quarantined — each one was served as a miss, never as
+    /// data.
+    pub corrupt_evictions: u64,
 }
 
 impl CacheStats {
@@ -134,6 +172,7 @@ pub struct ResultCache {
     stores: AtomicU64,
     memory_evictions: AtomicU64,
     disk_evictions: AtomicU64,
+    corrupt_evictions: AtomicU64,
 }
 
 impl ResultCache {
@@ -150,6 +189,7 @@ impl ResultCache {
             stores: AtomicU64::new(0),
             memory_evictions: AtomicU64::new(0),
             disk_evictions: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
         }
     }
 
@@ -164,10 +204,33 @@ impl ResultCache {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| EngineError::Io(format!("creating cache dir '{}': {e}", dir.display())))?;
+        Self::sweep_orphan_temps(&dir);
         Ok(ResultCache {
             disk_dir: Some(dir),
             ..ResultCache::in_memory()
         })
+    }
+
+    /// Removes `<key>.tmp…` files left by a writer that died between its
+    /// temp write and the rename. Runs at open so a restarted process
+    /// starts from a consistent directory: complete `.json` entries only.
+    /// Sweeping a *live* writer's in-flight temp (another process sharing
+    /// the directory) merely fails that writer's rename, which `put`
+    /// already swallows as a best-effort disk store.
+    fn sweep_orphan_temps(dir: &Path) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let is_orphan_temp = path
+                .extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x.starts_with("tmp"));
+            if is_orphan_temp {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
     }
 
     /// The disk directory, if this cache has one.
@@ -232,9 +295,16 @@ impl ResultCache {
         }
         if let Some(dir) = &self.disk_dir {
             let path = Self::entry_path(dir, key);
-            if let Ok(text) = std::fs::read_to_string(&path) {
-                match FlowOutcome::from_json_text(&text) {
-                    Ok(outcome) => {
+            let read = if domino_failpoint::should_fire("engine.cache.disk_read") {
+                Err(domino_failpoint::injected_io_error(
+                    "engine.cache.disk_read",
+                ))
+            } else {
+                std::fs::read_to_string(&path)
+            };
+            if let Ok(text) = read {
+                match decode_entry(&text).map(FlowOutcome::from_json_text) {
+                    Some(Ok(outcome)) => {
                         if count != CountAs::Silent {
                             self.disk_hits.fetch_add(1, Ordering::Relaxed);
                         }
@@ -246,9 +316,12 @@ impl ResultCache {
                         self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
                         return Some(outcome);
                     }
-                    Err(_) => {
-                        // A corrupt entry is treated as a miss; it will be
-                        // overwritten by the recomputed outcome.
+                    Some(Err(_)) | None => {
+                        // Corrupt bytes (checksum mismatch, torn tail,
+                        // garbage JSON): never served, never fatal — the
+                        // file is quarantined, the lookup is a miss, and
+                        // the recomputed outcome will re-land atomically.
+                        self.quarantine(dir, &path);
                     }
                 }
             }
@@ -257,6 +330,25 @@ impl ResultCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         None
+    }
+
+    /// Moves a corrupt entry file into `<dir>/quarantine/` (falling back
+    /// to deletion if the move fails) and counts it. Quarantined files
+    /// are kept for post-mortem inspection but are invisible to lookups,
+    /// `disk_len`, and the byte budget.
+    fn quarantine(&self, dir: &Path, path: &Path) {
+        self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+        let qdir = dir.join("quarantine");
+        let moved = match path.file_name() {
+            Some(name) => {
+                std::fs::create_dir_all(&qdir).is_ok()
+                    && std::fs::rename(path, qdir.join(name)).is_ok()
+            }
+            None => false,
+        };
+        if !moved {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     /// Inserts an outcome under `key` (and writes the disk entry, if any).
@@ -290,9 +382,16 @@ impl ResultCache {
                 std::process::id(),
                 TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
             ));
-            let text = outcome.to_json().serialize();
-            let stored =
-                std::fs::write(&temp, text).is_ok() && std::fs::rename(&temp, &path).is_ok();
+            let text = encode_entry(&outcome.to_json().serialize());
+            let written = !domino_failpoint::should_fire("engine.cache.disk_write")
+                && std::fs::write(&temp, text).is_ok();
+            if written && domino_failpoint::should_fire("engine.cache.crash_rename") {
+                // Chaos-only: simulate the process dying between the temp
+                // write and the rename — the exact window the atomic
+                // protocol defends. Exit code 86 marks an injected crash.
+                std::process::exit(86);
+            }
+            let stored = written && std::fs::rename(&temp, &path).is_ok();
             if !stored {
                 // Failed write (disk full: a *partial* temp file) or failed
                 // rename: don't leave the orphan around.
@@ -392,6 +491,8 @@ impl ResultCache {
                     })?;
                 }
             }
+            // Quarantined corpses go too: clear means a pristine directory.
+            let _ = std::fs::remove_dir_all(dir.join("quarantine"));
         }
         Ok(())
     }
@@ -405,6 +506,7 @@ impl ResultCache {
             stores: self.stores.load(Ordering::Relaxed),
             memory_evictions: self.memory_evictions.load(Ordering::Relaxed),
             disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -468,13 +570,76 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_entry_is_a_miss() {
+    fn corrupt_disk_entry_is_a_miss_and_quarantined() {
         let dir = temp_dir("corrupt");
         let cache = ResultCache::on_disk(&dir).unwrap();
         std::fs::write(dir.join("bad.json"), "{not json").unwrap();
         assert!(cache.get("bad").is_none());
-        assert_eq!(cache.stats().misses, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.corrupt_evictions, 1);
+        // The corpse moved aside: invisible to lookups and disk_len, kept
+        // for post-mortem.
+        assert!(!dir.join("bad.json").exists());
+        assert!(dir.join("quarantine").join("bad.json").exists());
+        assert_eq!(cache.disk_len(), 0);
+        // Recovery: a recomputed outcome re-lands and reads back clean.
+        cache.put("bad", &sample_outcome("healed"));
+        assert_eq!(cache.peek("bad").unwrap().name, "healed");
+        // clear purges the quarantine directory too.
+        cache.clear().unwrap();
+        assert!(!dir.join("quarantine").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A checksummed entry whose tail was torn off (truncation after the
+    /// header line) fails verification even when the remaining prefix
+    /// happens to parse — the checksum decides, not the JSON parser.
+    #[test]
+    fn truncated_checksummed_entry_is_quarantined() {
+        let dir = temp_dir("torn-tail");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        cache.put("feed", &sample_outcome("whole"));
+        let path = dir.join("feed.json");
+        let full = std::fs::read_to_string(&path).unwrap();
+        assert!(full.starts_with(ENTRY_MAGIC), "new entries are checksummed");
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        // A fresh cache (cold memory) must reject the torn bytes.
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        assert!(fresh.get("feed").is_none());
+        assert_eq!(fresh.stats().corrupt_evictions, 1);
+        assert!(dir.join("quarantine").join("feed.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Entries written before checksumming (plain JSON, no magic header)
+    /// still read back — upgrading a deployment must not cold-start its
+    /// caches.
+    #[test]
+    fn legacy_plain_json_entry_still_reads() {
+        let dir = temp_dir("legacy");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        let payload = sample_outcome("old-format").to_json().serialize();
+        std::fs::write(dir.join("0ld.json"), payload).unwrap();
+        assert_eq!(cache.get("0ld").unwrap().name, "old-format");
+        assert_eq!(cache.stats().corrupt_evictions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_checksum_roundtrip() {
+        let payload = "{\"name\":\"x\"}";
+        let encoded = encode_entry(payload);
+        assert_eq!(decode_entry(&encoded), Some(payload));
+        // Any single-byte flip in the payload is caught.
+        let mut bytes = encoded.clone().into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert_eq!(decode_entry(&flipped), None);
+        // A header without its newline is corrupt, not legacy.
+        assert_eq!(decode_entry(ENTRY_MAGIC), None);
+        assert_eq!(decode_entry("dominocache1 zzzz\n{}"), None);
     }
 
     /// Crash simulation: a writer killed between the temp-file write and
@@ -494,10 +659,10 @@ mod tests {
         // Recovery: the recomputed outcome lands atomically…
         cache.put("deadbeef", &sample_outcome("recovered"));
         assert_eq!(cache.disk_len(), 1);
-        // …and a fresh cache (new process) reads it back complete.
+        // …and a fresh cache (new process) sweeps the orphan at open and
+        // reads the entry back complete.
         let fresh = ResultCache::on_disk(&dir).unwrap();
         assert_eq!(fresh.get("deadbeef").unwrap().name, "recovered");
-        // No temp residue from the successful put.
         let temps = std::fs::read_dir(&dir)
             .unwrap()
             .filter_map(Result::ok)
@@ -508,9 +673,9 @@ mod tests {
                     .is_some_and(|x| x.starts_with("tmp"))
             })
             .count();
-        assert_eq!(temps, 1, "only the simulated orphan remains");
+        assert_eq!(temps, 0, "restart swept the orphan temp");
 
-        // clear sweeps entries *and* orphans.
+        // clear sweeps entries (and any orphans) as before.
         cache.clear().unwrap();
         assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -548,7 +713,9 @@ mod tests {
                         // Bypass the memory layer: read the file raw, as a
                         // cold process would.
                         if let Ok(text) = std::fs::read_to_string(dir.join("cafe.json")) {
-                            let parsed = FlowOutcome::from_json_text(&text)
+                            let payload = decode_entry(&text)
+                                .expect("every observed entry passes its checksum");
+                            let parsed = FlowOutcome::from_json_text(payload)
                                 .expect("every observed entry is a complete document");
                             assert_eq!(parsed.name.len(), 4096);
                             seen += 1;

@@ -10,8 +10,9 @@
 //! `threads = 1` and `threads = N` produce *identical* outcome vectors,
 //! which the engine's equivalence tests pin on the full public suite.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 use crate::cache::ResultCache;
@@ -133,16 +134,52 @@ pub struct EngineConfig {
     pub cache: Option<Arc<ResultCache>>,
 }
 
+/// In-flight request coalescing ("single-flight"): one gate mutex per
+/// cache key currently being computed. A worker about to run a cacheable
+/// job takes its key's gate first; concurrent submissions of the same
+/// key queue on the gate and — once the leader has stored the outcome —
+/// answer from the cache instead of recomputing. This keeps the engine's
+/// counter contract exact: `misses` stays "number of flow
+/// recomputations" even under duplicate in-flight submissions.
+#[derive(Debug, Default)]
+struct SingleFlight {
+    keys: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+impl SingleFlight {
+    /// The gate for `key`, creating it if this is the first in-flight
+    /// computation of that key.
+    fn acquire(&self, key: &str) -> Arc<Mutex<()>> {
+        let mut keys = self.keys.lock().unwrap_or_else(|p| p.into_inner());
+        Arc::clone(keys.entry(key.to_string()).or_default())
+    }
+
+    /// Drops the table entry once the caller (still holding its `Arc`
+    /// from [`SingleFlight::acquire`]) is the last participant: the map
+    /// holds one reference, the caller the other. A surviving waiter
+    /// keeps the count higher and the entry alive.
+    fn release(&self, key: &str) {
+        let mut keys = self.keys.lock().unwrap_or_else(|p| p.into_inner());
+        if keys.get(key).is_some_and(|g| Arc::strong_count(g) <= 2) {
+            keys.remove(key);
+        }
+    }
+}
+
 /// The parallel batch flow executor.
 #[derive(Debug, Default)]
 pub struct FlowEngine {
     config: EngineConfig,
+    singleflight: SingleFlight,
 }
 
 impl FlowEngine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        FlowEngine { config }
+        FlowEngine {
+            config,
+            singleflight: SingleFlight::default(),
+        }
     }
 
     /// A serial engine with no cache (useful as a baseline).
@@ -186,7 +223,12 @@ impl FlowEngine {
         if cancel.is_cancelled() {
             return JobResult::Cancelled;
         }
-        execute_with_cache(job, self.config.cache.as_deref(), &|| cancel.is_cancelled())
+        execute_with_cache(
+            job,
+            self.config.cache.as_deref(),
+            &self.singleflight,
+            &|| cancel.is_cancelled(),
+        )
     }
 
     /// Runs every job with a progress callback and a cancellation token.
@@ -211,6 +253,7 @@ impl FlowEngine {
         let next = &next;
         let slots = &slots;
         let cache = self.config.cache.as_deref();
+        let singleflight = &self.singleflight;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -232,7 +275,7 @@ impl FlowEngine {
                     let start = Instant::now();
                     // Batch semantics: claimed jobs finish even when the
                     // batch is cancelled, so no mid-flow token here.
-                    let result = execute_with_cache(job, cache, &|| false);
+                    let result = execute_with_cache(job, cache, singleflight, &|| false);
                     let elapsed_ms = start.elapsed().as_millis() as u64;
                     match &result {
                         JobResult::Completed { cached, .. } => {
@@ -277,11 +320,27 @@ impl FlowEngine {
 fn execute_with_cache(
     job: &FlowJob,
     cache: Option<&ResultCache>,
+    singleflight: &SingleFlight,
     is_cancelled: &dyn Fn() -> bool,
 ) -> JobResult {
+    // The key's gate comes *before* the lookup: a duplicate in-flight
+    // submission queues here while the leader computes, then finds the
+    // leader's outcome in the cache. Uncontended the gate is one map
+    // lock + one mutex lock — noise next to a flow run or a JSON decode.
+    let gate = cache.map(|_| singleflight.acquire(job.cache_key()));
+    let guard: Option<MutexGuard<'_, ()>> = gate
+        .as_ref()
+        .map(|g| g.lock().unwrap_or_else(|p| p.into_inner()));
+    let release = |guard: Option<MutexGuard<'_, ()>>| {
+        drop(guard);
+        if gate.is_some() {
+            singleflight.release(job.cache_key());
+        }
+    };
     if let Some(cache) = cache {
         if let Some(mut outcome) = cache.get(job.cache_key()) {
             outcome.name = job.spec.name.clone();
+            release(guard);
             return JobResult::Completed {
                 outcome: Box::new(outcome),
                 cached: true,
@@ -302,7 +361,7 @@ fn execute_with_cache(
             .unwrap_or_else(|| "non-string panic payload".to_string());
         Err(EngineError::Panicked(msg))
     });
-    match ran {
+    let result = match ran {
         Ok(outcome) => {
             if let Some(cache) = cache {
                 cache.put(job.cache_key(), &outcome);
@@ -314,7 +373,12 @@ fn execute_with_cache(
         }
         Err(EngineError::Cancelled) => JobResult::Cancelled,
         Err(e) => JobResult::Failed(e),
-    }
+    };
+    // The gate opens only after the outcome is stored (or the run gave
+    // up): a waiter waking here either hits the cache or — after a
+    // cancelled/failed leader — becomes the new leader and recomputes.
+    release(guard);
+    result
 }
 
 #[cfg(test)]
@@ -438,6 +502,42 @@ mod tests {
             crate::runner::run_job_with_cancel(&job, &|| flips.fetch_add(1, Ordering::SeqCst) >= 1);
         assert!(matches!(outcome, Err(EngineError::Cancelled)));
         assert!(flips.load(Ordering::SeqCst) >= 2);
+    }
+
+    /// Duplicate in-flight submissions of one cache key share a single
+    /// computation: the leader runs the flow once, every concurrent
+    /// duplicate queues on the key's single-flight gate and answers from
+    /// the cache — byte-identical outcomes, exactly one recomputation.
+    #[test]
+    fn concurrent_same_key_submissions_compute_once() {
+        let cache = Arc::new(ResultCache::in_memory());
+        let engine = FlowEngine::new(EngineConfig {
+            threads: 1,
+            cache: Some(Arc::clone(&cache)),
+        });
+        let job = tiny_job("dup", 3);
+        let engine = &engine;
+        let job = &job;
+        let outcomes: Vec<FlowOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || match engine.run_one(job, &CancelToken::new()) {
+                        JobResult::Completed { outcome, .. } => *outcome,
+                        other => panic!("expected completion, got {other:?}"),
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for o in &outcomes[1..] {
+            assert_eq!(o, &outcomes[0], "coalesced outcomes are identical");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one flow recomputation");
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.hits(), 3, "every duplicate answered from cache");
+        // The gate table does not leak entries.
+        assert!(engine.singleflight.keys.lock().unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Deterministic fault injection ("failpoints") for the serving stack.
+//!
+//! A *failpoint* is a named site at an I/O boundary we own — a disk
+//! rename in the result cache, a socket read in the wire layer, an
+//! admission decision in the job registry. In normal operation every
+//! site is compiled in but **off**: the only cost is one relaxed atomic
+//! load per evaluation. When a process is started with a schedule, the
+//! named sites begin *firing* — injecting the failure their call site
+//! implements (an I/O error, a dropped connection, a mid-write crash) —
+//! on a deterministic cadence, so a chaos test that fails once fails the
+//! same way every time.
+//!
+//! # Activation
+//!
+//! Per process, via environment or flag (both feed [`activate`]):
+//!
+//! ```text
+//! DOMINO_FAILPOINTS="engine.cache.disk_write=once,serve.http.read=every(3)"
+//! DOMINO_FAILPOINT_SEED=42
+//! ```
+//!
+//! The schedule grammar per site is `off | once | every(n) | after(n)`:
+//!
+//! * `off` — never fires (still counts hits, so a test can assert a
+//!   site was reached without injecting anything).
+//! * `once` — fires on the first hit only.
+//! * `every(n)` — fires on every n-th hit, at a per-site phase derived
+//!   deterministically from the seed (so `every(3)` across two sites
+//!   does not fire both in lockstep).
+//! * `after(n)` — the first `n` hits pass, every later hit fires.
+//!
+//! The seed never makes a schedule random: it only rotates the phase of
+//! `every(n)` sites. Identical spec + seed ⇒ identical firing sequence,
+//! which is what lets a chaos run pin byte-identical recovery outcomes.
+//!
+//! # Reading back
+//!
+//! Every configured site reports `(hits, fires)` through [`snapshot`];
+//! `dominod` and `dominogw` surface that under `failpoints` in their
+//! `/metrics` documents.
+//!
+//! ```
+//! use domino_failpoint::{Registry, Mode};
+//!
+//! let reg = Registry::parse("cache.write=every(2)", 7).unwrap();
+//! let fired: Vec<bool> = (0..6).map(|_| reg.should_fire("cache.write")).collect();
+//! assert_eq!(fired.iter().filter(|f| **f).count(), 3); // every 2nd hit
+//! assert!(!reg.should_fire("cache.read")); // unconfigured site: never
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable holding the failpoint schedule spec.
+pub const ENV_SPEC: &str = "DOMINO_FAILPOINTS";
+/// Environment variable holding the schedule seed (decimal, default 0).
+pub const ENV_SEED: &str = "DOMINO_FAILPOINT_SEED";
+
+/// When a configured site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Never fire (hits are still counted).
+    Off,
+    /// Fire on the first hit only.
+    Once,
+    /// Fire on every n-th hit (n ≥ 1), phase-rotated by the seed.
+    Every(u64),
+    /// Pass the first n hits, fire on every hit after that.
+    After(u64),
+}
+
+impl Mode {
+    fn parse(text: &str) -> Result<Mode, String> {
+        let text = text.trim();
+        if text == "off" {
+            return Ok(Mode::Off);
+        }
+        if text == "once" {
+            return Ok(Mode::Once);
+        }
+        for (name, ctor) in [
+            ("every", Mode::Every as fn(u64) -> Mode),
+            ("after", Mode::After as fn(u64) -> Mode),
+        ] {
+            if let Some(rest) = text.strip_prefix(name) {
+                let inner = rest
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .ok_or_else(|| format!("expected {name}(n), got `{text}`"))?;
+                let n: u64 = inner
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad count in `{text}`"))?;
+                if name == "every" && n == 0 {
+                    return Err("every(0) is not a schedule".into());
+                }
+                return Ok(ctor(n));
+            }
+        }
+        Err(format!(
+            "unknown mode `{text}` (want off | once | every(n) | after(n))"
+        ))
+    }
+}
+
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mode::Off => write!(f, "off"),
+            Mode::Once => write!(f, "once"),
+            Mode::Every(n) => write!(f, "every({n})"),
+            Mode::After(n) => write!(f, "after({n})"),
+        }
+    }
+}
+
+struct Site {
+    mode: Mode,
+    /// For `every(n)`: which residue of the 1-based hit index fires.
+    phase: u64,
+    hits: AtomicU64,
+    fires: AtomicU64,
+}
+
+impl Site {
+    /// Records one evaluation and decides whether it injects.
+    fn evaluate(&self) -> bool {
+        let hit = self.hits.fetch_add(1, Ordering::Relaxed) + 1; // 1-based
+        let fire = match self.mode {
+            Mode::Off => false,
+            Mode::Once => hit == 1,
+            Mode::Every(n) => hit % n == self.phase,
+            Mode::After(n) => hit > n,
+        };
+        if fire {
+            self.fires.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+}
+
+/// Point-in-time counters for one configured site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteSnapshot {
+    /// The site name as configured (e.g. `engine.cache.disk_write`).
+    pub site: String,
+    /// The schedule this site runs (`once`, `every(3)`, ...).
+    pub mode: String,
+    /// How many times the site was evaluated.
+    pub hits: u64,
+    /// How many of those evaluations injected the fault.
+    pub fires: u64,
+}
+
+/// A parsed, seeded failpoint schedule. The process-global instance
+/// (see [`should_fire`]) wraps one of these; tests can also construct
+/// private registries to exercise schedules hermetically.
+pub struct Registry {
+    sites: BTreeMap<String, Site>,
+    spec: String,
+    seed: u64,
+}
+
+impl Registry {
+    /// Parses `site=mode[,site=mode...]`. The seed rotates the phase of
+    /// each `every(n)` site deterministically (per site name).
+    pub fn parse(spec: &str, seed: u64) -> Result<Registry, String> {
+        let mut sites = BTreeMap::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, mode_text) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected site=mode, got `{part}`"))?;
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(format!("empty site name in `{part}`"));
+            }
+            let mode = Mode::parse(mode_text)?;
+            let phase = match mode {
+                Mode::Every(n) => splitmix64(seed ^ fnv1a(name.as_bytes())) % n,
+                _ => 0,
+            };
+            sites.insert(
+                name.to_string(),
+                Site {
+                    mode,
+                    phase,
+                    hits: AtomicU64::new(0),
+                    fires: AtomicU64::new(0),
+                },
+            );
+        }
+        Ok(Registry {
+            sites,
+            spec: spec.trim().to_string(),
+            seed,
+        })
+    }
+
+    /// Records a hit on `site` and reports whether its schedule fires.
+    /// Unconfigured sites never fire and are not tracked.
+    pub fn should_fire(&self, site: &str) -> bool {
+        match self.sites.get(site) {
+            Some(s) => s.evaluate(),
+            None => false,
+        }
+    }
+
+    /// The spec string this registry was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The seed this registry's schedules were phased with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Counters for every configured site, in name order.
+    pub fn snapshot(&self) -> Vec<SiteSnapshot> {
+        self.sites
+            .iter()
+            .map(|(name, s)| SiteSnapshot {
+                site: name.clone(),
+                mode: s.mode.to_string(),
+                hits: s.hits.load(Ordering::Relaxed),
+                fires: s.fires.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_DISABLED: u8 = 1;
+const STATE_ENABLED: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static GLOBAL: OnceLock<Option<Registry>> = OnceLock::new();
+
+fn init_from_env() -> Option<Registry> {
+    let spec = std::env::var(ENV_SPEC).ok()?;
+    if spec.trim().is_empty() {
+        return None;
+    }
+    let seed = std::env::var(ENV_SEED)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
+    match Registry::parse(&spec, seed) {
+        Ok(reg) => Some(reg),
+        Err(e) => {
+            // A malformed schedule in a chaos run must be loud, not a
+            // silent no-op that "passes" by testing nothing.
+            eprintln!("failpoint: ignoring malformed {ENV_SPEC}: {e}");
+            None
+        }
+    }
+}
+
+fn global() -> Option<&'static Registry> {
+    let reg = GLOBAL.get_or_init(init_from_env).as_ref();
+    STATE.store(
+        if reg.is_some() {
+            STATE_ENABLED
+        } else {
+            STATE_DISABLED
+        },
+        Ordering::Relaxed,
+    );
+    reg
+}
+
+/// Activates the process-global schedule explicitly (the `--failpoints`
+/// flag path). Must run before any site is evaluated; fails if a
+/// different schedule (or the environment) already initialized it.
+pub fn activate(spec: &str, seed: u64) -> Result<(), String> {
+    let parsed = Registry::parse(spec, seed)?;
+    let mut installed = false;
+    let reg = GLOBAL.get_or_init(|| {
+        installed = true;
+        Some(parsed)
+    });
+    if !installed {
+        return Err(match reg {
+            Some(r) if r.spec() == spec.trim() && r.seed() == seed => return Ok(()),
+            Some(r) => format!("failpoints already active: `{}`", r.spec()),
+            None => "failpoints already initialized as disabled".into(),
+        });
+    }
+    STATE.store(STATE_ENABLED, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Records a hit on `site` and reports whether the process-global
+/// schedule says this hit injects its fault.
+///
+/// This is the hot-path entry every injection site calls. When no
+/// schedule is active (the overwhelmingly common case) it is one
+/// relaxed atomic load and an immediate `false`.
+#[inline]
+pub fn should_fire(site: &str) -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_DISABLED => false,
+        STATE_ENABLED => match GLOBAL.get().and_then(|r| r.as_ref()) {
+            Some(reg) => reg.should_fire(site),
+            None => false,
+        },
+        _ => match global() {
+            Some(reg) => reg.should_fire(site),
+            None => false,
+        },
+    }
+}
+
+/// True when a process-global schedule is active.
+pub fn enabled() -> bool {
+    if STATE.load(Ordering::Relaxed) == STATE_UNINIT {
+        global();
+    }
+    STATE.load(Ordering::Relaxed) == STATE_ENABLED
+}
+
+/// The active spec string, if any (for logging a reproducible header).
+pub fn active_spec() -> Option<(String, u64)> {
+    global().map(|r| (r.spec().to_string(), r.seed()))
+}
+
+/// Counters for the process-global schedule (empty when disabled).
+pub fn snapshot() -> Vec<SiteSnapshot> {
+    global().map(|r| r.snapshot()).unwrap_or_default()
+}
+
+/// Strips `--failpoints <spec>` and `--failpoint-seed <n>` from a CLI
+/// argument vector and, when a spec was present, activates it — the
+/// "flag" half of env/flag activation, shared by the `dominod` and
+/// `dominogw` binaries so their config parsers never see the flags.
+///
+/// # Errors
+///
+/// A flag without its value, a malformed seed, a malformed spec, or a
+/// schedule that conflicts with one already active.
+pub fn take_cli_args(args: &mut Vec<String>) -> Result<(), String> {
+    let mut spec: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut kept = Vec::with_capacity(args.len());
+    let mut it = args.drain(..);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--failpoints" => {
+                spec = Some(it.next().ok_or("--failpoints needs a schedule spec")?);
+            }
+            "--failpoint-seed" => {
+                let value = it.next().ok_or("--failpoint-seed needs a number")?;
+                seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad --failpoint-seed '{value}'"))?,
+                );
+            }
+            _ => kept.push(arg),
+        }
+    }
+    drop(it);
+    *args = kept;
+    if let Some(spec) = spec {
+        activate(&spec, seed.unwrap_or(0))?;
+    } else if seed.is_some() {
+        return Err("--failpoint-seed without --failpoints".into());
+    }
+    Ok(())
+}
+
+/// Returns an `io::Error` suitable for a fired I/O-boundary site; the
+/// message names the site so logs and test failures are attributable.
+pub fn injected_io_error(site: &str) -> std::io::Error {
+    std::io::Error::other(format!("failpoint fired: {site}"))
+}
+
+/// FNV-1a over `bytes` — the same cheap stable hash the fleet's
+/// rendezvous layer uses; good enough to decorrelate site phases.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — decorrelates the seed/site-hash mix.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_modes() {
+        let reg = Registry::parse("a=off, b=once, c=every(3), d=after(2)", 0).unwrap();
+        let snap = reg.snapshot();
+        let modes: Vec<&str> = snap.iter().map(|s| s.mode.as_str()).collect();
+        assert_eq!(modes, ["off", "once", "every(3)", "after(2)"]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Registry::parse("a", 0).is_err());
+        assert!(Registry::parse("a=soon", 0).is_err());
+        assert!(Registry::parse("a=every()", 0).is_err());
+        assert!(Registry::parse("a=every(0)", 0).is_err());
+        assert!(Registry::parse("=once", 0).is_err());
+        assert!(Registry::parse("a=after(x)", 0).is_err());
+    }
+
+    #[test]
+    fn once_fires_exactly_first_hit() {
+        let reg = Registry::parse("s=once", 0).unwrap();
+        let fired: Vec<bool> = (0..4).map(|_| reg.should_fire("s")).collect();
+        assert_eq!(fired, [true, false, false, false]);
+        let snap = &reg.snapshot()[0];
+        assert_eq!((snap.hits, snap.fires), (4, 1));
+    }
+
+    #[test]
+    fn after_passes_then_always_fires() {
+        let reg = Registry::parse("s=after(2)", 0).unwrap();
+        let fired: Vec<bool> = (0..5).map(|_| reg.should_fire("s")).collect();
+        assert_eq!(fired, [false, false, true, true, true]);
+    }
+
+    #[test]
+    fn every_fires_once_per_period_and_seed_rotates_phase() {
+        for seed in 0..32u64 {
+            let reg = Registry::parse("s=every(4)", seed).unwrap();
+            let fired: Vec<bool> = (0..12).map(|_| reg.should_fire("s")).collect();
+            assert_eq!(fired.iter().filter(|f| **f).count(), 3, "seed {seed}");
+            // Exactly one fire in each window of 4 consecutive hits.
+            for w in fired.chunks(4) {
+                assert_eq!(w.iter().filter(|f| **f).count(), 1, "seed {seed}");
+            }
+        }
+        // The phase is not globally constant across seeds.
+        let phases: std::collections::BTreeSet<usize> = (0..32u64)
+            .map(|seed| {
+                let reg = Registry::parse("s=every(4)", seed).unwrap();
+                (0..4).position(|_| reg.should_fire("s")).unwrap()
+            })
+            .collect();
+        assert!(phases.len() > 1, "seed never rotated the phase");
+    }
+
+    #[test]
+    fn same_spec_same_seed_is_deterministic() {
+        let a = Registry::parse("x=every(5),y=every(5)", 99).unwrap();
+        let b = Registry::parse("x=every(5),y=every(5)", 99).unwrap();
+        for _ in 0..25 {
+            assert_eq!(a.should_fire("x"), b.should_fire("x"));
+            assert_eq!(a.should_fire("y"), b.should_fire("y"));
+        }
+    }
+
+    #[test]
+    fn off_counts_hits_without_firing() {
+        let reg = Registry::parse("s=off", 0).unwrap();
+        assert!(!reg.should_fire("s"));
+        assert!(!reg.should_fire("s"));
+        let snap = &reg.snapshot()[0];
+        assert_eq!((snap.hits, snap.fires), (2, 0));
+    }
+
+    #[test]
+    fn unconfigured_site_never_fires_nor_tracks() {
+        let reg = Registry::parse("s=once", 0).unwrap();
+        assert!(!reg.should_fire("other"));
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn global_disabled_fast_path() {
+        // The test process has no DOMINO_FAILPOINTS; the global entry
+        // points must all report the disabled state.
+        assert!(!should_fire("never.configured"));
+        assert!(!enabled());
+        assert!(snapshot().is_empty());
+        assert!(active_spec().is_none());
+    }
+}

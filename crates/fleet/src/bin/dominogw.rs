@@ -27,6 +27,9 @@ fn usage() -> String {
          \x20 --probe-ms <n>         backend health-probe interval [500]\n\
          \x20 --idle-ms <n>          per-connection idle timeout [10000]\n\
          \x20 --max-requests <n>     requests per connection before close [1024]\n\
+         \x20 --failpoints <spec>    fault-injection schedule (site=mode,...; also via\n\
+         \x20                        DOMINO_FAILPOINTS), modes off|once|every(n)|after(n)\n\
+         \x20 --failpoint-seed <n>   failpoint schedule seed (also DOMINO_FAILPOINT_SEED) [0]\n\
          \n\
          stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
     )
@@ -64,7 +67,14 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
-    let config = GatewayConfig::parse_args(args)?;
+    let mut args = args.to_vec();
+    domino_failpoint::take_cli_args(&mut args)?;
+    if let Some((spec, seed)) = domino_failpoint::active_spec() {
+        // The reproducibility header: a chaos failure is rerunnable from
+        // this one log line.
+        eprintln!("dominogw: failpoints active: {spec} (seed {seed})");
+    }
+    let config = GatewayConfig::parse_args(&args)?;
     let backends = config.backends.clone();
     let gateway = Gateway::start(config).map_err(|e| format!("bind failed: {e}"))?;
     // Scripts (CI fleet-smoke, fleet_bench) parse this exact line.

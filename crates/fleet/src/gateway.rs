@@ -42,9 +42,14 @@ use domino_engine::json::{parse, Json};
 use domino_engine::{CircuitSource, EngineError, FlowJob, JobSpec};
 use domino_serve::http::{serve_connection, ConnectionPolicy, HttpConnection, Request, Served};
 use domino_serve::protocol::{ErrorReply, StatusReply, SubmitReply};
-use domino_serve::ClientError;
+use domino_serve::{ClientError, FailpointCounter, RetryPolicy};
 
 use crate::pool::BackendPool;
+
+/// Failover attempts a submission may make beyond its first backend. A
+/// budget (rather than "walk the whole ranking") bounds worst-case
+/// submit latency on a large fleet that is mostly down.
+pub const FAILOVER_RETRY_BUDGET: u32 = 3;
 
 /// Default TCP port for `dominogw` (one above `dominod`'s 7171 block).
 pub const DEFAULT_GW_PORT: u16 = 7270;
@@ -193,11 +198,50 @@ impl KeyMemo {
     }
 }
 
+/// A verbatim-relayable reply a coalescing leader captured for its
+/// followers: status, optional `Retry-After`, exact body bytes.
+type StoredReply = (u16, Option<String>, Vec<u8>);
+
+/// In-flight coalescing for sync (`?wait=1`) submissions: one gate per
+/// routing key. The leader holds the gate's lock for the whole backend
+/// round trip and stores its reply; duplicates block on the lock and
+/// replay the identical bytes instead of re-submitting. A leader that
+/// failed stores nothing, so the next waiter simply becomes the new
+/// leader and tries again.
+#[derive(Debug, Default)]
+struct SyncFlight {
+    gates: Mutex<HashMap<String, Arc<Mutex<Option<StoredReply>>>>>,
+}
+
+impl SyncFlight {
+    fn acquire(&self, key: &str) -> Arc<Mutex<Option<StoredReply>>> {
+        Arc::clone(
+            self.gates
+                .lock()
+                .expect("sync flight")
+                .entry(key.to_string())
+                .or_default(),
+        )
+    }
+
+    fn release(&self, key: &str) {
+        let mut gates = self.gates.lock().expect("sync flight");
+        if let Some(gate) = gates.get(key) {
+            // 2 = the map's reference + the caller's about-to-drop clone.
+            if Arc::strong_count(gate) <= 2 {
+                gates.remove(key);
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct GwShared {
     pool: Arc<BackendPool>,
     ids: Mutex<IdTable>,
     key_memo: KeyMemo,
+    retry: RetryPolicy,
+    sync_flight: SyncFlight,
     policy: ConnectionPolicy,
     addr: SocketAddr,
     started: Instant,
@@ -215,6 +259,9 @@ struct GwShared {
     peer_fills: AtomicU64,
     /// Submissions with no reachable backend at all (`503`).
     unroutable: AtomicU64,
+    /// Sync submissions answered by replaying an in-flight leader's
+    /// reply instead of a backend round trip.
+    coalesced: AtomicU64,
 }
 
 impl GwShared {
@@ -244,6 +291,19 @@ impl GwShared {
     }
 }
 
+/// One backend's health as reported in the gateway's `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendHealth {
+    /// Backend address (`host:port`).
+    pub addr: String,
+    /// Whether the last contact (probe or routed request) succeeded.
+    pub healthy: bool,
+    /// Times this backend transitioned healthy → down.
+    pub down_transitions: u64,
+    /// Circuit-breaker state label: `closed`, `open` or `half-open`.
+    pub breaker: String,
+}
+
 /// Point-in-time gateway counters (the `GET /metrics` document).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GatewayMetrics {
@@ -259,8 +319,13 @@ pub struct GatewayMetrics {
     pub peer_fills: u64,
     /// Submissions refused with `503` (no reachable backend).
     pub unroutable: u64,
-    /// Per-backend `(addr, healthy, down_transitions)`.
-    pub backends: Vec<(String, bool, u64)>,
+    /// Sync submissions coalesced onto an in-flight leader's reply.
+    pub coalesced: u64,
+    /// Per-backend health and breaker state.
+    pub backends: Vec<BackendHealth>,
+    /// Failpoint site counters — empty unless the gateway runs with an
+    /// active fault-injection schedule (chaos testing).
+    pub failpoints: Vec<FailpointCounter>,
 }
 
 impl GatewayMetrics {
@@ -278,19 +343,33 @@ impl GatewayMetrics {
         let backends = match v.get("backends") {
             Some(Json::Arr(items)) => items
                 .iter()
-                .map(|b| {
-                    let addr = b
+                .map(|b| BackendHealth {
+                    addr: b
                         .get("addr")
                         .and_then(Json::as_str)
                         .unwrap_or_default()
-                        .to_string();
-                    let healthy = b.get("healthy").and_then(Json::as_bool).unwrap_or(false);
-                    let downs = b
+                        .to_string(),
+                    healthy: b.get("healthy").and_then(Json::as_bool).unwrap_or(false),
+                    down_transitions: b
                         .get("down_transitions")
                         .and_then(Json::as_u64)
-                        .unwrap_or(0);
-                    (addr, healthy, downs)
+                        .unwrap_or(0),
+                    // Absent in documents from pre-breaker gateways
+                    // (rolling upgrade): closed is the only state such a
+                    // gateway can be in.
+                    breaker: b
+                        .get("breaker")
+                        .and_then(Json::as_str)
+                        .unwrap_or("closed")
+                        .to_string(),
                 })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let failpoints = match v.get("failpoints") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|f| FailpointCounter::from_json(f).ok())
                 .collect(),
             _ => Vec::new(),
         };
@@ -301,7 +380,10 @@ impl GatewayMetrics {
             failovers: field("failovers")?,
             peer_fills: field("peer_fills")?,
             unroutable: field("unroutable")?,
+            // Absent in pre-coalescing documents (rolling upgrade).
+            coalesced: v.get("coalesced").and_then(Json::as_u64).unwrap_or(0),
             backends,
+            failpoints,
         })
     }
 }
@@ -331,6 +413,8 @@ impl Gateway {
             pool: Arc::clone(&pool),
             ids: Mutex::new(IdTable::default()),
             key_memo: KeyMemo::default(),
+            retry: RetryPolicy::new(FAILOVER_RETRY_BUDGET),
+            sync_flight: SyncFlight::default(),
             policy: ConnectionPolicy {
                 idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
                 max_requests: config.max_requests_per_connection.max(1),
@@ -345,6 +429,7 @@ impl Gateway {
             failovers: AtomicU64::new(0),
             peer_fills: AtomicU64::new(0),
             unroutable: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -547,6 +632,18 @@ fn route(
                         ("addr", Json::Str(b.addr().to_string())),
                         ("healthy", Json::Bool(b.is_healthy())),
                         ("down_transitions", Json::Num(b.down_transitions() as f64)),
+                        ("breaker", Json::Str(b.breaker_state().to_string())),
+                    ])
+                })
+                .collect();
+            let failpoints: Vec<Json> = domino_failpoint::snapshot()
+                .into_iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("site", Json::Str(s.site)),
+                        ("mode", Json::Str(s.mode)),
+                        ("hits", Json::Num(s.hits as f64)),
+                        ("fires", Json::Num(s.fires as f64)),
                     ])
                 })
                 .collect();
@@ -575,7 +672,12 @@ fn route(
                     "unroutable",
                     Json::Num(shared.unroutable.load(Ordering::Relaxed) as f64),
                 ),
+                (
+                    "coalesced",
+                    Json::Num(shared.coalesced.load(Ordering::Relaxed) as f64),
+                ),
                 ("backends", Json::Arr(backends)),
+                ("failpoints", Json::Arr(failpoints)),
             ]);
             conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
             Ok(alive(ka))
@@ -646,7 +748,45 @@ fn handle_submit(
         Err(e) => return error_reply(conn, 400, &format!("unresolvable job: {e}"), ka),
     };
 
-    let ranked = shared.pool.ranked(&key);
+    // Only sync submissions coalesce at the gateway: their reply *is*
+    // the outcome, so followers can replay the leader's bytes verbatim.
+    // Async duplicates each get their own id and dedupe one hop later,
+    // at the backend engine's own in-flight gate.
+    if !request.wants_wait() {
+        return submit_routed(conn, request, shared, &key, ka, None);
+    }
+    let gate = shared.sync_flight.acquire(&key);
+    let mut slot = gate.lock().unwrap_or_else(|p| p.into_inner());
+    let result = match slot.clone() {
+        Some((status, retry_after, body)) => {
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            let extra: Vec<(&str, &str)> = retry_after
+                .as_deref()
+                .map(|v| vec![("retry-after", v)])
+                .unwrap_or_default();
+            conn.write_response(status, &extra, &body, ka)
+                .map(|()| alive(ka))
+        }
+        None => submit_routed(conn, request, shared, &key, ka, Some(&mut slot)),
+    };
+    drop(slot);
+    shared.sync_flight.release(&key);
+    result
+}
+
+/// The routing core of a submission: peer-warms the home cache, then
+/// walks the failover sequence under the retry budget and each
+/// backend's circuit breaker. A sync leader passes `capture` so its
+/// verbatim-relayed reply is stored for coalesced followers.
+fn submit_routed(
+    conn: &mut HttpConnection,
+    request: &Request,
+    shared: &Arc<GwShared>,
+    key: &str,
+    ka: bool,
+    mut capture: Option<&mut Option<StoredReply>>,
+) -> io::Result<Served> {
+    let ranked = shared.pool.ranked(key);
     if ranked.is_empty() {
         shared.unroutable.fetch_add(1, Ordering::Relaxed);
         return error_reply(conn, 503, "no healthy backend", ka);
@@ -661,10 +801,10 @@ fn handle_submit(
     // costs the cold path at most the control timeout, never the data
     // plane's 30 s.
     if ranked.len() > 1 {
-        if let Ok(None) = ranked[0].control_client().cache_peek(&key) {
+        if let Ok(None) = ranked[0].control_client().cache_peek(key) {
             for peer in &ranked[1..] {
-                if let Ok(Some(bytes)) = peer.control_client().cache_peek(&key) {
-                    if ranked[0].control_client().cache_fill(&key, &bytes).is_ok() {
+                if let Ok(Some(bytes)) = peer.control_client().cache_peek(key) {
+                    if ranked[0].control_client().cache_fill(key, &bytes).is_ok() {
                         shared.peer_fills.fetch_add(1, Ordering::Relaxed);
                     }
                     break;
@@ -674,26 +814,51 @@ fn handle_submit(
     }
 
     let target = request.target();
-    for (attempt, backend) in ranked.iter().enumerate() {
-        match backend
-            .client()
-            .forward("POST", &target, Some(&request.body))
-        {
+    let mut attempts: u32 = 0;
+    for backend in ranked.iter() {
+        // The retry budget bounds the walk; the breaker skips backends
+        // that earned no more traffic (half-open admits one trial).
+        if attempts > shared.retry.budget {
+            break;
+        }
+        if !backend.breaker_allows() {
+            continue;
+        }
+        if attempts > 0 {
+            // Deterministic exponential backoff between failover hops:
+            // a same-instant thundering herd against the runner-up is
+            // exactly how one backend's crash topples the next.
+            std::thread::sleep(shared.retry.delay(attempts - 1, None));
+        }
+        let forwarded = if domino_failpoint::should_fire("fleet.gateway.relay") {
+            Err(ClientError::Unreachable(
+                "failpoint fired: fleet.gateway.relay".to_string(),
+            ))
+        } else {
+            backend
+                .client()
+                .forward("POST", &target, Some(&request.body))
+        };
+        attempts += 1;
+        match forwarded {
             // Connect refused: the prober will confirm, but routing must
             // not wait for it — mark down and fail over now. Deterministic
             // because the rendezvous order is.
             Err(ClientError::Unreachable(_)) => {
                 backend.mark_down();
+                backend.record_failure();
                 continue;
             }
             // The request may have reached the backend; resending could
             // double-submit, so report instead of failing over.
             Err(e) => {
-                return error_reply(conn, 502, &format!("backend {}: {e}", backend.addr()), ka)
+                backend.record_failure();
+                return error_reply(conn, 502, &format!("backend {}: {e}", backend.addr()), ka);
             }
             Ok(response) => {
+                backend.record_success();
                 shared.routed.fetch_add(1, Ordering::Relaxed);
-                if attempt > 0 {
+                if attempts > 1 {
                     shared.failovers.fetch_add(1, Ordering::Relaxed);
                 }
                 if response.status == 429 {
@@ -704,6 +869,13 @@ fn handle_submit(
                 // answer with a SubmitReply whose backend-local id must
                 // become a gateway id.
                 if request.wants_wait() || !(response.status == 200 || response.status == 202) {
+                    if let Some(slot) = capture.take() {
+                        *slot = Some((
+                            response.status,
+                            response.header("retry-after").map(str::to_string),
+                            response.body.clone(),
+                        ));
+                    }
                     return relay_verbatim(conn, &response, ka);
                 }
                 let reply = response
@@ -792,12 +964,19 @@ fn handle_job_fetch(
     };
     let target = backend_target(backend_id, tail, request);
     let response = match backend.client().forward(&request.method, &target, None) {
-        Ok(response) => response,
+        Ok(response) => {
+            backend.record_success();
+            response
+        }
         Err(ClientError::Unreachable(e)) => {
             backend.mark_down();
+            backend.record_failure();
             return error_reply(conn, 502, &format!("backend {addr} unreachable: {e}"), ka);
         }
-        Err(e) => return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka),
+        Err(e) => {
+            backend.record_failure();
+            return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka);
+        }
     };
     // Result bytes (and error bodies) are relayed verbatim; status
     // documents get their id rewritten back to the gateway's.
@@ -847,13 +1026,17 @@ fn handle_events(
         .client()
         .forward("GET", &format!("/jobs/{backend_id}"), None)
     {
-        Ok(probe) if probe.status == 200 => {}
+        Ok(probe) if probe.status == 200 => backend.record_success(),
         Ok(probe) => {
+            backend.record_success();
             let body = probe.text().unwrap_or_default();
             conn.write_response(probe.status, &[], body.as_bytes(), ka)?;
             return Ok(alive(ka));
         }
-        Err(e) => return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka),
+        Err(e) => {
+            backend.record_failure();
+            return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka);
+        }
     }
     let mut writer = conn.begin_chunked(200)?;
     let mut relay_failed = false;

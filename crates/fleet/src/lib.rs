@@ -55,5 +55,8 @@ pub mod gateway;
 pub mod hash;
 pub mod pool;
 
-pub use gateway::{Gateway, GatewayConfig, GatewayMetrics, GatewayShutdownHandle, DEFAULT_GW_PORT};
-pub use pool::{Backend, BackendPool};
+pub use gateway::{
+    BackendHealth, Gateway, GatewayConfig, GatewayMetrics, GatewayShutdownHandle, DEFAULT_GW_PORT,
+    FAILOVER_RETRY_BUDGET,
+};
+pub use pool::{Backend, BackendPool, BREAKER_TRIP_THRESHOLD};

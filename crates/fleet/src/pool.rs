@@ -2,7 +2,7 @@
 //! [`ServeClient`] per backend plus a health bit maintained by a probe
 //! thread and by routing-time connect failures.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -18,6 +18,15 @@ use crate::hash;
 /// 30 s stall per peer.
 pub const CONTROL_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Consecutive data-plane failures that trip a backend's circuit
+/// breaker open. Low enough that a wedged backend stops eating failover
+/// latency quickly, high enough that one flaky request doesn't.
+pub const BREAKER_TRIP_THRESHOLD: u32 = 3;
+
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_OPEN: u8 = 1;
+const BREAKER_HALF_OPEN: u8 = 2;
+
 /// One `dominod` backend as the gateway sees it.
 #[derive(Debug)]
 pub struct Backend {
@@ -28,6 +37,12 @@ pub struct Backend {
     /// Times this backend was marked down (probe failure or routing-time
     /// connect failure).
     downs: AtomicU64,
+    /// Consecutive data-plane failures since the last success; trips the
+    /// breaker at [`BREAKER_TRIP_THRESHOLD`].
+    consecutive_failures: AtomicU32,
+    /// Circuit-breaker state: closed (normal), open (no traffic until a
+    /// probe succeeds), half-open (one trial request allowed).
+    breaker: AtomicU8,
 }
 
 impl Backend {
@@ -43,6 +58,8 @@ impl Backend {
             // fleet's traffic until a probe cycle completes.
             healthy: AtomicBool::new(true),
             downs: AtomicU64::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            breaker: AtomicU8::new(BREAKER_CLOSED),
         }
     }
 
@@ -81,11 +98,74 @@ impl Backend {
         self.downs.load(Ordering::Relaxed)
     }
 
+    /// A routed (data-plane) request against this backend failed.
+    /// [`BREAKER_TRIP_THRESHOLD`] consecutive failures trip the breaker
+    /// open; only a successful health probe re-arms it (half-open).
+    pub fn record_failure(&self) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if failures >= BREAKER_TRIP_THRESHOLD {
+            self.breaker.store(BREAKER_OPEN, Ordering::SeqCst);
+        }
+    }
+
+    /// A routed (data-plane) request against this backend succeeded:
+    /// the failure streak resets and the breaker closes (this is how a
+    /// half-open trial graduates back to closed).
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        self.breaker.store(BREAKER_CLOSED, Ordering::SeqCst);
+    }
+
+    /// Whether the breaker admits a request right now. Closed always
+    /// admits. Open never admits. Half-open admits exactly one caller —
+    /// the trial request — and reverts to open until that trial reports
+    /// via [`record_success`](Self::record_success) /
+    /// [`record_failure`](Self::record_failure).
+    pub fn breaker_allows(&self) -> bool {
+        match self.breaker.load(Ordering::SeqCst) {
+            BREAKER_CLOSED => true,
+            BREAKER_HALF_OPEN => self
+                .breaker
+                .compare_exchange(
+                    BREAKER_HALF_OPEN,
+                    BREAKER_OPEN,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok(),
+            _ => false,
+        }
+    }
+
+    /// The breaker state as a metrics-friendly label.
+    pub fn breaker_state(&self) -> &'static str {
+        match self.breaker.load(Ordering::SeqCst) {
+            BREAKER_OPEN => "open",
+            BREAKER_HALF_OPEN => "half-open",
+            _ => "closed",
+        }
+    }
+
+    fn probe_succeeded(&self) {
+        self.healthy.store(true, Ordering::SeqCst);
+        // A live /healthz does not prove the data plane works, so an
+        // open breaker graduates only to half-open: one trial request
+        // decides between closed and open again.
+        let _ = self.breaker.compare_exchange(
+            BREAKER_OPEN,
+            BREAKER_HALF_OPEN,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
     fn probe(&self) {
+        if domino_failpoint::should_fire("fleet.pool.probe") {
+            self.mark_down();
+            return;
+        }
         match self.control_client.healthz() {
-            Ok(_) => {
-                self.healthy.store(true, Ordering::SeqCst);
-            }
+            Ok(_) => self.probe_succeeded(),
             Err(_) => self.mark_down(),
         }
     }
@@ -115,15 +195,24 @@ impl BackendPool {
         &self.backends
     }
 
-    /// The *healthy* backends in rendezvous order for `key`: index 0 is
-    /// the key's home, the rest the deterministic failover sequence.
+    /// The *eligible* backends in rendezvous order for `key`: healthy,
+    /// breaker not open; index 0 is the key's home, the rest the
+    /// deterministic failover sequence.
+    ///
+    /// Fail-open: when *every* backend is filtered out (a probe blackout
+    /// marks the whole fleet down at once), the full membership is
+    /// ranked instead — the data plane keeps trying real connections
+    /// rather than rejecting all traffic on control-plane evidence alone.
     pub fn ranked(&self, key: &str) -> Vec<Arc<Backend>> {
-        let names: Vec<&str> = self
+        let mut names: Vec<&str> = self
             .backends
             .iter()
-            .filter(|b| b.is_healthy())
+            .filter(|b| b.is_healthy() && b.breaker_state() != "open")
             .map(|b| b.addr())
             .collect();
+        if names.is_empty() {
+            names = self.backends.iter().map(|b| b.addr()).collect();
+        }
         hash::rank(&names, key)
             .into_iter()
             .filter_map(|addr| self.backends.iter().find(|b| b.addr() == addr).cloned())
@@ -137,8 +226,24 @@ impl BackendPool {
         }
     }
 
+    /// This backend's deterministic probe-start offset within one probe
+    /// interval. Hashing the address (not an index) keeps the offset
+    /// stable across restarts and identical on every gateway, while
+    /// spreading the fleet's first-probe times across the interval so a
+    /// large pool doesn't hammer every `/healthz` at the same instant.
+    pub fn probe_stagger(addr: &str, interval: Duration) -> Duration {
+        let nanos = interval.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(hash::score(addr, "probe-stagger") % nanos)
+    }
+
     /// Spawns the health-probe loop; returns its join handle. The loop
     /// exits when `stop` returns `true` (checked once per interval).
+    /// The first probe of each backend is delayed by its
+    /// [`probe_stagger`](Self::probe_stagger) offset; after that first
+    /// staggered round, every cycle probes the whole pool.
     pub fn spawn_prober(
         self: &Arc<Self>,
         interval: Duration,
@@ -148,8 +253,29 @@ impl BackendPool {
         std::thread::Builder::new()
             .name("gw-prober".into())
             .spawn(move || {
+                // Staggered first round: probe each backend once its
+                // offset within the interval has elapsed.
+                let offsets: Vec<Duration> = pool
+                    .backends
+                    .iter()
+                    .map(|b| Self::probe_stagger(b.addr(), interval))
+                    .collect();
+                let mut probed = vec![false; offsets.len()];
+                let mut elapsed = Duration::ZERO;
+                while !stop() && probed.contains(&false) {
+                    for (i, backend) in pool.backends.iter().enumerate() {
+                        if !probed[i] && elapsed >= offsets[i] {
+                            backend.probe();
+                            probed[i] = true;
+                        }
+                    }
+                    if probed.contains(&false) {
+                        let nap = Duration::from_millis(5);
+                        std::thread::sleep(nap);
+                        elapsed += nap;
+                    }
+                }
                 while !stop() {
-                    pool.probe_once();
                     // Sliced sleep so a long probe interval cannot pin
                     // the gateway's shutdown join for that long.
                     let mut remaining = interval;
@@ -157,6 +283,9 @@ impl BackendPool {
                         let nap = remaining.min(Duration::from_millis(25));
                         std::thread::sleep(nap);
                         remaining -= nap;
+                    }
+                    if !stop() {
+                        pool.probe_once();
                     }
                 }
             })
@@ -199,5 +328,83 @@ mod tests {
         assert!(pool.backends()[0].is_healthy(), "optimistic start");
         pool.probe_once();
         assert!(!pool.backends()[0].is_healthy());
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_failures_and_half_open_admits_one_trial() {
+        let pool = BackendPool::new(&["127.0.0.1:7101".to_string()]);
+        let backend = &pool.backends()[0];
+        assert_eq!(backend.breaker_state(), "closed");
+
+        // Below the threshold the breaker stays closed...
+        for _ in 0..BREAKER_TRIP_THRESHOLD - 1 {
+            backend.record_failure();
+            assert_eq!(backend.breaker_state(), "closed");
+            assert!(backend.breaker_allows());
+        }
+        // ...and a success resets the streak entirely.
+        backend.record_success();
+        for _ in 0..BREAKER_TRIP_THRESHOLD - 1 {
+            backend.record_failure();
+        }
+        assert_eq!(backend.breaker_state(), "closed");
+
+        // The threshold-th consecutive failure trips it open.
+        backend.record_failure();
+        assert_eq!(backend.breaker_state(), "open");
+        assert!(!backend.breaker_allows());
+
+        // A successful probe re-arms to half-open; exactly one caller
+        // wins the trial slot, everyone else keeps seeing open.
+        backend.probe_succeeded();
+        assert_eq!(backend.breaker_state(), "half-open");
+        assert!(backend.breaker_allows(), "first caller takes the trial");
+        assert!(!backend.breaker_allows(), "second caller is held back");
+        assert_eq!(backend.breaker_state(), "open");
+
+        // Trial succeeded: closed again and admitting freely.
+        backend.record_success();
+        assert_eq!(backend.breaker_state(), "closed");
+        assert!(backend.breaker_allows());
+    }
+
+    #[test]
+    fn ranked_excludes_open_breakers() {
+        let pool = BackendPool::new(&["127.0.0.1:7101".to_string(), "127.0.0.1:7102".to_string()]);
+        let key = "deadbeefdeadbeefdeadbeefdeadbeef";
+        let full = pool.ranked(key);
+        for _ in 0..BREAKER_TRIP_THRESHOLD {
+            full[0].record_failure();
+        }
+        let rerouted = pool.ranked(key);
+        assert_eq!(rerouted.len(), 1);
+        assert_eq!(rerouted[0].addr(), full[1].addr());
+    }
+
+    #[test]
+    fn ranked_fails_open_when_every_backend_is_filtered() {
+        let pool = BackendPool::new(&["127.0.0.1:7101".to_string(), "127.0.0.1:7102".to_string()]);
+        for backend in pool.backends() {
+            backend.mark_down();
+        }
+        // A probe blackout must not zero the routing table: with nothing
+        // eligible, the full membership is ranked so the data plane can
+        // still try real connections.
+        let ranked = pool.ranked("deadbeefdeadbeefdeadbeefdeadbeef");
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn probe_stagger_is_deterministic_and_within_interval() {
+        let interval = Duration::from_secs(1);
+        let a = BackendPool::probe_stagger("127.0.0.1:7101", interval);
+        let b = BackendPool::probe_stagger("127.0.0.1:7102", interval);
+        assert_eq!(a, BackendPool::probe_stagger("127.0.0.1:7101", interval));
+        assert_ne!(a, b, "near-identical addresses still spread apart");
+        assert!(a < interval && b < interval);
+        assert_eq!(
+            BackendPool::probe_stagger("127.0.0.1:7101", Duration::ZERO),
+            Duration::ZERO
+        );
     }
 }

@@ -226,10 +226,10 @@ fn killing_a_backend_reroutes_to_the_rendezvous_runner_up() {
     let b_entry = metrics
         .backends
         .iter()
-        .find(|(addr, _, _)| addr == &addr_b)
+        .find(|b| b.addr == addr_b)
         .expect("B is listed");
-    assert!(!b_entry.1, "B is marked down");
-    assert_eq!(b_entry.2, 1, "one down transition");
+    assert!(!b_entry.healthy, "B is marked down");
+    assert_eq!(b_entry.down_transitions, 1, "one down transition");
 
     // Subsequent submissions route straight to A — no more failovers.
     let again = client.run_sync(&spec).expect("rerouted run");

@@ -29,6 +29,9 @@ fn usage() -> String {
          \x20 --cache-mem-entries <n>   in-memory cache entry budget, 0 = unbounded [0]\n\
          \x20 --cache-disk-bytes <n>    on-disk cache byte budget, 0 = unbounded [0]\n\
          \x20 --idle-ms <n>             per-connection idle timeout [10000]\n\
+         \x20 --failpoints <spec>       fault-injection schedule (site=mode,...; also via\n\
+         \x20                           DOMINO_FAILPOINTS), modes off|once|every(n)|after(n)\n\
+         \x20 --failpoint-seed <n>      failpoint schedule seed (also DOMINO_FAILPOINT_SEED) [0]\n\
          \n\
          stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
     )
@@ -66,7 +69,14 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
-    let config = ServeConfig::parse_args(args)?;
+    let mut args = args.to_vec();
+    domino_failpoint::take_cli_args(&mut args)?;
+    if let Some((spec, seed)) = domino_failpoint::active_spec() {
+        // The reproducibility header: a chaos failure is rerunnable from
+        // this one log line.
+        eprintln!("dominod: failpoints active: {spec} (seed {seed})");
+    }
+    let config = ServeConfig::parse_args(&args)?;
     let mut server = Server::start(config).map_err(|e| format!("bind failed: {e}"))?;
     // Scripts (CI smoke, serve_bench) parse this exact line for the port.
     println!("dominod listening on {}", server.addr());

@@ -66,6 +66,85 @@ impl fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
+/// A per-request retry budget with exponential backoff and
+/// *deterministic* jitter: the delay before retry `n` is a pure function
+/// of `(seed, n)`, so a chaos run that retried its way to recovery
+/// replays the exact same schedule under the same seed. A server-sent
+/// `Retry-After` overrides the computed backoff — explicit backpressure
+/// knows better than a guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub budget: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling for the computed (jittered) backoff. `Retry-After` is
+    /// honored even beyond it.
+    pub max_delay: Duration,
+    /// Jitter seed; same seed ⇒ same delays.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `budget` retries and the default 50 ms → 2 s
+    /// exponential window, seed 0.
+    pub fn new(budget: u32) -> Self {
+        RetryPolicy {
+            budget,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+
+    /// The same policy under a different jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before retry `attempt` (0-based): "equal jitter" over an
+    /// exponential window — half the window guaranteed, half jittered by
+    /// a splitmix64 of `(seed, attempt)`. When the failed attempt carried
+    /// a `Retry-After`, that wins verbatim.
+    pub fn delay(&self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        if let Some(secs) = retry_after {
+            return Duration::from_secs(secs);
+        }
+        let window = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let half = window / 2;
+        let jitter_ns = match half.as_nanos() as u64 {
+            0 => 0,
+            span => splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9e37)) % (span + 1),
+        };
+        half + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Whether `error` is safe to retry under this policy: the connection
+    /// was never established ([`ClientError::Unreachable`] — the request
+    /// provably never reached a handler) or the server explicitly asked
+    /// for a retry (429 backpressure). Mid-exchange I/O failures are
+    /// *not* retried here — the request may already be processing, and a
+    /// blind resend could double-submit.
+    pub fn retryable(error: &ClientError) -> bool {
+        matches!(
+            error,
+            ClientError::Unreachable(_) | ClientError::Api { status: 429, .. }
+        )
+    }
+}
+
+/// splitmix64 finalizer — the workspace's stock deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// A `dominod` client bound to one server address.
 ///
 /// Cloning shares the connection pool: clones of one client reuse the
@@ -79,6 +158,11 @@ pub struct ServeClient {
     /// clients (probes, cache peering) use this so a half-up peer
     /// cannot stall them for the default 30 s read timeout.
     io_timeout: Option<Duration>,
+    /// When set, the typed request methods retry under this budget;
+    /// `None` (the default) keeps the pre-budget single-attempt
+    /// behaviour. [`ServeClient::forward`] never retries regardless — a
+    /// relay caller owns its own failover policy.
+    retry: Option<RetryPolicy>,
     pool: Arc<Mutex<Option<HttpConnection>>>,
     reuses: Arc<AtomicU64>,
 }
@@ -95,9 +179,19 @@ impl ServeClient {
             addr: addr.into(),
             reuse: true,
             io_timeout: None,
+            retry: None,
             pool: Arc::new(Mutex::new(None)),
             reuses: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The same client with a retry budget on its typed request methods
+    /// (`submit`, `run_sync`, `status`, ...): an unreachable server or an
+    /// explicit 429 is retried up to `policy.budget` times, sleeping
+    /// `policy.delay(..)` (which honors `Retry-After`) between attempts.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// A client that opens a fresh connection for every request — the
@@ -141,6 +235,9 @@ impl ServeClient {
     fn connect(&self, blocking: bool) -> Result<HttpConnection, ClientError> {
         let unreach =
             |e: &dyn fmt::Display| ClientError::Unreachable(format!("{}: {e}", self.addr));
+        if domino_failpoint::should_fire("serve.client.connect") {
+            return Err(unreach(&"failpoint fired: serve.client.connect"));
+        }
         let stream = match self.io_timeout {
             None => std::net::TcpStream::connect(&self.addr).map_err(|e| unreach(&e))?,
             // Bounded connect: try each resolved address under the
@@ -201,9 +298,28 @@ impl ServeClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<Response, ClientError> {
-        let response = self.request_any(method, path, body)?;
-        check_status(&response)?;
-        Ok(response)
+        let attempt_once = || -> Result<Response, ClientError> {
+            let response = self.request_any(method, path, body)?;
+            check_status(&response)?;
+            Ok(response)
+        };
+        let Some(policy) = self.retry else {
+            return attempt_once();
+        };
+        let mut attempt = 0;
+        loop {
+            match attempt_once() {
+                Err(e) if attempt < policy.budget && RetryPolicy::retryable(&e) => {
+                    let retry_after = match &e {
+                        ClientError::Api { retry_after, .. } => *retry_after,
+                        _ => None,
+                    };
+                    std::thread::sleep(policy.delay(attempt, retry_after));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// The transport half of [`ServeClient::request`]: one exchange,
@@ -247,7 +363,13 @@ impl ServeClient {
         // instead. A fresh connection's failure is never retried — that
         // is a real error.
         let idempotent = matches!(method, "GET" | "DELETE");
-        let pooled = self.pool.lock().expect("client pool").take();
+        let mut pooled = self.pool.lock().expect("client pool").take();
+        if pooled.is_some() && domino_failpoint::should_fire("serve.client.reuse") {
+            // Injected stale pool: the kept-alive connection is dropped as
+            // if the server had idle-closed it, forcing the fresh-connect
+            // fallback below.
+            pooled = None;
+        }
         if let Some(mut conn) = pooled {
             match conn.write_request(&self.addr, method, path, body, true) {
                 // Stale pool: fall through to a fresh connection.
@@ -613,6 +735,71 @@ mod tests {
         let err = client.forward("POST", "/jobs", Some(b"{}")).unwrap_err();
         assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
         server.join().unwrap();
+    }
+
+    /// The backoff schedule is a pure function of (seed, attempt): same
+    /// inputs, same delays — a chaos run's timing reproduces exactly.
+    #[test]
+    fn retry_policy_delays_are_deterministic_and_honor_retry_after() {
+        let policy = RetryPolicy::new(3).with_seed(42);
+        for attempt in 0..4 {
+            assert_eq!(
+                policy.delay(attempt, None),
+                policy.delay(attempt, None),
+                "replaying attempt {attempt} gives the same delay"
+            );
+        }
+        // Equal jitter: each delay lands in the upper half of its
+        // exponentially growing window.
+        let first = policy.delay(0, None);
+        assert!(first >= Duration::from_millis(25) && first <= Duration::from_millis(50));
+        let third = policy.delay(2, None);
+        assert!(third >= Duration::from_millis(100) && third <= Duration::from_millis(200));
+        // The computed backoff never exceeds its ceiling, however deep
+        // the attempt counter gets.
+        assert!(policy.delay(30, None) <= policy.max_delay);
+        // Explicit server backpressure wins verbatim over the schedule.
+        assert_eq!(policy.delay(5, Some(7)), Duration::from_secs(7));
+        // The seed actually feeds the jitter.
+        assert_ne!(
+            RetryPolicy::new(3).with_seed(1).delay(0, None),
+            RetryPolicy::new(3).with_seed(2).delay(0, None),
+        );
+    }
+
+    /// A `429 Retry-After` answer is consumed by the retry budget: the
+    /// client waits as told and resubmits, so transient backpressure
+    /// never surfaces to a caller with budget left.
+    #[test]
+    fn retry_budget_survives_429_backpressure() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let client = ServeClient::new(addr).with_retry(RetryPolicy::new(2).with_seed(7));
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = HttpConnection::new(stream);
+            read_request(&mut conn);
+            // Full queue: 429 with explicit zero backpressure, keep-alive
+            // so the retry rides the pooled connection.
+            conn.write_response(
+                429,
+                &[("retry-after", "0")],
+                b"{\"error\":\"queue full\"}",
+                true,
+            )
+            .unwrap();
+            let request = read_request(&mut conn);
+            let reply =
+                b"{\"id\":1,\"name\":\"frg1\",\"key\":\"k\",\"status\":\"queued\",\"queue_depth\":0}";
+            conn.write_response(202, &[], reply, true).unwrap();
+            request
+        });
+        let spec = domino_engine::JobSpec::suite("frg1");
+        let admitted = client.submit(&spec).expect("retried past the 429");
+        assert_eq!(admitted.id, 1);
+        let request = server.join().unwrap();
+        assert_eq!(request.method, "POST", "the resubmission is a real POST");
+        assert_eq!(client.connection_reuses(), 1, "retry reused the pool");
     }
 
     /// Idempotent requests retry on ANY pooled failure — including the

@@ -214,6 +214,9 @@ impl HttpConnection {
     /// request line, non-numeric or oversized `Content-Length`, truncated
     /// body), or the underlying I/O error.
     pub fn next_request(&mut self) -> io::Result<NextRequest> {
+        if domino_failpoint::should_fire("serve.http.read") {
+            return Err(domino_failpoint::injected_io_error("serve.http.read"));
+        }
         let mut line = String::new();
         let n = match self
             .reader
@@ -264,6 +267,9 @@ impl HttpConnection {
         body: &[u8],
         keep_alive: bool,
     ) -> io::Result<()> {
+        if domino_failpoint::should_fire("serve.http.write") {
+            return Err(domino_failpoint::injected_io_error("serve.http.write"));
+        }
         let stream = self.reader.get_mut();
         let mut head = format!(
             "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\

@@ -58,10 +58,10 @@ pub mod protocol;
 mod registry;
 mod server;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use protocol::{
-    CacheCounters, ErrorReply, EventKind, EventRecord, JobStatus, MetricsReply, StatusReply,
-    SubmitReply,
+    CacheCounters, ErrorReply, EventKind, EventRecord, FailpointCounter, JobStatus, MetricsReply,
+    StatusReply, SubmitReply,
 };
 pub use registry::{AdmitError, Registry, RETAINED_TERMINAL_JOBS};
 pub use server::{ServeConfig, Server, ShutdownHandle, DEFAULT_PORT};

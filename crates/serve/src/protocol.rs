@@ -299,6 +299,9 @@ pub struct CacheCounters {
     pub stores: u64,
     /// Entries currently on disk (0 for memory-only caches).
     pub disk_entries: u64,
+    /// Corrupt disk entries detected and quarantined (served as misses,
+    /// never as data).
+    pub corrupt_evictions: u64,
 }
 
 impl CacheCounters {
@@ -314,6 +317,10 @@ impl CacheCounters {
             ("misses", Json::Num(self.misses as f64)),
             ("stores", Json::Num(self.stores as f64)),
             ("disk_entries", Json::Num(self.disk_entries as f64)),
+            (
+                "corrupt_evictions",
+                Json::Num(self.corrupt_evictions as f64),
+            ),
         ])
     }
 
@@ -324,6 +331,49 @@ impl CacheCounters {
             misses: req_u64(v, "misses")?,
             stores: req_u64(v, "stores")?,
             disk_entries: req_u64(v, "disk_entries")?,
+            // Absent on pre-quarantine servers: a gateway must keep
+            // parsing their metrics during a rolling upgrade.
+            corrupt_evictions: opt_u64_from(v, "corrupt_evictions").unwrap_or(0),
+        })
+    }
+}
+
+/// One failpoint site's counters, as exposed by `GET /metrics` when the
+/// process runs with an active fault-injection schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailpointCounter {
+    /// Site name (e.g. `engine.cache.disk_write`).
+    pub site: String,
+    /// The schedule the site runs (`once`, `every(3)`, ...).
+    pub mode: String,
+    /// Times the site was evaluated.
+    pub hits: u64,
+    /// Evaluations that injected the fault.
+    pub fires: u64,
+}
+
+impl FailpointCounter {
+    /// Serializes to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("site", Json::Str(self.site.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("hits", Json::Num(self.hits as f64)),
+            ("fires", Json::Num(self.fires as f64)),
+        ])
+    }
+
+    /// Parses the wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        Ok(FailpointCounter {
+            site: req_str(v, "site")?,
+            mode: req_str(v, "mode")?,
+            hits: req_u64(v, "hits")?,
+            fires: req_u64(v, "fires")?,
         })
     }
 }
@@ -359,6 +409,9 @@ pub struct MetricsReply {
     pub exec_ms: u64,
     /// Result-cache counters (`None` when the server runs uncached).
     pub cache: Option<CacheCounters>,
+    /// Fault-injection site counters; empty unless the process runs with
+    /// an active failpoint schedule (chaos testing).
+    pub failpoints: Vec<FailpointCounter>,
 }
 
 impl MetricsReply {
@@ -380,6 +433,15 @@ impl MetricsReply {
             (
                 "cache",
                 self.cache.map(CacheCounters::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "failpoints",
+                Json::Arr(
+                    self.failpoints
+                        .iter()
+                        .map(FailpointCounter::to_json)
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -406,6 +468,14 @@ impl MetricsReply {
             cache: match v.get("cache") {
                 None | Some(Json::Null) => None,
                 Some(j) => Some(CacheCounters::from_json(j)?),
+            },
+            // Absent on pre-failpoint servers (rolling upgrade).
+            failpoints: match v.get("failpoints").and_then(Json::as_arr) {
+                Some(items) => items
+                    .iter()
+                    .map(FailpointCounter::from_json)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
             },
         })
     }
@@ -651,7 +721,18 @@ mod tests {
                     misses: c,
                     stores: d,
                     disk_entries: e,
+                    corrupt_evictions: a ^ c,
                 }),
+                failpoints: if with_cache {
+                    vec![FailpointCounter {
+                        site: "engine.cache.disk_write".into(),
+                        mode: "every(3)".into(),
+                        hits: a,
+                        fires: b,
+                    }]
+                } else {
+                    Vec::new()
+                },
             };
             let text = reply.to_json().serialize();
             let v = domino_engine::json::parse(&text).unwrap();

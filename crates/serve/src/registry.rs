@@ -204,6 +204,15 @@ impl Registry {
         if inner.draining {
             return Err(AdmitError::Draining);
         }
+        if domino_failpoint::should_fire("serve.registry.admit") {
+            // Injected backpressure: indistinguishable from a genuinely
+            // full queue, so the 429 + Retry-After path is exercised end
+            // to end (client budgets, gateway relay-verbatim).
+            inner.counters.rejected += 1;
+            return Err(AdmitError::Full {
+                depth: inner.queue.len() as u64,
+            });
+        }
         if inner.queue.len() >= self.capacity {
             inner.counters.rejected += 1;
             return Err(AdmitError::Full {
@@ -549,6 +558,15 @@ impl Registry {
             queue_wait_ms: inner.counters.queue_wait_ms,
             exec_ms: inner.counters.exec_ms,
             cache,
+            failpoints: domino_failpoint::snapshot()
+                .into_iter()
+                .map(|s| crate::protocol::FailpointCounter {
+                    site: s.site,
+                    mode: s.mode,
+                    hits: s.hits,
+                    fires: s.fires,
+                })
+                .collect(),
         }
     }
 }

@@ -297,6 +297,7 @@ impl Shared {
                 misses: stats.misses,
                 stores: stats.stores,
                 disk_entries: cache.disk_len() as u64,
+                corrupt_evictions: stats.corrupt_evictions,
             }
         })
     }
@@ -489,6 +490,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 // accept with a throwaway self-connection.
                 if shared.is_shutting_down() {
                     return;
+                }
+                if domino_failpoint::should_fire("serve.http.accept") {
+                    // Injected accept failure: the connection is dropped on
+                    // the floor, as a SYN-flooded or fd-exhausted listener
+                    // would — clients see a reset before any response byte.
+                    drop(stream);
+                    continue;
                 }
                 let shared = Arc::clone(shared);
                 // Connection handlers are detached but counted
