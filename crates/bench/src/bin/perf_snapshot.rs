@@ -28,7 +28,9 @@ use std::time::Instant;
 
 use domino_bdd::circuit::CircuitBdds;
 use domino_bench::fleet_probe::{measure_fleet, FleetLoadConfig};
-use domino_bench::serve_probe::{measure_serve, ServeLoadConfig};
+use domino_bench::serve_probe::{
+    measure_connection_scale, measure_serve, ConnectionScaleConfig, ServeLoadConfig,
+};
 use domino_bench::Experiment;
 use domino_engine::json::{parse, Json};
 use domino_phase::flow::FlowConfig;
@@ -177,6 +179,24 @@ fn main() -> ExitCode {
         ("keepalive_speedup", Json::Num(serve.keepalive_speedup)),
     ]);
 
+    // Connection scale: N concurrent kept-alive connections held against
+    // one reactor-fronted server, every response byte-verified, the
+    // server's thread count verified bounded by the harness itself. The
+    // gated value is the deterministic connection count, not a wall
+    // clock — a regression here means the serve layer lost capacity.
+    let scale = measure_connection_scale(&ConnectionScaleConfig {
+        connections: if fast { 512 } else { 2048 },
+        ..ConnectionScaleConfig::default()
+    });
+    let scale_doc = Json::obj(vec![
+        ("connections", Json::Num(scale.connections as f64)),
+        ("open_ms", Json::Num(scale.open_ms)),
+        ("requests_per_s", Json::Num(scale.requests_per_s)),
+        ("open_connections", Json::Num(scale.open_connections as f64)),
+        ("process_threads", Json::Num(scale.process_threads as f64)),
+        ("thread_bound", Json::Num(scale.thread_bound as f64)),
+    ]);
+
     // The fleet (gateway + backends + cache peering), measured in-process
     // with the same harness as fleet_bench: the gated numbers are the
     // warm wave through the gateway (the routed service floor) and the
@@ -210,6 +230,7 @@ fn main() -> ExitCode {
         ("samples", Json::Num(samples as f64)),
         ("circuits", Json::Arr(rows)),
         ("serve", serve_doc),
+        ("serve_scale", scale_doc),
         ("fleet", fleet_doc),
     ]);
     let text = doc.serialize();
@@ -340,6 +361,29 @@ fn check_against_baseline(current: &Json, path: &str, tolerance_pct: f64) -> Exi
                     now_tp / base_tp
                 );
             }
+        }
+    }
+
+    // The connection-scale section gates a deterministic capability, not
+    // a wall clock: the serve layer must still hold at least as many
+    // concurrent kept-alive connections as the baseline records (the
+    // harness itself already verified byte-identity and the thread
+    // bound, panicking otherwise).
+    if let (Some(now), Some(base)) = (current.get("serve_scale"), baseline.get("serve_scale")) {
+        if let (Some(now_c), Some(base_c)) = (
+            now.get("connections").and_then(Json::as_u64),
+            base.get("connections").and_then(Json::as_u64),
+        ) {
+            compared += 1;
+            let verdict = if now_c < base_c {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "check: serve_scale connections   {now_c:>9} held vs {base_c:>9} held  {verdict}"
+            );
         }
     }
 

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p domino-bench --bin serve_bench -- \
-//!     [--fast] [--clients <n>] [--passes <n>] [--out <path>]
+//!     [--fast] [--clients <n>] [--passes <n>] [--connections <n>] [--out <path>]
 //! ```
 //!
 //! `--fast` restricts to the two cheapest circuits (the CI artifact
@@ -13,8 +13,15 @@
 //! waves' wall/throughput/latency and the warm-over-cold speedup; the
 //! same measurement feeds `perf_snapshot`'s `serve` section and the CI
 //! regression gate, via the shared [`domino_bench::serve_probe`] harness.
+//!
+//! `--connections <n>` additionally runs the connection-scale harness:
+//! `n` concurrent kept-alive connections held open against one server,
+//! every response byte-verified and the server's thread count verified
+//! bounded (the reactor serves connections with sockets, not threads).
 
-use domino_bench::serve_probe::{measure_serve, ServeLoadConfig, WaveStats};
+use domino_bench::serve_probe::{
+    measure_connection_scale, measure_serve, ConnectionScaleConfig, ServeLoadConfig, WaveStats,
+};
 use domino_engine::json::Json;
 
 fn wave_json(wave: &WaveStats) -> Json {
@@ -44,10 +51,12 @@ fn main() {
             .unwrap_or(3),
     };
     let out = flag("--out").unwrap_or_else(|| "serve_bench.json".to_string());
+    let connections: Option<usize> =
+        flag("--connections").map(|v| v.parse().expect("--connections needs an integer"));
 
     let m = measure_serve(&config);
 
-    let doc = Json::obj(vec![
+    let mut doc = Json::obj(vec![
         ("fast", Json::Bool(config.fast)),
         ("clients", Json::Num(m.clients as f64)),
         ("workers", Json::Num(m.workers as f64)),
@@ -63,6 +72,32 @@ fn main() {
         ("keepalive_speedup", Json::Num(m.keepalive_speedup)),
         ("connection_reuses", Json::Num(m.connection_reuses as f64)),
     ]);
+    if let Some(n) = connections {
+        let scale = measure_connection_scale(&ConnectionScaleConfig {
+            connections: n,
+            ..ConnectionScaleConfig::default()
+        });
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push((
+                "connection_scale".to_string(),
+                Json::obj(vec![
+                    ("connections", Json::Num(scale.connections as f64)),
+                    ("drivers", Json::Num(scale.drivers as f64)),
+                    ("open_ms", Json::Num(scale.open_ms)),
+                    ("requests_per_s", Json::Num(scale.requests_per_s)),
+                    ("open_connections", Json::Num(scale.open_connections as f64)),
+                    ("process_threads", Json::Num(scale.process_threads as f64)),
+                    ("thread_bound", Json::Num(scale.thread_bound as f64)),
+                ]),
+            ));
+        }
+        eprintln!(
+            "serve_bench: {} kept-alive connections held concurrently \
+             ({:.0} warm req/s to open) on {} process threads (bound {}) — \
+             byte-identity verified on every connection",
+            scale.connections, scale.requests_per_s, scale.process_threads, scale.thread_bound,
+        );
+    }
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write serve_bench output");
     println!("{text}");

@@ -24,11 +24,11 @@
 //! (pooled) connections and once with a fresh connection per request —
 //! same bytes, same cache hits, only the connection discipline differs.
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use domino_engine::{JobSpec, ResultCache};
-use domino_serve::{ServeClient, ServeConfig, Server};
+use domino_serve::{ClientError, ServeClient, ServeConfig, Server};
 
 /// Load-harness knobs.
 #[derive(Debug, Clone)]
@@ -308,5 +308,206 @@ pub fn measure_serve(config: &ServeLoadConfig) -> ServeMeasurement {
         per_connection,
         keepalive_speedup: keepalive.jobs_per_s / per_connection.jobs_per_s,
         connection_reuses,
+    }
+}
+
+/// Connection-scale knobs: how many kept-alive connections to hold open
+/// concurrently, and how many driver threads open them.
+#[derive(Debug, Clone)]
+pub struct ConnectionScaleConfig {
+    /// Concurrent kept-alive connections to hold open.
+    pub connections: usize,
+    /// Driver threads opening them (each holds `connections / drivers`).
+    pub drivers: usize,
+}
+
+impl Default for ConnectionScaleConfig {
+    fn default() -> Self {
+        ConnectionScaleConfig {
+            connections: 2048,
+            drivers: 8,
+        }
+    }
+}
+
+/// The connection-scale measurement: N concurrent kept-alive
+/// connections against one reactor-fronted server, every response
+/// byte-verified, the server's thread count verified bounded.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectionScaleMeasurement {
+    /// Connections actually held open (clamped to the fd limit).
+    pub connections: u64,
+    /// Driver threads used.
+    pub drivers: usize,
+    /// Wall-clock to open every connection and serve a warm submit +
+    /// result pair on each, ms.
+    pub open_ms: f64,
+    /// Warm requests per second during the open sweep.
+    pub requests_per_s: f64,
+    /// The server reactor's `open_connections` counter observed while
+    /// every connection was held (at least `connections`).
+    pub open_connections: u64,
+    /// Process thread count observed while every connection was held.
+    pub process_threads: u64,
+    /// The bound `process_threads` was verified against — independent of
+    /// the connection count.
+    pub thread_bound: u64,
+}
+
+/// The process's current thread count, from `/proc/self/status`.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))?
+                .split_whitespace()
+                .nth(1)?
+                .parse()
+                .ok()
+        })
+        .expect("/proc/self/status has a Threads line")
+}
+
+/// Holds `config.connections` kept-alive connections open against one
+/// in-process server, serving a warm `POST /jobs` + `GET result` pair on
+/// each (the poolable wire path — a `?wait=1` request would get a
+/// dedicated, never-pooled connection by design) and byte-comparing
+/// every outcome, then — with all connections held — verifies the
+/// server's reactor counter sees them all and the process thread count
+/// stays bounded (connections cost sockets, not threads).
+///
+/// The open-file soft limit is raised as far as the hard limit allows;
+/// if it still cannot cover the requested count, the count is clamped
+/// (and reported via the returned `connections`).
+///
+/// # Panics
+///
+/// Panics on a byte-mismatched response, a reactor counter below the
+/// held connection count, or a thread count above the bound.
+pub fn measure_connection_scale(config: &ConnectionScaleConfig) -> ConnectionScaleMeasurement {
+    let drivers = config.drivers.max(1);
+    // Client + server side of every connection live in this process, plus
+    // headroom for the suite, the cache and the control connection.
+    let wanted_fds = (config.connections as u64) * 2 + 256;
+    let fd_limit =
+        domino_reactor::raise_open_file_limit(wanted_fds).expect("query/raise the open-file limit");
+    let connections = if fd_limit < wanted_fds {
+        let usable = ((fd_limit.saturating_sub(256)) / 2) as usize;
+        eprintln!(
+            "serve_probe: open-file limit {fd_limit} clamps the connection count \
+             {} -> {usable}",
+            config.connections
+        );
+        usable.max(1)
+    } else {
+        config.connections.max(1)
+    };
+
+    let cache = Arc::new(ResultCache::in_memory());
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 64,
+        cache: Some(Arc::clone(&cache)),
+        max_connections: connections + 64,
+        ..ServeConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.addr().to_string();
+
+    // One spec, warmed once: every connection's request must then be a
+    // cache hit answered inline, and every response byte-identical.
+    let spec = JobSpec::suite("frg1");
+    let expected = ServeClient::new(addr.clone())
+        .run_sync(&spec)
+        .expect("warming job completes");
+
+    let held = Barrier::new(drivers + 1);
+    let release = Barrier::new(drivers + 1);
+    let per_driver: Vec<usize> = (0..drivers)
+        .map(|d| connections / drivers + usize::from(d < connections % drivers))
+        .collect();
+
+    let sweep_start = Instant::now();
+    let mut open_ms = 0.0;
+    let mut observed_open = 0u64;
+    let mut observed_threads = 0u64;
+    // Reactor + handler pool + pump + worker + main are all there is on
+    // the server side; the rest is this harness's own drivers. The slack
+    // absorbs runtime housekeeping threads without ever being compatible
+    // with thread-per-connection at four-digit connection counts.
+    let thread_bound = (drivers as u64) + 32;
+    std::thread::scope(|scope| {
+        for &quota in &per_driver {
+            let (addr, spec, expected) = (&addr, &spec, &expected);
+            let (held, release) = (&held, &release);
+            scope.spawn(move || {
+                let mut held_clients = Vec::with_capacity(quota);
+                for _ in 0..quota {
+                    // submit + result fetch ride the client's pooled
+                    // keep-alive connection (`?wait=1` would get a
+                    // dedicated, never-pooled connection by design), so
+                    // dropping neither request leaves the connection open
+                    // and counted by the reactor while the client is held.
+                    let client = ServeClient::new(addr.clone());
+                    let admit = client.submit(spec).expect("warm submit admits");
+                    let outcome = loop {
+                        match client.result(admit.id, false) {
+                            Ok(text) => break text,
+                            // 409: admitted but not yet terminal (the
+                            // cache answers warm submissions inline, so
+                            // this is a startup race at most).
+                            Err(ClientError::Api { status: 409, .. }) => {
+                                std::thread::sleep(std::time::Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("warm result fetch: {e}"),
+                        }
+                    };
+                    assert_eq!(
+                        outcome, *expected,
+                        "every connection must see byte-identical outcome bytes"
+                    );
+                    held_clients.push(client);
+                }
+                held.wait();
+                // Connections stay pooled (and open) in `held_clients`
+                // until the main thread has observed the peak.
+                release.wait();
+                drop(held_clients);
+            });
+        }
+        held.wait();
+        open_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+        let metrics = server.metrics();
+        let reactor = metrics.reactor.expect("reactor counters present");
+        observed_open = reactor.open_connections;
+        observed_threads = process_threads();
+        release.wait();
+    });
+
+    assert!(
+        observed_open >= connections as u64,
+        "reactor must see every held connection ({observed_open} < {connections})"
+    );
+    assert!(
+        observed_threads <= thread_bound,
+        "thread count must stay bounded: {observed_threads} threads for \
+         {connections} connections (bound {thread_bound})"
+    );
+    server.shutdown();
+
+    ConnectionScaleMeasurement {
+        connections: connections as u64,
+        drivers,
+        open_ms,
+        requests_per_s: if open_ms > 0.0 {
+            (connections * 2) as f64 / (open_ms / 1e3)
+        } else {
+            f64::INFINITY
+        },
+        open_connections: observed_open,
+        process_threads: observed_threads,
+        thread_bound,
     }
 }

@@ -15,23 +15,17 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use domino_fleet::{Gateway, GatewayConfig, DEFAULT_GW_PORT};
+use domino_fleet::{Gateway, GatewayConfig};
 
 fn usage() -> String {
     format!(
         "usage: dominogw --backend <host:port> [options]\n\
          \n\
          options:\n\
-         \x20 --backend <host:port>  a dominod backend (repeatable, at least one)\n\
-         \x20 --addr <host:port>     bind address [127.0.0.1:{DEFAULT_GW_PORT}]; port 0 = ephemeral\n\
-         \x20 --probe-ms <n>         backend health-probe interval [500]\n\
-         \x20 --idle-ms <n>          per-connection idle timeout [10000]\n\
-         \x20 --max-requests <n>     requests per connection before close [1024]\n\
-         \x20 --failpoints <spec>    fault-injection schedule (site=mode,...; also via\n\
-         \x20                        DOMINO_FAILPOINTS), modes off|once|every(n)|after(n)\n\
-         \x20 --failpoint-seed <n>   failpoint schedule seed (also DOMINO_FAILPOINT_SEED) [0]\n\
+         {}\n\
          \n\
-         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
+         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT",
+        GatewayConfig::arg_table().options_help()
     )
 }
 

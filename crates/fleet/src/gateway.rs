@@ -29,22 +29,42 @@
 //!   the home's cache; on a miss it peeks the failover sequence and, if a
 //!   peer holds the entry, fills the home's cache first
 //!   (`POST /cache/fill/:key`) — one node's cold run warms the fleet.
+//!
+//! # Threads
+//!
+//! Like `dominod`, the gateway multiplexes every client connection on
+//! one reactor thread ([`domino_serve::front`]). Relay work — backend
+//! round trips, `?wait=1` long-polls, event-stream re-emission — runs on
+//! a fixed handler pool, so a thousand kept-alive clients cost a
+//! thousand sockets but a bounded handful of threads.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use domino_engine::json::{parse, Json};
 use domino_engine::{CircuitSource, EngineError, FlowJob, JobSpec};
-use domino_serve::http::{serve_connection, ConnectionPolicy, HttpConnection, Request, Served};
+use domino_serve::config::{apply_connection_flags, DEFAULT_MAX_CONNECTIONS};
+use domino_serve::front::{FrontConfig, FrontHandle, HttpFront, Responder};
+use domino_serve::http::Request;
 use domino_serve::protocol::{ErrorReply, StatusReply, SubmitReply};
-use domino_serve::{ClientError, FailpointCounter, RetryPolicy};
+use domino_serve::{ArgTable, ClientError, FailpointCounter, RetryPolicy};
 
 use crate::pool::BackendPool;
+
+/// One backend's health as reported in the gateway's `GET /metrics` —
+/// the gateway flavor of the shared metrics schema in
+/// [`domino_serve::protocol`].
+pub type BackendHealth = domino_serve::protocol::BackendHealthDoc;
+
+/// Point-in-time gateway counters (the `GET /metrics` document) — the
+/// gateway flavor of the shared metrics schema in
+/// [`domino_serve::protocol`].
+pub type GatewayMetrics = domino_serve::protocol::GatewayMetricsDoc;
 
 /// Failover attempts a submission may make beyond its first backend. A
 /// budget (rather than "walk the whole ranking") bounds worst-case
@@ -53,6 +73,11 @@ pub const FAILOVER_RETRY_BUDGET: u32 = 3;
 
 /// Default TCP port for `dominogw` (one above `dominod`'s 7171 block).
 pub const DEFAULT_GW_PORT: u16 = 7270;
+
+/// Handler threads the gateway keeps at minimum. Gateway handlers
+/// *block* on backend round trips (relays, `?wait=1` long-polls, event
+/// streams), so the pool runs wider than `dominod`'s router pool.
+const GW_HANDLER_THREADS_MIN: usize = 8;
 
 /// Gateway configuration (CLI flags of `dominogw`).
 #[derive(Debug, Clone)]
@@ -67,6 +92,9 @@ pub struct GatewayConfig {
     pub idle_timeout_ms: u64,
     /// Requests served per connection before a polite close.
     pub max_requests_per_connection: u32,
+    /// Concurrently open connections the reactor accepts before
+    /// answering further accepts with `503` and an immediate close.
+    pub max_connections: usize,
 }
 
 impl Default for GatewayConfig {
@@ -77,53 +105,54 @@ impl Default for GatewayConfig {
             probe_interval: Duration::from_millis(500),
             idle_timeout_ms: 10_000,
             max_requests_per_connection: 1024,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
 
 impl GatewayConfig {
+    /// The gateway's flag table (see [`domino_serve::config`]): the
+    /// single declaration behind both [`GatewayConfig::parse_args`] and
+    /// `dominogw --help`. The connection flags are the exact same
+    /// declarations `dominod` uses.
+    pub fn arg_table() -> ArgTable {
+        let table = ArgTable::new("gateway")
+            .flag(
+                "--addr",
+                "<host:port>",
+                "bind address [127.0.0.1:7270]; port 0 = ephemeral",
+            )
+            .flag(
+                "--backend",
+                "<host:port>",
+                "dominod backend; repeat once per fleet node (required)",
+            )
+            .flag("--probe-ms", "<n>", "health-probe interval [500]");
+        domino_serve::config::failpoint_docs(domino_serve::config::connection_flags(table))
+    }
+
     /// Parses `dominogw` CLI flags (`--addr`, repeated `--backend`,
-    /// `--probe-ms`, `--idle-ms`, `--max-requests`).
+    /// `--probe-ms`, `--idle-ms`, `--max-requests`,
+    /// `--max-connections`).
     ///
     /// # Errors
     ///
     /// A rendered usage problem: unknown flag, missing value, no
     /// backends.
     pub fn parse_args(args: &[String]) -> Result<Self, String> {
+        let parsed = Self::arg_table().parse(args)?;
         let mut config = GatewayConfig::default();
-        let mut iter = args.iter();
-        while let Some(arg) = iter.next() {
-            let mut value = |flag: &str| {
-                iter.next()
-                    .cloned()
-                    .ok_or_else(|| format!("{flag} needs a value"))
-            };
-            match arg.as_str() {
-                "--addr" => config.addr = value("--addr")?,
-                "--backend" => config.backends.push(value("--backend")?),
-                "--probe-ms" => {
-                    let ms: u64 = value("--probe-ms")?
-                        .parse()
-                        .map_err(|_| "--probe-ms needs an integer".to_string())?;
-                    config.probe_interval = Duration::from_millis(ms.max(1));
-                }
-                "--idle-ms" => {
-                    let ms: u64 = value("--idle-ms")?
-                        .parse()
-                        .map_err(|_| "--idle-ms needs an integer".to_string())?;
-                    if ms == 0 {
-                        return Err("--idle-ms must be at least 1".to_string());
-                    }
-                    config.idle_timeout_ms = ms;
-                }
-                "--max-requests" => {
-                    config.max_requests_per_connection = value("--max-requests")?
-                        .parse()
-                        .map_err(|_| "--max-requests needs an integer".to_string())?;
-                }
-                other => return Err(format!("unknown flag '{other}'")),
-            }
+        parsed.set_string("--addr", &mut config.addr);
+        config.backends = parsed.all("--backend");
+        if let Some(ms) = parsed.integer::<u64>("--probe-ms")? {
+            config.probe_interval = Duration::from_millis(ms.max(1));
         }
+        apply_connection_flags(
+            &parsed,
+            &mut config.idle_timeout_ms,
+            &mut config.max_requests_per_connection,
+            &mut config.max_connections,
+        )?;
         if config.backends.is_empty() {
             return Err("at least one --backend is required".to_string());
         }
@@ -242,12 +271,9 @@ struct GwShared {
     key_memo: KeyMemo,
     retry: RetryPolicy,
     sync_flight: SyncFlight,
-    policy: ConnectionPolicy,
+    front: FrontHandle,
     addr: SocketAddr,
     started: Instant,
-    shutdown: AtomicBool,
-    accept_woken: AtomicBool,
-    active_connections: AtomicUsize,
     /// Jobs forwarded to a backend (any reply status).
     routed: AtomicU64,
     /// Backend `429`s propagated to callers.
@@ -266,148 +292,90 @@ struct GwShared {
 
 impl GwShared {
     fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.front.is_draining()
     }
 
     fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept loop with a throwaway connection (same
-        // trick, and same reasoning, as dominod's drain).
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(if wake.is_ipv4() {
-                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
-            } else {
-                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
-            });
-        }
-        for attempt in 0..3 {
-            if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
-                self.accept_woken.store(true, Ordering::SeqCst);
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(50 * (attempt + 1)));
-        }
+        // The reactor owns the listener and every connection: one flag
+        // flip closes the accept path and starts the drain (no self-
+        // connect wake needed — the reactor's waker pipe does it).
+        self.front.shutdown();
     }
-}
 
-/// One backend's health as reported in the gateway's `GET /metrics`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BackendHealth {
-    /// Backend address (`host:port`).
-    pub addr: String,
-    /// Whether the last contact (probe or routed request) succeeded.
-    pub healthy: bool,
-    /// Times this backend transitioned healthy → down.
-    pub down_transitions: u64,
-    /// Circuit-breaker state label: `closed`, `open` or `half-open`.
-    pub breaker: String,
-}
-
-/// Point-in-time gateway counters (the `GET /metrics` document).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GatewayMetrics {
-    /// Milliseconds since the gateway started.
-    pub uptime_ms: u64,
-    /// Jobs forwarded to a backend (any reply status).
-    pub routed: u64,
-    /// Backend `429`s propagated to callers.
-    pub rejected: u64,
-    /// Submissions answered by a failover backend.
-    pub failovers: u64,
-    /// Cold-home submissions warmed from a peer before routing.
-    pub peer_fills: u64,
-    /// Submissions refused with `503` (no reachable backend).
-    pub unroutable: u64,
-    /// Sync submissions coalesced onto an in-flight leader's reply.
-    pub coalesced: u64,
-    /// Per-backend health and breaker state.
-    pub backends: Vec<BackendHealth>,
-    /// Failpoint site counters — empty unless the gateway runs with an
-    /// active fault-injection schedule (chaos testing).
-    pub failpoints: Vec<FailpointCounter>,
-}
-
-impl GatewayMetrics {
-    /// Parses the `GET /metrics` document of a gateway.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::Spec`] on missing or mistyped fields.
-    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
-        let field = |k: &str| {
-            v.get(k)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| EngineError::Spec(format!("missing or mistyped field '{k}'")))
-        };
-        let backends = match v.get("backends") {
-            Some(Json::Arr(items)) => items
-                .iter()
-                .map(|b| BackendHealth {
-                    addr: b
-                        .get("addr")
-                        .and_then(Json::as_str)
-                        .unwrap_or_default()
-                        .to_string(),
-                    healthy: b.get("healthy").and_then(Json::as_bool).unwrap_or(false),
-                    down_transitions: b
-                        .get("down_transitions")
-                        .and_then(Json::as_u64)
-                        .unwrap_or(0),
-                    // Absent in documents from pre-breaker gateways
-                    // (rolling upgrade): closed is the only state such a
-                    // gateway can be in.
-                    breaker: b
-                        .get("breaker")
-                        .and_then(Json::as_str)
-                        .unwrap_or("closed")
-                        .to_string(),
-                })
-                .collect(),
-            _ => Vec::new(),
-        };
-        let failpoints = match v.get("failpoints") {
-            Some(Json::Arr(items)) => items
-                .iter()
-                .filter_map(|f| FailpointCounter::from_json(f).ok())
-                .collect(),
-            _ => Vec::new(),
-        };
-        Ok(GatewayMetrics {
-            uptime_ms: field("uptime_ms")?,
-            routed: field("routed")?,
-            rejected: field("rejected")?,
-            failovers: field("failovers")?,
-            peer_fills: field("peer_fills")?,
-            unroutable: field("unroutable")?,
-            // Absent in pre-coalescing documents (rolling upgrade).
-            coalesced: v.get("coalesced").and_then(Json::as_u64).unwrap_or(0),
+    /// The `GET /metrics` document: gateway counters, live reactor
+    /// counters, per-backend health, failpoint sites.
+    fn metrics_doc(&self) -> GatewayMetrics {
+        let backends = self
+            .pool
+            .backends()
+            .iter()
+            .map(|b| BackendHealth {
+                addr: b.addr().to_string(),
+                healthy: b.is_healthy(),
+                down_transitions: b.down_transitions(),
+                breaker: b.breaker_state().to_string(),
+            })
+            .collect();
+        let failpoints = domino_failpoint::snapshot()
+            .into_iter()
+            .map(|s| FailpointCounter {
+                site: s.site,
+                mode: s.mode,
+                hits: s.hits,
+                fires: s.fires,
+            })
+            .collect();
+        GatewayMetrics {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            routed: self.routed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            peer_fills: self.peer_fills.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            reactor: Some(self.front.counters()),
             backends,
             failpoints,
-        })
+        }
     }
 }
 
-/// A running gateway: accept loop + health prober over a backend pool.
+/// A running gateway: reactor front + health prober over a backend pool.
 #[derive(Debug)]
 pub struct Gateway {
     shared: Arc<GwShared>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<io::Result<()>>>,
     prober_handle: Option<JoinHandle<()>>,
 }
 
 impl Gateway {
     /// Binds, probes the fleet once (so routing starts with real health
-    /// bits), spawns the accept loop and the prober, and returns.
+    /// bits), spawns the reactor and the prober, and returns.
     ///
     /// # Errors
     ///
-    /// [`io::Error`] when the listen address cannot be bound.
+    /// [`io::Error`] when the listen address cannot be bound or the
+    /// reactor cannot be set up.
     pub fn start(config: GatewayConfig) -> io::Result<Gateway> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let pool = Arc::new(BackendPool::new(&config.backends));
         pool.probe_once();
+
+        let handler_threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .max(GW_HANDLER_THREADS_MIN);
+        let front = HttpFront::bind(
+            listener,
+            FrontConfig {
+                name: "dominogw",
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                max_requests: config.max_requests_per_connection.max(1),
+                max_connections: config.max_connections.max(1),
+                handler_threads,
+            },
+        )?;
 
         let shared = Arc::new(GwShared {
             pool: Arc::clone(&pool),
@@ -415,15 +383,9 @@ impl Gateway {
             key_memo: KeyMemo::default(),
             retry: RetryPolicy::new(FAILOVER_RETRY_BUDGET),
             sync_flight: SyncFlight::default(),
-            policy: ConnectionPolicy {
-                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
-                max_requests: config.max_requests_per_connection.max(1),
-            },
+            front: front.handle(),
             addr,
             started: Instant::now(),
-            shutdown: AtomicBool::new(false),
-            accept_woken: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
             routed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
@@ -432,10 +394,16 @@ impl Gateway {
             coalesced: AtomicU64::new(0),
         });
 
-        let accept_shared = Arc::clone(&shared);
-        let accept_handle = std::thread::Builder::new()
-            .name("gw-accept".into())
-            .spawn(move || accept_loop(listener, &accept_shared))?;
+        let reactor_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dominogw-reactor".into())
+                .spawn(move || {
+                    front.run(Arc::new(move |request, responder| {
+                        route(&shared, &request, responder);
+                    }))
+                })?
+        };
 
         let prober_shared = Arc::clone(&shared);
         let prober_handle = pool.spawn_prober(config.probe_interval, move || {
@@ -444,7 +412,7 @@ impl Gateway {
 
         Ok(Gateway {
             shared,
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
             prober_handle: Some(prober_handle),
         })
     }
@@ -479,24 +447,14 @@ impl Gateway {
     }
 
     fn join(&mut self) {
-        if let Some(handle) = self.accept_handle.take() {
-            // Refuse to join a possibly still-blocked accept thread (the
-            // wake connection may have failed); detach it instead.
+        if let Some(handle) = self.reactor_handle.take() {
             while !self.shared.is_shutting_down() {
                 std::thread::sleep(Duration::from_millis(10));
             }
-            if self.shared.accept_woken.load(Ordering::SeqCst) {
-                let _ = handle.join();
-            }
-        }
-        // Bounded grace for in-flight relays, like `Server::wait`: a
-        // connection pinned by an event stream whose backend died
-        // uncleanly could otherwise hang the shutdown forever.
-        let grace = Instant::now();
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0
-            && grace.elapsed() < Duration::from_secs(10)
-        {
-            std::thread::sleep(Duration::from_millis(5));
+            // The reactor bounds its own drain (idle connections close
+            // immediately, stragglers are force-closed after a grace
+            // period), so this join cannot hang forever.
+            let _ = handle.join();
         }
         if let Some(handle) = self.prober_handle.take() {
             let _ = handle.join();
@@ -533,58 +491,9 @@ impl std::fmt::Debug for GatewayShutdownHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<GwShared>) {
-    for stream in listener.incoming() {
-        if shared.is_shutting_down() {
-            return;
-        }
-        match stream {
-            Ok(stream) => {
-                let shared = Arc::clone(shared);
-                let _ = std::thread::Builder::new()
-                    .name("gw-conn".into())
-                    .spawn(move || handle_connection(stream, &shared));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-struct ConnectionGuard<'a>(&'a GwShared);
-
-impl Drop for ConnectionGuard<'_> {
-    fn drop(&mut self) {
-        self.0.active_connections.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<GwShared>) {
-    shared.active_connections.fetch_add(1, Ordering::SeqCst);
-    let _guard = ConnectionGuard(shared);
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    serve_connection(stream, &shared.policy, |conn, request, keep_alive| {
-        let keep_alive = keep_alive && !shared.is_shutting_down();
-        route(conn, request, shared, keep_alive)
-    });
-}
-
-fn alive(ka: bool) -> Served {
-    if ka {
-        Served::KeepAlive
-    } else {
-        Served::Close
-    }
-}
-
-fn error_reply(
-    conn: &mut HttpConnection,
-    status: u16,
-    message: &str,
-    ka: bool,
-) -> io::Result<Served> {
+fn error_reply(responder: Responder, status: u16, message: &str) {
     let body = ErrorReply::new(message).to_json().serialize();
-    conn.write_response(status, &[], body.as_bytes(), ka)?;
-    Ok(alive(ka))
+    responder.respond(status, &[], body.as_bytes());
 }
 
 /// Splits `/jobs/42[/tail]` into the id and the remainder.
@@ -597,12 +506,7 @@ fn job_path(path: &str) -> Option<(u64, &str)> {
     Some((id.parse().ok()?, tail))
 }
 
-fn route(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<GwShared>,
-    ka: bool,
-) -> io::Result<Served> {
+fn route(shared: &Arc<GwShared>, request: &Request, responder: Responder) {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
@@ -619,87 +523,35 @@ fn route(
                 ("backends", Json::Num(shared.pool.backends().len() as f64)),
                 ("healthy", Json::Num(healthy as f64)),
             ]);
-            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(200, &[], body.serialize().as_bytes());
         }
         ("GET", "/metrics") => {
-            let backends: Vec<Json> = shared
-                .pool
-                .backends()
-                .iter()
-                .map(|b| {
-                    Json::obj(vec![
-                        ("addr", Json::Str(b.addr().to_string())),
-                        ("healthy", Json::Bool(b.is_healthy())),
-                        ("down_transitions", Json::Num(b.down_transitions() as f64)),
-                        ("breaker", Json::Str(b.breaker_state().to_string())),
-                    ])
-                })
-                .collect();
-            let failpoints: Vec<Json> = domino_failpoint::snapshot()
-                .into_iter()
-                .map(|s| {
-                    Json::obj(vec![
-                        ("site", Json::Str(s.site)),
-                        ("mode", Json::Str(s.mode)),
-                        ("hits", Json::Num(s.hits as f64)),
-                        ("fires", Json::Num(s.fires as f64)),
-                    ])
-                })
-                .collect();
-            let body = Json::obj(vec![
-                (
-                    "uptime_ms",
-                    Json::Num(shared.started.elapsed().as_millis() as f64),
-                ),
-                (
-                    "routed",
-                    Json::Num(shared.routed.load(Ordering::Relaxed) as f64),
-                ),
-                (
-                    "rejected",
-                    Json::Num(shared.rejected.load(Ordering::Relaxed) as f64),
-                ),
-                (
-                    "failovers",
-                    Json::Num(shared.failovers.load(Ordering::Relaxed) as f64),
-                ),
-                (
-                    "peer_fills",
-                    Json::Num(shared.peer_fills.load(Ordering::Relaxed) as f64),
-                ),
-                (
-                    "unroutable",
-                    Json::Num(shared.unroutable.load(Ordering::Relaxed) as f64),
-                ),
-                (
-                    "coalesced",
-                    Json::Num(shared.coalesced.load(Ordering::Relaxed) as f64),
-                ),
-                ("backends", Json::Arr(backends)),
-                ("failpoints", Json::Arr(failpoints)),
-            ]);
-            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            let body = shared.metrics_doc().to_json().serialize();
+            responder.respond(200, &[], body.as_bytes());
         }
         ("POST", "/shutdown") => {
             let body = Json::obj(vec![("status", Json::Str("shutting-down".into()))]);
-            conn.write_response(200, &[], body.serialize().as_bytes(), false)?;
+            responder.respond_close(200, &[], body.serialize().as_bytes());
             shared.begin_shutdown();
-            Ok(Served::Close)
         }
-        ("POST", "/jobs") => handle_submit(conn, request, shared, ka),
+        ("POST", "/jobs") => handle_submit(request, shared, responder),
         _ => match job_path(path) {
             Some((gw_id, tail @ ("" | "result"))) if method == "GET" => {
-                handle_job_fetch(conn, request, shared, gw_id, tail, ka)
+                handle_job_fetch(request, shared, gw_id, tail, responder);
             }
             Some((gw_id, "")) if method == "DELETE" => {
-                handle_job_fetch(conn, request, shared, gw_id, "", ka)
+                handle_job_fetch(request, shared, gw_id, "", responder);
             }
-            Some((gw_id, "events")) if method == "GET" => handle_events(conn, shared, gw_id, ka),
-            Some((_, "" | "result" | "events")) => error_reply(conn, 405, "method not allowed", ka),
+            Some((gw_id, "events")) if method == "GET" => handle_events(shared, gw_id, responder),
+            Some((_, "" | "result" | "events")) => {
+                error_reply(responder, 405, "method not allowed");
+            }
             Some(_) | None => {
-                error_reply(conn, 404, &format!("no such endpoint: {method} {path}"), ka)
+                error_reply(
+                    responder,
+                    404,
+                    &format!("no such endpoint: {method} {path}"),
+                );
             }
         },
     }
@@ -707,45 +559,35 @@ fn route(
 
 /// Relays `response` (status, `Retry-After` when present, body verbatim)
 /// to the gateway's caller.
-fn relay_verbatim(
-    conn: &mut HttpConnection,
-    response: &domino_serve::http::Response,
-    ka: bool,
-) -> io::Result<Served> {
+fn relay_verbatim(responder: Responder, response: &domino_serve::http::Response) {
     let retry_after = response.header("retry-after").map(str::to_string);
     let extra: Vec<(&str, &str)> = retry_after
         .as_deref()
         .map(|v| vec![("retry-after", v)])
         .unwrap_or_default();
-    conn.write_response(response.status, &extra, &response.body, ka)?;
-    Ok(alive(ka))
+    responder.respond(response.status, &extra, &response.body);
 }
 
-fn handle_submit(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<GwShared>,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_submit(request: &Request, shared: &Arc<GwShared>, responder: Responder) {
     if shared.is_shutting_down() {
-        return error_reply(conn, 503, "gateway is draining for shutdown", ka);
+        return error_reply(responder, 503, "gateway is draining for shutdown");
     }
     // Compute the routing key exactly as the backend will: resolve the
     // spec and take its content-address. An unroutable spec fails here
     // with the same 400 a backend would give.
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_reply(conn, 400, "body is not UTF-8", ka);
+        return error_reply(responder, 400, "body is not UTF-8");
     };
     let spec = match parse(text)
         .map_err(|e| e.to_string())
         .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
     {
         Ok(spec) => spec,
-        Err(e) => return error_reply(conn, 400, &format!("invalid job spec: {e}"), ka),
+        Err(e) => return error_reply(responder, 400, &format!("invalid job spec: {e}")),
     };
     let key = match shared.key_memo.routing_key(spec) {
         Ok(key) => key,
-        Err(e) => return error_reply(conn, 400, &format!("unresolvable job: {e}"), ka),
+        Err(e) => return error_reply(responder, 400, &format!("unresolvable job: {e}")),
     };
 
     // Only sync submissions coalesce at the gateway: their reply *is*
@@ -753,25 +595,23 @@ fn handle_submit(
     // Async duplicates each get their own id and dedupe one hop later,
     // at the backend engine's own in-flight gate.
     if !request.wants_wait() {
-        return submit_routed(conn, request, shared, &key, ka, None);
+        return submit_routed(request, shared, &key, responder, None);
     }
     let gate = shared.sync_flight.acquire(&key);
     let mut slot = gate.lock().unwrap_or_else(|p| p.into_inner());
-    let result = match slot.clone() {
+    match slot.clone() {
         Some((status, retry_after, body)) => {
             shared.coalesced.fetch_add(1, Ordering::Relaxed);
             let extra: Vec<(&str, &str)> = retry_after
                 .as_deref()
                 .map(|v| vec![("retry-after", v)])
                 .unwrap_or_default();
-            conn.write_response(status, &extra, &body, ka)
-                .map(|()| alive(ka))
+            responder.respond(status, &extra, &body);
         }
-        None => submit_routed(conn, request, shared, &key, ka, Some(&mut slot)),
-    };
+        None => submit_routed(request, shared, &key, responder, Some(&mut slot)),
+    }
     drop(slot);
     shared.sync_flight.release(&key);
-    result
 }
 
 /// The routing core of a submission: peer-warms the home cache, then
@@ -779,17 +619,16 @@ fn handle_submit(
 /// backend's circuit breaker. A sync leader passes `capture` so its
 /// verbatim-relayed reply is stored for coalesced followers.
 fn submit_routed(
-    conn: &mut HttpConnection,
     request: &Request,
     shared: &Arc<GwShared>,
     key: &str,
-    ka: bool,
+    responder: Responder,
     mut capture: Option<&mut Option<StoredReply>>,
-) -> io::Result<Served> {
+) {
     let ranked = shared.pool.ranked(key);
     if ranked.is_empty() {
         shared.unroutable.fetch_add(1, Ordering::Relaxed);
-        return error_reply(conn, 503, "no healthy backend", ka);
+        return error_reply(responder, 503, "no healthy backend");
     }
 
     // Cache peering: if the home is cold for this key but a peer is warm,
@@ -853,7 +692,7 @@ fn submit_routed(
             // double-submit, so report instead of failing over.
             Err(e) => {
                 backend.record_failure();
-                return error_reply(conn, 502, &format!("backend {}: {e}", backend.addr()), ka);
+                return error_reply(responder, 502, &format!("backend {}: {e}", backend.addr()));
             }
             Ok(response) => {
                 backend.record_success();
@@ -876,7 +715,7 @@ fn submit_routed(
                             response.body.clone(),
                         ));
                     }
-                    return relay_verbatim(conn, &response, ka);
+                    return relay_verbatim(responder, &response);
                 }
                 let reply = response
                     .text()
@@ -885,10 +724,9 @@ fn submit_routed(
                     .and_then(|v| SubmitReply::from_json(&v).ok());
                 let Some(mut reply) = reply else {
                     return error_reply(
-                        conn,
+                        responder,
                         502,
                         &format!("backend {} sent an undecodable reply", backend.addr()),
-                        ka,
                     );
                 };
                 let gw_id = shared
@@ -897,18 +735,13 @@ fn submit_routed(
                     .expect("id table")
                     .assign(backend.addr(), reply.id);
                 reply.id = gw_id;
-                conn.write_response(
-                    response.status,
-                    &[],
-                    reply.to_json().serialize().as_bytes(),
-                    ka,
-                )?;
-                return Ok(alive(ka));
+                responder.respond(response.status, &[], reply.to_json().serialize().as_bytes());
+                return;
             }
         }
     }
     shared.unroutable.fetch_add(1, Ordering::Relaxed);
-    error_reply(conn, 503, "no healthy backend", ka)
+    error_reply(responder, 503, "no healthy backend");
 }
 
 /// Rebuilds the backend-side target for a job sub-path, preserving the
@@ -941,15 +774,14 @@ fn backend_target(backend_id: u64, tail: &str, request: &Request) -> String {
 /// backend, rewriting ids in protocol documents and relaying result
 /// bytes verbatim.
 fn handle_job_fetch(
-    conn: &mut HttpConnection,
     request: &Request,
     shared: &Arc<GwShared>,
     gw_id: u64,
     tail: &str,
-    ka: bool,
-) -> io::Result<Served> {
+    responder: Responder,
+) {
     let Some((addr, backend_id)) = shared.ids.lock().expect("id table").lookup(gw_id) else {
-        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+        return error_reply(responder, 404, &format!("no such job: {gw_id}"));
     };
     // Status lookups go to the job's backend even when it is marked
     // unhealthy — the mark may be a transient probe failure.
@@ -960,7 +792,7 @@ fn handle_job_fetch(
         .find(|b| b.addr() == addr)
         .cloned()
     else {
-        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+        return error_reply(responder, 404, &format!("no such job: {gw_id}"));
     };
     let target = backend_target(backend_id, tail, request);
     let response = match backend.client().forward(&request.method, &target, None) {
@@ -971,17 +803,17 @@ fn handle_job_fetch(
         Err(ClientError::Unreachable(e)) => {
             backend.mark_down();
             backend.record_failure();
-            return error_reply(conn, 502, &format!("backend {addr} unreachable: {e}"), ka);
+            return error_reply(responder, 502, &format!("backend {addr} unreachable: {e}"));
         }
         Err(e) => {
             backend.record_failure();
-            return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka);
+            return error_reply(responder, 502, &format!("backend {addr}: {e}"));
         }
     };
     // Result bytes (and error bodies) are relayed verbatim; status
     // documents get their id rewritten back to the gateway's.
     if tail == "result" || response.status != 200 {
-        return relay_verbatim(conn, &response, ka);
+        return relay_verbatim(responder, &response);
     }
     let reply = response
         .text()
@@ -990,28 +822,21 @@ fn handle_job_fetch(
         .and_then(|v| StatusReply::from_json(&v).ok());
     let Some(mut reply) = reply else {
         return error_reply(
-            conn,
+            responder,
             502,
             &format!("backend {addr} sent an undecodable reply"),
-            ka,
         );
     };
     reply.id = gw_id;
-    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
-    Ok(alive(ka))
+    responder.respond(200, &[], reply.to_json().serialize().as_bytes());
 }
 
 /// `GET /jobs/:id/events`: re-emits the backend's event stream with
 /// gateway ids. A status probe runs first so an unknown job answers 404
 /// instead of an empty 200 stream.
-fn handle_events(
-    conn: &mut HttpConnection,
-    shared: &Arc<GwShared>,
-    gw_id: u64,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_events(shared: &Arc<GwShared>, gw_id: u64, responder: Responder) {
     let Some((addr, backend_id)) = shared.ids.lock().expect("id table").lookup(gw_id) else {
-        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+        return error_reply(responder, 404, &format!("no such job: {gw_id}"));
     };
     let Some(backend) = shared
         .pool
@@ -1020,7 +845,7 @@ fn handle_events(
         .find(|b| b.addr() == addr)
         .cloned()
     else {
-        return error_reply(conn, 404, &format!("no such job: {gw_id}"), ka);
+        return error_reply(responder, 404, &format!("no such job: {gw_id}"));
     };
     match backend
         .client()
@@ -1030,24 +855,31 @@ fn handle_events(
         Ok(probe) => {
             backend.record_success();
             let body = probe.text().unwrap_or_default();
-            conn.write_response(probe.status, &[], body.as_bytes(), ka)?;
-            return Ok(alive(ka));
+            responder.respond(probe.status, &[], body.as_bytes());
+            return;
         }
         Err(e) => {
             backend.record_failure();
-            return error_reply(conn, 502, &format!("backend {addr}: {e}"), ka);
+            return error_reply(responder, 502, &format!("backend {addr}: {e}"));
         }
     }
-    let mut writer = conn.begin_chunked(200)?;
+    let mut stream = responder.begin_stream(200);
     let mut relay_failed = false;
     let streamed = backend.client().events(backend_id, |event| {
         if relay_failed {
             return;
         }
+        // The caller hanging up mid-stream surfaces as a dead stream
+        // handle (the reactor dropped the connection); stop relaying but
+        // keep draining the backend stream to completion.
+        if !stream.is_live() {
+            relay_failed = true;
+            return;
+        }
         let mut event = event.clone();
         event.id = gw_id;
         let line = format!("{}\n", event.to_json().serialize());
-        relay_failed = writer.chunk(line.as_bytes()).is_err();
+        stream.chunk(line.as_bytes());
     });
     // Write the terminating zero-length chunk only for a stream that
     // ended cleanly AND whose every event reached the caller. A backend
@@ -1055,9 +887,8 @@ fn handle_events(
     // truncated — terminating it would forge a complete-looking stream
     // missing its terminal event.
     if streamed.is_ok() && !relay_failed {
-        writer.finish()?;
+        stream.finish();
     }
-    Ok(Served::Close)
 }
 
 #[cfg(test)]
@@ -1096,6 +927,31 @@ mod tests {
         assert_eq!(config.backends.len(), 2);
         assert_eq!(config.probe_interval, Duration::from_millis(100));
         assert!(GatewayConfig::parse_args(&["--nonesuch".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_args_accepts_shared_connection_flags() {
+        let config = GatewayConfig::parse_args(&[
+            "--backend".into(),
+            "127.0.0.1:7171".into(),
+            "--idle-ms".into(),
+            "250".into(),
+            "--max-requests".into(),
+            "16".into(),
+            "--max-connections".into(),
+            "32".into(),
+        ])
+        .expect("valid flags");
+        assert_eq!(config.idle_timeout_ms, 250);
+        assert_eq!(config.max_requests_per_connection, 16);
+        assert_eq!(config.max_connections, 32);
+        assert!(GatewayConfig::parse_args(&[
+            "--backend".into(),
+            "b".into(),
+            "--max-connections".into(),
+            "0".into(),
+        ])
+        .is_err());
     }
 
     #[test]

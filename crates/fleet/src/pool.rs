@@ -47,8 +47,10 @@ pub struct Backend {
 
 impl Backend {
     fn new(addr: String) -> Self {
-        let client = ServeClient::new(addr.clone());
-        let control_client = ServeClient::with_io_timeout(addr.clone(), CONTROL_IO_TIMEOUT);
+        let client = ServeClient::builder(addr.clone()).build();
+        let control_client = ServeClient::builder(addr.clone())
+            .io_timeout(CONTROL_IO_TIMEOUT)
+            .build();
         Backend {
             addr,
             client,

@@ -1,0 +1,576 @@
+//! A minimal readiness reactor for the serve layer: a hand-rolled
+//! epoll(7) wrapper, a socketpair-based cross-thread waker, and a hashed
+//! timer wheel for idle-timeout deadlines.
+//!
+//! The build environment has no crate-registry access, so this is the
+//! project's `mio`: just enough of the epoll surface for `dominod` and
+//! `dominogw` to drive thousands of kept-alive HTTP connections from one
+//! thread. The unsafe FFI is confined to this crate — `domino-serve` and
+//! `domino-fleet` keep their `#![forbid(unsafe_code)]`.
+//!
+//! * [`Poller`] — level-triggered epoll: register a fd with a `u64`
+//!   token and an [`Interest`], harvest [`Event`]s with [`Poller::wait`].
+//! * [`Waker`] — a `UnixStream` pair whose read end lives in the poller;
+//!   any thread can [`Waker::wake`] the poll loop out of its sleep.
+//! * [`TimerWheel`] — a hashed wheel of `(token, seq)` deadlines with
+//!   lazy cancellation (stale `seq`s are simply ignored by the caller).
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// Linux `epoll_event`. On x86-64 the kernel ABI packs this to 12 bytes;
+/// other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+}
+
+/// Which readiness a registration cares about. `EPOLLRDHUP` is always
+/// requested so peer half-closes surface as [`Event::hangup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd is readable.
+    pub readable: bool,
+    /// Report when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-readiness only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both read- and write-readiness.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if self.readable {
+            mask |= EPOLLIN;
+        }
+        if self.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or has pending data before a hangup).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// The peer closed (EPOLLHUP / EPOLLRDHUP).
+    pub hangup: bool,
+    /// The fd is in an error state (EPOLLERR).
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+/// How many kernel events one [`Poller::wait`] call can harvest. More
+/// ready fds than this simply surface on the next call (level-triggered).
+const WAIT_BATCH: usize = 1024;
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error from `epoll_create1`.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 has no pointer arguments; a non-negative
+        // return is a freshly created fd we immediately take ownership of.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` is a valid, just-created epoll fd owned by no one
+        // else.
+        let epfd = unsafe { OwnedFd::from_raw_fd(fd) };
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Option<Interest>) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest.map_or(0, Interest::mask),
+            data: token,
+        };
+        // SAFETY: `event` is a valid epoll_event for the duration of the
+        // call; the kernel copies it and keeps no reference.
+        let rc = unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error from `epoll_ctl` (e.g. `EEXIST`).
+    pub fn add(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), token, Some(interest))
+    }
+
+    /// Changes the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error from `epoll_ctl` (e.g. `ENOENT`).
+    pub fn modify(&self, fd: &impl AsRawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), token, Some(interest))
+    }
+
+    /// Removes `fd` from the poller. Dropping the fd deregisters it too,
+    /// but an explicit delete keeps close-ordering obvious.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error from `epoll_ctl` (e.g. `ENOENT`).
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, None)
+    }
+
+    /// Blocks up to `timeout` (forever when `None`) for readiness,
+    /// appending reports to `events` (which is cleared first). An
+    /// `EINTR`ed wait returns an empty batch rather than an error.
+    ///
+    /// # Errors
+    ///
+    /// The raw OS error from `epoll_wait`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(t) => {
+                // Round up so a 100µs timeout polls for 1ms, not 0 (a busy
+                // loop); clamp into the i32 the syscall takes.
+                let ms = t.as_millis();
+                if ms == 0 && !t.is_zero() {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as i32
+                }
+            }
+        };
+        let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+        // SAFETY: `buf` is a writable array of WAIT_BATCH epoll_events;
+        // the kernel fills at most that many entries.
+        let rc = unsafe {
+            epoll_wait(
+                self.epfd.as_raw_fd(),
+                buf.as_mut_ptr(),
+                WAIT_BATCH as i32,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for raw in buf.iter().take(rc as usize) {
+            // Copy out of the (possibly packed) struct before use: no
+            // references into packed fields.
+            let entry = *raw;
+            let mask = { entry.events };
+            let token = { entry.data };
+            events.push(Event {
+                token,
+                readable: mask & EPOLLIN != 0,
+                writable: mask & EPOLLOUT != 0,
+                hangup: mask & (EPOLLHUP | EPOLLRDHUP) != 0,
+                error: mask & EPOLLERR != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poller::wait`] loop from another thread: a `UnixStream`
+/// pair whose read end is registered in the poller. Replaces the old
+/// "self-connect to the listen address" drain trick — a wake never
+/// depends on the listener still accepting.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+    rx: UnixStream,
+}
+
+impl Waker {
+    /// Creates the pair; both ends are non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// The OS error from `socketpair(2)` or `fcntl`.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Nudges the poll loop. Cheap and idempotent: a full pipe means a
+    /// wake is already pending, which is all a wake means.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Drains pending wake bytes (call when the waker's token reports
+    /// readable, before re-polling).
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut sink = [0u8; 64];
+        while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    /// Clones the write end so other threads can hold a wake handle
+    /// without sharing the whole waker.
+    ///
+    /// # Errors
+    ///
+    /// The OS error from duplicating the socket.
+    pub fn handle(&self) -> io::Result<WakeHandle> {
+        Ok(WakeHandle {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+impl AsRawFd for Waker {
+    /// The read end — this is the fd to register in the poller.
+    fn as_raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+}
+
+/// A cloneable write-end handle of a [`Waker`].
+#[derive(Debug)]
+pub struct WakeHandle {
+    tx: UnixStream,
+}
+
+impl WakeHandle {
+    /// Nudges the poll loop (see [`Waker::wake`]).
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+impl Clone for WakeHandle {
+    fn clone(&self) -> WakeHandle {
+        WakeHandle {
+            tx: self.tx.try_clone().expect("dup wake handle"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    token: u64,
+    seq: u64,
+    rounds: u64,
+}
+
+/// A hashed timer wheel: deadlines quantized to a tick, stored in a ring
+/// of slots, fired by [`TimerWheel::advance`]. Cancellation is lazy —
+/// the caller tags each schedule with a per-connection `seq` and ignores
+/// expirations whose `seq` is stale.
+#[derive(Debug)]
+pub struct TimerWheel {
+    start: Instant,
+    tick: Duration,
+    slots: Vec<Vec<TimerEntry>>,
+    /// Ticks fully consumed by `advance` so far.
+    current: u64,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide. Deadlines beyond
+    /// `slots * tick` wrap (they carry a round counter), so a small wheel
+    /// handles arbitrarily long timeouts.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(!tick.is_zero(), "timer tick must be non-zero");
+        assert!(slots >= 2, "timer wheel needs at least 2 slots");
+        TimerWheel {
+            start: Instant::now(),
+            tick,
+            slots: vec![Vec::new(); slots],
+            current: 0,
+        }
+    }
+
+    /// The wheel's resolution — a natural poll timeout for the reactor.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        (elapsed.as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Schedules `(token, seq)` to expire at `fire_at` (quantized up to
+    /// the next tick boundary, never the current one).
+    pub fn schedule(&mut self, token: u64, seq: u64, fire_at: Instant) {
+        let target = self.tick_of(fire_at).max(self.current + 1);
+        let slot = (target % self.slots.len() as u64) as usize;
+        let rounds = (target - self.current - 1) / self.slots.len() as u64;
+        self.slots[slot].push(TimerEntry { token, seq, rounds });
+    }
+
+    /// Advances the wheel to `now`, appending every expired `(token,
+    /// seq)` to `expired` in firing order.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<(u64, u64)>) {
+        let target = self.tick_of(now);
+        while self.current < target {
+            self.current += 1;
+            let slot = (self.current % self.slots.len() as u64) as usize;
+            self.slots[slot].retain_mut(|entry| {
+                if entry.rounds == 0 {
+                    expired.push((entry.token, entry.seq));
+                    false
+                } else {
+                    entry.rounds -= 1;
+                    true
+                }
+            });
+        }
+    }
+}
+
+/// Linux `struct rlimit` (64-bit `rlim_t` on every supported target).
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Raises the process's open-file soft limit to at least `min` (clamped
+/// to the hard limit) and returns the resulting soft limit. A soft limit
+/// already at or above `min` is left untouched. High-connection-count
+/// harnesses call this so "thousands of kept-alive sockets" does not die
+/// on a default 1024-fd ulimit.
+///
+/// # Errors
+///
+/// The raw OS error from `getrlimit`/`setrlimit`.
+pub fn raise_open_file_limit(min: u64) -> io::Result<u64> {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: getrlimit writes the current limits into the struct we own.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= min {
+        return Ok(lim.rlim_cur);
+    }
+    let raised = RLimit {
+        rlim_cur: min.min(lim.rlim_max),
+        rlim_max: lim.rlim_max,
+    };
+    // SAFETY: setrlimit only reads the struct; the new soft limit is
+    // clamped to the hard limit, which an unprivileged process may set.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(raised.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn poller_reports_readable_with_token() {
+        let poller = Poller::new().expect("epoll");
+        let (mut a, b) = UnixStream::pair().expect("pair");
+        b.set_nonblocking(true).expect("nonblocking");
+        poller.add(&b, 7, Interest::READABLE).expect("add");
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty(), "nothing written yet");
+
+        a.write_all(b"x").expect("write");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn poller_reports_writable_and_modify_narrows() {
+        let poller = Poller::new().expect("epoll");
+        let (a, _b) = UnixStream::pair().expect("pair");
+        a.set_nonblocking(true).expect("nonblocking");
+        poller.add(&a, 3, Interest::BOTH).expect("add");
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable);
+
+        // Narrow to read-only: an idle writable socket goes quiet.
+        poller.modify(&a, 3, Interest::READABLE).expect("modify");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+
+        poller.delete(&a).expect("delete");
+    }
+
+    #[test]
+    fn poller_reports_hangup_on_peer_close() {
+        let poller = Poller::new().expect("epoll");
+        let (a, b) = UnixStream::pair().expect("pair");
+        b.set_nonblocking(true).expect("nonblocking");
+        poller.add(&b, 9, Interest::READABLE).expect("add");
+        drop(a);
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert!(events[0].hangup);
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll() {
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("waker");
+        poller
+            .add(&waker, u64::MAX, Interest::READABLE)
+            .expect("add");
+        let handle = waker.handle().expect("handle");
+
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            handle.wake();
+        });
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, u64::MAX);
+        waker.drain();
+        t.join().expect("join");
+
+        // Drained: the next poll is quiet again.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_fires_once_at_deadline() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let now = Instant::now();
+        wheel.schedule(42, 1, now + Duration::from_millis(35));
+
+        let mut expired = Vec::new();
+        wheel.advance(now + Duration::from_millis(20), &mut expired);
+        assert!(expired.is_empty(), "not due yet");
+        wheel.advance(now + Duration::from_millis(60), &mut expired);
+        assert_eq!(expired, vec![(42, 1)]);
+        expired.clear();
+        wheel.advance(now + Duration::from_millis(200), &mut expired);
+        assert!(expired.is_empty(), "fires exactly once");
+    }
+
+    #[test]
+    fn timer_wheel_wraps_long_deadlines() {
+        // 4 slots × 10ms = a 40ms ring; a 95ms deadline must wrap twice.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4);
+        let now = Instant::now();
+        wheel.schedule(1, 0, now + Duration::from_millis(95));
+        wheel.schedule(2, 0, now + Duration::from_millis(15));
+
+        let mut expired = Vec::new();
+        wheel.advance(now + Duration::from_millis(50), &mut expired);
+        assert_eq!(expired, vec![(2, 0)], "short deadline fires alone");
+        expired.clear();
+        wheel.advance(now + Duration::from_millis(120), &mut expired);
+        assert_eq!(expired, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn timer_wheel_past_deadline_fires_next_advance() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let now = Instant::now();
+        // A deadline already in the past still lands one tick out.
+        wheel.schedule(5, 3, now);
+        let mut expired = Vec::new();
+        wheel.advance(now + Duration::from_millis(25), &mut expired);
+        assert_eq!(expired, vec![(5, 3)]);
+    }
+}

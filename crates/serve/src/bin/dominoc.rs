@@ -231,7 +231,7 @@ impl Options {
     }
 
     fn client(&self) -> ServeClient {
-        ServeClient::new(self.server.clone())
+        ServeClient::builder(self.server.clone()).build()
     }
 
     /// The single circuit spec for `run`/`submit`: a BLIF path or a suite

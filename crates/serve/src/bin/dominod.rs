@@ -15,25 +15,17 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use domino_serve::{ServeConfig, Server, DEFAULT_PORT};
+use domino_serve::{ServeConfig, Server};
 
 fn usage() -> String {
     format!(
         "usage: dominod [options]\n\
          \n\
          options:\n\
-         \x20 --addr <host:port>        bind address [127.0.0.1:{DEFAULT_PORT}]; port 0 = ephemeral\n\
-         \x20 --workers <n>             worker threads, 0 = all CPUs [0]\n\
-         \x20 --queue <n>               admission queue capacity [64]\n\
-         \x20 --cache <dir>             on-disk result cache (shared with dominoc)\n\
-         \x20 --cache-mem-entries <n>   in-memory cache entry budget, 0 = unbounded [0]\n\
-         \x20 --cache-disk-bytes <n>    on-disk cache byte budget, 0 = unbounded [0]\n\
-         \x20 --idle-ms <n>             per-connection idle timeout [10000]\n\
-         \x20 --failpoints <spec>       fault-injection schedule (site=mode,...; also via\n\
-         \x20                           DOMINO_FAILPOINTS), modes off|once|every(n)|after(n)\n\
-         \x20 --failpoint-seed <n>      failpoint schedule seed (also DOMINO_FAILPOINT_SEED) [0]\n\
+         {}\n\
          \n\
-         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT"
+         stop it with: dominoc shutdown --server <addr>, SIGTERM or SIGINT",
+        ServeConfig::arg_table().options_help()
     )
 }
 

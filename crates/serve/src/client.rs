@@ -171,49 +171,116 @@ pub struct ServeClient {
 /// client; blocking requests (`?wait=1`, event streams) are untimed.
 const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
-impl ServeClient {
-    /// A keep-alive client for the server at `addr` (e.g.
-    /// `127.0.0.1:7171`).
+/// Builds a [`ServeClient`] from chainable options — the one place every
+/// client knob lives. The old one-constructor-per-knob surface
+/// (`ServeClient::new` / `without_keep_alive` / `with_io_timeout` /
+/// `with_retry`) still works as thin shims over this builder, but new
+/// code (and any caller combining two knobs) should come through here:
+///
+/// ```
+/// use domino_serve::{RetryPolicy, ServeClient};
+/// use std::time::Duration;
+///
+/// let probe = ServeClient::builder("127.0.0.1:7171")
+///     .io_timeout(Duration::from_secs(2))
+///     .retry(RetryPolicy::new(3))
+///     .build();
+/// assert_eq!(probe.addr(), "127.0.0.1:7171");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    keep_alive: bool,
+    io_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
+}
+
+impl ClientBuilder {
+    /// Starts a builder for the server at `addr` with the defaults of
+    /// [`ServeClient::new`]: keep-alive on, no I/O timeout, no retries.
     pub fn new(addr: impl Into<String>) -> Self {
-        ServeClient {
+        ClientBuilder {
             addr: addr.into(),
-            reuse: true,
+            keep_alive: true,
             io_timeout: None,
             retry: None,
+        }
+    }
+
+    /// Opens a fresh connection for every request instead of pooling a
+    /// kept-alive one — the pre-keep-alive wire behaviour, kept for
+    /// benchmarking the difference and for strict request isolation.
+    #[must_use]
+    pub fn fresh_connections(mut self) -> Self {
+        self.keep_alive = false;
+        self
+    }
+
+    /// Bounds connect, reads and writes by `timeout` — for control-plane
+    /// traffic (health probes, cache peek/fill peering) that must stay
+    /// fast even against a half-up peer that accepts TCP but never
+    /// answers. Blocking requests (`?wait=1`, event streams) are still
+    /// untimed on reads.
+    #[must_use]
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// Adds a retry budget to the typed request methods (`submit`,
+    /// `run_sync`, `status`, ...): an unreachable server or an explicit
+    /// 429 is retried up to `policy.budget` times, sleeping
+    /// `policy.delay(..)` (which honors `Retry-After`) between attempts.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The configured client.
+    pub fn build(self) -> ServeClient {
+        ServeClient {
+            addr: self.addr,
+            reuse: self.keep_alive,
+            io_timeout: self.io_timeout,
+            retry: self.retry,
             pool: Arc::new(Mutex::new(None)),
             reuses: Arc::new(AtomicU64::new(0)),
         }
     }
+}
 
-    /// The same client with a retry budget on its typed request methods
-    /// (`submit`, `run_sync`, `status`, ...): an unreachable server or an
-    /// explicit 429 is retried up to `policy.budget` times, sleeping
-    /// `policy.delay(..)` (which honors `Retry-After`) between attempts.
+impl ServeClient {
+    /// Starts a [`ClientBuilder`] for the server at `addr` (e.g.
+    /// `127.0.0.1:7171`) — the front door for configured clients.
+    pub fn builder(addr: impl Into<String>) -> ClientBuilder {
+        ClientBuilder::new(addr)
+    }
+
+    /// A keep-alive client for the server at `addr` with default options
+    /// — shorthand for `ServeClient::builder(addr).build()`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        ClientBuilder::new(addr).build()
+    }
+
+    /// The same client with a retry budget — shim over
+    /// [`ClientBuilder::retry`]; prefer the builder in new code.
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
     }
 
-    /// A client that opens a fresh connection for every request — the
-    /// pre-keep-alive wire behaviour, kept for benchmarking the
-    /// difference and for callers that want strict request isolation.
+    /// A client that opens a fresh connection for every request — shim
+    /// over [`ClientBuilder::fresh_connections`]; prefer the builder in
+    /// new code.
     pub fn without_keep_alive(addr: impl Into<String>) -> Self {
-        ServeClient {
-            reuse: false,
-            ..ServeClient::new(addr)
-        }
+        ClientBuilder::new(addr).fresh_connections().build()
     }
 
-    /// A keep-alive client whose connect, reads and writes are all
-    /// bounded by `timeout` — for control-plane traffic (health probes,
-    /// cache peek/fill peering) that must stay fast even against a
-    /// half-up peer that accepts TCP but never answers. Blocking
-    /// requests are still untimed on reads, as on a default client.
+    /// A keep-alive client with bounded connect/read/write — shim over
+    /// [`ClientBuilder::io_timeout`]; prefer the builder in new code.
     pub fn with_io_timeout(addr: impl Into<String>, timeout: Duration) -> Self {
-        ServeClient {
-            io_timeout: Some(timeout),
-            ..ServeClient::new(addr)
-        }
+        ClientBuilder::new(addr).io_timeout(timeout).build()
     }
 
     /// The server address this client talks to.

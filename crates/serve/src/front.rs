@@ -1,0 +1,1008 @@
+//! The event-driven connection front shared by `dominod` and `dominogw`.
+//!
+//! Earlier revisions spawned one thread per accepted connection and ran
+//! the blocking [`serve_connection`](crate::http::serve_connection) loop
+//! on it. That puts an OS thread behind every kept-alive socket — fine
+//! for tens of clients, hopeless for thousands. This module replaces the
+//! per-connection threads with one reactor thread multiplexing every
+//! socket over [`domino_reactor::Poller`] (epoll readiness), while
+//! keeping the protocol machinery — [`RequestParser`], the
+//! [`render_response`] family — byte-identical to the blocking path.
+//!
+//! # Shape
+//!
+//! ```text
+//!              ┌────────────────────────────┐   (Request, Responder)
+//!   sockets ──►│ reactor thread             ├──► handler pool (route())
+//!              │  poll / parse / flush      │◄── Op queue + waker
+//!              │  timer wheel (idle)        │      Responder::respond
+//!              └────────────────────────────┘      StreamHandle::chunk
+//! ```
+//!
+//! The reactor owns every socket. Parsed requests are handed to a small
+//! handler pool; handlers never touch the socket — they answer through a
+//! [`Responder`] (or a [`StreamHandle`] for chunked `/events` replies),
+//! which enqueues an op and wakes the reactor. Because a `Responder` is
+//! `Send + 'static`, a handler may also park it on a waiter pump and
+//! return immediately, so long-polls (`?wait=1`) hold no thread at all.
+//!
+//! One request is in flight per connection at a time; read interest is
+//! dropped while a response is pending, and responses flush strictly in
+//! order, so pipelined clients observe exactly the blocking server's
+//! behaviour.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use domino_reactor::{Interest, Poller, TimerWheel, WakeHandle, Waker};
+
+use crate::http::{
+    render_chunk, render_chunk_end, render_chunked_head, render_response, Request, RequestParser,
+};
+use crate::protocol::ReactorCounters;
+
+/// Token of the accept socket in the poller.
+const LISTENER_TOKEN: u64 = 0;
+/// Token of the wake pipe in the poller.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection. Tokens are monotonic
+/// and never reused, so a stale timer or op for a closed connection
+/// simply misses the map.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Idle-timeout granularity of the timer wheel.
+const TIMER_TICK: Duration = Duration::from_millis(10);
+/// Slot count of the timer wheel.
+const TIMER_SLOTS: usize = 512;
+/// How long a draining reactor waits for in-flight connections before
+/// force-closing them.
+const DRAIN_GRACE: Duration = Duration::from_secs(10);
+/// Per-`read(2)` buffer size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The body sent with a `400` on an unparseable request — the same bytes
+/// the blocking loop writes.
+const MALFORMED: &[u8] = b"{\"error\":\"malformed request\"}";
+/// The body sent with the `503` that answers an accept beyond
+/// `max_connections`.
+const OVER_CAPACITY: &[u8] = b"{\"error\":\"connection limit reached\"}";
+
+/// Tuning for one [`HttpFront`].
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Thread-name prefix (`dominod`, `dominogw`) for the reactor and
+    /// handler threads.
+    pub name: &'static str,
+    /// How long a connection may sit with no complete request before the
+    /// reactor closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server forces
+    /// `Connection: close`.
+    pub max_requests: u32,
+    /// Open connections before further accepts are answered with a `503`
+    /// and an immediate close.
+    pub max_connections: usize,
+    /// Threads in the handler pool the reactor dispatches requests to.
+    pub handler_threads: usize,
+}
+
+/// The request handler: called on a pool thread with each parsed request
+/// and the [`Responder`] that answers it.
+pub type FrontHandler = Arc<dyn Fn(Request, Responder) + Send + Sync>;
+
+/// An op enqueued by a [`Responder`]/[`StreamHandle`] for the reactor.
+enum Op {
+    /// A complete fixed-length response.
+    Respond {
+        token: u64,
+        status: u16,
+        headers: Vec<(String, String)>,
+        body: Vec<u8>,
+        force_close: bool,
+    },
+    /// The head of a chunked stream (always `Connection: close`).
+    StreamBegin { token: u64, status: u16 },
+    /// One chunk of an open stream.
+    StreamChunk { token: u64, data: Vec<u8> },
+    /// The terminating zero-length chunk; the connection closes after
+    /// the flush.
+    StreamEnd { token: u64 },
+    /// Abandon the connection without a terminal chunk (a relay that
+    /// died mid-stream has nothing truthful left to say).
+    Abort { token: u64 },
+}
+
+/// State shared between the reactor thread and everyone holding a
+/// [`Responder`], [`StreamHandle`] or [`FrontHandle`].
+struct FrontShared {
+    ops: Mutex<VecDeque<Op>>,
+    wake: WakeHandle,
+    /// Tokens of currently-open connections — lets a waiter pump notice
+    /// a dead client without writing to it.
+    live: Mutex<HashSet<u64>>,
+    draining: AtomicBool,
+    open_connections: AtomicU64,
+    accepts: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl FrontShared {
+    fn push(&self, op: Op) {
+        self.ops.lock().expect("ops lock").push_back(op);
+        self.wake.wake();
+    }
+
+    fn is_live(&self, token: u64) -> bool {
+        self.live.lock().expect("live lock").contains(&token)
+    }
+}
+
+/// The single-use reply channel for one request. Consuming it enqueues
+/// the response with the reactor; dropping it without responding leaves
+/// the connection idle until its timeout closes it.
+pub struct Responder {
+    token: u64,
+    shared: Arc<FrontShared>,
+}
+
+impl std::fmt::Debug for Responder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Responder")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+impl Responder {
+    /// Answers with a fixed-length response. The reactor decides the
+    /// `Connection` header from the request's wishes, the per-connection
+    /// request budget and drain state — exactly the blocking loop's
+    /// keep-alive negotiation.
+    pub fn respond(self, status: u16, extra_headers: &[(&str, &str)], body: &[u8]) {
+        self.finish_with(status, extra_headers, body, false);
+    }
+
+    /// Answers and unconditionally closes the connection afterwards
+    /// (`POST /shutdown`'s goodbye, protocol-fatal errors).
+    pub fn respond_close(self, status: u16, extra_headers: &[(&str, &str)], body: &[u8]) {
+        self.finish_with(status, extra_headers, body, true);
+    }
+
+    /// Starts a chunked-transfer response (always `Connection: close`)
+    /// and returns the handle that feeds it.
+    pub fn begin_stream(self, status: u16) -> StreamHandle {
+        self.shared.push(Op::StreamBegin {
+            token: self.token,
+            status,
+        });
+        StreamHandle {
+            token: self.token,
+            shared: Arc::clone(&self.shared),
+            finished: false,
+        }
+    }
+
+    /// `false` once the reactor has closed this connection — a parked
+    /// long-poll can be dropped instead of answered.
+    pub fn is_live(&self) -> bool {
+        self.shared.is_live(self.token)
+    }
+
+    fn finish_with(self, status: u16, extra_headers: &[(&str, &str)], body: &[u8], close: bool) {
+        self.shared.push(Op::Respond {
+            token: self.token,
+            status,
+            headers: extra_headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: body.to_vec(),
+            force_close: close,
+        });
+    }
+}
+
+/// An open chunked stream. Dropping it without [`StreamHandle::finish`]
+/// aborts the connection — the client sees a truncated stream, exactly
+/// what the blocking relay produced when a backend died mid-stream.
+pub struct StreamHandle {
+    token: u64,
+    shared: Arc<FrontShared>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle")
+            .field("token", &self.token)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+impl StreamHandle {
+    /// Enqueues one chunk. Empty data is skipped — an empty chunk would
+    /// terminate the stream.
+    pub fn chunk(&mut self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        self.shared.push(Op::StreamChunk {
+            token: self.token,
+            data: data.to_vec(),
+        });
+    }
+
+    /// Writes the terminating chunk and closes the connection.
+    pub fn finish(mut self) {
+        self.finished = true;
+        self.shared.push(Op::StreamEnd { token: self.token });
+    }
+
+    /// `false` once the client is gone — the feeder should stop.
+    pub fn is_live(&self) -> bool {
+        self.shared.is_live(self.token)
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.shared.push(Op::Abort { token: self.token });
+        }
+    }
+}
+
+/// A cloneable control handle onto a running [`HttpFront`].
+#[derive(Clone)]
+pub struct FrontHandle {
+    shared: Arc<FrontShared>,
+}
+
+impl std::fmt::Debug for FrontHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontHandle").finish()
+    }
+}
+
+impl FrontHandle {
+    /// Starts the drain: the listener closes, idle connections close
+    /// now, in-flight ones finish their response and close. The
+    /// [`HttpFront::run`] call returns once every connection is gone
+    /// (force-closing stragglers after a grace period).
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.wake.wake();
+    }
+
+    /// `true` once [`FrontHandle::shutdown`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the reactor's counters for `/metrics`.
+    pub fn counters(&self) -> ReactorCounters {
+        ReactorCounters {
+            open_connections: self.shared.open_connections.load(Ordering::SeqCst),
+            accepts: self.shared.accepts.load(Ordering::SeqCst),
+            timeouts: self.shared.timeouts.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A bound, not-yet-running connection front. [`HttpFront::bind`] sets
+/// up the poller; [`HttpFront::run`] (typically on a dedicated thread)
+/// loops until drained.
+pub struct HttpFront {
+    listener: TcpListener,
+    cfg: FrontConfig,
+    poller: Poller,
+    waker: Waker,
+    shared: Arc<FrontShared>,
+}
+
+impl std::fmt::Debug for HttpFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpFront").field("cfg", &self.cfg).finish()
+    }
+}
+
+impl HttpFront {
+    /// Wraps an already-bound listener in a reactor front.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] creating the epoll instance or wake pipe.
+    pub fn bind(listener: TcpListener, cfg: FrontConfig) -> io::Result<HttpFront> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        poller.add(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+        poller.add(&waker, WAKER_TOKEN, Interest::READABLE)?;
+        let shared = Arc::new(FrontShared {
+            ops: Mutex::new(VecDeque::new()),
+            wake: waker.handle()?,
+            live: Mutex::new(HashSet::new()),
+            draining: AtomicBool::new(false),
+            open_connections: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        });
+        Ok(HttpFront {
+            listener,
+            cfg,
+            poller,
+            waker,
+            shared,
+        })
+    }
+
+    /// The control handle (cloneable; give one to the shutdown path and
+    /// one to `/metrics`).
+    pub fn handle(&self) -> FrontHandle {
+        FrontHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the reactor until drained. Spawns the handler pool, owns
+    /// every socket, and joins the pool before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] from `epoll_wait` or handler-thread spawning;
+    /// per-connection I/O errors close that connection only.
+    pub fn run(self, handler: FrontHandler) -> io::Result<()> {
+        let HttpFront {
+            listener,
+            cfg,
+            poller,
+            waker,
+            shared,
+        } = self;
+
+        let (tx, rx) = mpsc::channel::<(Request, Responder)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut pool = Vec::new();
+        for i in 0..cfg.handler_threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("{}-handler-{i}", cfg.name))
+                    .spawn(move || loop {
+                        let job = {
+                            let guard = rx.lock().expect("handler rx lock");
+                            guard.recv()
+                        };
+                        match job {
+                            Ok((request, responder)) => handler(request, responder),
+                            Err(_) => break,
+                        }
+                    })?,
+            );
+        }
+
+        let mut reactor = Reactor {
+            cfg,
+            poller,
+            shared,
+            conns: HashMap::new(),
+            wheel: TimerWheel::new(TIMER_TICK, TIMER_SLOTS),
+            tx,
+            next_token: FIRST_CONN_TOKEN,
+        };
+        let result = reactor.run(&listener, &waker);
+        // Closing the dispatch channel ends idle pool threads. They are
+        // detached, not joined: a gateway handler can sit in a blocking
+        // relay against a hung backend, and the drain must stay bounded
+        // — the reactor has already force-closed that handler's client.
+        drop(reactor);
+        drop(pool);
+        result
+    }
+}
+
+/// Per-connection dispatch state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Between requests: read interest armed, idle timer running.
+    Idle,
+    /// A request was handed to the pool; its response has not been
+    /// enqueued yet. Read interest is dropped.
+    InFlight,
+    /// A chunked stream is open on this connection.
+    Streaming,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    served: u32,
+    req_wants_close: bool,
+    close_after_flush: bool,
+    /// Bumped on every (re)arm/cancel; a timer firing with a stale seq
+    /// is ignored — lazy cancellation.
+    timer_seq: u64,
+    interest: Interest,
+}
+
+struct Reactor {
+    cfg: FrontConfig,
+    poller: Poller,
+    shared: Arc<FrontShared>,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    tx: mpsc::Sender<(Request, Responder)>,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn run(&mut self, listener: &TcpListener, waker: &Waker) -> io::Result<()> {
+        let mut events = Vec::new();
+        let mut fired: Vec<(u64, u64)> = Vec::new();
+        let mut listener_registered = true;
+        let mut drain_deadline: Option<Instant> = None;
+
+        loop {
+            let draining = self.shared.draining.load(Ordering::SeqCst);
+            if draining && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+                if listener_registered {
+                    let _ = self.poller.delete(listener);
+                    listener_registered = false;
+                }
+                // Idle connections with nothing left to flush have been
+                // told `keep-alive`, but a draining server gets to renege
+                // — the client's next request would be refused anyway.
+                let idle: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| c.state == ConnState::Idle && c.out.len() == c.out_pos)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for token in idle {
+                    self.close_conn(token);
+                }
+            }
+            if draining && self.conns.is_empty() {
+                return Ok(());
+            }
+            if let Some(deadline) = drain_deadline {
+                if Instant::now() >= deadline {
+                    let all: Vec<u64> = self.conns.keys().copied().collect();
+                    for token in all {
+                        self.close_conn(token);
+                    }
+                    return Ok(());
+                }
+            }
+
+            loop {
+                let op = self.shared.ops.lock().expect("ops lock").pop_front();
+                match op {
+                    Some(op) => self.apply(op),
+                    None => break,
+                }
+            }
+
+            let timeout = if self.conns.is_empty() && drain_deadline.is_none() {
+                None // nothing to time out; ops and accepts wake us
+            } else {
+                Some(Duration::from_millis(25))
+            };
+            self.poller.wait(&mut events, timeout)?;
+            for ev in std::mem::take(&mut events) {
+                match ev.token {
+                    WAKER_TOKEN => waker.drain(),
+                    LISTENER_TOKEN => self.accept_ready(listener),
+                    token => self.conn_event(token, ev.readable, ev.writable, ev.hangup, ev.error),
+                }
+            }
+
+            self.wheel.advance(Instant::now(), &mut fired);
+            for (token, seq) in fired.drain(..) {
+                let expired = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.timer_seq == seq && c.state == ConnState::Idle);
+                if expired {
+                    self.shared.timeouts.fetch_add(1, Ordering::SeqCst);
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            self.shared.accepts.fetch_add(1, Ordering::SeqCst);
+            if domino_failpoint::should_fire("serve.http.accept") {
+                continue; // injected accept fault: drop the socket
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                continue;
+            }
+            if self.conns.len() >= self.cfg.max_connections {
+                // Best-effort 503 so the client learns why; a full send
+                // buffer just means they get a bare close instead.
+                let _ = stream.set_nonblocking(true);
+                let goodbye = render_response(503, &[("retry-after", "1")], OVER_CAPACITY, false);
+                let _ = (&stream).write(&goodbye);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poller.add(&stream, token, Interest::READABLE).is_err() {
+                continue;
+            }
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    parser: RequestParser::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    state: ConnState::Idle,
+                    served: 0,
+                    req_wants_close: false,
+                    close_after_flush: false,
+                    timer_seq: 0,
+                    interest: Interest::READABLE,
+                },
+            );
+            self.shared.live.lock().expect("live lock").insert(token);
+            self.shared.open_connections.fetch_add(1, Ordering::SeqCst);
+            self.enter_idle(token);
+        }
+    }
+
+    fn conn_event(
+        &mut self,
+        token: u64,
+        readable: bool,
+        writable: bool,
+        hangup: bool,
+        error: bool,
+    ) {
+        if !self.conns.contains_key(&token) {
+            return; // closed earlier in this batch
+        }
+        if error {
+            self.close_conn(token);
+            return;
+        }
+        if writable {
+            self.flush(token);
+        }
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        let state = self.conns[&token].state;
+        if readable || (hangup && state == ConnState::Idle) {
+            // A half-close between requests is a goodbye: the read below
+            // sees EOF. A half-close with a response in flight is left to
+            // the write path — the client may still be reading.
+            self.read_ready(token);
+        }
+        if hangup
+            && self
+                .conns
+                .get(&token)
+                .is_some_and(|c| c.state == ConnState::Streaming)
+        {
+            // The stream's consumer is gone; drop the connection so the
+            // feeder observes `!is_live()` and stops.
+            self.close_conn(token);
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let mut buf = [0u8; READ_CHUNK];
+        let mut progressed = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF. Mid-request bytes die with the connection,
+                    // matching the blocking loop's clean-close handling.
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&buf[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.state != ConnState::Idle {
+            return; // bytes buffered in the parser for after the response
+        }
+        match conn.parser.try_next() {
+            Err(_) => self.refuse_malformed(token),
+            Ok(Some(request)) => self.dispatch(token, request),
+            Ok(None) => {
+                if progressed {
+                    // Partial-request activity pushes the idle deadline,
+                    // like the blocking per-read timeout did.
+                    self.arm_idle_timer(token);
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Respond {
+                token,
+                status,
+                headers,
+                body,
+                force_close,
+            } => {
+                if !self.conns.contains_key(&token) {
+                    return; // client left before the answer was ready
+                }
+                if domino_failpoint::should_fire("serve.http.write") {
+                    // The blocking path surfaced this as a write error
+                    // that killed the connection; so do we.
+                    self.close_conn(token);
+                    return;
+                }
+                let draining = self.shared.draining.load(Ordering::SeqCst);
+                let conn = self.conns.get_mut(&token).expect("checked above");
+                let keep_alive = !force_close
+                    && !draining
+                    && conn.served < self.cfg.max_requests
+                    && !conn.req_wants_close;
+                let header_refs: Vec<(&str, &str)> = headers
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let message = render_response(status, &header_refs, &body, keep_alive);
+                conn.out.extend_from_slice(&message);
+                conn.close_after_flush = !keep_alive;
+                conn.state = ConnState::Idle;
+                if keep_alive {
+                    self.enter_idle(token);
+                }
+                self.flush(token);
+            }
+            Op::StreamBegin { token, status } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                conn.out.extend_from_slice(&render_chunked_head(status));
+                conn.state = ConnState::Streaming;
+                self.flush(token);
+            }
+            Op::StreamChunk { token, data } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.state != ConnState::Streaming {
+                    return;
+                }
+                conn.out.extend_from_slice(&render_chunk(&data));
+                self.flush(token);
+            }
+            Op::StreamEnd { token } => {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.state != ConnState::Streaming {
+                    return;
+                }
+                conn.out.extend_from_slice(render_chunk_end());
+                conn.close_after_flush = true;
+                self.flush(token);
+            }
+            Op::Abort { token } => {
+                if self.conns.contains_key(&token) {
+                    self.flush(token); // push out already-queued chunks
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+
+    /// Entered between requests: runs the read failpoint (the blocking
+    /// loop hit it at the top of `next_request`), then either dispatches
+    /// a pipelined request already in the parser or arms read interest
+    /// and the idle timer.
+    fn enter_idle(&mut self, token: u64) {
+        if domino_failpoint::should_fire("serve.http.read") {
+            self.refuse_malformed(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.parser.try_next() {
+            Err(_) => self.refuse_malformed(token),
+            Ok(Some(request)) => self.dispatch(token, request),
+            Ok(None) => {
+                self.arm_idle_timer(token);
+                self.sync_interest(token);
+            }
+        }
+    }
+
+    /// The blocking loop answered both injected read faults and truly
+    /// malformed bytes with the same `400` and a close.
+    fn refuse_malformed(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out
+            .extend_from_slice(&render_response(400, &[], MALFORMED, false));
+        conn.close_after_flush = true;
+        conn.state = ConnState::Idle;
+        conn.timer_seq += 1; // cancel the idle timer
+        self.flush(token);
+    }
+
+    fn dispatch(&mut self, token: u64, request: Request) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.served += 1;
+        conn.req_wants_close = request.wants_close();
+        conn.state = ConnState::InFlight;
+        conn.timer_seq += 1; // no idle timeout while a handler owns it
+        self.sync_interest(token);
+        let responder = Responder {
+            token,
+            shared: Arc::clone(&self.shared),
+        };
+        // Send fails only once the pool is gone, i.e. during teardown.
+        let _ = self.tx.send((request, responder));
+    }
+
+    fn arm_idle_timer(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.timer_seq += 1;
+        let seq = conn.timer_seq;
+        let deadline = Instant::now() + self.cfg.idle_timeout;
+        self.wheel.schedule(token, seq, deadline);
+    }
+
+    /// Writes as much buffered output as the socket accepts right now.
+    fn flush(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                if conn.close_after_flush {
+                    self.close_conn(token);
+                } else {
+                    self.sync_interest(token);
+                }
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close_conn(token);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.sync_interest(token);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-registers the connection for exactly the readiness it needs:
+    /// readable only between requests, writable only with queued output.
+    fn sync_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = Interest {
+            readable: conn.state == ConnState::Idle && !conn.close_after_flush,
+            writable: conn.out_pos < conn.out.len(),
+        };
+        let changed = desired.readable != conn.interest.readable
+            || desired.writable != conn.interest.writable;
+        if changed && self.poller.modify(&conn.stream, token, desired).is_ok() {
+            conn.interest = desired;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(&conn.stream);
+            self.shared.live.lock().expect("live lock").remove(&token);
+            self.shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream as BlockingStream;
+
+    fn start_echo_front(
+        idle_timeout: Duration,
+        max_connections: usize,
+    ) -> (
+        std::net::SocketAddr,
+        FrontHandle,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let front = HttpFront::bind(
+            listener,
+            FrontConfig {
+                name: "front-test",
+                idle_timeout,
+                max_requests: 1024,
+                max_connections,
+                handler_threads: 2,
+            },
+        )
+        .expect("front");
+        let handle = front.handle();
+        let join = std::thread::spawn(move || {
+            front
+                .run(Arc::new(|req: Request, responder: Responder| {
+                    if req.path == "/stream" {
+                        let mut stream = responder.begin_stream(200);
+                        stream.chunk(b"one\n");
+                        stream.chunk(b"two\n");
+                        stream.finish();
+                    } else {
+                        responder.respond(200, &[], req.path.as_bytes());
+                    }
+                }))
+                .expect("run");
+        });
+        (addr, handle, join)
+    }
+
+    fn get(stream: &mut BlockingStream, path: &str) -> (u16, String, String) {
+        write!(stream, "GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").expect("write");
+        read_reply(stream)
+    }
+
+    fn read_reply(stream: &mut BlockingStream) -> (u16, String, String) {
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .expect("code")
+            .parse()
+            .expect("u16");
+        let mut connection = String::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.strip_prefix("connection: ") {
+                connection = v.to_string();
+            }
+            if let Some(v) = header.strip_prefix("content-length: ") {
+                content_length = v.parse().expect("len");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        (status, connection, String::from_utf8(body).expect("utf8"))
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_and_drains() {
+        let (addr, handle, join) = start_echo_front(Duration::from_secs(5), 64);
+        let mut stream = BlockingStream::connect(addr).expect("connect");
+        for i in 0..3 {
+            let (status, connection, body) = get(&mut stream, &format!("/ping/{i}"));
+            assert_eq!(status, 200);
+            assert_eq!(connection, "keep-alive");
+            assert_eq!(body, format!("/ping/{i}"));
+        }
+        assert!(handle.counters().open_connections >= 1);
+        handle.shutdown();
+        join.join().expect("reactor exits");
+        assert_eq!(handle.counters().open_connections, 0);
+    }
+
+    #[test]
+    fn streams_chunks_then_closes() {
+        let (addr, handle, join) = start_echo_front(Duration::from_secs(5), 64);
+        let mut stream = BlockingStream::connect(addr).expect("connect");
+        write!(stream, "GET /stream HTTP/1.1\r\nhost: t\r\n\r\n").expect("write");
+        let mut reader = BufReader::new(stream);
+        let mut all = Vec::new();
+        reader.read_to_end(&mut all).expect("read to close");
+        let text = String::from_utf8(all).expect("utf8");
+        assert!(text.contains("transfer-encoding: chunked"));
+        assert!(text.contains("one\n") && text.contains("two\n"));
+        assert!(text.ends_with("0\r\n\r\n"), "terminal chunk then close");
+        handle.shutdown();
+        join.join().expect("reactor exits");
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let (addr, handle, join) = start_echo_front(Duration::from_millis(80), 64);
+        let mut stream = BlockingStream::connect(addr).expect("connect");
+        // Half a request, then silence: the slow-loris peer is cut off.
+        write!(stream, "GET /slow HTTP/1.1\r\nhost:").expect("write");
+        let mut end = Vec::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let n = stream.read_to_end(&mut end).expect("server closes");
+        assert_eq!(n, 0, "no response bytes for a half request");
+        assert!(handle.counters().timeouts >= 1);
+        handle.shutdown();
+        join.join().expect("reactor exits");
+    }
+
+    #[test]
+    fn accepts_beyond_the_cap_get_a_503() {
+        let (addr, handle, join) = start_echo_front(Duration::from_secs(5), 2);
+        let mut keep1 = BlockingStream::connect(addr).expect("connect");
+        let mut keep2 = BlockingStream::connect(addr).expect("connect");
+        let (s1, ..) = get(&mut keep1, "/a");
+        let (s2, ..) = get(&mut keep2, "/b");
+        assert_eq!((s1, s2), (200, 200));
+        let mut over = BlockingStream::connect(addr).expect("connect");
+        over.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let (status, connection, body) = read_reply(&mut over);
+        assert_eq!(status, 503);
+        assert_eq!(connection, "close");
+        assert!(body.contains("connection limit reached"));
+        handle.shutdown();
+        join.join().expect("reactor exits");
+    }
+}

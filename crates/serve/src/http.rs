@@ -271,24 +271,9 @@ impl HttpConnection {
             return Err(domino_failpoint::injected_io_error("serve.http.write"));
         }
         let stream = self.reader.get_mut();
-        let mut head = format!(
-            "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
-             content-length: {}\r\nconnection: {}\r\n",
-            reason(status),
-            body.len(),
-            if keep_alive { "keep-alive" } else { "close" }
-        );
-        for (name, value) in extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
         // One write per message: a head-then-body pair of small segments
         // would re-trigger the Nagle/delayed-ACK stall on every exchange.
-        let mut message = head.into_bytes();
-        message.extend_from_slice(body);
+        let message = render_response(status, extra_headers, body, keep_alive);
         stream.write_all(&message)?;
         stream.flush()
     }
@@ -493,6 +478,123 @@ pub fn serve_connection(
     }
 }
 
+/// An incremental request parser for non-blocking connections: the
+/// reactor [`feed`](RequestParser::feed)s it whatever bytes the socket
+/// had, and [`try_next`](RequestParser::try_next) yields a [`Request`]
+/// once a complete one has accumulated. Pipelined requests queue in the
+/// internal buffer and come out one `try_next` at a time.
+///
+/// Bounds are enforced *while buffering*, matching the blocking parser:
+/// an endless newline-free line errors at [`MAX_LINE_BYTES`], a header
+/// flood at [`MAX_HEADERS`], an oversized `Content-Length` at
+/// [`MAX_BODY_BYTES`] — all before the hostile bytes are held.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends freshly read socket bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// `true` when no bytes of a next request have arrived — the
+    /// idle-timeout close is silent exactly when this holds (a partial
+    /// request dying at the deadline mirrors the blocking path's
+    /// mid-request stall error instead).
+    pub fn is_idle(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Tries to parse one complete request off the front of the buffer.
+    /// `Ok(None)` means "incomplete — feed more bytes".
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] with `InvalidData` for the same malformed shapes the
+    /// blocking [`HttpConnection::next_request`] rejects.
+    pub fn try_next(&mut self) -> io::Result<Option<Request>> {
+        let Some(line_end) = find_line(&self.buf, 0, "request")? else {
+            return Ok(None);
+        };
+        let line = std::str::from_utf8(&self.buf[..line_end])
+            .map_err(|_| bad("malformed request line"))?;
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+            return Err(bad("malformed request line"));
+        };
+        let method = method.to_ascii_uppercase();
+        let (path, query) = split_target(target);
+
+        // Header block: one bounded line at a time until the blank line.
+        let mut cursor = line_end + 1;
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: usize = 0;
+        loop {
+            let Some(end) = find_line(&self.buf, cursor, "header")? else {
+                return Ok(None);
+            };
+            let header = std::str::from_utf8(&self.buf[cursor..end])
+                .map_err(|_| bad("malformed header"))?
+                .trim_end();
+            cursor = end + 1;
+            if header.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(bad("too many headers"));
+            }
+            let Some((name, value)) = header.split_once(':') else {
+                return Err(bad("malformed header"));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| bad("non-numeric content-length"))?;
+                if n > MAX_BODY_BYTES {
+                    return Err(bad("body too large"));
+                }
+                content_length = n;
+            }
+            headers.push((name, value));
+        }
+
+        if self.buf.len() < cursor + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[cursor..cursor + content_length].to_vec();
+        self.buf.drain(..cursor + content_length);
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Finds the `\n` ending the line that starts at `from`, enforcing
+/// [`MAX_LINE_BYTES`] on both complete and still-accumulating lines.
+fn find_line(buf: &[u8], from: usize, what: &str) -> io::Result<Option<usize>> {
+    match buf[from.min(buf.len())..].iter().position(|&b| b == b'\n') {
+        Some(i) if i + 1 > MAX_LINE_BYTES => Err(bad(&format!("{what} line too long"))),
+        Some(i) => Ok(Some(from + i)),
+        None if buf.len() - from.min(buf.len()) > MAX_LINE_BYTES => {
+            Err(bad(&format!("{what} line too long")))
+        }
+        None => Ok(None),
+    }
+}
+
 /// The header block of a request or response.
 struct ParsedHeaders {
     headers: Vec<(String, String)>,
@@ -635,12 +737,7 @@ impl<'a> ChunkedWriter<'a> {
     ///
     /// [`io::Error`] from writing the head.
     pub fn begin(stream: &'a mut TcpStream, status: u16) -> io::Result<Self> {
-        let head = format!(
-            "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
-             transfer-encoding: chunked\r\nconnection: close\r\n\r\n",
-            reason(status)
-        );
-        stream.write_all(head.as_bytes())?;
+        stream.write_all(&render_chunked_head(status))?;
         stream.flush()?;
         Ok(ChunkedWriter { stream })
     }
@@ -654,10 +751,7 @@ impl<'a> ChunkedWriter<'a> {
         if data.is_empty() {
             return Ok(()); // an empty chunk would terminate the stream
         }
-        let mut framed = format!("{:x}\r\n", data.len()).into_bytes();
-        framed.extend_from_slice(data);
-        framed.extend_from_slice(b"\r\n");
-        self.stream.write_all(&framed)?;
+        self.stream.write_all(&render_chunk(data))?;
         self.stream.flush()
     }
 
@@ -667,9 +761,67 @@ impl<'a> ChunkedWriter<'a> {
     ///
     /// [`io::Error`] from the underlying writes.
     pub fn finish(self) -> io::Result<()> {
-        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.write_all(render_chunk_end())?;
         self.stream.flush()
     }
+}
+
+/// Renders a complete fixed-length response — head and body in one
+/// buffer — exactly as [`HttpConnection::write_response`] puts it on the
+/// wire. The reactor path queues these bytes for writable-readiness
+/// instead of writing inline, so sharing the renderer is what keeps the
+/// two paths byte-identical.
+pub fn render_response(
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut message = head.into_bytes();
+    message.extend_from_slice(body);
+    message
+}
+
+/// Renders the head of a chunked-transfer response (always
+/// `Connection: close`), exactly as [`ChunkedWriter::begin`] writes it.
+pub fn render_chunked_head(status: u16) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status} {}\r\nserver: dominod\r\ncontent-type: application/json\r\n\
+         transfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+        reason(status)
+    )
+    .into_bytes()
+}
+
+/// Frames one chunk (`{len:x}\r\n` + data + `\r\n`). Empty data renders
+/// as no bytes at all — an empty chunk would terminate the stream.
+pub fn render_chunk(data: &[u8]) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut framed = format!("{:x}\r\n", data.len()).into_bytes();
+    framed.extend_from_slice(data);
+    framed.extend_from_slice(b"\r\n");
+    framed
+}
+
+/// The terminating zero-length chunk of a chunked stream.
+pub fn render_chunk_end() -> &'static [u8] {
+    b"0\r\n\r\n"
 }
 
 /// A parsed client-side response: status code plus the complete body
@@ -1011,6 +1163,96 @@ mod tests {
         }
         drop(client);
         assert!(reader.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn request_parser_accumulates_byte_at_a_time() {
+        let wire = b"POST /jobs?wait=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new();
+        assert!(parser.is_idle());
+        for (i, byte) in wire.iter().enumerate() {
+            parser.feed(std::slice::from_ref(byte));
+            let parsed = parser.try_next().unwrap();
+            if i + 1 < wire.len() {
+                assert!(parsed.is_none(), "complete at byte {i}?");
+                assert!(!parser.is_idle());
+            } else {
+                let req = parsed.expect("complete request");
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/jobs");
+                assert!(req.wants_wait());
+                assert_eq!(req.body, b"hello");
+                assert_eq!(req.header("host"), Some("t"));
+            }
+        }
+        assert!(parser.is_idle(), "buffer fully consumed");
+    }
+
+    #[test]
+    fn request_parser_yields_pipelined_requests_in_order() {
+        let mut parser = RequestParser::new();
+        parser.feed(
+            b"GET /a HTTP/1.1\r\n\r\n\
+              POST /b HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+              GET /c HTTP/1.1\r\n\r\n",
+        );
+        let mut paths = Vec::new();
+        while let Some(req) = parser.try_next().unwrap() {
+            paths.push(req.path);
+        }
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn request_parser_enforces_bounds_like_the_blocking_parser() {
+        // Endless newline-free line: cut off at the line bound.
+        let mut parser = RequestParser::new();
+        parser.feed(&vec![b'a'; MAX_LINE_BYTES + 2]);
+        assert!(parser.try_next().is_err());
+
+        // Oversized declared body: rejected at the header, before bytes.
+        let mut parser = RequestParser::new();
+        parser
+            .feed(format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX).as_bytes());
+        assert!(parser.try_next().is_err());
+
+        // Malformed request line.
+        let mut parser = RequestParser::new();
+        parser.feed(b"NONSENSE\r\n\r\n");
+        assert!(parser.try_next().is_err());
+    }
+
+    #[test]
+    fn render_helpers_match_the_blocking_writers_bytes() {
+        let (client, server) = pair();
+        let mut server = HttpConnection::new(server);
+        server
+            .write_response(429, &[("retry-after", "1")], b"{\"e\":1}", true)
+            .unwrap();
+        drop(server);
+        let mut wire = Vec::new();
+        let mut client = client;
+        client.read_to_end(&mut wire).unwrap();
+        assert_eq!(
+            wire,
+            render_response(429, &[("retry-after", "1")], b"{\"e\":1}", true)
+        );
+
+        let (client, mut server) = pair();
+        let writer = std::thread::spawn(move || {
+            let mut w = ChunkedWriter::begin(&mut server, 200).unwrap();
+            w.chunk(b"{\"a\":1}\n").unwrap();
+            w.finish().unwrap();
+        });
+        let mut wire = Vec::new();
+        let mut client = client;
+        client.read_to_end(&mut wire).unwrap();
+        writer.join().unwrap();
+        let mut expected = render_chunked_head(200);
+        expected.extend_from_slice(&render_chunk(b"{\"a\":1}\n"));
+        expected.extend_from_slice(render_chunk_end());
+        assert_eq!(wire, expected);
+        assert!(render_chunk(b"").is_empty(), "empty chunk renders nothing");
     }
 
     #[test]

@@ -53,15 +53,18 @@
 #![forbid(unsafe_code)]
 
 mod client;
+pub mod config;
+pub mod front;
 pub mod http;
 pub mod protocol;
 mod registry;
 mod server;
 
-pub use client::{ClientError, RetryPolicy, ServeClient};
+pub use client::{ClientBuilder, ClientError, RetryPolicy, ServeClient};
+pub use config::{ArgTable, ParsedArgs, DEFAULT_MAX_CONNECTIONS};
 pub use protocol::{
-    CacheCounters, ErrorReply, EventKind, EventRecord, FailpointCounter, JobStatus, MetricsReply,
-    StatusReply, SubmitReply,
+    CacheCounters, ErrorReply, EventKind, EventRecord, FailpointCounter, JobStatus, MetricsDoc,
+    MetricsReply, ReactorCounters, StatusReply, SubmitReply,
 };
 pub use registry::{AdmitError, Registry, RETAINED_TERMINAL_JOBS};
 pub use server::{ServeConfig, Server, ShutdownHandle, DEFAULT_PORT};

@@ -378,6 +378,44 @@ impl FailpointCounter {
     }
 }
 
+/// Connection-reactor counters as exposed by `GET /metrics` — the
+/// observable proof that connection handling is event-driven: under
+/// thousands of kept-alive clients, `open_connections` scales while the
+/// `workers` / handler thread counts do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactorCounters {
+    /// Connections currently registered with the reactor.
+    pub open_connections: u64,
+    /// Connections accepted since start (including ones since closed).
+    pub accepts: u64,
+    /// Connections closed by the idle-timeout wheel.
+    pub timeouts: u64,
+}
+
+impl ReactorCounters {
+    /// Serializes to the wire JSON.
+    pub fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("open_connections", Json::Num(self.open_connections as f64)),
+            ("accepts", Json::Num(self.accepts as f64)),
+            ("timeouts", Json::Num(self.timeouts as f64)),
+        ])
+    }
+
+    /// Parses the wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        Ok(ReactorCounters {
+            open_connections: req_u64(v, "open_connections")?,
+            accepts: req_u64(v, "accepts")?,
+            timeouts: req_u64(v, "timeouts")?,
+        })
+    }
+}
+
 /// `GET /metrics` body: queue, lifecycle counters, stage timings, cache.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsReply {
@@ -409,6 +447,9 @@ pub struct MetricsReply {
     pub exec_ms: u64,
     /// Result-cache counters (`None` when the server runs uncached).
     pub cache: Option<CacheCounters>,
+    /// Connection-reactor counters (`None` in documents from
+    /// pre-reactor servers — rolling upgrade).
+    pub reactor: Option<ReactorCounters>,
     /// Fault-injection site counters; empty unless the process runs with
     /// an active failpoint schedule (chaos testing).
     pub failpoints: Vec<FailpointCounter>,
@@ -433,6 +474,12 @@ impl MetricsReply {
             (
                 "cache",
                 self.cache.map(CacheCounters::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "reactor",
+                self.reactor
+                    .map(ReactorCounters::to_json)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "failpoints",
@@ -469,6 +516,11 @@ impl MetricsReply {
                 None | Some(Json::Null) => None,
                 Some(j) => Some(CacheCounters::from_json(j)?),
             },
+            // Absent on pre-reactor servers (rolling upgrade).
+            reactor: match v.get("reactor") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(ReactorCounters::from_json(j)?),
+            },
             // Absent on pre-failpoint servers (rolling upgrade).
             failpoints: match v.get("failpoints").and_then(Json::as_arr) {
                 Some(items) => items
@@ -478,6 +530,236 @@ impl MetricsReply {
                 None => Vec::new(),
             },
         })
+    }
+}
+
+/// One backend's health as reported in the gateway's `GET /metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendHealthDoc {
+    /// Backend address (`host:port`).
+    pub addr: String,
+    /// Whether the last contact (probe or routed request) succeeded.
+    pub healthy: bool,
+    /// Times this backend transitioned healthy → down.
+    pub down_transitions: u64,
+    /// Circuit-breaker state label: `closed`, `open` or `half-open`.
+    pub breaker: String,
+}
+
+impl BackendHealthDoc {
+    /// Serializes to the wire JSON. Field order is part of the wire
+    /// contract — fleet smoke checks grep for `"addr":...,"healthy":...`
+    /// adjacency.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("addr", Json::Str(self.addr.clone())),
+            ("healthy", Json::Bool(self.healthy)),
+            ("down_transitions", Json::Num(self.down_transitions as f64)),
+            ("breaker", Json::Str(self.breaker.clone())),
+        ])
+    }
+
+    /// Parses the wire JSON leniently (absent fields default — documents
+    /// from older gateways keep parsing during rolling upgrades).
+    pub fn from_json(v: &Json) -> Self {
+        BackendHealthDoc {
+            addr: v
+                .get("addr")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            healthy: v.get("healthy").and_then(Json::as_bool).unwrap_or(false),
+            down_transitions: v
+                .get("down_transitions")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            // Absent in documents from pre-breaker gateways (rolling
+            // upgrade): closed is the only state such a gateway can be in.
+            breaker: v
+                .get("breaker")
+                .and_then(Json::as_str)
+                .unwrap_or("closed")
+                .to_string(),
+        }
+    }
+}
+
+/// The gateway's `GET /metrics` document (`dominogw`'s counterpart of
+/// [`MetricsReply`]). Both servers now assemble their documents through
+/// this module instead of by hand, so the shared sections — failpoints,
+/// reactor — cannot drift between them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayMetricsDoc {
+    /// Milliseconds since the gateway started.
+    pub uptime_ms: u64,
+    /// Jobs forwarded to a backend (any reply status).
+    pub routed: u64,
+    /// Backend `429`s propagated to callers.
+    pub rejected: u64,
+    /// Submissions answered by a failover backend.
+    pub failovers: u64,
+    /// Cold-home submissions warmed from a peer before routing.
+    pub peer_fills: u64,
+    /// Submissions refused with `503` (no reachable backend).
+    pub unroutable: u64,
+    /// Sync submissions coalesced onto an in-flight leader's reply.
+    pub coalesced: u64,
+    /// Connection-reactor counters (`None` in documents from
+    /// pre-reactor gateways — rolling upgrade).
+    pub reactor: Option<ReactorCounters>,
+    /// Per-backend health and breaker state.
+    pub backends: Vec<BackendHealthDoc>,
+    /// Failpoint site counters — empty unless the gateway runs with an
+    /// active fault-injection schedule (chaos testing).
+    pub failpoints: Vec<FailpointCounter>,
+}
+
+impl GatewayMetricsDoc {
+    /// Serializes to the wire JSON (field order is part of the wire
+    /// contract; see [`BackendHealthDoc::to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("uptime_ms", Json::Num(self.uptime_ms as f64)),
+            ("routed", Json::Num(self.routed as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("failovers", Json::Num(self.failovers as f64)),
+            ("peer_fills", Json::Num(self.peer_fills as f64)),
+            ("unroutable", Json::Num(self.unroutable as f64)),
+            ("coalesced", Json::Num(self.coalesced as f64)),
+            (
+                "reactor",
+                self.reactor
+                    .map(ReactorCounters::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "backends",
+                Json::Arr(
+                    self.backends
+                        .iter()
+                        .map(BackendHealthDoc::to_json)
+                        .collect(),
+                ),
+            ),
+            (
+                "failpoints",
+                Json::Arr(
+                    self.failpoints
+                        .iter()
+                        .map(FailpointCounter::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the `GET /metrics` document of a gateway.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] on missing or mistyped required fields.
+    /// Sections added after the first gateway release (`coalesced`,
+    /// `reactor`, backend `breaker`) parse leniently for rolling
+    /// upgrades.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        let backends = match v.get("backends") {
+            Some(Json::Arr(items)) => items.iter().map(BackendHealthDoc::from_json).collect(),
+            _ => Vec::new(),
+        };
+        let failpoints = match v.get("failpoints") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|f| FailpointCounter::from_json(f).ok())
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(GatewayMetricsDoc {
+            uptime_ms: req_u64(v, "uptime_ms")?,
+            routed: req_u64(v, "routed")?,
+            rejected: req_u64(v, "rejected")?,
+            failovers: req_u64(v, "failovers")?,
+            peer_fills: req_u64(v, "peer_fills")?,
+            unroutable: req_u64(v, "unroutable")?,
+            // Absent in pre-coalescing documents (rolling upgrade).
+            coalesced: v.get("coalesced").and_then(Json::as_u64).unwrap_or(0),
+            // Absent in pre-reactor documents (rolling upgrade).
+            reactor: match v.get("reactor") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(ReactorCounters::from_json(j)?),
+            },
+            backends,
+            failpoints,
+        })
+    }
+}
+
+/// A `/metrics` document of either flavor: `dominod`'s server sections
+/// (queue/cache/reactor/failpoints) or `dominogw`'s gateway sections
+/// (routing counters/backends/reactor/failpoints). One entry point for
+/// tools — the bench harness, `dominoc` — that scrape either server kind
+/// without knowing in advance which they are talking to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDoc {
+    /// The `dominod` sections, when the document came from a backend.
+    pub server: Option<MetricsReply>,
+    /// The `dominogw` sections, when the document came from a gateway.
+    pub gateway: Option<GatewayMetricsDoc>,
+}
+
+impl MetricsDoc {
+    /// Wraps a server-flavor document.
+    pub fn server(reply: MetricsReply) -> Self {
+        MetricsDoc {
+            server: Some(reply),
+            gateway: None,
+        }
+    }
+
+    /// Wraps a gateway-flavor document.
+    pub fn gateway(doc: GatewayMetricsDoc) -> Self {
+        MetricsDoc {
+            server: None,
+            gateway: Some(doc),
+        }
+    }
+
+    /// Reactor counters from whichever flavor is present.
+    pub fn reactor(&self) -> Option<ReactorCounters> {
+        self.server
+            .as_ref()
+            .and_then(|s| s.reactor)
+            .or_else(|| self.gateway.as_ref().and_then(|g| g.reactor))
+    }
+
+    /// Serializes the present flavor to its wire JSON (an empty object
+    /// when neither section is set).
+    pub fn to_json(&self) -> Json {
+        if let Some(server) = &self.server {
+            server.to_json()
+        } else if let Some(gateway) = &self.gateway {
+            gateway.to_json()
+        } else {
+            Json::obj(Vec::new())
+        }
+    }
+
+    /// Parses either flavor, detected by its signature fields: gateway
+    /// documents carry `routed`, server documents `queue_depth`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Spec`] when the document matches neither flavor or
+    /// a required field of the detected flavor is missing.
+    pub fn from_json(v: &Json) -> Result<Self, EngineError> {
+        if v.get("routed").is_some() {
+            return Ok(MetricsDoc::gateway(GatewayMetricsDoc::from_json(v)?));
+        }
+        if v.get("queue_depth").is_some() {
+            return Ok(MetricsDoc::server(MetricsReply::from_json(v)?));
+        }
+        Err(EngineError::Spec(
+            "not a metrics document: neither 'routed' nor 'queue_depth' present".to_string(),
+        ))
     }
 }
 
@@ -723,6 +1005,11 @@ mod tests {
                     disk_entries: e,
                     corrupt_evictions: a ^ c,
                 }),
+                reactor: with_cache.then_some(ReactorCounters {
+                    open_connections: a,
+                    accepts: b,
+                    timeouts: c ^ e,
+                }),
                 failpoints: if with_cache {
                     vec![FailpointCounter {
                         site: "engine.cache.disk_write".into(),
@@ -738,6 +1025,83 @@ mod tests {
             let v = domino_engine::json::parse(&text).unwrap();
             prop_assert_eq!(MetricsReply::from_json(&v).unwrap(), reply);
         }
+
+        #[test]
+        fn gateway_metrics_doc_roundtrips(
+            a in COUNTER, b in COUNTER, c in COUNTER, d in COUNTER,
+            e in COUNTER, with_extras: bool
+        ) {
+            let doc = GatewayMetricsDoc {
+                uptime_ms: a,
+                routed: b,
+                rejected: c,
+                failovers: d,
+                peer_fills: e,
+                unroutable: a ^ b,
+                coalesced: b ^ c,
+                reactor: with_extras.then_some(ReactorCounters {
+                    open_connections: d,
+                    accepts: e,
+                    timeouts: a ^ d,
+                }),
+                backends: vec![BackendHealthDoc {
+                    addr: "127.0.0.1:7171".into(),
+                    healthy: with_extras,
+                    down_transitions: c ^ d,
+                    breaker: "half-open".into(),
+                }],
+                failpoints: if with_extras {
+                    vec![FailpointCounter {
+                        site: "fleet.gateway.relay".into(),
+                        mode: "once".into(),
+                        hits: a,
+                        fires: b,
+                    }]
+                } else {
+                    Vec::new()
+                },
+            };
+            let text = doc.to_json().serialize();
+            let v = domino_engine::json::parse(&text).unwrap();
+            prop_assert_eq!(GatewayMetricsDoc::from_json(&v).unwrap(), doc.clone());
+            // Flavor detection routes the same bytes through MetricsDoc.
+            let unified = MetricsDoc::from_json(&v).unwrap();
+            prop_assert_eq!(unified.gateway, Some(doc));
+            prop_assert_eq!(unified.server, None);
+        }
+    }
+
+    #[test]
+    fn metrics_doc_detects_flavors_and_rejects_neither() {
+        let server = domino_engine::json::parse(
+            r#"{"queue_depth":0,"queue_capacity":4,"workers":1,"uptime_ms":9,
+                "submitted":0,"rejected":0,"completed":0,"failed":0,
+                "cancelled":0,"warm":0,"queue_wait_ms":0,"exec_ms":0}"#,
+        )
+        .unwrap();
+        let doc = MetricsDoc::from_json(&server).unwrap();
+        assert!(doc.server.is_some() && doc.gateway.is_none());
+        assert_eq!(doc.reactor(), None, "pre-reactor documents parse");
+
+        let gateway = domino_engine::json::parse(
+            r#"{"uptime_ms":9,"routed":3,"rejected":0,"failovers":1,
+                "peer_fills":0,"unroutable":0,
+                "reactor":{"open_connections":2,"accepts":5,"timeouts":1}}"#,
+        )
+        .unwrap();
+        let doc = MetricsDoc::from_json(&gateway).unwrap();
+        assert!(doc.gateway.is_some() && doc.server.is_none());
+        assert_eq!(
+            doc.reactor(),
+            Some(ReactorCounters {
+                open_connections: 2,
+                accepts: 5,
+                timeouts: 1
+            })
+        );
+
+        let neither = domino_engine::json::parse(r#"{"status":"ok"}"#).unwrap();
+        assert!(MetricsDoc::from_json(&neither).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! `dominod`'s core: the accept loop, the HTTP router, the worker pool
+//! `dominod`'s core: the reactor front, the HTTP router, the worker pool
 //! and graceful shutdown.
 //!
 //! # Request lifecycle
@@ -21,6 +21,15 @@
 //!          DELETE /jobs/:id       (cooperative cancel)
 //! ```
 //!
+//! # Threads
+//!
+//! Connections no longer own threads. One reactor thread
+//! ([`crate::front`]) multiplexes every socket; a small handler pool runs
+//! the router; the worker pool executes jobs; and one *pump* thread
+//! services every parked long-poll (`?wait=1`) and `/events` stream by
+//! polling the registry — so ten thousand clients blocked on results
+//! cost one thread, total, not ten thousand.
+//!
 //! Determinism holds across the wire because the server stores and serves
 //! the engine's serialized [`FlowOutcome`](domino_engine::FlowOutcome)
 //! *verbatim*: for any spec, `GET /jobs/:id/result` is byte-identical to
@@ -29,14 +38,16 @@
 //!
 //! # Shutdown
 //!
-//! `POST /shutdown` (or [`Server::request_shutdown`]) flips the shutdown
-//! flag: the accept loop closes, admissions turn into `503`, workers
-//! drain every job already admitted and exit. The on-disk cache needs no
-//! separate flush — every store is written (atomically) at completion
-//! time — so a drained server can be killed with nothing in flight.
+//! `POST /shutdown` (or [`Server::request_shutdown`]) starts the drain:
+//! the reactor closes its listener and idle connections, admissions turn
+//! into `503`, workers finish every job already admitted, the pump
+//! answers every parked waiter, and in-flight connections close after
+//! their final response. The on-disk cache needs no separate flush —
+//! every store is written (atomically) at completion time — so a drained
+//! server can be killed with nothing in flight.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -49,7 +60,9 @@ use domino_engine::{
     CircuitSource, EngineConfig, EngineError, FlowEngine, FlowJob, JobResult, JobSpec, ResultCache,
 };
 
-use crate::http::{serve_connection, ConnectionPolicy, HttpConnection, Request, Served};
+use crate::config::ArgTable;
+use crate::front::{FrontConfig, FrontHandle, HttpFront, Responder, StreamHandle};
+use crate::http::Request;
 use crate::protocol::{CacheCounters, ErrorReply, JobStatus};
 use crate::registry::{AdmitError, Registry};
 
@@ -71,6 +84,9 @@ pub struct ServeConfig {
     /// Requests served per connection before the server forces
     /// `Connection: close`.
     pub max_requests_per_connection: u32,
+    /// Concurrently open connections the reactor accepts before
+    /// answering further accepts with `503` and an immediate close.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,15 +98,47 @@ impl Default for ServeConfig {
             cache: None,
             idle_timeout_ms: 10_000,
             max_requests_per_connection: 1024,
+            max_connections: crate::config::DEFAULT_MAX_CONNECTIONS,
         }
     }
 }
 
 impl ServeConfig {
+    /// The server's flag table (see [`crate::config`]): the single
+    /// declaration behind both [`ServeConfig::parse_args`] and the
+    /// `--help` text of `dominod` / `dominoc serve`.
+    pub fn arg_table() -> ArgTable {
+        let table = ArgTable::new("server")
+            .flag(
+                "--addr",
+                "<host:port>",
+                "bind address [127.0.0.1:7171]; port 0 = ephemeral",
+            )
+            .flag("--workers", "<n>", "worker threads, 0 = all CPUs [0]")
+            .flag("--queue", "<n>", "admission queue capacity [64]")
+            .flag(
+                "--cache",
+                "<dir>",
+                "on-disk result cache (shared with dominoc)",
+            )
+            .flag(
+                "--cache-mem-entries",
+                "<n>",
+                "in-memory cache entry budget, 0 = unbounded [0]",
+            )
+            .flag(
+                "--cache-disk-bytes",
+                "<n>",
+                "on-disk cache byte budget, 0 = unbounded [0]",
+            );
+        crate::config::failpoint_docs(crate::config::connection_flags(table))
+    }
+
     /// Parses the server CLI flags (`--addr`, `--workers`, `--queue`,
     /// `--cache`, `--cache-mem-entries`, `--cache-disk-bytes`,
-    /// `--idle-ms`) shared by `dominod` and `dominoc serve`, so the two
-    /// entry points cannot drift.
+    /// `--idle-ms`, `--max-requests`, `--max-connections`) shared by
+    /// `dominod` and `dominoc serve`, so the two entry points cannot
+    /// drift.
     ///
     /// # Errors
     ///
@@ -98,59 +146,26 @@ impl ServeConfig {
     /// non-integer counts, a zero queue capacity, cache budgets without a
     /// cache, or an unusable cache directory.
     pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+        let parsed = Self::arg_table().parse(args)?;
         let mut config = ServeConfig::default();
-        let mut cache_dir: Option<String> = None;
+        parsed.set_string("--addr", &mut config.addr);
+        parsed.set_integer("--workers", &mut config.workers)?;
+        parsed.set_integer_at_least_one("--queue", &mut config.queue_capacity)?;
+        crate::config::apply_connection_flags(
+            &parsed,
+            &mut config.idle_timeout_ms,
+            &mut config.max_requests_per_connection,
+            &mut config.max_connections,
+        )?;
         let mut cache_mem_entries: usize = 0;
+        parsed.set_integer("--cache-mem-entries", &mut cache_mem_entries)?;
         let mut cache_disk_bytes: u64 = 0;
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            let mut value = |name: &str| -> Result<String, String> {
-                it.next()
-                    .cloned()
-                    .ok_or_else(|| format!("{name} needs a value"))
-            };
-            match arg.as_str() {
-                "--addr" => config.addr = value("--addr")?,
-                "--workers" => {
-                    config.workers = value("--workers")?
-                        .parse()
-                        .map_err(|_| "--workers needs an integer".to_string())?;
-                }
-                "--queue" => {
-                    config.queue_capacity = value("--queue")?
-                        .parse()
-                        .map_err(|_| "--queue needs an integer".to_string())?;
-                    if config.queue_capacity == 0 {
-                        return Err("--queue must be at least 1".to_string());
-                    }
-                }
-                "--cache" => cache_dir = Some(value("--cache")?),
-                "--cache-mem-entries" => {
-                    cache_mem_entries = value("--cache-mem-entries")?
-                        .parse()
-                        .map_err(|_| "--cache-mem-entries needs an integer".to_string())?;
-                }
-                "--cache-disk-bytes" => {
-                    cache_disk_bytes = value("--cache-disk-bytes")?
-                        .parse()
-                        .map_err(|_| "--cache-disk-bytes needs an integer".to_string())?;
-                }
-                "--idle-ms" => {
-                    config.idle_timeout_ms = value("--idle-ms")?
-                        .parse()
-                        .map_err(|_| "--idle-ms needs an integer".to_string())?;
-                    if config.idle_timeout_ms == 0 {
-                        return Err("--idle-ms must be at least 1".to_string());
-                    }
-                }
-                other => return Err(format!("unknown server option '{other}'")),
-            }
-        }
+        parsed.set_integer("--cache-disk-bytes", &mut cache_disk_bytes)?;
         // The cache is built last so the budget flags work in any order
         // relative to `--cache`.
-        match cache_dir {
+        match parsed.last("--cache") {
             Some(dir) => {
-                let cache = ResultCache::on_disk(&dir)
+                let cache = ResultCache::on_disk(dir)
                     .map_err(|e| e.to_string())?
                     .with_memory_entry_budget(cache_mem_entries)
                     .with_disk_byte_budget(cache_disk_bytes);
@@ -167,6 +182,14 @@ impl ServeConfig {
 
 /// The default `dominod` port.
 pub const DEFAULT_PORT: u16 = 7171;
+
+/// Threads in the router pool. Routing is cheap — admission, cache
+/// probes, registry lookups; compute lives on the worker pool and every
+/// wait lives on the pump — so a handful is plenty.
+const HANDLER_THREADS: usize = 4;
+
+/// How often the pump re-polls the registry for its parked waiters.
+const PUMP_INTERVAL: Duration = Duration::from_millis(5);
 
 /// Memoizes circuit resolution by source *content*: repeated submissions
 /// of the same suite row or inline BLIF clone the parsed
@@ -232,60 +255,60 @@ impl ResolveMemo {
     }
 }
 
+/// A blocked observer the pump carries for a job: the connection is
+/// parked with the reactor while one thread polls the registry for all
+/// of them.
+enum Waiter {
+    /// `POST /jobs?wait=1` / `GET /jobs/:id/result?wait=1`: answer with
+    /// the outcome bytes once the job is terminal.
+    Outcome { responder: Responder, id: u64 },
+    /// `GET /jobs/:id?wait=1`: answer with the status document once the
+    /// job is terminal.
+    Terminal { responder: Responder, id: u64 },
+    /// `GET /jobs/:id/events`: feed fresh events as chunks; finish at
+    /// the terminal event.
+    Events {
+        stream: StreamHandle,
+        id: u64,
+        next_seq: u64,
+    },
+}
+
+/// The waiter pump's shared state.
+struct Pump {
+    waiters: Mutex<Vec<Waiter>>,
+    stop: AtomicBool,
+}
+
+impl Pump {
+    fn park(&self, waiter: Waiter) {
+        self.waiters.lock().expect("pump lock").push(waiter);
+    }
+}
+
 struct Shared {
     registry: Registry,
     resolve_memo: ResolveMemo,
     engine: FlowEngine,
     cache: Option<Arc<ResultCache>>,
-    shutdown: AtomicBool,
+    front: FrontHandle,
+    pump: Pump,
     shutdown_signal: Mutex<bool>,
     shutdown_cond: Condvar,
-    /// `true` once a shutdown wake-up connection reached the accept loop —
-    /// joining the accept thread is only safe then (see [`Server::wait`]).
-    accept_woken: AtomicBool,
-    /// Connection handlers currently alive; the drain waits for them so a
-    /// client blocked on `?wait=1` gets its response before exit.
-    active_connections: std::sync::atomic::AtomicUsize,
     started: Instant,
     workers: usize,
-    addr: SocketAddr,
-    policy: ConnectionPolicy,
 }
 
 impl Shared {
     fn begin_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
         self.registry.drain();
-        // The accept loop blocks in `accept()`; a throwaway connection to
-        // ourselves wakes it so it can observe the flag and exit. (The
-        // standard no-dependency alternative — polling with a sleep — taxes
-        // every real connection with up to one poll interval of latency,
-        // which warm cache hits would feel.) An unspecified bind address
-        // (0.0.0.0 / ::) is not connectable on every platform, so the wake
-        // targets the loopback of the same family; a transient failure is
-        // retried before giving up (wait() then refuses to join a possibly
-        // still-blocked accept thread rather than hang).
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(if wake.is_ipv4() {
-                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
-            } else {
-                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
-            });
-        }
-        for attempt in 0..3 {
-            if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
-                self.accept_woken.store(true, Ordering::SeqCst);
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(50 * (attempt + 1)));
-        }
+        self.front.shutdown();
         *self.shutdown_signal.lock().expect("shutdown lock") = true;
         self.shutdown_cond.notify_all();
     }
 
     fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.front.is_draining()
     }
 
     fn cache_counters(&self) -> Option<CacheCounters> {
@@ -301,14 +324,25 @@ impl Shared {
             }
         })
     }
+
+    fn metrics(&self) -> crate::protocol::MetricsReply {
+        let mut reply = self.registry.metrics(
+            self.workers as u64,
+            self.started.elapsed().as_millis() as u64,
+            self.cache_counters(),
+        );
+        reply.reactor = Some(self.front.counters());
+        reply
+    }
 }
 
-/// A running `dominod` instance: accept loop + worker pool over one
-/// [`Registry`].
+/// A running `dominod` instance: reactor front + worker pool + waiter
+/// pump over one [`Registry`].
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<io::Result<()>>>,
+    pump_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
 }
 
@@ -319,14 +353,26 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept loop and the worker pool, and returns.
+    /// Binds, spawns the reactor, the handler/worker pools and the pump,
+    /// and returns.
     ///
     /// # Errors
     ///
-    /// [`io::Error`] if the address cannot be bound.
+    /// [`io::Error`] if the address cannot be bound or the reactor
+    /// cannot be set up.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let front = HttpFront::bind(
+            listener,
+            FrontConfig {
+                name: "dominod",
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                max_requests: config.max_requests_per_connection.max(1),
+                max_connections: config.max_connections.max(1),
+                handler_threads: HANDLER_THREADS,
+            },
+        )?;
 
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -343,23 +389,32 @@ impl Server {
                 cache: config.cache.clone(),
             }),
             cache: config.cache,
-            shutdown: AtomicBool::new(false),
+            front: front.handle(),
+            pump: Pump {
+                waiters: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            },
             shutdown_signal: Mutex::new(false),
             shutdown_cond: Condvar::new(),
-            accept_woken: AtomicBool::new(false),
-            active_connections: std::sync::atomic::AtomicUsize::new(0),
             started: Instant::now(),
             workers,
-            addr,
-            policy: ConnectionPolicy {
-                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
-                max_requests: config.max_requests_per_connection.max(1),
-            },
         });
 
-        let accept_handle = {
+        let reactor_handle = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
+            std::thread::Builder::new()
+                .name("dominod-reactor".into())
+                .spawn(move || {
+                    front.run(Arc::new(move |request, responder| {
+                        route(&shared, &request, responder);
+                    }))
+                })?
+        };
+        let pump_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dominod-pump".into())
+                .spawn(move || pump_loop(&shared))?
         };
         let worker_handles = (0..workers)
             .map(|_| {
@@ -371,7 +426,8 @@ impl Server {
         Ok(Server {
             shared,
             addr,
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
+            pump_handle: Some(pump_handle),
             worker_handles,
         })
     }
@@ -397,9 +453,11 @@ impl Server {
     }
 
     /// Blocks until shutdown is requested (by [`Server::request_shutdown`]
-    /// or `POST /shutdown`), then drains: joins the accept loop and every
-    /// worker after the admitted queue has been fully executed. The server
-    /// can still be inspected (e.g. [`Server::metrics`]) afterwards.
+    /// or `POST /shutdown`), then drains: joins the workers after the
+    /// admitted queue has been fully executed, lets the pump answer every
+    /// parked waiter, and joins the reactor once every connection is
+    /// gone. The server can still be inspected (e.g. [`Server::metrics`])
+    /// afterwards.
     pub fn wait(&mut self) {
         {
             let mut signalled = self.shared.shutdown_signal.lock().expect("shutdown lock");
@@ -411,35 +469,21 @@ impl Server {
                     .expect("shutdown lock");
             }
         }
-        if self.shared.accept_woken.load(Ordering::SeqCst) {
-            if let Some(handle) = self.accept_handle.take() {
-                let _ = handle.join();
-            }
-        } else {
-            // The wake-up connection never got through (see
-            // begin_shutdown): the accept thread may still be blocked and
-            // joining it would hang forever. Leak it — the process is
-            // exiting anyway, and in-process users get everything but the
-            // port back.
-            eprintln!("dominod: accept loop did not confirm shutdown; not joining it");
-            self.accept_handle = None;
-        }
+        // Workers first: the drain guarantee (every admitted job reaches
+        // a terminal state) is what bounds every parked waiter.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
-        // Let in-flight connection handlers (clients blocked on ?wait=1
-        // for jobs the drain just finished) write their responses before
-        // we return and the process can exit. Bounded: every wait path
-        // terminates once its job is terminal, which the drain guarantees.
-        let grace = Instant::now();
-        while self
-            .shared
-            .active_connections
-            .load(std::sync::atomic::Ordering::SeqCst)
-            > 0
-            && grace.elapsed() < Duration::from_secs(10)
-        {
-            std::thread::sleep(Duration::from_millis(5));
+        // Then the pump: with every job terminal, one pass answers every
+        // remaining long-poll and finishes every event stream.
+        self.shared.pump.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.pump_handle.take() {
+            let _ = handle.join();
+        }
+        // Last the reactor: it exits once the answered connections have
+        // flushed and closed (with a grace cutoff for dead peers).
+        if let Some(handle) = self.reactor_handle.take() {
+            let _ = handle.join();
         }
     }
 
@@ -452,11 +496,7 @@ impl Server {
     /// An in-process metrics snapshot (same content as `GET /metrics`) —
     /// usable even after the drain, when the HTTP surface is gone.
     pub fn metrics(&self) -> crate::protocol::MetricsReply {
-        self.shared.registry.metrics(
-            self.shared.workers as u64,
-            self.shared.started.elapsed().as_millis() as u64,
-            self.shared.cache_counters(),
-        )
+        self.shared.metrics()
     }
 }
 
@@ -482,42 +522,6 @@ impl ShutdownHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                // Checked *after* accept: begin_shutdown wakes a blocked
-                // accept with a throwaway self-connection.
-                if shared.is_shutting_down() {
-                    return;
-                }
-                if domino_failpoint::should_fire("serve.http.accept") {
-                    // Injected accept failure: the connection is dropped on
-                    // the floor, as a SYN-flooded or fd-exhausted listener
-                    // would — clients see a reset before any response byte.
-                    drop(stream);
-                    continue;
-                }
-                let shared = Arc::clone(shared);
-                // Connection handlers are detached but counted
-                // (active_connections): every response path is bounded —
-                // long-polls and event streams end once their job is
-                // terminal, which the drain guarantees — and wait() holds
-                // the process for them so ?wait=1 clients get their bytes.
-                std::thread::spawn(move || handle_connection(stream, &shared));
-            }
-            Err(_) => {
-                if shared.is_shutting_down() {
-                    return;
-                }
-                // Transient accept failure (EMFILE, ECONNABORTED, ...):
-                // back off briefly instead of spinning.
-                std::thread::sleep(Duration::from_millis(5));
-            }
-        }
-    }
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some((id, job, token)) = shared.registry.claim() {
         // run_one executes inline on this worker thread (no per-job scope
@@ -534,34 +538,105 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Decrements the live-connection count when a handler exits, however it
-/// exits (normal return, early return, panic).
-struct ConnectionGuard<'a>(&'a Shared);
-
-impl Drop for ConnectionGuard<'_> {
-    fn drop(&mut self) {
-        self.0
-            .active_connections
-            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+/// One thread, every waiter: polls the registry for each parked
+/// long-poll and event stream, answering those whose jobs went terminal
+/// and dropping those whose clients left. Exits once stopped *and*
+/// empty — the drain terminates every job, so every waiter resolves.
+fn pump_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch: Vec<Waiter> = {
+            let mut guard = shared.pump.waiters.lock().expect("pump lock");
+            std::mem::take(&mut *guard)
+        };
+        let mut still_parked = Vec::new();
+        for waiter in batch {
+            if let Some(waiter) = service_waiter(shared, waiter) {
+                still_parked.push(waiter);
+            }
+        }
+        let empty = {
+            let mut guard = shared.pump.waiters.lock().expect("pump lock");
+            guard.extend(still_parked);
+            guard.is_empty()
+        };
+        if empty && shared.pump.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(PUMP_INTERVAL);
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
-    shared
-        .active_connections
-        .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-    let _guard = ConnectionGuard(shared);
-    // A peer that stops draining its socket mid-response must not pin a
-    // handler thread forever. (Read deadlines are managed per-request by
-    // the connection state machine: the idle timeout between requests,
-    // error-on-stall within one.)
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
-    serve_connection(stream, &shared.policy, |conn, request, keep_alive| {
-        // A draining server answers the in-flight request, then closes —
-        // keeping connections open would stall the drain.
-        let keep_alive = keep_alive && !shared.is_shutting_down();
-        route(conn, request, shared, keep_alive)
-    });
+/// Advances one waiter; returns it if it must stay parked.
+fn service_waiter(shared: &Arc<Shared>, waiter: Waiter) -> Option<Waiter> {
+    match waiter {
+        Waiter::Outcome { responder, id } => {
+            if !responder.is_live() {
+                return None; // client hung up; drop the reply
+            }
+            match shared.registry.outcome_text(id) {
+                None => {
+                    not_found(responder, id);
+                    None
+                }
+                Some((status, text, error)) if status.is_terminal() => {
+                    respond_outcome(responder, status, text, error);
+                    None
+                }
+                Some(_) => Some(Waiter::Outcome { responder, id }),
+            }
+        }
+        Waiter::Terminal { responder, id } => {
+            if !responder.is_live() {
+                return None;
+            }
+            match shared.registry.status(id) {
+                None => {
+                    not_found(responder, id);
+                    None
+                }
+                Some(reply) if reply.status.is_terminal() => {
+                    responder.respond(200, &[], reply.to_json().serialize().as_bytes());
+                    None
+                }
+                Some(_) => Some(Waiter::Terminal { responder, id }),
+            }
+        }
+        Waiter::Events {
+            mut stream,
+            id,
+            mut next_seq,
+        } => {
+            if !stream.is_live() {
+                return None; // consumer gone mid-stream
+            }
+            match shared.registry.events_from(id, next_seq) {
+                None => {
+                    // The job fell out of retention mid-stream; end the
+                    // stream cleanly rather than hold the client forever.
+                    stream.finish();
+                    None
+                }
+                Some((fresh, terminal)) => {
+                    for event in &fresh {
+                        let mut line = event.to_json().serialize();
+                        line.push('\n');
+                        stream.chunk(line.as_bytes());
+                        next_seq = event.seq + 1;
+                    }
+                    if terminal {
+                        stream.finish();
+                        None
+                    } else {
+                        Some(Waiter::Events {
+                            stream,
+                            id,
+                            next_seq,
+                        })
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Splits `/jobs/42[/tail]` into the id and the remainder.
@@ -574,12 +649,7 @@ fn job_path(path: &str) -> Option<(u64, &str)> {
     Some((id.parse().ok()?, tail))
 }
 
-fn route(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<Shared>,
-    ka: bool,
-) -> io::Result<Served> {
+fn route(shared: &Arc<Shared>, request: &Request, responder: Responder) {
     let method = request.method.as_str();
     let path = request.path.as_str();
     match (method, path) {
@@ -592,59 +662,50 @@ fn route(
                 ),
                 ("draining", Json::Bool(shared.is_shutting_down())),
             ]);
-            conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(200, &[], body.serialize().as_bytes());
         }
         ("GET", "/metrics") => {
-            let reply = shared.registry.metrics(
-                shared.workers as u64,
-                shared.started.elapsed().as_millis() as u64,
-                shared.cache_counters(),
-            );
-            conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            let reply = shared.metrics();
+            responder.respond(200, &[], reply.to_json().serialize().as_bytes());
         }
-        ("POST", "/jobs") => handle_submit(conn, request, shared, ka),
+        ("POST", "/jobs") => handle_submit(shared, request, responder),
         ("POST", "/shutdown") => {
             let body = Json::obj(vec![("status", Json::Str("shutting-down".into()))]);
-            conn.write_response(200, &[], body.serialize().as_bytes(), false)?;
+            responder.respond_close(200, &[], body.serialize().as_bytes());
             shared.begin_shutdown();
-            Ok(Served::Close)
         }
         ("GET", _) if path.starts_with("/cache/peek/") => {
-            handle_cache_peek(conn, shared, &path["/cache/peek/".len()..], ka)
+            handle_cache_peek(shared, &path["/cache/peek/".len()..], responder);
         }
         ("POST", _) if path.starts_with("/cache/fill/") => {
-            handle_cache_fill(conn, request, shared, &path["/cache/fill/".len()..], ka)
+            handle_cache_fill(shared, request, &path["/cache/fill/".len()..], responder);
         }
         _ => match job_path(path) {
-            Some((id, "")) if method == "GET" => handle_status(conn, request, shared, id, ka),
+            Some((id, "")) if method == "GET" => handle_status(shared, request, id, responder),
             Some((id, "")) if method == "DELETE" => match shared.registry.cancel(id) {
                 Some(reply) => {
-                    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
-                    Ok(alive(ka))
+                    responder.respond(200, &[], reply.to_json().serialize().as_bytes());
                 }
-                None => not_found(conn, id, ka),
+                None => not_found(responder, id),
             },
-            Some((id, "result")) if method == "GET" => handle_result(conn, request, shared, id, ka),
-            Some((id, "events")) if method == "GET" => handle_events(conn, shared, id, ka),
+            Some((id, "result")) if method == "GET" => {
+                handle_result(shared, request, id, responder);
+            }
+            Some((id, "events")) if method == "GET" => handle_events(shared, id, responder),
             // A known sub-path with the wrong method is 405; an unknown
             // sub-path is 404 — don't misdiagnose a path typo as a method
             // error.
-            Some((_, "" | "result" | "events")) => error_reply(conn, 405, "method not allowed", ka),
+            Some((_, "" | "result" | "events")) => {
+                error_reply(responder, 405, "method not allowed");
+            }
             Some(_) | None => {
-                error_reply(conn, 404, &format!("no such endpoint: {method} {path}"), ka)
+                error_reply(
+                    responder,
+                    404,
+                    &format!("no such endpoint: {method} {path}"),
+                );
             }
         },
-    }
-}
-
-/// The routine "response written with this keep-alive flag" outcome.
-fn alive(ka: bool) -> Served {
-    if ka {
-        Served::KeepAlive
-    } else {
-        Served::Close
     }
 }
 
@@ -652,18 +713,12 @@ fn alive(ka: bool) -> Served {
 /// the cached outcome's canonical bytes, or 404. The lookup is
 /// count-silent ([`ResultCache::peek`]) so fleet-side probing does not
 /// distort this node's hit/miss accounting.
-fn handle_cache_peek(
-    conn: &mut HttpConnection,
-    shared: &Arc<Shared>,
-    key: &str,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_cache_peek(shared: &Arc<Shared>, key: &str, responder: Responder) {
     match shared.cache.as_ref().and_then(|cache| cache.peek(key)) {
         Some(outcome) => {
-            conn.write_response(200, &[], outcome.to_json().serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(200, &[], outcome.to_json().serialize().as_bytes());
         }
-        None => error_reply(conn, 404, &format!("no cache entry: {key}"), ka),
+        None => error_reply(responder, 404, &format!("no cache entry: {key}")),
     }
 }
 
@@ -672,68 +727,55 @@ fn handle_cache_peek(
 /// computed, so the next submission for that key is answered warm here.
 /// The body must be a complete serialized outcome whose own `key` field
 /// matches the path — a guard against cross-wiring two jobs' results.
-fn handle_cache_fill(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<Shared>,
-    key: &str,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_cache_fill(shared: &Arc<Shared>, request: &Request, key: &str, responder: Responder) {
     let Some(cache) = &shared.cache else {
-        return error_reply(conn, 404, "no cache configured", ka);
+        return error_reply(responder, 404, "no cache configured");
     };
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_reply(conn, 400, "body is not UTF-8", ka);
+        return error_reply(responder, 400, "body is not UTF-8");
     };
     let outcome = match domino_engine::FlowOutcome::from_json_text(text) {
         Ok(outcome) => outcome,
-        Err(e) => return error_reply(conn, 400, &format!("invalid outcome: {e}"), ka),
+        Err(e) => return error_reply(responder, 400, &format!("invalid outcome: {e}")),
     };
     if outcome.key != key {
         return error_reply(
-            conn,
+            responder,
             400,
             &format!(
                 "outcome key '{}' does not match path key '{key}'",
                 outcome.key
             ),
-            ka,
         );
     }
     cache.put(key, &outcome);
     let body = Json::obj(vec![("status", Json::Str("filled".into()))]);
-    conn.write_response(200, &[], body.serialize().as_bytes(), ka)?;
-    Ok(alive(ka))
+    responder.respond(200, &[], body.serialize().as_bytes());
 }
 
-fn handle_submit(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<Shared>,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_submit(shared: &Arc<Shared>, request: &Request, responder: Responder) {
     if shared.is_shutting_down() {
-        return error_reply(conn, 503, "server is draining for shutdown", ka);
+        return error_reply(responder, 503, "server is draining for shutdown");
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return error_reply(conn, 400, "body is not UTF-8", ka);
+        return error_reply(responder, 400, "body is not UTF-8");
     };
     let spec = match parse(text)
         .map_err(|e| e.to_string())
         .and_then(|v| JobSpec::from_json(&v).map_err(|e| e.to_string()))
     {
         Ok(spec) => spec,
-        Err(e) => return error_reply(conn, 400, &format!("invalid job spec: {e}"), ka),
+        Err(e) => return error_reply(responder, 400, &format!("invalid job spec: {e}")),
     };
     let job = match shared.resolve_memo.resolve(spec) {
         Ok(job) => job,
-        Err(e) => return error_reply(conn, 400, &format!("unresolvable job: {e}"), ka),
+        Err(e) => return error_reply(responder, 400, &format!("unresolvable job: {e}")),
     };
     // Admission-time cache check: a warm submission is answered right
-    // here — no queue slot, no worker round trip. `probe` counts the hit
-    // but not a miss (the worker's own `get` counts recomputations), so
-    // the /metrics accounting stays exact: hits == cache-answered jobs,
-    // misses == flows actually recomputed.
+    // here — no queue slot, no worker round trip, no parked waiter.
+    // `probe` counts the hit but not a miss (the worker's own `get`
+    // counts recomputations), so the /metrics accounting stays exact:
+    // hits == cache-answered jobs, misses == flows actually recomputed.
     if let Some(cache) = &shared.cache {
         if let Some(mut outcome) = cache.probe(job.cache_key()) {
             outcome.name = job.spec.name.clone();
@@ -742,150 +784,120 @@ fn handle_submit(
                 .admit_completed(&job, outcome.to_json().serialize())
             {
                 Ok(reply) if request.wants_wait() => {
-                    respond_with_outcome(conn, shared, reply.id, ka)
+                    respond_with_outcome(shared, reply.id, responder);
                 }
                 // 200, not 202: the work is already done.
                 Ok(reply) => {
-                    conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
-                    Ok(alive(ka))
+                    responder.respond(200, &[], reply.to_json().serialize().as_bytes());
                 }
-                Err(_) => error_reply(conn, 503, "server is draining for shutdown", ka),
+                Err(_) => error_reply(responder, 503, "server is draining for shutdown"),
             };
         }
     }
     match shared.registry.submit(job) {
-        // Synchronous mode: `POST /jobs?wait=1` blocks until terminal and
-        // answers like `GET /jobs/:id/result` — one round trip per job,
-        // which is what the warm path of the load harness measures.
-        Ok(reply) if request.wants_wait() => {
-            // Never abandoned on shutdown: the drain runs every admitted
-            // job to a terminal state, so this wait is bounded and the
-            // client gets its outcome even mid-drain (wait() holds the
-            // process for counted connections).
-            shared.registry.wait_done(reply.id);
-            respond_with_outcome(conn, shared, reply.id, ka)
-        }
+        // Synchronous mode: `POST /jobs?wait=1` parks the reply with the
+        // pump until the job is terminal, then answers like
+        // `GET /jobs/:id/result` — one round trip per job, holding no
+        // thread while it waits. Never abandoned on shutdown: the drain
+        // runs every admitted job to a terminal state, so the wait is
+        // bounded and the client gets its outcome even mid-drain.
+        Ok(reply) if request.wants_wait() => shared.pump.park(Waiter::Outcome {
+            responder,
+            id: reply.id,
+        }),
         Ok(reply) => {
-            conn.write_response(202, &[], reply.to_json().serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(202, &[], reply.to_json().serialize().as_bytes());
         }
         Err(AdmitError::Full { depth }) => {
             let body = ErrorReply::new(format!("queue full: {depth} jobs waiting"))
                 .to_json()
                 .serialize();
-            conn.write_response(429, &[("retry-after", "1")], body.as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(429, &[("retry-after", "1")], body.as_bytes());
         }
-        Err(AdmitError::Draining) => error_reply(conn, 503, "server is draining for shutdown", ka),
+        Err(AdmitError::Draining) => error_reply(responder, 503, "server is draining for shutdown"),
     }
 }
 
-fn handle_status(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<Shared>,
-    id: u64,
-    ka: bool,
-) -> io::Result<Served> {
-    let reply = if request.wants_wait() {
-        shared.registry.wait_terminal(id)
-    } else {
-        shared.registry.status(id)
-    };
-    match reply {
+fn handle_status(shared: &Arc<Shared>, request: &Request, id: u64, responder: Responder) {
+    match shared.registry.status(id) {
+        None => not_found(responder, id),
+        Some(reply) if request.wants_wait() && !reply.status.is_terminal() => {
+            shared.pump.park(Waiter::Terminal { responder, id });
+        }
         Some(reply) => {
-            conn.write_response(200, &[], reply.to_json().serialize().as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(200, &[], reply.to_json().serialize().as_bytes());
         }
-        None => not_found(conn, id, ka),
     }
 }
 
-fn handle_result(
-    conn: &mut HttpConnection,
-    request: &Request,
-    shared: &Arc<Shared>,
-    id: u64,
-    ka: bool,
-) -> io::Result<Served> {
-    if request.wants_wait() && !shared.registry.wait_done(id) {
-        return not_found(conn, id, ka);
+fn handle_result(shared: &Arc<Shared>, request: &Request, id: u64, responder: Responder) {
+    match shared.registry.outcome_text(id) {
+        None => not_found(responder, id),
+        Some((status, _, _)) if request.wants_wait() && !status.is_terminal() => {
+            shared.pump.park(Waiter::Outcome { responder, id });
+        }
+        Some((status, text, error)) if status.is_terminal() => {
+            respond_outcome(responder, status, text, error);
+        }
+        // Unfinished without ?wait=1: the explicit 409 nudge.
+        Some((status, _, _)) => respond_outcome(responder, status, None, None),
     }
-    respond_with_outcome(conn, shared, id, ka)
 }
 
 /// Answers with the job's stored outcome bytes (the byte-identity path),
 /// or the appropriate error for failed/cancelled/unfinished jobs.
-fn respond_with_outcome(
-    conn: &mut HttpConnection,
-    shared: &Arc<Shared>,
-    id: u64,
-    ka: bool,
-) -> io::Result<Served> {
+fn respond_with_outcome(shared: &Arc<Shared>, id: u64, responder: Responder) {
     match shared.registry.outcome_text(id) {
-        None => not_found(conn, id, ka),
-        Some((JobStatus::Completed, Some(text), _)) => {
+        None => not_found(responder, id),
+        Some((status, text, error)) => respond_outcome(responder, status, text, error),
+    }
+}
+
+fn respond_outcome(
+    responder: Responder,
+    status: JobStatus,
+    text: Option<String>,
+    error: Option<String>,
+) {
+    match (status, text) {
+        (JobStatus::Completed, Some(text)) => {
             // The engine's exact bytes: this is the byte-identity endpoint.
-            conn.write_response(200, &[], text.as_bytes(), ka)?;
-            Ok(alive(ka))
+            responder.respond(200, &[], text.as_bytes());
         }
-        Some((JobStatus::Failed, _, error)) => error_reply(
-            conn,
+        (JobStatus::Failed, _) => error_reply(
+            responder,
             502,
             &format!("job failed: {}", error.unwrap_or_default()),
-            ka,
         ),
-        Some((JobStatus::Cancelled, _, _)) => error_reply(conn, 409, "job was cancelled", ka),
-        Some((status, _, _)) => error_reply(
-            conn,
+        (JobStatus::Cancelled, _) => error_reply(responder, 409, "job was cancelled"),
+        (status, _) => error_reply(
+            responder,
             409,
             &format!("job not finished (status: {status}); use ?wait=1 to block"),
-            ka,
         ),
     }
 }
 
-fn handle_events(
-    conn: &mut HttpConnection,
-    shared: &Arc<Shared>,
-    id: u64,
-    ka: bool,
-) -> io::Result<Served> {
+fn handle_events(shared: &Arc<Shared>, id: u64, responder: Responder) {
     if shared.registry.status(id).is_none() {
-        return not_found(conn, id, ka);
+        return not_found(responder, id);
     }
     // Chunked streams are `Connection: close` by construction: the
-    // stream's end IS the connection's end.
-    let mut writer = conn.begin_chunked(200)?;
-    let mut next_seq = 0u64;
-    // The stream always ends with the job's terminal event — including
+    // stream's end IS the connection's end. The pump feeds it — including
     // through a shutdown, since the drain terminates every admitted job.
-    while let Some((fresh, terminal)) = shared.registry.wait_events(id, next_seq) {
-        for event in &fresh {
-            let mut line = event.to_json().serialize();
-            line.push('\n');
-            writer.chunk(line.as_bytes())?;
-            next_seq = event.seq + 1;
-        }
-        if terminal {
-            break;
-        }
-    }
-    writer.finish()?;
-    Ok(Served::Close)
+    let stream = responder.begin_stream(200);
+    shared.pump.park(Waiter::Events {
+        stream,
+        id,
+        next_seq: 0,
+    });
 }
 
-fn not_found(conn: &mut HttpConnection, id: u64, ka: bool) -> io::Result<Served> {
-    error_reply(conn, 404, &format!("no such job: {id}"), ka)
+fn not_found(responder: Responder, id: u64) {
+    error_reply(responder, 404, &format!("no such job: {id}"));
 }
 
-fn error_reply(
-    conn: &mut HttpConnection,
-    status: u16,
-    message: &str,
-    ka: bool,
-) -> io::Result<Served> {
+fn error_reply(responder: Responder, status: u16, message: &str) {
     let body = ErrorReply::new(message).to_json().serialize();
-    conn.write_response(status, &[], body.as_bytes(), ka)?;
-    Ok(alive(ka))
+    responder.respond(status, &[], body.as_bytes());
 }
