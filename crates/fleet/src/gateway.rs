@@ -33,10 +33,15 @@
 //! # Threads
 //!
 //! Like `dominod`, the gateway multiplexes every client connection on
-//! one reactor thread ([`domino_serve::front`]). Relay work — backend
-//! round trips, `?wait=1` long-polls, event-stream re-emission — runs on
-//! a fixed handler pool, so a thousand kept-alive clients cost a
-//! thousand sockets but a bounded handful of threads.
+//! one reactor thread ([`domino_serve::front`]): idle kept-alive
+//! clients cost a socket each and no thread. Relay work — backend round
+//! trips, `?wait=1` long-polls, event-stream re-emission — blocks for
+//! its whole backend exchange, so it never runs on the handler pool:
+//! each relay gets a detached thread, capped at [`RELAY_CAP`] in
+//! flight (beyond that, an honest `503` + `Retry-After`). The handler
+//! pool itself only ever executes control endpoints (`/healthz`,
+//! `/metrics`, `/shutdown`) and request classification, so health and
+//! drain stay responsive no matter how many clients sit in long-polls.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
@@ -74,10 +79,19 @@ pub const FAILOVER_RETRY_BUDGET: u32 = 3;
 /// Default TCP port for `dominogw` (one above `dominod`'s 7171 block).
 pub const DEFAULT_GW_PORT: u16 = 7270;
 
-/// Handler threads the gateway keeps at minimum. Gateway handlers
-/// *block* on backend round trips (relays, `?wait=1` long-polls, event
-/// streams), so the pool runs wider than `dominod`'s router pool.
-const GW_HANDLER_THREADS_MIN: usize = 8;
+/// Handler threads of the gateway's front. These only classify requests
+/// and answer control endpoints — every backend-blocking relay moves to
+/// its own detached thread (see [`RELAY_CAP`]) — so a handful suffices.
+const GW_HANDLER_THREADS: usize = 4;
+
+/// Concurrently blocking relays (backend round trips, `?wait=1`
+/// long-polls, event streams) the gateway will carry; each occupies one
+/// detached, mostly-sleeping thread. Beyond the cap, callers get `503` +
+/// `Retry-After` — the same backpressure shape as the reactor's
+/// connection cap. Before the reactor front this bound was implicit in
+/// thread-per-connection; now it is explicit and survives thousands of
+/// *idle* clients costing no thread at all.
+pub const RELAY_CAP: usize = 512;
 
 /// Gateway configuration (CLI flags of `dominogw`).
 #[derive(Debug, Clone)]
@@ -237,6 +251,11 @@ type StoredReply = (u16, Option<String>, Vec<u8>);
 /// replay the identical bytes instead of re-submitting. A leader that
 /// failed stores nothing, so the next waiter simply becomes the new
 /// leader and tries again.
+///
+/// The leader releases the gate *before* its reply goes out: a client
+/// that reacts to the reply by re-submitting the same key must get a
+/// fresh backend round trip, never a replay off the not-yet-released
+/// gate. Only duplicates already blocked on the gate coalesce.
 #[derive(Debug, Default)]
 struct SyncFlight {
     gates: Mutex<HashMap<String, Arc<Mutex<Option<StoredReply>>>>>,
@@ -288,6 +307,9 @@ struct GwShared {
     /// Sync submissions answered by replaying an in-flight leader's
     /// reply instead of a backend round trip.
     coalesced: AtomicU64,
+    /// Relay threads currently blocking on a backend exchange (bounded
+    /// by [`RELAY_CAP`]).
+    relays: std::sync::atomic::AtomicUsize,
 }
 
 impl GwShared {
@@ -362,10 +384,6 @@ impl Gateway {
         let pool = Arc::new(BackendPool::new(&config.backends));
         pool.probe_once();
 
-        let handler_threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .max(GW_HANDLER_THREADS_MIN);
         let front = HttpFront::bind(
             listener,
             FrontConfig {
@@ -373,7 +391,7 @@ impl Gateway {
                 idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
                 max_requests: config.max_requests_per_connection.max(1),
                 max_connections: config.max_connections.max(1),
-                handler_threads,
+                handler_threads: GW_HANDLER_THREADS,
             },
         )?;
 
@@ -392,6 +410,7 @@ impl Gateway {
             peer_fills: AtomicU64::new(0),
             unroutable: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            relays: std::sync::atomic::AtomicUsize::new(0),
         });
 
         let reactor_handle = {
@@ -400,7 +419,7 @@ impl Gateway {
                 .name("dominogw-reactor".into())
                 .spawn(move || {
                     front.run(Arc::new(move |request, responder| {
-                        route(&shared, &request, responder);
+                        route(&shared, request, responder);
                     }))
                 })?
         };
@@ -496,6 +515,48 @@ fn error_reply(responder: Responder, status: u16, message: &str) {
     responder.respond(status, &[], body.as_bytes());
 }
 
+/// Releases one [`RELAY_CAP`] slot when a relay thread finishes (or
+/// unwinds).
+struct RelaySlot(Arc<GwShared>);
+
+impl Drop for RelaySlot {
+    fn drop(&mut self) {
+        self.0.relays.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `work` — a relay that may block on a backend for its whole
+/// exchange (a `?wait=1` long-poll, an event-stream re-emission, any
+/// round trip against a slow backend) — on its own detached thread, so
+/// handler-pool threads never block and control endpoints stay
+/// responsive. At [`RELAY_CAP`] concurrent relays the caller gets a
+/// `503` with `Retry-After` instead of a queue slot.
+fn spawn_relay(
+    shared: &Arc<GwShared>,
+    responder: Responder,
+    work: impl FnOnce(Responder) + Send + 'static,
+) {
+    if shared.relays.fetch_add(1, Ordering::SeqCst) >= RELAY_CAP {
+        shared.relays.fetch_sub(1, Ordering::SeqCst);
+        let body = ErrorReply::new(format!("relay capacity reached: {RELAY_CAP} in flight"))
+            .to_json()
+            .serialize();
+        responder.respond(503, &[("retry-after", "1")], body.as_bytes());
+        return;
+    }
+    let slot = RelaySlot(Arc::clone(shared));
+    // A failed spawn (thread exhaustion) consumes the closure, and the
+    // responder with it: the client's connection closes at its idle
+    // timeout. There is no better answer once the OS refuses threads —
+    // the cap above keeps the gateway far from that cliff.
+    let _ = std::thread::Builder::new()
+        .name("dominogw-relay".into())
+        .spawn(move || {
+            let _slot = slot;
+            work(responder);
+        });
+}
+
 /// Splits `/jobs/42[/tail]` into the id and the remainder.
 fn job_path(path: &str) -> Option<(u64, &str)> {
     let rest = path.strip_prefix("/jobs/")?;
@@ -506,10 +567,14 @@ fn job_path(path: &str) -> Option<(u64, &str)> {
     Some((id.parse().ok()?, tail))
 }
 
-fn route(shared: &Arc<GwShared>, request: &Request, responder: Responder) {
-    let method = request.method.as_str();
-    let path = request.path.as_str();
-    match (method, path) {
+/// Classifies one request on a handler-pool thread. Control endpoints
+/// answer inline (they touch no backend and must stay responsive);
+/// everything that talks to a backend moves to a relay thread via
+/// [`spawn_relay`].
+fn route(shared: &Arc<GwShared>, request: Request, responder: Responder) {
+    let method = request.method.clone();
+    let path = request.path.clone();
+    match (method.as_str(), path.as_str()) {
         ("GET", "/healthz") => {
             let healthy = shared
                 .pool
@@ -534,15 +599,32 @@ fn route(shared: &Arc<GwShared>, request: &Request, responder: Responder) {
             responder.respond_close(200, &[], body.serialize().as_bytes());
             shared.begin_shutdown();
         }
-        ("POST", "/jobs") => handle_submit(request, shared, responder),
-        _ => match job_path(path) {
+        ("POST", "/jobs") => {
+            let shared2 = Arc::clone(shared);
+            spawn_relay(shared, responder, move |responder| {
+                handle_submit(&request, &shared2, responder);
+            });
+        }
+        _ => match job_path(&path) {
             Some((gw_id, tail @ ("" | "result"))) if method == "GET" => {
-                handle_job_fetch(request, shared, gw_id, tail, responder);
+                let tail = tail.to_string();
+                let shared2 = Arc::clone(shared);
+                spawn_relay(shared, responder, move |responder| {
+                    handle_job_fetch(&request, &shared2, gw_id, &tail, responder);
+                });
             }
             Some((gw_id, "")) if method == "DELETE" => {
-                handle_job_fetch(request, shared, gw_id, "", responder);
+                let shared2 = Arc::clone(shared);
+                spawn_relay(shared, responder, move |responder| {
+                    handle_job_fetch(&request, &shared2, gw_id, "", responder);
+                });
             }
-            Some((gw_id, "events")) if method == "GET" => handle_events(shared, gw_id, responder),
+            Some((gw_id, "events")) if method == "GET" => {
+                let shared2 = Arc::clone(shared);
+                spawn_relay(shared, responder, move |responder| {
+                    handle_events(&shared2, gw_id, responder);
+                });
+            }
             Some((_, "" | "result" | "events")) => {
                 error_reply(responder, 405, "method not allowed");
             }
@@ -566,6 +648,17 @@ fn relay_verbatim(responder: Responder, response: &domino_serve::http::Response)
         .map(|v| vec![("retry-after", v)])
         .unwrap_or_default();
     responder.respond(response.status, &extra, &response.body);
+}
+
+/// Replays a captured leader reply (status, optional `Retry-After`,
+/// verbatim body) to a caller.
+fn replay_stored(responder: Responder, reply: &StoredReply) {
+    let (status, retry_after, body) = reply;
+    let extra: Vec<(&str, &str)> = retry_after
+        .as_deref()
+        .map(|v| vec![("retry-after", v)])
+        .unwrap_or_default();
+    responder.respond(*status, &extra, body);
 }
 
 fn handle_submit(request: &Request, shared: &Arc<GwShared>, responder: Responder) {
@@ -595,40 +688,58 @@ fn handle_submit(request: &Request, shared: &Arc<GwShared>, responder: Responder
     // Async duplicates each get their own id and dedupe one hop later,
     // at the backend engine's own in-flight gate.
     if !request.wants_wait() {
-        return submit_routed(request, shared, &key, responder, None);
+        submit_routed(request, shared, &key, responder, None);
+        return;
     }
     let gate = shared.sync_flight.acquire(&key);
     let mut slot = gate.lock().unwrap_or_else(|p| p.into_inner());
     match slot.clone() {
-        Some((status, retry_after, body)) => {
+        Some(reply) => {
             shared.coalesced.fetch_add(1, Ordering::Relaxed);
-            let extra: Vec<(&str, &str)> = retry_after
-                .as_deref()
-                .map(|v| vec![("retry-after", v)])
-                .unwrap_or_default();
-            responder.respond(status, &extra, &body);
+            replay_stored(responder, &reply);
+            drop(slot);
+            shared.sync_flight.release(&key);
         }
-        None => submit_routed(request, shared, &key, responder, Some(&mut slot)),
+        None => match submit_routed(request, shared, &key, responder, Some(&mut slot)) {
+            // Leader with a captured reply: unlock and release the gate
+            // first, then answer — see the gate-ordering note on
+            // [`SyncFlight`].
+            Some(deferred) => {
+                let stored = slot.clone();
+                drop(slot);
+                shared.sync_flight.release(&key);
+                if let Some(reply) = stored {
+                    replay_stored(deferred, &reply);
+                }
+            }
+            None => {
+                drop(slot);
+                shared.sync_flight.release(&key);
+            }
+        },
     }
-    drop(slot);
-    shared.sync_flight.release(&key);
 }
 
 /// The routing core of a submission: peer-warms the home cache, then
 /// walks the failover sequence under the retry budget and each
 /// backend's circuit breaker. A sync leader passes `capture` so its
-/// verbatim-relayed reply is stored for coalesced followers.
+/// verbatim-relayed reply is stored for coalesced followers; when a
+/// reply was captured this *returns the responder unanswered* so the
+/// caller can release the coalescing gate before replying (see the
+/// ordering note on [`SyncFlight`]). On every other path the responder
+/// is answered here and `None` comes back.
 fn submit_routed(
     request: &Request,
     shared: &Arc<GwShared>,
     key: &str,
     responder: Responder,
     mut capture: Option<&mut Option<StoredReply>>,
-) {
+) -> Option<Responder> {
     let ranked = shared.pool.ranked(key);
     if ranked.is_empty() {
         shared.unroutable.fetch_add(1, Ordering::Relaxed);
-        return error_reply(responder, 503, "no healthy backend");
+        error_reply(responder, 503, "no healthy backend");
+        return None;
     }
 
     // Cache peering: if the home is cold for this key but a peer is warm,
@@ -692,7 +803,8 @@ fn submit_routed(
             // double-submit, so report instead of failing over.
             Err(e) => {
                 backend.record_failure();
-                return error_reply(responder, 502, &format!("backend {}: {e}", backend.addr()));
+                error_reply(responder, 502, &format!("backend {}: {e}", backend.addr()));
+                return None;
             }
             Ok(response) => {
                 backend.record_success();
@@ -714,8 +826,10 @@ fn submit_routed(
                             response.header("retry-after").map(str::to_string),
                             response.body.clone(),
                         ));
+                        return Some(responder);
                     }
-                    return relay_verbatim(responder, &response);
+                    relay_verbatim(responder, &response);
+                    return None;
                 }
                 let reply = response
                     .text()
@@ -723,11 +837,12 @@ fn submit_routed(
                     .and_then(|t| parse(&t).ok())
                     .and_then(|v| SubmitReply::from_json(&v).ok());
                 let Some(mut reply) = reply else {
-                    return error_reply(
+                    error_reply(
                         responder,
                         502,
                         &format!("backend {} sent an undecodable reply", backend.addr()),
                     );
+                    return None;
                 };
                 let gw_id = shared
                     .ids
@@ -736,12 +851,13 @@ fn submit_routed(
                     .assign(backend.addr(), reply.id);
                 reply.id = gw_id;
                 responder.respond(response.status, &[], reply.to_json().serialize().as_bytes());
-                return;
+                return None;
             }
         }
     }
     shared.unroutable.fetch_add(1, Ordering::Relaxed);
     error_reply(responder, 503, "no healthy backend");
+    None
 }
 
 /// Rebuilds the backend-side target for a job sub-path, preserving the

@@ -20,6 +20,7 @@
 use std::io;
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
 use std::os::unix::net::UnixStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Linux `epoll_event`. On x86-64 the kernel ABI packs this to 12 bytes;
@@ -50,40 +51,51 @@ extern "C" {
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
 }
 
-/// Which readiness a registration cares about. `EPOLLRDHUP` is always
-/// requested so peer half-closes surface as [`Event::hangup`].
+/// Which readiness a registration cares about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interest {
     /// Report when the fd is readable.
     pub readable: bool,
     /// Report when the fd is writable.
     pub writable: bool,
+    /// Report peer half-closes (`EPOLLRDHUP`) as [`Event::hangup`].
+    /// Level-triggered epoll re-reports a half-close on every wait, so a
+    /// caller that has noted the hangup (but keeps the fd open to flush
+    /// a pending response) must re-register without this bit or the poll
+    /// loop spins.
+    pub rdhup: bool,
 }
 
 impl Interest {
-    /// Read-readiness only.
+    /// Read-readiness only (plus half-close reports).
     pub const READABLE: Interest = Interest {
         readable: true,
         writable: false,
+        rdhup: true,
     };
-    /// Write-readiness only.
+    /// Write-readiness only (plus half-close reports).
     pub const WRITABLE: Interest = Interest {
         readable: false,
         writable: true,
+        rdhup: true,
     };
-    /// Both read- and write-readiness.
+    /// Both read- and write-readiness (plus half-close reports).
     pub const BOTH: Interest = Interest {
         readable: true,
         writable: true,
+        rdhup: true,
     };
 
     fn mask(self) -> u32 {
-        let mut mask = EPOLLRDHUP;
+        let mut mask = 0;
         if self.readable {
             mask |= EPOLLIN;
         }
         if self.writable {
             mask |= EPOLLOUT;
+        }
+        if self.rdhup {
+            mask |= EPOLLRDHUP;
         }
         mask
     }
@@ -239,7 +251,7 @@ impl Poller {
 /// depends on the listener still accepting.
 #[derive(Debug)]
 pub struct Waker {
-    tx: UnixStream,
+    tx: Arc<UnixStream>,
     rx: UnixStream,
 }
 
@@ -253,14 +265,17 @@ impl Waker {
         let (tx, rx) = UnixStream::pair()?;
         tx.set_nonblocking(true)?;
         rx.set_nonblocking(true)?;
-        Ok(Waker { tx, rx })
+        Ok(Waker {
+            tx: Arc::new(tx),
+            rx,
+        })
     }
 
     /// Nudges the poll loop. Cheap and idempotent: a full pipe means a
     /// wake is already pending, which is all a wake means.
     pub fn wake(&self) {
         use std::io::Write;
-        let _ = (&self.tx).write(&[1u8]);
+        let _ = (&*self.tx).write(&[1u8]);
     }
 
     /// Drains pending wake bytes (call when the waker's token reports
@@ -271,15 +286,18 @@ impl Waker {
         while matches!((&self.rx).read(&mut sink), Ok(n) if n > 0) {}
     }
 
-    /// Clones the write end so other threads can hold a wake handle
-    /// without sharing the whole waker.
+    /// A write-end handle so other threads can wake the loop without
+    /// sharing the whole waker. Handles share one socket (no `dup`), so
+    /// cloning them never consumes an fd — a server at its NOFILE limit
+    /// can still be woken.
     ///
     /// # Errors
     ///
-    /// The OS error from duplicating the socket.
+    /// None today; the signature stays fallible so a future handle that
+    /// must allocate an fd can surface it.
     pub fn handle(&self) -> io::Result<WakeHandle> {
         Ok(WakeHandle {
-            tx: self.tx.try_clone()?,
+            tx: Arc::clone(&self.tx),
         })
     }
 }
@@ -291,25 +309,19 @@ impl AsRawFd for Waker {
     }
 }
 
-/// A cloneable write-end handle of a [`Waker`].
-#[derive(Debug)]
+/// A cloneable write-end handle of a [`Waker`]. All handles share the
+/// waker's single write socket, so cloning is an `Arc` bump — it cannot
+/// fail, and in particular cannot panic under fd exhaustion.
+#[derive(Debug, Clone)]
 pub struct WakeHandle {
-    tx: UnixStream,
+    tx: Arc<UnixStream>,
 }
 
 impl WakeHandle {
     /// Nudges the poll loop (see [`Waker::wake`]).
     pub fn wake(&self) {
         use std::io::Write;
-        let _ = (&self.tx).write(&[1u8]);
-    }
-}
-
-impl Clone for WakeHandle {
-    fn clone(&self) -> WakeHandle {
-        WakeHandle {
-            tx: self.tx.try_clone().expect("dup wake handle"),
-        }
+        let _ = (&*self.tx).write(&[1u8]);
     }
 }
 

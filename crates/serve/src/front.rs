@@ -63,6 +63,12 @@ const TIMER_SLOTS: usize = 512;
 const DRAIN_GRACE: Duration = Duration::from_secs(10);
 /// Per-`read(2)` buffer size.
 const READ_CHUNK: usize = 16 * 1024;
+/// Most bytes one `read_ready` invocation consumes from a single
+/// connection. Level-triggered polling picks the remainder up on the
+/// next wait, so the cap costs nothing — but it keeps one fire-hosing
+/// client from monopolizing the reactor thread or stacking requests in
+/// its parser beyond the one the server is willing to hold.
+const READ_BUDGET: usize = 4 * READ_CHUNK;
 
 /// The body sent with a `400` on an unparseable request — the same bytes
 /// the blocking loop writes.
@@ -428,6 +434,13 @@ struct Conn {
     served: u32,
     req_wants_close: bool,
     close_after_flush: bool,
+    /// The peer half-closed (EPOLLRDHUP) while a request was in flight.
+    /// No further request can arrive, so the pending response (if its
+    /// handler still answers) is the connection's last; the idle timer
+    /// is re-armed as a bound in case the handler never does. Once set,
+    /// the connection re-registers without RDHUP interest — re-reporting
+    /// a known half-close every level-triggered wait is a busy loop.
+    peer_half_closed: bool,
     /// Bumped on every (re)arm/cancel; a timer firing with a stale seq
     /// is ignored — lazy cancellation.
     timer_seq: u64,
@@ -509,10 +522,11 @@ impl Reactor {
 
             self.wheel.advance(Instant::now(), &mut fired);
             for (token, seq) in fired.drain(..) {
-                let expired = self
-                    .conns
-                    .get(&token)
-                    .is_some_and(|c| c.timer_seq == seq && c.state == ConnState::Idle);
+                // An idle connection past its deadline, or a half-closed
+                // one whose response never came — both are reaped.
+                let expired = self.conns.get(&token).is_some_and(|c| {
+                    c.timer_seq == seq && (c.state == ConnState::Idle || c.peer_half_closed)
+                });
                 if expired {
                     self.shared.timeouts.fetch_add(1, Ordering::SeqCst);
                     self.close_conn(token);
@@ -563,6 +577,7 @@ impl Reactor {
                     served: 0,
                     req_wants_close: false,
                     close_after_flush: false,
+                    peer_half_closed: false,
                     timer_seq: 0,
                     interest: Interest::READABLE,
                 },
@@ -597,29 +612,54 @@ impl Reactor {
         let state = self.conns[&token].state;
         if readable || (hangup && state == ConnState::Idle) {
             // A half-close between requests is a goodbye: the read below
-            // sees EOF. A half-close with a response in flight is left to
-            // the write path — the client may still be reading.
+            // sees EOF.
             self.read_ready(token);
         }
-        if hangup
-            && self
-                .conns
-                .get(&token)
-                .is_some_and(|c| c.state == ConnState::Streaming)
-        {
+        if !hangup {
+            return;
+        }
+        match self.conns.get(&token).map(|c| c.state) {
             // The stream's consumer is gone; drop the connection so the
             // feeder observes `!is_live()` and stops.
-            self.close_conn(token);
+            Some(ConnState::Streaming) => self.close_conn(token),
+            // A half-close with a request in flight: the client may still
+            // be reading, so the pending response is served and then the
+            // connection closes — but note the hangup exactly once (and
+            // drop RDHUP interest), or the level-triggered poller would
+            // re-report it every wait and spin the reactor for as long as
+            // the handler takes to answer. The re-armed idle timer bounds
+            // a handler that never does (a dropped Responder, a parked
+            // long-poll whose client vanished): the close flips
+            // `is_live()` false, letting the pump drop the waiter.
+            Some(ConnState::InFlight) => {
+                let conn = self.conns.get_mut(&token).expect("state just read");
+                if !conn.peer_half_closed {
+                    conn.peer_half_closed = true;
+                    self.arm_idle_timer(token);
+                    self.sync_interest(token);
+                }
+            }
+            Some(ConnState::Idle) | None => {}
         }
     }
 
+    /// Reads from `token` until a complete request parses, the socket
+    /// runs dry, or [`READ_BUDGET`] is spent (level-triggered polling
+    /// resumes where we stopped). Stopping at one parsed request keeps
+    /// the protocol invariant that a peer can never force the server to
+    /// hold more than one parsed request — pipelined extras stay in the
+    /// kernel's socket buffer, throttled by TCP flow control.
     fn read_ready(&mut self, token: u64) {
         let mut buf = [0u8; READ_CHUNK];
+        let mut consumed = 0usize;
         let mut progressed = false;
         loop {
             let Some(conn) = self.conns.get_mut(&token) else {
                 return;
             };
+            if conn.state != ConnState::Idle {
+                return; // a request is in flight; its response gates reads
+            }
             match conn.stream.read(&mut buf) {
                 Ok(0) => {
                     // EOF. Mid-request bytes die with the connection,
@@ -630,6 +670,21 @@ impl Reactor {
                 Ok(n) => {
                     conn.parser.feed(&buf[..n]);
                     progressed = true;
+                    consumed += n;
+                    match conn.parser.try_next() {
+                        Err(_) => {
+                            self.refuse_malformed(token);
+                            return;
+                        }
+                        Ok(Some(request)) => {
+                            self.dispatch(token, request);
+                            return;
+                        }
+                        Ok(None) => {}
+                    }
+                    if consumed >= READ_BUDGET {
+                        break;
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -639,22 +694,10 @@ impl Reactor {
                 }
             }
         }
-        let Some(conn) = self.conns.get_mut(&token) else {
-            return;
-        };
-        if conn.state != ConnState::Idle {
-            return; // bytes buffered in the parser for after the response
-        }
-        match conn.parser.try_next() {
-            Err(_) => self.refuse_malformed(token),
-            Ok(Some(request)) => self.dispatch(token, request),
-            Ok(None) => {
-                if progressed {
-                    // Partial-request activity pushes the idle deadline,
-                    // like the blocking per-read timeout did.
-                    self.arm_idle_timer(token);
-                }
-            }
+        if progressed {
+            // Partial-request activity pushes the idle deadline, like
+            // the blocking per-read timeout did.
+            self.arm_idle_timer(token);
         }
     }
 
@@ -681,7 +724,10 @@ impl Reactor {
                 let keep_alive = !force_close
                     && !draining
                     && conn.served < self.cfg.max_requests
-                    && !conn.req_wants_close;
+                    && !conn.req_wants_close
+                    // A half-closed peer can send no further request:
+                    // this response is the connection's last.
+                    && !conn.peer_half_closed;
                 let header_refs: Vec<(&str, &str)> = headers
                     .iter()
                     .map(|(k, v)| (k.as_str(), v.as_str()))
@@ -701,6 +747,10 @@ impl Reactor {
                 };
                 conn.out.extend_from_slice(&render_chunked_head(status));
                 conn.state = ConnState::Streaming;
+                // Cancel a half-close reaper: the handler is alive and
+                // feeding. A consumer that fully vanishes surfaces as a
+                // chunk-write failure (or EPOLLERR) and closes then.
+                conn.timer_seq += 1;
                 self.flush(token);
             }
             Op::StreamChunk { token, data } => {
@@ -840,10 +890,12 @@ impl Reactor {
         let desired = Interest {
             readable: conn.state == ConnState::Idle && !conn.close_after_flush,
             writable: conn.out_pos < conn.out.len(),
+            // A noted half-close must leave the mask, or the level-
+            // triggered poller re-reports it forever (see
+            // `Conn::peer_half_closed`).
+            rdhup: !conn.peer_half_closed,
         };
-        let changed = desired.readable != conn.interest.readable
-            || desired.writable != conn.interest.writable;
-        if changed && self.poller.modify(&conn.stream, token, desired).is_ok() {
+        if desired != conn.interest && self.poller.modify(&conn.stream, token, desired).is_ok() {
             conn.interest = desired;
         }
     }
@@ -983,6 +1035,102 @@ mod tests {
         let n = stream.read_to_end(&mut end).expect("server closes");
         assert_eq!(n, 0, "no response bytes for a half request");
         assert!(handle.counters().timeouts >= 1);
+        handle.shutdown();
+        join.join().expect("reactor exits");
+    }
+
+    /// A front whose `/park` handler stashes the responder instead of
+    /// answering — the reactor-side shape of a `?wait=1` long-poll.
+    fn start_parking_front(
+        idle_timeout: Duration,
+    ) -> (
+        std::net::SocketAddr,
+        FrontHandle,
+        std::thread::JoinHandle<()>,
+        Arc<Mutex<Vec<Responder>>>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let front = HttpFront::bind(
+            listener,
+            FrontConfig {
+                name: "front-park-test",
+                idle_timeout,
+                max_requests: 1024,
+                max_connections: 64,
+                handler_threads: 2,
+            },
+        )
+        .expect("front");
+        let handle = front.handle();
+        let parked: Arc<Mutex<Vec<Responder>>> = Arc::new(Mutex::new(Vec::new()));
+        let parked_in = Arc::clone(&parked);
+        let join = std::thread::spawn(move || {
+            front
+                .run(Arc::new(move |req: Request, responder: Responder| {
+                    if req.path == "/park" {
+                        parked_in.lock().expect("parked").push(responder);
+                    } else {
+                        responder.respond(200, &[], req.path.as_bytes());
+                    }
+                }))
+                .expect("run");
+        });
+        (addr, handle, join, parked)
+    }
+
+    #[test]
+    fn vanished_inflight_client_is_reaped_and_goes_dead() {
+        let (addr, handle, join, parked) = start_parking_front(Duration::from_millis(80));
+        let mut stream = BlockingStream::connect(addr).expect("connect");
+        write!(stream, "GET /park HTTP/1.1\r\nhost: t\r\n\r\n").expect("write");
+        // Wait for the handler to park the responder, then vanish.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while parked.lock().expect("parked").is_empty() {
+            assert!(Instant::now() < deadline, "request never dispatched");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(stream);
+        // The half-close is noted once (no busy loop) and the idle timer
+        // reaps the connection, flipping `is_live()` so a waiter pump
+        // would drop the parked reply.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.counters().open_connections != 0 {
+            assert!(Instant::now() < deadline, "vanished client never reaped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let responder = parked.lock().expect("parked").pop().expect("one parked");
+        assert!(!responder.is_live(), "reaped connection must read as dead");
+        handle.shutdown();
+        join.join().expect("reactor exits");
+    }
+
+    #[test]
+    fn half_closed_client_still_gets_its_pending_response() {
+        let (addr, handle, join, parked) = start_parking_front(Duration::from_secs(5));
+        let mut stream = BlockingStream::connect(addr).expect("connect");
+        write!(stream, "GET /park HTTP/1.1\r\nhost: t\r\n\r\n").expect("write");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while parked.lock().expect("parked").is_empty() {
+            assert!(Instant::now() < deadline, "request never dispatched");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Half-close: no more requests will come, but the client still
+        // reads. The pending response must arrive and then close the
+        // connection.
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        std::thread::sleep(Duration::from_millis(50));
+        let responder = parked.lock().expect("parked").pop().expect("one parked");
+        responder.respond(200, &[], b"late answer");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let (status, connection, body) = read_reply(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(connection, "close", "half-closed peer gets a final close");
+        assert_eq!(body, "late answer");
         handle.shutdown();
         join.join().expect("reactor exits");
     }

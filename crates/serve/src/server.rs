@@ -281,8 +281,32 @@ struct Pump {
 }
 
 impl Pump {
-    fn park(&self, waiter: Waiter) {
-        self.waiters.lock().expect("pump lock").push(waiter);
+    /// Parks `waiter` for the pump thread, unless the pump has already
+    /// stopped — then the waiter comes back and the caller must service
+    /// it itself. The stop check happens under the waiters lock, the
+    /// same lock the pump's exit check holds, so a waiter can never
+    /// slip in between the pump's last pass and its exit and sit
+    /// unanswered until the reactor's force-close grace.
+    fn park(&self, waiter: Waiter) -> Option<Waiter> {
+        let mut guard = self.waiters.lock().expect("pump lock");
+        if self.stop.load(Ordering::SeqCst) {
+            return Some(waiter);
+        }
+        guard.push(waiter);
+        None
+    }
+}
+
+/// Parks a waiter with the pump; if the pump already stopped (the drain
+/// has run every admitted job to a terminal state), services it inline
+/// on this handler thread — it resolves on the first pass.
+fn park_waiter(shared: &Arc<Shared>, waiter: Waiter) {
+    let mut rejected = shared.pump.park(waiter);
+    while let Some(waiter) = rejected.take() {
+        rejected = service_waiter(shared, waiter);
+        if rejected.is_some() {
+            std::thread::sleep(PUMP_INTERVAL);
+        }
     }
 }
 
@@ -554,12 +578,16 @@ fn pump_loop(shared: &Arc<Shared>) {
                 still_parked.push(waiter);
             }
         }
-        let empty = {
+        // One critical section for both the emptiness and the stop
+        // check: `park` holds the same lock while it tests `stop`, so
+        // either a racing parker lands before this check (and is seen)
+        // or it observes `stop` set and services its waiter inline.
+        let done = {
             let mut guard = shared.pump.waiters.lock().expect("pump lock");
             guard.extend(still_parked);
-            guard.is_empty()
+            guard.is_empty() && shared.pump.stop.load(Ordering::SeqCst)
         };
-        if empty && shared.pump.stop.load(Ordering::SeqCst) {
+        if done {
             return;
         }
         std::thread::sleep(PUMP_INTERVAL);
@@ -801,10 +829,13 @@ fn handle_submit(shared: &Arc<Shared>, request: &Request, responder: Responder) 
         // thread while it waits. Never abandoned on shutdown: the drain
         // runs every admitted job to a terminal state, so the wait is
         // bounded and the client gets its outcome even mid-drain.
-        Ok(reply) if request.wants_wait() => shared.pump.park(Waiter::Outcome {
-            responder,
-            id: reply.id,
-        }),
+        Ok(reply) if request.wants_wait() => park_waiter(
+            shared,
+            Waiter::Outcome {
+                responder,
+                id: reply.id,
+            },
+        ),
         Ok(reply) => {
             responder.respond(202, &[], reply.to_json().serialize().as_bytes());
         }
@@ -822,7 +853,7 @@ fn handle_status(shared: &Arc<Shared>, request: &Request, id: u64, responder: Re
     match shared.registry.status(id) {
         None => not_found(responder, id),
         Some(reply) if request.wants_wait() && !reply.status.is_terminal() => {
-            shared.pump.park(Waiter::Terminal { responder, id });
+            park_waiter(shared, Waiter::Terminal { responder, id });
         }
         Some(reply) => {
             responder.respond(200, &[], reply.to_json().serialize().as_bytes());
@@ -834,7 +865,7 @@ fn handle_result(shared: &Arc<Shared>, request: &Request, id: u64, responder: Re
     match shared.registry.outcome_text(id) {
         None => not_found(responder, id),
         Some((status, _, _)) if request.wants_wait() && !status.is_terminal() => {
-            shared.pump.park(Waiter::Outcome { responder, id });
+            park_waiter(shared, Waiter::Outcome { responder, id });
         }
         Some((status, text, error)) if status.is_terminal() => {
             respond_outcome(responder, status, text, error);
@@ -886,11 +917,14 @@ fn handle_events(shared: &Arc<Shared>, id: u64, responder: Responder) {
     // stream's end IS the connection's end. The pump feeds it — including
     // through a shutdown, since the drain terminates every admitted job.
     let stream = responder.begin_stream(200);
-    shared.pump.park(Waiter::Events {
-        stream,
-        id,
-        next_seq: 0,
-    });
+    park_waiter(
+        shared,
+        Waiter::Events {
+            stream,
+            id,
+            next_seq: 0,
+        },
+    );
 }
 
 fn not_found(responder: Responder, id: u64) {
