@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use domino_netlist::{Network, NodeId, NodeKind};
 
+use crate::dvo::{self, ReorderConfig, ReorderMode, ReorderOutcome};
 use crate::manager::{Bdd, BddError, BddManager};
 use crate::ordering;
 
@@ -69,6 +70,34 @@ impl CircuitBdds {
     /// Returns [`BddError::UnknownVariable`] if `order` is not a permutation
     /// of the source indices, or [`BddError::NodeLimit`] on blow-up.
     pub fn build_with_order(net: &Network, order: Vec<usize>) -> Result<Self, BddError> {
+        let (bdds, _) = Self::build_reordered(net, order, &ReorderConfig::default())?;
+        Ok(bdds)
+    }
+
+    /// Builds BDDs for all nodes under the given start order, running
+    /// dynamic variable reordering per `reorder`:
+    ///
+    /// * [`ReorderMode::Off`] — exactly [`CircuitBdds::build_with_order`]
+    ///   (bit-identical arena, stats and probabilities), outcome `None`;
+    /// * [`ReorderMode::Sift`] — one sifting campaign after construction,
+    ///   then compaction;
+    /// * [`ReorderMode::Auto`] — sifts (and compacts) whenever the arena
+    ///   crosses the fixed doubling ladder of node-count thresholds during
+    ///   construction, and compacts once more at the end. Triggers depend
+    ///   only on deterministic arena sizes, never on timing.
+    ///
+    /// For the two active modes the returned [`ReorderOutcome`] records
+    /// swap counts, node counts and the final order (equal to the start
+    /// order when nothing fired).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitBdds::build_with_order`].
+    pub fn build_reordered(
+        net: &Network,
+        order: Vec<usize>,
+        reorder: &ReorderConfig,
+    ) -> Result<(Self, Option<ReorderOutcome>), BddError> {
         let sources = source_nodes(net);
         if order.len() != sources.len() {
             return Err(BddError::ArityMismatch {
@@ -83,6 +112,15 @@ impl CircuitBdds {
         let var_of: HashMap<NodeId, usize> =
             sources.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut node_funcs = vec![Bdd::FALSE; net.len()];
+        let mut outcome = match reorder.mode {
+            ReorderMode::Off => None,
+            _ => Some(ReorderOutcome::default()),
+        };
+        // The auto ladder: first sift when the arena reaches the trigger,
+        // then at deterministic doublings from wherever the last sift
+        // left the (compacted) arena.
+        let mut next_trigger = reorder.auto_trigger_nodes.max(4);
+        let mut auto_fired = false;
         for id in net.topo_order() {
             let node = net.node(id);
             let f = match node.kind {
@@ -102,11 +140,46 @@ impl CircuitBdds {
                 }
             };
             node_funcs[id.index()] = f;
+            if reorder.mode == ReorderMode::Auto && manager.stats().nodes >= next_trigger {
+                auto_fired = true;
+                let sifted = dvo::sift(&mut manager, &node_funcs, reorder.max_growth_pct)?;
+                outcome
+                    .as_mut()
+                    .expect("auto mode records an outcome")
+                    .absorb(&sifted);
+                node_funcs = manager.compact(&node_funcs);
+                next_trigger = manager.stats().nodes.max(next_trigger) * 2;
+            }
         }
-        Ok(CircuitBdds {
-            manager,
-            node_funcs,
-        })
+        let run_final = match reorder.mode {
+            ReorderMode::Off => false,
+            ReorderMode::Sift => true,
+            ReorderMode::Auto => auto_fired,
+        };
+        if run_final {
+            let sifted = dvo::sift(&mut manager, &node_funcs, reorder.max_growth_pct)?;
+            outcome
+                .as_mut()
+                .expect("active mode records an outcome")
+                .absorb(&sifted);
+            node_funcs = manager.compact(&node_funcs);
+        }
+        if let Some(o) = outcome.as_mut() {
+            // A mode that never fired still records where the order ended
+            // up (== the start order) so stats always carry it.
+            if o.final_order.is_empty() {
+                o.final_order = manager.order();
+                o.nodes_before = manager.node_count(&node_funcs);
+                o.nodes_after = o.nodes_before;
+            }
+        }
+        Ok((
+            CircuitBdds {
+                manager,
+                node_funcs,
+            },
+            outcome,
+        ))
     }
 
     /// The underlying manager.
@@ -136,6 +209,27 @@ impl CircuitBdds {
     /// Shared node count over *all* circuit node BDDs.
     pub fn total_node_count(&self) -> usize {
         self.manager.node_count(&self.node_funcs)
+    }
+
+    /// Canonical structural digest over all circuit node BDDs
+    /// ([`BddManager::digest`]): a function of the represented functions
+    /// only, independent of arena layout — equal before and after
+    /// compaction, and equal to a from-scratch build under the same order.
+    pub fn bdd_digest(&self) -> u64 {
+        self.manager.digest(&self.node_funcs)
+    }
+
+    /// Runs a sifting campaign over the already-built BDDs and compacts
+    /// the arena. Probabilities and evaluation results are unchanged
+    /// (same functions, new shapes); node counts typically shrink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if a swap exhausts the arena limit.
+    pub fn reorder(&mut self, reorder: &ReorderConfig) -> Result<ReorderOutcome, BddError> {
+        let outcome = dvo::sift(&mut self.manager, &self.node_funcs, reorder.max_growth_pct)?;
+        self.node_funcs = self.manager.compact(&self.node_funcs);
+        Ok(outcome)
     }
 
     /// Exact signal probability of every node (indexed by node arena index),
@@ -331,6 +425,97 @@ mod tests {
         for (x, y) in p1.iter().zip(&p2) {
             assert!((x - y).abs() < 1e-12);
         }
+    }
+
+    /// The disjoint-pairs circuit f = Σ aᵢ·bᵢ with a's and b's split
+    /// across the declaration order — exponential under the identity
+    /// order, linear once the pairs interleave.
+    fn pairs_net(k: usize) -> Network {
+        let mut net = Network::new("pairs");
+        let a: Vec<NodeId> = (0..k)
+            .map(|i| net.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NodeId> = (0..k)
+            .map(|i| net.add_input(format!("b{i}")).unwrap())
+            .collect();
+        let products: Vec<NodeId> = (0..k).map(|i| net.add_and([a[i], b[i]]).unwrap()).collect();
+        let f = net.add_or(products).unwrap();
+        net.add_output("f", f).unwrap();
+        net
+    }
+
+    #[test]
+    fn reorder_off_is_identical_to_plain_build() {
+        let (net, _, _) = example();
+        let plain = CircuitBdds::build(&net).unwrap();
+        let (off, outcome) = CircuitBdds::build_reordered(
+            &net,
+            crate::ordering::paper_order(&net),
+            &ReorderConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.is_none());
+        assert_eq!(plain.manager.stats(), off.manager.stats());
+        assert_eq!(plain.node_funcs, off.node_funcs);
+    }
+
+    #[test]
+    fn sift_mode_shrinks_and_preserves_probabilities() {
+        let net = pairs_net(6);
+        let order: Vec<usize> = (0..12).collect();
+        let plain = CircuitBdds::build_with_order(&net, order.clone()).unwrap();
+        let cfg = ReorderConfig::with_mode(ReorderMode::Sift);
+        let (sifted, outcome) = CircuitBdds::build_reordered(&net, order, &cfg).unwrap();
+        let outcome = outcome.unwrap();
+        assert_eq!(outcome.nodes_before, plain.total_node_count());
+        assert_eq!(outcome.nodes_after, sifted.total_node_count());
+        assert!(
+            outcome.nodes_after * 2 <= outcome.nodes_before,
+            "sift barely helped: {} -> {}",
+            outcome.nodes_before,
+            outcome.nodes_after
+        );
+        assert_eq!(outcome.final_order, sifted.manager.order());
+        // Compacted: the arena holds exactly the live nodes + terminals.
+        assert_eq!(sifted.manager.stats().nodes, outcome.nodes_after + 2);
+        // Semantics: probabilities match the unreordered build exactly in
+        // value (bit patterns may differ — summation order changed).
+        let probs = vec![0.3; 12];
+        let p0 = plain.node_probabilities(&net, &probs).unwrap();
+        let p1 = sifted.node_probabilities(&net, &probs).unwrap();
+        for (i, (x, y)) in p0.iter().zip(&p1).enumerate() {
+            assert!((x - y).abs() < 1e-12, "node {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn auto_mode_triggers_on_the_node_ladder() {
+        let net = pairs_net(7);
+        let order: Vec<usize> = (0..14).collect();
+        let mut cfg = ReorderConfig::with_mode(ReorderMode::Auto);
+        cfg.auto_trigger_nodes = 32; // tiny, so the ladder fires mid-build
+        let (bdds, outcome) = CircuitBdds::build_reordered(&net, order.clone(), &cfg).unwrap();
+        let outcome = outcome.unwrap();
+        assert!(outcome.swaps > 0, "auto never fired with a tiny trigger");
+        let plain = CircuitBdds::build_with_order(&net, order).unwrap();
+        assert!(bdds.total_node_count() < plain.total_node_count());
+        // Determinism: the same build reorders identically.
+        let (bdds2, outcome2) =
+            CircuitBdds::build_reordered(&net, (0..14).collect(), &cfg).unwrap();
+        assert_eq!(outcome, outcome2.unwrap());
+        assert_eq!(bdds.bdd_digest(), bdds2.bdd_digest());
+    }
+
+    #[test]
+    fn sifted_manager_matches_fresh_build_under_final_order() {
+        let net = pairs_net(5);
+        let cfg = ReorderConfig::with_mode(ReorderMode::Sift);
+        let (sifted, outcome) =
+            CircuitBdds::build_reordered(&net, (0..10).collect(), &cfg).unwrap();
+        let outcome = outcome.unwrap();
+        let fresh = CircuitBdds::build_with_order(&net, outcome.final_order).unwrap();
+        assert_eq!(sifted.total_node_count(), fresh.total_node_count());
+        assert_eq!(sifted.bdd_digest(), fresh.bdd_digest());
     }
 
     #[test]

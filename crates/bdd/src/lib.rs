@@ -16,7 +16,9 @@
 //! * [`circuit`] — builds BDDs for every node of a
 //!   [`Network`](domino_netlist::Network);
 //! * [`ordering`] — the paper's reverse-topological, fanout-cone-weighted
-//!   variable ordering plus baseline orders for the Figure 10 comparison.
+//!   variable ordering plus baseline orders for the Figure 10 comparison;
+//! * [`dvo`] — dynamic variable reordering: in-place adjacent level swaps
+//!   and Rudell-style sifting with deterministic fixed-trigger schedules.
 //!
 //! # Example
 //!
@@ -39,9 +41,12 @@
 #![forbid(unsafe_code)]
 
 pub mod circuit;
+pub mod dvo;
 pub mod fx;
 mod manager;
 pub mod ordering;
+mod swap;
 pub mod table;
 
+pub use dvo::{ReorderConfig, ReorderMode, ReorderOutcome};
 pub use manager::{Bdd, BddError, BddManager, BddStats};

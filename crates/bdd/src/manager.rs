@@ -55,8 +55,12 @@ impl Bdd {
         self == Bdd::FALSE
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         self.0 as usize
+    }
+
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -117,14 +121,16 @@ impl fmt::Display for BddError {
 impl Error for BddError {}
 
 /// Internal node: decision on the variable at `level`, children `lo`/`hi`.
+/// Crate-visible so the level-swap machinery ([`crate::swap`]) can rewrite
+/// nodes in place.
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    level: u32,
-    lo: Bdd,
-    hi: Bdd,
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) lo: Bdd,
+    pub(crate) hi: Bdd,
 }
 
-const TERMINAL_LEVEL: u32 = u32::MAX;
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 
 /// Size/occupancy/traffic statistics of a manager, from
 /// [`BddManager::stats`].
@@ -317,13 +323,13 @@ impl CofScratch {
 /// (`BddManager::set_node_limit`) guards against pathological blow-up.
 #[derive(Debug, Clone)]
 pub struct BddManager {
-    nodes: Vec<Node>,
-    unique: UniqueTable,
-    op_cache: OpCache,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: UniqueTable,
+    pub(crate) op_cache: OpCache,
     /// level_of_var[v] = position of variable v in the order (0 = root-most).
-    level_of_var: Vec<u32>,
+    pub(crate) level_of_var: Vec<u32>,
     /// var_at_level[l] = variable tested at level l.
-    var_at_level: Vec<u32>,
+    pub(crate) var_at_level: Vec<u32>,
     node_limit: usize,
     scratch: RefCell<EvalScratch>,
     cof_scratch: CofScratch,
@@ -459,7 +465,7 @@ impl BddManager {
         self.mk(level, Bdd::TRUE, Bdd::FALSE)
     }
 
-    fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, BddError> {
+    pub(crate) fn mk(&mut self, level: u32, lo: Bdd, hi: Bdd) -> Result<Bdd, BddError> {
         if lo == hi {
             return Ok(lo);
         }
@@ -904,6 +910,114 @@ impl BddManager {
         };
         memo.set(b.index(), r);
         Ok(r)
+    }
+
+    /// Canonical structural digest of the function DAG reachable from
+    /// `roots`: a 64-bit FNV-1a over `(variable, lo, hi)` triples in a
+    /// deterministic first-visit DFS numbering (lo before hi, roots in
+    /// order), closed over the roots' canonical ids.
+    ///
+    /// The digest is a function of the *represented functions and variable
+    /// identities only* — arena layout, handle values and the variable
+    /// order drop out. Two managers holding the same functions under the
+    /// same order digest identically even if their arenas differ (the
+    /// property the sift-vs-fresh-build differential test pins), and a
+    /// swap pair that returns to the original order restores the original
+    /// digest (the involution test).
+    pub fn digest(&self, roots: &[Bdd]) -> u64 {
+        const UNVISITED: u64 = u64::MAX;
+        let mut canon = vec![UNVISITED; self.nodes.len()];
+        canon[0] = 0;
+        canon[1] = 1;
+        let mut visit_order: Vec<u32> = Vec::new();
+        let mut stack: Vec<Bdd> = Vec::new();
+        for &r in roots.iter().rev() {
+            stack.push(r);
+        }
+        let mut next = 2u64;
+        while let Some(b) = stack.pop() {
+            if canon[b.index()] != UNVISITED {
+                continue;
+            }
+            canon[b.index()] = next;
+            next += 1;
+            visit_order.push(b.raw());
+            let n = self.nodes[b.index()];
+            // Push hi first so lo is visited (and numbered) first.
+            stack.push(n.hi);
+            stack.push(n.lo);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mix = |h: &mut u64, v: u64| {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for &i in &visit_order {
+            let n = self.nodes[i as usize];
+            mix(&mut h, u64::from(self.var_at_level[n.level as usize]));
+            mix(&mut h, canon[n.lo.index()]);
+            mix(&mut h, canon[n.hi.index()]);
+        }
+        for &r in roots {
+            mix(&mut h, canon[r.index()]);
+        }
+        h
+    }
+
+    /// Garbage-collects the arena down to the nodes reachable from `roots`
+    /// (plus the terminals), renumbering survivors in ascending old-handle
+    /// order, rebuilding the unique table and dropping the op cache (whose
+    /// entries are keyed by the old handles). Returns the remapped `roots`
+    /// positionally.
+    ///
+    /// Level swaps strand dead nodes in the arena (an in-place rewrite
+    /// orphans the children it no longer points to); a sifting pass ends
+    /// with a compaction so `stats().nodes` means live size again.
+    /// Traffic counters survive.
+    pub fn compact(&mut self, roots: &[Bdd]) -> Vec<Bdd> {
+        let n = self.nodes.len();
+        let mut keep = vec![false; n];
+        keep[0] = true;
+        keep[1] = true;
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        while let Some(b) = stack.pop() {
+            if keep[b.index()] {
+                continue;
+            }
+            keep[b.index()] = true;
+            let nd = self.nodes[b.index()];
+            stack.push(nd.lo);
+            stack.push(nd.hi);
+        }
+        let mut map = vec![0u32; n];
+        let mut next = 2u32;
+        map[1] = 1;
+        for (i, &kept) in keep.iter().enumerate().skip(2) {
+            if kept {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        let mut new_nodes = Vec::with_capacity(next as usize);
+        new_nodes.push(self.nodes[0]);
+        new_nodes.push(self.nodes[1]);
+        for (i, &kept) in keep.iter().enumerate().skip(2) {
+            if kept {
+                let nd = self.nodes[i];
+                new_nodes.push(Node {
+                    level: nd.level,
+                    lo: Bdd(map[nd.lo.index()]),
+                    hi: Bdd(map[nd.hi.index()]),
+                });
+            }
+        }
+        self.nodes = new_nodes;
+        self.unique.clear();
+        for (i, nd) in self.nodes.iter().enumerate().skip(2) {
+            self.unique.insert(nd.level, nd.lo.0, nd.hi.0, i as u32);
+        }
+        self.op_cache.clear();
+        roots.iter().map(|r| Bdd(map[r.index()])).collect()
     }
 }
 #[cfg(test)]

@@ -1,0 +1,296 @@
+//! In-place exchange of two adjacent BDD levels — the primitive under
+//! dynamic variable reordering ([`crate::dvo`]).
+//!
+//! # How a swap works on the dense arena
+//!
+//! A swap of levels `l` (variable `x`) and `l+1` (variable `y`) must leave
+//! **every handle denoting the function it denoted before** — handles are
+//! held by callers (circuit node tables, op-cache entries) that a swap
+//! cannot reach. The arena makes this possible by rewriting nodes in
+//! place:
+//!
+//! * nodes at `l+1` keep their structure and simply move up to level `l`
+//!   (their function `ite(y, hi, lo)` is untouched — `y` just moved);
+//! * nodes at `l` that do **not** depend on `y` (no child at `l+1`) keep
+//!   their structure and move down to level `l+1`;
+//! * nodes at `l` that do depend on `y` are rewritten in place through the
+//!   Shannon identity `ite(x, B, A) = ite(y, ite(x, B₁, A₁), ite(x, B₀,
+//!   A₀))`: the node becomes a `y`-decision at level `l` whose children
+//!   are (possibly fresh) `x`-decisions at level `l+1`.
+//!
+//! The unique table is kept exact by retracting every key of the two
+//! levels up front ([`UniqueTable::remove`](crate::table::UniqueTable)'s
+//! backward-shift deletion) and re-interning the survivors; canonicity
+//! arguments (inlined as debug asserts) guarantee no two re-interned nodes
+//! collide. Children orphaned by a rewrite linger as dead arena nodes —
+//! still structurally consistent, still interned, so hash-consing may
+//! legitimately resurrect them — until [`BddManager::compact`] sweeps
+//! them.
+//!
+//! The op cache is *not* invalidated per swap: a memoized `(op, a, b) → r`
+//! stays correct because `a`, `b` and `r` all still denote the functions
+//! they were memoized under. Compaction (which renumbers handles) is the
+//! point where the cache must and does drop.
+//!
+//! Every node at the two levels is processed — live or dead — so the
+//! whole arena stays consistent without reachability analysis. All
+//! iteration is in ascending handle order and the unique-table probe
+//! sequences are a pure function of the keys, so a swap is bit-identically
+//! deterministic.
+
+use crate::manager::{Bdd, BddError, BddManager, Node};
+
+/// Per-level node lists for a swap campaign: `lists[l]` holds every arena
+/// handle (live or dead) whose node sits at level `l`. Built once by
+/// [`collect_levels`], maintained incrementally by [`swap_adjacent`] so a
+/// sifting pass never rescans the arena.
+pub(crate) type LevelLists = Vec<Vec<u32>>;
+
+/// Scans the arena into per-level handle lists (ascending handle order).
+pub(crate) fn collect_levels(m: &BddManager) -> LevelLists {
+    let mut lists: LevelLists = vec![Vec::new(); m.n_vars()];
+    for (i, nd) in m.nodes.iter().enumerate().skip(2) {
+        lists[nd.level as usize].push(i as u32);
+    }
+    lists
+}
+
+/// Cofactors of child `c` with respect to the variable at `lower` level:
+/// `(c|ᵥ₌₀, c|ᵥ₌₁)`. A child below `lower` (or a terminal) is constant in
+/// that variable.
+fn cofactors(m: &BddManager, c: Bdd, lower: u32) -> (Bdd, Bdd) {
+    if !c.is_terminal() && m.nodes[c.index()].level == lower {
+        let nd = m.nodes[c.index()];
+        (nd.lo, nd.hi)
+    } else {
+        (c, c)
+    }
+}
+
+/// Swaps levels `upper_level` and `upper_level + 1`, maintaining `lists`.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] if the rewrite needs a fresh node past
+/// the arena limit. The manager must be considered poisoned after that —
+/// the swap is half-applied — so callers propagate the error outward.
+pub(crate) fn swap_adjacent(
+    m: &mut BddManager,
+    upper_level: usize,
+    lists: &mut LevelLists,
+) -> Result<(), BddError> {
+    let l = u32::try_from(upper_level).expect("level fits u32");
+    let upper = std::mem::take(&mut lists[upper_level]);
+    let lower = std::mem::take(&mut lists[upper_level + 1]);
+
+    // Retract both levels' unique keys before any structure moves.
+    for &u in &upper {
+        let nd = m.nodes[u as usize];
+        let removed = m.unique.remove(l, nd.lo.raw(), nd.hi.raw());
+        debug_assert!(removed, "upper node {u} missing from unique table");
+    }
+    for &v in &lower {
+        let nd = m.nodes[v as usize];
+        let removed = m.unique.remove(l + 1, nd.lo.raw(), nd.hi.raw());
+        debug_assert!(removed, "lower node {v} missing from unique table");
+    }
+
+    // The order bookkeeping swaps first so `mk` calls below intern under
+    // the post-swap order.
+    m.var_at_level.swap(upper_level, upper_level + 1);
+    m.level_of_var[m.var_at_level[upper_level] as usize] = l;
+    m.level_of_var[m.var_at_level[upper_level + 1] as usize] = l + 1;
+
+    let mut new_upper: Vec<u32> = Vec::with_capacity(upper.len() + lower.len());
+    let mut new_lower: Vec<u32> = Vec::with_capacity(upper.len());
+
+    // Pass 1: upper nodes independent of the lower variable move down
+    // unchanged. This must complete before any rewrite so a rewrite's
+    // `mk` can *find* a moved-down node instead of duplicating its key.
+    let mut rewrites: Vec<u32> = Vec::with_capacity(upper.len());
+    for &u in &upper {
+        let nd = m.nodes[u as usize];
+        let lo_in = !nd.lo.is_terminal() && m.nodes[nd.lo.index()].level == l + 1;
+        let hi_in = !nd.hi.is_terminal() && m.nodes[nd.hi.index()].level == l + 1;
+        if lo_in || hi_in {
+            rewrites.push(u);
+        } else {
+            m.nodes[u as usize].level = l + 1;
+            m.unique.insert(l + 1, nd.lo.raw(), nd.hi.raw(), u);
+            new_lower.push(u);
+        }
+    }
+
+    // Pass 2: the remaining upper nodes are rewritten in place. Children
+    // of an upper node are old lower nodes or deeper — never other upper
+    // nodes — so the `level == l + 1` membership test in `cofactors`
+    // stays exact even though pass 1 moved some uppers to that level.
+    let arena_before = m.nodes.len();
+    for &u in &rewrites {
+        let nd = m.nodes[u as usize];
+        let (a0, a1) = cofactors(m, nd.lo, l + 1);
+        let (b0, b1) = cofactors(m, nd.hi, l + 1);
+        let f0 = m.mk(l + 1, a0, b0)?;
+        let f1 = m.mk(l + 1, a1, b1)?;
+        // f0 == f1 would make the node redundant, which canonicity rules
+        // out for a node that depends on both swapped variables.
+        debug_assert_ne!(f0, f1, "rewritten node {u} became redundant");
+        m.nodes[u as usize] = Node {
+            level: l,
+            lo: f0,
+            hi: f1,
+        };
+        m.unique.insert(l, f0.raw(), f1.raw(), u);
+        new_upper.push(u);
+    }
+
+    // Pass 3: old lower nodes move up unchanged.
+    for &v in &lower {
+        let nd = m.nodes[v as usize];
+        m.nodes[v as usize].level = l;
+        m.unique.insert(l, nd.lo.raw(), nd.hi.raw(), v);
+        new_upper.push(v);
+    }
+
+    // Nodes `mk` created during pass 2 all sit at the new lower level.
+    for i in arena_before..m.nodes.len() {
+        new_lower.push(u32::try_from(i).expect("bdd arena exceeds u32"));
+    }
+
+    lists[upper_level] = new_upper;
+    lists[upper_level + 1] = new_lower;
+    Ok(())
+}
+
+impl BddManager {
+    /// Swaps the variables at levels `upper_level` and `upper_level + 1`
+    /// in place. Every existing [`Bdd`] handle keeps denoting the function
+    /// it denoted before; only the variable order (and the shape of the
+    /// shared graph) changes. Dead nodes orphaned by the swap stay in the
+    /// arena until [`BddManager::compact`].
+    ///
+    /// Swapping the same pair twice restores the original order, node
+    /// count and [`BddManager::digest`] — the involution the reorder
+    /// proptests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::UnknownVariable`] if `upper_level + 1` is not a
+    /// valid level, or [`BddError::NodeLimit`] on arena exhaustion (the
+    /// manager is poisoned in that case).
+    pub fn swap_adjacent_levels(&mut self, upper_level: usize) -> Result<(), BddError> {
+        if upper_level + 1 >= self.n_vars() {
+            return Err(BddError::UnknownVariable {
+                var: upper_level + 1,
+                n_vars: self.n_vars(),
+            });
+        }
+        let mut lists = collect_levels(self);
+        swap_adjacent(self, upper_level, &mut lists)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// f = a·b + c·d, plus g = a⊕c to share structure.
+    fn setup() -> (BddManager, Bdd, Bdd) {
+        let mut m = BddManager::new(4);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
+        let d = m.var(3).unwrap();
+        let ab = m.and(a, b).unwrap();
+        let cd = m.and(c, d).unwrap();
+        let f = m.or(ab, cd).unwrap();
+        let g = m.xor(a, c).unwrap();
+        (m, f, g)
+    }
+
+    fn eval_table(m: &BddManager, root: Bdd) -> Vec<bool> {
+        (0..16u32)
+            .map(|bits| {
+                let vals: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+                m.eval(root, &vals).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_preserves_semantics_of_every_handle() {
+        let (mut m, f, g) = setup();
+        let table_f = eval_table(&m, f);
+        let table_g = eval_table(&m, g);
+        for level in 0..3 {
+            m.swap_adjacent_levels(level).unwrap();
+            assert_eq!(eval_table(&m, f), table_f, "f broken after swap {level}");
+            assert_eq!(eval_table(&m, g), table_g, "g broken after swap {level}");
+        }
+    }
+
+    #[test]
+    fn swap_twice_is_identity_on_order_count_and_digest() {
+        let (mut m, f, g) = setup();
+        let order = m.order();
+        let count = m.node_count(&[f, g]);
+        let digest = m.digest(&[f, g]);
+        m.swap_adjacent_levels(1).unwrap();
+        assert_ne!(m.order(), order, "swap changed nothing");
+        m.swap_adjacent_levels(1).unwrap();
+        assert_eq!(m.order(), order);
+        assert_eq!(m.node_count(&[f, g]), count);
+        assert_eq!(m.digest(&[f, g]), digest);
+    }
+
+    #[test]
+    fn swap_updates_order_bookkeeping() {
+        let (mut m, _, _) = setup();
+        m.swap_adjacent_levels(0).unwrap();
+        assert_eq!(m.order(), vec![1, 0, 2, 3]);
+        // var() must now place variable 1 at the root level.
+        let b = m.var(1).unwrap();
+        assert_eq!(m.nodes[b.index()].level, 0);
+    }
+
+    #[test]
+    fn out_of_range_level_rejected() {
+        let (mut m, _, _) = setup();
+        assert!(matches!(
+            m.swap_adjacent_levels(3),
+            Err(BddError::UnknownVariable { .. })
+        ));
+        let mut one = BddManager::new(1);
+        assert!(one.swap_adjacent_levels(0).is_err());
+    }
+
+    #[test]
+    fn unique_table_stays_exact_across_swaps() {
+        let (mut m, f, g) = setup();
+        for level in [0, 1, 2, 1, 0, 2] {
+            m.swap_adjacent_levels(level).unwrap();
+        }
+        // Every arena node must still be interned under its current key.
+        let nodes: Vec<(usize, Node)> = m.nodes.iter().copied().enumerate().skip(2).collect();
+        for (i, nd) in nodes {
+            assert_eq!(
+                m.unique.get(nd.level, nd.lo.raw(), nd.hi.raw()),
+                Some(i as u32),
+                "node {i} lost its unique-table entry"
+            );
+        }
+        // And the live graph is still canonical: rebuilding from scratch
+        // under the same order yields the same digest.
+        let digest = m.digest(&[f, g]);
+        let mut fresh = BddManager::with_order(m.order()).unwrap();
+        let a = fresh.var(0).unwrap();
+        let b = fresh.var(1).unwrap();
+        let c = fresh.var(2).unwrap();
+        let d = fresh.var(3).unwrap();
+        let ab = fresh.and(a, b).unwrap();
+        let cd = fresh.and(c, d).unwrap();
+        let f2 = fresh.or(ab, cd).unwrap();
+        let g2 = fresh.xor(a, c).unwrap();
+        assert_eq!(fresh.digest(&[f2, g2]), digest);
+    }
+}

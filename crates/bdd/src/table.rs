@@ -166,6 +166,52 @@ impl UniqueTable {
         self.len += 1;
     }
 
+    /// Removes the entry for `(level, lo, hi)`, returning `true` when it was
+    /// present. Uses backward-shift deletion: every entry whose probe chain
+    /// ran through the vacated slot is shifted back, so no tombstones
+    /// accumulate and [`UniqueTable::get`] stays a plain
+    /// probe-until-vacant loop. Level swaps lean on this — a swap retracts
+    /// every key of the two levels and re-interns the survivors.
+    pub fn remove(&mut self, level: u32, lo: u32, hi: u32) -> bool {
+        let mut i = hash3(level, lo, hi) as usize & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.value == EMPTY {
+                return false;
+            }
+            if slot.level == level && slot.lo == lo && slot.hi == hi {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.len -= 1;
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let slot = self.slots[j];
+            if slot.value == EMPTY {
+                break;
+            }
+            let ideal = hash3(slot.level, slot.lo, slot.hi) as usize & self.mask;
+            // Shift `j` into the hole iff its probe began at or before the
+            // hole (cyclically) — i.e. the hole sits on its probe chain.
+            if (j.wrapping_sub(ideal) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.slots[hole] = slot;
+                hole = j;
+            }
+        }
+        self.slots[hole] = VACANT;
+        true
+    }
+
+    /// Vacates every slot, keeping capacity and the hit/miss counters.
+    /// Compaction rebuilds the table through this after remapping handles.
+    pub fn clear(&mut self) {
+        self.slots.fill(VACANT);
+        self.len = 0;
+    }
+
     fn grow(&mut self) {
         let old = std::mem::replace(&mut self.slots, vec![VACANT; 0]);
         let cap = old.len() * 2;
@@ -323,6 +369,15 @@ impl OpCache {
         };
     }
 
+    /// Vacates every slot, keeping capacity and the hit/miss counters. A
+    /// memoized result is only valid while its operand handles denote the
+    /// functions they had when it was stored, so compaction (which renumbers
+    /// handles) must drop the cache wholesale.
+    pub fn clear(&mut self) {
+        self.slots.fill(OP_VACANT);
+        self.occupied = 0;
+    }
+
     /// Doubles the slot array (rehashing live entries) while the occupancy
     /// is above 75%. The manager calls this as the node arena grows so the
     /// cache keeps pace with the working set.
@@ -390,6 +445,77 @@ mod tests {
             }
         }
         assert_eq!(t.len(), reference.len());
+    }
+
+    #[test]
+    fn unique_table_remove_matches_hashmap_reference() {
+        // Interleaved insert/remove/get workload against a HashMap model,
+        // exercising the backward-shift paths (dense keys force long probe
+        // chains at 75% load).
+        let mut t = UniqueTable::with_capacity_pow2(8);
+        let mut reference: HashMap<(u32, u32, u32), u32> = HashMap::new();
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next_value = 2u32;
+        for step in 0..50_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let level = (state >> 48) as u32 % 8;
+            let lo = (state >> 24) as u32 % 64;
+            let hi = state as u32 % 64;
+            let key = (level, lo, hi);
+            if step % 3 == 2 {
+                let expect = reference.remove(&key).is_some();
+                assert_eq!(t.remove(level, lo, hi), expect, "step {step}");
+            } else {
+                let expect = reference.get(&key).copied();
+                assert_eq!(t.get(level, lo, hi), expect, "step {step}");
+                if expect.is_none() {
+                    reference.insert(key, next_value);
+                    t.insert(level, lo, hi, next_value);
+                    next_value += 1;
+                }
+            }
+            assert_eq!(t.len(), reference.len());
+        }
+        // Every surviving key still answers after all the shifting.
+        for (&(level, lo, hi), &v) in &reference {
+            assert_eq!(t.get(level, lo, hi), Some(v));
+        }
+    }
+
+    #[test]
+    fn unique_table_remove_shifts_probe_chains_back() {
+        // Force one shared probe chain: with 8 slots, keys hashing to the
+        // same bucket collide by construction after enough inserts.
+        let mut t = UniqueTable::with_capacity_pow2(8);
+        for i in 0..5u32 {
+            t.insert(1, i, 0, i + 2);
+        }
+        assert!(t.remove(1, 0, 0));
+        assert!(!t.remove(1, 0, 0), "double remove reports absence");
+        for i in 1..5u32 {
+            assert_eq!(t.get(1, i, 0), Some(i + 2), "key {i} lost after shift");
+        }
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn clears_keep_capacity_and_counters() {
+        let mut t = UniqueTable::with_capacity_pow2(16);
+        t.insert(1, 2, 3, 4);
+        assert_eq!(t.get(1, 2, 3), Some(4));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(1, 2, 3), None);
+        let (hits, misses) = t.counters();
+        assert_eq!((hits, misses), (1, 1), "counters survive clear");
+
+        let mut c = OpCache::with_capacity_pow2(4);
+        c.insert(1, 2, 3, 4);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(1, 2, 3), None);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property battery for dynamic variable reordering: adjacent level swaps
+//! are involutions, arbitrary swap sequences preserve every represented
+//! function bit-for-bit, and a sifted manager is node-for-node equivalent
+//! to a from-scratch build under the final order.
+//!
+//! Networks come from the `domino-workloads` control-block generator, so
+//! the properties run over the same structure class as the benchmark
+//! suite rather than hand-picked examples.
+//!
+//! All probability comparisons run at p = ½ for every source: with dyadic
+//! inputs every intermediate value is an exact binary fraction (2⁻ᵏ sums
+//! with k bounded by the variable count), so "semantics preserved" can be
+//! asserted on the *bits* of `sat_count` and `signal_probability`, not
+//! within a tolerance.
+
+use std::collections::HashMap;
+
+use domino_bdd::circuit::{source_nodes, CircuitBdds};
+use domino_bdd::{Bdd, BddManager, ReorderConfig, ReorderMode};
+use domino_netlist::{Network, NodeKind};
+use domino_workloads::GeneratorSpec;
+use proptest::prelude::*;
+
+/// Rebuilds every node function of `net` in a fresh manager under the
+/// declared (identity) source order — the same loop as `CircuitBdds`, but
+/// with the manager kept mutable so the properties can swap its levels.
+fn build_funcs(net: &Network) -> (BddManager, Vec<Bdd>) {
+    let sources = source_nodes(net);
+    let mut manager = BddManager::new(sources.len());
+    let var_of: HashMap<_, _> = sources.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut funcs = vec![Bdd::FALSE; net.len()];
+    for id in net.topo_order() {
+        let node = net.node(id);
+        let f = match node.kind {
+            NodeKind::Input | NodeKind::Latch { .. } => manager.var(var_of[&id]).unwrap(),
+            NodeKind::Constant(v) => manager.constant(v),
+            NodeKind::Not => {
+                let x = funcs[node.fanins[0].index()];
+                manager.not(x).unwrap()
+            }
+            NodeKind::And => manager
+                .and_many(node.fanins.iter().map(|f| funcs[f.index()]))
+                .unwrap(),
+            NodeKind::Or => manager
+                .or_many(node.fanins.iter().map(|f| funcs[f.index()]))
+                .unwrap(),
+        };
+        funcs[id.index()] = f;
+    }
+    (manager, funcs)
+}
+
+fn random_network(pis: usize, pos: usize, gates: usize, seed: u64) -> Network {
+    domino_workloads::generate(&GeneratorSpec::control_block(
+        format!("rp{seed}"),
+        pis,
+        pos,
+        gates,
+        seed,
+    ))
+    .expect("generator produces valid networks")
+}
+
+/// Deterministic level picker: splitmix64 over a running state.
+fn next_level(state: &mut u64, n_levels: usize) -> usize {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % (n_levels - 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Swapping the same adjacent level pair twice restores the manager's
+    /// order, reachable node count and canonical digest exactly — and one
+    /// swap really did exchange the two variables in between.
+    #[test]
+    fn adjacent_swap_is_an_involution(
+        seed in 0u64..1000,
+        pis in 4usize..10,
+        pos in 1usize..4,
+        gates in 8usize..30,
+        pick in 0u64..1000,
+    ) {
+        let net = random_network(pis, pos, gates, seed);
+        let (mut m, funcs) = build_funcs(&net);
+        let mut state = pick;
+        let level = next_level(&mut state, m.n_vars());
+        let order = m.order();
+        let count = m.node_count(&funcs);
+        let digest = m.digest(&funcs);
+
+        m.swap_adjacent_levels(level).unwrap();
+        let mut swapped = order.clone();
+        swapped.swap(level, level + 1);
+        // One swap exchanges exactly the two variables (the count may
+        // legitimately change — that is what sifting exploits)...
+        prop_assert_eq!(m.order(), swapped);
+
+        // ...and the second swap undoes everything.
+        m.swap_adjacent_levels(level).unwrap();
+        prop_assert_eq!(m.order(), order);
+        prop_assert_eq!(m.node_count(&funcs), count);
+        prop_assert_eq!(m.digest(&funcs), digest);
+    }
+
+    /// Any sequence of adjacent swaps leaves every node function denoting
+    /// the same Boolean function: `sat_count` and `signal_probability`
+    /// (at p = ½, where f64 arithmetic is exact) are bit-identical.
+    #[test]
+    fn swap_sequences_preserve_semantics(
+        seed in 0u64..1000,
+        pis in 4usize..10,
+        pos in 1usize..4,
+        gates in 8usize..30,
+        swaps in 1usize..12,
+        pick in 0u64..1000,
+    ) {
+        let net = random_network(pis, pos, gates, seed);
+        let (mut m, funcs) = build_funcs(&net);
+        let probs = vec![0.5; m.n_vars()];
+        let before: Vec<(u64, u64)> = funcs
+            .iter()
+            .map(|&f| {
+                let sat = m.sat_count(f).to_bits();
+                let p = m.signal_probability(f, &probs).unwrap().to_bits();
+                (sat, p)
+            })
+            .collect();
+
+        let mut state = pick;
+        for _ in 0..swaps {
+            let level = next_level(&mut state, m.n_vars());
+            m.swap_adjacent_levels(level).unwrap();
+        }
+
+        for (&f, &(sat, p)) in funcs.iter().zip(&before) {
+            prop_assert_eq!(m.sat_count(f).to_bits(), sat);
+            prop_assert_eq!(m.signal_probability(f, &probs).unwrap().to_bits(), p);
+        }
+    }
+
+    /// Differential: after sifting, the manager is node-for-node
+    /// equivalent to a from-scratch build under the final order — same
+    /// reachable node count, same canonical digest.
+    #[test]
+    fn sifted_equals_fresh_build_under_final_order(
+        seed in 0u64..1000,
+        pis in 4usize..10,
+        pos in 1usize..4,
+        gates in 8usize..30,
+    ) {
+        let net = random_network(pis, pos, gates, seed);
+        let identity: Vec<usize> = (0..source_nodes(&net).len()).collect();
+        let (sifted, outcome) = CircuitBdds::build_reordered(
+            &net,
+            identity,
+            &ReorderConfig::with_mode(ReorderMode::Sift),
+        )
+        .unwrap();
+        let outcome = outcome.expect("sift records an outcome");
+        let fresh = CircuitBdds::build_with_order(&net, outcome.final_order).unwrap();
+        prop_assert_eq!(sifted.total_node_count(), fresh.total_node_count());
+        prop_assert_eq!(sifted.bdd_digest(), fresh.bdd_digest());
+    }
+}

@@ -24,8 +24,9 @@
 
 use std::fmt::Write as _;
 
+use domino_bdd::ReorderMode;
 use domino_phase::flow::FlowConfig;
-use domino_phase::prob::compute_probabilities;
+use domino_phase::prob::{compute_probabilities, ProbabilityConfig};
 use domino_phase::search::{min_area_assignment, min_power_assignment};
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
 use domino_sim::{measure_domino_switching, measure_power, SimConfig};
@@ -93,6 +94,39 @@ fn main() {
             mp.assignment,
             mp.objective.to_bits(),
             mp.evaluations,
+        )
+        .unwrap();
+
+        // Reorder pins: the same probability computation with sifting
+        // enabled must stay bit-identical too — node probabilities, the
+        // shared node count after reordering, the exact swap count and
+        // the final variable order are all deterministic.
+        let sifted = compute_probabilities(
+            net,
+            &pi,
+            &ProbabilityConfig {
+                reorder: ReorderMode::Sift,
+                ..config.probability.clone()
+            },
+        )
+        .expect("sifted probabilities");
+        let outcome = sifted
+            .reorder_outcome()
+            .expect("sift mode records an outcome");
+        let order = outcome
+            .final_order
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        writeln!(
+            text,
+            "reorder name={} mode=sift prob_hash={:016x} bdd_nodes={} swaps={} order={}",
+            bench.name,
+            prob_hash(sifted.as_slice()),
+            sifted.bdd_node_count(),
+            outcome.swaps,
+            order,
         )
         .unwrap();
 

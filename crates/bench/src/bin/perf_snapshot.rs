@@ -17,16 +17,26 @@
 //! `--fast` restricts to the two cheapest circuits — the CI smoke
 //! invocation. The full run takes a handful of seconds.
 //!
-//! `--check <baseline>` compares the freshly measured wall-clock metrics
-//! against a committed baseline (see `bench/baselines/`) and exits
-//! non-zero when any metric regressed by more than `--tolerance` percent
-//! (default 25): the CI perf-regression gate. Only metrics present in both
-//! documents are compared, so baselines survive metric additions.
+//! `--check <baseline>` compares the freshly measured metrics against a
+//! committed baseline (see `bench/baselines/`) via
+//! [`domino_bench::check`] and exits non-zero when any metric regressed —
+//! wall clocks beyond `--tolerance` percent (default 25), deterministic
+//! node counts on any growth at all: the CI perf-regression gate. Only
+//! metrics present in both documents are compared, so baselines survive
+//! metric additions. Every failure is one greppable `REGRESSED` line
+//! naming the metric and both values.
+//!
+//! A `reorder` section measures the dynamic-variable-reordering win on
+//! the `reorder_stress` generator circuit (static declared order is
+//! exponential, sifting recovers the linear interleaved order) and gates
+//! the node shrink.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::{ReorderConfig, ReorderMode};
+use domino_bench::check::check_snapshot;
 use domino_bench::fleet_probe::{measure_fleet, FleetLoadConfig};
 use domino_bench::serve_probe::{
     measure_connection_scale, measure_serve, ConnectionScaleConfig, ServeLoadConfig,
@@ -39,17 +49,12 @@ use domino_phase::search::min_power_assignment;
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
 use domino_sim::{measure_power, SimConfig};
 use domino_techmap::{map, Library};
-use domino_workloads::public_suite;
+use domino_workloads::{public_suite, reorder_stress};
 
-/// Wall-clock metrics compared by the regression gate (everything else in
-/// a snapshot row is informational).
-const TIME_METRICS: &[&str] = &[
-    "flow_ms",
-    "bdd_build_ms",
-    "prob_eval_ms",
-    "search_ms",
-    "sim_ms",
-];
+/// Disjoint input pairs of the reorder-stress circuit: large enough that
+/// the static-order blow-up is unmistakable, small enough to build in
+/// microseconds even statically.
+const REORDER_PAIRS: usize = 8;
 
 /// Wall-clock minimum of `samples` runs of `f`, in milliseconds.
 ///
@@ -225,6 +230,35 @@ fn main() -> ExitCode {
         ("peer_fills", Json::Num(fleet.peer_fills as f64)),
     ]);
 
+    // Dynamic variable reordering, measured on the reorder-stress circuit
+    // under its *declared* (worst-case) input order: sifting must recover
+    // most of the exponential blow-up. Node counts are deterministic, so
+    // the gate on them is exact.
+    let stress = reorder_stress(REORDER_PAIRS).expect("stress circuit generates");
+    let identity: Vec<usize> = (0..stress.inputs().len()).collect();
+    let static_bdds =
+        CircuitBdds::build_with_order(&stress, identity.clone()).expect("static build");
+    let nodes_static = static_bdds.total_node_count();
+    let sift_config = ReorderConfig::with_mode(ReorderMode::Sift);
+    let (sifted_bdds, outcome) =
+        CircuitBdds::build_reordered(&stress, identity.clone(), &sift_config)
+            .expect("sifted build");
+    let nodes_sifted = sifted_bdds.total_node_count();
+    let outcome = outcome.expect("sift mode records an outcome");
+    let shrink_pct = 100.0 * (1.0 - nodes_sifted as f64 / nodes_static as f64);
+    let reorder_ms = best_ms(samples, || {
+        CircuitBdds::build_reordered(&stress, identity.clone(), &sift_config).expect("sifted build")
+    });
+    let reorder_doc = Json::obj(vec![
+        ("circuit", Json::Str(stress.name().to_string())),
+        ("pairs", Json::Num(REORDER_PAIRS as f64)),
+        ("nodes_static", Json::Num(nodes_static as f64)),
+        ("nodes_sifted", Json::Num(nodes_sifted as f64)),
+        ("shrink_pct", Json::Num(shrink_pct)),
+        ("swaps", Json::Num(outcome.swaps as f64)),
+        ("reorder_ms", Json::Num(reorder_ms)),
+    ]);
+
     let doc = Json::obj(vec![
         ("fast", Json::Bool(fast)),
         ("samples", Json::Num(samples as f64)),
@@ -232,6 +266,7 @@ fn main() -> ExitCode {
         ("serve", serve_doc),
         ("serve_scale", scale_doc),
         ("fleet", fleet_doc),
+        ("reorder", reorder_doc),
     ]);
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write snapshot");
@@ -239,164 +274,30 @@ fn main() -> ExitCode {
     eprintln!("wrote {out}");
 
     match check {
-        Some(baseline_path) => check_against_baseline(&doc, &baseline_path, tolerance_pct),
+        Some(baseline_path) => {
+            let text = std::fs::read_to_string(&baseline_path)
+                .unwrap_or_else(|e| panic!("reading baseline '{baseline_path}': {e}"));
+            let baseline = parse(&text).expect("baseline parses");
+            let report = check_snapshot(&doc, &baseline, tolerance_pct);
+            for line in &report.lines {
+                eprintln!("{line}");
+            }
+            if report.passed() {
+                eprintln!(
+                    "check: all {} metrics within {tolerance_pct}% of '{baseline_path}'",
+                    report.compared
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "check: {} metric(s) regressed beyond {tolerance_pct}% vs '{baseline_path}'",
+                    report.regressions
+                );
+                ExitCode::FAILURE
+            }
+        }
         None => ExitCode::SUCCESS,
     }
-}
-
-/// Noise floor for the regression gate, ms: both sides of a comparison
-/// are clamped up to this before the ratio is taken, so microsecond-scale
-/// metrics (whose wall-clock jitter easily exceeds any tolerance) cannot
-/// flake the gate, while a genuine blow-up past the floor still trips it.
-const CHECK_FLOOR_MS: f64 = 0.05;
-
-/// Noise floor for the serve latency metric: per-request wall time under
-/// client concurrency sits around a millisecond and swings with scheduler
-/// load, so sub-half-millisecond differences never trip the gate.
-const SERVE_FLOOR_MS: f64 = 0.5;
-
-/// Shared verdict logic for the serve-metric comparisons (`ratio` is
-/// oriented so that > 1 means worse).
-fn serve_verdict(ratio: f64, limit: f64, regressions: &mut usize) -> &'static str {
-    if ratio > limit {
-        *regressions += 1;
-        "REGRESSED"
-    } else if ratio < 1.0 / limit {
-        "improved"
-    } else {
-        "ok"
-    }
-}
-
-/// Compares `current` against the baseline document at `path`; reports
-/// every time-metric ratio and fails on regressions beyond the tolerance.
-fn check_against_baseline(current: &Json, path: &str, tolerance_pct: f64) -> ExitCode {
-    let text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading baseline '{path}': {e}"));
-    let baseline = parse(&text).expect("baseline parses");
-    let limit = 1.0 + tolerance_pct / 100.0;
-    let find_row = |doc: &Json, name: &str| -> Option<Json> {
-        doc.get("circuits")?
-            .as_arr()?
-            .iter()
-            .find(|row| row.get("name").and_then(Json::as_str) == Some(name))
-            .cloned()
-    };
-
-    let mut regressions = 0usize;
-    let mut compared = 0usize;
-    let current_rows = current
-        .get("circuits")
-        .and_then(Json::as_arr)
-        .expect("snapshot has circuits");
-    for row in current_rows {
-        let name = row.get("name").and_then(Json::as_str).expect("row name");
-        let Some(base_row) = find_row(&baseline, name) else {
-            eprintln!("check: {name}: not in baseline, skipped");
-            continue;
-        };
-        for &metric in TIME_METRICS {
-            let (Some(now), Some(base)) = (
-                row.get(metric).and_then(Json::as_f64),
-                base_row.get(metric).and_then(Json::as_f64),
-            ) else {
-                continue; // metric absent on one side (older baseline)
-            };
-            if base <= 0.0 {
-                continue;
-            }
-            compared += 1;
-            let ratio = now.max(CHECK_FLOOR_MS) / base.max(CHECK_FLOOR_MS);
-            let verdict = if ratio > limit {
-                regressions += 1;
-                "REGRESSED"
-            } else if ratio < 1.0 / limit {
-                "improved"
-            } else {
-                "ok"
-            };
-            eprintln!(
-                "check: {name:<11} {metric:<13} {now:>9.3} ms vs {base:>9.3} ms  \
-                 ({ratio:>5.2}x)  {verdict}"
-            );
-        }
-    }
-
-    // Service metrics: a warm latency (lower is better) and a throughput
-    // (higher is better) per section — `serve` is the single dominod, and
-    // `fleet` the warm wave routed through the dominogw gateway. All are
-    // wall-clock under client concurrency, which jitters more than the
-    // kernel minima above, so they get twice the tolerance and a larger
-    // floor. Sections absent from the baseline are skipped, so baselines
-    // predating the fleet still gate what they know.
-    let serve_limit = 1.0 + 2.0 * tolerance_pct / 100.0;
-    for (section, latency_metric) in [("serve", "serve_ms"), ("fleet", "fleet_ms")] {
-        let (Some(now), Some(base)) = (current.get(section), baseline.get(section)) else {
-            continue;
-        };
-        let pair = |metric: &str| Some((now.get(metric)?.as_f64()?, base.get(metric)?.as_f64()?));
-        if let Some((now_ms, base_ms)) = pair(latency_metric) {
-            compared += 1;
-            let ratio = now_ms.max(SERVE_FLOOR_MS) / base_ms.max(SERVE_FLOOR_MS);
-            let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
-            eprintln!(
-                "check: {section:<11} {latency_metric:<13} {now_ms:>9.3} ms vs \
-                 {base_ms:>9.3} ms  ({ratio:>5.2}x)  {verdict}"
-            );
-        }
-        if let Some((now_tp, base_tp)) = pair("jobs_per_s") {
-            if base_tp > 0.0 && now_tp > 0.0 {
-                compared += 1;
-                // Compared through per-job wall time with the same noise
-                // floor as the latency metric: throughput is the inverse
-                // of the same wall clock, so without the floor a
-                // sub-floor latency wiggle the latency clamp absorbs
-                // would still trip the gate here as a throughput ratio.
-                let ratio =
-                    (1e3 / now_tp).max(SERVE_FLOOR_MS) / (1e3 / base_tp).max(SERVE_FLOOR_MS);
-                let verdict = serve_verdict(ratio, serve_limit, &mut regressions);
-                eprintln!(
-                    "check: {section:<11} jobs_per_s    {now_tp:>9.0} /s vs {base_tp:>9.0} /s  \
-                     ({:>5.2}x)  {verdict}",
-                    now_tp / base_tp
-                );
-            }
-        }
-    }
-
-    // The connection-scale section gates a deterministic capability, not
-    // a wall clock: the serve layer must still hold at least as many
-    // concurrent kept-alive connections as the baseline records (the
-    // harness itself already verified byte-identity and the thread
-    // bound, panicking otherwise).
-    if let (Some(now), Some(base)) = (current.get("serve_scale"), baseline.get("serve_scale")) {
-        if let (Some(now_c), Some(base_c)) = (
-            now.get("connections").and_then(Json::as_u64),
-            base.get("connections").and_then(Json::as_u64),
-        ) {
-            compared += 1;
-            let verdict = if now_c < base_c {
-                regressions += 1;
-                "REGRESSED"
-            } else {
-                "ok"
-            };
-            eprintln!(
-                "check: serve_scale connections   {now_c:>9} held vs {base_c:>9} held  {verdict}"
-            );
-        }
-    }
-
-    if compared == 0 {
-        eprintln!("check: no comparable metrics between snapshot and '{path}'");
-        return ExitCode::FAILURE;
-    }
-    if regressions > 0 {
-        eprintln!("check: {regressions} metric(s) regressed beyond {tolerance_pct}% vs '{path}'");
-        return ExitCode::FAILURE;
-    }
-    eprintln!("check: all {compared} metrics within {tolerance_pct}% of '{path}'");
-    ExitCode::SUCCESS
 }
 
 /// Hit rate as a fraction, or `null` before any accesses.

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod fleet_probe;
 pub mod serve_probe;
 

@@ -12,7 +12,7 @@
 
 use domino_bdd::circuit::CircuitBdds;
 use domino_bdd::ordering;
-use domino_bdd::BddStats;
+use domino_bdd::{BddStats, ReorderConfig, ReorderMode, ReorderOutcome};
 use domino_netlist::Network;
 use domino_sgraph::{partition, MfvsConfig, Partition};
 
@@ -52,6 +52,12 @@ pub struct ProbabilityConfig {
     /// default `0.0` exits only at an *exact* fixed point, so results are
     /// bit-identical to running every sweep.
     pub convergence_tolerance: f64,
+    /// Dynamic variable reordering (sifting) applied while the BDDs are
+    /// built. `Off` (the default) reproduces the static-order build
+    /// bit-for-bit; `Auto` sifts at fixed node-count triggers; `Sift` runs
+    /// one final sifting pass. Result-affecting: the reorder mode joins
+    /// the engine cache key.
+    pub reorder: ReorderMode,
 }
 
 impl Default for ProbabilityConfig {
@@ -62,6 +68,7 @@ impl Default for ProbabilityConfig {
             sweeps: 2,
             cut_latch_probability: 0.5,
             convergence_tolerance: 0.0,
+            reorder: ReorderMode::Off,
         }
     }
 }
@@ -73,6 +80,7 @@ pub struct NodeProbabilities {
     partition: Option<Partition>,
     bdd_nodes: usize,
     bdd_stats: Option<BddStats>,
+    reorder: Option<ReorderOutcome>,
 }
 
 impl NodeProbabilities {
@@ -85,6 +93,7 @@ impl NodeProbabilities {
             partition: None,
             bdd_nodes: 0,
             bdd_stats: None,
+            reorder: None,
         }
     }
 
@@ -114,6 +123,13 @@ impl NodeProbabilities {
     /// externally supplied probabilities ([`NodeProbabilities::from_vec`]).
     pub fn bdd_stats(&self) -> Option<&BddStats> {
         self.bdd_stats.as_ref()
+    }
+
+    /// Outcome of dynamic variable reordering, if a reorder mode other
+    /// than [`ReorderMode::Off`] was configured (swap count, node counts
+    /// before/after, and the final variable order).
+    pub fn reorder_outcome(&self) -> Option<&ReorderOutcome> {
+        self.reorder.as_ref()
     }
 }
 
@@ -167,7 +183,8 @@ pub fn compute_probabilities(
         });
     }
     let order = resolve_order(net, &config.ordering);
-    let bdds = CircuitBdds::build_with_order(net, order)?;
+    let (bdds, reorder) =
+        CircuitBdds::build_reordered(net, order, &ReorderConfig::with_mode(config.reorder))?;
     let bdd_nodes = bdds.total_node_count();
 
     if !net.is_sequential() {
@@ -177,6 +194,7 @@ pub fn compute_probabilities(
             partition: None,
             bdd_nodes,
             bdd_stats: Some(bdds.manager().stats()),
+            reorder,
         });
     }
 
@@ -239,6 +257,7 @@ pub fn compute_probabilities(
         partition: Some(part),
         bdd_nodes,
         bdd_stats: Some(bdds.manager().stats()),
+        reorder,
     })
 }
 
@@ -417,6 +436,41 @@ mod tests {
         }
         // ... which really is an early exit: the full 10-sweep run differs.
         assert!(with_tol.get(d.index()) < full.get(d.index()));
+    }
+
+    /// `reorder: Off` must be byte-identical to the historical build path,
+    /// and an active mode must record its outcome while leaving every
+    /// probability numerically exact.
+    #[test]
+    fn reorder_modes_preserve_probabilities() {
+        let mut net = Network::new("c");
+        let a = net.add_input("a").unwrap();
+        let b = net.add_input("b").unwrap();
+        let c = net.add_input("c").unwrap();
+        let d = net.add_input("d").unwrap();
+        let ab = net.add_and([a, b]).unwrap();
+        let cd = net.add_and([c, d]).unwrap();
+        let f = net.add_or([ab, cd]).unwrap();
+        net.add_output("f", f).unwrap();
+        let pi = [0.3, 0.6, 0.9, 0.2];
+        let off = compute_probabilities(&net, &pi, &ProbabilityConfig::default()).unwrap();
+        assert!(off.reorder_outcome().is_none());
+        for mode in [ReorderMode::Auto, ReorderMode::Sift] {
+            let on = compute_probabilities(
+                &net,
+                &pi,
+                &ProbabilityConfig {
+                    reorder: mode,
+                    ..ProbabilityConfig::default()
+                },
+            )
+            .unwrap();
+            let outcome = on.reorder_outcome().expect("active mode records outcome");
+            assert_eq!(outcome.final_order.len(), 4);
+            for (x, y) in off.as_slice().iter().zip(on.as_slice()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use std::fmt;
 use std::path::Path;
 
+use domino_bdd::ReorderMode;
 use domino_netlist::Network;
 use domino_phase::flow::FlowConfig;
 use domino_phase::power::PowerModel;
@@ -334,10 +335,65 @@ fn fnv1a64(bytes: &[u8], seed: u64) -> u64 {
     state
 }
 
+/// Summary of a dynamic variable reordering (sifting) campaign, recorded
+/// when a flow ran with a reorder mode other than `off`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorderInfo {
+    /// The configured mode (`auto` or `sift`).
+    pub mode: ReorderMode,
+    /// Adjacent level swaps performed across all sifting passes.
+    pub swaps: u64,
+    /// Reachable BDD nodes before the first sifting pass.
+    pub nodes_before: usize,
+    /// The final variable order, level 0 first (variable indices).
+    pub final_order: Vec<usize>,
+}
+
+impl ReorderInfo {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("mode", Json::Str(self.mode.as_str().into())),
+            ("swaps", Json::Num(self.swaps as f64)),
+            ("nodes_before", Json::Num(self.nodes_before as f64)),
+            (
+                "final_order",
+                Json::Arr(
+                    self.final_order
+                        .iter()
+                        .map(|&v| Json::Num(v as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, EngineError> {
+        let mode = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("mode"))?
+            .parse::<ReorderMode>()
+            .map_err(EngineError::Spec)?;
+        let final_order = v
+            .get("final_order")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| missing("final_order"))?
+            .iter()
+            .map(|j| j.as_usize().ok_or_else(|| missing("final_order")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReorderInfo {
+            mode,
+            swaps: req_usize(v, "swaps")? as u64,
+            nodes_before: req_usize(v, "nodes_before")?,
+            final_order,
+        })
+    }
+}
+
 /// BDD kernel statistics of one flow side: how big the shared BDDs were
 /// and how the unique table / operation cache performed while building
 /// them. Surfaced by `dominoc run --stats`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BddKernelStats {
     /// Shared BDD node count used for the probability computation.
     pub nodes: usize,
@@ -349,6 +405,10 @@ pub struct BddKernelStats {
     pub cache_hits: u64,
     /// Operation-cache misses.
     pub cache_misses: u64,
+    /// Dynamic reordering summary; `None` when the flow ran with
+    /// `reorder: off` (and in every outcome cached before reordering
+    /// existed).
+    pub reorder: Option<ReorderInfo>,
 }
 
 impl BddKernelStats {
@@ -362,7 +422,15 @@ impl BddKernelStats {
             unique_misses: stats.unique_misses,
             cache_hits: stats.cache_hits,
             cache_misses: stats.cache_misses,
+            reorder: None,
         }
+    }
+
+    /// Attaches a reordering summary (builder style, used by the runner).
+    #[must_use]
+    pub fn with_reorder(mut self, reorder: Option<ReorderInfo>) -> Self {
+        self.reorder = reorder;
+        self
     }
 
     /// Unique-table hit fraction, or `None` before any lookups. (Defined
@@ -377,14 +445,20 @@ impl BddKernelStats {
         hit_rate(self.cache_hits, self.cache_misses)
     }
 
-    fn to_json(self) -> Json {
-        Json::obj(vec![
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
             ("nodes", Json::Num(self.nodes as f64)),
             ("unique_hits", Json::Num(self.unique_hits as f64)),
             ("unique_misses", Json::Num(self.unique_misses as f64)),
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_misses", Json::Num(self.cache_misses as f64)),
-        ])
+        ];
+        // Emitted only when reordering ran, so `reorder: off` outcomes stay
+        // byte-identical to pre-reordering builds.
+        if let Some(reorder) = &self.reorder {
+            fields.push(("reorder", reorder.to_json()));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Self, EngineError> {
@@ -394,6 +468,10 @@ impl BddKernelStats {
             unique_misses: req_usize(v, "unique_misses")? as u64,
             cache_hits: req_usize(v, "cache_hits")? as u64,
             cache_misses: req_usize(v, "cache_misses")? as u64,
+            reorder: match v.get("reorder") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(ReorderInfo::from_json(j)?),
+            },
         })
     }
 }
@@ -728,27 +806,34 @@ fn ordering_from_json(v: &Json) -> Result<OrderingChoice, EngineError> {
 }
 
 fn flow_to_json(flow: &FlowConfig) -> Json {
-    Json::obj(vec![
+    let mut probability = vec![
+        ("ordering", ordering_to_json(&flow.probability.ordering)),
+        ("mfvs_symmetry", Json::Bool(flow.probability.mfvs.symmetry)),
         (
-            "probability",
-            Json::obj(vec![
-                ("ordering", ordering_to_json(&flow.probability.ordering)),
-                ("mfvs_symmetry", Json::Bool(flow.probability.mfvs.symmetry)),
-                (
-                    "mfvs_descending_weight",
-                    Json::Bool(flow.probability.mfvs.descending_weight),
-                ),
-                ("sweeps", Json::Num(flow.probability.sweeps as f64)),
-                (
-                    "cut_latch_probability",
-                    Json::Num(flow.probability.cut_latch_probability),
-                ),
-                (
-                    "convergence_tolerance",
-                    Json::Num(flow.probability.convergence_tolerance),
-                ),
-            ]),
+            "mfvs_descending_weight",
+            Json::Bool(flow.probability.mfvs.descending_weight),
         ),
+        ("sweeps", Json::Num(flow.probability.sweeps as f64)),
+        (
+            "cut_latch_probability",
+            Json::Num(flow.probability.cut_latch_probability),
+        ),
+        (
+            "convergence_tolerance",
+            Json::Num(flow.probability.convergence_tolerance),
+        ),
+    ];
+    // Reordering is result-affecting, so it must join the cache key — but
+    // only when active, so `reorder: off` specs keep the exact content
+    // address (and cached outcomes) they had before reordering existed.
+    if flow.probability.reorder != ReorderMode::Off {
+        probability.push((
+            "reorder",
+            Json::Str(flow.probability.reorder.as_str().into()),
+        ));
+    }
+    Json::obj(vec![
+        ("probability", Json::obj(probability)),
         (
             "power",
             Json::obj(vec![
@@ -796,6 +881,11 @@ fn flow_from_json(v: &Json) -> Result<FlowConfig, EngineError> {
                 .get("convergence_tolerance")
                 .and_then(Json::as_f64)
                 .unwrap_or_default(),
+            // Optional: absent means `off` (the historical behaviour).
+            reorder: match p.get("reorder").and_then(Json::as_str) {
+                None => ReorderMode::Off,
+                Some(s) => s.parse().map_err(EngineError::Spec)?,
+            },
         },
         power: MinPowerConfig {
             model: PowerModel {
@@ -1002,6 +1092,12 @@ mod tests {
                     unique_misses: 48,
                     cache_hits: 30,
                     cache_misses: 90,
+                    reorder: Some(ReorderInfo {
+                        mode: ReorderMode::Sift,
+                        swaps: 17,
+                        nodes_before: 80,
+                        final_order: vec![2, 0, 1],
+                    }),
                 },
                 sim: SimStats {
                     vectors: 4096,

@@ -63,12 +63,13 @@ pub mod report;
 mod runner;
 
 pub use cache::{CacheStats, ResultCache};
+pub use domino_bdd::ReorderMode;
 pub use domino_sim::SimStats;
 pub use engine::{CancelToken, EngineConfig, FlowEngine, JobResult, ProgressEvent};
 pub use error::EngineError;
 pub use job::{
     assignment_string, cache_key, BddKernelStats, CircuitSource, FlowJob, FlowOutcome, JobSpec,
-    ObjectiveResult, PiSpec, RunObjective,
+    ObjectiveResult, PiSpec, ReorderInfo, RunObjective,
 };
 pub use runner::{
     derive_clock_ps, derive_clock_ps_with_cancel, run_job, run_job_with_cancel, run_objective,

@@ -107,6 +107,25 @@ pub fn format_kernel_stats(results: &[JobResult]) -> String {
                     pct(r.bdd.cache_hit_rate()),
                 )
                 .expect("write to string");
+                if let Some(reorder) = &r.bdd.reorder {
+                    let order = reorder
+                        .final_order
+                        .iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    writeln!(
+                        s,
+                        "stats: {:<11} {tag}  reorder {}  swaps {:>5}  nodes {:>6} -> {:>6}  \
+                         order [{order}]",
+                        outcome.name,
+                        reorder.mode.as_str(),
+                        reorder.swaps,
+                        reorder.nodes_before,
+                        r.bdd.nodes,
+                    )
+                    .expect("write to string");
+                }
                 writeln!(
                     s,
                     "stats: {:<11} {tag}  sim vectors {:>8}  words {:>6}  shards {:>2}  \
@@ -190,6 +209,31 @@ mod tests {
         assert!(table.contains("!! failed: invalid job spec: boom"));
         assert!(table.contains("-- cancelled"));
         assert!(table.contains("Average"));
+    }
+
+    #[test]
+    fn kernel_stats_show_reorder_only_when_it_ran() {
+        let plain = vec![JobResult::Completed {
+            outcome: Box::new(outcome()),
+            cached: false,
+        }];
+        assert!(!format_kernel_stats(&plain).contains("reorder"));
+
+        let mut sifted = outcome();
+        let ma = sifted.ma.as_mut().unwrap();
+        ma.bdd.reorder = Some(crate::ReorderInfo {
+            mode: domino_bdd::ReorderMode::Sift,
+            swaps: 12,
+            nodes_before: 90,
+            final_order: vec![2, 0, 1],
+        });
+        let results = vec![JobResult::Completed {
+            outcome: Box::new(sifted),
+            cached: false,
+        }];
+        let text = format_kernel_stats(&results);
+        assert!(text.contains("reorder sift"), "{text}");
+        assert!(text.contains("order [2 0 1]"), "{text}");
     }
 
     #[test]

@@ -15,7 +15,8 @@ use domino_techmap::{map, size_for_timing, sta, SizingConfig};
 
 use crate::error::EngineError;
 use crate::job::{
-    assignment_string, BddKernelStats, FlowJob, FlowOutcome, ObjectiveResult, RunObjective,
+    assignment_string, BddKernelStats, FlowJob, FlowOutcome, ObjectiveResult, ReorderInfo,
+    RunObjective,
 };
 
 /// Runs one side (MA when `area`, else MP) of a job through mapping,
@@ -94,7 +95,13 @@ pub fn run_objective_with_cancel(
         .probabilities
         .bdd_stats()
         .map(|stats| BddKernelStats::from_manager(stats, report.probabilities.bdd_node_count()))
-        .unwrap_or_default();
+        .unwrap_or_default()
+        .with_reorder(report.probabilities.reorder_outcome().map(|o| ReorderInfo {
+            mode: spec.flow.probability.reorder,
+            swaps: o.swaps,
+            nodes_before: o.nodes_before,
+            final_order: o.final_order.clone(),
+        }));
     Ok(ObjectiveResult {
         size: mapped.effective_cell_count(),
         cap_ma: power.cap_ma,

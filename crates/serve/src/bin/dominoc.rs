@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use domino_engine::{
     report, CancelToken, CircuitSource, EngineConfig, FlowEngine, JobResult, JobSpec,
-    ProgressEvent, ResultCache, RunObjective,
+    ProgressEvent, ReorderMode, ResultCache, RunObjective,
 };
 use domino_serve::{ClientError, ServeClient, DEFAULT_PORT};
 
@@ -66,6 +66,7 @@ fn usage() -> String {
      \x20 --sim-cycles <n>                 simulation cycles [4096]\n\
      \x20 --sim-shards <n>                 simulation stream shards [8]\n\
      \x20 --sim-threads <n>                threads per simulation, 0 = all CPUs [1]\n\
+     \x20 --reorder off|auto|sift          BDD dynamic variable reordering [off]\n\
      \x20 --stats                          print BDD kernel + simulation statistics\n\
      \x20 --quiet                          suppress progress\n\
      \n\
@@ -93,6 +94,7 @@ struct Options {
     sim_cycles: Option<usize>,
     sim_shards: Option<u32>,
     sim_threads: Option<usize>,
+    reorder: ReorderMode,
     stats: bool,
     quiet: bool,
     public_only: bool,
@@ -115,6 +117,7 @@ impl Options {
             sim_cycles: None,
             sim_shards: None,
             sim_threads: None,
+            reorder: ReorderMode::Off,
             stats: false,
             quiet: false,
             public_only: false,
@@ -189,6 +192,9 @@ impl Options {
                             .map_err(|_| "--sim-threads needs an integer".to_string())?,
                     );
                 }
+                "--reorder" => {
+                    opts.reorder = value("--reorder")?.parse()?;
+                }
                 "--suite" => opts.suite_row = Some(value("--suite")?),
                 "--server" => opts.server = value("--server")?,
                 "--wait" => opts.wait = true,
@@ -218,6 +224,7 @@ impl Options {
         if let Some(threads) = self.sim_threads {
             spec.sim.threads = threads;
         }
+        spec.flow.probability.reorder = self.reorder;
         spec
     }
 

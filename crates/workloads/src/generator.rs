@@ -230,6 +230,45 @@ pub fn generate(spec: &GeneratorSpec) -> Result<Network, NetlistError> {
     Ok(net)
 }
 
+/// Generates the reorder-stress circuit: `f = Σᵢ aᵢ·bᵢ` over `pairs`
+/// disjoint input pairs, with all `a` inputs declared before all `b`
+/// inputs.
+///
+/// Under the declared input order the BDD of `f` is exponential in
+/// `pairs` (every `aᵢ` must be remembered until its `bᵢ` arrives), while
+/// the interleaved order `a₀ b₀ a₁ b₁ …` is linear — the canonical
+/// worst case for a static variable order and the fixture the dynamic
+/// reordering (sifting) perf gate is built on.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] only on internal construction failures.
+///
+/// # Panics
+///
+/// Panics if `pairs == 0`.
+pub fn reorder_stress(pairs: usize) -> Result<Network, NetlistError> {
+    assert!(pairs > 0, "need at least one pair");
+    let mut net = Network::new(format!("reorder_stress_{pairs}"));
+    let a: Vec<NodeId> = (0..pairs)
+        .map(|i| net.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NodeId> = (0..pairs)
+        .map(|i| net.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
+    let products: Vec<NodeId> = (0..pairs)
+        .map(|i| net.add_and([a[i], b[i]]))
+        .collect::<Result<_, _>>()?;
+    let f = if pairs == 1 {
+        products[0]
+    } else {
+        net.add_or(products)?
+    };
+    net.add_output("f", f)?;
+    net.validate()?;
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +335,18 @@ mod tests {
             overlapping_pairs >= 3,
             "{overlapping_pairs} overlapping pairs"
         );
+    }
+
+    #[test]
+    fn reorder_stress_shape() {
+        let net = reorder_stress(6).unwrap();
+        assert_eq!(net.inputs().len(), 12);
+        assert_eq!(net.outputs().len(), 1);
+        let stats = NetworkStats::of(&net);
+        assert_eq!(stats.ands, 6);
+        assert_eq!(stats.ors, 1);
+        // Deterministic: no RNG involved at all.
+        assert_eq!(net, reorder_stress(6).unwrap());
     }
 
     #[test]

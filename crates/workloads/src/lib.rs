@@ -25,7 +25,7 @@ pub mod figures;
 mod generator;
 mod suite;
 
-pub use generator::{generate, GeneratorSpec};
+pub use generator::{generate, reorder_stress, GeneratorSpec};
 pub use suite::{
     public_row_names, public_suite, row_spec, table_row_names, table_suite, BenchmarkCircuit,
 };

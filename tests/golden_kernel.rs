@@ -10,7 +10,9 @@
 //! structural digest (cache-key ingredient), an FNV-1a hash over the exact
 //! `f64` bit patterns of every node probability, the shared BDD node
 //! count, the min-area / min-power search outcomes (assignment plus the
-//! objective's raw bit pattern), and — for the packed simulator — the
+//! objective's raw bit pattern), the sifting outcome (`reorder` rows: the
+//! post-reorder probability hash, node count, swap count and final
+//! variable order), and — for the packed simulator — the
 //! measured power total, switch-event count and domino switching averages
 //! of the min-area assignment under the default `SimConfig`. Any kernel or
 //! simulator change that shifts a single bit fails here; CI additionally
@@ -25,8 +27,9 @@
 use std::collections::HashMap;
 
 use dominolp::bdd::table::UniqueTable;
+use dominolp::bdd::ReorderMode;
 use dominolp::phase::flow::FlowConfig;
-use dominolp::phase::prob::compute_probabilities;
+use dominolp::phase::prob::{compute_probabilities, ProbabilityConfig};
 use dominolp::phase::search::{min_area_assignment, min_power_assignment};
 use dominolp::phase::{DominoSynthesizer, PhaseAssignment};
 use dominolp::sim::{measure_domino_switching, measure_power, SimConfig};
@@ -61,9 +64,11 @@ impl Row {
     }
 }
 
-/// Parses the fixture into `(kernel rows, sim rows)`, in file order.
-fn parse_fixtures() -> (Vec<Row>, Vec<Row>) {
+/// Parses the fixture into `(kernel rows, reorder rows, sim rows)`, in
+/// file order.
+fn parse_fixtures() -> (Vec<Row>, Vec<Row>, Vec<Row>) {
     let mut kernel = Vec::new();
+    let mut reorder = Vec::new();
     let mut sim = Vec::new();
     for line in FIXTURES.lines() {
         let line = line.trim();
@@ -81,11 +86,12 @@ fn parse_fixtures() -> (Vec<Row>, Vec<Row>) {
         let row = Row { fields };
         match tag {
             "kernel" => kernel.push(row),
+            "reorder" => reorder.push(row),
             "sim" => sim.push(row),
             other => panic!("unknown fixture tag '{other}'"),
         }
     }
-    (kernel, sim)
+    (kernel, reorder, sim)
 }
 
 /// FNV-1a over the `f64` bit patterns — equal hash ⟺ byte-identical
@@ -105,7 +111,7 @@ fn prob_hash(probs: &[f64]) -> u64 {
 fn kernel_is_bit_identical_to_fixtures() {
     let suite = public_suite().expect("suite generates");
     let config = FlowConfig::default();
-    let (golden, _) = parse_fixtures();
+    let (golden, _, _) = parse_fixtures();
     assert_eq!(suite.len(), golden.len());
     for (bench, golden) in suite.iter().zip(&golden) {
         assert_eq!(bench.name, golden.get("name"));
@@ -182,12 +188,63 @@ fn kernel_is_bit_identical_to_fixtures() {
 }
 
 #[test]
+fn sifted_kernel_is_bit_identical_to_fixtures() {
+    let suite = public_suite().expect("suite generates");
+    let config = ProbabilityConfig {
+        reorder: ReorderMode::Sift,
+        ..FlowConfig::default().probability
+    };
+    let (_, golden, _) = parse_fixtures();
+    assert_eq!(suite.len(), golden.len());
+    for (bench, golden) in suite.iter().zip(&golden) {
+        assert_eq!(bench.name, golden.get("name"));
+        assert_eq!("sift", golden.get("mode"));
+        let net = &bench.network;
+        let pi = vec![0.5; net.inputs().len()];
+        let probs = compute_probabilities(net, &pi, &config).expect("sifted probabilities");
+        assert_eq!(
+            prob_hash(probs.as_slice()),
+            golden.hex("prob_hash"),
+            "{}: sifted node probabilities are no longer bit-identical",
+            bench.name
+        );
+        assert_eq!(
+            probs.bdd_node_count() as u64,
+            golden.num("bdd_nodes"),
+            "{}: sifted node count moved",
+            bench.name
+        );
+        let outcome = probs
+            .reorder_outcome()
+            .expect("sift mode records an outcome");
+        assert_eq!(
+            outcome.swaps,
+            golden.num("swaps"),
+            "{}: sifting took a different number of swaps",
+            bench.name
+        );
+        let order = outcome
+            .final_order
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(".");
+        assert_eq!(
+            order,
+            golden.get("order"),
+            "{}: sifting settled on a different variable order",
+            bench.name
+        );
+    }
+}
+
+#[test]
 fn packed_simulation_is_bit_identical_to_fixtures() {
     let suite = public_suite().expect("suite generates");
     let config = FlowConfig::default();
     let lib = Library::standard();
     let sim_cfg = SimConfig::default();
-    let (_, golden) = parse_fixtures();
+    let (_, _, golden) = parse_fixtures();
     assert_eq!(suite.len(), golden.len());
     for (bench, golden) in suite.iter().zip(&golden) {
         assert_eq!(bench.name, golden.get("name"));
