@@ -32,6 +32,7 @@ fn bench_thread_scaling(c: &mut Criterion) {
                     let engine = FlowEngine::new(EngineConfig {
                         threads,
                         cache: None,
+                        snapshots: None,
                     });
                     let results = engine.run_batch(&jobs);
                     assert!(results.iter().all(|r| r.outcome().is_some()));
@@ -54,6 +55,7 @@ fn bench_cache(c: &mut Criterion) {
             let engine = FlowEngine::new(EngineConfig {
                 threads: 4,
                 cache: Some(Arc::new(ResultCache::in_memory())),
+                snapshots: None,
             });
             engine.run_batch(&jobs)
         })
@@ -64,6 +66,7 @@ fn bench_cache(c: &mut Criterion) {
     let engine = FlowEngine::new(EngineConfig {
         threads: 4,
         cache: Some(Arc::clone(&cache)),
+        snapshots: None,
     });
     engine.run_batch(&jobs);
     group.bench_function(BenchmarkId::new("warm", 4), |b| {

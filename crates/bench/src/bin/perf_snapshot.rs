@@ -30,6 +30,14 @@
 //! the `reorder_stress` generator circuit (static declared order is
 //! exponential, sifting recovers the linear interleaved order) and gates
 //! the node shrink.
+//!
+//! A `warm_restart` section exercises the persistence layer on a
+//! giant generated circuit: a cold process flows it against an empty
+//! snapshot directory, a fresh store over the same directory simulates
+//! the restarted process, and the gated facts are deterministic — the
+//! restart performs zero kernel builds, its outcome is byte-identical
+//! to the cold run, and a corrupted snapshot is quarantined and rebuilt,
+//! never served.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -43,13 +51,14 @@ use domino_bench::serve_probe::{
 };
 use domino_bench::Experiment;
 use domino_engine::json::{parse, Json};
+use domino_engine::{run_job_snapshotted, FlowJob, JobSpec, SnapshotStore};
 use domino_phase::flow::FlowConfig;
 use domino_phase::prob::compute_probabilities;
 use domino_phase::search::min_power_assignment;
 use domino_phase::{DominoSynthesizer, PhaseAssignment};
 use domino_sim::{measure_power, SimConfig};
 use domino_techmap::{map, Library};
-use domino_workloads::{public_suite, reorder_stress};
+use domino_workloads::{generate_giant, public_suite, reorder_stress, GiantSpec};
 
 /// Disjoint input pairs of the reorder-stress circuit: large enough that
 /// the static-order blow-up is unmistakable, small enough to build in
@@ -259,6 +268,85 @@ fn main() -> ExitCode {
         ("reorder_ms", Json::Num(reorder_ms)),
     ]);
 
+    // Warm-restart persistence, exercised on a giant generated circuit
+    // (deep pipelined cones — far larger than any suite row, yet windowed
+    // so exact probabilities stay cheap). One cold process flows it
+    // against an empty snapshot directory; a fresh store over the same
+    // directory simulates the restarted process. Every gated fact is
+    // deterministic: zero kernel builds after restart, byte-identical
+    // outcome, and corruption quarantined + rebuilt rather than served.
+    let giant_spec = if fast {
+        GiantSpec::giant("giant", 96, 16, 10, 2, 71)
+    } else {
+        GiantSpec::giant("giant", 192, 32, 14, 2, 71)
+    };
+    let giant = generate_giant(&giant_spec).expect("giant generates");
+    let mut giant_job = JobSpec::for_network("giant", &giant);
+    // Modest simulation budget: the section measures persistence, and the
+    // sim replays identically on both sides of the restart anyway.
+    giant_job.sim.cycles = 1024;
+    let job = FlowJob::new(giant_job, giant.clone());
+
+    let snap_dir = std::env::temp_dir().join(format!("dominolp-perf-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let cold_store = SnapshotStore::on_disk(&snap_dir).expect("snapshot dir");
+    let cold_start = Instant::now();
+    let cold_outcome =
+        run_job_snapshotted(&job, Some(&cold_store), &|| false).expect("cold flow runs");
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+    let cold_stats = cold_store.stats();
+    let cold_bytes = cold_store.disk_bytes();
+    assert_eq!(
+        cold_stats.kernel_builds, 1,
+        "cold run builds the shared kernel exactly once"
+    );
+    let cold_json = cold_outcome.to_json().serialize();
+
+    let restart_store = SnapshotStore::on_disk(&snap_dir).expect("snapshot dir");
+    let restart_outcome =
+        run_job_snapshotted(&job, Some(&restart_store), &|| false).expect("warm flow runs");
+    let restart_ms = best_ms(samples, || {
+        run_job_snapshotted(&job, Some(&restart_store), &|| false).expect("warm flow runs")
+    });
+    let restart_stats = restart_store.stats();
+    let restart_identical = restart_outcome.to_json().serialize() == cold_json;
+
+    // Corrupt every snapshot on disk; the next "process" must quarantine,
+    // rebuild, and still produce the byte-identical outcome.
+    for entry in std::fs::read_dir(&snap_dir).expect("snapshot dir lists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("snap") {
+            let mut bytes = std::fs::read(&path).expect("snapshot reads");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, bytes).expect("snapshot rewrites");
+        }
+    }
+    let corrupt_store = SnapshotStore::on_disk(&snap_dir).expect("snapshot dir");
+    let corrupt_outcome =
+        run_job_snapshotted(&job, Some(&corrupt_store), &|| false).expect("recovery flow runs");
+    let corrupt_stats = corrupt_store.stats();
+    let corrupt_recovered = corrupt_outcome.to_json().serialize() == cold_json
+        && corrupt_stats.corrupt_evictions >= 1
+        && corrupt_stats.kernel_builds >= 1;
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    let warm_restart_doc = Json::obj(vec![
+        ("circuit", Json::Str(giant_spec.name.clone())),
+        ("gate_budget", Json::Num(giant_spec.gate_budget() as f64)),
+        ("cold_ms", Json::Num(cold_ms)),
+        ("restart_ms", Json::Num(restart_ms)),
+        ("warm_speedup", Json::Num(cold_ms / restart_ms.max(1e-9))),
+        (
+            "restart_kernel_builds",
+            Json::Num(restart_stats.kernel_builds as f64),
+        ),
+        ("restart_hits", Json::Num(restart_stats.hits as f64)),
+        ("restart_identical", Json::Bool(restart_identical)),
+        ("corrupt_recovered", Json::Bool(corrupt_recovered)),
+        ("snapshot_disk_bytes", Json::Num(cold_bytes as f64)),
+    ]);
+
     let doc = Json::obj(vec![
         ("fast", Json::Bool(fast)),
         ("samples", Json::Num(samples as f64)),
@@ -267,6 +355,7 @@ fn main() -> ExitCode {
         ("serve_scale", scale_doc),
         ("fleet", fleet_doc),
         ("reorder", reorder_doc),
+        ("warm_restart", warm_restart_doc),
     ]);
     let text = doc.serialize();
     std::fs::write(&out, format!("{text}\n")).expect("write snapshot");

@@ -23,6 +23,7 @@ fn main() {
     let engine = FlowEngine::new(EngineConfig {
         threads,
         cache: Some(Arc::new(ResultCache::in_memory())),
+        snapshots: None,
     });
 
     println!("Table 1: synthesis when signal probabilities of primary inputs were 0.5\n");

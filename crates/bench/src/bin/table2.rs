@@ -29,6 +29,7 @@ fn main() {
     let engine = FlowEngine::new(EngineConfig {
         threads: 0,
         cache: Some(Arc::new(ResultCache::in_memory())),
+        snapshots: None,
     });
 
     println!("Table 2: timed synthesis when signal probabilities of primary inputs were 0.5\n");

@@ -22,7 +22,10 @@
 //!   any growth beyond baseline fails regardless of tolerance;
 //! * **the reorder win** — the `reorder` section's `shrink_pct` must stay
 //!   at or above [`MIN_REORDER_SHRINK_PCT`]: sifting that stops beating
-//!   the static order is a regression even if it got there "honestly".
+//!   the static order is a regression even if it got there "honestly";
+//! * **the warm-restart contract** — the `warm_restart` section's
+//!   deterministic facts (zero kernel builds after restart, byte-identical
+//!   outcome, corruption quarantined and rebuilt) gate absolutely.
 
 use domino_engine::json::Json;
 
@@ -309,6 +312,51 @@ pub fn check_snapshot(current: &Json, baseline: &Json, tolerance_pct: f64) -> Ch
         }
     }
 
+    // The warm-restart section gates the persistence contract itself,
+    // all deterministic: a restarted process must answer from the
+    // snapshot with zero kernel rebuilds, byte-identical to the cold
+    // run, and a corrupted snapshot must be quarantined and rebuilt —
+    // never served. The baseline only has to carry the section; the
+    // contract values are absolute, not relative.
+    if let (Some(now), Some(_)) = (current.get("warm_restart"), baseline.get("warm_restart")) {
+        if let Some(builds) = now.get("restart_kernel_builds").and_then(Json::as_u64) {
+            report.compared += 1;
+            if builds > 0 {
+                report.fail(
+                    "warm_restart",
+                    "restart_kernel_builds",
+                    builds,
+                    0,
+                    "(restarted process recomputed its kernels)",
+                );
+            } else {
+                report.note(
+                    "check: warm_restart restart_kernel_builds       0 vs       0 floor  ok"
+                        .to_string(),
+                );
+            }
+        }
+        for (metric, detail) in [
+            (
+                "restart_identical",
+                "(snapshot-served outcome diverged from the cold run)",
+            ),
+            (
+                "corrupt_recovered",
+                "(corrupted snapshot was not quarantined and rebuilt)",
+            ),
+        ] {
+            if let Some(ok) = now.get(metric).and_then(Json::as_bool) {
+                report.compared += 1;
+                if ok {
+                    report.note(format!("check: warm_restart {metric:<13} true  ok"));
+                } else {
+                    report.fail("warm_restart", metric, false, true, detail);
+                }
+            }
+        }
+    }
+
     if report.compared == 0 {
         report.note("check: no comparable metrics between snapshot and baseline".to_string());
     }
@@ -436,6 +484,57 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.contains("REGRESSED reorder.nodes_sifted")));
+    }
+
+    #[test]
+    fn warm_restart_contract_gates_exactly() {
+        let good = r#", "warm_restart": {"restart_kernel_builds": 0,
+            "restart_identical": true, "corrupt_recovered": true}"#;
+        let base = doc(r#""flow_ms": 1.0"#, good);
+        let ok = check_snapshot(&base, &base, 25.0);
+        assert!(ok.passed(), "{:?}", ok.lines);
+
+        for (section, metric) in [
+            (
+                r#", "warm_restart": {"restart_kernel_builds": 1,
+                    "restart_identical": true, "corrupt_recovered": true}"#,
+                "restart_kernel_builds",
+            ),
+            (
+                r#", "warm_restart": {"restart_kernel_builds": 0,
+                    "restart_identical": false, "corrupt_recovered": true}"#,
+                "restart_identical",
+            ),
+            (
+                r#", "warm_restart": {"restart_kernel_builds": 0,
+                    "restart_identical": true, "corrupt_recovered": false}"#,
+                "corrupt_recovered",
+            ),
+        ] {
+            let now = doc(r#""flow_ms": 1.0"#, section);
+            let report = check_snapshot(&now, &base, 25.0);
+            assert_eq!(report.regressions, 1, "{:?}", report.lines);
+            assert!(
+                report
+                    .lines
+                    .iter()
+                    .any(|l| l.contains(&format!("REGRESSED warm_restart.{metric}"))),
+                "{:?}",
+                report.lines
+            );
+        }
+    }
+
+    #[test]
+    fn warm_restart_absent_from_baseline_is_skipped() {
+        let base = doc(r#""flow_ms": 1.0"#, "");
+        let now = doc(
+            r#""flow_ms": 1.0"#,
+            r#", "warm_restart": {"restart_kernel_builds": 7,
+                "restart_identical": false, "corrupt_recovered": false}"#,
+        );
+        // Pre-persistence baselines do not gate the new section.
+        assert!(check_snapshot(&now, &base, 25.0).passed());
     }
 
     #[test]

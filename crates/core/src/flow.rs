@@ -133,6 +133,26 @@ pub fn minimize_power_with_cancel(
 ) -> Result<FlowReport, PhaseError> {
     check_cancel(is_cancelled)?;
     let probabilities = compute_probabilities(net, pi_probs, &config.probability)?;
+    minimize_power_with_probabilities(net, probabilities, config, is_cancelled)
+}
+
+/// The tail of [`minimize_power_with_cancel`] after the probability stage:
+/// search, synthesis and reporting over caller-supplied probabilities.
+/// This is the warm path of the snapshot store — when converged
+/// probabilities were loaded from disk, the flow runs with zero BDD or
+/// probability recompute and is byte-identical to the cold run that stored
+/// them.
+///
+/// # Errors
+///
+/// Same conditions as [`minimize_power_with_cancel`] minus the probability
+/// stage's.
+pub fn minimize_power_with_probabilities(
+    net: &Network,
+    probabilities: NodeProbabilities,
+    config: &FlowConfig,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowReport, PhaseError> {
     check_cancel(is_cancelled)?;
     let synth = DominoSynthesizer::new(net)?;
     let initial = PhaseAssignment::all_positive(synth.view_outputs().len());
@@ -170,6 +190,23 @@ pub fn minimize_area_with_cancel(
 ) -> Result<FlowReport, PhaseError> {
     check_cancel(is_cancelled)?;
     let probabilities = compute_probabilities(net, pi_probs, &config.probability)?;
+    minimize_area_with_probabilities(net, probabilities, config, is_cancelled)
+}
+
+/// The tail of [`minimize_area_with_cancel`] after the probability stage,
+/// over caller-supplied probabilities — the snapshot store's warm path for
+/// the min-area baseline (the power report still needs the probabilities).
+///
+/// # Errors
+///
+/// Same conditions as [`minimize_area_with_cancel`] minus the probability
+/// stage's.
+pub fn minimize_area_with_probabilities(
+    net: &Network,
+    probabilities: NodeProbabilities,
+    config: &FlowConfig,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowReport, PhaseError> {
     check_cancel(is_cancelled)?;
     let synth = DominoSynthesizer::new(net)?;
     let outcome = min_area_assignment(&synth, &config.area)?;

@@ -131,6 +131,31 @@ impl NodeProbabilities {
     pub fn reorder_outcome(&self) -> Option<&ReorderOutcome> {
         self.reorder.as_ref()
     }
+
+    /// Reassembles a [`NodeProbabilities`] from snapshot-carried parts
+    /// without any BDD work: `probs`, `bdd_nodes`, `bdd_stats` and
+    /// `reorder` come back verbatim from the snapshot (a deserialized
+    /// manager has zero traffic counters, so build-time statistics must be
+    /// carried, not recomputed), while the sequential partition — pure
+    /// graph work on the netlist, not kernel recompute — is rederived
+    /// deterministically from `net` and `config.mfvs`.
+    pub fn rehydrate(
+        net: &Network,
+        config: &ProbabilityConfig,
+        probs: Vec<f64>,
+        bdd_nodes: usize,
+        bdd_stats: Option<BddStats>,
+        reorder: Option<ReorderOutcome>,
+    ) -> Self {
+        let partition = net.is_sequential().then(|| partition(net, &config.mfvs));
+        NodeProbabilities {
+            probs,
+            partition,
+            bdd_nodes,
+            bdd_stats,
+            reorder,
+        }
+    }
 }
 
 fn resolve_order(net: &Network, choice: &OrderingChoice) -> Vec<usize> {
@@ -176,6 +201,22 @@ pub fn compute_probabilities(
     pi_probs: &[f64],
     config: &ProbabilityConfig,
 ) -> Result<NodeProbabilities, PhaseError> {
+    compute_probabilities_with_bdds(net, pi_probs, config).map(|(probs, _)| probs)
+}
+
+/// [`compute_probabilities`], additionally returning the built
+/// [`CircuitBdds`] instead of dropping it — the seam the snapshot store
+/// uses to serialize the expensive structures right after a cold build.
+/// The probability result is bit-identical to [`compute_probabilities`].
+///
+/// # Errors
+///
+/// Same conditions as [`compute_probabilities`].
+pub fn compute_probabilities_with_bdds(
+    net: &Network,
+    pi_probs: &[f64],
+    config: &ProbabilityConfig,
+) -> Result<(NodeProbabilities, CircuitBdds), PhaseError> {
     if pi_probs.len() != net.inputs().len() {
         return Err(PhaseError::ProbabilityMismatch {
             expected: net.inputs().len(),
@@ -189,13 +230,14 @@ pub fn compute_probabilities(
 
     if !net.is_sequential() {
         let probs = bdds.node_probabilities(net, pi_probs)?;
-        return Ok(NodeProbabilities {
+        let result = NodeProbabilities {
             probs,
             partition: None,
             bdd_nodes,
             bdd_stats: Some(bdds.manager().stats()),
             reorder,
-        });
+        };
+        return Ok((result, bdds));
     }
 
     // Sequential: partition, then resolve latch probabilities.
@@ -252,13 +294,14 @@ pub fn compute_probabilities(
             source_probs[pi_probs.len() + latch_pos[l.index()]] = probs[data.index()];
         }
     }
-    Ok(NodeProbabilities {
+    let result = NodeProbabilities {
         probs,
         partition: Some(part),
         bdd_nodes,
         bdd_stats: Some(bdds.manager().stats()),
         reorder,
-    })
+    };
+    Ok((result, bdds))
 }
 
 #[cfg(test)]

@@ -14,6 +14,13 @@
 //!   directory, loaded through the memory layer on first touch, shared
 //!   between processes and `dominoc` invocations.
 //!
+//! The on-disk entries follow the workspace-wide disk discipline in
+//! [`domino_store::disk`] — checksummed self-verifying files, atomic
+//! temp+rename stores, orphan-temp sweeps at open, quarantine of corrupt
+//! entries, oldest-first byte-budget eviction — shared verbatim with the
+//! warm-state [`SnapshotStore`](domino_store::SnapshotStore) so the two
+//! persistent stores cannot drift apart in crash safety.
+//!
 //! All counters are atomics; the cache is `Sync` and shared by engine
 //! workers via `Arc`.
 
@@ -22,48 +29,24 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Distinguishes concurrent writers' temp files (multiple `dominod`
-/// workers, or several processes sharing one cache directory on the same
-/// machine, may store different keys at once — and even the same key,
-/// where last-rename-wins is fine because equal keys imply equal bytes).
-static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+use domino_store::disk::{self, DiskProfile, DiskRead};
 
 use crate::error::EngineError;
 use crate::job::FlowOutcome;
 
-/// Disk entries are self-checking: `dominocache1 <fnv64hex>\n<payload>`.
-/// The checksum line lets a reader distinguish "complete entry" from
-/// torn/bit-rotted bytes without trusting the JSON parser to notice.
-const ENTRY_MAGIC: &str = "dominocache1 ";
-
-/// Serializes a disk entry: checksum header line, then the payload.
-fn encode_entry(payload: &str) -> String {
-    format!("{ENTRY_MAGIC}{:016x}\n{payload}", fnv1a(payload.as_bytes()))
-}
-
-/// Splits and verifies a disk entry. `None` means corrupt (bad header,
-/// bad checksum). Files without the magic are legacy plain-JSON entries
-/// from before checksumming; they pass through for the parser to judge.
-fn decode_entry(text: &str) -> Option<&str> {
-    match text.strip_prefix(ENTRY_MAGIC) {
-        Some(rest) => {
-            let (sum, payload) = rest.split_once('\n')?;
-            let sum = u64::from_str_radix(sum, 16).ok()?;
-            (sum == fnv1a(payload.as_bytes())).then_some(payload)
-        }
-        None => Some(text),
-    }
-}
-
-/// FNV-1a, the workspace's stable no-dependency hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// Disk discipline for result-cache entries: `dominocache1` magic, `.json`
+/// extension, `engine.cache.*` failpoints. Files without the magic are
+/// legacy plain-JSON entries from before checksumming; they pass through
+/// for the parser to judge, so upgrading a deployment does not cold-start
+/// its caches.
+const CACHE_PROFILE: DiskProfile = DiskProfile {
+    magic: "dominocache1 ",
+    entry_ext: "json",
+    read_failpoint: "engine.cache.disk_read",
+    write_failpoint: "engine.cache.disk_write",
+    crash_failpoint: "engine.cache.crash_rename",
+    legacy_passthrough: true,
+};
 
 /// How a lookup participates in the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,7 +178,9 @@ impl ResultCache {
 
     /// A cache backed by `dir` (created if missing): every entry is also
     /// written to `dir/<key>.json` and lookups fall back to disk on a
-    /// memory miss.
+    /// memory miss. Orphaned temp files — a writer killed between its temp
+    /// write and the rename — are swept at open, so a restarted process
+    /// starts from a consistent directory of complete entries only.
     ///
     /// # Errors
     ///
@@ -204,33 +189,11 @@ impl ResultCache {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)
             .map_err(|e| EngineError::Io(format!("creating cache dir '{}': {e}", dir.display())))?;
-        Self::sweep_orphan_temps(&dir);
+        disk::sweep_orphan_temps(&dir);
         Ok(ResultCache {
             disk_dir: Some(dir),
             ..ResultCache::in_memory()
         })
-    }
-
-    /// Removes `<key>.tmp…` files left by a writer that died between its
-    /// temp write and the rename. Runs at open so a restarted process
-    /// starts from a consistent directory: complete `.json` entries only.
-    /// Sweeping a *live* writer's in-flight temp (another process sharing
-    /// the directory) merely fails that writer's rename, which `put`
-    /// already swallows as a best-effort disk store.
-    fn sweep_orphan_temps(dir: &Path) {
-        let Ok(entries) = std::fs::read_dir(dir) else {
-            return;
-        };
-        for entry in entries.filter_map(Result::ok) {
-            let path = entry.path();
-            let is_orphan_temp = path
-                .extension()
-                .and_then(|x| x.to_str())
-                .is_some_and(|x| x.starts_with("tmp"));
-            if is_orphan_temp {
-                let _ = std::fs::remove_file(&path);
-            }
-        }
     }
 
     /// The disk directory, if this cache has one.
@@ -254,11 +217,6 @@ impl ResultCache {
     pub fn with_disk_byte_budget(mut self, bytes: u64) -> Self {
         self.disk_byte_budget = bytes;
         self
-    }
-
-    fn entry_path(dir: &Path, key: &str) -> PathBuf {
-        // Keys are lowercase hex (filesystem-safe by construction).
-        dir.join(format!("{key}.json"))
     }
 
     /// Looks up an outcome. Disk hits are promoted into memory.
@@ -294,17 +252,11 @@ impl ResultCache {
             return Some(found);
         }
         if let Some(dir) = &self.disk_dir {
-            let path = Self::entry_path(dir, key);
-            let read = if domino_failpoint::should_fire("engine.cache.disk_read") {
-                Err(domino_failpoint::injected_io_error(
-                    "engine.cache.disk_read",
-                ))
-            } else {
-                std::fs::read_to_string(&path)
-            };
-            if let Ok(text) = read {
-                match decode_entry(&text).map(FlowOutcome::from_json_text) {
-                    Some(Ok(outcome)) => {
+            match CACHE_PROFILE.read_entry(dir, key) {
+                DiskRead::Missing => {}
+                DiskRead::Corrupt => self.quarantine(dir, key),
+                DiskRead::Payload(payload) => match FlowOutcome::from_json_text(&payload) {
+                    Ok(outcome) => {
                         if count != CountAs::Silent {
                             self.disk_hits.fetch_add(1, Ordering::Relaxed);
                         }
@@ -316,14 +268,14 @@ impl ResultCache {
                         self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
                         return Some(outcome);
                     }
-                    Some(Err(_)) | None => {
+                    Err(_) => {
                         // Corrupt bytes (checksum mismatch, torn tail,
                         // garbage JSON): never served, never fatal — the
                         // file is quarantined, the lookup is a miss, and
                         // the recomputed outcome will re-land atomically.
-                        self.quarantine(dir, &path);
+                        self.quarantine(dir, key);
                     }
-                }
+                },
             }
         }
         if count == CountAs::Full {
@@ -332,23 +284,12 @@ impl ResultCache {
         None
     }
 
-    /// Moves a corrupt entry file into `<dir>/quarantine/` (falling back
-    /// to deletion if the move fails) and counts it. Quarantined files
-    /// are kept for post-mortem inspection but are invisible to lookups,
-    /// `disk_len`, and the byte budget.
-    fn quarantine(&self, dir: &Path, path: &Path) {
+    /// Moves a corrupt entry into `<dir>/quarantine/` and counts it.
+    /// Quarantined files are kept for post-mortem inspection but are
+    /// invisible to lookups, `disk_len`, and the byte budget.
+    fn quarantine(&self, dir: &Path, key: &str) {
         self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
-        let qdir = dir.join("quarantine");
-        let moved = match path.file_name() {
-            Some(name) => {
-                std::fs::create_dir_all(&qdir).is_ok()
-                    && std::fs::rename(path, qdir.join(name)).is_ok()
-            }
-            None => false,
-        };
-        if !moved {
-            let _ = std::fs::remove_file(path);
-        }
+        disk::quarantine(dir, &CACHE_PROFILE.entry_path(dir, key));
     }
 
     /// Inserts an outcome under `key` (and writes the disk entry, if any).
@@ -374,71 +315,13 @@ impl ResultCache {
         );
         self.memory_evictions.fetch_add(evicted, Ordering::Relaxed);
         if let Some(dir) = &self.disk_dir {
-            let path = Self::entry_path(dir, key);
-            // The temp name's ".tmp…" suffix keeps it outside the ".json"
-            // extension filter of `disk_len`/`clear` scans.
-            let temp = dir.join(format!(
-                "{key}.tmp{}-{}",
-                std::process::id(),
-                TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
-            ));
-            let text = encode_entry(&outcome.to_json().serialize());
-            let written = !domino_failpoint::should_fire("engine.cache.disk_write")
-                && std::fs::write(&temp, text).is_ok();
-            if written && domino_failpoint::should_fire("engine.cache.crash_rename") {
-                // Chaos-only: simulate the process dying between the temp
-                // write and the rename — the exact window the atomic
-                // protocol defends. Exit code 86 marks an injected crash.
-                std::process::exit(86);
-            }
-            let stored = written && std::fs::rename(&temp, &path).is_ok();
-            if !stored {
-                // Failed write (disk full: a *partial* temp file) or failed
-                // rename: don't leave the orphan around.
-                let _ = std::fs::remove_file(&temp);
-            }
-            if stored && self.disk_byte_budget > 0 {
-                self.enforce_disk_budget(dir, &path);
-            }
-        }
-    }
-
-    /// Deletes oldest-first (by modification time) `.json` entries until
-    /// the directory fits the byte budget. `keep` — the entry just
-    /// written — is never a victim, so a store always lands even when the
-    /// budget is smaller than one entry.
-    ///
-    /// Failures are swallowed like disk-write failures: budget
-    /// enforcement is best-effort and a missed eviction only delays
-    /// reclamation until the next store.
-    fn enforce_disk_budget(&self, dir: &Path, keep: &Path) {
-        let Ok(entries) = std::fs::read_dir(dir) else {
-            return;
-        };
-        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
-            .filter_map(Result::ok)
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter_map(|e| {
-                let meta = e.metadata().ok()?;
-                let mtime = meta.modified().ok()?;
-                Some((mtime, e.path(), meta.len()))
-            })
-            .collect();
-        let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
-        if total <= self.disk_byte_budget {
-            return;
-        }
-        files.sort(); // oldest mtime first; path breaks mtime ties
-        for (_, path, len) in files {
-            if total <= self.disk_byte_budget {
-                break;
-            }
-            if path == keep {
-                continue;
-            }
-            if std::fs::remove_file(&path).is_ok() {
-                total = total.saturating_sub(len);
-                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+            let payload = outcome.to_json().serialize();
+            if let Some(path) = CACHE_PROFILE.write_entry(dir, key, &payload) {
+                if self.disk_byte_budget > 0 {
+                    let evicted =
+                        CACHE_PROFILE.enforce_byte_budget(dir, &path, self.disk_byte_budget);
+                    self.disk_evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -455,18 +338,14 @@ impl ResultCache {
 
     /// Number of entries in the disk backend (0 for memory-only caches).
     pub fn disk_len(&self) -> usize {
-        let Some(dir) = &self.disk_dir else { return 0 };
-        std::fs::read_dir(dir)
-            .map(|entries| {
-                entries
-                    .filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .count()
-            })
+        self.disk_dir
+            .as_ref()
+            .map(|dir| CACHE_PROFILE.entry_count(dir))
             .unwrap_or(0)
     }
 
-    /// Deletes every entry from memory and disk. Counters are kept.
+    /// Deletes every entry from memory and disk (including orphaned temps
+    /// and quarantined corpses). Counters are kept.
     ///
     /// # Errors
     ///
@@ -474,25 +353,7 @@ impl ResultCache {
     pub fn clear(&self) -> Result<(), EngineError> {
         self.memory.lock().expect("cache lock").clear();
         if let Some(dir) = &self.disk_dir {
-            let entries = std::fs::read_dir(dir)
-                .map_err(|e| EngineError::Io(format!("reading cache dir: {e}")))?;
-            for entry in entries.filter_map(Result::ok) {
-                let path = entry.path();
-                let is_entry = path.extension().is_some_and(|x| x == "json");
-                // Orphaned temp files (a writer killed between write and
-                // rename) are garbage; sweep them too.
-                let is_orphan_temp = path
-                    .extension()
-                    .and_then(|x| x.to_str())
-                    .is_some_and(|x| x.starts_with("tmp"));
-                if is_entry || is_orphan_temp {
-                    std::fs::remove_file(&path).map_err(|e| {
-                        EngineError::Io(format!("removing {}: {e}", path.display()))
-                    })?;
-                }
-            }
-            // Quarantined corpses go too: clear means a pristine directory.
-            let _ = std::fs::remove_dir_all(dir.join("quarantine"));
+            CACHE_PROFILE.clear_dir(dir).map_err(EngineError::Io)?;
         }
         Ok(())
     }
@@ -602,7 +463,10 @@ mod tests {
         cache.put("feed", &sample_outcome("whole"));
         let path = dir.join("feed.json");
         let full = std::fs::read_to_string(&path).unwrap();
-        assert!(full.starts_with(ENTRY_MAGIC), "new entries are checksummed");
+        assert!(
+            full.starts_with(CACHE_PROFILE.magic),
+            "new entries are checksummed"
+        );
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
         // A fresh cache (cold memory) must reject the torn bytes.
         let fresh = ResultCache::on_disk(&dir).unwrap();
@@ -629,17 +493,17 @@ mod tests {
     #[test]
     fn entry_checksum_roundtrip() {
         let payload = "{\"name\":\"x\"}";
-        let encoded = encode_entry(payload);
-        assert_eq!(decode_entry(&encoded), Some(payload));
+        let encoded = CACHE_PROFILE.encode_entry(payload);
+        assert_eq!(CACHE_PROFILE.decode_entry(&encoded), Some(payload));
         // Any single-byte flip in the payload is caught.
         let mut bytes = encoded.clone().into_bytes();
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
         let flipped = String::from_utf8(bytes).unwrap();
-        assert_eq!(decode_entry(&flipped), None);
+        assert_eq!(CACHE_PROFILE.decode_entry(&flipped), None);
         // A header without its newline is corrupt, not legacy.
-        assert_eq!(decode_entry(ENTRY_MAGIC), None);
-        assert_eq!(decode_entry("dominocache1 zzzz\n{}"), None);
+        assert_eq!(CACHE_PROFILE.decode_entry(CACHE_PROFILE.magic), None);
+        assert_eq!(CACHE_PROFILE.decode_entry("dominocache1 zzzz\n{}"), None);
     }
 
     /// Crash simulation: a writer killed between the temp-file write and
@@ -713,7 +577,8 @@ mod tests {
                         // Bypass the memory layer: read the file raw, as a
                         // cold process would.
                         if let Ok(text) = std::fs::read_to_string(dir.join("cafe.json")) {
-                            let payload = decode_entry(&text)
+                            let payload = CACHE_PROFILE
+                                .decode_entry(&text)
                                 .expect("every observed entry passes its checksum");
                             let parsed = FlowOutcome::from_json_text(payload)
                                 .expect("every observed entry is a complete document");

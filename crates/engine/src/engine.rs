@@ -15,10 +15,12 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
+use domino_store::SnapshotStore;
+
 use crate::cache::ResultCache;
 use crate::error::EngineError;
 use crate::job::{FlowJob, FlowOutcome};
-use crate::runner::run_job_with_cancel;
+use crate::runner::run_job_snapshotted;
 
 /// Cooperative cancellation handle, shared between the caller and workers.
 ///
@@ -132,6 +134,13 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Shared result cache; `None` disables caching.
     pub cache: Option<Arc<ResultCache>>,
+    /// Persistent warm-state snapshot store; `None` disables snapshotting.
+    /// Sits *under* the result cache: a cache hit answers the whole job,
+    /// a snapshot hit answers only the kernel stage (BDDs + converged
+    /// probabilities) of a job that still has to run its search,
+    /// synthesis and simulation stages. The snapshot's value is surviving
+    /// restarts — the cache's memory layer does not.
+    pub snapshots: Option<Arc<SnapshotStore>>,
 }
 
 /// In-flight request coalescing ("single-flight"): one gate mutex per
@@ -186,8 +195,13 @@ impl FlowEngine {
     pub fn serial() -> Self {
         FlowEngine::new(EngineConfig {
             threads: 1,
-            cache: None,
+            ..EngineConfig::default()
         })
+    }
+
+    /// The snapshot store this engine loads warm state from, if any.
+    pub fn snapshots(&self) -> Option<&Arc<SnapshotStore>> {
+        self.config.snapshots.as_ref()
     }
 
     /// The cache this engine consults, if any.
@@ -226,6 +240,7 @@ impl FlowEngine {
         execute_with_cache(
             job,
             self.config.cache.as_deref(),
+            self.config.snapshots.as_deref(),
             &self.singleflight,
             &|| cancel.is_cancelled(),
         )
@@ -253,6 +268,7 @@ impl FlowEngine {
         let next = &next;
         let slots = &slots;
         let cache = self.config.cache.as_deref();
+        let snapshots = self.config.snapshots.as_deref();
         let singleflight = &self.singleflight;
 
         std::thread::scope(|scope| {
@@ -275,7 +291,7 @@ impl FlowEngine {
                     let start = Instant::now();
                     // Batch semantics: claimed jobs finish even when the
                     // batch is cancelled, so no mid-flow token here.
-                    let result = execute_with_cache(job, cache, singleflight, &|| false);
+                    let result = execute_with_cache(job, cache, snapshots, singleflight, &|| false);
                     let elapsed_ms = start.elapsed().as_millis() as u64;
                     match &result {
                         JobResult::Completed { cached, .. } => {
@@ -320,6 +336,7 @@ impl FlowEngine {
 fn execute_with_cache(
     job: &FlowJob,
     cache: Option<&ResultCache>,
+    snapshots: Option<&SnapshotStore>,
     singleflight: &SingleFlight,
     is_cancelled: &dyn Fn() -> bool,
 ) -> JobResult {
@@ -351,7 +368,7 @@ fn execute_with_cache(
     // contain it to this job. The job data is read-only here, so unwind
     // safety is not a concern.
     let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_job_with_cancel(job, is_cancelled)
+        run_job_snapshotted(job, snapshots, is_cancelled)
     }))
     .unwrap_or_else(|payload| {
         let msg = payload
@@ -414,6 +431,7 @@ mod tests {
         let engine = FlowEngine::new(EngineConfig {
             threads: 3,
             cache: None,
+            snapshots: None,
         });
         let results = engine.run_batch(&jobs);
         assert_eq!(results.len(), 6);
@@ -451,6 +469,7 @@ mod tests {
         let engine = FlowEngine::new(EngineConfig {
             threads: 2,
             cache: Some(Arc::clone(&cache)),
+            snapshots: None,
         });
         let jobs: Vec<FlowJob> = (0..4).map(|i| tiny_job(&format!("j{i}"), i)).collect();
         let cold = engine.run_batch(&jobs);
@@ -484,6 +503,7 @@ mod tests {
         let engine = FlowEngine::new(EngineConfig {
             threads: 1,
             cache: Some(Arc::clone(&cache)),
+            snapshots: None,
         });
         let job = tiny_job("midflow", 2);
         // Pre-flight: an already-cancelled token short-circuits run_one.
@@ -514,6 +534,7 @@ mod tests {
         let engine = FlowEngine::new(EngineConfig {
             threads: 1,
             cache: Some(Arc::clone(&cache)),
+            snapshots: None,
         });
         let job = tiny_job("dup", 3);
         let engine = &engine;

@@ -174,9 +174,15 @@ impl JobSpec {
                 domino_workloads::generate(&spec)?
             }
             CircuitSource::BlifPath(path) => {
-                let text = std::fs::read_to_string(Path::new(path))
-                    .map_err(|e| EngineError::Io(format!("reading '{path}': {e}")))?;
-                domino_netlist::parse_blif(&text)?
+                // Streaming ingestion: the file is parsed line-by-line, so
+                // giant circuits never exist in memory as text.
+                match domino_netlist::parse_blif_path(Path::new(path)) {
+                    Ok(net) => net,
+                    Err(domino_netlist::NetlistError::Io(msg)) => {
+                        return Err(EngineError::Io(format!("reading '{path}': {msg}")))
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             CircuitSource::BlifInline(text) => domino_netlist::parse_blif(text)?,
         };
@@ -318,6 +324,33 @@ pub fn cache_key(net: &Network, spec: &JobSpec) -> String {
     let net_digest = net.structural_digest();
     // Two independent FNV-1a passes (salted differently) give a 128-bit
     // address; collisions are negligible at any realistic cache size.
+    let lo = fnv1a64(config.as_bytes(), net_digest ^ 0x9E37_79B9_7F4A_7C15);
+    let hi = fnv1a64(
+        config.as_bytes(),
+        net_digest.rotate_left(31) ^ 0x517C_C1B7_2722_0A95,
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Computes the content-address of a job's *warm state* — the built BDDs
+/// and converged probability table that [`crate::SnapshotStore`]
+/// persists across restarts.
+///
+/// Deliberately **narrower** than [`cache_key`]: the kernel stage depends
+/// only on the circuit structure, the probability configuration, and the
+/// primary-input probabilities. Jobs that differ in objective, library,
+/// simulation settings, timing fraction or MP penalty therefore share one
+/// snapshot — the probe run that derives a clock target warms the very
+/// snapshot the timed compare run loads. PI probabilities are hashed by
+/// exact bit pattern, matching the bit-identity contract of the stored
+/// probability table.
+pub fn snapshot_key(net: &Network, prob: &ProbabilityConfig, pi_probs: &[f64]) -> String {
+    let mut config = probability_to_json(prob).serialize();
+    config.push('\n');
+    for &p in pi_probs {
+        config.push_str(&format!("{:016x}", p.to_bits()));
+    }
+    let net_digest = net.structural_digest();
     let lo = fnv1a64(config.as_bytes(), net_digest ^ 0x9E37_79B9_7F4A_7C15);
     let hi = fnv1a64(
         config.as_bytes(),
@@ -805,35 +838,40 @@ fn ordering_from_json(v: &Json) -> Result<OrderingChoice, EngineError> {
     }
 }
 
-fn flow_to_json(flow: &FlowConfig) -> Json {
+/// Canonical JSON of the probability-stage configuration. Shared by the
+/// flow section of the cache key and by [`snapshot_key`], so the two
+/// content addresses cannot disagree about what the kernel stage depends
+/// on.
+fn probability_to_json(prob: &ProbabilityConfig) -> Json {
     let mut probability = vec![
-        ("ordering", ordering_to_json(&flow.probability.ordering)),
-        ("mfvs_symmetry", Json::Bool(flow.probability.mfvs.symmetry)),
+        ("ordering", ordering_to_json(&prob.ordering)),
+        ("mfvs_symmetry", Json::Bool(prob.mfvs.symmetry)),
         (
             "mfvs_descending_weight",
-            Json::Bool(flow.probability.mfvs.descending_weight),
+            Json::Bool(prob.mfvs.descending_weight),
         ),
-        ("sweeps", Json::Num(flow.probability.sweeps as f64)),
+        ("sweeps", Json::Num(prob.sweeps as f64)),
         (
             "cut_latch_probability",
-            Json::Num(flow.probability.cut_latch_probability),
+            Json::Num(prob.cut_latch_probability),
         ),
         (
             "convergence_tolerance",
-            Json::Num(flow.probability.convergence_tolerance),
+            Json::Num(prob.convergence_tolerance),
         ),
     ];
     // Reordering is result-affecting, so it must join the cache key — but
     // only when active, so `reorder: off` specs keep the exact content
     // address (and cached outcomes) they had before reordering existed.
-    if flow.probability.reorder != ReorderMode::Off {
-        probability.push((
-            "reorder",
-            Json::Str(flow.probability.reorder.as_str().into()),
-        ));
+    if prob.reorder != ReorderMode::Off {
+        probability.push(("reorder", Json::Str(prob.reorder.as_str().into())));
     }
+    Json::obj(probability)
+}
+
+fn flow_to_json(flow: &FlowConfig) -> Json {
     Json::obj(vec![
-        ("probability", Json::obj(probability)),
+        ("probability", probability_to_json(&flow.probability)),
         (
             "power",
             Json::obj(vec![
@@ -1047,6 +1085,44 @@ mod tests {
         sharded_spec.sim.shards = 1;
         let c = sharded_spec.resolve().unwrap();
         assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    #[test]
+    fn snapshot_key_is_narrower_than_cache_key() {
+        let job = JobSpec::suite("frg1").resolve().unwrap();
+        let pi = job.spec.pi.expand(&job.network).unwrap();
+        let base = snapshot_key(&job.network, &job.spec.flow.probability, &pi);
+
+        // Knobs downstream of the kernel stage split the cache key but
+        // share the snapshot: the probe run warms the timed run.
+        let mut timed_spec = JobSpec::suite("frg1");
+        timed_spec.timing_fraction = Some(0.85);
+        timed_spec.mp_and_penalty = Some(2.5);
+        timed_spec.objective = RunObjective::MinPower;
+        timed_spec.sim.cycles = 16;
+        let timed = timed_spec.resolve().unwrap();
+        assert_ne!(job.cache_key(), timed.cache_key());
+        assert_eq!(
+            snapshot_key(&timed.network, &timed.spec.flow.probability, &pi),
+            base
+        );
+
+        // Kernel-stage knobs split the snapshot key.
+        let mut sifted = job.spec.flow.probability.clone();
+        sifted.reorder = ReorderMode::Sift;
+        assert_ne!(snapshot_key(&job.network, &sifted, &pi), base);
+        let mut skewed = pi.clone();
+        skewed[0] = 0.25;
+        assert_ne!(
+            snapshot_key(&job.network, &job.spec.flow.probability, &skewed),
+            base
+        );
+        let other = JobSpec::suite("x1").resolve().unwrap();
+        let other_pi = other.spec.pi.expand(&other.network).unwrap();
+        assert_ne!(
+            snapshot_key(&other.network, &other.spec.flow.probability, &other_pi),
+            base
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! let engine = FlowEngine::new(EngineConfig {
 //!     threads: 2,
 //!     cache: Some(Arc::clone(&cache)),
+//!     snapshots: None, // see SnapshotStore for restart-warm kernels
 //! });
 //! let jobs = vec![JobSpec::suite("frg1").resolve()?];
 //! let cold = engine.run_batch(&jobs);
@@ -65,13 +66,15 @@ mod runner;
 pub use cache::{CacheStats, ResultCache};
 pub use domino_bdd::ReorderMode;
 pub use domino_sim::SimStats;
+pub use domino_store::{SnapshotStats, SnapshotStore, WarmSnapshot};
 pub use engine::{CancelToken, EngineConfig, FlowEngine, JobResult, ProgressEvent};
 pub use error::EngineError;
 pub use job::{
-    assignment_string, cache_key, BddKernelStats, CircuitSource, FlowJob, FlowOutcome, JobSpec,
-    ObjectiveResult, PiSpec, ReorderInfo, RunObjective,
+    assignment_string, cache_key, snapshot_key, BddKernelStats, CircuitSource, FlowJob,
+    FlowOutcome, JobSpec, ObjectiveResult, PiSpec, ReorderInfo, RunObjective,
 };
 pub use runner::{
-    derive_clock_ps, derive_clock_ps_with_cancel, run_job, run_job_with_cancel, run_objective,
+    derive_clock_ps, derive_clock_ps_snapshotted, derive_clock_ps_with_cancel, run_job,
+    run_job_snapshotted, run_job_with_cancel, run_objective, run_objective_snapshotted,
     run_objective_with_cancel,
 };

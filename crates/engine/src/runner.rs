@@ -7,16 +7,21 @@
 //! job produces the same [`FlowOutcome`] on any thread of any run — the
 //! property the engine's parallel-equivalence tests pin down.
 
-use domino_phase::flow::{minimize_area_with_cancel, minimize_power_with_cancel, FlowReport};
+use domino_phase::flow::{
+    minimize_area_with_cancel, minimize_area_with_probabilities, minimize_power_with_cancel,
+    minimize_power_with_probabilities, FlowReport,
+};
 use domino_phase::power::PowerModel;
+use domino_phase::prob::{compute_probabilities_with_bdds, NodeProbabilities};
 use domino_phase::PhaseError;
 use domino_sim::{measure_power, SimConfig};
+use domino_store::{SnapshotStore, WarmSnapshot};
 use domino_techmap::{map, size_for_timing, sta, SizingConfig};
 
 use crate::error::EngineError;
 use crate::job::{
-    assignment_string, BddKernelStats, FlowJob, FlowOutcome, ObjectiveResult, ReorderInfo,
-    RunObjective,
+    assignment_string, snapshot_key, BddKernelStats, FlowJob, FlowOutcome, ObjectiveResult,
+    ReorderInfo, RunObjective,
 };
 
 /// Runs one side (MA when `area`, else MP) of a job through mapping,
@@ -53,16 +58,100 @@ pub fn run_objective_with_cancel(
     clock_ps: Option<f64>,
     is_cancelled: &dyn Fn() -> bool,
 ) -> Result<ObjectiveResult, EngineError> {
+    run_objective_snapshotted(job, area, clock_ps, None, is_cancelled)
+}
+
+/// Produces this job's probability stage, warm or cold. A servable
+/// snapshot (full verification happens inside [`SnapshotStore::load`])
+/// skips BDD construction and probability convergence entirely — the
+/// loaded state is [rehydrated](NodeProbabilities::rehydrate) with only
+/// pure graph work (the sequential partition recompute). Otherwise the
+/// kernel runs cold, the build is counted, and the warm state is persisted
+/// for the next process.
+///
+/// Byte-identity of warm outcomes: the snapshot carries the cold build's
+/// kernel statistics and reorder outcome verbatim (a deserialized manager
+/// has zero traffic counters), so a report assembled from a warm load is
+/// indistinguishable from the cold run that produced the snapshot.
+fn warm_probabilities(
+    job: &FlowJob,
+    pi: &[f64],
+    store: &SnapshotStore,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<NodeProbabilities, PhaseError> {
+    if is_cancelled() {
+        return Err(PhaseError::Cancelled);
+    }
+    let prob = &job.spec.flow.probability;
+    let key = snapshot_key(&job.network, prob, pi);
+    if let Some(warm) = store.load(&key, job.network.len()) {
+        return Ok(NodeProbabilities::rehydrate(
+            &job.network,
+            prob,
+            warm.probs,
+            warm.bdd_nodes,
+            warm.bdd_stats,
+            warm.reorder,
+        ));
+    }
+    store.note_kernel_build();
+    let (probabilities, mut bdds) = compute_probabilities_with_bdds(&job.network, pi, prob)?;
+    // Compact to the postorder file layout before storing, so the arena a
+    // later load rebuilds is the arena this process would have had — and
+    // probability sweeps over the loaded copy walk memory in DFS order.
+    bdds.remap_compact();
+    store.store(
+        &key,
+        &WarmSnapshot {
+            bdds,
+            probs: probabilities.as_slice().to_vec(),
+            bdd_nodes: probabilities.bdd_node_count(),
+            bdd_stats: probabilities.bdd_stats().copied(),
+            reorder: probabilities.reorder_outcome().cloned(),
+        },
+    );
+    Ok(probabilities)
+}
+
+/// [`run_objective_with_cancel`] with an optional [`SnapshotStore`]: when
+/// given, the probability stage loads persisted warm state instead of
+/// rebuilding it (and persists it after a cold build). `None` is the exact
+/// legacy path.
+///
+/// # Errors
+///
+/// Same as [`run_objective_with_cancel`].
+pub fn run_objective_snapshotted(
+    job: &FlowJob,
+    area: bool,
+    clock_ps: Option<f64>,
+    snapshots: Option<&SnapshotStore>,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<ObjectiveResult, EngineError> {
     let spec = &job.spec;
     let pi = spec.pi.expand(&job.network)?;
-    let flow_ran = if area {
-        minimize_area_with_cancel(&job.network, &pi, &spec.flow, is_cancelled)
+    let flow = if area {
+        spec.flow.clone()
     } else {
         let mut flow = spec.flow.clone();
         if let Some(penalty) = spec.mp_and_penalty {
             flow.power.model = PowerModel::with_and_penalty(penalty);
         }
-        minimize_power_with_cancel(&job.network, &pi, &flow, is_cancelled)
+        flow
+    };
+    let flow_ran = match snapshots {
+        None if area => minimize_area_with_cancel(&job.network, &pi, &flow, is_cancelled),
+        None => minimize_power_with_cancel(&job.network, &pi, &flow, is_cancelled),
+        // The MP penalty only changes the power model, never the
+        // probability stage, so MA and MP (and the timed probe) all share
+        // one snapshot under the same key.
+        Some(store) => warm_probabilities(job, &pi, store, is_cancelled).and_then(|prob| {
+            if area {
+                minimize_area_with_probabilities(&job.network, prob, &flow, is_cancelled)
+            } else {
+                minimize_power_with_probabilities(&job.network, prob, &flow, is_cancelled)
+            }
+        }),
     };
     let report: FlowReport = flow_ran.map_err(|e| match e {
         PhaseError::Cancelled => EngineError::Cancelled,
@@ -139,6 +228,22 @@ pub fn derive_clock_ps_with_cancel(
     job: &FlowJob,
     is_cancelled: &dyn Fn() -> bool,
 ) -> Result<Option<f64>, EngineError> {
+    derive_clock_ps_snapshotted(job, None, is_cancelled)
+}
+
+/// [`derive_clock_ps_with_cancel`] with an optional [`SnapshotStore`]
+/// threaded into the probe run. The probe's probability configuration is
+/// the job's own, so a cold probe warms the very snapshot the timed sides
+/// load.
+///
+/// # Errors
+///
+/// Same as [`derive_clock_ps_with_cancel`].
+pub fn derive_clock_ps_snapshotted(
+    job: &FlowJob,
+    snapshots: Option<&SnapshotStore>,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<Option<f64>, EngineError> {
     let Some(fraction) = job.spec.timing_fraction else {
         return Ok(None);
     };
@@ -150,7 +255,7 @@ pub fn derive_clock_ps_with_cancel(
         ..probe_spec.sim
     };
     let probe_job = FlowJob::new(probe_spec, job.network.clone());
-    let probe = run_objective_with_cancel(&probe_job, true, None, is_cancelled)?;
+    let probe = run_objective_snapshotted(&probe_job, true, None, snapshots, is_cancelled)?;
     Ok(Some(probe.worst_arrival_ps * fraction))
 }
 
@@ -181,15 +286,32 @@ pub fn run_job_with_cancel(
     job: &FlowJob,
     is_cancelled: &dyn Fn() -> bool,
 ) -> Result<FlowOutcome, EngineError> {
+    run_job_snapshotted(job, None, is_cancelled)
+}
+
+/// [`run_job_with_cancel`] with an optional [`SnapshotStore`] threaded
+/// into every objective side (and the timed probe). This is `dominod`'s
+/// execution path when `--snapshot-dir` is set: a restarted server's first
+/// request loads the persisted warm state and performs zero BDD or
+/// probability recompute.
+///
+/// # Errors
+///
+/// Same as [`run_job_with_cancel`].
+pub fn run_job_snapshotted(
+    job: &FlowJob,
+    snapshots: Option<&SnapshotStore>,
+    is_cancelled: &dyn Fn() -> bool,
+) -> Result<FlowOutcome, EngineError> {
     job.network.validate()?;
     let objective = |area: bool, clock: Option<f64>| -> Result<ObjectiveResult, EngineError> {
-        run_objective_with_cancel(job, area, clock, is_cancelled)
+        run_objective_snapshotted(job, area, clock, snapshots, is_cancelled)
     };
     let (ma, mp, clock_ps) = match job.spec.objective {
         RunObjective::MinArea => (Some(objective(true, None)?), None, None),
         RunObjective::MinPower => (None, Some(objective(false, None)?), None),
         RunObjective::Compare => {
-            let clock_ps = derive_clock_ps_with_cancel(job, is_cancelled)?;
+            let clock_ps = derive_clock_ps_snapshotted(job, snapshots, is_cancelled)?;
             let ma = objective(true, clock_ps)?;
             // The MA → MP boundary of a compare run.
             if is_cancelled() {
@@ -260,6 +382,66 @@ mod tests {
         let b = run_job(&fig5_job(RunObjective::Compare)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.to_json().serialize(), b.to_json().serialize());
+    }
+
+    #[test]
+    fn snapshotted_run_is_byte_identical_and_warm_after_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("dominolp-runner-snap-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let job = fig5_job(RunObjective::Compare);
+        let cold_plain = run_job(&job).unwrap();
+
+        // Cold run with a store: same bytes, kernel built once (the MA
+        // side), the MP side already warm from the shared snapshot.
+        let store = SnapshotStore::on_disk(&dir).unwrap();
+        let cold = run_job_snapshotted(&job, Some(&store), &|| false).unwrap();
+        assert_eq!(
+            cold.to_json().serialize(),
+            cold_plain.to_json().serialize(),
+            "the snapshot path must not change outcomes"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.kernel_builds, 1, "MA builds, MP loads");
+        assert_eq!(stats.stores, 1);
+        assert!(stats.hits >= 1);
+
+        // A restarted process: first request served fully from the
+        // snapshot, zero kernel recompute, byte-identical outcome.
+        let restarted = SnapshotStore::on_disk(&dir).unwrap();
+        let warm = run_job_snapshotted(&job, Some(&restarted), &|| false).unwrap();
+        assert_eq!(warm.to_json().serialize(), cold_plain.to_json().serialize());
+        let stats = restarted.stats();
+        assert_eq!(stats.kernel_builds, 0, "warm restart recomputes nothing");
+        assert_eq!(stats.hits, 2, "both sides load the shared snapshot");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshotted_timed_probe_warms_the_run() {
+        let dir =
+            std::env::temp_dir().join(format!("dominolp-runner-probe-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut job = fig5_job(RunObjective::Compare);
+        job.spec.timing_fraction = Some(0.9);
+        let job = FlowJob::new(job.spec, job.network);
+        let plain = run_job(&job).unwrap();
+
+        let store = SnapshotStore::on_disk(&dir).unwrap();
+        let snapshotted = run_job_snapshotted(&job, Some(&store), &|| false).unwrap();
+        assert_eq!(
+            snapshotted.to_json().serialize(),
+            plain.to_json().serialize()
+        );
+        let stats = store.stats();
+        // Probe, MA and MP all share one snapshot: one build, two hits.
+        assert_eq!(stats.kernel_builds, 1);
+        assert_eq!(stats.hits, 2);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

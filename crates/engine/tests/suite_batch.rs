@@ -41,12 +41,14 @@ fn parallel_batches_match_serial_exactly() {
     let serial = FlowEngine::new(EngineConfig {
         threads: 1,
         cache: None,
+        snapshots: None,
     })
     .run_batch(&jobs);
     for threads in [2, 4] {
         let parallel = FlowEngine::new(EngineConfig {
             threads,
             cache: None,
+            snapshots: None,
         })
         .run_batch(&jobs);
         // Identical outcome structs…
@@ -73,6 +75,7 @@ fn warm_cache_rerun_recomputes_nothing() {
     let engine = FlowEngine::new(EngineConfig {
         threads: 4,
         cache: Some(Arc::clone(&cache)),
+        snapshots: None,
     });
 
     let cold = engine.run_batch(&jobs);
@@ -105,6 +108,7 @@ fn disk_cache_round_trips_outcomes_byte_identically() {
         let engine = FlowEngine::new(EngineConfig {
             threads: 2,
             cache: Some(cache),
+            snapshots: None,
         });
         engine.run_batch(&jobs)
     };
@@ -115,6 +119,7 @@ fn disk_cache_round_trips_outcomes_byte_identically() {
     let engine = FlowEngine::new(EngineConfig {
         threads: 2,
         cache: Some(Arc::clone(&cache)),
+        snapshots: None,
     });
     let warm = engine.run_batch(&jobs);
     let stats = cache.stats();
@@ -133,6 +138,7 @@ fn cancellation_stops_the_suite_batch() {
     let engine = FlowEngine::new(EngineConfig {
         threads: 1,
         cache: None,
+        snapshots: None,
     });
     let seen = Mutex::new(Vec::new());
     let cancel_handle = cancel.clone();

@@ -9,6 +9,14 @@
 //!
 //! The writer emits one `.names` block per gate, so `parse_blif(&write_blif(n))`
 //! round-trips functionally.
+//!
+//! Parsing is *streaming*: [`parse_blif_reader`] consumes any
+//! [`BufRead`](std::io::BufRead) one line at a time through one reused
+//! line buffer, so a giant circuit file never has to exist in memory as
+//! text — only the parsed blocks (which the network needs anyway) are
+//! retained, and reading stops at `.end`. [`parse_blif`] and
+//! [`parse_blif_path`] are thin fronts over the same state machine, so
+//! the three entry points cannot diverge.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -40,18 +48,99 @@ use crate::node::NodeKind;
 /// # }
 /// ```
 pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
-    let mut model_name = String::from("blif");
-    let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
-    let mut names_blocks: Vec<NamesBlock> = Vec::new();
-    // (data signal, q signal, init, line)
-    let mut latch_decls: Vec<(String, String, bool, usize)> = Vec::new();
-
-    // Join continuation lines (trailing '\') and strip comments.
-    let mut logical_lines: Vec<(usize, String)> = Vec::new();
-    let mut pending: Option<(usize, String)> = None;
+    let mut stream = BlifStream::new();
     for (lineno, raw) in text.lines().enumerate() {
-        let lineno = lineno + 1;
+        stream.raw_line(lineno + 1, raw)?;
+        if stream.seen_end {
+            break;
+        }
+    }
+    stream.finish()
+}
+
+/// Parses a BLIF model from any buffered reader, streaming: one logical
+/// line in memory at a time, through one reused buffer. This is the
+/// bounded-memory ingestion path for giant circuit files — the text is
+/// never materialized as a whole, and reading stops at `.end`.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] when the reader fails, plus everything
+/// [`parse_blif`] reports.
+pub fn parse_blif_reader<R: std::io::BufRead>(mut reader: R) -> Result<Network, NetlistError> {
+    let mut stream = BlifStream::new();
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| NetlistError::Io(format!("reading line {}: {e}", lineno + 1)))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let raw = buf.strip_suffix('\n').unwrap_or(&buf);
+        let raw = raw.strip_suffix('\r').unwrap_or(raw);
+        stream.raw_line(lineno, raw)?;
+        if stream.seen_end {
+            break;
+        }
+    }
+    stream.finish()
+}
+
+/// Opens `path` and parses it with [`parse_blif_reader`] — the streaming
+/// file front used by the engine's `BlifPath` job source.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] when the file cannot be opened or read, plus
+/// everything [`parse_blif`] reports.
+pub fn parse_blif_path(path: impl AsRef<std::path::Path>) -> Result<Network, NetlistError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)
+        .map_err(|e| NetlistError::Io(format!("opening {}: {e}", path.display())))?;
+    parse_blif_reader(std::io::BufReader::new(file))
+}
+
+/// The incremental parser state behind every `parse_blif*` front: feed it
+/// raw lines, then [`BlifStream::finish`] builds the network. Memory is
+/// bounded by the parsed model, never the input text — the only raw text
+/// held between calls is one pending continuation line.
+struct BlifStream {
+    model_name: String,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    names_blocks: Vec<NamesBlock>,
+    /// (data signal, q signal, init, line)
+    latch_decls: Vec<(String, String, bool, usize)>,
+    /// An unfinished `\`-continued logical line: (start line, text so far).
+    pending: Option<(usize, String)>,
+    current: Option<NamesBlock>,
+    seen_end: bool,
+}
+
+impl BlifStream {
+    fn new() -> BlifStream {
+        BlifStream {
+            model_name: String::from("blif"),
+            input_names: Vec::new(),
+            output_names: Vec::new(),
+            names_blocks: Vec::new(),
+            latch_decls: Vec::new(),
+            pending: None,
+            current: None,
+            seen_end: false,
+        }
+    }
+
+    /// Consumes one raw input line: strips the comment, joins `\`
+    /// continuations, and dispatches completed logical lines.
+    fn raw_line(&mut self, lineno: usize, raw: &str) -> Result<(), NetlistError> {
+        if self.seen_end {
+            return Ok(());
+        }
         let line = match raw.find('#') {
             Some(pos) => &raw[..pos],
             None => raw,
@@ -61,63 +150,54 @@ pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
             Some(b) => (true, b),
             None => (false, line),
         };
-        match pending.take() {
+        match self.pending.take() {
             Some((start, mut acc)) => {
                 acc.push(' ');
                 acc.push_str(body);
                 if cont {
-                    pending = Some((start, acc));
+                    self.pending = Some((start, acc));
                 } else {
-                    logical_lines.push((start, acc));
+                    self.logical_line(start, &acc)?;
                 }
             }
             None => {
                 if cont {
-                    pending = Some((lineno, body.to_string()));
+                    self.pending = Some((lineno, body.to_string()));
                 } else if !body.trim().is_empty() {
-                    logical_lines.push((lineno, body.to_string()));
+                    self.logical_line(lineno, body)?;
                 }
             }
         }
-    }
-    if let Some((line, _)) = pending {
-        return Err(NetlistError::Parse {
-            line,
-            msg: "dangling line continuation".into(),
-        });
+        Ok(())
     }
 
-    let mut current: Option<NamesBlock> = None;
-    let mut seen_end = false;
-    for (lineno, line) in logical_lines {
-        if seen_end {
-            break;
-        }
+    /// Dispatches one complete logical line (continuations already joined).
+    fn logical_line(&mut self, lineno: usize, line: &str) -> Result<(), NetlistError> {
         let mut toks = line.split_whitespace();
         let first = match toks.next() {
             Some(t) => t,
-            None => continue,
+            None => return Ok(()),
         };
         if first.starts_with('.') {
             // Close any open .names block.
-            if let Some(block) = current.take() {
-                names_blocks.push(block);
+            if let Some(block) = self.current.take() {
+                self.names_blocks.push(block);
             }
             match first {
                 ".model" => {
                     if let Some(name) = toks.next() {
-                        model_name = name.to_string();
+                        self.model_name = name.to_string();
                     }
                 }
-                ".inputs" => input_names.extend(toks.map(str::to_string)),
-                ".outputs" => output_names.extend(toks.map(str::to_string)),
+                ".inputs" => self.input_names.extend(toks.map(str::to_string)),
+                ".outputs" => self.output_names.extend(toks.map(str::to_string)),
                 ".names" => {
                     let mut sig: Vec<String> = toks.map(str::to_string).collect();
                     let output = sig.pop().ok_or(NetlistError::Parse {
                         line: lineno,
                         msg: ".names requires at least an output signal".into(),
                     })?;
-                    current = Some(NamesBlock {
+                    self.current = Some(NamesBlock {
                         inputs: sig,
                         output,
                         rows: Vec::new(),
@@ -144,9 +224,9 @@ pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
                         Some(other) if ["re", "fe", "ah", "al", "as"].contains(other) => false,
                         Some(_) => false,
                     };
-                    latch_decls.push((d, q, init, lineno));
+                    self.latch_decls.push((d, q, init, lineno));
                 }
-                ".end" => seen_end = true,
+                ".end" => self.seen_end = true,
                 ".exdc"
                 | ".wire_load_slope"
                 | ".default_input_arrival"
@@ -163,7 +243,7 @@ pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
             }
         } else {
             // Cover row of the current .names block.
-            let block = current.as_mut().ok_or(NetlistError::Parse {
+            let block = self.current.as_mut().ok_or(NetlistError::Parse {
                 line: lineno,
                 msg: "cover row outside .names block".into(),
             })?;
@@ -208,117 +288,136 @@ pub fn parse_blif(text: &str) -> Result<Network, NetlistError> {
                 block.rows.push((first.to_string(), outc));
             }
         }
-    }
-    if let Some(block) = current.take() {
-        names_blocks.push(block);
+        Ok(())
     }
 
-    // Build the network.
-    let mut net = Network::new(model_name);
-    let mut signals: HashMap<String, NodeId> = HashMap::new();
-    for name in &input_names {
-        let id = net.add_input(name.clone())?;
-        signals.insert(name.clone(), id);
-    }
-    for (_, q, init, _) in &latch_decls {
-        let id = net.add_latch(*init);
-        net.set_node_name(id, q.clone())?;
-        if signals.insert(q.clone(), id).is_some() {
-            return Err(NetlistError::DuplicateName(q.clone()));
-        }
-    }
-
-    // Topologically order the .names blocks (BLIF allows any order).
-    let mut by_output: HashMap<&str, usize> = HashMap::new();
-    for (i, b) in names_blocks.iter().enumerate() {
-        if by_output.insert(b.output.as_str(), i).is_some() {
+    /// Ends the stream and builds the [`Network`].
+    fn finish(mut self) -> Result<Network, NetlistError> {
+        if let Some((line, _)) = self.pending {
             return Err(NetlistError::Parse {
-                line: b.line,
-                msg: format!("signal `{}` defined by two .names blocks", b.output),
+                line,
+                msg: "dangling line continuation".into(),
             });
         }
-    }
-    // DFS with cycle detection.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
-    }
-    let mut marks = vec![Mark::White; names_blocks.len()];
-    let mut order: Vec<usize> = Vec::with_capacity(names_blocks.len());
-    fn visit(
-        i: usize,
-        blocks: &[NamesBlock],
-        by_output: &HashMap<&str, usize>,
-        signals: &HashMap<String, NodeId>,
-        marks: &mut [Mark],
-        order: &mut Vec<usize>,
-    ) -> Result<(), NetlistError> {
-        match marks[i] {
-            Mark::Black => return Ok(()),
-            Mark::Grey => {
-                return Err(NetlistError::Parse {
-                    line: blocks[i].line,
-                    msg: format!("combinational cycle through `{}`", blocks[i].output),
-                })
-            }
-            Mark::White => {}
+        if let Some(block) = self.current.take() {
+            self.names_blocks.push(block);
         }
-        marks[i] = Mark::Grey;
-        for input in &blocks[i].inputs {
-            if signals.contains_key(input) {
-                continue;
+        let BlifStream {
+            model_name,
+            input_names,
+            output_names,
+            names_blocks,
+            latch_decls,
+            ..
+        } = self;
+
+        // Build the network.
+        let mut net = Network::new(model_name);
+        let mut signals: HashMap<String, NodeId> = HashMap::new();
+        for name in &input_names {
+            let id = net.add_input(name.clone())?;
+            signals.insert(name.clone(), id);
+        }
+        for (_, q, init, _) in &latch_decls {
+            let id = net.add_latch(*init);
+            net.set_node_name(id, q.clone())?;
+            if signals.insert(q.clone(), id).is_some() {
+                return Err(NetlistError::DuplicateName(q.clone()));
             }
-            if let Some(&j) = by_output.get(input.as_str()) {
-                visit(j, blocks, by_output, signals, marks, order)?;
-            } else {
+        }
+
+        // Topologically order the .names blocks (BLIF allows any order).
+        let mut by_output: HashMap<&str, usize> = HashMap::new();
+        for (i, b) in names_blocks.iter().enumerate() {
+            if by_output.insert(b.output.as_str(), i).is_some() {
                 return Err(NetlistError::Parse {
-                    line: blocks[i].line,
-                    msg: format!("undefined signal `{input}`"),
+                    line: b.line,
+                    msg: format!("signal `{}` defined by two .names blocks", b.output),
                 });
             }
         }
-        marks[i] = Mark::Black;
-        order.push(i);
-        Ok(())
-    }
-    for i in 0..names_blocks.len() {
-        visit(
-            i,
-            &names_blocks,
-            &by_output,
-            &signals,
-            &mut marks,
-            &mut order,
-        )?;
-    }
+        // Iterative DFS with cycle detection (giant circuits would blow
+        // the call stack with the recursive form).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; names_blocks.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(names_blocks.len());
+        for root in 0..names_blocks.len() {
+            if marks[root] != Mark::White {
+                continue;
+            }
+            // (block index, next fanin position to examine)
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            marks[root] = Mark::Grey;
+            while let Some((i, pos)) = stack.last().copied() {
+                match names_blocks[i].inputs.get(pos) {
+                    None => {
+                        marks[i] = Mark::Black;
+                        order.push(i);
+                        stack.pop();
+                    }
+                    Some(input) => {
+                        stack.last_mut().expect("stack is non-empty").1 += 1;
+                        if signals.contains_key(input) {
+                            continue;
+                        }
+                        let Some(&j) = by_output.get(input.as_str()) else {
+                            return Err(NetlistError::Parse {
+                                line: names_blocks[i].line,
+                                msg: format!("undefined signal `{input}`"),
+                            });
+                        };
+                        match marks[j] {
+                            Mark::Black => {}
+                            Mark::Grey => {
+                                return Err(NetlistError::Parse {
+                                    line: names_blocks[j].line,
+                                    msg: format!(
+                                        "combinational cycle through `{}`",
+                                        names_blocks[j].output
+                                    ),
+                                })
+                            }
+                            Mark::White => {
+                                marks[j] = Mark::Grey;
+                                stack.push((j, 0));
+                            }
+                        }
+                    }
+                }
+            }
+        }
 
-    for i in order {
-        let block = &names_blocks[i];
-        let id = build_cover(&mut net, block, &signals)?;
-        signals.insert(block.output.clone(), id);
-    }
+        for i in order {
+            let block = &names_blocks[i];
+            let id = build_cover(&mut net, block, &signals)?;
+            signals.insert(block.output.clone(), id);
+        }
 
-    // Connect latches.
-    for (d, q, _, line) in &latch_decls {
-        let data = *signals.get(d).ok_or(NetlistError::Parse {
-            line: *line,
-            msg: format!("latch data signal `{d}` is undefined"),
-        })?;
-        let latch = signals[q];
-        net.set_latch_data(latch, data)?;
-    }
+        // Connect latches.
+        for (d, q, _, line) in &latch_decls {
+            let data = *signals.get(d).ok_or(NetlistError::Parse {
+                line: *line,
+                msg: format!("latch data signal `{d}` is undefined"),
+            })?;
+            let latch = signals[q];
+            net.set_latch_data(latch, data)?;
+        }
 
-    for name in &output_names {
-        let driver = *signals.get(name).ok_or(NetlistError::Parse {
-            line: 0,
-            msg: format!("output signal `{name}` is undefined"),
-        })?;
-        net.add_output(name.clone(), driver)?;
+        for name in &output_names {
+            let driver = *signals.get(name).ok_or(NetlistError::Parse {
+                line: 0,
+                msg: format!("output signal `{name}` is undefined"),
+            })?;
+            net.add_output(name.clone(), driver)?;
+        }
+        net.validate()?;
+        Ok(net)
     }
-    net.validate()?;
-    Ok(net)
 }
 
 struct NamesBlock {
@@ -614,6 +713,65 @@ mod tests {
                 back.eval_comb(&vals).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn streaming_reader_matches_string_parser() {
+        let text = ".model m\n.inputs a b\n.outputs f q\n.latch d q 0\n\
+                    .names a b g\n11 1\n.names g q d\n1- 1\n-1 1\n\
+                    .names g f\n1 1\n.end\n";
+        let from_str = parse_blif(text).unwrap();
+        let from_reader = parse_blif_reader(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(
+            from_str.structural_digest(),
+            from_reader.structural_digest(),
+            "streaming and string fronts build the identical network"
+        );
+        // CRLF line endings parse the same.
+        let crlf = text.replace('\n', "\r\n");
+        let from_crlf = parse_blif_reader(std::io::Cursor::new(crlf.as_bytes())).unwrap();
+        assert_eq!(from_str.structural_digest(), from_crlf.structural_digest());
+    }
+
+    #[test]
+    fn path_front_streams_the_file() {
+        let path = std::env::temp_dir().join(format!("dominolp-blif-{}.blif", std::process::id()));
+        let text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+        std::fs::write(&path, text).unwrap();
+        let net = parse_blif_path(&path).unwrap();
+        assert_eq!(
+            net.structural_digest(),
+            parse_blif(text).unwrap().structural_digest()
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(parse_blif_path(&path), Err(NetlistError::Io(_))));
+    }
+
+    #[test]
+    fn reading_stops_at_end_marker() {
+        // Junk after .end is never parsed — the reader exits early.
+        let text = ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.end\n.garbage\n";
+        assert!(parse_blif_reader(std::io::Cursor::new(text.as_bytes())).is_ok());
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow_the_parser() {
+        // A 50k-deep inverter chain written blocks-reversed, so the
+        // topological order has to walk the full chain from one root —
+        // the iterative DFS must not recurse.
+        let depth = 50_000;
+        let mut text = String::from(".model deep\n.inputs x0\n");
+        writeln!(text, ".outputs x{depth}").unwrap();
+        for i in (0..depth).rev() {
+            writeln!(text, ".names x{} x{}\n0 1", i, i + 1).unwrap();
+        }
+        text.push_str(".end\n");
+        let net = parse_blif_reader(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(net.inputs().len(), 1);
+        assert_eq!(net.outputs().len(), 1);
+        // Even depth of inverters: identity.
+        assert_eq!(net.eval_comb(&[true]).unwrap(), vec![true]);
+        assert_eq!(net.eval_comb(&[false]).unwrap(), vec![false]);
     }
 
     #[test]

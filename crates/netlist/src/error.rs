@@ -49,6 +49,9 @@ pub enum NetlistError {
         /// Human-readable description of the problem.
         msg: String,
     },
+    /// Reading a BLIF stream or file failed. Carries the rendered
+    /// [`std::io::Error`] (this type stays `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -77,6 +80,7 @@ impl fmt::Display for NetlistError {
             NetlistError::Parse { line, msg } => {
                 write!(f, "blif parse error at line {line}: {msg}")
             }
+            NetlistError::Io(msg) => write!(f, "blif read error: {msg}"),
         }
     }
 }

@@ -55,7 +55,7 @@ mod optimize;
 mod stats;
 mod traversal;
 
-pub use blif::{parse_blif, write_blif};
+pub use blif::{parse_blif, parse_blif_path, parse_blif_reader, write_blif};
 pub use dot::to_dot;
 pub use error::NetlistError;
 pub use eval::SequentialState;

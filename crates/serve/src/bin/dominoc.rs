@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use domino_engine::{
     report, CancelToken, CircuitSource, EngineConfig, FlowEngine, JobResult, JobSpec,
-    ProgressEvent, ReorderMode, ResultCache, RunObjective,
+    ProgressEvent, ReorderMode, ResultCache, RunObjective, SnapshotStore,
 };
 use domino_serve::{ClientError, ServeClient, DEFAULT_PORT};
 
@@ -43,6 +43,7 @@ fn usage() -> String {
      \x20 suite [--public]                      built-in Table 1/2 suite\n\
      \x20 cache stats --cache <dir>             disk cache counters/entries\n\
      \x20 cache clear --cache <dir>             empty the disk cache\n\
+     \x20 cache snapshots --snapshot-dir <dir>  warm-state snapshot store inspection\n\
      \n\
      server commands (against a dominod; see `dominoc serve`):\n\
      \x20 serve                                 run a server in the foreground\n\
@@ -62,6 +63,7 @@ fn usage() -> String {
      \x20 --and-penalty <f>                MP series-stack penalty\n\
      \x20 --threads <n>                    engine workers, 0 = all CPUs [0]\n\
      \x20 --cache <dir>                    disk result cache\n\
+     \x20 --snapshot-dir <dir>             warm-state snapshot store (restart-warm kernels)\n\
      \x20 --jsonl <file|->                 JSONL outcomes\n\
      \x20 --sim-cycles <n>                 simulation cycles [4096]\n\
      \x20 --sim-shards <n>                 simulation stream shards [8]\n\
@@ -90,6 +92,7 @@ struct Options {
     and_penalty: Option<f64>,
     threads: usize,
     cache_dir: Option<String>,
+    snapshot_dir: Option<String>,
     jsonl: Option<String>,
     sim_cycles: Option<usize>,
     sim_shards: Option<u32>,
@@ -113,6 +116,7 @@ impl Options {
             and_penalty: None,
             threads: 0,
             cache_dir: None,
+            snapshot_dir: None,
             jsonl: None,
             sim_cycles: None,
             sim_shards: None,
@@ -168,6 +172,7 @@ impl Options {
                         .map_err(|_| "--threads needs an integer".to_string())?;
                 }
                 "--cache" => opts.cache_dir = Some(value("--cache")?),
+                "--snapshot-dir" => opts.snapshot_dir = Some(value("--snapshot-dir")?),
                 "--jsonl" => opts.jsonl = Some(value("--jsonl")?),
                 "--sim-cycles" => {
                     opts.sim_cycles = Some(
@@ -237,6 +242,13 @@ impl Options {
         }
     }
 
+    fn snapshots(&self) -> Result<Option<Arc<SnapshotStore>>, String> {
+        match &self.snapshot_dir {
+            Some(dir) => SnapshotStore::on_disk(dir).map(|s| Some(Arc::new(s))),
+            None => Ok(None),
+        }
+    }
+
     fn client(&self) -> ServeClient {
         ServeClient::builder(self.server.clone()).build()
     }
@@ -276,9 +288,11 @@ fn run_jobs(specs: Vec<JobSpec>, opts: &Options) -> Result<ExitCode, String> {
         jobs.push(spec.resolve().map_err(|e| e.to_string())?);
     }
     let cache = opts.cache()?;
+    let snapshots = opts.snapshots()?;
     let engine = FlowEngine::new(EngineConfig {
         threads: opts.threads,
         cache: cache.clone(),
+        snapshots: snapshots.clone(),
     });
     let quiet = opts.quiet;
     let progress = move |event: ProgressEvent| {
@@ -329,6 +343,17 @@ fn run_jobs(specs: Vec<JobSpec>, opts: &Options) -> Result<ExitCode, String> {
             cache.disk_len(),
         );
     }
+    if let Some(store) = &snapshots {
+        let stats = store.stats();
+        println!(
+            "snapshots: {} hits, {} misses, {} stores, {} kernel builds, {} entries on disk",
+            stats.hits,
+            stats.misses,
+            stats.stores,
+            stats.kernel_builds,
+            store.disk_len(),
+        );
+    }
     if let Some(path) = &opts.jsonl {
         let jsonl = report::to_jsonl(&results);
         if path == "-" {
@@ -368,6 +393,19 @@ fn suite_names(public_only: bool) -> Vec<&'static str> {
 fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
     let sub = args.first().map(String::as_str);
     let opts = Options::parse(args.get(1..).unwrap_or(&[]))?;
+    if sub == Some("snapshots") {
+        // The snapshot store has its own directory flag: it is a
+        // different artifact class (kernels, not outcomes) and is never
+        // the same directory as the result cache.
+        let dir = opts
+            .snapshot_dir
+            .ok_or_else(|| "cache snapshots needs --snapshot-dir <dir>".to_string())?;
+        let store = SnapshotStore::on_disk(&dir)?;
+        println!("snapshot directory: {dir}");
+        println!("entries on disk: {}", store.disk_len());
+        println!("bytes on disk: {}", store.disk_bytes());
+        return Ok(ExitCode::SUCCESS);
+    }
     let dir = opts
         .cache_dir
         .ok_or_else(|| "cache commands need --cache <dir>".to_string())?;
@@ -384,7 +422,7 @@ fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
             println!("removed {before} entries from {dir}");
             Ok(ExitCode::SUCCESS)
         }
-        _ => Err("cache subcommand must be 'stats' or 'clear'".to_string()),
+        _ => Err("cache subcommand must be 'stats', 'clear' or 'snapshots'".to_string()),
     }
 }
 

@@ -338,6 +338,63 @@ impl CacheCounters {
     }
 }
 
+/// Warm-state snapshot-store counters as exposed by `GET /metrics` —
+/// the restart-warm proof on the wire: after a restart over the same
+/// `--snapshot-dir`, the first submission shows `hits > 0` with
+/// `kernel_builds == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotCounters {
+    /// Probes answered by a verified on-disk snapshot.
+    pub hits: u64,
+    /// Probes that found nothing usable.
+    pub misses: u64,
+    /// Snapshots written to disk.
+    pub stores: u64,
+    /// BDD kernels actually built in this process (the zero a warm
+    /// restart asserts on).
+    pub kernel_builds: u64,
+    /// Snapshots that failed verification and were quarantined (served
+    /// as misses, never as data).
+    pub corrupt_evictions: u64,
+    /// Snapshots evicted by the disk byte budget.
+    pub disk_evictions: u64,
+    /// Snapshot entries currently on disk.
+    pub disk_entries: u64,
+    /// Bytes of snapshot entries currently on disk.
+    pub disk_bytes: u64,
+}
+
+impl SnapshotCounters {
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("hits", Json::Num(self.hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("stores", Json::Num(self.stores as f64)),
+            ("kernel_builds", Json::Num(self.kernel_builds as f64)),
+            (
+                "corrupt_evictions",
+                Json::Num(self.corrupt_evictions as f64),
+            ),
+            ("disk_evictions", Json::Num(self.disk_evictions as f64)),
+            ("disk_entries", Json::Num(self.disk_entries as f64)),
+            ("disk_bytes", Json::Num(self.disk_bytes as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, EngineError> {
+        Ok(SnapshotCounters {
+            hits: req_u64(v, "hits")?,
+            misses: req_u64(v, "misses")?,
+            stores: req_u64(v, "stores")?,
+            kernel_builds: req_u64(v, "kernel_builds")?,
+            corrupt_evictions: opt_u64_from(v, "corrupt_evictions").unwrap_or(0),
+            disk_evictions: opt_u64_from(v, "disk_evictions").unwrap_or(0),
+            disk_entries: opt_u64_from(v, "disk_entries").unwrap_or(0),
+            disk_bytes: opt_u64_from(v, "disk_bytes").unwrap_or(0),
+        })
+    }
+}
+
 /// One failpoint site's counters, as exposed by `GET /metrics` when the
 /// process runs with an active fault-injection schedule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -447,6 +504,10 @@ pub struct MetricsReply {
     pub exec_ms: u64,
     /// Result-cache counters (`None` when the server runs uncached).
     pub cache: Option<CacheCounters>,
+    /// Warm-state snapshot-store counters (`None` when the server runs
+    /// without `--snapshot-dir`, and in documents from pre-snapshot
+    /// servers — rolling upgrade).
+    pub snapshot: Option<SnapshotCounters>,
     /// Connection-reactor counters (`None` in documents from
     /// pre-reactor servers — rolling upgrade).
     pub reactor: Option<ReactorCounters>,
@@ -474,6 +535,12 @@ impl MetricsReply {
             (
                 "cache",
                 self.cache.map(CacheCounters::to_json).unwrap_or(Json::Null),
+            ),
+            (
+                "snapshot",
+                self.snapshot
+                    .map(SnapshotCounters::to_json)
+                    .unwrap_or(Json::Null),
             ),
             (
                 "reactor",
@@ -515,6 +582,11 @@ impl MetricsReply {
             cache: match v.get("cache") {
                 None | Some(Json::Null) => None,
                 Some(j) => Some(CacheCounters::from_json(j)?),
+            },
+            // Absent on pre-snapshot servers (rolling upgrade).
+            snapshot: match v.get("snapshot") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(SnapshotCounters::from_json(j)?),
             },
             // Absent on pre-reactor servers (rolling upgrade).
             reactor: match v.get("reactor") {
@@ -1004,6 +1076,16 @@ mod tests {
                     stores: d,
                     disk_entries: e,
                     corrupt_evictions: a ^ c,
+                }),
+                snapshot: with_cache.then_some(SnapshotCounters {
+                    hits: a,
+                    misses: b,
+                    stores: c,
+                    kernel_builds: d,
+                    corrupt_evictions: e,
+                    disk_evictions: a ^ b,
+                    disk_entries: b ^ d,
+                    disk_bytes: a.wrapping_add(e) & ((1 << 40) - 1),
                 }),
                 reactor: with_cache.then_some(ReactorCounters {
                     open_connections: a,

@@ -558,8 +558,9 @@ impl Registry {
             queue_wait_ms: inner.counters.queue_wait_ms,
             exec_ms: inner.counters.exec_ms,
             cache,
-            // The registry has no view of the connection layer; the
-            // server overlays live reactor counters before replying.
+            // The registry owns neither the snapshot store nor the
+            // connection layer; the server overlays both before replying.
+            snapshot: None,
             reactor: None,
             failpoints: domino_failpoint::snapshot()
                 .into_iter()

@@ -78,6 +78,11 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Shared result cache; `None` disables caching.
     pub cache: Option<Arc<ResultCache>>,
+    /// Warm-state snapshot store sitting *under* the result cache: on a
+    /// cache miss the worker rebuilds the flow from a persisted BDD +
+    /// probability snapshot instead of recomputing the kernel. `None`
+    /// disables snapshots.
+    pub snapshots: Option<Arc<domino_engine::SnapshotStore>>,
     /// Milliseconds a kept-alive connection may idle between requests
     /// before the server closes it.
     pub idle_timeout_ms: u64,
@@ -96,6 +101,7 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 64,
             cache: None,
+            snapshots: None,
             idle_timeout_ms: 10_000,
             max_requests_per_connection: 1024,
             max_connections: crate::config::DEFAULT_MAX_CONNECTIONS,
@@ -130,21 +136,32 @@ impl ServeConfig {
                 "--cache-disk-bytes",
                 "<n>",
                 "on-disk cache byte budget, 0 = unbounded [0]",
+            )
+            .flag(
+                "--snapshot-dir",
+                "<dir>",
+                "warm-state snapshot store: persisted BDD/probability\nkernels survive restarts (shared with dominoc)",
+            )
+            .flag(
+                "--snapshot-disk-bytes",
+                "<n>",
+                "snapshot store byte budget, 0 = unbounded [0]",
             );
         crate::config::failpoint_docs(crate::config::connection_flags(table))
     }
 
     /// Parses the server CLI flags (`--addr`, `--workers`, `--queue`,
     /// `--cache`, `--cache-mem-entries`, `--cache-disk-bytes`,
-    /// `--idle-ms`, `--max-requests`, `--max-connections`) shared by
-    /// `dominod` and `dominoc serve`, so the two entry points cannot
-    /// drift.
+    /// `--snapshot-dir`, `--snapshot-disk-bytes`, `--idle-ms`,
+    /// `--max-requests`, `--max-connections`) shared by `dominod` and
+    /// `dominoc serve`, so the two entry points cannot drift.
     ///
     /// # Errors
     ///
     /// A rendered usage message for unknown flags, missing values,
-    /// non-integer counts, a zero queue capacity, cache budgets without a
-    /// cache, or an unusable cache directory.
+    /// non-integer counts, a zero queue capacity, cache/snapshot budgets
+    /// without their directory flag, or an unusable cache or snapshot
+    /// directory.
     pub fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
         let parsed = Self::arg_table().parse(args)?;
         let mut config = ServeConfig::default();
@@ -173,6 +190,19 @@ impl ServeConfig {
             }
             None if cache_mem_entries != 0 || cache_disk_bytes != 0 => {
                 return Err("cache budget flags require --cache".to_string());
+            }
+            None => {}
+        }
+        let mut snapshot_disk_bytes: u64 = 0;
+        parsed.set_integer("--snapshot-disk-bytes", &mut snapshot_disk_bytes)?;
+        match parsed.last("--snapshot-dir") {
+            Some(dir) => {
+                let store = domino_engine::SnapshotStore::on_disk(dir)?
+                    .with_disk_byte_budget(snapshot_disk_bytes);
+                config.snapshots = Some(Arc::new(store));
+            }
+            None if snapshot_disk_bytes != 0 => {
+                return Err("--snapshot-disk-bytes requires --snapshot-dir".to_string());
             }
             None => {}
         }
@@ -315,6 +345,7 @@ struct Shared {
     resolve_memo: ResolveMemo,
     engine: FlowEngine,
     cache: Option<Arc<ResultCache>>,
+    snapshots: Option<Arc<domino_engine::SnapshotStore>>,
     front: FrontHandle,
     pump: Pump,
     shutdown_signal: Mutex<bool>,
@@ -349,12 +380,29 @@ impl Shared {
         })
     }
 
+    fn snapshot_counters(&self) -> Option<crate::protocol::SnapshotCounters> {
+        self.snapshots.as_ref().map(|store| {
+            let stats = store.stats();
+            crate::protocol::SnapshotCounters {
+                hits: stats.hits,
+                misses: stats.misses,
+                stores: stats.stores,
+                kernel_builds: stats.kernel_builds,
+                corrupt_evictions: stats.corrupt_evictions,
+                disk_evictions: stats.disk_evictions,
+                disk_entries: store.disk_len() as u64,
+                disk_bytes: store.disk_bytes(),
+            }
+        })
+    }
+
     fn metrics(&self) -> crate::protocol::MetricsReply {
         let mut reply = self.registry.metrics(
             self.workers as u64,
             self.started.elapsed().as_millis() as u64,
             self.cache_counters(),
         );
+        reply.snapshot = self.snapshot_counters();
         reply.reactor = Some(self.front.counters());
         reply
     }
@@ -411,8 +459,10 @@ impl Server {
             engine: FlowEngine::new(EngineConfig {
                 threads: 1,
                 cache: config.cache.clone(),
+                snapshots: config.snapshots.clone(),
             }),
             cache: config.cache,
+            snapshots: config.snapshots,
             front: front.handle(),
             pump: Pump {
                 waiters: Mutex::new(Vec::new()),

@@ -136,6 +136,62 @@ fn concurrent_submissions_are_byte_identical_to_local_runs() {
 }
 
 #[test]
+fn restart_over_snapshot_dir_serves_first_request_without_kernel_builds() {
+    let base = std::env::temp_dir().join(format!("dominolp-serve-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let snap_dir = base.join("snapshots");
+    let mut spec = JobSpec::suite("frg1");
+    spec.sim.cycles = 512;
+    spec.sim.warmup = 8;
+    let expected = local_outcome_json(&spec);
+
+    // Cold "process": empty snapshot store, fresh result cache.
+    let first = {
+        let store = domino_engine::SnapshotStore::on_disk(&snap_dir).expect("snapshot dir");
+        let (server, client) = start_server(ServeConfig {
+            workers: 1,
+            cache: Some(Arc::new(ResultCache::in_memory())),
+            snapshots: Some(Arc::new(store)),
+            ..ServeConfig::default()
+        });
+        let got = client.run_sync(&spec).expect("cold run");
+        let snap = client
+            .metrics()
+            .expect("metrics")
+            .snapshot
+            .expect("snapshot section present");
+        assert_eq!(snap.kernel_builds, 1, "cold run builds the kernel once");
+        assert!(snap.stores >= 1, "cold run persists the kernel");
+        server.shutdown();
+        got
+    };
+    assert_eq!(first, expected, "snapshotted run matches the local bytes");
+
+    // Restarted "process": same snapshot dir, FRESH result cache — the
+    // restart-warm contract: first request byte-identical with zero
+    // kernel builds.
+    let store = domino_engine::SnapshotStore::on_disk(&snap_dir).expect("snapshot dir");
+    let (server, client) = start_server(ServeConfig {
+        workers: 1,
+        cache: Some(Arc::new(ResultCache::in_memory())),
+        snapshots: Some(Arc::new(store)),
+        ..ServeConfig::default()
+    });
+    let got = client.run_sync(&spec).expect("warm restart run");
+    assert_eq!(got, expected, "restart-warm outcome is byte-identical");
+    let snap = client
+        .metrics()
+        .expect("metrics")
+        .snapshot
+        .expect("snapshot section present");
+    assert_eq!(snap.kernel_builds, 0, "no kernel rebuilt after restart");
+    assert!(snap.hits >= 1, "the persisted snapshot warmed the run");
+    assert!(snap.disk_entries >= 1);
+    server.shutdown();
+    std::fs::remove_dir_all(&base).expect("cleanup");
+}
+
+#[test]
 fn full_queue_backpressures_and_drops_nothing() {
     let (server, client) = start_server(ServeConfig {
         workers: 1,

@@ -1,0 +1,497 @@
+//! Persistent warm-state snapshots for the domino flow.
+//!
+//! Building the BDD kernel and converging the probability tables is by far
+//! the dominant cost of a flow run on large circuits — and both are pure
+//! functions of the network structure, the probability configuration and
+//! the primary-input probabilities. This crate makes that work *restart
+//! durable*: a [`WarmSnapshot`] captures a built
+//! [`CircuitBdds`] (node arenas in
+//! deterministic postorder, the variable order including any post-sift
+//! order, and root handles) together with the converged per-node
+//! probabilities and the fixed-point power total, and a [`SnapshotStore`]
+//! persists snapshots on disk in a versioned, checksummed format so a
+//! restarted server answers its first request without recomputing a single
+//! BDD node.
+//!
+//! Trust model, in layers — a snapshot is only served when every one holds:
+//!
+//! 1. **Container checksum** ([`DiskProfile`]): the file is a complete,
+//!    untorn `dominosnap1` entry.
+//! 2. **Structure digest**: the embedded BDD section rebuilds to exactly
+//!    the recorded [`BddManager::digest`](domino_bdd::BddManager::digest) —
+//!    node-for-node the structure that was saved.
+//! 3. **Shape**: the function count matches the caller's network node
+//!    count, and the probability table covers exactly those nodes.
+//! 4. **Fixed-point total**: the recorded total equals the sum of
+//!    [`power_to_fixed`] over the loaded probabilities, pinning the
+//!    arithmetic the power model will perform downstream.
+//!
+//! Anything that fails any layer is quarantined and reported as a miss —
+//! corrupt state is rebuilt from scratch, never served. Keys are the
+//! caller's business (the engine hashes the structural digest plus the
+//! canonical probability configuration); the store treats them as opaque
+//! hex strings.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod disk;
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use domino_bdd::circuit::CircuitBdds;
+use domino_bdd::{BddStats, ReorderOutcome};
+use domino_phase::power::{power_to_fixed, FixedPower};
+
+pub use disk::{DiskProfile, DiskRead};
+
+/// First line of every snapshot payload; the digit is the payload format
+/// version. Bump it on incompatible changes: old snapshots then fail to
+/// parse, get quarantined, and the flow transparently rebuilds.
+pub const SNAPSHOT_HEADER: &str = "snapshot 1";
+
+/// Disk discipline for snapshot entries. Same protocol as the engine's
+/// result cache, different magic/extension/failpoints — and no legacy
+/// passthrough, because snapshots never had a headerless era.
+pub const SNAPSHOT_PROFILE: DiskProfile = DiskProfile {
+    magic: "dominosnap1 ",
+    entry_ext: "snap",
+    read_failpoint: "engine.snapshot.disk_read",
+    write_failpoint: "engine.snapshot.disk_write",
+    crash_failpoint: "engine.snapshot.crash_rename",
+    legacy_passthrough: false,
+};
+
+/// Why a snapshot payload was rejected. Every variant is handled the same
+/// way by [`SnapshotStore::load`] — quarantine and rebuild — but the
+/// message names the failing layer for post-mortems.
+#[derive(Debug)]
+pub struct SnapshotFormatError(String);
+
+impl std::fmt::Display for SnapshotFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot rejected: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotFormatError {}
+
+fn malformed(msg: impl Into<String>) -> SnapshotFormatError {
+    SnapshotFormatError(msg.into())
+}
+
+/// Everything the flow needs to skip the kernel stage: the built BDDs, the
+/// converged probability table, and the kernel-side statistics that keep a
+/// warm run's report byte-identical to the cold run that produced it.
+#[derive(Debug)]
+pub struct WarmSnapshot {
+    /// Per-node BDDs, arena in postorder layout, variable order as built
+    /// (including any post-sift order).
+    pub bdds: CircuitBdds,
+    /// Converged signal probability of every network node, indexed by node
+    /// id — exact bits of the cold computation.
+    pub probs: Vec<f64>,
+    /// Total reachable BDD node count the cold run reported (the manager's
+    /// arena may hold more; this is the figure that goes into reports).
+    pub bdd_nodes: usize,
+    /// Kernel traffic statistics from the cold build. A deserialized
+    /// manager has zero traffic counters, so these ride along verbatim.
+    pub bdd_stats: Option<BddStats>,
+    /// Outcome of dynamic variable reordering during the cold build, when
+    /// reordering was enabled.
+    pub reorder: Option<ReorderOutcome>,
+}
+
+impl WarmSnapshot {
+    /// The fixed-point sum of the probability table under the power
+    /// model's [`power_to_fixed`] quantization. Recorded in the payload
+    /// and re-verified on load.
+    pub fn fixed_power_total(&self) -> FixedPower {
+        self.probs.iter().map(|&p| power_to_fixed(p)).sum()
+    }
+
+    /// Serializes the snapshot payload (the checksummed container header
+    /// is the [`DiskProfile`]'s job, not ours).
+    pub fn to_payload(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("net_nodes {}\n", self.bdds.func_count()));
+        self.bdds.serialize_into(&mut out);
+        out.push_str(&format!("probs {}", self.probs.len()));
+        for &p in &self.probs {
+            out.push_str(&format!(" {:016x}", p.to_bits()));
+        }
+        out.push('\n');
+        out.push_str(&format!("fixed_total {}\n", self.fixed_power_total()));
+        out.push_str(&format!("bdd_nodes {}\n", self.bdd_nodes));
+        if let Some(s) = &self.bdd_stats {
+            out.push_str(&format!(
+                "stats {} {} {} {} {} {} {}\n",
+                s.nodes,
+                s.n_vars,
+                s.cache_entries,
+                s.unique_hits,
+                s.unique_misses,
+                s.cache_hits,
+                s.cache_misses
+            ));
+        }
+        if let Some(r) = &self.reorder {
+            out.push_str(&format!(
+                "reorder {} {} {} {}",
+                r.swaps, r.sift_rounds, r.nodes_before, r.nodes_after
+            ));
+            for &v in &r.final_order {
+                out.push_str(&format!(" {v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses and fully verifies a snapshot payload: header, section
+    /// shapes, the embedded BDD section's structure digest, probability
+    /// count against the recorded node count, and the fixed-point total.
+    ///
+    /// # Errors
+    ///
+    /// A [`SnapshotFormatError`] naming the failing layer.
+    pub fn from_payload(payload: &str) -> Result<WarmSnapshot, SnapshotFormatError> {
+        let mut lines = payload.lines();
+        let header = lines.next().ok_or_else(|| malformed("empty payload"))?;
+        if header != SNAPSHOT_HEADER {
+            return Err(malformed(format!("unsupported header {header:?}")));
+        }
+        let net_nodes: usize = field(lines.next(), "net_nodes")?
+            .parse()
+            .map_err(|_| malformed("net_nodes is not a count"))?;
+
+        // The BDD section is self-delimiting: it runs from its own header
+        // through its `digest` line.
+        let mut bdd_section = String::new();
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("BDD section truncated"))?;
+            bdd_section.push_str(line);
+            bdd_section.push('\n');
+            if line.starts_with("digest ") {
+                break;
+            }
+        }
+        let bdds = CircuitBdds::deserialize_from(&bdd_section)
+            .map_err(|e| malformed(format!("BDD section: {e}")))?;
+        if bdds.func_count() != net_nodes {
+            return Err(malformed(format!(
+                "function count {} does not match recorded net_nodes {net_nodes}",
+                bdds.func_count()
+            )));
+        }
+
+        let probs_line = field(lines.next(), "probs")?;
+        let mut toks = probs_line.split_ascii_whitespace();
+        let count: usize = toks
+            .next()
+            .ok_or_else(|| malformed("probs line missing count"))?
+            .parse()
+            .map_err(|_| malformed("probs count is not a number"))?;
+        if count != net_nodes {
+            return Err(malformed(format!(
+                "probability count {count} does not match net_nodes {net_nodes}"
+            )));
+        }
+        let mut probs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bits = toks
+                .next()
+                .ok_or_else(|| malformed("probs line short of its count"))?;
+            let bits =
+                u64::from_str_radix(bits, 16).map_err(|_| malformed("probability bits not hex"))?;
+            probs.push(f64::from_bits(bits));
+        }
+        if toks.next().is_some() {
+            return Err(malformed("trailing tokens on probs line"));
+        }
+
+        let fixed_total: FixedPower = field(lines.next(), "fixed_total")?
+            .parse()
+            .map_err(|_| malformed("fixed_total is not an integer"))?;
+        let bdd_nodes: usize = field(lines.next(), "bdd_nodes")?
+            .parse()
+            .map_err(|_| malformed("bdd_nodes is not a count"))?;
+
+        let mut bdd_stats = None;
+        let mut reorder = None;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("stats ") {
+                let nums: Vec<u64> = rest
+                    .split_ascii_whitespace()
+                    .map(|t| t.parse().map_err(|_| malformed("stats field not a number")))
+                    .collect::<Result<_, _>>()?;
+                let [nodes, n_vars, cache_entries, unique_hits, unique_misses, cache_hits, cache_misses] =
+                    nums[..]
+                else {
+                    return Err(malformed("stats line needs exactly 7 fields"));
+                };
+                bdd_stats = Some(BddStats {
+                    nodes: nodes as usize,
+                    n_vars: n_vars as usize,
+                    cache_entries: cache_entries as usize,
+                    unique_hits,
+                    unique_misses,
+                    cache_hits,
+                    cache_misses,
+                });
+            } else if let Some(rest) = line.strip_prefix("reorder ") {
+                let nums: Vec<u64> = rest
+                    .split_ascii_whitespace()
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| malformed("reorder field not a number"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if nums.len() < 4 {
+                    return Err(malformed("reorder line needs at least 4 fields"));
+                }
+                reorder = Some(ReorderOutcome {
+                    swaps: nums[0],
+                    sift_rounds: nums[1] as u32,
+                    nodes_before: nums[2] as usize,
+                    nodes_after: nums[3] as usize,
+                    final_order: nums[4..].iter().map(|&v| v as usize).collect(),
+                });
+            } else if !line.is_empty() {
+                return Err(malformed(format!("unexpected trailing line {line:?}")));
+            }
+        }
+
+        let snapshot = WarmSnapshot {
+            bdds,
+            probs,
+            bdd_nodes,
+            bdd_stats,
+            reorder,
+        };
+        let actual = snapshot.fixed_power_total();
+        if actual != fixed_total {
+            return Err(malformed(format!(
+                "fixed-point total {actual} does not match recorded {fixed_total}"
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, SnapshotFormatError> {
+    let line = line.ok_or_else(|| malformed(format!("missing {key} line")))?;
+    line.strip_prefix(key)
+        .map(str::trim_start)
+        .ok_or_else(|| malformed(format!("expected {key} line, found {line:?}")))
+}
+
+/// Counters a [`SnapshotStore`] accumulates over its lifetime. Exposed
+/// verbatim in the server's `/metrics` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Loads served from a fully verified snapshot.
+    pub hits: u64,
+    /// Loads that found nothing servable (absent, corrupt, or shape
+    /// mismatch).
+    pub misses: u64,
+    /// Snapshots written to disk.
+    pub stores: u64,
+    /// Entries quarantined because a verification layer failed.
+    pub corrupt_evictions: u64,
+    /// Entries evicted by the disk byte budget.
+    pub disk_evictions: u64,
+    /// Full kernel builds the engine performed because no snapshot was
+    /// servable. The warm-restart contract is exactly `kernel_builds == 0`
+    /// on a snapshot-warm first request.
+    pub kernel_builds: u64,
+}
+
+/// A disk-backed store of [`WarmSnapshot`]s keyed by opaque hex strings.
+///
+/// Deliberately has no in-memory layer: a built `CircuitBdds` already
+/// lives in the engine's result-cache value path for repeat requests
+/// within a process; the snapshot store exists to survive restarts.
+/// Without a directory ([`SnapshotStore::disabled`]) every operation is a
+/// cheap no-op, so callers thread one unconditionally.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: Option<PathBuf>,
+    disk_budget: Option<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    corrupt_evictions: AtomicU64,
+    disk_evictions: AtomicU64,
+    kernel_builds: AtomicU64,
+}
+
+impl SnapshotStore {
+    fn new(dir: Option<PathBuf>) -> SnapshotStore {
+        SnapshotStore {
+            dir,
+            disk_budget: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
+            disk_evictions: AtomicU64::new(0),
+            kernel_builds: AtomicU64::new(0),
+        }
+    }
+
+    /// A store that persists nothing and serves nothing; `load` always
+    /// misses (without counting it), `store` is a no-op. Lets callers
+    /// avoid `Option` plumbing.
+    pub fn disabled() -> SnapshotStore {
+        SnapshotStore::new(None)
+    }
+
+    /// Opens (creating if needed) a snapshot directory. Orphaned temp
+    /// files from writers that died mid-store are swept immediately, so
+    /// the directory holds complete entries only.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the directory cannot be created.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Result<SnapshotStore, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("creating snapshot dir {}: {e}", dir.display()))?;
+        disk::sweep_orphan_temps(&dir);
+        Ok(SnapshotStore::new(Some(dir)))
+    }
+
+    /// Caps the total bytes of snapshot entries on disk; oldest entries
+    /// are evicted after each store until the directory fits. The entry
+    /// just written is never evicted.
+    #[must_use]
+    pub fn with_disk_byte_budget(mut self, budget: u64) -> SnapshotStore {
+        self.disk_budget = Some(budget);
+        self
+    }
+
+    /// Whether this store has a backing directory.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Loads and fully verifies the snapshot under `key`. `expected_nodes`
+    /// is the caller's network node count — a snapshot whose function or
+    /// probability count differs is not the caller's circuit (a key
+    /// collision or a stale format) and is quarantined like any other
+    /// corruption. Returns `None` on any miss; the caller rebuilds and
+    /// [`store`](SnapshotStore::store)s.
+    pub fn load(&self, key: &str, expected_nodes: usize) -> Option<WarmSnapshot> {
+        let dir = self.dir.as_ref()?;
+        match SNAPSHOT_PROFILE.read_entry(dir, key) {
+            DiskRead::Missing => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            DiskRead::Corrupt => {
+                disk::quarantine(dir, &SNAPSHOT_PROFILE.entry_path(dir, key));
+                self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            DiskRead::Payload(payload) => {
+                let verified = WarmSnapshot::from_payload(&payload)
+                    .ok()
+                    .filter(|s| s.bdds.func_count() == expected_nodes);
+                match verified {
+                    Some(snapshot) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        Some(snapshot)
+                    }
+                    None => {
+                        // Checksum passed but a deeper layer failed (digest,
+                        // shape, fixed-point total): same treatment as torn
+                        // bytes — out of the serving path, rebuilt fresh.
+                        disk::quarantine(dir, &SNAPSHOT_PROFILE.entry_path(dir, key));
+                        self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Persists `snapshot` under `key` (atomic temp+rename), then enforces
+    /// the disk byte budget. No-op without a directory.
+    pub fn store(&self, key: &str, snapshot: &WarmSnapshot) {
+        let Some(dir) = self.dir.as_ref() else {
+            return;
+        };
+        let payload = snapshot.to_payload();
+        if let Some(path) = SNAPSHOT_PROFILE.write_entry(dir, key, &payload) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            if let Some(budget) = self.disk_budget {
+                let evicted = SNAPSHOT_PROFILE.enforce_byte_budget(dir, &path, budget);
+                self.disk_evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records that the engine performed a full kernel build (BDD
+    /// construction + probability convergence) because no snapshot was
+    /// servable. Counted even when the store is disabled — the metric
+    /// answers "did this process do kernel work", not "did the store".
+    pub fn note_kernel_build(&self) {
+        self.kernel_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the lifetime counters.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            kernel_builds: self.kernel_builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of complete snapshot entries on disk.
+    pub fn disk_len(&self) -> usize {
+        self.dir
+            .as_ref()
+            .map(|d| SNAPSHOT_PROFILE.entry_count(d))
+            .unwrap_or(0)
+    }
+
+    /// Total bytes of complete snapshot entries on disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.dir
+            .as_ref()
+            .map(|d| SNAPSHOT_PROFILE.entry_bytes(d))
+            .unwrap_or(0)
+    }
+
+    /// The backing directory, when enabled.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
+    /// Deletes every snapshot entry, orphaned temp and quarantined corpse.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a removal fails.
+    pub fn clear(&self) -> Result<(), String> {
+        match self.dir.as_ref() {
+            Some(dir) => SNAPSHOT_PROFILE.clear_dir(dir),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -269,6 +269,168 @@ pub fn reorder_stress(pairs: usize) -> Result<Network, NetlistError> {
     Ok(net)
 }
 
+/// Parameters of a generated *giant* circuit: a grid of deep, pipelined
+/// output cones sized by explicit depth/fanout knobs rather than a flat
+/// gate budget. This is the scale fixture behind the warm-restart perf
+/// gate — big enough that rebuilding its BDD kernel is measurable, yet
+/// windowed so every cone's BDD support (and thus exact probability
+/// computation) stays bounded no matter how large the circuit grows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GiantSpec {
+    /// Model name.
+    pub name: String,
+    /// Primary input count.
+    pub n_inputs: usize,
+    /// Primary output count — one deep cone per output.
+    pub n_outputs: usize,
+    /// Logic layers per cone (circuit depth).
+    pub depth: usize,
+    /// Gates created per layer per cone (layer width / fanout pressure).
+    pub fanout: usize,
+    /// Maximum gate fanin (≥ 2).
+    pub max_fanin: usize,
+    /// Inputs visible to each cone — bounds the BDD support exactly as
+    /// [`GeneratorSpec::window`] does.
+    pub window: usize,
+    /// Probability that a chosen fanin edge is complemented.
+    pub not_probability: f64,
+    /// Sequential mix: pipeline a latch into each cone every this many
+    /// layers (`0` = purely combinational).
+    pub latch_every: usize,
+    /// RNG seed — equal specs generate identical networks.
+    pub seed: u64,
+}
+
+impl GiantSpec {
+    /// A pipelined giant-circuit default: fanin-3 gates over a 12-input
+    /// window, 15% inverted edges, a latch every 4 layers.
+    pub fn giant(
+        name: impl Into<String>,
+        n_inputs: usize,
+        n_outputs: usize,
+        depth: usize,
+        fanout: usize,
+        seed: u64,
+    ) -> Self {
+        GiantSpec {
+            name: name.into(),
+            n_inputs,
+            n_outputs,
+            depth,
+            fanout,
+            max_fanin: 3,
+            window: 12,
+            not_probability: 0.15,
+            latch_every: 4,
+            seed,
+        }
+    }
+
+    /// Total gates the spec asks for (`n_outputs × depth × fanout`) —
+    /// useful for sizing expectations in benches and tests.
+    pub fn gate_budget(&self) -> usize {
+        self.n_outputs * self.depth * self.fanout
+    }
+}
+
+/// Generates the giant circuit described by `spec`: `n_outputs` deep
+/// cones, each a `depth`-layer feed-forward pipeline of `fanout` gates
+/// per layer over a sliding input window, with latches inserted every
+/// `latch_every` layers.
+///
+/// # Errors
+///
+/// Returns [`NetlistError`] only on internal construction failures.
+///
+/// # Panics
+///
+/// Panics if `n_inputs == 0`, `n_outputs == 0`, `depth == 0`,
+/// `fanout == 0`, or `max_fanin < 2`.
+pub fn generate_giant(spec: &GiantSpec) -> Result<Network, NetlistError> {
+    assert!(spec.n_inputs > 0, "need at least one input");
+    assert!(spec.n_outputs > 0, "need at least one output");
+    assert!(spec.depth > 0, "need at least one layer");
+    assert!(spec.fanout > 0, "need at least one gate per layer");
+    assert!(spec.max_fanin >= 2, "gates need fanin of at least 2");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut net = Network::new(spec.name.clone());
+
+    let inputs: Vec<NodeId> = (0..spec.n_inputs)
+        .map(|i| net.add_input(format!("i{i}")))
+        .collect::<Result<_, _>>()?;
+    let mut inverters: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+    let mut n_latches = 0usize;
+    let window = spec.window.clamp(2, spec.n_inputs);
+
+    for o in 0..spec.n_outputs {
+        // Consecutive cones slide their window across the inputs, wrapping
+        // at the end — neighbours overlap, distant cones are disjoint.
+        let start = if spec.n_inputs > window {
+            (o * window / 2) % (spec.n_inputs - window + 1)
+        } else {
+            0
+        };
+        let mut pool: Vec<NodeId> = inputs[start..start + window].to_vec();
+        let mut top = pool[0];
+        for layer in 0..spec.depth {
+            let layer_base = pool.len();
+            for _ in 0..spec.fanout {
+                let k = rng.gen_range(2..=spec.max_fanin);
+                let mut fanins: Vec<NodeId> = Vec::with_capacity(k);
+                let mut tries = 0;
+                while fanins.len() < k && tries < 32 {
+                    tries += 1;
+                    // Bias toward the previous layer: real pipelines are
+                    // mostly layer-to-layer with occasional skip edges.
+                    let idx = if rng.gen_bool(0.8) && layer_base > spec.fanout {
+                        rng.gen_range(layer_base.saturating_sub(spec.fanout * 2)..layer_base)
+                    } else {
+                        rng.gen_range(0..layer_base)
+                    };
+                    let mut cand = pool[idx];
+                    if rng.gen_bool(spec.not_probability) {
+                        cand = match inverters.get(&cand) {
+                            Some(&inv) => inv,
+                            None => {
+                                let inv = net.add_not(cand)?;
+                                inverters.insert(cand, inv);
+                                inv
+                            }
+                        };
+                    }
+                    if !fanins.contains(&cand) {
+                        fanins.push(cand);
+                    }
+                }
+                if fanins.len() < 2 {
+                    continue;
+                }
+                let gate = if rng.gen_bool(0.5) {
+                    net.add_or(fanins)?
+                } else {
+                    net.add_and(fanins)?
+                };
+                pool.push(gate);
+                top = gate;
+            }
+            // Sequential mix: feed the layer's top through a pipeline
+            // latch whose output joins the pool for later layers.
+            if spec.latch_every > 0 && (layer + 1) % spec.latch_every == 0 {
+                let latch = net.add_latch(rng.gen_bool(0.5));
+                net.set_node_name(latch, format!("p{n_latches}"))
+                    .expect("fresh id");
+                net.set_latch_data(latch, top)?;
+                n_latches += 1;
+                pool.push(latch);
+            }
+        }
+        net.add_output(format!("o{o}"), top)?;
+    }
+
+    net.validate()?;
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +518,74 @@ mod tests {
         for o in net.outputs() {
             let support = net.cone_inputs(o.driver).len();
             assert!(support <= 70, "cone of {} spans {support} inputs", o.name);
+        }
+    }
+
+    #[test]
+    fn giant_deterministic_for_seed() {
+        let spec = GiantSpec::giant("g", 48, 12, 8, 2, 21);
+        let a = generate_giant(&spec).unwrap();
+        let b = generate_giant(&spec).unwrap();
+        assert_eq!(a, b);
+        let c = generate_giant(&GiantSpec {
+            seed: 22,
+            ..spec.clone()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn giant_hits_its_depth_and_gate_budget() {
+        let spec = GiantSpec::giant("g", 64, 16, 10, 2, 9);
+        let net = generate_giant(&spec).unwrap();
+        assert_eq!(net.inputs().len(), 64);
+        assert_eq!(net.outputs().len(), 16);
+        let stats = NetworkStats::of(&net);
+        // A few layer slots can fail the 32-try fanin draw; the vast
+        // majority land, so the gate count tracks the budget.
+        assert!(
+            stats.ands + stats.ors >= spec.gate_budget() * 9 / 10,
+            "{stats} vs budget {}",
+            spec.gate_budget()
+        );
+        assert!(
+            stats.depth as usize >= spec.depth,
+            "depth {} too shallow",
+            stats.depth
+        );
+    }
+
+    #[test]
+    fn giant_sequential_mix_pipelines_latches() {
+        let spec = GiantSpec::giant("g", 48, 8, 12, 2, 5);
+        let net = generate_giant(&spec).unwrap();
+        assert!(net.is_sequential());
+        // depth 12 with a latch every 4 layers = 3 latches per cone.
+        assert_eq!(net.latches().len(), 8 * 3);
+        net.validate().unwrap();
+
+        let comb = generate_giant(&GiantSpec {
+            latch_every: 0,
+            ..spec
+        })
+        .unwrap();
+        assert!(!comb.is_sequential());
+    }
+
+    #[test]
+    fn giant_support_stays_windowed() {
+        // The whole point: support per cone is bounded by the window (plus
+        // its pipeline latches), no matter how many gates the spec asks for.
+        let spec = GiantSpec::giant("g", 256, 64, 16, 3, 13);
+        let net = generate_giant(&spec).unwrap();
+        for o in net.outputs() {
+            let support = net.cone_inputs(o.driver).len();
+            assert!(
+                support <= spec.window,
+                "cone of {} spans {support} primary inputs",
+                o.name
+            );
         }
     }
 }

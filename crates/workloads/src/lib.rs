@@ -12,7 +12,8 @@
 //! Contents:
 //!
 //! * generator — the seeded random control-logic generator
-//!   ([`GeneratorSpec`], [`generate`]);
+//!   ([`GeneratorSpec`], [`generate`]) and the depth/fanout-parameterized
+//!   giant-circuit generator ([`GiantSpec`], [`generate_giant`]);
 //! * suite — the seven Table 1/2 circuits ([`BenchmarkCircuit`],
 //!   [`table_suite`], [`public_suite`]);
 //! * [`figures`] — the exact circuits/graphs behind Figures 3, 5, 7, 9
@@ -25,7 +26,7 @@ pub mod figures;
 mod generator;
 mod suite;
 
-pub use generator::{generate, reorder_stress, GeneratorSpec};
+pub use generator::{generate, generate_giant, reorder_stress, GeneratorSpec, GiantSpec};
 pub use suite::{
     public_row_names, public_suite, row_spec, table_row_names, table_suite, BenchmarkCircuit,
 };

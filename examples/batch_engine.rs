@@ -22,6 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let engine = FlowEngine::new(EngineConfig {
         threads: 0, // one worker per CPU
         cache: Some(Arc::clone(&cache)),
+        snapshots: None,
     });
 
     // Cold: every flow is computed.
